@@ -1,0 +1,65 @@
+"""Ablation: the sketch constant ``c`` (paper §4.1).
+
+"Determining an appropriate c is a trade-off between memory space and
+the computation time.  A larger c will cost more memory space but will
+introduce less randomized update latency."  This bench sweeps ``c`` and
+measures both sides of the trade: resident sketch items (memory) versus
+disk reloads (latency).
+"""
+
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.core.delta import ResampleSet
+from repro.workloads import numeric_dataset
+
+C_VALUES = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+
+
+def run_with_c(c: float, data) -> dict:
+    ledger = CostLedger()
+    rs = ResampleSet("mean", 20, maintenance="optimized", sketch_c=c,
+                     seed=1200, ledger=ledger, io_scale=1000.0)
+    rs.initialize(data[:4000])
+    for lo, hi in [(4000, 6000), (6000, 8000), (8000, 10000),
+                   (10000, 12000)]:
+        rs.expand(data[lo:hi])
+    maintainer = rs._maintainer
+    sketch_items = sum(len(s._items) for s in maintainer._delta_sketches)
+    return {
+        "c": c,
+        "sketch_items": sketch_items,
+        "disk_accesses": rs.counters.disk_accesses,
+        "sketch_draws": rs.counters.sketch_draws,
+        "disk_seconds": round(ledger.seconds("disk_read")
+                              + ledger.seconds("disk_seek"), 3),
+    }
+
+
+class TestSketchConstantAblation:
+    def test_sketch_c_memory_vs_latency(self, benchmark, series_report):
+        data = numeric_dataset(12_000, "lognormal", seed=1201)
+
+        def run():
+            return [run_with_c(c, data) for c in C_VALUES]
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [(r["c"], r["sketch_items"], r["disk_accesses"],
+                 r["sketch_draws"], r["disk_seconds"]) for r in results]
+        series_report(
+            "ablation_sketch_c",
+            "Ablation §4.1: sketch constant c — memory vs update latency",
+            ["c", "resident_items", "disk_reload_draws", "memory_draws",
+             "disk_seconds"],
+            rows,
+            notes="larger c: more resident memory, fewer disk touches "
+                  "(the paper's stated trade-off)")
+        # memory grows monotonically with c
+        items = [r["sketch_items"] for r in results]
+        assert items == sorted(items)
+        # disk reloads shrink as c grows (compare the extremes)
+        assert results[-1]["disk_accesses"] < results[0]["disk_accesses"]
+        # at a generous c almost all draws are served from memory
+        big = results[-1]
+        total = big["disk_accesses"] + big["sketch_draws"]
+        assert big["sketch_draws"] / total > 0.95

@@ -1,0 +1,80 @@
+"""Figure 2: effect of B and n on the estimated error cv.
+
+Paper claims: (a) "roughly 30 bootstraps are required to provide a
+confident estimate of the error"; (b) "a larger n results in a lower
+error" (the cv decays like n^-1/2 for the mean).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap_cv_curve, bootstrap_cv_vs_n
+from repro.workloads import numeric_dataset
+
+
+@pytest.fixture(scope="module")
+def population():
+    return numeric_dataset(200_000, "lognormal", seed=2024)
+
+
+class TestFig2a:
+    def test_fig2a_effect_of_B_on_cv(self, benchmark, population,
+                                     series_report):
+        sample = population[:2000]
+
+        def run():
+            return bootstrap_cv_curve(sample, "mean", B_max=60, seed=7)
+
+        curve = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [(b, cv) for b, cv in curve]
+        # Stability: the spread of the cv over B in [30, 60] must be far
+        # smaller than over B in [2, 15] — the "stabilizes around 30"
+        # shape of Fig. 2(a).
+        early = [cv for b, cv in curve if b <= 15]
+        late = [cv for b, cv in curve if b >= 30]
+        early_spread = max(early) - min(early)
+        late_spread = max(late) - min(late)
+        series_report(
+            "fig2a_cv_vs_B", "Fig 2(a): effect of B on cv (mean, n=2000)",
+            ["B", "cv"], rows,
+            notes=(f"spread cv over B in [2,15]: {early_spread:.4f}; "
+                   f"over B in [30,60]: {late_spread:.4f} "
+                   "(paper: curve flattens by B~30)"))
+        assert late_spread < early_spread / 2
+
+    def test_fig2a_median_statistic(self, benchmark, population,
+                                    series_report):
+        """Same stabilization for a non-smooth statistic (the median)."""
+        sample = population[:2000]
+
+        def run():
+            return bootstrap_cv_curve(sample, "median", B_max=60, seed=8)
+
+        curve = benchmark.pedantic(run, rounds=1, iterations=1)
+        late = [cv for b, cv in curve if b >= 30]
+        series_report(
+            "fig2a_cv_vs_B_median",
+            "Fig 2(a) variant: effect of B on cv (median, n=2000)",
+            ["B", "cv"], curve)
+        assert max(late) - min(late) < 0.02
+
+
+class TestFig2b:
+    def test_fig2b_effect_of_n_on_cv(self, benchmark, population,
+                                     series_report):
+        sizes = [50, 100, 200, 400, 800, 1600, 3200, 6400, 12800]
+
+        def run():
+            return bootstrap_cv_vs_n(population, sizes, "mean", B=60,
+                                     seed=9)
+
+        curve = benchmark.pedantic(run, rounds=1, iterations=1)
+        cvs = [cv for _, cv in curve]
+        series_report(
+            "fig2b_cv_vs_n", "Fig 2(b): effect of n on cv (mean, B=60)",
+            ["n", "cv"], curve,
+            notes="paper: larger n -> lower cv (~n^-1/2 for the mean)")
+        # monotone-ish decrease end to end, and the rate is ~ n^-1/2:
+        assert cvs[-1] < cvs[0] / 4
+        slope = np.polyfit(np.log([n for n, _ in curve]), np.log(cvs), 1)[0]
+        assert -0.8 < slope < -0.25

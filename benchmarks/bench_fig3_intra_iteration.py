@@ -1,0 +1,74 @@
+"""Figure 3: work saved by the intra-iteration optimization vs sample size.
+
+Paper claims (§4.2): the expected saving is ``P(X=y)·y`` (Eq. 4), e.g.
+35% of resamples share 30% of their data at n=29; "on average we save
+over 20% of work"; the optimum can be found by binary search; the
+technique is "best suited for small sample sizes".
+"""
+
+import pytest
+
+from repro.core.intra import (
+    average_optimal_saving,
+    optimal_sharing,
+    prob_identical_fraction,
+    shared_prefix_bootstrap,
+    work_saved,
+)
+from repro.workloads import numeric_dataset
+
+Y_SERIES = [0.1, 0.2, 0.3, 0.4, 0.5]
+N_SERIES = [5, 10, 15, 20, 29, 40, 60, 80, 100]
+
+
+class TestFig3:
+    def test_fig3_work_saved_surface(self, benchmark, series_report):
+        def run():
+            rows = []
+            for n in N_SERIES:
+                y_star, saved_star = optimal_sharing(n)
+                rows.append([n] + [work_saved(n, y) for y in Y_SERIES]
+                            + [y_star, saved_star])
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        header = ["n"] + [f"saved@y={y}" for y in Y_SERIES] \
+            + ["y*", "saved@y*"]
+        series_report(
+            "fig3_work_saved", "Fig 3: intra-iteration work saved vs n",
+            header, rows,
+            notes="paper: P(n=29, y=0.3) ~ 0.35; avg optimal saving > 20% "
+                  "for small n; saving declines as n grows")
+        # paper's worked example:
+        assert prob_identical_fraction(29, 0.3) == pytest.approx(0.35,
+                                                                 abs=0.02)
+        # declining with n:
+        savings_at_optimum = [row[-1] for row in rows]
+        assert savings_at_optimum[0] > savings_at_optimum[-1]
+        # headline average over the small-sample regime:
+        assert average_optimal_saving(range(2, 31)) > 0.20
+
+    def test_fig3_measured_savings_match_model(self, benchmark,
+                                               series_report):
+        """The analytic surface must match *measured* op counts from the
+        shared-prefix bootstrap implementation."""
+        data = numeric_dataset(29, "lognormal", seed=31)
+
+        def run():
+            rows = []
+            for y in Y_SERIES:
+                res = shared_prefix_bootstrap(data, "mean", B=3000, y=y,
+                                              seed=32)
+                k = int(y * len(data))
+                predicted = prob_identical_fraction(len(data), y) \
+                    * (k / len(data))
+                rows.append((y, predicted, res.ops_saved_fraction))
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        series_report(
+            "fig3_measured", "Fig 3 check: predicted vs measured saving "
+            "(n=29, B=3000)",
+            ["y", "predicted", "measured"], rows)
+        for _, predicted, measured in rows:
+            assert measured == pytest.approx(predicted, abs=0.04)

@@ -1,0 +1,36 @@
+"""Figure 7: K-Means with EARL vs stock Hadoop (§6.3).
+
+Paper claims: EARL speeds K-Means up "without changing the underlying
+algorithm" for two reasons — it runs over a small sample, and K-Means
+converges more quickly on smaller data; the found centroids are "within
+5% of the optimal".
+"""
+
+import pytest
+
+from repro.evaluation import FIG7_SIZES_GB, fig7_sweep
+
+class TestFig7:
+    def test_fig7_kmeans_earl_vs_stock(self, benchmark, series_report):
+        def run():
+            return fig7_sweep(FIG7_SIZES_GB, seed=700)
+
+        results = benchmark.pedantic(run, rounds=1, iterations=1)
+        rows = [(r["gb"], round(r["stock_s"], 1), round(r["earl_s"], 1),
+                 round(r["speedup"], 2), r["stock_iters"], r["earl_n"],
+                 round(r["stock_opt_err"], 4), round(r["earl_opt_err"], 4))
+                for r in results]
+        series_report(
+            "fig7_kmeans", "Fig 7: K-Means, EARL vs stock Hadoop",
+            ["GB", "stock_s", "earl_s", "speedup", "stock_iters",
+             "earl_n", "stock_vs_opt", "earl_vs_opt"],
+            rows,
+            notes="paper: EARL speeds up K-Means via sampling + faster "
+                  "convergence; centroids within 5% of optimal")
+        for r in results:
+            # EARL wins at every size and the gap grows with the data
+            assert r["speedup"] > 1.0
+            # §6.3's headline accuracy claim
+            assert r["earl_opt_err"] < 0.05
+        assert results[-1]["speedup"] > results[0]["speedup"]
+        assert results[-1]["speedup"] > 3.0

@@ -1,0 +1,109 @@
+"""Figure 8: empirical (SSABE) vs theoretical sample size & bootstraps.
+
+Paper claims (§6.4): theoretical sample-size prediction is
+*over*-estimated at low error tolerances and *under*-estimated at high
+ones; theoretical bootstrap-count prediction is frequently off in both
+directions; empirically, "for a 5% error threshold, a 1% uniform sample
+and 30 bootstraps are required" on their workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ssabe import (
+    estimate_parameters,
+    theoretical_sample_size_mean,
+)
+from repro.core.bootstrap import theoretical_num_bootstraps
+from repro.workloads import numeric_dataset
+
+SIGMAS = [0.01, 0.02, 0.05, 0.10, 0.20]
+POPULATION = 200_000
+
+
+class TestFig8:
+    def test_fig8_empirical_vs_theoretical(self, benchmark, series_report):
+        population = numeric_dataset(POPULATION, "lognormal", seed=800)
+        pop_cv = float(np.std(population, ddof=1) / np.mean(population))
+        pilot = population[:2000]
+
+        def run():
+            rows = []
+            for sigma in SIGMAS:
+                res = estimate_parameters(pilot, POPULATION, "mean",
+                                          sigma=sigma, seed=801)
+                theory_n = theoretical_sample_size_mean(pop_cv, sigma)
+                theory_B = theoretical_num_bootstraps(sigma)
+                rows.append({
+                    "sigma": sigma,
+                    "ssabe_n": res.n, "theory_n": theory_n,
+                    "ssabe_B": res.B, "theory_B": theory_B,
+                    "n_ratio": res.n / theory_n,
+                    "fraction": res.n / POPULATION,
+                })
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        series_report(
+            "fig8_empirical_vs_theory",
+            "Fig 8: SSABE estimates vs theoretical predictions (mean)",
+            ["sigma", "ssabe_n", "theory_n", "n_ratio", "ssabe_B",
+             "theory_B", "sample_fraction"],
+            [(r["sigma"], r["ssabe_n"], r["theory_n"],
+              round(r["n_ratio"], 3), r["ssabe_B"], r["theory_B"],
+              round(r["fraction"], 5)) for r in rows],
+            notes="paper: theory over-estimates n at tight sigma, "
+                  "under-estimates at loose sigma; empirical B "
+                  "(~15-30) is far below the 1/(2 eps^2) rule")
+
+        by_sigma = {r["sigma"]: r for r in rows}
+        # theory over-estimates n at the tight end...
+        assert by_sigma[0.01]["n_ratio"] < 1.0
+        # ...and under-estimates at the loose end (empirical n has a
+        # floor: a handful of records never yields a stable estimate)
+        assert by_sigma[0.20]["n_ratio"] > 1.0
+        # theoretical B is off in both directions (§6.4): dramatically
+        # high at tight tolerances...
+        for r in rows:
+            if r["sigma"] <= 0.05:
+                assert r["theory_B"] > 3 * r["ssabe_B"]
+        # ...and below the practical requirement at loose ones ("
+        # theoretical bootstrap prediction frequently under-estimates")
+        assert by_sigma[0.20]["theory_B"] < by_sigma[0.20]["ssabe_B"]
+        # the paper's headline data point: at sigma=5% a ~1% sample and
+        # a few tens of bootstraps suffice (order-of-magnitude check)
+        assert by_sigma[0.05]["fraction"] < 0.05
+        assert 10 <= by_sigma[0.05]["ssabe_B"] <= 60
+
+    def test_fig8_ssabe_estimates_actually_deliver(self, benchmark,
+                                                   series_report):
+        """The point of Fig 8: SSABE's (B, n) reach the requested error.
+        Validate by running the bootstrap at the estimated parameters
+        and measuring the realized accuracy against the true mean."""
+        population = numeric_dataset(POPULATION, "lognormal", seed=802)
+        true_mean = float(np.mean(population))
+        rng = np.random.default_rng(803)
+
+        def run():
+            rows = []
+            for sigma in [0.02, 0.05, 0.10]:
+                res = estimate_parameters(population[:2000], POPULATION,
+                                          "mean", sigma=sigma, seed=804)
+                errors = []
+                for _ in range(30):
+                    sample = rng.choice(population, size=res.n,
+                                        replace=False)
+                    errors.append(abs(np.mean(sample) - true_mean)
+                                  / true_mean)
+                rows.append((sigma, res.n, res.B,
+                             float(np.mean(errors)),
+                             float(np.quantile(errors, 0.9))))
+            return rows
+
+        rows = benchmark.pedantic(run, rounds=1, iterations=1)
+        series_report(
+            "fig8_delivery", "Fig 8 check: realized error at SSABE's n",
+            ["sigma", "n", "B", "mean_rel_err", "p90_rel_err"], rows)
+        for sigma, n, B, mean_err, p90_err in rows:
+            # the mean realized error must be at/below the bound
+            assert mean_err < sigma * 1.2

@@ -1,0 +1,56 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper's evaluation:
+it runs the relevant workload on the simulated substrate, prints the
+same series the paper plots, writes the series to
+``benchmarks/results/<name>.txt`` (pytest captures stdout, so the files
+are the durable record), and asserts the *shape* claims — who wins, by
+roughly what factor, where crossovers fall.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Sequence
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _format_table(title: str, header: Sequence[str],
+                  rows: Sequence[Sequence[object]], notes: str = "") -> str:
+    widths = [max(len(str(header[i])),
+                  max((len(_fmt(row[i])) for row in rows), default=0))
+              for i in range(len(header))]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@pytest.fixture
+def series_report() -> Callable[..., str]:
+    """Write a labelled series table to stdout and results/<name>.txt."""
+
+    def write(name: str, title: str, header: Sequence[str],
+              rows: Sequence[Sequence[object]], notes: str = "") -> str:
+        text = _format_table(title, header, rows, notes)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print("\n" + text)
+        return text
+
+    return write

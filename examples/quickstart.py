@@ -1,0 +1,54 @@
+"""Quickstart: early accurate results over an in-memory dataset.
+
+EARL's promise (paper §1): instead of scanning all N records, draw a
+small uniform sample, bootstrap the statistic on it, and return as soon
+as the estimated error falls below the requested bound σ.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EarlConfig, EarlSession
+
+
+def main() -> None:
+    # A heavy-tailed population: 2 million "transaction amounts".
+    rng = np.random.default_rng(7)
+    population = rng.lognormal(mean=3.0, sigma=1.2, size=2_000_000)
+    true_mean = float(population.mean())
+
+    # Ask for the mean, accurate to within 5% — the paper's §6 setting.
+    config = EarlConfig(sigma=0.05, seed=42)
+    result = EarlSession(population, "mean", config=config).run()
+
+    print("=== EARL quickstart ===")
+    print(f"population size      : {result.population_size:,}")
+    print(f"SSABE picked         : B={result.B} bootstraps, "
+          f"n={result.iterations[0].sample_size:,} initial sample")
+    print(f"records actually used: {result.n:,} "
+          f"({result.sample_fraction:.2%} of the data)")
+    print(f"estimate             : {result.estimate:,.4f}")
+    print(f"true mean            : {true_mean:,.4f}")
+    print(f"actual relative error: "
+          f"{abs(result.estimate - true_mean) / true_mean:.2%}")
+    print(f"estimated error (cv) : {result.error:.2%}  "
+          f"(bound σ = {result.sigma:.0%}, met: {result.achieved})")
+    lo, hi = result.ci
+    print(f"95% bootstrap CI     : [{lo:,.2f}, {hi:,.2f}]")
+    print()
+    print("iteration trace:")
+    for record in result.iterations:
+        print(f"  iter {record.iteration}: n={record.sample_size:>8,}  "
+              f"cv={record.accuracy.cv:.4f}  "
+              f"{'-> expand' if record.expanded else '-> done'}")
+
+    # The same pipeline handles any registered statistic:
+    median = EarlSession(population, "median", config=config).run()
+    print(f"\nmedian estimate      : {median.estimate:,.4f} "
+          f"(true {np.median(population):,.4f}, "
+          f"used {median.sample_fraction:.2%} of the data)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline test environment lacks `wheel`, so PEP 660 editable installs
+fail; this shim lets pip fall back to the legacy `setup.py develop` path.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""EARL — Early Accurate Results for advanced analytics on MapReduce.
+
+A faithful reproduction of Laptev, Zeng & Zaniolo (PVLDB 5(10), 2012):
+bootstrap-based early approximate answers with reliable error bounds for
+arbitrary analytical functions, running either in memory
+(:class:`EarlSession`) or on a fully simulated Hadoop/MapReduce substrate
+(:class:`EarlJob` over :class:`repro.cluster.Cluster`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import EarlSession, EarlConfig
+>>> data = np.random.default_rng(0).lognormal(3.0, 1.0, 500_000)
+>>> result = EarlSession(data, "mean",
+...                      config=EarlConfig(sigma=0.05, seed=42)).run()
+>>> round(result.sample_fraction, 3) < 0.1   # tiny sample sufficed
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced figure.
+"""
+
+from repro.core import (
+    AccuracyEstimate,
+    BootstrapResult,
+    EarlConfig,
+    EarlJob,
+    EarlResult,
+    EarlSession,
+    bootstrap,
+    jackknife,
+    run_stock_job,
+)
+from repro.core.estimators import available_statistics, get_statistic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EarlSession",
+    "EarlJob",
+    "EarlConfig",
+    "EarlResult",
+    "AccuracyEstimate",
+    "bootstrap",
+    "BootstrapResult",
+    "jackknife",
+    "run_stock_job",
+    "get_statistic",
+    "available_statistics",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Simulated cluster substrate: machines, slots, failures, cost model."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CATEGORIES, CostLedger, CostParameters
+from repro.cluster.failures import (
+    DISK_ANNUAL_FAILURE_RATE,
+    FailureInjector,
+    expected_daily_failures,
+)
+from repro.cluster.node import ClusterNode
+from repro.cluster.scheduler import Schedule, ScheduledTask, schedule_tasks
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "CostLedger",
+    "CostParameters",
+    "CATEGORIES",
+    "Schedule",
+    "ScheduledTask",
+    "schedule_tasks",
+    "FailureInjector",
+    "expected_daily_failures",
+    "DISK_ANNUAL_FAILURE_RATE",
+]

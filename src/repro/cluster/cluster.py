@@ -1,0 +1,105 @@
+"""The simulated cluster: machines + HDFS + cost model.
+
+This is the substrate the MapReduce engine runs on.  It mirrors the
+paper's testbed (§5): a small cluster of commodity machines, each hosting
+an HDFS DataNode and a handful of task slots.  All time is simulated via
+:class:`~repro.cluster.costmodel.CostLedger`; all randomness is owned by
+an explicit generator for reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.costmodel import CostLedger, CostParameters
+from repro.cluster.node import ClusterNode
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE
+from repro.hdfs.filesystem import HDFS
+from repro.util.rng import SeedLike, ensure_rng, spawn_child
+from repro.util.validation import check_positive_int
+
+
+class Cluster:
+    """A fixed set of simulated machines with co-located storage/compute.
+
+    Parameters
+    ----------
+    n_nodes:
+        Machine count (paper: 5).
+    map_slots_per_node, reduce_slots_per_node:
+        Task slots per machine (Hadoop 0.20 defaults: 2 and 1).
+    block_size:
+        HDFS block size in actual bytes.
+    replication:
+        HDFS replication factor (capped at ``n_nodes``).
+    cost_params:
+        Hardware constants for the simulated-time cost model.
+    seed:
+        Master seed; child streams are derived for HDFS placement etc.
+    """
+
+    def __init__(self, n_nodes: int = 5, *,
+                 map_slots_per_node: int = 2,
+                 reduce_slots_per_node: int = 1,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = 3,
+                 cost_params: Optional[CostParameters] = None,
+                 seed: SeedLike = None) -> None:
+        check_positive_int("n_nodes", n_nodes)
+        self._rng = ensure_rng(seed)
+        hdfs_rng, self.task_rng = spawn_child(self._rng, 2)
+        self.cost_params = cost_params or CostParameters()
+        self.hdfs = HDFS(n_datanodes=n_nodes, block_size=block_size,
+                         replication=replication, seed=hdfs_rng)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(node_id=f"node-{i}",
+                        map_slots=map_slots_per_node,
+                        reduce_slots=reduce_slots_per_node)
+            for i in range(n_nodes)
+        ]
+        self._node_to_datanode: Dict[str, str] = {
+            f"node-{i}": f"datanode-{i}" for i in range(n_nodes)
+        }
+
+    # ----------------------------------------------------------------- slots
+    @property
+    def healthy_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes if n.alive]
+
+    @property
+    def total_map_slots(self) -> int:
+        """Map slots across healthy machines (0 if the cluster is dead)."""
+        return sum(n.map_slots for n in self.healthy_nodes)
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return sum(n.reduce_slots for n in self.healthy_nodes)
+
+    # --------------------------------------------------------------- failures
+    def fail_node(self, node_id: str) -> None:
+        """Fail a machine: compute slots *and* its DataNode go away."""
+        node = self._find(node_id)
+        node.fail()
+        self.hdfs.fail_datanode(self._node_to_datanode[node_id])
+
+    def recover_node(self, node_id: str) -> None:
+        node = self._find(node_id)
+        node.recover()
+        self.hdfs.recover_datanode(self._node_to_datanode[node_id])
+
+    def _find(self, node_id: str) -> ClusterNode:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"unknown node {node_id!r}")
+
+    # ------------------------------------------------------------------ costs
+    def new_ledger(self) -> CostLedger:
+        """Fresh ledger bound to this cluster's hardware constants."""
+        return CostLedger(params=self.cost_params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        healthy = len(self.healthy_nodes)
+        return (f"Cluster({healthy}/{len(self.nodes)} nodes healthy, "
+                f"{self.total_map_slots} map slots, "
+                f"{self.total_reduce_slots} reduce slots)")

@@ -1,0 +1,32 @@
+"""Compute-node abstraction for the simulated cluster.
+
+Each simulated machine hosts a DataNode (storage) and a TaskTracker-like
+set of map/reduce slots (compute).  The paper's testbed was 5 such
+machines (§5); failing a node removes both its slots and its replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class ClusterNode:
+    """One simulated machine: slots + health."""
+
+    node_id: str
+    map_slots: int = 2
+    reduce_slots: int = 1
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int("map_slots", self.map_slots)
+        check_positive_int("reduce_slots", self.reduce_slots)
+
+    def fail(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True

@@ -1,0 +1,184 @@
+"""Accuracy Estimation Stage (AES, paper §3.1).
+
+Consumes the result distribution produced by bootstrap resampling and
+derives the error measure EARL iterates on.  The default measure is the
+coefficient of variation (cv = std/mean, §3); the stage is "independent
+of the error measure", so alternative metrics (relative CI half-width,
+variance, bias) are pluggable.
+
+:class:`AccuracyEstimationStage` is the stateful form used by the EARL
+driver: it owns a delta-maintained :class:`~repro.core.delta.ResampleSet`
+and reports an :class:`AccuracyEstimate` after every sample expansion —
+the quantity reducers publish to mappers through the feedback channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostLedger
+from repro.core.delta import MAINTENANCE_OPTIMIZED, ResampleSet
+from repro.core.estimators import StatisticLike, get_statistic
+from repro.util.rng import SeedLike
+from repro.util.stats import coefficient_of_variation, relative_half_width
+
+
+@dataclass(frozen=True)
+class AccuracyEstimate:
+    """Point estimate plus accuracy measures from one bootstrap round."""
+
+    estimate: float           # bootstrap mean θ̂* (result to report)
+    point_estimate: float     # f(s): the statistic on the raw sample
+    error: float              # value of the selected error metric
+    cv: float
+    std: float
+    variance: float
+    bias: float
+    ci_low: float
+    ci_high: float
+    n: int
+    B: int
+
+    def meets(self, sigma: float) -> bool:
+        """Termination test: is the error within the user's bound σ?"""
+        return self.error <= sigma
+
+
+ErrorMetric = Callable[[np.ndarray, float], float]
+
+
+def _cv_metric(estimates: np.ndarray, point: float) -> float:
+    mean = float(np.mean(estimates))
+    std = float(np.std(estimates, ddof=1)) if estimates.size > 1 else 0.0
+    return coefficient_of_variation(mean, std)
+
+
+def _relative_ci_metric(estimates: np.ndarray, point: float) -> float:
+    mean = float(np.mean(estimates))
+    std = float(np.std(estimates, ddof=1)) if estimates.size > 1 else 0.0
+    return relative_half_width(mean, std)
+
+
+def _variance_metric(estimates: np.ndarray, point: float) -> float:
+    return float(np.var(estimates, ddof=1)) if estimates.size > 1 else 0.0
+
+
+def _bias_metric(estimates: np.ndarray, point: float) -> float:
+    return abs(float(np.mean(estimates)) - point)
+
+
+ERROR_METRICS: Dict[str, ErrorMetric] = {
+    "cv": _cv_metric,
+    "relative_ci": _relative_ci_metric,
+    "variance": _variance_metric,
+    "bias": _bias_metric,
+}
+
+
+def get_error_metric(name: str) -> ErrorMetric:
+    """Look up an error metric by name (see ``ERROR_METRICS``)."""
+    try:
+        return ERROR_METRICS[name]
+    except KeyError:
+        raise KeyError(f"unknown error metric {name!r}; "
+                       f"known: {sorted(ERROR_METRICS)}") from None
+
+
+def summarize_distribution(estimates: np.ndarray, point_estimate: float,
+                           n: int, *, metric: str = "cv",
+                           confidence: float = 0.95) -> AccuracyEstimate:
+    """Turn a result distribution into an :class:`AccuracyEstimate`."""
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.size == 0:
+        raise ValueError("empty result distribution")
+    mean = float(np.mean(estimates))
+    std = float(np.std(estimates, ddof=1)) if estimates.size > 1 else 0.0
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return AccuracyEstimate(
+        estimate=mean,
+        point_estimate=point_estimate,
+        error=get_error_metric(metric)(estimates, point_estimate),
+        cv=coefficient_of_variation(mean, std),
+        std=std,
+        variance=std * std,
+        bias=mean - point_estimate,
+        ci_low=float(lo),
+        ci_high=float(hi),
+        n=n,
+        B=int(estimates.size),
+    )
+
+
+class AccuracyEstimationStage:
+    """Stateful AES over a growing sample (Fig. 1's right-hand stage)."""
+
+    def __init__(self, statistic: StatisticLike, B: int, *,
+                 metric: str = "cv",
+                 maintenance: str = MAINTENANCE_OPTIMIZED,
+                 sketch_c: float = 4.0,
+                 seed: SeedLike = None,
+                 ledger: Optional[CostLedger] = None) -> None:
+        self._stat = get_statistic(statistic)
+        self._metric = metric
+        get_error_metric(metric)  # validate eagerly
+        self._resamples = ResampleSet(self._stat, B,
+                                      maintenance=maintenance,
+                                      sketch_c=sketch_c, seed=seed,
+                                      ledger=ledger)
+        self._history: list[AccuracyEstimate] = []
+
+    @property
+    def resample_set(self) -> ResampleSet:
+        return self._resamples
+
+    def set_ledger(self, ledger: Optional[CostLedger]) -> None:
+        """Re-bind the cost ledger of the underlying resample set."""
+        self._resamples.set_ledger(ledger)
+
+    def set_io_scale(self, io_scale: float) -> None:
+        """Re-bind the stand-in item scale of the resample set."""
+        self._resamples.set_io_scale(io_scale)
+
+    @property
+    def work_ops(self) -> int:
+        """State operations performed so far (drivers charge CPU by the
+        delta of this counter)."""
+        return self._resamples.counters.state_ops
+
+    @property
+    def history(self) -> list[AccuracyEstimate]:
+        """Estimates from every iteration so far (oldest first)."""
+        return list(self._history)
+
+    @property
+    def sample_size(self) -> int:
+        return self._resamples.sample_size
+
+    def offer(self, delta: Sequence[float]) -> AccuracyEstimate:
+        """Feed a (delta) sample and return the refreshed estimate."""
+        if self._resamples.sample_size == 0:
+            self._resamples.initialize(delta)
+        else:
+            self._resamples.expand(delta)
+        estimate = self._current_estimate()
+        self._history.append(estimate)
+        return estimate
+
+    def error_stability(self) -> Optional[float]:
+        """|cvᵢ − cvᵢ₋₁| between the last two iterations (the paper's τ
+        measure of error stability, §3.1); ``None`` before 2 iterations."""
+        if len(self._history) < 2:
+            return None
+        return abs(self._history[-1].cv - self._history[-2].cv)
+
+    def _current_estimate(self) -> AccuracyEstimate:
+        estimates = self._resamples.estimates()
+        sample = np.asarray(self._resamples.sample, dtype=float)
+        point = self._stat(sample)
+        return summarize_distribution(estimates, point,
+                                      self._resamples.sample_size,
+                                      metric=self._metric)

@@ -1,0 +1,65 @@
+"""Result correction for sample-based computation (paper §2.1).
+
+Some statistics computed on a fraction ``p`` of the data need adjustment
+to estimate the full-data answer — the canonical example is SUM, which
+must be scaled by ``1/p``.  "As the system is unaware of the internal
+semantics of user's MR task, we allow our users to specify their own
+correction logic in correct() with a system provided parameter p."
+
+This module provides the built-in policies plus a registry keyed by
+statistic name so the EARL drivers can pick the right default
+(``"auto"``): extensive statistics (sum, count) scale, intensive ones
+(mean, median, quantiles, proportions, correlation) do not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.util.validation import check_fraction
+
+#: A correction maps ``(result, p)`` to the corrected result, where ``p``
+#: is the fraction of the data actually used.
+CorrectionFn = Callable[[float, float], float]
+
+
+def no_correction(result: float, p: float) -> float:
+    """Identity — right for intensive statistics (mean, median, ...)."""
+    check_fraction("p", p)
+    return result
+
+
+def inverse_fraction(result: float, p: float) -> float:
+    """Scale by ``1/p`` — right for extensive statistics (SUM, COUNT)."""
+    check_fraction("p", p)
+    return result / p
+
+
+CORRECTIONS: Dict[str, CorrectionFn] = {
+    "none": no_correction,
+    "inverse_fraction": inverse_fraction,
+}
+
+#: Statistics whose full-data value scales with the data size.
+_EXTENSIVE_STATISTICS = frozenset({"sum", "count"})
+
+CorrectionLike = Union[str, CorrectionFn]
+
+
+def get_correction(spec: CorrectionLike, statistic_name: str = "") -> CorrectionFn:
+    """Resolve a correction policy.
+
+    ``spec`` may be a policy name, a callable, or ``"auto"`` — which
+    picks :func:`inverse_fraction` for extensive statistics and
+    :func:`no_correction` otherwise.
+    """
+    if callable(spec):
+        return spec
+    if spec == "auto":
+        return (inverse_fraction if statistic_name in _EXTENSIVE_STATISTICS
+                else no_correction)
+    try:
+        return CORRECTIONS[spec]
+    except KeyError:
+        raise KeyError(f"unknown correction {spec!r}; "
+                       f"known: {sorted(CORRECTIONS)} or 'auto'") from None

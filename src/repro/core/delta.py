@@ -1,0 +1,423 @@
+"""Inter-iteration delta maintenance of bootstrap resamples (paper §4.1).
+
+When EARL enlarges the sample ``s`` (size n) with a delta ``Δs`` into
+``s' = s + Δs`` (size n'), a fresh bootstrap of ``s'`` would redo all
+``B × n'`` draws and recompute the user's job from scratch.  Instead,
+each existing resample ``b`` is *updated*:
+
+1. draw ``k = |b'_s|`` — how many of the n' positions come from the old
+   sample — from ``Binomial(n', n/n')`` (Eq. 2), or from its Gaussian
+   approximation ``N(n, n(1-n/n'))`` (Eq. 3) in the optimized algorithm;
+2. if ``k < n`` randomly delete ``n-k`` items from ``b``; if ``k > n``
+   add ``k-n`` random items drawn from ``s``;
+3. add ``n'-k`` items randomly drawn from ``Δs``.
+
+The result is distributed exactly like a fresh resample of ``s'`` (the
+multinomial thinning argument), but costs only O(|Δs|) work per
+resample.  The **naive** maintainer hits the disk-resident ``s``/``b``
+for every random access; the **optimized** maintainer goes through the
+§4.1 two-layer sketches and touches disk only on sketch exhaustion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostLedger
+from repro.core.estimators import EstimatorState, Statistic, StatisticLike, get_statistic
+from repro.core.sketch import ITEM_BYTES, Sketch
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive, check_positive_int
+
+#: Maintainer selection values.
+MAINTENANCE_NAIVE = "naive"
+MAINTENANCE_OPTIMIZED = "optimized"
+MAINTENANCE_NONE = "none"
+
+
+@dataclass
+class MaintenanceCounters:
+    """Work accounting used by the Fig. 6 / Fig. 10 benchmarks."""
+
+    state_ops: int = 0        # add/remove operations on estimator states
+    disk_accesses: int = 0    # random accesses charged to disk
+    sketch_draws: int = 0     # draws served from memory-resident sketches
+    full_rebuilds: int = 0    # resamples rebuilt from scratch
+
+    def merge(self, other: "MaintenanceCounters") -> None:
+        self.state_ops += other.state_ops
+        self.disk_accesses += other.disk_accesses
+        self.sketch_draws += other.sketch_draws
+        self.full_rebuilds += other.full_rebuilds
+
+
+class Resample:
+    """One bootstrap resample: items partitioned by delta-generation.
+
+    After the i-th iteration a resample is partitioned into
+    ``{b_Δs_k, k <= i}`` (§4.1) — the items drawn from each delta sample.
+    Keeping the partition explicit lets the maintainer delete uniformly
+    (segment chosen proportionally to its size) and lets the optimized
+    algorithm keep one sketch per segment.
+    """
+
+    __slots__ = ("state", "segments")
+
+    def __init__(self, state: EstimatorState) -> None:
+        self.state = state
+        self.segments: List[List[Any]] = []
+
+    @property
+    def size(self) -> int:
+        return sum(len(seg) for seg in self.segments)
+
+    def new_segment(self) -> None:
+        self.segments.append([])
+
+    def add(self, item: Any, segment: int) -> None:
+        self.segments[segment].append(item)
+        self.state.add(item)
+
+    def remove_random(self, rng: np.random.Generator) -> Any:
+        """Delete a uniformly random item (swap-pop within its segment)."""
+        total = self.size
+        if total == 0:
+            raise ValueError("cannot remove from an empty resample")
+        flat = int(rng.integers(0, total))
+        for segment in self.segments:
+            if flat < len(segment):
+                idx = flat
+                item = segment[idx]
+                segment[idx] = segment[-1]
+                segment.pop()
+                self.state.remove(item)
+                return item
+            flat -= len(segment)
+        raise AssertionError("unreachable: index inside total size")
+
+    def estimate(self) -> float:
+        return self.state.result()
+
+
+class _BaseMaintainer:
+    """Shared logic for naive and sketch-based maintainers."""
+
+    def __init__(self, statistic: Statistic, *,
+                 rng: np.random.Generator,
+                 ledger: Optional[CostLedger],
+                 io_scale: float = 1.0) -> None:
+        self._stat = statistic
+        self._rng = rng
+        self._ledger = ledger
+        self.io_scale = io_scale
+        self.counters = MaintenanceCounters()
+
+    # Hooks the two algorithms specialize --------------------------------
+    def _draw_k(self, n_old: int, n_new: int) -> int:
+        """Draw ``|b'_s|`` — the old-sample share of the updated resample."""
+        raise NotImplementedError
+
+    def _draw_from_old_with_segment(self, resample: Resample):
+        """Uniform item of the stored old sample, with its segment index."""
+        raise NotImplementedError
+
+    def _draw_from_delta(self) -> Any:
+        """Uniform item of the current delta sample."""
+        raise NotImplementedError
+
+    def on_delta(self, delta: Sequence[Any]) -> None:
+        """Called once per iteration before resamples are updated."""
+        raise NotImplementedError
+
+    def end_iteration(self) -> None:
+        """Called once per iteration after all resamples were updated."""
+
+    # Common update -------------------------------------------------------
+    def update(self, resample: Resample, n_old: int, n_new: int,
+               delta_size: int) -> None:
+        """Apply the three-step §4.1 update to one resample."""
+        if n_new <= n_old:
+            raise ValueError("the sample must grow between iterations")
+        k = int(min(max(self._draw_k(n_old, n_new), 0), n_new))
+        # Step 2: reconcile the old-sample part of the resample to size k.
+        if k < n_old:
+            for _ in range(n_old - k):
+                resample.remove_random(self._rng)
+                self.counters.state_ops += 1
+        elif k > n_old:
+            for _ in range(k - n_old):
+                item, segment = self._draw_from_old_with_segment(resample)
+                resample.segments[segment].append(item)
+                resample.state.add(item)
+                self.counters.state_ops += 1
+        # Step 3: top up to n_new with draws from the delta sample.
+        resample.new_segment()
+        new_segment = len(resample.segments) - 1
+        for _ in range(n_new - k):
+            item = self._draw_from_delta()
+            resample.add(item, new_segment)
+            self.counters.state_ops += 1
+
+
+class NaiveMaintainer(_BaseMaintainer):
+    """The paper's first algorithm: exact binomial, direct HDFS access.
+
+    Every random draw from the stored sample is a disk access ("the disk
+    I/O cost can be a major performance bottleneck", §4.1); the cost
+    model charges one seek plus one item read per access.
+    """
+
+    def __init__(self, statistic: Statistic, *, rng: np.random.Generator,
+                 ledger: Optional[CostLedger],
+                 io_scale: float = 1.0) -> None:
+        super().__init__(statistic, rng=rng, ledger=ledger,
+                         io_scale=io_scale)
+        self._old_segments: List[List[Any]] = []
+
+    def on_delta(self, delta: Sequence[Any]) -> None:
+        self._current_delta = list(delta)
+
+    def end_iteration(self) -> None:
+        self._old_segments.append(self._current_delta)
+
+    def _draw_k(self, n_old: int, n_new: int) -> int:
+        return int(self._rng.binomial(n_new, n_old / n_new))
+
+    def _charge_disk(self) -> None:
+        self.counters.disk_accesses += 1
+        if self._ledger is not None:
+            self._ledger.charge_seeks(1)
+            self._ledger.charge_disk_read(ITEM_BYTES * self.io_scale)
+
+    def _draw_from_old_with_segment(self, resample: Resample):
+        """Uniform item of the stored old sample (disk-resident)."""
+        self._charge_disk()
+        sizes = [len(seg) for seg in self._old_segments]
+        total = sum(sizes)
+        flat = int(self._rng.integers(0, total))
+        for seg_idx, seg in enumerate(self._old_segments):
+            if flat < len(seg):
+                return seg[flat], min(seg_idx, len(resample.segments) - 1)
+            flat -= len(seg)
+        raise AssertionError("unreachable")
+
+    def _draw_from_delta(self) -> Any:
+        self._charge_disk()
+        idx = int(self._rng.integers(0, len(self._current_delta)))
+        return self._current_delta[idx]
+
+
+class SketchMaintainer(_BaseMaintainer):
+    """The paper's optimized algorithm: Gaussian ``k``, sketched access.
+
+    * ``k`` is drawn from ``N(n, n(1-n/n'))`` (Eq. 3) — by the 3-sigma
+      rule nearly all updates stay within ``±3√n`` of the mean, so the
+      per-iteration work is tightly concentrated;
+    * random items come from in-memory sketches (one per delta sample,
+      ``c·√n`` items each); disk is touched only on sketch exhaustion;
+    * at iteration end, sketches are refreshed by reservoir substitution.
+    """
+
+    def __init__(self, statistic: Statistic, *, rng: np.random.Generator,
+                 ledger: Optional[CostLedger], c: float = 4.0,
+                 io_scale: float = 1.0) -> None:
+        super().__init__(statistic, rng=rng, ledger=ledger,
+                         io_scale=io_scale)
+        check_positive("c", c)
+        self._c = c
+        self._delta_store: List[List[Any]] = []
+        self._delta_sketches: List[Sketch] = []
+
+    def on_delta(self, delta: Sequence[Any]) -> None:
+        stored = list(delta)
+        self._delta_store.append(stored)
+        self._delta_sketches.append(
+            Sketch(stored, self._c, rng=self._rng, ledger=self._ledger,
+                   io_scale=self.io_scale))
+
+    def end_iteration(self) -> None:
+        for sketch in self._delta_sketches:
+            sketch.refresh()
+
+    def _draw_k(self, n_old: int, n_new: int) -> int:
+        mean = n_old
+        var = n_old * (1.0 - n_old / n_new)
+        k = self._rng.normal(mean, math.sqrt(max(var, 1e-12)))
+        return int(round(k))
+
+    def _sketch_draw(self, sketch: Sketch) -> Any:
+        before = sketch.disk_reloads
+        item = sketch.draw()
+        if sketch.disk_reloads > before:
+            self.counters.disk_accesses += 1
+        else:
+            self.counters.sketch_draws += 1
+        return item
+
+    def _draw_from_old_with_segment(self, resample: Resample):
+        """Uniform item of the old sample via the per-delta sketches.
+
+        Segment chosen proportionally to its share of the old sample,
+        then a sketch draw within the segment — the composition is a
+        uniform draw over the whole old sample.
+        """
+        old_stores = self._delta_store[:-1]
+        total = sum(len(store) for store in old_stores)
+        probs = [len(store) / total for store in old_stores]
+        seg_idx = int(self._rng.choice(len(old_stores), p=probs))
+        item = self._sketch_draw(self._delta_sketches[seg_idx])
+        return item, min(seg_idx, len(resample.segments) - 1)
+
+    def _draw_from_delta(self) -> Any:
+        return self._sketch_draw(self._delta_sketches[-1])
+
+
+class ResampleSet:
+    """``B`` delta-maintained bootstrap resamples over a growing sample.
+
+    This is the reduce-side engine of EARL's accuracy-estimation stage:
+    initialize with the first sample, :meth:`expand` with each delta,
+    and read the result distribution via :meth:`estimates` after every
+    iteration.  ``maintenance`` selects §4.1's naive or optimized
+    algorithm, or ``"none"`` to rebuild every resample from scratch each
+    iteration (the stock-bootstrap baseline of Fig. 6/10).
+    """
+
+    def __init__(self, statistic: StatisticLike, B: int, *,
+                 maintenance: str = MAINTENANCE_OPTIMIZED,
+                 sketch_c: float = 4.0,
+                 seed: SeedLike = None,
+                 ledger: Optional[CostLedger] = None,
+                 io_scale: float = 1.0) -> None:
+        check_positive_int("B", B)
+        if maintenance not in (MAINTENANCE_NAIVE, MAINTENANCE_OPTIMIZED,
+                               MAINTENANCE_NONE):
+            raise ValueError(f"unknown maintenance mode {maintenance!r}")
+        check_positive("io_scale", io_scale)
+        self._stat = get_statistic(statistic)
+        self.B = B
+        self._mode = maintenance
+        self._rng = ensure_rng(seed)
+        self._ledger = ledger
+        self._io_scale = io_scale
+        self._sample: List[Any] = []
+        self._resamples: List[Resample] = []
+        self.counters = MaintenanceCounters()
+        if maintenance == MAINTENANCE_NAIVE:
+            self._maintainer: Optional[_BaseMaintainer] = NaiveMaintainer(
+                self._stat, rng=self._rng, ledger=ledger, io_scale=io_scale)
+        elif maintenance == MAINTENANCE_OPTIMIZED:
+            self._maintainer = SketchMaintainer(
+                self._stat, rng=self._rng, ledger=ledger, c=sketch_c,
+                io_scale=io_scale)
+        else:
+            self._maintainer = None
+
+    # ------------------------------------------------------------ lifecycle
+    def set_ledger(self, ledger: Optional[CostLedger]) -> None:
+        """Re-bind the cost ledger (a reduce task charges maintenance I/O
+        to its own ledger, which changes between iterations)."""
+        self._ledger = ledger
+        if self._maintainer is not None:
+            self._maintainer._ledger = ledger
+            sketches = getattr(self._maintainer, "_delta_sketches", None)
+            if sketches:
+                for sketch in sketches:
+                    sketch.set_ledger(ledger)
+
+    def set_io_scale(self, io_scale: float) -> None:
+        """Re-bind the logical scale of stored items (stand-in files)."""
+        check_positive("io_scale", io_scale)
+        self._io_scale = io_scale
+        if self._maintainer is not None:
+            self._maintainer.io_scale = io_scale
+            sketches = getattr(self._maintainer, "_delta_sketches", None)
+            if sketches:
+                for sketch in sketches:
+                    sketch.io_scale = io_scale
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)
+
+    @property
+    def sample(self) -> List[Any]:
+        return list(self._sample)
+
+    def initialize(self, sample: Sequence[Any]) -> None:
+        """First iteration: the initial sample is the first delta (§4.1:
+        "we can treat the initial sample as a delta sample added to an
+        empty set")."""
+        if self._sample:
+            raise RuntimeError("ResampleSet already initialized")
+        if len(sample) == 0:
+            raise ValueError("initial sample cannot be empty")
+        items = list(sample)
+        self._sample.extend(items)
+        if self._maintainer is not None:
+            self._maintainer.on_delta(items)
+        n = len(items)
+        for _ in range(self.B):
+            resample = Resample(self._stat.make_state())
+            resample.new_segment()
+            idx = self._rng.integers(0, n, size=n)
+            for i in idx:
+                resample.add(items[int(i)], 0)
+            self.counters.state_ops += n
+            self._resamples.append(resample)
+        if self._maintainer is not None:
+            self._maintainer.end_iteration()
+            self.counters.merge(self._maintainer.counters)
+            self._maintainer.counters = MaintenanceCounters()
+
+    def expand(self, delta: Sequence[Any]) -> None:
+        """Grow the sample by ``delta`` and update every resample."""
+        if not self._sample:
+            raise RuntimeError("initialize() must be called first")
+        delta_items = list(delta)
+        if len(delta_items) == 0:
+            return
+        n_old = len(self._sample)
+        n_new = n_old + len(delta_items)
+        self._sample.extend(delta_items)
+
+        if self._maintainer is None:
+            # Baseline: throw everything away and bootstrap s' afresh.
+            self._resamples = []
+            items = self._sample
+            for _ in range(self.B):
+                resample = Resample(self._stat.make_state())
+                resample.new_segment()
+                idx = self._rng.integers(0, n_new, size=n_new)
+                for i in idx:
+                    resample.add(items[int(i)], 0)
+                self.counters.state_ops += n_new
+                self.counters.full_rebuilds += 1
+                self._resamples.append(resample)
+            if self._ledger is not None:
+                # Re-reading the whole stored sample for every rebuild.
+                self._ledger.charge_seeks(self.B)
+                self._ledger.charge_disk_read(
+                    self.B * n_new * ITEM_BYTES * self._io_scale)
+            return
+
+        self._maintainer.on_delta(delta_items)
+        for resample in self._resamples:
+            self._maintainer.update(resample, n_old, n_new, len(delta_items))
+        self._maintainer.end_iteration()
+        self.counters.merge(self._maintainer.counters)
+        self._maintainer.counters = MaintenanceCounters()
+
+    # ------------------------------------------------------------- results
+    def estimates(self) -> np.ndarray:
+        """Per-resample statistic values (the result distribution)."""
+        if not self._resamples:
+            raise RuntimeError("no resamples yet; call initialize()")
+        return np.array([r.estimate() for r in self._resamples])
+
+    def resample_sizes(self) -> List[int]:
+        return [r.size for r in self._resamples]

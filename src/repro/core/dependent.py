@@ -1,0 +1,102 @@
+"""Block bootstrap for inter-dependent data (paper Appendix A).
+
+The plain bootstrap assumes i.i.d. items.  For b-dependent data (e.g.
+time series) "blocks of consecutive observations are selected [so] that
+dependencies are preserved amongst data-items".  This module implements
+the moving-block bootstrap (with a circular variant) plus a simple
+automatic block-length rule in the spirit of Politis & White [25].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bootstrap import BootstrapResult
+from repro.core.estimators import StatisticLike, get_statistic
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive_int
+
+
+def auto_block_length(data: Sequence[float], *, max_lag: Optional[int] = None
+                      ) -> int:
+    """Heuristic block length: first lag where autocorrelation dies off.
+
+    Scans the sample autocorrelation for the first lag below the
+    2/√n significance band (then adds one for safety); falls back to the
+    classic ``n^(1/3)`` rate when the series never decorrelates within
+    ``max_lag``.  A lightweight stand-in for the Politis-White automatic
+    selector the paper cites.
+    """
+    series = np.asarray(data, dtype=float)
+    n = series.size
+    if n < 4:
+        return 1
+    if max_lag is None:
+        max_lag = min(n // 4, 100)
+    centered = series - series.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 1
+    threshold = 2.0 / math.sqrt(n)
+    for lag in range(1, max_lag + 1):
+        acf = float(np.dot(centered[:-lag], centered[lag:])) / denom
+        if abs(acf) < threshold:
+            return lag + 1
+    return max(1, int(round(n ** (1.0 / 3.0))))
+
+
+def block_bootstrap(data: Sequence[float],
+                    statistic: StatisticLike = "mean", *,
+                    B: int = 30,
+                    block_length: Optional[int] = None,
+                    circular: bool = True,
+                    seed: SeedLike = None) -> BootstrapResult:
+    """Moving-block bootstrap of ``statistic`` over a dependent series.
+
+    Resamples are built by concatenating ``⌈n/b⌉`` randomly chosen
+    length-``b`` blocks (consecutive runs of the series) and trimming to
+    ``n``.  ``circular=True`` wraps blocks around the end so every
+    observation has equal inclusion probability.
+    """
+    check_positive_int("B", B)
+    series = np.asarray(data, dtype=float)
+    n = series.size
+    if n == 0:
+        raise ValueError("series cannot be empty")
+    stat = get_statistic(statistic)
+    if block_length is None:
+        block_length = auto_block_length(series)
+    check_positive_int("block_length", block_length)
+    b = min(block_length, n)
+    rng = ensure_rng(seed)
+
+    blocks_per_resample = math.ceil(n / b)
+    if circular:
+        starts = rng.integers(0, n, size=(B, blocks_per_resample))
+        extended = np.concatenate([series, series[:b - 1]]) if b > 1 else series
+    else:
+        starts = rng.integers(0, n - b + 1, size=(B, blocks_per_resample))
+        extended = series
+    # Expand starts into full index matrices: start + offset for each
+    # position in a block, rows concatenated then trimmed to n.
+    offsets = np.arange(b)
+    idx = (starts[:, :, None] + offsets[None, None, :]).reshape(B, -1)[:, :n]
+    resamples = extended[idx]
+    estimates = np.asarray(stat.batch(resamples), dtype=float)
+    return BootstrapResult(estimates=estimates, point_estimate=stat(series),
+                           n=n, B=B)
+
+
+def lag1_autocorrelation(data: Sequence[float]) -> float:
+    """Sample lag-1 autocorrelation (dependence diagnostic for tests)."""
+    series = np.asarray(data, dtype=float)
+    if series.size < 2:
+        raise ValueError("need at least two observations")
+    centered = series - series.mean()
+    denom = float(np.dot(centered, centered))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(centered[:-1], centered[1:])) / denom

@@ -1,0 +1,650 @@
+"""The EARL drivers: in-memory sessions and MapReduce-backed jobs.
+
+Two entry points implement the paper's loop (Fig. 1: sampling stage →
+user's task → accuracy estimation stage → expand or terminate):
+
+* :class:`EarlSession` — pure in-memory pipeline over a numeric array.
+  This is the algorithmic heart (SSABE pilot, delta-maintained bootstrap,
+  expansion loop) without the cluster substrate; benchmarks for Figs. 2,
+  3 and 8 use it directly.
+* :class:`EarlJob` — the full system: a simulated Hadoop cluster, pre- or
+  post-map sampling, persistent (warm-started) mappers, a
+  :class:`BootstrapReducer` running the accuracy-estimation stage inside
+  the reduce phase ("resampling is actually implemented within a reduce
+  phase, to minimize any overhead due to job restarts", §5), and the
+  reducer→mapper feedback channel carrying the current error.
+
+:func:`run_stock_job` is the stock-Hadoop baseline the paper compares
+against, and :class:`StatisticReducer` adapts any registered statistic to
+the engine's incremental-reduce API.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.config import (
+    SAMPLER_POSTMAP,
+    SAMPLER_PREMAP,
+    EarlConfig,
+)
+from repro.core.correction import CorrectionLike, get_correction
+from repro.core.estimators import Statistic, StatisticLike, get_statistic
+from repro.core.jackknife_stage import JackknifeEstimationStage
+from repro.core.result import EarlResult, IterationRecord
+from repro.core.ssabe import SSABEResult, estimate_parameters
+from repro.mapreduce.job import ON_UNAVAILABLE_SKIP, JobConf, JobResult
+from repro.mapreduce.mapper import Mapper, ProjectionMapper
+from repro.mapreduce.pipeline import FeedbackChannel
+from repro.mapreduce.reducer import IncrementalReducer, Reducer
+from repro.mapreduce.runtime import JobClient
+from repro.mapreduce.types import KeyValue, TaskContext
+from repro.sampling.postmap import PostMapSampler
+from repro.sampling.premap import PreMapSampler
+from repro.util.rng import ensure_rng, spawn_child
+from repro.util.validation import check_positive_int
+
+#: Monotonic id source for per-run feedback-channel namespaces.
+_earl_run_ids = itertools.count()
+
+
+def make_estimation_stage(statistic: "Statistic", B: int, cfg: EarlConfig,
+                          *, seed=None):
+    """Build the configured error-estimation stage (bootstrap default,
+    jackknife as the §8 future-work alternative)."""
+    if cfg.estimation == "jackknife":
+        return JackknifeEstimationStage(statistic,
+                                        confidence=cfg.confidence)
+    return AccuracyEstimationStage(
+        statistic, B, metric=cfg.error_metric,
+        maintenance=cfg.maintenance, sketch_c=cfg.sketch_c, seed=seed)
+
+# ---------------------------------------------------------------------------
+# In-memory driver
+# ---------------------------------------------------------------------------
+
+
+class EarlSession:
+    """Early-approximation loop over an in-memory dataset.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import EarlSession, EarlConfig
+    >>> data = np.random.default_rng(0).lognormal(0, 1, 200_000)
+    >>> result = EarlSession(data, "mean",
+    ...                      config=EarlConfig(sigma=0.05, seed=1)).run()
+    >>> result.achieved
+    True
+    """
+
+    def __init__(self, data: Sequence[float],
+                 statistic: StatisticLike = "mean", *,
+                 config: Optional[EarlConfig] = None,
+                 correction: CorrectionLike = "auto") -> None:
+        self._data = np.asarray(data, dtype=float)
+        if self._data.ndim != 1 or self._data.size == 0:
+            raise ValueError("data must be a non-empty 1-D sequence")
+        self._stat = get_statistic(statistic)
+        self._config = config or EarlConfig()
+        self._correction = get_correction(correction, self._stat.name)
+
+    @property
+    def config(self) -> EarlConfig:
+        return self._config
+
+    def run(self) -> EarlResult:
+        """Execute the full loop: SSABE pilot, sampling, bootstrap error
+        estimation, expansion until ``cv <= sigma`` (or the §3.1 exact
+        fallback when ``B x n >= N``)."""
+        cfg = self._config
+        rng = ensure_rng(cfg.seed)
+        data = self._data
+        N = data.size
+        order = rng.permutation(N)  # prefixes = uniform samples w/o repl.
+
+        # ---------------------------------------------------- SSABE pilot
+        pilot_size = min(N, max(cfg.min_pilot_size,
+                                math.ceil(cfg.pilot_fraction * N)))
+        pilot_size = max(pilot_size, 2 ** cfg.subsample_levels)
+        pilot_size = min(pilot_size, N)
+        pilot = data[order[:pilot_size]]
+        ssabe: Optional[SSABEResult] = None
+        if cfg.B_override is not None and cfg.n_override is not None:
+            B, n = cfg.B_override, cfg.n_override
+            fallback = B * n >= N
+        else:
+            ssabe = estimate_parameters(
+                pilot, N, self._stat, sigma=cfg.sigma, tau=cfg.tau,
+                levels=cfg.subsample_levels, B_min=cfg.B_min,
+                stability_window=cfg.stability_window,
+                maintenance=cfg.maintenance, seed=rng)
+            B = cfg.B_override or ssabe.B
+            n = cfg.n_override or ssabe.n
+            fallback = B * n >= N
+
+        if fallback:
+            return self._exact_result(B=B, n=n, ssabe=ssabe)
+
+        # ------------------------------------------------- expansion loop
+        aes = make_estimation_stage(self._stat, B, cfg, seed=rng)
+        iterations: List[IterationRecord] = []
+        consumed = 0
+        target = min(max(n, 2), N)
+        estimate: Optional[AccuracyEstimate] = None
+        for iteration in range(1, cfg.max_iterations + 1):
+            delta = data[order[consumed:target]]
+            consumed = target
+            estimate = aes.offer(delta)
+            expand = (not estimate.meets(cfg.sigma)
+                      and consumed < N
+                      and iteration < cfg.max_iterations)
+            iterations.append(IterationRecord(
+                iteration=iteration, sample_size=consumed,
+                accuracy=estimate, simulated_seconds=0.0, expanded=expand))
+            if not expand:
+                break
+            target = min(N, math.ceil(consumed * cfg.expansion_factor))
+
+        assert estimate is not None
+        p = consumed / N
+        corrected = self._correction(estimate.estimate, p)
+        return EarlResult(
+            estimate=corrected,
+            uncorrected_estimate=estimate.estimate,
+            error=estimate.error,
+            achieved=estimate.meets(cfg.sigma),
+            sigma=cfg.sigma,
+            statistic=self._stat.name,
+            n=consumed,
+            B=B,
+            population_size=N,
+            sample_fraction=p,
+            used_fallback=False,
+            simulated_seconds=0.0,
+            iterations=iterations,
+            ssabe=ssabe,
+            accuracy=estimate,
+        )
+
+    def _exact_result(self, *, B: int, n: int,
+                      ssabe: Optional[SSABEResult]) -> EarlResult:
+        """§3.1 fallback: B×n ≥ N, so compute exactly over all N items."""
+        value = self._stat(self._data)
+        return EarlResult(
+            estimate=value, uncorrected_estimate=value, error=0.0,
+            achieved=True, sigma=self._config.sigma,
+            statistic=self._stat.name, n=self._data.size, B=1,
+            population_size=self._data.size, sample_fraction=1.0,
+            used_fallback=True, simulated_seconds=0.0, iterations=[],
+            ssabe=ssabe, accuracy=None)
+
+
+# ---------------------------------------------------------------------------
+# MapReduce building blocks
+# ---------------------------------------------------------------------------
+
+
+class StatisticReducer(IncrementalReducer):
+    """Adapter: any registered statistic as an incremental reducer."""
+
+    def __init__(self, statistic: StatisticLike, *,
+                 correction: CorrectionLike = "auto") -> None:
+        self._stat = get_statistic(statistic)
+        self._correction = get_correction(correction, self._stat.name)
+
+    def initialize(self, values: Sequence[Any]) -> Any:
+        state = self._stat.make_state()
+        for v in values:
+            state.add(v)
+        return state
+
+    def update(self, state: Any, new_input: Any) -> Any:
+        if hasattr(new_input, "result") and hasattr(new_input, "add"):
+            if hasattr(state, "merge"):
+                state.merge(new_input)
+                return state
+            raise TypeError(
+                f"state of {self._stat.name!r} does not support merging")
+        state.add(new_input)
+        return state
+
+    def finalize(self, state: Any) -> float:
+        return float(state.result())
+
+    def correct(self, result: float, p: float) -> float:
+        return self._correction(result, p)
+
+
+class BootstrapReducer(Reducer):
+    """EARL's reduce phase: delta-maintained bootstrap per key.
+
+    Keeps one :class:`AccuracyEstimationStage` per intermediate key; each
+    ``reduce`` call feeds the key's *new* values (the delta sample routed
+    to it this iteration), refreshes the bootstrap estimate and emits
+    ``(key, AccuracyEstimate)``.  On task cleanup the average error over
+    the keys seen is published to the feedback channel together with the
+    iteration timestamp, which is what the (persistent) mappers poll to
+    decide on expansion versus termination (§3.3).
+    """
+
+    def __init__(self, statistic: StatisticLike, B: int, *,
+                 metric: str = "cv",
+                 maintenance: str = "optimized",
+                 sketch_c: float = 4.0,
+                 estimation: str = "bootstrap",
+                 confidence: float = 0.95,
+                 seed=None,
+                 channel: Optional[FeedbackChannel] = None) -> None:
+        check_positive_int("B", B)
+        self._stat = get_statistic(statistic)
+        self._B = B
+        self._metric = metric
+        self._maintenance = maintenance
+        self._sketch_c = sketch_c
+        self._estimation = estimation
+        self._confidence = confidence
+        self._rng = ensure_rng(seed)
+        self._channel = channel
+        self._stages: Dict[Hashable, object] = {}
+        self._task_errors: List[float] = []
+
+    # -- engine API ---------------------------------------------------------
+    def setup(self, ctx: TaskContext) -> None:
+        self._task_errors = []
+
+    def reduce(self, key: Hashable, values: Sequence[Any],
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        stage = self._stages.get(key)
+        if stage is None:
+            if self._estimation == "jackknife":
+                stage = JackknifeEstimationStage(
+                    self._stat, confidence=self._confidence)
+            else:
+                stage = AccuracyEstimationStage(
+                    self._stat, self._B, metric=self._metric,
+                    maintenance=self._maintenance, sketch_c=self._sketch_c,
+                    seed=self._rng)
+            self._stages[key] = stage
+        stage.set_ledger(ctx.ledger)
+        if ctx.record_scale != 1.0:
+            stage.set_io_scale(ctx.record_scale)
+        ops_before = stage.work_ops
+        estimate = stage.offer([float(v) for v in values])
+        ops_delta = stage.work_ops - ops_before
+        # Resampling work is real CPU the reduce phase pays for.  Each
+        # sampled record stands for ``record_scale`` records of the real
+        # sample (fraction-based sizing), so the work scales with it —
+        # this is what keeps EARL's cost growing with the data size in
+        # Fig. 5 and bounds the speed-up near the paper's ~4x.
+        ctx.ledger.charge_cpu_records(ops_delta * ctx.record_scale,
+                                      ctx.cpu_factor)
+        self._task_errors.append(estimate.error)
+        yield key, estimate
+
+    def cleanup(self, ctx: TaskContext) -> Iterable[KeyValue]:
+        if self._channel is not None and self._task_errors:
+            reducer_id = 0
+            if ctx.task_id and "-" in ctx.task_id:
+                reducer_id = int(ctx.task_id.rsplit("-", 1)[1])
+            timestamp = float(ctx.config.get("iteration", 0))
+            mean_error = sum(self._task_errors) / len(self._task_errors)
+            if math.isfinite(mean_error):
+                self._channel.publish_error(reducer_id, timestamp, mean_error)
+        return ()
+
+    # -- driver-side accessors ----------------------------------------------
+    def key_estimates(self) -> Dict[Hashable, AccuracyEstimate]:
+        """Latest accuracy estimate per key."""
+        return {key: stage.history[-1]
+                for key, stage in self._stages.items() if stage.history}
+
+    def sample_sizes(self) -> Dict[Hashable, int]:
+        return {key: stage.sample_size for key, stage in self._stages.items()}
+
+
+# ---------------------------------------------------------------------------
+# MapReduce-backed driver
+# ---------------------------------------------------------------------------
+
+
+def estimate_record_count(cluster: Cluster, path: str, *,
+                          probe_bytes: int = 8192) -> Tuple[int, float]:
+    """Estimate a file's record count from a small probe.
+
+    Returns ``(estimated_records, probe_simulated_seconds)``.  Counting
+    exactly would require the full scan EARL is trying to avoid.  The
+    probe targets the first *available* block, so node failures that
+    lost the file's head do not kill the estimate (§3.4).
+    """
+    from repro.hdfs.errors import BlockUnavailableError
+
+    fs = cluster.hdfs
+    meta = fs.namenode.get(path)
+    if meta.size == 0:
+        return 0, 0.0
+    ledger = cluster.new_ledger()
+    probe = b""
+    for block in meta.blocks:
+        if not fs.block_available(block):
+            continue
+        end = min(block.offset + probe_bytes, block.end)
+        try:
+            probe = fs.read_range(path, block.offset, end, ledger=ledger,
+                                  sequential=False)
+        except BlockUnavailableError:  # pragma: no cover - raced failure
+            continue
+        break
+    if not probe:
+        raise BlockUnavailableError(
+            f"no readable block left in {path}; cannot estimate its size")
+    lines = probe.count(b"\n")
+    if lines == 0:
+        return 1, ledger.total_seconds
+    avg_len = len(probe) / lines
+    return max(1, int(round(meta.size / avg_len))), ledger.total_seconds
+
+
+@dataclass
+class _EarlJobState:
+    """Bookkeeping carried across the driver loop's iterations."""
+
+    simulated_seconds: float = 0.0
+    input_fraction: float = 1.0
+
+
+class EarlJob:
+    """MapReduce-backed EARL run on a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster holding the input file in its HDFS.
+    input_path:
+        Newline-delimited input file.
+    statistic:
+        Statistic of interest ``f`` (name, :class:`Statistic`, or
+        callable).
+    mapper:
+        Map function; defaults to :class:`ProjectionMapper`, which parses
+        ``key<TAB>value`` lines (or bare numbers under a constant key).
+    config:
+        The :class:`EarlConfig` driving σ, τ, sampler choice, maintenance
+        mode, expansion policy, and seeding.
+    correction:
+        ``correct()`` policy; ``"auto"`` scales extensive statistics by
+        ``1/p``.
+    on_unavailable:
+        ``"skip"`` (default) reproduces §3.4: lost splits reduce the
+        available input instead of failing the job.
+    pipelined:
+        ``True`` (default) models EARL's Hadoop modifications: mappers
+        stay alive across sample expansions, so only the first iteration
+        pays job set-up and task start-up.  ``False`` restarts an MR job
+        per iteration — the naive pre-EARL workflow the paper's Fig. 6
+        baseline ("original resampling algorithm") corresponds to.
+    """
+
+    def __init__(self, cluster: Cluster, input_path: str, *,
+                 statistic: StatisticLike = "mean",
+                 mapper: Optional[Mapper] = None,
+                 config: Optional[EarlConfig] = None,
+                 correction: CorrectionLike = "auto",
+                 n_reducers: int = 1,
+                 cpu_factor: float = 1.0,
+                 split_logical_bytes: Optional[int] = None,
+                 on_unavailable: str = ON_UNAVAILABLE_SKIP,
+                 pipelined: bool = True) -> None:
+        self._cluster = cluster
+        self._path = input_path
+        self._stat = get_statistic(statistic)
+        self._mapper = mapper or ProjectionMapper()
+        self._config = config or EarlConfig()
+        self._correction = get_correction(correction, self._stat.name)
+        self._n_reducers = n_reducers
+        self._cpu_factor = cpu_factor
+        self._split_logical_bytes = split_logical_bytes
+        self._on_unavailable = on_unavailable
+        self._pipelined = pipelined
+        self.last_reducer: Optional[BootstrapReducer] = None
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> EarlResult:
+        """Execute the MapReduce-backed loop on the simulated cluster:
+        local-mode SSABE pilot, sampled (pre/post-map) iterations with
+        persistent mappers and the reducer->mapper feedback channel,
+        until the published average error meets sigma."""
+        cfg = self._config
+        rng = ensure_rng(cfg.seed)
+        pilot_rng, job_rng, reducer_rng = spawn_child(rng, 3)
+        client = JobClient(self._cluster)
+        state = _EarlJobState()
+
+        N, probe_seconds = estimate_record_count(self._cluster, self._path)
+        state.simulated_seconds += probe_seconds
+        if N == 0:
+            raise ValueError(f"input {self._path} is empty")
+
+        # ---------------------------------------------------- SSABE pilot
+        pilot_values, pilot_seconds = self._run_pilot(client, N, pilot_rng)
+        state.simulated_seconds += pilot_seconds
+        ssabe: Optional[SSABEResult] = None
+        if cfg.B_override is not None and cfg.n_override is not None:
+            B, n = cfg.B_override, cfg.n_override
+        else:
+            ssabe = estimate_parameters(
+                pilot_values, N, self._stat, sigma=cfg.sigma, tau=cfg.tau,
+                levels=cfg.subsample_levels, B_min=cfg.B_min,
+                stability_window=cfg.stability_window,
+                maintenance=cfg.maintenance, seed=pilot_rng)
+            B = cfg.B_override or ssabe.B
+            n = cfg.n_override or ssabe.n
+
+        if B * n >= N:
+            return self._run_exact(client, job_rng, state, N, ssabe)
+
+        # ------------------------------------------------- expansion loop
+        sampler = self._make_sampler()
+        # Each run gets its own channel namespace: stale error files from
+        # an earlier job on the same cluster must not drive termination.
+        channel = FeedbackChannel(self._cluster.hdfs,
+                                  f"earl-run-{next(_earl_run_ids)}")
+        reducer = BootstrapReducer(
+            self._stat, B, metric=cfg.error_metric,
+            maintenance=cfg.maintenance, sketch_c=cfg.sketch_c,
+            estimation=cfg.estimation, confidence=cfg.confidence,
+            seed=reducer_rng, channel=channel)
+        self.last_reducer = reducer
+        conf = JobConf(
+            name=f"earl-{self._stat.name}", input_path=self._path,
+            mapper=self._mapper, reducer=reducer,
+            n_reducers=self._n_reducers, cpu_factor=self._cpu_factor,
+            split_logical_bytes=self._split_logical_bytes,
+            on_unavailable=self._on_unavailable,
+            params={"iteration": 0}, seed=job_rng)
+
+        iterations: List[IterationRecord] = []
+        target = min(max(n, 2), N)
+        last_result: Optional[JobResult] = None
+        avg_error: Optional[float] = None
+        for iteration in range(1, cfg.max_iterations + 1):
+            sampler.set_total_target(target)
+            conf.params["iteration"] = iteration
+            last_result = client.run(
+                conf, record_source=sampler, splits=sampler.splits,
+                warm_start=self._pipelined and iteration > 1)
+            state.simulated_seconds += last_result.simulated_seconds
+            state.input_fraction = min(state.input_fraction,
+                                       last_result.input_fraction)
+            avg_error = channel.average_error()
+            sampled = sampler.sampled_count
+            accuracy = self._combined_accuracy(reducer)
+            met = avg_error is not None and avg_error <= cfg.sigma
+            exhausted = sampled >= N or sampler_exhausted(sampler, target)
+            expand = not met and not exhausted \
+                and iteration < cfg.max_iterations
+            iterations.append(IterationRecord(
+                iteration=iteration, sample_size=sampled,
+                accuracy=accuracy,
+                simulated_seconds=last_result.simulated_seconds,
+                expanded=expand))
+            if not expand:
+                break
+            target = min(N, math.ceil(max(sampled, 1) * cfg.expansion_factor))
+
+        channel.signal_stop()
+        assert last_result is not None
+        return self._finalize(reducer, iterations, state, N, B, ssabe)
+
+    # ------------------------------------------------------------- helpers
+    def _make_sampler(self):
+        if self._config.sampler == SAMPLER_PREMAP:
+            return PreMapSampler(self._cluster.hdfs, self._path,
+                                 split_logical_bytes=self._split_logical_bytes)
+        if self._config.sampler == SAMPLER_POSTMAP:
+            return PostMapSampler(self._cluster.hdfs, self._path,
+                                  split_logical_bytes=self._split_logical_bytes)
+        raise ValueError(f"unknown sampler {self._config.sampler!r}")
+
+    def _run_pilot(self, client: JobClient, N: int, rng
+                   ) -> Tuple[np.ndarray, float]:
+        """Draw the SSABE pilot and map it to values, all in local mode.
+
+        "The initial n is picked to be small, therefore the sample size
+        and the number of bootstraps estimation can be performed on a
+        single machine prior to MR job start-up" (§3.2).
+        """
+        cfg = self._config
+        pilot_size = min(N, max(cfg.min_pilot_size,
+                                math.ceil(cfg.pilot_fraction * N),
+                                2 ** cfg.subsample_levels))
+        sampler = self._make_sampler()
+        sampler.set_total_target(pilot_size)
+        from repro.mapreduce.reducer import IdentityReducer
+        conf = JobConf(
+            name="earl-pilot", input_path=self._path, mapper=self._mapper,
+            reducer=IdentityReducer(), n_reducers=1, local_mode=True,
+            cpu_factor=self._cpu_factor,
+            split_logical_bytes=self._split_logical_bytes,
+            on_unavailable=self._on_unavailable, seed=rng)
+        result = client.run(conf, record_source=sampler,
+                            splits=sampler.splits)
+        values = np.array([float(v) for _, v in result.output])
+        if values.size == 0:
+            raise ValueError("pilot sample is empty; cannot run SSABE")
+        return values, result.simulated_seconds
+
+    def _run_exact(self, client: JobClient, rng, state: _EarlJobState,
+                   N: int, ssabe: Optional[SSABEResult]) -> EarlResult:
+        """§3.1 fallback: run the user's job over the full input."""
+        reducer = StatisticReducer(self._stat, correction=self._correction)
+        conf = JobConf(
+            name=f"stock-{self._stat.name}", input_path=self._path,
+            mapper=self._mapper, reducer=reducer,
+            n_reducers=self._n_reducers, cpu_factor=self._cpu_factor,
+            split_logical_bytes=self._split_logical_bytes,
+            on_unavailable=self._on_unavailable, seed=rng)
+        result = client.run(conf)
+        state.simulated_seconds += result.simulated_seconds
+        grouped = result.grouped()
+        values = {key: vals[0] for key, vals in grouped.items()}
+        estimate = (next(iter(values.values())) if len(values) == 1
+                    else float(np.mean(list(values.values()))))
+        return EarlResult(
+            estimate=estimate, uncorrected_estimate=estimate, error=0.0,
+            achieved=True, sigma=self._config.sigma,
+            statistic=self._stat.name, n=N, B=1, population_size=N,
+            sample_fraction=1.0, used_fallback=True,
+            simulated_seconds=state.simulated_seconds, iterations=[],
+            ssabe=ssabe, accuracy=None,
+            input_fraction=result.input_fraction)
+
+    def _combined_accuracy(self, reducer: BootstrapReducer
+                           ) -> Optional[AccuracyEstimate]:
+        estimates = reducer.key_estimates()
+        if not estimates:
+            return None
+        if len(estimates) == 1:
+            return next(iter(estimates.values()))
+        # Multi-key job: report the worst key (conservative).
+        return max(estimates.values(), key=lambda e: e.error)
+
+    def _finalize(self, reducer: BootstrapReducer,
+                  iterations: List[IterationRecord], state: _EarlJobState,
+                  N: int, B: int, ssabe: Optional[SSABEResult]) -> EarlResult:
+        cfg = self._config
+        key_estimates = reducer.key_estimates()
+        if not key_estimates:
+            raise RuntimeError("EARL produced no estimates; empty sample?")
+        sampled = sum(reducer.sample_sizes().values())
+        # Under node failures only a fraction of the input was reachable;
+        # the effective population shrinks accordingly (§3.4).
+        effective_N = max(1, int(round(N * state.input_fraction)))
+        p = min(1.0, max(sampled / effective_N, 1e-12))
+        corrected = {key: self._correction(est.estimate, p)
+                     for key, est in key_estimates.items()}
+        accuracy = self._combined_accuracy(reducer)
+        assert accuracy is not None
+        estimate = (next(iter(corrected.values())) if len(corrected) == 1
+                    else float(np.mean(list(corrected.values()))))
+        result = EarlResult(
+            estimate=estimate,
+            uncorrected_estimate=accuracy.estimate,
+            error=accuracy.error,
+            achieved=accuracy.meets(cfg.sigma),
+            sigma=cfg.sigma,
+            statistic=self._stat.name,
+            n=sampled,
+            B=B,
+            population_size=N,
+            sample_fraction=p,
+            used_fallback=False,
+            simulated_seconds=state.simulated_seconds,
+            iterations=iterations,
+            ssabe=ssabe,
+            accuracy=accuracy,
+            input_fraction=state.input_fraction,
+            key_estimates=corrected,
+        )
+        return result
+
+
+def sampler_exhausted(sampler, target: int) -> bool:
+    """Whether the sampler failed to reach its target (data exhausted)."""
+    return sampler.sampled_count < target
+
+
+def run_stock_job(cluster: Cluster, input_path: str,
+                  statistic: StatisticLike = "mean", *,
+                  mapper: Optional[Mapper] = None,
+                  correction: CorrectionLike = "auto",
+                  n_reducers: int = 1,
+                  cpu_factor: float = 1.0,
+                  split_logical_bytes: Optional[int] = None,
+                  seed=None) -> Tuple[float, JobResult]:
+    """Stock-Hadoop baseline: full scan, exact answer, no approximation.
+
+    Returns ``(value, JobResult)`` — the benchmarks compare
+    ``JobResult.simulated_seconds`` against the EARL run's total.
+    """
+    stat = get_statistic(statistic)
+    conf = JobConf(
+        name=f"stock-{stat.name}", input_path=input_path,
+        mapper=mapper or ProjectionMapper(),
+        reducer=StatisticReducer(stat, correction=correction),
+        n_reducers=n_reducers, cpu_factor=cpu_factor,
+        split_logical_bytes=split_logical_bytes, seed=seed)
+    result = JobClient(cluster).run(conf)
+    grouped = result.grouped()
+    if len(grouped) == 1:
+        value = next(iter(grouped.values()))[0]
+    else:
+        value = float(np.mean([vals[0] for vals in grouped.values()]))
+    return float(value), result

@@ -1,0 +1,549 @@
+"""Statistics of interest ``f`` and their incremental states.
+
+EARL's reduce extension represents a user function as a *state* that can
+be updated without reprocessing the whole sample (§2.1), and its delta-
+maintained bootstrap (§4.1) additionally needs to *remove* single items
+from a state when a resample sheds data during maintenance.  This module
+provides both views of every statistic used in the evaluation:
+
+* a **batch** form (vectorized over a matrix of resamples — the fast
+  path for plain Monte-Carlo bootstrapping), and
+* an **incremental state** with ``add`` / ``remove`` / ``merge`` /
+  ``result`` (the path delta maintenance uses).
+
+A registry maps statistic names to both forms; arbitrary callables are
+supported through a functional fallback state that keeps raw values.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.util.stats import RunningStats
+
+# --------------------------------------------------------------------------
+# Incremental states
+# --------------------------------------------------------------------------
+
+
+class EstimatorState:
+    """Interface of an incremental statistic state."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def remove(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> float:
+        raise NotImplementedError
+
+    def copy(self) -> "EstimatorState":
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class _SortedFloats:
+    """Minimal sorted multiset of floats (bisect-based).
+
+    Insert/remove are O(n) due to list shifting, which is fine for EARL's
+    sample sizes (thousands); the pay-off is O(1) order statistics, which
+    quantile states need on every ``result()`` call.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._data: List[float] = sorted(float(v) for v in values)
+
+    def insert(self, value: float) -> None:
+        bisect.insort(self._data, value)
+
+    def remove(self, value: float) -> None:
+        idx = bisect.bisect_left(self._data, value)
+        if idx >= len(self._data) or self._data[idx] != value:
+            raise KeyError(f"value {value!r} not present")
+        self._data.pop(idx)
+
+    def kth(self, index: int) -> float:
+        return self._data[index]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def copy(self) -> "_SortedFloats":
+        clone = _SortedFloats.__new__(_SortedFloats)
+        clone._data = list(self._data)
+        return clone
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self._data)
+
+
+class MeanState(EstimatorState):
+    """Running mean (Welford add/remove)."""
+
+    def __init__(self) -> None:
+        self._stats = RunningStats()
+
+    def add(self, value: Any) -> None:
+        self._stats.add(float(value))
+
+    def remove(self, value: Any) -> None:
+        self._stats.remove(float(value))
+
+    def merge(self, other: "MeanState") -> None:
+        self._stats.merge(other._stats)
+
+    def result(self) -> float:
+        return self._stats.mean
+
+    def copy(self) -> "MeanState":
+        clone = MeanState.__new__(MeanState)
+        clone._stats = self._stats.copy()
+        return clone
+
+    def __len__(self) -> int:
+        return self._stats.count
+
+
+class SumState(EstimatorState):
+    """Running sum.  Pair with the ``1/p`` correction when sampled."""
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        self._sum += float(value)
+        self._count += 1
+
+    def remove(self, value: Any) -> None:
+        if self._count == 0:
+            raise ValueError("cannot remove from an empty SumState")
+        self._sum -= float(value)
+        self._count -= 1
+
+    def merge(self, other: "SumState") -> None:
+        self._sum += other._sum
+        self._count += other._count
+
+    def result(self) -> float:
+        return self._sum
+
+    def copy(self) -> "SumState":
+        clone = SumState.__new__(SumState)
+        clone._sum, clone._count = self._sum, self._count
+        return clone
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class VarianceState(EstimatorState):
+    """Sample variance (ddof=1)."""
+
+    def __init__(self) -> None:
+        self._stats = RunningStats()
+
+    def add(self, value: Any) -> None:
+        self._stats.add(float(value))
+
+    def remove(self, value: Any) -> None:
+        self._stats.remove(float(value))
+
+    def merge(self, other: "VarianceState") -> None:
+        self._stats.merge(other._stats)
+
+    def result(self) -> float:
+        return self._stats.variance()
+
+    def copy(self) -> "VarianceState":
+        clone = VarianceState.__new__(VarianceState)
+        clone._stats = self._stats.copy()
+        return clone
+
+    def __len__(self) -> int:
+        return self._stats.count
+
+
+class StdState(VarianceState):
+    """Sample standard deviation (ddof=1)."""
+
+    def result(self) -> float:
+        return self._stats.std()
+
+    def copy(self) -> "StdState":
+        clone = StdState.__new__(StdState)
+        clone._stats = self._stats.copy()
+        return clone
+
+
+class QuantileState(EstimatorState):
+    """Order-statistic state for quantiles (numpy 'linear' interpolation).
+
+    ``remove`` is what the bootstrap's delta maintenance needs and what
+    closed-form approaches cannot give for the median (§3: "jackknife
+    does not work for many functions such as the median").
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        self._q = q
+        self._sorted = _SortedFloats()
+
+    def add(self, value: Any) -> None:
+        self._sorted.insert(float(value))
+
+    def remove(self, value: Any) -> None:
+        self._sorted.remove(float(value))
+
+    def result(self) -> float:
+        n = len(self._sorted)
+        if n == 0:
+            raise ValueError("quantile of an empty state is undefined")
+        position = self._q * (n - 1)
+        lower = int(math.floor(position))
+        upper = min(lower + 1, n - 1)
+        frac = position - lower
+        return (1 - frac) * self._sorted.kth(lower) + frac * self._sorted.kth(upper)
+
+    def copy(self) -> "QuantileState":
+        clone = QuantileState.__new__(QuantileState)
+        clone._q = self._q
+        clone._sorted = self._sorted.copy()
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
+class MedianState(QuantileState):
+    """The paper's running example of a non-trivial statistic (Fig. 6)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.5)
+
+    def copy(self) -> "MedianState":
+        clone = MedianState.__new__(MedianState)
+        clone._q = self._q
+        clone._sorted = self._sorted.copy()
+        return clone
+
+
+class ExtremeState(EstimatorState):
+    """Min/max with removal (kept as a sorted multiset)."""
+
+    def __init__(self, kind: str) -> None:
+        if kind not in ("min", "max"):
+            raise ValueError("kind must be 'min' or 'max'")
+        self._kind = kind
+        self._sorted = _SortedFloats()
+
+    def add(self, value: Any) -> None:
+        self._sorted.insert(float(value))
+
+    def remove(self, value: Any) -> None:
+        self._sorted.remove(float(value))
+
+    def result(self) -> float:
+        n = len(self._sorted)
+        if n == 0:
+            raise ValueError(f"{self._kind} of an empty state is undefined")
+        return self._sorted.kth(0 if self._kind == "min" else n - 1)
+
+    def copy(self) -> "ExtremeState":
+        clone = ExtremeState.__new__(ExtremeState)
+        clone._kind = self._kind
+        clone._sorted = self._sorted.copy()
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+
+class ProportionState(EstimatorState):
+    """Share of truthy values — the categorical-data statistic (App. A)."""
+
+    def __init__(self) -> None:
+        self._successes = 0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        self._count += 1
+        if value:
+            self._successes += 1
+
+    def remove(self, value: Any) -> None:
+        if self._count == 0:
+            raise ValueError("cannot remove from an empty ProportionState")
+        self._count -= 1
+        if value:
+            self._successes -= 1
+
+    def merge(self, other: "ProportionState") -> None:
+        self._successes += other._successes
+        self._count += other._count
+
+    def result(self) -> float:
+        if self._count == 0:
+            raise ValueError("proportion of an empty state is undefined")
+        return self._successes / self._count
+
+    def copy(self) -> "ProportionState":
+        clone = ProportionState.__new__(ProportionState)
+        clone._successes, clone._count = self._successes, self._count
+        return clone
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class CorrelationState(EstimatorState):
+    """Pearson correlation over ``(x, y)`` pairs.
+
+    Sampling "is applicable to algorithms relying on capturing
+    data-structure such as correlation analysis" (§3.3) — this state is
+    the concrete witness used in tests and examples.
+    """
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._sx = self._sy = 0.0
+        self._sxx = self._syy = self._sxy = 0.0
+
+    def add(self, value: Any) -> None:
+        x, y = float(value[0]), float(value[1])
+        self._n += 1
+        self._sx += x
+        self._sy += y
+        self._sxx += x * x
+        self._syy += y * y
+        self._sxy += x * y
+
+    def remove(self, value: Any) -> None:
+        if self._n == 0:
+            raise ValueError("cannot remove from an empty CorrelationState")
+        x, y = float(value[0]), float(value[1])
+        self._n -= 1
+        self._sx -= x
+        self._sy -= y
+        self._sxx -= x * x
+        self._syy -= y * y
+        self._sxy -= x * y
+
+    def merge(self, other: "CorrelationState") -> None:
+        self._n += other._n
+        self._sx += other._sx
+        self._sy += other._sy
+        self._sxx += other._sxx
+        self._syy += other._syy
+        self._sxy += other._sxy
+
+    def result(self) -> float:
+        if self._n < 2:
+            raise ValueError("correlation needs at least two pairs")
+        cov = self._n * self._sxy - self._sx * self._sy
+        vx = self._n * self._sxx - self._sx * self._sx
+        vy = self._n * self._syy - self._sy * self._sy
+        denom = math.sqrt(max(vx, 0.0) * max(vy, 0.0))
+        if denom == 0.0:
+            return 0.0
+        return cov / denom
+
+    def copy(self) -> "CorrelationState":
+        clone = CorrelationState.__new__(CorrelationState)
+        clone._n = self._n
+        clone._sx, clone._sy = self._sx, self._sy
+        clone._sxx, clone._syy, clone._sxy = self._sxx, self._syy, self._sxy
+        return clone
+
+    def __len__(self) -> int:
+        return self._n
+
+
+class CountState(EstimatorState):
+    """Record count — COUNT(*) pairs with the ``1/p`` correction (§2.1)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        self._count += 1
+
+    def remove(self, value: Any) -> None:
+        if self._count == 0:
+            raise ValueError("cannot remove from an empty CountState")
+        self._count -= 1
+
+    def merge(self, other: "CountState") -> None:
+        self._count += other._count
+
+    def result(self) -> float:
+        return float(self._count)
+
+    def copy(self) -> "CountState":
+        clone = CountState.__new__(CountState)
+        clone._count = self._count
+        return clone
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class FunctionalState(EstimatorState):
+    """Fallback for arbitrary user functions: keep raw values, recompute.
+
+    This is the "EARL works for arbitrary functions" escape hatch — no
+    algebraic structure is assumed, so ``result()`` costs a full
+    evaluation.  ``remove`` drops one occurrence of the value.
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray], float]) -> None:
+        self._fn = fn
+        self._values: List[float] = []
+
+    def add(self, value: Any) -> None:
+        self._values.append(float(value))
+
+    def remove(self, value: Any) -> None:
+        self._values.remove(float(value))
+
+    def result(self) -> float:
+        if not self._values:
+            raise ValueError("result of an empty FunctionalState is undefined")
+        return float(self._fn(np.asarray(self._values)))
+
+    def copy(self) -> "FunctionalState":
+        clone = FunctionalState.__new__(FunctionalState)
+        clone._fn = self._fn
+        clone._values = list(self._values)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+# --------------------------------------------------------------------------
+# Batch (vectorized) forms and the registry
+# --------------------------------------------------------------------------
+
+
+class Statistic:
+    """A named statistic with batch and incremental implementations.
+
+    ``pointwise`` evaluates on one 1-D sample; ``batch`` evaluates on a
+    2-D matrix whose rows are resamples (the Monte-Carlo fast path);
+    ``make_state`` builds the incremental state used by delta
+    maintenance.
+    """
+
+    def __init__(self, name: str,
+                 pointwise: Callable[[np.ndarray], float],
+                 batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                 make_state: Optional[Callable[[], EstimatorState]] = None
+                 ) -> None:
+        self.name = name
+        self.pointwise = pointwise
+        self.batch = batch or (
+            lambda matrix: np.apply_along_axis(pointwise, 1, matrix))
+        self.make_state = make_state or (lambda: FunctionalState(pointwise))
+
+    def __call__(self, sample: np.ndarray) -> float:
+        return float(self.pointwise(np.asarray(sample)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Statistic({self.name!r})"
+
+
+def _quantile_statistic(q: float, name: str) -> Statistic:
+    return Statistic(
+        name,
+        pointwise=lambda a: float(np.quantile(a, q)),
+        batch=lambda m: np.quantile(m, q, axis=1),
+        make_state=lambda: QuantileState(q),
+    )
+
+
+_REGISTRY: Dict[str, Statistic] = {}
+
+
+def register_statistic(stat: Statistic) -> Statistic:
+    """Add a statistic to the global registry (last write wins)."""
+    _REGISTRY[stat.name] = stat
+    return stat
+
+
+register_statistic(Statistic(
+    "mean", pointwise=lambda a: float(np.mean(a)),
+    batch=lambda m: np.mean(m, axis=1), make_state=MeanState))
+register_statistic(Statistic(
+    "sum", pointwise=lambda a: float(np.sum(a)),
+    batch=lambda m: np.sum(m, axis=1), make_state=SumState))
+register_statistic(Statistic(
+    "median", pointwise=lambda a: float(np.median(a)),
+    batch=lambda m: np.median(m, axis=1), make_state=MedianState))
+register_statistic(Statistic(
+    "variance", pointwise=lambda a: float(np.var(a, ddof=1)),
+    batch=lambda m: np.var(m, axis=1, ddof=1), make_state=VarianceState))
+register_statistic(Statistic(
+    "std", pointwise=lambda a: float(np.std(a, ddof=1)),
+    batch=lambda m: np.std(m, axis=1, ddof=1), make_state=StdState))
+register_statistic(Statistic(
+    "min", pointwise=lambda a: float(np.min(a)),
+    batch=lambda m: np.min(m, axis=1),
+    make_state=lambda: ExtremeState("min")))
+register_statistic(Statistic(
+    "max", pointwise=lambda a: float(np.max(a)),
+    batch=lambda m: np.max(m, axis=1),
+    make_state=lambda: ExtremeState("max")))
+register_statistic(Statistic(
+    "proportion", pointwise=lambda a: float(np.mean(a != 0)),
+    batch=lambda m: np.mean(m != 0, axis=1), make_state=ProportionState))
+register_statistic(Statistic(
+    "count", pointwise=lambda a: float(len(a)),
+    batch=lambda m: np.full(m.shape[0], float(m.shape[1])),
+    make_state=CountState))
+register_statistic(_quantile_statistic(0.25, "p25"))
+register_statistic(_quantile_statistic(0.75, "p75"))
+register_statistic(_quantile_statistic(0.90, "p90"))
+register_statistic(_quantile_statistic(0.95, "p95"))
+register_statistic(_quantile_statistic(0.99, "p99"))
+
+
+StatisticLike = Union[str, Statistic, Callable[[np.ndarray], float]]
+
+
+def get_statistic(spec: StatisticLike) -> Statistic:
+    """Resolve a name, ``Statistic`` or plain callable to a ``Statistic``.
+
+    Names accept a ``quantile:<q>`` form (e.g. ``quantile:0.9``) besides
+    the registered aliases.  Plain callables are wrapped with the
+    functional (recompute) state.
+    """
+    if isinstance(spec, Statistic):
+        return spec
+    if callable(spec):
+        name = getattr(spec, "__name__", "custom")
+        return Statistic(name, pointwise=lambda a: float(spec(a)))
+    if isinstance(spec, str):
+        if spec in _REGISTRY:
+            return _REGISTRY[spec]
+        if spec.startswith("quantile:"):
+            q = float(spec.split(":", 1)[1])
+            return _quantile_statistic(q, spec)
+        raise KeyError(
+            f"unknown statistic {spec!r}; known: {sorted(_REGISTRY)}")
+    raise TypeError(f"cannot interpret {spec!r} as a statistic")
+
+
+def available_statistics() -> List[str]:
+    """Names currently registered (sorted)."""
+    return sorted(_REGISTRY)

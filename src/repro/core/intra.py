@@ -1,0 +1,200 @@
+"""Intra-iteration resampling optimization (paper §4.2).
+
+Within one bootstrap round, resamples of a small sample overlap heavily.
+Equation 4 gives the probability that a fraction ``y`` of a resample is
+identical to (shared with) another resample::
+
+    P(X = y) = n! / ((n - y·n)! · n^{y·n})
+
+— e.g. for n = 29, y = 0.3 the probability is ≈ 0.35: "for roughly 1 in
+3 resamples, 30% of each resample will be identical to one-another".
+The expected work saved by reusing the shared part is ``P(X=y) · y``;
+maximizing it over ``y`` (unimodal, so a binary/ternary search works)
+yields the sharing fraction EARL uses.  The paper reports >20 % average
+saving, best for small samples — Fig. 3 plots the whole surface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimators import StatisticLike, get_statistic
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_fraction, check_positive_int
+
+
+def prob_identical_fraction(n: int, y: float) -> float:
+    """Equation 4: probability that a ``y`` fraction of a resample is
+    shared with another resample.
+
+    Computed in log space: ``exp(ln n! − ln (n−k)! − k·ln n)`` with
+    ``k = ⌊y·n⌋``, to stay finite for large ``n``.  Flooring matches the
+    paper's arithmetic: for n = 29, y = 0.3 it reports P ≈ 0.35, which is
+    the k = 8 value (k = ⌊8.7⌋), not the k = 9 one (≈ 0.25).
+    """
+    check_positive_int("n", n)
+    check_fraction("y", y, inclusive_low=True)
+    k = int(math.floor(y * n))
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    log_p = math.lgamma(n + 1) - math.lgamma(n - k + 1) - k * math.log(n)
+    # lgamma rounding can nudge an exact 1.0 past the boundary.
+    return min(1.0, math.exp(log_p))
+
+
+def work_saved(n: int, y: float) -> float:
+    """Expected fraction of bootstrap work saved at sharing level ``y``:
+    ``P(X=y) · y`` (§4.2)."""
+    return prob_identical_fraction(n, y) * y
+
+
+def optimal_sharing(n: int) -> Tuple[float, float]:
+    """``(y*, saved*)`` maximizing the expected work saved for sample
+    size ``n``.
+
+    The objective is unimodal in the discrete shared count ``k``; the
+    paper uses binary search, we use the equivalent exact scan over the
+    ``n`` candidate values (``n`` is small wherever this matters).
+    """
+    check_positive_int("n", n)
+    best_y, best_saved = 0.0, 0.0
+    for k in range(1, n + 1):
+        y = k / n
+        saved = work_saved(n, y)
+        if saved > best_saved:
+            best_y, best_saved = y, saved
+    return best_y, best_saved
+
+
+def optimal_sharing_search(n: int) -> Tuple[float, float]:
+    """``(y*, saved*)`` via the paper's search strategy (§4.2: "the
+    optimal y for given n can be found using a simple binary search").
+
+    The objective ``P(X=k/n)·k/n`` is unimodal in the discrete shared
+    count ``k``, so a ternary search over ``k`` converges to the same
+    optimum the exhaustive scan finds, in O(log n) evaluations — the
+    behaviour the paper relies on.
+    """
+    check_positive_int("n", n)
+    lo, hi = 1, n
+    while hi - lo > 2:
+        m1 = lo + (hi - lo) // 3
+        m2 = hi - (hi - lo) // 3
+        if work_saved(n, m1 / n) < work_saved(n, m2 / n):
+            lo = m1 + 1
+        else:
+            hi = m2 - 1
+    best_k = max(range(lo, hi + 1), key=lambda k: work_saved(n, k / n))
+    return best_k / n, work_saved(n, best_k / n)
+
+
+def work_saved_curve(sample_sizes: Sequence[int], y_values: Sequence[float]
+                     ) -> List[Tuple[int, float, float]]:
+    """The Fig. 3 surface: ``(n, y, saved)`` for every combination."""
+    rows: List[Tuple[int, float, float]] = []
+    for n in sample_sizes:
+        for y in y_values:
+            rows.append((int(n), float(y), work_saved(int(n), float(y))))
+    return rows
+
+
+def average_optimal_saving(sample_sizes: Sequence[int]) -> float:
+    """Mean of the optimal saving over a range of sample sizes.
+
+    The paper's headline: "on average we save over 20% of work using our
+    Intra Iteration Optimization" — asserted by the Fig. 3 benchmark
+    over the small-sample range where the optimization applies.
+    """
+    savings = [optimal_sharing(int(n))[1] for n in sample_sizes]
+    if not savings:
+        raise ValueError("sample_sizes cannot be empty")
+    return float(np.mean(savings))
+
+
+@dataclass
+class SharedBootstrapResult:
+    """Outcome of a shared-prefix bootstrap round."""
+
+    estimates: np.ndarray
+    point_estimate: float
+    n: int
+    B: int
+    shared_fraction: float
+    ops_performed: int
+    ops_baseline: int
+
+    @property
+    def ops_saved_fraction(self) -> float:
+        """Measured fraction of state-update work avoided."""
+        if self.ops_baseline == 0:
+            return 0.0
+        return 1.0 - self.ops_performed / self.ops_baseline
+
+
+def shared_prefix_bootstrap(sample: Sequence[float],
+                            statistic: StatisticLike = "mean", *,
+                            B: int = 30,
+                            y: Optional[float] = None,
+                            seed: SeedLike = None) -> SharedBootstrapResult:
+    """Monte-Carlo bootstrap that reuses a shared prefix across resamples.
+
+    With probability ``P(X=y)`` a resample reuses the previous resample's
+    first ``y·n`` draws (their estimator state is cloned instead of
+    rebuilt), otherwise it is drawn from scratch.  Each resample remains
+    marginally a valid uniform-with-replacement draw — sharing only
+    introduces (mild) correlation between resamples, the trade the paper
+    accepts for ≈20 % less work.
+
+    ``y=None`` picks the optimal fraction via :func:`optimal_sharing`.
+    """
+    check_positive_int("B", B)
+    stat = get_statistic(statistic)
+    data = np.asarray(sample, dtype=float)
+    if data.ndim != 1 or data.size == 0:
+        raise ValueError("sample must be a non-empty 1-D sequence")
+    rng = ensure_rng(seed)
+    n = data.size
+    if y is None:
+        y, _ = optimal_sharing(n)
+    else:
+        check_fraction("y", y, inclusive_low=True)
+    k = int(math.floor(y * n))
+    p_share = prob_identical_fraction(n, y)
+
+    estimates = np.empty(B)
+    ops = 0
+    prev_prefix_state = None
+    prev_prefix_draws: Optional[np.ndarray] = None
+    for b in range(B):
+        share = (prev_prefix_state is not None
+                 and k > 0
+                 and rng.random() < p_share)
+        if share:
+            state = prev_prefix_state.copy()
+            remainder = rng.integers(0, n, size=n - k)
+            for i in remainder:
+                state.add(data[int(i)])
+            ops += n - k
+        else:
+            prefix = rng.integers(0, n, size=k)
+            prefix_state = stat.make_state()
+            for i in prefix:
+                prefix_state.add(data[int(i)])
+            ops += k
+            prev_prefix_state = prefix_state
+            prev_prefix_draws = prefix
+            state = prefix_state.copy()
+            remainder = rng.integers(0, n, size=n - k)
+            for i in remainder:
+                state.add(data[int(i)])
+            ops += n - k
+        estimates[b] = state.result()
+    return SharedBootstrapResult(
+        estimates=estimates, point_estimate=stat(data), n=n, B=B,
+        shared_fraction=y, ops_performed=ops, ops_baseline=B * n)

@@ -1,0 +1,73 @@
+"""Result objects returned by the EARL drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.accuracy import AccuracyEstimate
+from repro.core.ssabe import SSABEResult
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One pass of the sample-expand-estimate loop."""
+
+    iteration: int
+    sample_size: int
+    accuracy: AccuracyEstimate
+    simulated_seconds: float
+    expanded: bool  # whether this iteration triggered a further expansion
+
+
+@dataclass
+class EarlResult:
+    """Outcome of an EARL run.
+
+    ``estimate`` is the corrected early result; ``achieved`` says whether
+    the error bound σ was met (when the loop exhausts its iteration or
+    data budget the best effort is returned with ``achieved=False``).
+    ``used_fallback`` marks the §3.1 path where SSABE predicted that
+    early approximation cannot beat the exact computation, which was then
+    performed instead.
+    """
+
+    estimate: float
+    uncorrected_estimate: float
+    error: float
+    achieved: bool
+    sigma: float
+    statistic: str
+    n: int
+    B: int
+    population_size: int
+    sample_fraction: float
+    used_fallback: bool
+    simulated_seconds: float
+    iterations: List[IterationRecord] = field(default_factory=list)
+    ssabe: Optional[SSABEResult] = None
+    accuracy: Optional[AccuracyEstimate] = None
+    input_fraction: float = 1.0   # <1.0 when node failures lost data (§3.4)
+    #: Per-key corrected estimates for grouped (multi-reducer) jobs.
+    key_estimates: Optional[Dict[Any, float]] = None
+    #: Dependence length used by the block-bootstrap driver (App. A).
+    block_length: Optional[int] = None
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def ci(self) -> Optional[tuple]:
+        if self.accuracy is None:
+            return None
+        return (self.accuracy.ci_low, self.accuracy.ci_high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "exact-fallback" if self.used_fallback else (
+            "met" if self.achieved else "NOT met")
+        return (f"EarlResult({self.statistic}={self.estimate:.6g}, "
+                f"error={self.error:.4f} [{flag}], n={self.n}/"
+                f"{self.population_size}, B={self.B}, "
+                f"iters={self.num_iterations}, "
+                f"t={self.simulated_seconds:.2f}s)")

@@ -1,0 +1,128 @@
+"""Two-layer memory/disk sketch structure (paper §4.1).
+
+Delta maintenance needs random items from the stored sample and from
+each bootstrap resample, but those collections are too large for memory
+and live on HDFS.  The paper's fix is a *sketch*: ``c·√n`` items drawn
+without replacement and kept in memory.  Updates consume sketch items
+sequentially (a sequential pick from a random subset is a random pick);
+at the end of an iteration the used items are replaced via reservoir
+substitution so the sketch stays a uniform subset; only when a sketch is
+exhausted does the algorithm touch the disk copy — committing changes
+and resampling a fresh sketch.
+
+The constant ``c`` trades memory for update latency: "a larger c will
+cost more memory space but will introduce less randomized update
+latency" — the ablation benchmark sweeps it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CostLedger
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_positive
+
+#: Simulated bytes per stored item, used to price disk access.
+ITEM_BYTES = 8
+
+
+class Sketch:
+    """In-memory random subset of a disk-resident collection."""
+
+    def __init__(self, backing: Sequence[Any], c: float = 4.0, *,
+                 rng: Optional[np.random.Generator] = None,
+                 ledger: Optional[CostLedger] = None,
+                 io_scale: float = 1.0) -> None:
+        check_positive("c", c)
+        check_positive("io_scale", io_scale)
+        self._backing = backing
+        self._c = c
+        self._rng = ensure_rng(rng)
+        self._ledger = ledger
+        #: Logical bytes represented by one stored item (stand-in files:
+        #: each sampled record is a proxy for ``logical_scale`` records).
+        self.io_scale = io_scale
+        self.disk_reloads = 0
+        self.draws = 0
+        self._items: List[Any] = []
+        self._next = 0
+        self._resample_from_backing(charge=False)
+
+    def set_ledger(self, ledger: Optional[CostLedger]) -> None:
+        """Redirect disk charges (tasks re-bind ledgers between runs)."""
+        self._ledger = ledger
+
+    # ----------------------------------------------------------- structure
+    @property
+    def sketch_size(self) -> int:
+        """Target in-memory size: ``c·√n`` (at least 1 for non-empty data)."""
+        n = len(self._backing)
+        if n == 0:
+            return 0
+        return max(1, min(n, int(math.ceil(self._c * math.sqrt(n)))))
+
+    @property
+    def remaining(self) -> int:
+        return len(self._items) - self._next
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining == 0
+
+    def _resample_from_backing(self, *, charge: bool) -> None:
+        """Draw a fresh sketch from the disk copy (without replacement)."""
+        size = self.sketch_size
+        if size == 0:
+            self._items, self._next = [], 0
+            return
+        idx = self._rng.choice(len(self._backing), size=size, replace=False)
+        self._items = [self._backing[int(i)] for i in idx]
+        self._next = 0
+        if charge:
+            self.disk_reloads += 1
+            if self._ledger is not None:
+                # Commit + resample: one seek plus a sketch-sized read.
+                self._ledger.charge_seeks(1)
+                self._ledger.charge_disk_read(size * ITEM_BYTES
+                                              * self.io_scale)
+
+    # --------------------------------------------------------------- drawing
+    def draw(self) -> Any:
+        """Next random item; reloads from disk when the sketch runs dry."""
+        if len(self._backing) == 0:
+            raise ValueError("cannot draw from a sketch over empty data")
+        if self.exhausted:
+            self._resample_from_backing(charge=True)
+        item = self._items[self._next]
+        self._next += 1
+        self.draws += 1
+        return item
+
+    # -------------------------------------------------------------- refresh
+    def refresh(self) -> None:
+        """End-of-iteration reservoir substitution of used items (§4.1).
+
+        Used slots are replaced by uniform picks from the backing store so
+        the sketch remains a random subset; memory-only, no disk charge
+        (the paper defers the disk commit to exhaustion time).
+        """
+        if not self._items or len(self._backing) == 0:
+            return
+        used = self._next
+        for slot in range(used):
+            replacement = int(self._rng.integers(0, len(self._backing)))
+            self._items[slot] = self._backing[replacement]
+        # Reshuffle so the sequential pointer again walks a random order.
+        order = self._rng.permutation(len(self._items))
+        self._items = [self._items[int(i)] for i in order]
+        self._next = 0
+
+    def notify_backing_grew(self) -> None:
+        """Re-derive the sketch size after the backing store was extended
+        (a new delta sample was appended); keeps ``c·√n`` in force."""
+        if self.sketch_size > len(self._items):
+            self._resample_from_backing(charge=False)

@@ -1,0 +1,31 @@
+"""Programmatic runners for the paper's evaluation.
+
+``python -m repro.evaluation <figure>`` regenerates a figure's series
+from the command line; the same runners back the pytest benchmarks.
+"""
+
+from repro.evaluation.runners import (
+    FAULT_SWEEP,
+    FIG5_SIZES_GB,
+    FIG6_SIZES_GB,
+    FIG7_SIZES_GB,
+    FIG9_SIZES_GB,
+    fault_point,
+    fault_sweep,
+    fig5_point,
+    fig5_sweep,
+    fig6_point,
+    fig6_sweep,
+    fig7_point,
+    fig7_sweep,
+    fig9_point,
+    fig9_sweep,
+)
+
+__all__ = [
+    "fig5_point", "fig5_sweep", "FIG5_SIZES_GB",
+    "fig6_point", "fig6_sweep", "FIG6_SIZES_GB",
+    "fig7_point", "fig7_sweep", "FIG7_SIZES_GB",
+    "fig9_point", "fig9_sweep", "FIG9_SIZES_GB",
+    "fault_point", "fault_sweep", "FAULT_SWEEP",
+]

@@ -1,0 +1,84 @@
+"""Command-line entry point: regenerate a paper figure's series.
+
+Usage::
+
+    python -m repro.evaluation fig5
+    python -m repro.evaluation fig6 --sizes 2 10
+    python -m repro.evaluation fig7 --seed 123
+    python -m repro.evaluation fault
+
+Prints the same series the corresponding pytest benchmark records under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.evaluation import runners
+
+
+def _print_table(rows: List[Dict[str, object]]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    header = list(rows[0].keys())
+    rendered = [[_fmt(row[col]) for col in header] for row in rows]
+    widths = [max(len(header[i]), max(len(r[i]) for r in rendered))
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    print("  ".join("-" * w for w in widths))
+    for r in rendered:
+        print("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate one figure of the EARL paper's evaluation "
+                    "on the simulated cluster substrate.")
+    parser.add_argument("figure",
+                        choices=["fig5", "fig6", "fig7", "fig9", "fault"],
+                        help="which experiment to run")
+    parser.add_argument("--sizes", type=float, nargs="+", default=None,
+                        help="data sizes in (logical) GB, or failed-node "
+                             "counts for 'fault'")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed (default: the benchmarks' seed)")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+
+    if args.figure == "fig5":
+        rows = runners.fig5_sweep(args.sizes or runners.FIG5_SIZES_GB,
+                                  **kwargs)
+    elif args.figure == "fig6":
+        rows = runners.fig6_sweep(args.sizes or runners.FIG6_SIZES_GB,
+                                  **kwargs)
+    elif args.figure == "fig7":
+        rows = runners.fig7_sweep(args.sizes or runners.FIG7_SIZES_GB,
+                                  **kwargs)
+    elif args.figure == "fig9":
+        rows = runners.fig9_sweep(args.sizes or runners.FIG9_SIZES_GB,
+                                  **kwargs)
+    else:
+        failures = [int(s) for s in args.sizes] if args.sizes \
+            else runners.FAULT_SWEEP
+        rows = runners.fault_sweep(failures, **kwargs)
+
+    _print_table(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

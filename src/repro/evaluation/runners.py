@@ -1,0 +1,251 @@
+"""Programmatic experiment runners for the paper's evaluation (§6).
+
+Each ``figN_point`` function measures one x-axis point of the
+corresponding figure on a fresh simulated cluster and returns a plain
+dict of the series values; ``figN_sweep`` maps it over the default
+x-axis.  The pytest benchmarks under ``benchmarks/`` and the
+``python -m repro.evaluation`` CLI both drive these runners, so the
+reproduced numbers come from exactly one implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+from repro.cluster import Cluster, FailureInjector
+from repro.core import EarlConfig, EarlJob, run_stock_job
+from repro.jobs import (
+    EarlKMeans,
+    centroid_relative_error,
+    kmeans_inmemory,
+    kmeans_mapreduce,
+)
+from repro.mapreduce import JobFailedError
+from repro.workloads import (
+    GB,
+    gaussian_mixture_points,
+    load_stand_in,
+    point_lines,
+)
+
+#: Default x-axes of the reproduced figures.
+FIG5_SIZES_GB = [0.5, 1.0, 2.0, 10.0, 50.0, 100.0, 200.0]
+FIG6_SIZES_GB = [2.0, 10.0, 50.0, 100.0]
+FIG7_SIZES_GB = [1.0, 5.0, 20.0, 50.0]
+FIG9_SIZES_GB = [1.0, 5.0, 20.0, 50.0]
+FAULT_SWEEP = [0, 1, 2, 3]
+
+#: Default stand-in record counts (see DESIGN.md on logical scaling).
+FIG5_RECORDS = 30_000
+FIG6_RECORDS = 100_000
+FIG7_POINTS = 40_000
+FIG9_RECORDS = 30_000
+
+FIG7_CENTERS = [[0.0, 0.0], [30.0, 30.0], [60.0, 0.0], [30.0, -25.0]]
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — mean, EARL vs stock Hadoop
+# ---------------------------------------------------------------------------
+
+
+def fig5_point(gb: float, *, records: int = FIG5_RECORDS,
+               seed: int = 500) -> Dict[str, object]:
+    """One data-size point of Fig. 5 (mean: EARL vs stock Hadoop)."""
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed)
+    ds = load_stand_in(cluster, "/data/sweep", logical_gb=gb,
+                       records=records, seed=seed + 1)
+    exact, stock = run_stock_job(cluster, ds.path, "mean", seed=seed + 2)
+    earl = EarlJob(cluster, ds.path, statistic="mean",
+                   config=EarlConfig(sigma=0.05, seed=seed + 3)).run()
+    stock_load = stock.breakdown["disk_read"] + stock.breakdown["disk_seek"]
+    return {
+        "gb": gb,
+        "stock_s": stock.simulated_seconds,
+        "earl_s": earl.simulated_seconds,
+        "speedup": stock.simulated_seconds / earl.simulated_seconds,
+        "stock_load_s": stock_load,
+        "rel_err": abs(earl.estimate - exact) / abs(exact),
+        "fallback": earl.used_fallback,
+        "sampled": earl.n,
+    }
+
+
+def fig5_sweep(sizes_gb: Sequence[float] = FIG5_SIZES_GB, *,
+               records: int = FIG5_RECORDS,
+               seed: int = 500) -> List[Dict[str, object]]:
+    """Fig. 5 series over the default (or given) data sizes."""
+    return [fig5_point(gb, records=records, seed=seed + 10 * i)
+            for i, gb in enumerate(sizes_gb)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — median: stock vs naive vs optimized resampling
+# ---------------------------------------------------------------------------
+
+
+def _fig6_config(seed: int, maintenance: str) -> EarlConfig:
+    return EarlConfig(sigma=0.05, seed=seed, maintenance=maintenance,
+                      B_override=30, n_override=64,
+                      expansion_factor=2.0, max_iterations=8)
+
+
+def fig6_point(gb: float, *, records: int = FIG6_RECORDS,
+               seed: int = 600) -> Dict[str, object]:
+    """One data-size point of Fig. 6 (median, three implementations)."""
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed)
+    ds = load_stand_in(cluster, "/data/median", logical_gb=gb,
+                       records=records, seed=seed + 1)
+    exact, stock = run_stock_job(cluster, ds.path, "median", seed=seed + 2)
+    naive = EarlJob(cluster, ds.path, statistic="median",
+                    config=_fig6_config(seed + 3, "none"),
+                    pipelined=False).run()
+    optimized = EarlJob(cluster, ds.path, statistic="median",
+                        config=_fig6_config(seed + 3, "optimized"),
+                        pipelined=True).run()
+    return {
+        "gb": gb,
+        "stock_s": stock.simulated_seconds,
+        "naive_s": naive.simulated_seconds,
+        "optimized_s": optimized.simulated_seconds,
+        "stock_over_naive": stock.simulated_seconds / naive.simulated_seconds,
+        "naive_over_opt": naive.simulated_seconds
+        / optimized.simulated_seconds,
+        "naive_err": abs(naive.estimate - exact) / abs(exact),
+        "opt_err": abs(optimized.estimate - exact) / abs(exact),
+    }
+
+
+def fig6_sweep(sizes_gb: Sequence[float] = FIG6_SIZES_GB, *,
+               records: int = FIG6_RECORDS,
+               seed: int = 600) -> List[Dict[str, object]]:
+    """Fig. 6 series over the default (or given) data sizes."""
+    return [fig6_point(gb, records=records, seed=seed + 10 * i)
+            for i, gb in enumerate(sizes_gb)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — K-Means
+# ---------------------------------------------------------------------------
+
+
+def fig7_point(gb: float, *, points: int = FIG7_POINTS,
+               centers: Optional[Sequence[Sequence[float]]] = None,
+               seed: int = 700) -> Dict[str, object]:
+    """One data-size point of Fig. 7 (K-Means, EARL vs stock)."""
+    centers = centers or FIG7_CENTERS
+    pts, _ = gaussian_mixture_points(points, centers, spread=2.5, seed=seed)
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed + 1)
+    lines = point_lines(pts)
+    actual = sum(len(l) + 1 for l in lines)
+    cluster.hdfs.write_lines("/points", lines,
+                             logical_scale=max(1.0, gb * GB / actual))
+    reference, _, _ = kmeans_inmemory(pts, len(centers), seed=seed + 2)
+
+    stock = kmeans_mapreduce(cluster, "/points", len(centers), seed=seed + 3)
+    earl = EarlKMeans(cluster, "/points", len(centers),
+                      config=EarlConfig(sigma=0.05, seed=seed + 4),
+                      initial_sample_size=500).run()
+    return {
+        "gb": gb,
+        "stock_s": stock.simulated_seconds,
+        "earl_s": earl.simulated_seconds,
+        "speedup": stock.simulated_seconds / earl.simulated_seconds,
+        "stock_iters": stock.iterations,
+        "earl_n": earl.sample_size,
+        "stock_opt_err": centroid_relative_error(reference, stock.centroids),
+        "earl_opt_err": centroid_relative_error(reference, earl.centroids),
+    }
+
+
+def fig7_sweep(sizes_gb: Sequence[float] = FIG7_SIZES_GB, *,
+               points: int = FIG7_POINTS,
+               seed: int = 700) -> List[Dict[str, object]]:
+    """Fig. 7 series over the default (or given) data sizes."""
+    return [fig7_point(gb, points=points, seed=seed + 10 * i)
+            for i, gb in enumerate(sizes_gb)]
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — pre-map vs post-map sampling
+# ---------------------------------------------------------------------------
+
+
+def fig9_point(gb: float, *, records: int = FIG9_RECORDS,
+               seed: int = 900) -> Dict[str, object]:
+    """One data-size point of Fig. 9 (sampler comparison)."""
+    row: Dict[str, object] = {"gb": gb}
+    for sampler in ("premap", "postmap"):
+        cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed)
+        ds = load_stand_in(cluster, "/data/s", logical_gb=gb,
+                           records=records, seed=seed + 1)
+        res = EarlJob(cluster, ds.path, statistic="mean",
+                      config=EarlConfig(sigma=0.05, seed=seed + 2,
+                                        sampler=sampler)).run()
+        row[f"{sampler}_s"] = res.simulated_seconds
+        row[f"{sampler}_err"] = abs(res.estimate - ds.truth["mean"]) \
+            / ds.truth["mean"]
+    row["post_over_pre"] = row["postmap_s"] / row["premap_s"]
+    return row
+
+
+def fig9_sweep(sizes_gb: Sequence[float] = FIG9_SIZES_GB, *,
+               records: int = FIG9_RECORDS,
+               seed: int = 900) -> List[Dict[str, object]]:
+    """Fig. 9 series over the default (or given) data sizes."""
+    return [fig9_point(gb, records=records, seed=seed + 10 * i)
+            for i, gb in enumerate(sizes_gb)]
+
+
+# ---------------------------------------------------------------------------
+# §3.4 — fault tolerance sweep
+# ---------------------------------------------------------------------------
+
+
+def fault_point(n_failed: int, *, records: int = 40_000,
+                logical_gb: float = 20.0, seed: int = 1100
+                ) -> Dict[str, object]:
+    """Outcome of stock and EARL runs after ``n_failed`` node losses.
+
+    Deterministically scans failure patterns until one leaves *some*
+    data (a total loss is uninteresting — nobody can answer from zero
+    records).
+    """
+    for attempt in range(8):
+        cluster = Cluster(n_nodes=5, block_size=64 * 1024, replication=2,
+                          seed=seed)
+        ds = load_stand_in(cluster, "/data/ft", logical_gb=logical_gb,
+                           records=records, seed=seed + 1)
+        if n_failed:
+            FailureInjector(cluster, seed=seed + 2 + attempt) \
+                .fail_random_nodes(n_failed)
+        available = cluster.hdfs.available_fraction(ds.path)
+        if available > 0.0:
+            break
+    else:  # pragma: no cover - 8 misses is astronomically unlikely
+        raise RuntimeError("no failure pattern left any data")
+
+    stock_status = "ok"
+    try:
+        run_stock_job(cluster, ds.path, "mean", seed=seed + 3)
+    except JobFailedError:
+        stock_status = "FAILED"
+
+    earl = EarlJob(cluster, ds.path, statistic="mean",
+                   config=EarlConfig(sigma=0.05, seed=seed + 4)).run()
+    truth = ds.truth["mean"]
+    return {
+        "failed": n_failed,
+        "available": available,
+        "stock": stock_status,
+        "earl_estimate_err": abs(earl.estimate - truth) / truth,
+        "earl_cv": earl.error,
+        "earl_input": earl.input_fraction,
+    }
+
+
+def fault_sweep(failures: Sequence[int] = FAULT_SWEEP, *,
+                seed: int = 1100) -> List[Dict[str, object]]:
+    """§3.4 series over the given failed-node counts."""
+    return [fault_point(k, seed=seed + 10 * k) for k in failures]

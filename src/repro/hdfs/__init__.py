@@ -1,0 +1,42 @@
+"""Simulated HDFS substrate (NameNode, DataNodes, blocks, splits).
+
+Reproduces the features of HDFS the paper's sampling layer relies on
+(§2.1, §3.3): block partitioning, replication, logical input splits, a
+line-oriented record reader with byte-offset backtracking, and a data
+rebalancer.
+"""
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, Block
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.errors import (
+    BlockUnavailableError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+    ReplicationError,
+)
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.namenode import FileMeta, NameNode
+from repro.hdfs.record_reader import LineRecordReader
+from repro.hdfs.rebalancer import imbalance, rebalance, replica_counts
+from repro.hdfs.splits import InputSplit, compute_splits
+
+__all__ = [
+    "HDFS",
+    "Block",
+    "DataNode",
+    "NameNode",
+    "FileMeta",
+    "InputSplit",
+    "LineRecordReader",
+    "DEFAULT_BLOCK_SIZE",
+    "compute_splits",
+    "rebalance",
+    "imbalance",
+    "replica_counts",
+    "HdfsError",
+    "FileNotFoundInHdfs",
+    "FileAlreadyExists",
+    "BlockUnavailableError",
+    "ReplicationError",
+]

@@ -1,0 +1,50 @@
+"""Block-level primitives of the simulated HDFS.
+
+HDFS splits every file into fixed-size blocks (64 MB by default in the
+Hadoop version the paper used) and replicates each block across
+DataNodes.  :class:`Block` is pure metadata; the bytes live on
+:class:`~repro.hdfs.datanode.DataNode` instances, keyed by block id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: Hadoop 0.20's default block size, kept as the library default.
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+@dataclass
+class Block:
+    """Metadata for one HDFS block.
+
+    Attributes
+    ----------
+    block_id:
+        Globally unique id assigned by the NameNode.
+    path:
+        File this block belongs to.
+    offset:
+        Byte offset of the block within the file (actual bytes).
+    length:
+        Number of actual bytes in the block (the last block of a file is
+        usually short).
+    replicas:
+        Ids of the DataNodes currently holding a copy.
+    """
+
+    block_id: int
+    path: str
+    offset: int
+    length: int
+    replicas: List[str] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Byte offset one past the last byte of this block."""
+        return self.offset + self.length
+
+    def covers(self, position: int) -> bool:
+        """Whether ``position`` (file offset) falls inside this block."""
+        return self.offset <= position < self.end

@@ -1,0 +1,28 @@
+"""Exception types raised by the simulated HDFS."""
+
+from __future__ import annotations
+
+
+class HdfsError(Exception):
+    """Base class for all simulated-HDFS failures."""
+
+
+class FileNotFoundInHdfs(HdfsError):
+    """The requested path does not exist in the namespace."""
+
+
+class FileAlreadyExists(HdfsError):
+    """Attempt to create a path that already exists (without overwrite)."""
+
+
+class BlockUnavailableError(HdfsError):
+    """Every replica of a required block lives on a failed DataNode.
+
+    EARL's fault-tolerance story (paper §3.4) hinges on catching exactly
+    this condition and estimating the result from surviving data instead
+    of failing the job.
+    """
+
+
+class ReplicationError(HdfsError):
+    """Not enough healthy DataNodes to satisfy the replication factor."""

@@ -1,0 +1,225 @@
+"""Facade of the simulated HDFS.
+
+Ties together the NameNode (metadata), DataNodes (block bytes) and the
+cost model.  Byte-oriented reads optionally charge a
+:class:`~repro.cluster.costmodel.CostLedger`, always in *logical* bytes
+(``actual bytes × logical_scale``), so the same code path prices a real
+small file and a stand-in for a 100 GB file correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, Block
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.errors import (
+    BlockUnavailableError,
+    FileNotFoundInHdfs,
+    ReplicationError,
+)
+from repro.hdfs.namenode import FileMeta, NameNode
+from repro.hdfs.splits import InputSplit, compute_splits
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive_int
+
+
+class HDFS:
+    """In-memory simulated Hadoop Distributed File System.
+
+    Parameters
+    ----------
+    n_datanodes:
+        Number of simulated DataNodes (the paper's cluster had 5).
+    block_size:
+        Actual bytes per block (default 64 MB as in Hadoop 0.20; tests use
+        much smaller blocks to exercise multi-block files cheaply).
+    replication:
+        Replication factor; silently capped at the number of DataNodes.
+    seed:
+        Seed / generator for randomized block placement.
+    """
+
+    def __init__(self, n_datanodes: int = 5, *,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = 3,
+                 seed: SeedLike = None) -> None:
+        check_positive_int("n_datanodes", n_datanodes)
+        check_positive_int("block_size", block_size)
+        check_positive_int("replication", replication)
+        self.namenode = NameNode()
+        self.block_size = block_size
+        self.replication = min(replication, n_datanodes)
+        self._rng = ensure_rng(seed)
+        self.datanodes: Dict[str, DataNode] = {
+            f"datanode-{i}": DataNode(f"datanode-{i}") for i in range(n_datanodes)
+        }
+
+    # ------------------------------------------------------------------ nodes
+    def healthy_datanodes(self) -> List[DataNode]:
+        return [dn for dn in self.datanodes.values() if dn.alive]
+
+    def fail_datanode(self, node_id: str) -> None:
+        """Mark one DataNode failed (its replicas become unreadable)."""
+        self.datanodes[node_id].fail()
+
+    def recover_datanode(self, node_id: str) -> None:
+        self.datanodes[node_id].recover()
+
+    # ------------------------------------------------------------------ write
+    def write_bytes(self, path: str, data: bytes, *,
+                    logical_scale: float = 1.0,
+                    overwrite: bool = False,
+                    ledger: Optional[CostLedger] = None) -> FileMeta:
+        """Store ``data`` at ``path``, chunked into replicated blocks."""
+        if self.namenode.exists(path) and overwrite:
+            self.delete(path)
+        meta = self.namenode.create_file(path, logical_scale=logical_scale,
+                                         overwrite=overwrite)
+        for chunk_start in range(0, len(data), self.block_size):
+            chunk = data[chunk_start:chunk_start + self.block_size]
+            block = self.namenode.allocate_block(meta, len(chunk))
+            self._place_block(block, chunk)
+        if ledger is not None:
+            ledger.charge_disk_write(len(data) * logical_scale)
+            # replication traffic: (replication - 1) copies over the network
+            ledger.charge_network(len(data) * logical_scale * (self.replication - 1))
+        return meta
+
+    def write_text(self, path: str, text: str, **kwargs) -> FileMeta:
+        return self.write_bytes(path, text.encode("utf-8"), **kwargs)
+
+    def write_lines(self, path: str, lines: Sequence[str], **kwargs) -> FileMeta:
+        """Write newline-delimited records (the paper's default format)."""
+        body = "\n".join(lines)
+        if lines:
+            body += "\n"
+        return self.write_text(path, body, **kwargs)
+
+    def _place_block(self, block: Block, data: bytes) -> None:
+        healthy = self.healthy_datanodes()
+        if len(healthy) < 1:
+            raise ReplicationError("no healthy DataNodes available")
+        k = min(self.replication, len(healthy))
+        chosen = self._rng.choice(len(healthy), size=k, replace=False)
+        for idx in chosen:
+            node = healthy[int(idx)]
+            node.store(block.block_id, data)
+            block.replicas.append(node.node_id)
+
+    # ------------------------------------------------------------------- read
+    def _read_block(self, block: Block) -> bytes:
+        for node_id in block.replicas:
+            node = self.datanodes.get(node_id)
+            if node is not None and node.has_block(block.block_id):
+                return node.read(block.block_id)
+        raise BlockUnavailableError(
+            f"block {block.block_id} of {block.path}: all replicas unavailable")
+
+    def read_bytes(self, path: str, *, ledger: Optional[CostLedger] = None) -> bytes:
+        """Full sequential read of a file."""
+        meta = self.namenode.get(path)
+        parts = [self._read_block(b) for b in meta.blocks]
+        if ledger is not None:
+            ledger.charge_seeks(max(1, len(meta.blocks)))
+            ledger.charge_disk_read(meta.logical_size)
+        return b"".join(parts)
+
+    def read_range(self, path: str, start: int, end: int, *,
+                   ledger: Optional[CostLedger] = None,
+                   sequential: bool = True) -> bytes:
+        """Read actual bytes ``[start, end)`` of ``path``.
+
+        ``sequential=False`` marks a random probe (one extra seek), which
+        is how pre-map sampling's per-line reads are priced.
+        """
+        meta = self.namenode.get(path)
+        if start < 0 or end > meta.size or start > end:
+            raise ValueError(f"range [{start}, {end}) outside {path} "
+                             f"of size {meta.size}")
+        blocks = self.namenode.blocks_for_range(meta, start, end)
+        chunks: List[bytes] = []
+        for block in blocks:
+            data = self._read_block(block)
+            lo = max(start, block.offset) - block.offset
+            hi = min(end, block.end) - block.offset
+            chunks.append(data[lo:hi])
+        if ledger is not None:
+            ledger.charge_seeks(1 if sequential else 1 + max(0, len(blocks) - 1))
+            ledger.charge_disk_read((end - start) * meta.logical_scale)
+        return b"".join(chunks)
+
+    def read_text(self, path: str, **kwargs) -> str:
+        return self.read_bytes(path, **kwargs).decode("utf-8")
+
+    def read_lines(self, path: str, **kwargs) -> List[str]:
+        text = self.read_text(path, **kwargs)
+        return text.splitlines()
+
+    # -------------------------------------------------------------- namespace
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def delete(self, path: str) -> None:
+        meta = self.namenode.delete(path)
+        for block in meta.blocks:
+            for node_id in block.replicas:
+                node = self.datanodes.get(node_id)
+                if node is not None:
+                    node.drop(block.block_id)
+
+    def list_files(self, prefix: str = "/") -> List[str]:
+        return self.namenode.list_files(prefix)
+
+    def file_size(self, path: str) -> int:
+        return self.namenode.get(path).size
+
+    def logical_size(self, path: str) -> int:
+        return self.namenode.get(path).logical_size
+
+    # ----------------------------------------------------------------- splits
+    def get_splits(self, path: str, split_logical_bytes: Optional[int] = None
+                   ) -> List[InputSplit]:
+        """Logical input splits of ``path`` (default: one per block).
+
+        The default split size is one block in *logical* terms —
+        ``block_size × logical_scale`` — so a stand-in file produces the
+        same number of map tasks as the file it represents.
+        """
+        meta = self.namenode.get(path)
+        if split_logical_bytes is None:
+            split_logical_bytes = max(1, int(self.block_size * meta.logical_scale))
+        return compute_splits(meta.path, meta.size, meta.logical_size,
+                              split_logical_bytes)
+
+    # ------------------------------------------------------------ availability
+    def block_available(self, block: Block) -> bool:
+        return any(
+            self.datanodes[nid].has_block(block.block_id)
+            for nid in block.replicas if nid in self.datanodes
+        )
+
+    def available_fraction(self, path: str) -> float:
+        """Fraction of a file's bytes still readable after failures.
+
+        This is the quantity EARL's fault-tolerant mode (paper §3.4) feeds
+        into its correction logic when nodes have been lost.
+        """
+        meta = self.namenode.get(path)
+        if meta.size == 0:
+            return 1.0
+        ok = sum(b.length for b in meta.blocks if self.block_available(b))
+        return ok / meta.size
+
+    def split_available(self, split: InputSplit) -> bool:
+        """Whether every block overlapping ``split`` is still readable."""
+        meta = self.namenode.get(split.path)
+        end = min(split.end, meta.size)
+        if split.start >= end:
+            return True
+        blocks = self.namenode.blocks_for_range(meta, split.start, end)
+        return all(self.block_available(b) for b in blocks)
+
+    def total_used_bytes(self) -> int:
+        return sum(dn.used_bytes for dn in self.datanodes.values())

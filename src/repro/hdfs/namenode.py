@@ -1,0 +1,127 @@
+"""Simulated NameNode: the HDFS metadata service.
+
+Keeps the file namespace (path → file metadata → block list) separate
+from application data, exactly as HDFS/GFS do (paper §2.1).  The
+``logical_scale`` attribute of :class:`FileMeta` is a reproduction
+device: it lets a laptop-sized file *stand in* for a paper-sized one
+(e.g. 100 GB) — splits and cost accounting operate on logical bytes
+while the actual stored bytes stay small.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.hdfs.blocks import Block
+from repro.hdfs.errors import FileAlreadyExists, FileNotFoundInHdfs
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry for one file.
+
+    Attributes
+    ----------
+    path:
+        Absolute path (``/`` separated, no trailing slash).
+    size:
+        Actual stored bytes.
+    blocks:
+        Block metadata in file order.
+    logical_scale:
+        Multiplier applied to byte counts for cost accounting and split
+        computation; ``1.0`` means the file is what it claims to be.
+    """
+
+    path: str
+    size: int = 0
+    blocks: List[Block] = field(default_factory=list)
+    logical_scale: float = 1.0
+
+    @property
+    def logical_size(self) -> int:
+        """Size the simulated cluster *believes* this file has."""
+        return int(round(self.size * self.logical_scale))
+
+
+class NameNode:
+    """Metadata-only view of the simulated file system."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, FileMeta] = {}
+        self._next_block_id = 0
+
+    # -- namespace -----------------------------------------------------------
+    @staticmethod
+    def normalize(path: str) -> str:
+        if not path or not path.startswith("/"):
+            raise ValueError(f"HDFS paths must be absolute, got {path!r}")
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") if path != "/" else path
+
+    def create_file(self, path: str, *, logical_scale: float = 1.0,
+                    overwrite: bool = False) -> FileMeta:
+        path = self.normalize(path)
+        if path in self._files and not overwrite:
+            raise FileAlreadyExists(path)
+        if logical_scale < 1.0:
+            raise ValueError("logical_scale must be >= 1.0")
+        meta = FileMeta(path=path, logical_scale=logical_scale)
+        self._files[path] = meta
+        return meta
+
+    def get(self, path: str) -> FileMeta:
+        path = self.normalize(path)
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInHdfs(path) from None
+
+    def exists(self, path: str) -> bool:
+        return self.normalize(path) in self._files
+
+    def delete(self, path: str) -> FileMeta:
+        path = self.normalize(path)
+        if path not in self._files:
+            raise FileNotFoundInHdfs(path)
+        return self._files.pop(path)
+
+    def list_files(self, prefix: str = "/") -> List[str]:
+        """All paths under ``prefix``, sorted.
+
+        The mapper↔reducer feedback protocol (paper §3.3) relies on listing
+        the per-job error files written by reducers, so directory listing
+        is part of the substrate contract.
+        """
+        prefix = self.normalize(prefix)
+        if prefix != "/" and not prefix.endswith("/"):
+            prefix = prefix + "/"
+        if prefix == "/":
+            return sorted(self._files)
+        return sorted(p for p in self._files
+                      if p.startswith(prefix) or p == prefix.rstrip("/"))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # -- block management ------------------------------------------------------
+    def allocate_block(self, meta: FileMeta, length: int) -> Block:
+        """Append a new block record to ``meta`` and return it."""
+        block = Block(block_id=self._next_block_id, path=meta.path,
+                      offset=meta.size, length=length)
+        self._next_block_id += 1
+        meta.blocks.append(block)
+        meta.size += length
+        return block
+
+    def blocks_for_range(self, meta: FileMeta, start: int, end: int) -> List[Block]:
+        """Blocks overlapping the actual-byte range ``[start, end)``."""
+        if start < 0 or end > meta.size or start > end:
+            raise ValueError(
+                f"range [{start}, {end}) outside file of size {meta.size}")
+        return [b for b in meta.blocks if b.offset < end and b.end > start]

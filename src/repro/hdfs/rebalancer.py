@@ -1,0 +1,81 @@
+"""HDFS data rebalancer.
+
+The paper leans on the fact that "Hadoop employs a data re-balancer which
+distributes HDFS data uniformly across the DataNodes" (§1) — uniform
+placement is what makes key-based sampling cheap.  This module provides
+that service for the simulated file system: it moves block replicas from
+overloaded to underloaded healthy nodes until per-node block counts
+differ by at most one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs.filesystem import HDFS
+
+
+def replica_counts(fs: HDFS) -> Dict[str, int]:
+    """Number of block replicas hosted by each healthy DataNode."""
+    return {dn.node_id: len(tuple(dn.block_ids()))
+            for dn in fs.healthy_datanodes()}
+
+
+def imbalance(fs: HDFS) -> int:
+    """Max-minus-min replica count across healthy nodes (0 == balanced)."""
+    counts = list(replica_counts(fs).values())
+    if not counts:
+        return 0
+    return max(counts) - min(counts)
+
+
+def rebalance(fs: HDFS, *, ledger: Optional[CostLedger] = None
+              ) -> List[Tuple[int, str, str]]:
+    """Move replicas until healthy nodes are balanced to within one block.
+
+    Returns the list of moves performed as ``(block_id, src, dst)``.
+    Network cost for the moved bytes is charged to ``ledger`` when given.
+    A replica is never moved to a node that already holds a copy of the
+    same block (that would silently reduce fault tolerance).
+    """
+    moves: List[Tuple[int, str, str]] = []
+    # Index blocks by id for replica bookkeeping on the NameNode side.
+    block_index = {}
+    for path in fs.list_files():
+        for block in fs.namenode.get(path).blocks:
+            block_index[block.block_id] = block
+
+    while True:
+        counts = replica_counts(fs)
+        if not counts or max(counts.values()) - min(counts.values()) <= 1:
+            return moves
+        src = max(counts, key=lambda nid: counts[nid])
+        dst_order = sorted(counts, key=lambda nid: counts[nid])
+        src_node = fs.datanodes[src]
+        moved = False
+        for block_id in list(src_node.block_ids()):
+            block = block_index.get(block_id)
+            if block is None:
+                continue
+            for dst in dst_order:
+                if dst == src or counts[dst] >= counts[src] - 1:
+                    continue
+                dst_node = fs.datanodes[dst]
+                if dst_node.has_block(block_id):
+                    continue
+                data = src_node.read(block_id)
+                dst_node.store(block_id, data)
+                src_node.drop(block_id)
+                block.replicas = [dst if nid == src else nid
+                                  for nid in block.replicas]
+                if ledger is not None:
+                    ledger.charge_network(len(data))
+                moves.append((block_id, src, dst))
+                moved = True
+                break
+            if moved:
+                break
+        if not moved:
+            # Every candidate move is blocked by the replica-collision rule.
+            return moves

@@ -1,0 +1,121 @@
+"""Line-oriented record reading over the simulated HDFS.
+
+Reproduces the two behaviours of Hadoop's ``LineRecordReader`` that the
+paper's sampling algorithms rely on (§3.3, Algorithm 2):
+
+* **Split-boundary convention** — a mapper whose split does not start at
+  byte 0 skips the first (partial) line, and reads one line *past* its
+  split end, so that every line of the file is processed exactly once
+  even though splits cut lines arbitrarily.
+* **Backtracking** — given an arbitrary byte position (pre-map sampling
+  draws positions uniformly at random), back up to the beginning of the
+  enclosing line before reading it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.splits import InputSplit
+
+_NEWLINE = ord("\n")
+#: Window size used when scanning backwards for a line start.
+_BACKTRACK_CHUNK = 4096
+
+
+class LineRecordReader:
+    """Reads newline-delimited records from one input split."""
+
+    def __init__(self, fs: HDFS, split: InputSplit, *,
+                 ledger: Optional[CostLedger] = None) -> None:
+        self._fs = fs
+        self._split = split
+        self._ledger = ledger
+        self._file_size = fs.file_size(split.path)
+
+    @property
+    def split(self) -> InputSplit:
+        return self._split
+
+    # ------------------------------------------------------------- full scan
+    def read_records(self) -> Iterator[Tuple[int, str]]:
+        """Yield ``(byte_offset, line)`` for every record owned by the split.
+
+        Follows the Hadoop convention: skip a leading partial line unless
+        the split starts at byte 0; keep reading past the split end until
+        the current line completes.
+        """
+        split = self._split
+        if split.length == 0 or split.start >= self._file_size:
+            return
+        # Hadoop reads the next line while the current position is <= the
+        # split end (inclusive), so a line starting exactly at the
+        # boundary belongs to this split and the next split skips it.
+        end_limit = min(split.end, self._file_size)
+        # Over-read to complete the final line: fetch until the next
+        # newline at or after end_limit (bounded scan in chunks).
+        data_end = self._find_line_end(end_limit)
+        data = self._fs.read_range(split.path, split.start, data_end,
+                                   ledger=self._ledger)
+        pos = 0
+        if split.start != 0:
+            # Skip the partial first line; it belongs to the previous split.
+            nl = data.find(b"\n")
+            if nl < 0:
+                return
+            pos = nl + 1
+        while split.start + pos <= end_limit and split.start + pos < data_end:
+            nl = data.find(b"\n", pos)
+            if nl < 0:
+                line = data[pos:]
+                if line:
+                    yield split.start + pos, line.decode("utf-8")
+                return
+            yield split.start + pos, data[pos:nl].decode("utf-8")
+            pos = nl + 1
+
+    def _find_line_end(self, position: int) -> int:
+        """First byte offset after the line containing ``position - 1``."""
+        pos = position
+        while pos < self._file_size:
+            chunk_end = min(pos + _BACKTRACK_CHUNK, self._file_size)
+            chunk = self._fs.read_range(self._split.path, pos, chunk_end,
+                                        ledger=None)
+            nl = chunk.find(b"\n")
+            if nl >= 0:
+                return pos + nl + 1
+            pos = chunk_end
+        return self._file_size
+
+    # ------------------------------------------------------------ random probe
+    def line_at(self, position: int) -> Tuple[int, str]:
+        """Return ``(line_start, line)`` for the line containing ``position``.
+
+        This is the backtracking primitive of Algorithm 2: seek to a random
+        byte, back up to the start of the enclosing line, read the line.
+        Charged as one random probe (seek + bytes actually touched).
+        """
+        if not 0 <= position < self._file_size:
+            raise ValueError(f"position {position} outside file of size "
+                             f"{self._file_size}")
+        start = self._find_line_start(position)
+        end = self._find_line_end(start)
+        raw = self._fs.read_range(self._split.path, start, end,
+                                  ledger=self._ledger, sequential=False)
+        line = raw.decode("utf-8").rstrip("\n")
+        return start, line
+
+    def _find_line_start(self, position: int) -> int:
+        """Scan backwards from ``position`` to the start of its line."""
+        pos = position
+        while pos > 0:
+            chunk_start = max(0, pos - _BACKTRACK_CHUNK)
+            chunk = self._fs.read_range(self._split.path, chunk_start, pos,
+                                        ledger=None)
+            nl = chunk.rfind(b"\n")
+            if nl >= 0:
+                return chunk_start + nl + 1
+            pos = chunk_start
+        return 0

@@ -1,0 +1,67 @@
+"""Logical input splits.
+
+An MR job does not consume blocks directly: each block may be subdivided
+into *input splits* that are handed to mappers (paper §3.3).  Splits are
+computed over **logical** bytes so that a file standing in for 100 GB
+yields the number of map tasks a real 100 GB file would; each logical
+split maps back to an actual byte range for record reading.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """One mapper's share of a file.
+
+    ``start``/``length`` are *actual* byte coordinates used to read
+    records; ``logical_length`` is what the cost model charges for a full
+    scan of the split.
+    """
+
+    path: str
+    index: int
+    start: int
+    length: int
+    logical_length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length < 0:
+            raise ValueError("split coordinates cannot be negative")
+
+
+def compute_splits(path: str, actual_size: int, logical_size: int,
+                   split_logical_bytes: int) -> List[InputSplit]:
+    """Partition a file into splits of at most ``split_logical_bytes``.
+
+    The number of splits is ``ceil(logical_size / split_logical_bytes)``
+    and the actual byte range is divided evenly among them, so split
+    boundaries in actual bytes stay proportional to logical bytes.
+    """
+    check_positive("split_logical_bytes", split_logical_bytes)
+    if actual_size < 0 or logical_size < 0:
+        raise ValueError("file sizes cannot be negative")
+    if actual_size == 0:
+        return []
+    n_splits = max(1, math.ceil(logical_size / split_logical_bytes))
+    n_splits = min(n_splits, actual_size)  # at least one actual byte per split
+    splits: List[InputSplit] = []
+    for i in range(n_splits):
+        start = (actual_size * i) // n_splits
+        end = (actual_size * (i + 1)) // n_splits
+        logical_start = (logical_size * i) // n_splits
+        logical_end = (logical_size * (i + 1)) // n_splits
+        splits.append(InputSplit(path=path, index=i, start=start,
+                                 length=end - start,
+                                 logical_length=logical_end - logical_start))
+    return splits

@@ -1,0 +1,45 @@
+"""Evaluation jobs: aggregates, correlation analysis, and K-Means."""
+
+from repro.jobs.aggregates import (
+    CountingMapper,
+    aggregate_conf,
+    run_aggregate,
+    run_count,
+)
+from repro.jobs.correlation import (
+    CorrelationReducer,
+    PairMapper,
+    bootstrap_correlation,
+    run_correlation,
+)
+from repro.jobs.kmeans import (
+    CentroidStore,
+    EarlKMeans,
+    KMeansAssignMapper,
+    KMeansResult,
+    KMeansUpdateReducer,
+    centroid_relative_error,
+    kmeans_inmemory,
+    kmeans_mapreduce,
+    match_centroids,
+)
+
+__all__ = [
+    "aggregate_conf",
+    "run_aggregate",
+    "run_count",
+    "CountingMapper",
+    "PairMapper",
+    "CorrelationReducer",
+    "run_correlation",
+    "bootstrap_correlation",
+    "kmeans_inmemory",
+    "kmeans_mapreduce",
+    "EarlKMeans",
+    "KMeansResult",
+    "KMeansAssignMapper",
+    "KMeansUpdateReducer",
+    "CentroidStore",
+    "match_centroids",
+    "centroid_relative_error",
+]

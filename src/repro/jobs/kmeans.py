@@ -1,0 +1,375 @@
+"""K-Means on MapReduce, stock and EARL-accelerated (paper §6.3, Fig. 7).
+
+The stock pipeline is the classic MR formulation (Zhao et al., cited as
+[31]): each iteration is one job — mappers assign points to the nearest
+centroid, reducers average each cluster's points into new centroids —
+repeated until centroid movement falls below a tolerance.
+
+EARL "compliments previous techniques by speeding up K-Means without
+changing the underlying algorithm" (§6.3): the same jobs run over a
+small uniform sample, which wins twice — less data per iteration *and*
+faster convergence on smaller data.  The accuracy estimation stage
+bootstraps the sampled K-Means solution: the statistic is the centroid
+set, and its error is the mean relative displacement of matched
+centroids across resamples — when it is within σ, the sample suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import EarlConfig
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.mapper import Mapper
+from repro.mapreduce.reducer import Reducer
+from repro.mapreduce.runtime import JobClient
+from repro.mapreduce.types import KeyValue, TaskContext
+from repro.sampling.premap import PreMapSampler
+from repro.util.rng import SeedLike, ensure_rng, spawn_child
+from repro.util.validation import check_positive, check_positive_int
+from repro.workloads.synthetic import parse_point, point_lines
+
+# ---------------------------------------------------------------------------
+# In-memory Lloyd's algorithm (validation baseline + bootstrap inner loop)
+# ---------------------------------------------------------------------------
+
+
+def kmeanspp_init(points: np.ndarray, k: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: D²-weighted selection of initial centroids.
+
+    K-Means "converges to a local optima and is also sensitive to the
+    initial centroids" (§6.3); careful seeding is the standard mitigation
+    and keeps both the stock and the sampled runs near the same optimum,
+    so Fig. 7 compares run times rather than luck.
+    """
+    pts = np.asarray(points, dtype=float)
+    first = int(rng.integers(0, pts.shape[0]))
+    centroids = [pts[first]]
+    d2 = ((pts - centroids[0]) ** 2).sum(axis=1)
+    for _ in range(1, k):
+        total = float(d2.sum())
+        if total == 0.0:
+            idx = int(rng.integers(0, pts.shape[0]))
+        else:
+            idx = int(rng.choice(pts.shape[0], p=d2 / total))
+        centroids.append(pts[idx])
+        d2 = np.minimum(d2, ((pts - centroids[-1]) ** 2).sum(axis=1))
+    return np.asarray(centroids)
+
+
+def kmeans_inmemory(points: np.ndarray, k: int, *,
+                    max_iters: int = 50, tol: float = 1e-4,
+                    init_centroids: Optional[np.ndarray] = None,
+                    seed: SeedLike = None
+                    ) -> Tuple[np.ndarray, float, int]:
+    """Lloyd's algorithm; returns ``(centroids, inertia, iterations)``.
+
+    Deterministic given the seed; initial centroids default to a
+    k-means++ seeding over the input.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n × d) array")
+    check_positive_int("k", k)
+    if k > pts.shape[0]:
+        raise ValueError(f"k={k} exceeds the number of points {pts.shape[0]}")
+    rng = ensure_rng(seed)
+    if init_centroids is None:
+        centroids = kmeanspp_init(pts, k, rng)
+    else:
+        centroids = np.asarray(init_centroids, dtype=float).copy()
+        if centroids.shape != (k, pts.shape[1]):
+            raise ValueError("init_centroids must have shape (k, d)")
+
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        dist = np.linalg.norm(pts[:, None, :] - centroids[None, :, :], axis=2)
+        labels = dist.argmin(axis=1)
+        new_centroids = centroids.copy()
+        for c in range(k):
+            members = pts[labels == c]
+            if members.shape[0] > 0:
+                new_centroids[c] = members.mean(axis=0)
+        shift = float(np.linalg.norm(new_centroids - centroids, axis=1).max())
+        centroids = new_centroids
+        if shift < tol:
+            break
+    dist = np.linalg.norm(pts[:, None, :] - centroids[None, :, :], axis=2)
+    inertia = float((dist.min(axis=1) ** 2).sum())
+    return centroids, inertia, iterations
+
+
+def match_centroids(reference: np.ndarray, candidate: np.ndarray
+                    ) -> np.ndarray:
+    """Optimal 1:1 matching (Hungarian) of candidate to reference rows."""
+    ref = np.asarray(reference, dtype=float)
+    cand = np.asarray(candidate, dtype=float)
+    if ref.shape != cand.shape:
+        raise ValueError("centroid sets must have identical shapes")
+    cost = np.linalg.norm(ref[:, None, :] - cand[None, :, :], axis=2)
+    rows, cols = linear_sum_assignment(cost)
+    ordered = np.empty_like(cand)
+    ordered[rows] = cand[cols]
+    return ordered
+
+
+def centroid_relative_error(reference: np.ndarray, candidate: np.ndarray
+                            ) -> float:
+    """Mean matched-centroid displacement relative to the data scale.
+
+    Scale is the RMS norm of the reference centroids, so the measure is
+    dimensionless and comparable across sweeps — this is the "within 5%
+    of the optimal" number of §6.3.
+    """
+    ref = np.asarray(reference, dtype=float)
+    cand = match_centroids(ref, candidate)
+    scale = float(np.sqrt((ref ** 2).sum(axis=1).mean()))
+    if scale == 0.0:
+        return float(np.linalg.norm(ref - cand, axis=1).mean())
+    return float(np.linalg.norm(ref - cand, axis=1).mean() / scale)
+
+
+# ---------------------------------------------------------------------------
+# MapReduce formulation
+# ---------------------------------------------------------------------------
+
+
+class CentroidStore:
+    """Mutable centroid holder shared by the driver and the mapper.
+
+    The driver updates it between iterations; the (persistent) mapper
+    reads it at task setup — mirroring how Hadoop K-Means broadcasts
+    centroids via the distributed cache.
+    """
+
+    def __init__(self, centroids: np.ndarray) -> None:
+        self.centroids = np.asarray(centroids, dtype=float)
+
+    def update(self, centroids: np.ndarray) -> None:
+        self.centroids = np.asarray(centroids, dtype=float)
+
+
+class KMeansAssignMapper(Mapper):
+    """Assign each point to its nearest centroid: emit ``(cid, point)``."""
+
+    def __init__(self, store: CentroidStore) -> None:
+        self._store = store
+
+    def map(self, key: Hashable, value: Any,
+            ctx: TaskContext) -> Iterable[KeyValue]:
+        text = value if isinstance(value, str) else str(value)
+        if not text:
+            return
+        point = parse_point(text)
+        dist = np.linalg.norm(self._store.centroids - point[None, :], axis=1)
+        # Distance computation costs k×d multiply-adds per record.
+        ctx.ledger.charge_cpu_records(
+            ctx.record_scale * self._store.centroids.shape[0] - ctx.record_scale,
+            ctx.cpu_factor)
+        yield int(dist.argmin()), point
+
+
+class KMeansUpdateReducer(Reducer):
+    """Average a cluster's points into its new centroid."""
+
+    def reduce(self, key: Hashable, values: Sequence[Any],
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        pts = np.asarray(list(values), dtype=float)
+        yield key, pts.mean(axis=0)
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a (stock or sampled) MapReduce K-Means run."""
+
+    centroids: np.ndarray
+    iterations: int
+    simulated_seconds: float
+    converged: bool
+    sample_size: Optional[int] = None
+    error: Optional[float] = None
+    expansions: int = 0
+
+
+def _initial_centroids(cluster: Cluster, path: str, k: int,
+                       rng: np.random.Generator) -> Tuple[np.ndarray, float]:
+    """Probe random lines and k-means++ select the initial centroids.
+
+    A small over-sample (≈30 points per requested centroid) is probed so
+    the D²-weighted seeding has material to work with; all I/O is
+    charged to the returned simulated seconds.
+    """
+    probe_target = max(k, min(30 * k, 1000))
+    sampler = PreMapSampler(cluster.hdfs, path)
+    sampler.set_total_target(probe_target)
+    ledger = cluster.new_ledger()
+    points: List[np.ndarray] = []
+    for split in sampler.splits:
+        points.extend(parse_point(line)
+                      for _, line in sampler.read(cluster.hdfs, split,
+                                                  ledger, rng))
+    if len(points) < k:
+        raise ValueError(f"could not sample {k} initial centroids from {path}")
+    return kmeanspp_init(np.asarray(points), k, rng), ledger.total_seconds
+
+
+def kmeans_mapreduce(cluster: Cluster, input_path: str, k: int, *,
+                     max_iters: int = 20, tol: float = 1e-3,
+                     seed: SeedLike = None,
+                     split_logical_bytes: Optional[int] = None
+                     ) -> KMeansResult:
+    """Stock MR K-Means over the full input (the Fig. 7 baseline).
+
+    Every Lloyd iteration is one full-scan MapReduce job; the first job
+    pays task start-up, later iterations reuse the warm tasks (both
+    systems in Fig. 7 run on the same engine — the speed-up measured for
+    EARL comes from sampling, not from engine hobbling).
+    """
+    check_positive_int("k", k)
+    check_positive("tol", tol)
+    rng = ensure_rng(seed)
+    centroids, init_seconds = _initial_centroids(cluster, input_path, k, rng)
+    store = CentroidStore(centroids)
+    conf = JobConf(name="kmeans", input_path=input_path,
+                   mapper=KMeansAssignMapper(store),
+                   reducer=KMeansUpdateReducer(),
+                   n_reducers=min(k, max(1, cluster.total_reduce_slots)),
+                   split_logical_bytes=split_logical_bytes,
+                   seed=rng)
+    client = JobClient(cluster)
+    total_seconds = init_seconds
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        result = client.run(conf, warm_start=iterations > 1)
+        total_seconds += result.simulated_seconds
+        new_centroids = store.centroids.copy()
+        for cid, centroid in result.output:
+            new_centroids[int(cid)] = centroid
+        shift = float(np.linalg.norm(new_centroids - store.centroids,
+                                     axis=1).max())
+        store.update(new_centroids)
+        if shift < tol:
+            converged = True
+            break
+    return KMeansResult(centroids=store.centroids, iterations=iterations,
+                        simulated_seconds=total_seconds, converged=converged)
+
+
+# ---------------------------------------------------------------------------
+# EARL-accelerated K-Means
+# ---------------------------------------------------------------------------
+
+
+class EarlKMeans:
+    """Sampled K-Means with bootstrap stability control (§6.3).
+
+    Pipeline: draw a uniform sample via pre-map sampling, materialize it
+    as a (small) HDFS file, run MR K-Means on it, and bootstrap the
+    solution — re-cluster ``B`` resamples of the sample (in memory,
+    seeded from the sampled solution) and measure the relative centroid
+    dispersion.  If the dispersion exceeds σ, expand the sample and
+    repeat.  Bootstrapping the whole mining algorithm is exactly the
+    "arbitrary function" generality the paper claims for EARL.
+    """
+
+    def __init__(self, cluster: Cluster, input_path: str, k: int, *,
+                 config: Optional[EarlConfig] = None,
+                 initial_sample_size: int = 500,
+                 B: int = 10,
+                 max_iters: int = 20, tol: float = 1e-3,
+                 split_logical_bytes: Optional[int] = None) -> None:
+        check_positive_int("k", k)
+        check_positive_int("initial_sample_size", initial_sample_size)
+        check_positive_int("B", B)
+        self._cluster = cluster
+        self._path = input_path
+        self._k = k
+        self._config = config or EarlConfig()
+        self._n0 = initial_sample_size
+        self._B = B
+        self._max_iters = max_iters
+        self._tol = tol
+        self._split_logical_bytes = split_logical_bytes
+
+    def run(self) -> KMeansResult:
+        cfg = self._config
+        rng = ensure_rng(cfg.seed)
+        sample_rng, boot_rng, job_rng = spawn_child(rng, 3)
+        fs = self._cluster.hdfs
+        sampler = PreMapSampler(fs, self._path,
+                                split_logical_bytes=self._split_logical_bytes)
+        total_seconds = 0.0
+        sample_points: List[np.ndarray] = []
+        target = self._n0
+        expansions = 0
+        result: Optional[KMeansResult] = None
+        error = math.inf
+
+        for round_idx in range(cfg.max_iterations):
+            # -- sampling stage (charged) --------------------------------
+            sampler.set_total_target(target)
+            ledger = self._cluster.new_ledger()
+            for split in sampler.splits:
+                sample_points.extend(
+                    parse_point(line)
+                    for _, line in sampler.read(fs, split, ledger,
+                                                sample_rng))
+            total_seconds += ledger.total_seconds
+            if len(sample_points) < self._k:
+                raise ValueError("sample smaller than k; increase "
+                                 "initial_sample_size")
+            pts = np.asarray(sample_points)
+
+            # -- user's task: MR K-Means on the materialized sample ------
+            sample_path = f"/earl/kmeans/sample-{round_idx}"
+            write_ledger = self._cluster.new_ledger()
+            fs.write_lines(sample_path, point_lines(pts), overwrite=True,
+                           ledger=write_ledger)
+            total_seconds += write_ledger.total_seconds
+            result = kmeans_mapreduce(
+                self._cluster, sample_path, self._k,
+                max_iters=self._max_iters, tol=self._tol, seed=job_rng)
+            total_seconds += result.simulated_seconds
+
+            # -- accuracy estimation stage -------------------------------
+            error, aes_seconds = self._bootstrap_error(pts, result.centroids,
+                                                       boot_rng)
+            total_seconds += aes_seconds
+            if error <= cfg.sigma or sampler.sampled_count < target:
+                break
+            target = math.ceil(target * cfg.expansion_factor)
+            expansions += 1
+
+        assert result is not None
+        return KMeansResult(centroids=result.centroids,
+                            iterations=result.iterations,
+                            simulated_seconds=total_seconds,
+                            converged=result.converged,
+                            sample_size=len(sample_points),
+                            error=error, expansions=expansions)
+
+    def _bootstrap_error(self, points: np.ndarray, reference: np.ndarray,
+                         rng: np.random.Generator) -> Tuple[float, float]:
+        """Relative centroid dispersion over ``B`` resamples (the AES)."""
+        n = points.shape[0]
+        errors = []
+        lloyd_iters = 0
+        for _ in range(self._B):
+            idx = rng.integers(0, n, size=n)
+            centroids, _, iters = kmeans_inmemory(
+                points[idx], self._k, max_iters=self._max_iters,
+                tol=self._tol, init_centroids=reference, seed=rng)
+            lloyd_iters += iters
+            errors.append(centroid_relative_error(reference, centroids))
+        # Each Lloyd pass over the sample costs ~n×k distance records.
+        ledger = self._cluster.new_ledger()
+        ledger.charge_cpu_records(lloyd_iters * n * self._k)
+        return float(np.mean(errors)), ledger.total_seconds

@@ -1,0 +1,71 @@
+"""Simulated MapReduce engine with EARL's extensions.
+
+Implements the classic two-stage MR model plus the three modifications
+the paper makes to Hadoop (§2.1): early reduce input, persistent mappers
+(``warm_start``), and a mapper↔reducer feedback channel
+(:class:`FeedbackChannel`), along with the four-method incremental reduce
+protocol (:class:`IncrementalReducer`).
+"""
+
+from repro.mapreduce.combiner import run_combiner
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import (
+    InvalidJobError,
+    JobFailedError,
+    MapReduceError,
+    TaskFailedError,
+)
+from repro.mapreduce.job import (
+    ON_UNAVAILABLE_FAIL,
+    ON_UNAVAILABLE_SKIP,
+    JobConf,
+    JobResult,
+)
+from repro.mapreduce.mapper import (
+    GlobalValueMapper,
+    IdentityMapper,
+    Mapper,
+    ProjectionMapper,
+)
+from repro.mapreduce.partitioner import HashPartitioner, stable_hash
+from repro.mapreduce.pipeline import FeedbackChannel
+from repro.mapreduce.reducer import (
+    IdentityReducer,
+    IncrementalReducer,
+    MeanReducer,
+    Reducer,
+    SumReducer,
+)
+from repro.mapreduce.runtime import FullScanSource, JobClient, RecordSource
+from repro.mapreduce.types import KeyValue, TaskContext, estimate_pair_bytes
+
+__all__ = [
+    "JobClient",
+    "JobConf",
+    "JobResult",
+    "Mapper",
+    "IdentityMapper",
+    "ProjectionMapper",
+    "GlobalValueMapper",
+    "Reducer",
+    "IdentityReducer",
+    "IncrementalReducer",
+    "SumReducer",
+    "MeanReducer",
+    "HashPartitioner",
+    "stable_hash",
+    "FeedbackChannel",
+    "FullScanSource",
+    "RecordSource",
+    "Counters",
+    "KeyValue",
+    "TaskContext",
+    "estimate_pair_bytes",
+    "run_combiner",
+    "MapReduceError",
+    "JobFailedError",
+    "TaskFailedError",
+    "InvalidJobError",
+    "ON_UNAVAILABLE_FAIL",
+    "ON_UNAVAILABLE_SKIP",
+]

@@ -1,0 +1,40 @@
+"""Map-side combining.
+
+A combiner is a reducer run on each mapper's local output before the
+shuffle; it shrinks shuffle traffic for algebraic aggregates.  The engine
+applies it per partition buffer, mirroring Hadoop's spill-time combining.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+from repro.mapreduce.reducer import Reducer
+from repro.mapreduce.types import KeyValue, TaskContext
+
+
+def run_combiner(combiner: Reducer, pairs: List[KeyValue],
+                 ctx: TaskContext) -> List[KeyValue]:
+    """Group ``pairs`` by key and run ``combiner`` over each group.
+
+    Returns the combined pair list (deterministic key order).  Raises if
+    the combiner emits keys outside its input group — that would break
+    partitioning invariants (each combined pair must still route to the
+    same reducer).
+    """
+    groups: Dict[Hashable, List[Any]] = {}
+    order: List[Hashable] = []
+    for key, value in pairs:
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(value)
+    combined: List[KeyValue] = []
+    for key in order:
+        for out_key, out_value in combiner.reduce(key, groups[key], ctx):
+            if out_key != key:
+                raise ValueError(
+                    "combiner must preserve keys: "
+                    f"group {key!r} emitted {out_key!r}")
+            combined.append((out_key, out_value))
+    return combined

@@ -1,0 +1,51 @@
+"""Job counters, mirroring Hadoop's built-in counter groups.
+
+Counters are the engine's observable side channel: tests and benchmarks
+use them to assert how much data a job actually touched (e.g. pre-map
+sampling reads a small fraction of records; EARL's fallback path reads
+everything).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+#: Canonical counter names used by the engine.
+MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
+MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
+REDUCE_INPUT_GROUPS = "REDUCE_INPUT_GROUPS"
+REDUCE_INPUT_RECORDS = "REDUCE_INPUT_RECORDS"
+REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
+SKIPPED_SPLITS = "SKIPPED_SPLITS"
+FAILED_TASKS = "FAILED_TASKS"
+SPILLED_BYTES = "SPILLED_BYTES"
+
+
+class Counters:
+    """A concurrent-safe-enough (single-threaded sim) counter bag."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter increments must be non-negative")
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Counters({inner})"

@@ -1,0 +1,19 @@
+"""Exception types raised by the simulated MapReduce engine."""
+
+from __future__ import annotations
+
+
+class MapReduceError(Exception):
+    """Base class for engine failures."""
+
+
+class JobFailedError(MapReduceError):
+    """The job could not complete (e.g. required input data was lost)."""
+
+
+class TaskFailedError(MapReduceError):
+    """A single task attempt failed; the engine may retry or skip it."""
+
+
+class InvalidJobError(MapReduceError):
+    """The job configuration is unusable (bad reducer count, no input...)."""

@@ -1,0 +1,97 @@
+"""Job configuration and result objects."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.costmodel import CostLedger
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import InvalidJobError
+from repro.mapreduce.mapper import Mapper
+from repro.mapreduce.reducer import Reducer
+from repro.mapreduce.types import KeyValue
+from repro.util.rng import SeedLike
+
+_job_ids = itertools.count()
+
+#: Policies for splits whose blocks were lost to node failures.
+ON_UNAVAILABLE_FAIL = "fail"   # stock Hadoop: the job cannot complete
+ON_UNAVAILABLE_SKIP = "skip"   # EARL §3.4: continue on surviving data
+
+
+@dataclass
+class JobConf:
+    """Everything needed to run one MapReduce job.
+
+    Attributes mirror the knobs of a Hadoop ``JobConf`` that matter for
+    the reproduction: input path, mapper/reducer/combiner classes, reducer
+    count, split size, an optional ``output_path`` (reducer output is
+    written back to HDFS as ``key<TAB>value`` lines, and — like Hadoop —
+    the job refuses to clobber an existing output), plus simulation-
+    specific settings (``cpu_factor``, ``on_unavailable``) and the
+    ``params`` dict surfaced to tasks as ``ctx.config`` (EARL passes the
+    sample fraction ``p`` this way, which ``correct()`` consumes).
+    """
+
+    name: str
+    input_path: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Reducer] = None
+    n_reducers: int = 1
+    split_logical_bytes: Optional[int] = None
+    cpu_factor: float = 1.0
+    local_mode: bool = False
+    on_unavailable: str = ON_UNAVAILABLE_FAIL
+    output_path: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.n_reducers < 1:
+            raise InvalidJobError("n_reducers must be >= 1")
+        if self.cpu_factor <= 0:
+            raise InvalidJobError("cpu_factor must be positive")
+        if self.on_unavailable not in (ON_UNAVAILABLE_FAIL, ON_UNAVAILABLE_SKIP):
+            raise InvalidJobError(
+                f"unknown on_unavailable policy {self.on_unavailable!r}")
+
+    def new_job_id(self) -> str:
+        return f"job_{next(_job_ids):06d}"
+
+
+@dataclass
+class JobResult:
+    """Outcome of a job execution.
+
+    ``simulated_seconds`` is the cost-model makespan (set-up + map wave
+    makespan + reduce wave makespan); ``output`` is the flat list of
+    reducer emissions in deterministic (partition, key) order.
+    """
+
+    job_id: str
+    output: List[KeyValue]
+    counters: Counters
+    simulated_seconds: float
+    map_tasks: int
+    reduce_tasks: int
+    skipped_splits: int
+    input_fraction: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    driver_ledger: Optional[CostLedger] = None
+
+    def grouped(self) -> Dict[Any, List[Any]]:
+        """Output values grouped by key (convenience for assertions)."""
+        grouped: Dict[Any, List[Any]] = {}
+        for key, value in self.output:
+            grouped.setdefault(key, []).append(value)
+        return grouped
+
+    def single_value(self) -> Any:
+        """The value of a single-pair output; raises otherwise."""
+        if len(self.output) != 1:
+            raise ValueError(
+                f"expected exactly one output pair, got {len(self.output)}")
+        return self.output[0][1]

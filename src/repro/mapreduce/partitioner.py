@@ -1,0 +1,31 @@
+"""Deterministic hash partitioning of intermediate keys.
+
+The paper's key-based sampling argument (§1) rests on intermediate
+``(key, value)`` pairs being spread over reducers by *random hashing*.
+Python's builtin ``hash`` is salted per process, which would make runs
+irreproducible, so we hash a stable byte encoding with CRC32 instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from repro.util.validation import check_positive_int
+
+
+def stable_hash(key: Any) -> int:
+    """Process-independent 32-bit hash of an intermediate key."""
+    data = repr(key).encode("utf-8")
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class HashPartitioner:
+    """Route each key to ``stable_hash(key) % num_partitions``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        check_positive_int("num_partitions", num_partitions)
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        return stable_hash(key) % self.num_partitions

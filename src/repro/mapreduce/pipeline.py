@@ -1,0 +1,91 @@
+"""Mapper↔reducer feedback channel and pipelined-iteration support.
+
+EARL modifies Hadoop in three ways (§2.1): reducers may process input
+before mappers finish, mappers stay alive until explicitly terminated,
+and a communication layer lets mappers check the termination condition.
+The communication layer is file-based (§3.3): *"every reducer writes its
+computed error together with a time-stamp onto HDFS.  These files are
+then read by the mappers to compute the overall average error"* — both
+sides share the JobID, so listing the per-job error files is trivial.
+
+:class:`FeedbackChannel` reproduces that protocol over the simulated
+HDFS; the EARL driver (``repro.core.earl``) combines it with the
+engine's ``warm_start`` flag, which models persistent mapper reuse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hdfs.errors import FileNotFoundInHdfs
+from repro.hdfs.filesystem import HDFS
+
+
+class FeedbackChannel:
+    """File-based error/termination protocol between reducers and mappers."""
+
+    def __init__(self, fs: HDFS, job_id: str) -> None:
+        self._fs = fs
+        self._base = f"/earl/{job_id}"
+        self._errors_dir = f"{self._base}/errors"
+        self._stop_path = f"{self._base}/STOP"
+
+    @property
+    def errors_dir(self) -> str:
+        return self._errors_dir
+
+    # ----------------------------------------------------------- reducer side
+    def publish_error(self, reducer_id: int, timestamp: float,
+                      error: float) -> None:
+        """Record reducer ``reducer_id``'s current error estimate.
+
+        Overwrites the reducer's previous file — only the newest estimate
+        matters to the expansion decision.
+        """
+        if error < 0:
+            raise ValueError("error cannot be negative")
+        path = f"{self._errors_dir}/reducer-{reducer_id:05d}"
+        self._fs.write_text(path, f"{timestamp!r}\t{error!r}\n",
+                            overwrite=True)
+
+    # ------------------------------------------------------------ mapper side
+    def read_errors(self, since: Optional[float] = None
+                    ) -> List[Tuple[float, float]]:
+        """All ``(timestamp, error)`` entries, optionally newer than
+        ``since`` (the mapper keeps the timestamp of its last successful
+        read and only considers fresh estimates)."""
+        entries: List[Tuple[float, float]] = []
+        for path in self._fs.list_files(self._errors_dir):
+            try:
+                text = self._fs.read_text(path)
+            except FileNotFoundInHdfs:  # pragma: no cover - racy delete
+                continue
+            ts_str, _, err_str = text.strip().partition("\t")
+            ts, err = float(ts_str), float(err_str)
+            if since is None or ts > since:
+                entries.append((ts, err))
+        return entries
+
+    def average_error(self, since: Optional[float] = None) -> Optional[float]:
+        """Average error over all reducers (``None`` if nothing published).
+
+        This is the quantity the mapper compares against the user's bound
+        to decide between sample expansion and termination (Alg. 1, lines
+        9-15)."""
+        entries = self.read_errors(since)
+        if not entries:
+            return None
+        return sum(err for _, err in entries) / len(entries)
+
+    # ------------------------------------------------------------ termination
+    def signal_stop(self) -> None:
+        """Tell the persistent mappers to terminate (accuracy reached)."""
+        self._fs.write_text(self._stop_path, "stop\n", overwrite=True)
+
+    def stop_requested(self) -> bool:
+        return self._fs.exists(self._stop_path)
+
+    def cleanup(self) -> None:
+        """Delete the channel's files (job teardown)."""
+        for path in self._fs.list_files(self._base):
+            self._fs.delete(path)

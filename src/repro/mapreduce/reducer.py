@@ -1,0 +1,127 @@
+"""Reducer APIs, including the paper's incremental reduce extension.
+
+EARL extends the classic ``reduce(k2, list(v2)) -> (k3, v3)`` with a
+finer-grained protocol (§2.1) of four methods:
+
+* ``initialize()`` — reduce a set of values into a *state*
+  (``<k,v1>,...,<k,vk> -> <k,state>``); states are small and mergeable,
+  which is what makes in-memory bootstrap processing feasible.
+* ``update()`` — fold a new input (another state, or a raw value) into an
+  existing state.
+* ``finalize()`` — turn the state into the output value (and, in EARL's
+  accuracy-estimation stage, the point where the current error is read).
+* ``correct()`` — adjust a result computed from a fraction ``p`` of the
+  data (e.g. scale a SUM by ``1/p``); the system cannot know the job's
+  semantics, so the correction logic belongs to the user.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.mapreduce.types import KeyValue, TaskContext
+
+
+class Reducer:
+    """Classic reducer: override :meth:`reduce`."""
+
+    def setup(self, ctx: TaskContext) -> None:
+        """Called once before the first key group of a task."""
+
+    def reduce(self, key: Hashable, values: Sequence[Any],
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        raise NotImplementedError
+
+    def cleanup(self, ctx: TaskContext) -> Iterable[KeyValue]:
+        """Called once after the last key group; may emit trailing pairs."""
+        return ()
+
+
+class IdentityReducer(Reducer):
+    """Emit every value unchanged."""
+
+    def reduce(self, key: Hashable, values: Sequence[Any],
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        for value in values:
+            yield key, value
+
+
+class IncrementalReducer(Reducer):
+    """EARL's four-method incremental reduce protocol.
+
+    Subclasses implement ``initialize``/``update``/``finalize`` (and
+    optionally ``correct``); the classic :meth:`reduce` is derived from
+    them, so an incremental reducer runs unmodified on the stock engine —
+    the paper's "minimal modifications to the user's MR job" promise.
+    """
+
+    # -- the four-method protocol -----------------------------------------
+    def initialize(self, values: Sequence[Any]) -> Any:
+        """Reduce a batch of raw values into a state."""
+        raise NotImplementedError
+
+    def update(self, state: Any, new_input: Any) -> Any:
+        """Fold ``new_input`` (a state or a raw value) into ``state``."""
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        """Compute the output value from a state."""
+        raise NotImplementedError
+
+    def correct(self, result: Any, p: float) -> Any:
+        """Adjust ``result`` given that only fraction ``p`` of the data was
+        used.  Default: no correction (right for means, medians, ratios).
+        """
+        return result
+
+    # -- classic API derived from the protocol -----------------------------
+    def reduce(self, key: Hashable, values: Sequence[Any],
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        state = self.initialize(values)
+        result = self.finalize(state)
+        p = float(ctx.config.get("sample_fraction", 1.0))
+        if p < 1.0:
+            result = self.correct(result, p)
+        yield key, result
+
+
+class SumReducer(IncrementalReducer):
+    """SUM with the paper's canonical ``1/p`` correction (§2.1)."""
+
+    def initialize(self, values: Sequence[Any]) -> float:
+        return float(sum(values))
+
+    def update(self, state: float, new_input: Any) -> float:
+        return state + float(new_input)
+
+    def finalize(self, state: float) -> float:
+        return state
+
+    def correct(self, result: float, p: float) -> float:
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"sample fraction p must be in (0, 1], got {p}")
+        return result / p
+
+
+class MeanReducer(IncrementalReducer):
+    """AVG as a mergeable ``(sum, count)`` state; needs no correction."""
+
+    def initialize(self, values: Sequence[Any]) -> tuple[float, int]:
+        total = 0.0
+        count = 0
+        for v in values:
+            total += float(v)
+            count += 1
+        return total, count
+
+    def update(self, state: tuple[float, int], new_input: Any) -> tuple[float, int]:
+        total, count = state
+        if isinstance(new_input, tuple) and len(new_input) == 2:
+            return total + new_input[0], count + new_input[1]
+        return total + float(new_input), count + 1
+
+    def finalize(self, state: tuple[float, int]) -> float:
+        total, count = state
+        if count == 0:
+            raise ValueError("mean of an empty group is undefined")
+        return total / count

@@ -1,0 +1,343 @@
+"""Execution engine: runs a :class:`JobConf` on a simulated cluster.
+
+The engine actually executes the user's map and reduce functions over the
+stored records (results are real), while charging simulated time for I/O,
+CPU, shuffle and task start-up (durations are modelled).  Scheduling over
+the cluster's slots turns per-task durations into a job makespan.
+
+Two execution modes mirror the paper:
+
+* **cluster mode** — tasks pay start-up costs and run in parallel waves
+  over the cluster's map/reduce slots.
+* **local mode** (§3.2) — "we run the user's MR job in a local mode
+  without launching a separate JVM": no start-up or set-up charges, tasks
+  run serially.  EARL uses this for its pilot-phase parameter estimation.
+
+A third knob, ``warm_start``, models EARL's persistent mappers (§2.1
+modification 2): when the sample is expanded, already-running tasks are
+reused, so neither job set-up nor task start-up is charged again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.costmodel import CostLedger
+from repro.cluster.scheduler import schedule_tasks
+from repro.hdfs.errors import BlockUnavailableError
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.record_reader import LineRecordReader
+from repro.hdfs.splits import InputSplit
+from repro.mapreduce import counters as C
+from repro.mapreduce.combiner import run_combiner
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import JobFailedError
+from repro.mapreduce.job import (
+    ON_UNAVAILABLE_FAIL,
+    ON_UNAVAILABLE_SKIP,
+    JobConf,
+    JobResult,
+)
+from repro.mapreduce.partitioner import HashPartitioner
+from repro.mapreduce.types import KeyValue, TaskContext, estimate_pair_bytes
+from repro.util.rng import ensure_rng, spawn_child
+
+
+class RecordSource(Protocol):
+    """Strategy that turns an input split into a record stream.
+
+    The default is a full scan; EARL's pre-map sampler substitutes a
+    random-probe source.  ``scales_with_file`` tells the engine whether
+    CPU/shuffle volumes should be multiplied by the file's logical scale.
+    It is true for full scans *and* for samplers: in the stand-in world
+    every actual record represents ``logical_scale`` records, so a
+    sampled record is a proxy for a ``logical_scale``-sized slice of the
+    real sample (the paper sizes samples as a fraction ``p`` of the
+    data, so real sample volumes grow with the file).  Set it false only
+    for sources whose records are literal, unscaled data.
+    """
+
+    scales_with_file: bool
+
+    def read(self, fs: HDFS, split: InputSplit, ledger: CostLedger,
+             rng: np.random.Generator) -> Iterator[KeyValue]:
+        ...  # pragma: no cover - protocol
+
+
+class FullScanSource:
+    """Default record source: read every line of the split."""
+
+    scales_with_file = True
+
+    def read(self, fs: HDFS, split: InputSplit, ledger: CostLedger,
+             rng: np.random.Generator) -> Iterator[KeyValue]:
+        reader = LineRecordReader(fs, split, ledger=ledger)
+        return iter(reader.read_records())
+
+
+@dataclass
+class _MapTaskResult:
+    partitions: List[List[KeyValue]]
+    partition_bytes: List[float]
+    partition_records: List[float]
+    duration: float
+    counters: Counters
+    ledger: CostLedger
+    skipped: bool = False
+
+
+class JobClient:
+    """Submits jobs to a simulated cluster (the ``JobClient.runJob`` of
+    the paper's Figure 4)."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------ run
+    def run(self, conf: JobConf, *,
+            record_source: Optional[RecordSource] = None,
+            splits: Optional[List[InputSplit]] = None,
+            warm_start: bool = False) -> JobResult:
+        """Execute ``conf`` and return its :class:`JobResult`.
+
+        Parameters
+        ----------
+        record_source:
+            Override how splits become records (EARL's pre-map sampling).
+        splits:
+            Explicit split list (EARL feeds subsets when expanding the
+            sample incrementally); default: all splits of the input.
+        warm_start:
+            Reuse already-running tasks — skip job set-up and task
+            start-up charges (EARL's persistent-mapper modification).
+        """
+        fs = self.cluster.hdfs
+        job_id = conf.new_job_id()
+        source = record_source or FullScanSource()
+        if splits is None:
+            splits = fs.get_splits(conf.input_path, conf.split_logical_bytes)
+
+        driver = self.cluster.new_ledger()
+        if conf.output_path is not None and fs.exists(conf.output_path):
+            raise JobFailedError(
+                f"output path {conf.output_path} already exists "
+                "(Hadoop semantics: refusing to overwrite)")
+        if not conf.local_mode and not warm_start:
+            driver.charge_job_setup()
+
+        rng = ensure_rng(conf.seed)
+        n_tasks = max(1, len(splits))
+        task_rngs = spawn_child(rng, n_tasks + conf.n_reducers)
+
+        meta_scale = 1.0
+        if fs.exists(conf.input_path):
+            meta = fs.namenode.get(conf.input_path)
+            if meta.size:
+                meta_scale = meta.logical_scale
+        record_scale = meta_scale if source.scales_with_file else 1.0
+
+        # ----------------------------------------------------------- map
+        map_results: List[_MapTaskResult] = []
+        skipped_logical = 0
+        total_logical = sum(s.logical_length for s in splits) or 1
+        for i, split in enumerate(splits):
+            result = self._run_map_task(
+                conf, source, split, task_rngs[i], record_scale,
+                warm_start=warm_start)
+            if result.skipped:
+                skipped_logical += split.logical_length
+            map_results.append(result)
+
+        job_counters = Counters()
+        for r in map_results:
+            job_counters.merge(r.counters)
+
+        # -------------------------------------------------------- shuffle
+        n_red = conf.n_reducers
+        shuffle: List[List[KeyValue]] = [[] for _ in range(n_red)]
+        shuffle_bytes = [0.0] * n_red
+        shuffle_records = [0.0] * n_red
+        for r in map_results:
+            for p in range(n_red):
+                shuffle[p].extend(r.partitions[p])
+                shuffle_bytes[p] += r.partition_bytes[p]
+                shuffle_records[p] += r.partition_records[p]
+
+        # --------------------------------------------------------- reduce
+        reduce_results: List[Tuple[List[KeyValue], float, Counters, CostLedger]] = []
+        for p in range(n_red):
+            out = self._run_reduce_task(
+                conf, p, shuffle[p], shuffle_bytes[p], shuffle_records[p],
+                task_rngs[n_tasks + p], record_scale=record_scale,
+                warm_start=warm_start)
+            reduce_results.append(out)
+            job_counters.merge(out[2])
+
+        # ------------------------------------------------------- makespan
+        map_durations = [r.duration for r in map_results]
+        red_durations = [r[1] for r in reduce_results]
+        if conf.local_mode:
+            simulated = driver.total_seconds + sum(map_durations) + sum(red_durations)
+        else:
+            map_slots = max(1, self.cluster.total_map_slots)
+            red_slots = max(1, self.cluster.total_reduce_slots)
+            map_span = schedule_tasks(map_durations, map_slots).makespan
+            red_span = schedule_tasks(red_durations, red_slots).makespan
+            simulated = driver.total_seconds + map_span + red_span
+
+        breakdown = driver.breakdown()
+        for r in map_results:
+            for cat, secs in r.ledger.breakdown().items():
+                breakdown[cat] = breakdown.get(cat, 0.0) + secs
+        for out in reduce_results:
+            for cat, secs in out[3].breakdown().items():
+                breakdown[cat] = breakdown.get(cat, 0.0) + secs
+
+        output: List[KeyValue] = []
+        for out in reduce_results:
+            output.extend(out[0])
+
+        if conf.output_path is not None:
+            lines = [f"{key}\t{value}" for key, value in output]
+            fs.write_lines(conf.output_path, lines, ledger=driver)
+
+        return JobResult(
+            job_id=job_id,
+            output=output,
+            counters=job_counters,
+            simulated_seconds=simulated,
+            map_tasks=len(splits),
+            reduce_tasks=n_red,
+            skipped_splits=job_counters.get(C.SKIPPED_SPLITS),
+            input_fraction=1.0 - skipped_logical / total_logical,
+            breakdown=breakdown,
+            driver_ledger=driver,
+        )
+
+    # ------------------------------------------------------------ map tasks
+    def _run_map_task(self, conf: JobConf, source: RecordSource,
+                      split: InputSplit, rng: np.random.Generator,
+                      record_scale: float, *, warm_start: bool
+                      ) -> _MapTaskResult:
+        fs = self.cluster.hdfs
+        ledger = self.cluster.new_ledger()
+        counters = Counters()
+        if not conf.local_mode and not warm_start:
+            ledger.charge_task_startup()
+
+        n_red = conf.n_reducers
+        partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
+        if not fs.split_available(split):
+            if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
+                raise JobFailedError(
+                    f"split {split.index} of {split.path} is unavailable "
+                    "(all replicas lost)")
+            counters.increment(C.SKIPPED_SPLITS)
+            counters.increment(C.FAILED_TASKS)
+            return _MapTaskResult(partitions=partitions,
+                                  partition_bytes=[0.0] * n_red,
+                                  partition_records=[0.0] * n_red,
+                                  duration=ledger.total_seconds,
+                                  counters=counters, ledger=ledger,
+                                  skipped=True)
+
+        ctx = TaskContext(ledger=ledger, counters=counters, rng=rng,
+                          record_scale=record_scale,
+                          cpu_factor=conf.cpu_factor, config=dict(conf.params),
+                          task_id=f"map-{split.index}")
+        partitioner = HashPartitioner(n_red)
+        mapper = conf.mapper
+        buffered: List[KeyValue] = []
+
+        try:
+            mapper.setup(ctx)
+            for key, value in source.read(fs, split, ledger, rng):
+                counters.increment(C.MAP_INPUT_RECORDS)
+                ledger.charge_cpu_records(record_scale, conf.cpu_factor)
+                for pair in mapper.map(key, value, ctx):
+                    buffered.append(pair)
+            for pair in mapper.cleanup(ctx):
+                buffered.append(pair)
+        except BlockUnavailableError as exc:
+            # The availability pre-check covers the split's own blocks,
+            # but a record reader legitimately over-reads past the split
+            # end (to finish its last line) and can hit a lost block
+            # mid-task.  Apply the same policy as for lost splits.
+            if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
+                raise JobFailedError(
+                    f"map task {split.index} of {split.path} lost its "
+                    f"input mid-read: {exc}") from exc
+            counters.increment(C.SKIPPED_SPLITS)
+            counters.increment(C.FAILED_TASKS)
+            return _MapTaskResult(partitions=[[] for _ in range(n_red)],
+                                  partition_bytes=[0.0] * n_red,
+                                  partition_records=[0.0] * n_red,
+                                  duration=ledger.total_seconds,
+                                  counters=counters, ledger=ledger,
+                                  skipped=True)
+        counters.increment(C.MAP_OUTPUT_RECORDS, len(buffered))
+
+        if conf.combiner is not None and buffered:
+            ledger.charge_cpu_records(len(buffered) * record_scale,
+                                      conf.cpu_factor)
+            buffered = run_combiner(conf.combiner, buffered, ctx)
+            # Combined output is O(#keys): it no longer scales with the file.
+            pair_scale = 1.0
+        else:
+            pair_scale = record_scale
+
+        partition_bytes = [0.0] * n_red
+        partition_records = [0.0] * n_red
+        for key, value in buffered:
+            p = partitioner.partition(key)
+            partitions[p].append((key, value))
+            partition_bytes[p] += estimate_pair_bytes(key, value) * pair_scale
+            partition_records[p] += pair_scale
+
+        return _MapTaskResult(partitions=partitions,
+                              partition_bytes=partition_bytes,
+                              partition_records=partition_records,
+                              duration=ledger.total_seconds,
+                              counters=counters, ledger=ledger)
+
+    # --------------------------------------------------------- reduce tasks
+    def _run_reduce_task(self, conf: JobConf, partition: int,
+                         pairs: List[KeyValue], in_bytes: float,
+                         in_records: float, rng: np.random.Generator,
+                         *, record_scale: float, warm_start: bool
+                         ) -> Tuple[List[KeyValue], float, Counters, CostLedger]:
+        ledger = self.cluster.new_ledger()
+        counters = Counters()
+        if not conf.local_mode and not warm_start:
+            ledger.charge_task_startup()
+        ledger.charge_network(in_bytes)
+        ledger.charge_cpu_records(in_records, conf.cpu_factor)
+
+        ctx = TaskContext(ledger=ledger, counters=counters, rng=rng,
+                          record_scale=record_scale,
+                          cpu_factor=conf.cpu_factor,
+                          config=dict(conf.params),
+                          task_id=f"reduce-{partition}")
+
+        # Group by key, then process groups in deterministic sorted order
+        # (Hadoop sorts intermediate keys before reducing).
+        groups: Dict[Hashable, List[Any]] = {}
+        for key, value in pairs:
+            groups.setdefault(key, []).append(value)
+        counters.increment(C.REDUCE_INPUT_GROUPS, len(groups))
+        counters.increment(C.REDUCE_INPUT_RECORDS, len(pairs))
+
+        reducer = conf.reducer
+        output: List[KeyValue] = []
+        reducer.setup(ctx)
+        for key in sorted(groups, key=repr):
+            for out in reducer.reduce(key, groups[key], ctx):
+                output.append(out)
+        for out in reducer.cleanup(ctx):
+            output.append(out)
+        counters.increment(C.REDUCE_OUTPUT_RECORDS, len(output))
+        return output, ledger.total_seconds, counters, ledger

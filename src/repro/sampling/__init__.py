@@ -1,0 +1,29 @@
+"""Sampling layer: EARL's samplers plus the baselines they beat.
+
+* :class:`PreMapSampler` — Algorithm 2: random byte offsets + record-
+  reader backtracking; load cost proportional to the sample.
+* :class:`PostMapSampler` — Algorithm 1: full parse into a local
+  hashmap, then release of a uniform without-replacement prefix.
+* :func:`reservoir_sample` — exact-uniform one-pass baseline.
+* :func:`sample_blocks` — biased block-level baseline (§7).
+* :class:`TwoFileSampler` — Olken & Rotem's 2-file/ARHASH method (§7).
+"""
+
+from repro.sampling.base import allocate_per_split, draw_sample
+from repro.sampling.block_sampling import block_sampling_bias, sample_blocks
+from repro.sampling.postmap import PostMapSampler
+from repro.sampling.premap import PreMapSampler
+from repro.sampling.reservoir import reservoir_sample, reservoir_sample_indices
+from repro.sampling.twofile import TwoFileSampler
+
+__all__ = [
+    "PreMapSampler",
+    "PostMapSampler",
+    "reservoir_sample",
+    "reservoir_sample_indices",
+    "sample_blocks",
+    "block_sampling_bias",
+    "TwoFileSampler",
+    "draw_sample",
+    "allocate_per_split",
+]

@@ -1,0 +1,67 @@
+"""Common sampling helpers and the sampler interface notes.
+
+Two sampler families live in this package:
+
+* **Record sources** (:class:`~repro.sampling.premap.PreMapSampler`,
+  :class:`~repro.sampling.postmap.PostMapSampler`) plug into the
+  MapReduce engine as the strategy that turns input splits into record
+  streams (paper §3.3).  They are stateful: EARL expands the sample
+  across iterations and already-delivered records must not repeat.
+* **In-memory helpers** (:func:`draw_sample`, reservoir, block sampling)
+  operate on materialized sequences; the EARL core uses them for pilot
+  runs and the baselines use them for comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+import numpy as np
+
+from repro.hdfs.splits import InputSplit
+from repro.util.rng import SeedLike, ensure_rng
+
+T = TypeVar("T")
+
+
+def draw_sample(values: Sequence[T], n: int, *, replace: bool = False,
+                seed: SeedLike = None) -> List[T]:
+    """Uniform random sample of ``n`` items from ``values``.
+
+    Without replacement ``n`` may not exceed ``len(values)``; with
+    replacement any ``n >= 0`` is valid (this is the bootstrap's resample
+    primitive, although the hot path in ``repro.core.bootstrap`` uses
+    vectorized index draws instead).
+    """
+    if n < 0:
+        raise ValueError("sample size cannot be negative")
+    if not replace and n > len(values):
+        raise ValueError(
+            f"cannot draw {n} items without replacement from {len(values)}")
+    rng = ensure_rng(seed)
+    idx = rng.choice(len(values), size=n, replace=replace)
+    return [values[int(i)] for i in idx]
+
+
+def allocate_per_split(splits: Sequence[InputSplit], total: int) -> List[int]:
+    """Deterministically allocate ``total`` sampled records across splits,
+    proportionally to each split's logical length (largest remainder).
+
+    The paper distributes the sample over input splits so that every
+    mapper contributes; proportional allocation keeps the combined sample
+    uniform over the file.
+    """
+    if total < 0:
+        raise ValueError("total cannot be negative")
+    if not splits:
+        return []
+    weights = np.array([max(s.logical_length, 1) for s in splits], dtype=float)
+    shares = weights / weights.sum() * total
+    counts = np.floor(shares).astype(int)
+    remainder = total - int(counts.sum())
+    if remainder > 0:
+        # Hand the leftover units to the largest fractional parts.
+        frac_order = np.argsort(-(shares - counts))
+        for i in range(remainder):
+            counts[frac_order[i % len(splits)]] += 1
+    return [int(c) for c in counts]

@@ -1,0 +1,43 @@
+"""Reservoir sampling baseline (Vitter's Algorithm R).
+
+The paper's §3.3 dismisses reservoir sampling over HDFS because "the
+entire dataset needs to be read, and possibly re-read when further
+samples are required" — it is nevertheless the textbook way to produce
+an exactly-uniform fixed-size sample in one pass, so it serves as the
+correctness baseline the clever samplers are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TypeVar
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive_int
+
+T = TypeVar("T")
+
+
+def reservoir_sample(items: Iterable[T], k: int, *,
+                     seed: SeedLike = None) -> List[T]:
+    """One-pass uniform sample of ``k`` items from an iterable.
+
+    Every length-``k`` subset of the stream is equally likely.  If the
+    stream has fewer than ``k`` items, all of them are returned.
+    """
+    check_positive_int("k", k)
+    rng = ensure_rng(seed)
+    reservoir: List[T] = []
+    for i, item in enumerate(items):
+        if i < k:
+            reservoir.append(item)
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < k:
+                reservoir[j] = item
+    return reservoir
+
+
+def reservoir_sample_indices(n: int, k: int, *, seed: SeedLike = None
+                             ) -> List[int]:
+    """Indices a reservoir pass over ``range(n)`` would select."""
+    return reservoir_sample(range(n), k, seed=seed)

@@ -1,0 +1,70 @@
+"""The 2-file / ARHASH sampling technique (paper §7, after Olken & Rotem).
+
+A set of blocks ``F1`` is pinned in main memory and the remainder ``F2``
+stays on disk.  Each draw first chooses *which file* to sample — ``F1``
+with probability ``|F1|/N`` — and then picks a uniform item within it, so
+the overall draw is uniform while only a ``|F2|/N`` fraction of draws
+pays a disk seek.  The paper notes the method "must be extended to
+support a distributed filesystem"; our pre-map sampler is that extension,
+and this class exists as the single-machine reference point (its expected
+seek count is asserted in tests and compared in the ablation bench).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TypeVar
+
+from repro.cluster.costmodel import CostLedger
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_fraction
+
+T = TypeVar("T")
+
+
+class TwoFileSampler:
+    """Uniform sampler over a memory-resident ``F1`` and disk-resident ``F2``."""
+
+    def __init__(self, values: Sequence[T], memory_fraction: float, *,
+                 seed: SeedLike = None,
+                 item_bytes: int = 64) -> None:
+        check_fraction("memory_fraction", memory_fraction, inclusive_low=True)
+        if len(values) == 0:
+            raise ValueError("cannot sample from an empty population")
+        self._rng = ensure_rng(seed)
+        split = int(len(values) * memory_fraction)
+        self._f1: List[T] = list(values[:split])
+        self._f2: List[T] = list(values[split:])
+        self._n = len(values)
+        self._item_bytes = item_bytes
+        self.disk_draws = 0
+        self.memory_draws = 0
+
+    @property
+    def memory_probability(self) -> float:
+        """Probability that a single draw is served from memory."""
+        return len(self._f1) / self._n
+
+    def draw(self, *, ledger: Optional[CostLedger] = None) -> T:
+        """One uniform draw (with replacement) over the whole population."""
+        # Stage 1: choose the file proportionally to its share of items;
+        # stage 2: uniform within the file.  The composition is uniform.
+        if int(self._rng.integers(0, self._n)) < len(self._f1):
+            self.memory_draws += 1
+            idx = int(self._rng.integers(0, len(self._f1)))
+            return self._f1[idx]
+        self.disk_draws += 1
+        if ledger is not None:
+            ledger.charge_seeks(1)
+            ledger.charge_disk_read(self._item_bytes)
+        idx = int(self._rng.integers(0, len(self._f2)))
+        return self._f2[idx]
+
+    def sample(self, k: int, *, ledger: Optional[CostLedger] = None) -> List[T]:
+        """``k`` independent uniform draws (with replacement)."""
+        if k < 0:
+            raise ValueError("sample size cannot be negative")
+        return [self.draw(ledger=ledger) for _ in range(k)]
+
+    def expected_seeks(self, k: int) -> float:
+        """Expected disk seeks for ``k`` draws: ``k × |F2|/N``."""
+        return k * (1.0 - self.memory_probability)

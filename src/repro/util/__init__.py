@@ -1,0 +1,29 @@
+"""Shared utilities: RNG discipline, running statistics, validation.
+
+Every stochastic component in this library accepts either a seed or a
+:class:`numpy.random.Generator`; :func:`ensure_rng` normalizes the two so
+that experiments are reproducible end to end.
+"""
+
+from repro.util.rng import ensure_rng, spawn_child
+from repro.util.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    relative_half_width,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_child",
+    "RunningStats",
+    "coefficient_of_variation",
+    "relative_half_width",
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+]

@@ -1,0 +1,45 @@
+"""Random-number-generator discipline.
+
+The EARL paper's algorithms are all randomized (sampling, bootstrapping,
+delta maintenance).  To keep every experiment reproducible, no module in
+this library ever touches global random state: components accept a ``seed``
+argument that may be ``None``, an integer, or an already-constructed
+:class:`numpy.random.Generator`, and normalize it through
+:func:`ensure_rng`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh OS entropy), an ``int``, a
+    ``SeedSequence``, or an existing ``Generator`` (returned unchanged so
+    that callers can thread one generator through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(f"cannot build a Generator from {type(seed).__name__}")
+
+
+def spawn_child(rng: np.random.Generator, streams: int = 1) -> list[np.random.Generator]:
+    """Derive ``streams`` statistically independent child generators.
+
+    Used where parallel simulated tasks (mappers, reducers) each need their
+    own stream so that task scheduling order cannot change the results.
+    """
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    seeds = rng.integers(0, 2**63 - 1, size=streams, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

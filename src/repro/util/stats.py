@@ -1,0 +1,147 @@
+"""Numerically stable running statistics with *removal* support.
+
+EARL's delta maintenance (paper §4) updates bootstrap resamples by adding
+items drawn from the new delta sample and *deleting* items from the old
+resample.  To re-evaluate a statistic on the updated resample without a
+full recomputation, its state must support both ``add`` and ``remove``.
+:class:`RunningStats` provides that for the moment statistics (mean,
+variance, standard deviation) using the standard Welford/Chan update and
+its algebraic inverse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class RunningStats:
+    """Mean/variance accumulator supporting add, remove, and merge.
+
+    The implementation keeps ``(count, mean, M2)`` where ``M2`` is the sum
+    of squared deviations from the mean.  All three operations are O(1):
+
+    * :meth:`add` — Welford's update.
+    * :meth:`remove` — exact inverse of Welford's update; valid only for
+      values previously added (up to floating-point error).
+    * :meth:`merge` — Chan et al.'s parallel combination, which is what a
+      reducer uses to combine per-mapper partial states.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "RunningStats":
+        stats = cls()
+        for v in values:
+            stats.add(float(v))
+        return stats
+
+    # -- core updates -----------------------------------------------------
+    def add(self, value: float) -> None:
+        """Fold ``value`` into the accumulator (Welford's update)."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def remove(self, value: float) -> None:
+        """Remove a previously added ``value`` (inverse Welford update)."""
+        if self._count <= 0:
+            raise ValueError("cannot remove from an empty RunningStats")
+        if self._count == 1:
+            self._count = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            return
+        count_new = self._count - 1
+        mean_new = (self._count * self._mean - value) / count_new
+        self._m2 -= (value - self._mean) * (value - mean_new)
+        # Guard against tiny negative M2 from floating-point cancellation.
+        if self._m2 < 0.0:
+            self._m2 = 0.0
+        self._count = count_new
+        self._mean = mean_new
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (Chan et al.)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count, self._mean, self._m2 = other._count, other._mean, other._m2
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._mean += delta * other._count / total
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._count = total
+
+    def copy(self) -> "RunningStats":
+        clone = RunningStats()
+        clone._count, clone._mean, clone._m2 = self._count, self._mean, self._m2
+        return clone
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("mean of an empty RunningStats is undefined")
+        return self._mean
+
+    @property
+    def sum(self) -> float:
+        return self._mean * self._count
+
+    def variance(self, ddof: int = 1) -> float:
+        """Variance with ``ddof`` delta degrees of freedom (default sample)."""
+        if self._count - ddof <= 0:
+            return 0.0
+        return self._m2 / (self._count - ddof)
+
+    def std(self, ddof: int = 1) -> float:
+        return math.sqrt(self.variance(ddof=ddof))
+
+    def cv(self, ddof: int = 1) -> float:
+        """Coefficient of variation ``std/|mean|`` (paper's error measure)."""
+        return coefficient_of_variation(self.mean, self.std(ddof=ddof))
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._count == 0:
+            return "RunningStats(empty)"
+        return f"RunningStats(count={self._count}, mean={self._mean:.6g}, std={self.std():.6g})"
+
+
+def coefficient_of_variation(mean: float, std: float) -> float:
+    """``std / |mean|``, the paper's accuracy measure (§3).
+
+    A zero mean makes the ratio undefined; following common AQP practice we
+    return ``inf`` when dispersion exists around a zero mean and ``0.0``
+    for the degenerate all-zero case, so that termination checks
+    (``cv <= sigma``) behave sensibly at the boundaries.
+    """
+    if std < 0:
+        raise ValueError("standard deviation cannot be negative")
+    if mean == 0.0:
+        return 0.0 if std == 0.0 else math.inf
+    return std / abs(mean)
+
+
+def relative_half_width(mean: float, std: float, z: float = 1.96) -> float:
+    """Relative half-width of a normal confidence interval.
+
+    Alternative error measure mentioned in §3 ("our approach is independent
+    of the error measure"): ``z * std / |mean|``.
+    """
+    return z * coefficient_of_variation(mean, std)

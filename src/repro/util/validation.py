@@ -1,0 +1,35 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value > 0``; return it otherwise."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Raise unless ``value`` is an integer > 0; return it otherwise."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive_low: bool = False,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in (0, 1] (bounds configurable)."""
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        lo = "[0" if inclusive_low else "(0"
+        hi = "1]" if inclusive_high else "1)"
+        raise ValueError(f"{name} must be in {lo}, {hi}, got {value!r}")
+    return float(value)

@@ -1,0 +1,41 @@
+"""Synthetic workloads and HDFS loaders for the evaluation."""
+
+from repro.workloads.datasets import (
+    GB,
+    LoadedDataset,
+    load_lines,
+    load_numeric,
+    load_stand_in,
+)
+from repro.workloads.synthetic import (
+    NUMERIC_FORMAT,
+    ar1_series,
+    categorical_dataset,
+    clustered_lines,
+    gaussian_mixture_points,
+    keyed_lines,
+    numeric_dataset,
+    numeric_lines,
+    parse_point,
+    point_lines,
+    population_summary,
+)
+
+__all__ = [
+    "numeric_dataset",
+    "numeric_lines",
+    "keyed_lines",
+    "clustered_lines",
+    "categorical_dataset",
+    "ar1_series",
+    "gaussian_mixture_points",
+    "point_lines",
+    "parse_point",
+    "population_summary",
+    "NUMERIC_FORMAT",
+    "LoadedDataset",
+    "load_numeric",
+    "load_lines",
+    "load_stand_in",
+    "GB",
+]

@@ -1,0 +1,99 @@
+"""Tests for the Cluster facade and failure injection."""
+
+import pytest
+
+from repro.cluster import (
+    DISK_ANNUAL_FAILURE_RATE,
+    Cluster,
+    FailureInjector,
+    expected_daily_failures,
+)
+
+
+class TestCluster:
+    def test_slots_accounting(self):
+        cluster = Cluster(n_nodes=5, map_slots_per_node=2,
+                          reduce_slots_per_node=1, seed=1)
+        assert cluster.total_map_slots == 10
+        assert cluster.total_reduce_slots == 5
+
+    def test_fail_node_removes_slots_and_storage(self):
+        cluster = Cluster(n_nodes=3, seed=2)
+        cluster.fail_node("node-0")
+        assert cluster.total_map_slots == 4
+        assert not cluster.hdfs.datanodes["datanode-0"].alive
+
+    def test_recover_node(self):
+        cluster = Cluster(n_nodes=3, seed=3)
+        cluster.fail_node("node-1")
+        cluster.recover_node("node-1")
+        assert cluster.total_map_slots == 6
+        assert cluster.hdfs.datanodes["datanode-1"].alive
+
+    def test_unknown_node_raises(self):
+        cluster = Cluster(n_nodes=2, seed=4)
+        with pytest.raises(KeyError):
+            cluster.fail_node("node-99")
+
+    def test_new_ledger_bound_to_params(self):
+        cluster = Cluster(n_nodes=2, seed=5)
+        ledger = cluster.new_ledger()
+        assert ledger.params is cluster.cost_params
+
+    def test_deterministic_hdfs_placement(self):
+        a = Cluster(n_nodes=4, block_size=32, seed=42)
+        b = Cluster(n_nodes=4, block_size=32, seed=42)
+        a.hdfs.write_bytes("/f", b"x" * 100)
+        b.hdfs.write_bytes("/f", b"x" * 100)
+        replicas_a = [blk.replicas for blk in a.hdfs.namenode.get("/f").blocks]
+        replicas_b = [blk.replicas for blk in b.hdfs.namenode.get("/f").blocks]
+        assert replicas_a == replicas_b
+
+
+class TestFailureModel:
+    def test_paper_arithmetic(self):
+        # §3.4: 1,000,000 devices at 3 %/yr => "over 83 will fail every day"
+        assert expected_daily_failures(1_000_000) > 82
+        assert expected_daily_failures(1_000_000) == pytest.approx(
+            1_000_000 * DISK_ANNUAL_FAILURE_RATE / 365)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_daily_failures(0)
+        with pytest.raises(ValueError):
+            expected_daily_failures(10, afr=2.0)
+
+
+class TestFailureInjector:
+    def test_fail_named_nodes(self):
+        cluster = Cluster(n_nodes=4, seed=6)
+        injector = FailureInjector(cluster, seed=7)
+        failed = injector.fail_nodes(["node-0", "node-2"])
+        assert failed == ["node-0", "node-2"]
+        assert len(cluster.healthy_nodes) == 2
+
+    def test_fail_random_nodes(self):
+        cluster = Cluster(n_nodes=5, seed=8)
+        injector = FailureInjector(cluster, seed=9)
+        failed = injector.fail_random_nodes(2)
+        assert len(failed) == 2
+        assert len(cluster.healthy_nodes) == 3
+
+    def test_fail_more_than_healthy_rejected(self):
+        cluster = Cluster(n_nodes=2, seed=10)
+        injector = FailureInjector(cluster, seed=11)
+        with pytest.raises(ValueError):
+            injector.fail_random_nodes(3)
+
+    def test_fail_random_fraction(self):
+        cluster = Cluster(n_nodes=10, seed=12)
+        injector = FailureInjector(cluster, seed=13)
+        injector.fail_random_fraction(0.4)
+        assert len(cluster.healthy_nodes) == 6
+
+    def test_deterministic_with_seed(self):
+        def run():
+            cluster = Cluster(n_nodes=6, seed=1)
+            injector = FailureInjector(cluster, seed=2)
+            return injector.fail_random_nodes(3)
+        assert run() == run()

@@ -1,0 +1,25 @@
+"""Tests for ClusterNode."""
+
+import pytest
+
+from repro.cluster.node import ClusterNode
+
+
+class TestClusterNode:
+    def test_defaults(self):
+        node = ClusterNode(node_id="n0")
+        assert node.map_slots == 2
+        assert node.reduce_slots == 1
+        assert node.alive
+
+    def test_fail_recover(self):
+        node = ClusterNode(node_id="n0")
+        node.fail()
+        assert not node.alive
+        node.recover()
+        assert node.alive
+
+    @pytest.mark.parametrize("field", ["map_slots", "reduce_slots"])
+    def test_slot_validation(self, field):
+        with pytest.raises(ValueError):
+            ClusterNode(node_id="n0", **{field: 0})

@@ -1,0 +1,68 @@
+"""Tests for the slot scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.scheduler import schedule_tasks
+
+durations = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                               allow_nan=False), min_size=0, max_size=40)
+
+
+class TestScheduleTasks:
+    def test_empty(self):
+        sched = schedule_tasks([], 4)
+        assert sched.makespan == 0.0
+        assert sched.waves == 0
+
+    def test_single_task(self):
+        sched = schedule_tasks([5.0], 2)
+        assert sched.makespan == 5.0
+        assert sched.waves == 1
+
+    def test_perfect_parallelism(self):
+        sched = schedule_tasks([2.0, 2.0, 2.0, 2.0], 4)
+        assert sched.makespan == 2.0
+        assert sched.waves == 1
+
+    def test_two_waves(self):
+        sched = schedule_tasks([1.0] * 6, 3)
+        assert sched.makespan == pytest.approx(2.0)
+        assert sched.waves == 2
+
+    def test_single_slot_serializes(self):
+        sched = schedule_tasks([1.0, 2.0, 3.0], 1)
+        assert sched.makespan == pytest.approx(6.0)
+
+    def test_fifo_order(self):
+        sched = schedule_tasks([4.0, 1.0, 1.0, 1.0], 2)
+        # slot A: 4.0; slot B: 1+1+1 -> makespan 4.0
+        assert sched.makespan == pytest.approx(4.0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            schedule_tasks([1.0], 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_tasks([-1.0], 1)
+
+    @given(ds=durations, slots=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_property_makespan_bounds(self, ds, slots):
+        sched = schedule_tasks(ds, slots)
+        total = sum(ds)
+        longest = max(ds) if ds else 0.0
+        # Classic list-scheduling bounds.
+        assert sched.makespan >= longest - 1e-9
+        assert sched.makespan >= total / slots - 1e-9
+        assert sched.makespan <= total + 1e-9
+        # No slot overlap:
+        by_slot = {}
+        for task in sched.tasks:
+            by_slot.setdefault(task.slot, []).append(task)
+        for tasks in by_slot.values():
+            tasks.sort(key=lambda t: t.start)
+            for prev, cur in zip(tasks, tasks[1:]):
+                assert cur.start >= prev.end - 1e-9

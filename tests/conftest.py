@@ -1,0 +1,40 @@
+"""Shared fixtures for the EARL test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """5-node cluster with small blocks (multi-block files stay cheap)."""
+    return Cluster(n_nodes=5, block_size=4096, replication=3, seed=7)
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """Single-node cluster for degenerate-topology tests."""
+    return Cluster(n_nodes=1, block_size=1024, replication=1, seed=11)
+
+
+@pytest.fixture
+def lognormal_values(rng) -> np.ndarray:
+    """Right-skewed positive values (the paper's interesting regime)."""
+    return rng.lognormal(3.0, 1.0, 4000)
+
+
+@pytest.fixture
+def numeric_file(small_cluster, lognormal_values):
+    """A numeric dataset loaded into the small cluster's HDFS."""
+    from repro.workloads import load_numeric
+
+    return load_numeric(small_cluster, "/data/values", lognormal_values)

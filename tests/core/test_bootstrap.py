@@ -1,0 +1,148 @@
+"""Tests for Monte-Carlo bootstrapping."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bootstrap import (
+    bootstrap,
+    bootstrap_cv_curve,
+    bootstrap_cv_vs_n,
+    exact_bootstrap_count,
+    theoretical_num_bootstraps,
+)
+
+
+class TestExactCount:
+    def test_paper_value_n15(self):
+        # §3: "for n = 15 is already equal to 77 × 10^6"
+        assert exact_bootstrap_count(15) == 77_558_760
+
+    def test_small_values(self):
+        assert exact_bootstrap_count(1) == 1
+        assert exact_bootstrap_count(2) == 3
+        assert exact_bootstrap_count(3) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            exact_bootstrap_count(0)
+
+
+class TestTheoreticalB:
+    def test_formula(self):
+        assert theoretical_num_bootstraps(0.05) == math.ceil(0.5 / 0.0025)
+
+    def test_decreasing_in_epsilon(self):
+        assert theoretical_num_bootstraps(0.01) > theoretical_num_bootstraps(0.1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theoretical_num_bootstraps(0.0)
+
+
+class TestBootstrap:
+    @pytest.fixture
+    def data(self):
+        return np.random.default_rng(1).lognormal(3.0, 1.0, 2000)
+
+    def test_estimate_near_truth(self, data):
+        res = bootstrap(data, "mean", B=50, seed=2)
+        assert res.mean == pytest.approx(np.mean(data), rel=0.05)
+        assert res.point_estimate == pytest.approx(np.mean(data))
+
+    def test_shape_and_metadata(self, data):
+        res = bootstrap(data, "median", B=25, seed=3)
+        assert res.estimates.shape == (25,)
+        assert res.B == 25
+        assert res.n == 2000
+
+    def test_cv_positive_for_dispersed_data(self, data):
+        res = bootstrap(data, "mean", B=40, seed=4)
+        assert 0 < res.cv < 1
+
+    def test_cv_zero_for_constant_data(self):
+        res = bootstrap(np.full(100, 7.0), "mean", B=20, seed=5)
+        assert res.cv == 0.0
+        assert res.std == 0.0
+
+    def test_std_tracks_clt_rate(self):
+        """Bootstrap std of the mean ≈ sample std / sqrt(n)."""
+        rng = np.random.default_rng(6)
+        data = rng.normal(100, 20, 5000)
+        res = bootstrap(data, "mean", B=300, seed=7)
+        clt = np.std(data, ddof=1) / np.sqrt(len(data))
+        assert res.std == pytest.approx(clt, rel=0.25)
+
+    def test_confidence_interval_contains_estimate(self, data):
+        res = bootstrap(data, "mean", B=100, seed=8)
+        lo, hi = res.confidence_interval(0.95)
+        assert lo < res.mean < hi
+
+    def test_confidence_validation(self, data):
+        res = bootstrap(data, "mean", B=10, seed=9)
+        with pytest.raises(ValueError):
+            res.confidence_interval(1.5)
+
+    def test_deterministic_with_seed(self, data):
+        a = bootstrap(data, "mean", B=30, seed=10)
+        b = bootstrap(data, "mean", B=30, seed=10)
+        np.testing.assert_array_equal(a.estimates, b.estimates)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap([], "mean", B=10)
+
+    def test_invalid_B(self):
+        with pytest.raises(ValueError):
+            bootstrap([1.0, 2.0], "mean", B=0)
+
+    def test_works_for_arbitrary_callable(self, data):
+        res = bootstrap(data, lambda a: float(np.ptp(a)), B=15, seed=11)
+        assert res.estimates.shape == (15,)
+
+    @given(scale=st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cv_scale_invariant(self, scale):
+        """cv(c·X) == cv(X) for c > 0 — the reason cv is a usable
+        *relative* error measure."""
+        data = np.random.default_rng(12).lognormal(1.0, 0.5, 300)
+        a = bootstrap(data, "mean", B=25, seed=13)
+        b = bootstrap(data * scale, "mean", B=25, seed=13)
+        assert a.cv == pytest.approx(b.cv, rel=1e-9)
+
+
+class TestCvCurves:
+    def test_fig2a_curve_shape(self):
+        """cv stabilizes as B grows (Fig. 2a)."""
+        data = np.random.default_rng(14).lognormal(3.0, 1.0, 1000)
+        curve = bootstrap_cv_curve(data, "mean", B_max=60, seed=15)
+        assert curve[0][0] == 2
+        assert curve[-1][0] == 60
+        tail = [cv for b, cv in curve if b >= 30]
+        spread = max(tail) - min(tail)
+        head = [cv for b, cv in curve if b <= 10]
+        assert spread < max(head) - min(head) + 0.05
+
+    def test_fig2b_curve_decreases_with_n(self):
+        """Larger n → lower cv (Fig. 2b)."""
+        population = np.random.default_rng(16).lognormal(3.0, 1.0, 50_000)
+        curve = bootstrap_cv_vs_n(population, [100, 400, 1600, 6400],
+                                  "mean", B=60, seed=17)
+        cvs = [cv for _, cv in curve]
+        assert cvs[0] > cvs[-1]
+        # roughly 1/sqrt(n): quadrupling n should halve the cv (loosely)
+        assert cvs[2] < cvs[0]
+
+    def test_curve_validations(self):
+        data = np.arange(100.0)
+        with pytest.raises(ValueError):
+            bootstrap_cv_curve([], "mean")
+        with pytest.raises(ValueError):
+            bootstrap_cv_curve(data, "mean", B_values=[1])
+        with pytest.raises(ValueError):
+            bootstrap_cv_vs_n(data, [2, 1000], "mean")
+        with pytest.raises(ValueError):
+            bootstrap_cv_vs_n(data, [1], "mean")

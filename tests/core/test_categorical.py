@@ -1,0 +1,110 @@
+"""Tests for categorical-data support (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.categorical import (
+    proportion_estimate,
+    required_sample_size_proportion,
+    z_test_proportion,
+)
+
+
+class TestProportionEstimate:
+    def test_basic(self):
+        est = proportion_estimate(30, 100)
+        assert est.proportion == pytest.approx(0.3)
+        assert est.variance == pytest.approx(0.3 * 0.7 / 100)
+        assert est.n == 100
+
+    def test_interval_contains_estimate(self):
+        est = proportion_estimate(40, 200)
+        assert est.ci_low < est.proportion < est.ci_high
+
+    def test_interval_clipped_to_unit(self):
+        est = proportion_estimate(0, 10)
+        assert est.ci_low == 0.0
+        est2 = proportion_estimate(10, 10)
+        assert est2.ci_high == 1.0
+
+    def test_cv_decreases_with_n(self):
+        small = proportion_estimate(30, 100)
+        large = proportion_estimate(3000, 10_000)
+        assert large.cv < small.cv
+
+    def test_meets_semantics(self):
+        est = proportion_estimate(5000, 10_000)
+        assert est.meets(0.05)
+        tiny = proportion_estimate(5, 10)
+        assert not tiny.meets(0.05)
+
+    def test_zero_successes_cv_inf(self):
+        est = proportion_estimate(0, 100)
+        assert est.cv == 0.0  # std is 0 when p_hat is 0 -> degenerate
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_estimate(11, 10)
+        with pytest.raises(ValueError):
+            proportion_estimate(-1, 10)
+        with pytest.raises(ValueError):
+            proportion_estimate(1, 10, confidence=1.0)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should contain the true proportion."""
+        rng = np.random.default_rng(1)
+        p_true = 0.35
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            successes = int(rng.binomial(400, p_true))
+            est = proportion_estimate(successes, 400)
+            if est.ci_low <= p_true <= est.ci_high:
+                hits += 1
+        assert hits / trials > 0.90
+
+
+class TestZTest:
+    def test_null_not_rejected_at_truth(self):
+        z, p_value = z_test_proportion(50, 100, 0.5)
+        assert abs(z) < 1e-9
+        assert p_value == pytest.approx(1.0)
+
+    def test_far_from_null_rejected(self):
+        z, p_value = z_test_proportion(90, 100, 0.5)
+        assert abs(z) > 5
+        assert p_value < 0.001
+
+    def test_two_sided_symmetry(self):
+        z_hi, p_hi = z_test_proportion(60, 100, 0.5)
+        z_lo, p_lo = z_test_proportion(40, 100, 0.5)
+        assert z_hi == pytest.approx(-z_lo)
+        assert p_hi == pytest.approx(p_lo)
+
+    def test_calibration_under_null(self):
+        """p-values should be roughly uniform under H0."""
+        rng = np.random.default_rng(2)
+        p_values = []
+        for _ in range(400):
+            successes = int(rng.binomial(500, 0.4))
+            _, p = z_test_proportion(successes, 500, 0.4)
+            p_values.append(p)
+        # ~5% should fall below 0.05
+        frac = np.mean(np.asarray(p_values) < 0.05)
+        assert 0.01 < frac < 0.12
+
+
+class TestRequiredSampleSize:
+    def test_formula(self):
+        # n = (1-p)/(p sigma^2); p=0.5, sigma=0.1 -> 100
+        assert required_sample_size_proportion(0.5, 0.1) == 100
+
+    def test_rare_events_need_more(self):
+        assert required_sample_size_proportion(0.01, 0.05) > \
+            required_sample_size_proportion(0.5, 0.05)
+
+    def test_achieves_target_cv(self):
+        p, sigma = 0.2, 0.05
+        n = required_sample_size_proportion(p, sigma)
+        est = proportion_estimate(int(p * n), n)
+        assert est.cv <= sigma * 1.1

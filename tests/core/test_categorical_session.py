@@ -1,0 +1,75 @@
+"""Tests for the categorical EARL loop (Appendix A end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.core.categorical_session import CategoricalEarlSession
+from repro.workloads import categorical_dataset
+
+
+@pytest.fixture(scope="module")
+def population():
+    return categorical_dataset(400_000, 0.3, seed=1)
+
+
+class TestCategoricalEarlSession:
+    def test_estimates_true_proportion(self, population):
+        res = CategoricalEarlSession(
+            population, config=EarlConfig(sigma=0.05, seed=2)).run()
+        assert res.estimate == pytest.approx(0.3, abs=0.03)
+        assert res.achieved
+
+    def test_closed_form_needs_one_shot_usually(self, population):
+        """The binomial closed form sizes the sample correctly up front,
+        so the verification loop should not need to expand."""
+        res = CategoricalEarlSession(
+            population, config=EarlConfig(sigma=0.05, seed=3)).run()
+        assert res.num_iterations == 1
+        assert res.B == 1  # no resampling at all
+
+    def test_sample_size_tracks_closed_form(self, population):
+        from repro.core.categorical import required_sample_size_proportion
+
+        res = CategoricalEarlSession(
+            population, config=EarlConfig(sigma=0.05, seed=4)).run()
+        ideal = required_sample_size_proportion(0.3, 0.05)
+        # same order as the closed form; a boundary-sized first sample
+        # may need one verification doubling (n up to ~2× ideal)
+        assert 0.5 * ideal <= res.n <= 2.5 * ideal
+
+    def test_tighter_sigma_needs_more(self, population):
+        loose = CategoricalEarlSession(
+            population, config=EarlConfig(sigma=0.10, seed=5)).run()
+        tight = CategoricalEarlSession(
+            population, config=EarlConfig(sigma=0.02, seed=5)).run()
+        assert tight.n > loose.n
+
+    def test_rare_events_expand(self):
+        rare = categorical_dataset(300_000, 0.01, seed=6)
+        res = CategoricalEarlSession(
+            rare, config=EarlConfig(sigma=0.1, seed=7)).run()
+        assert res.estimate == pytest.approx(0.01, abs=0.005)
+        # rare events need large samples: cv = sqrt((1-p)/(np))
+        assert res.n > 5000
+
+    def test_custom_predicate(self):
+        values = np.arange(10_000)
+        res = CategoricalEarlSession(
+            values, predicate=lambda v: v % 10 == 0,
+            config=EarlConfig(sigma=0.05, seed=8)).run()
+        assert res.estimate == pytest.approx(0.1, abs=0.03)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalEarlSession([])
+
+    def test_ci_brackets_truth_usually(self, population):
+        hits = 0
+        for seed in range(10):
+            res = CategoricalEarlSession(
+                population, config=EarlConfig(sigma=0.05, seed=seed)).run()
+            lo, hi = res.ci
+            if lo <= 0.3 <= hi:
+                hits += 1
+        assert hits >= 8

@@ -1,0 +1,48 @@
+"""Tests for EarlConfig validation."""
+
+import pytest
+
+from repro.core.config import EarlConfig
+
+
+class TestEarlConfig:
+    def test_defaults_follow_paper(self):
+        cfg = EarlConfig()
+        assert cfg.sigma == 0.05          # §6 normalized error
+        assert cfg.pilot_fraction == 0.01  # §3.2 p = 0.01
+        assert cfg.subsample_levels == 5   # §3.2 l = 5
+        assert cfg.maintenance == "optimized"
+        assert cfg.sampler == "premap"
+
+    @pytest.mark.parametrize("field,value", [
+        ("sigma", 0.0),
+        ("sigma", 1.5),
+        ("tau", 0.0),
+        ("pilot_fraction", 0.0),
+        ("min_pilot_size", 0),
+        ("subsample_levels", 0),
+        ("expansion_factor", 1.0),
+        ("expansion_factor", 0.5),
+        ("max_iterations", 0),
+        ("error_metric", "vibes"),
+        ("maintenance", "warp"),
+        ("sketch_c", 0.0),
+        ("sampler", "telepathy"),
+        ("confidence", 1.0),
+        ("B_override", 0),
+        ("n_override", -1),
+        ("B_min", 1),
+        ("stability_window", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises((ValueError, TypeError)):
+            EarlConfig(**{field: value})
+
+    def test_overrides_accepted(self):
+        cfg = EarlConfig(B_override=30, n_override=1000)
+        assert cfg.B_override == 30
+        assert cfg.n_override == 1000
+
+    def test_alternative_metrics_accepted(self):
+        for metric in ["cv", "relative_ci", "variance", "bias"]:
+            assert EarlConfig(error_metric=metric).error_metric == metric

@@ -1,0 +1,55 @@
+"""Tests for result correction policies (§2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correction import (
+    get_correction,
+    inverse_fraction,
+    no_correction,
+)
+
+
+class TestPolicies:
+    def test_no_correction_identity(self):
+        assert no_correction(42.0, 0.5) == 42.0
+
+    def test_inverse_fraction_scales(self):
+        assert inverse_fraction(50.0, 0.25) == 200.0
+
+    def test_p_validated(self):
+        with pytest.raises(ValueError):
+            inverse_fraction(1.0, 0.0)
+        with pytest.raises(ValueError):
+            no_correction(1.0, 1.5)
+
+    @given(result=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+           p=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, result, p):
+        """Scaling up by 1/p then back down by p recovers the input."""
+        assert inverse_fraction(result, p) * p == pytest.approx(
+            result, rel=1e-9, abs=1e-9)
+
+
+class TestResolution:
+    def test_by_name(self):
+        assert get_correction("none") is no_correction
+        assert get_correction("inverse_fraction") is inverse_fraction
+
+    def test_auto_extensive(self):
+        assert get_correction("auto", "sum") is inverse_fraction
+        assert get_correction("auto", "count") is inverse_fraction
+
+    def test_auto_intensive(self):
+        for stat in ["mean", "median", "p90", "variance", "proportion"]:
+            assert get_correction("auto", stat) is no_correction
+
+    def test_callable_passthrough(self):
+        fn = lambda r, p: r + p
+        assert get_correction(fn) is fn
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_correction("double")

@@ -1,0 +1,58 @@
+"""Tests for the COUNT statistic and its 1/p correction (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig, EarlSession
+from repro.core.correction import get_correction, inverse_fraction
+from repro.core.estimators import CountState, get_statistic
+
+
+class TestCountState:
+    def test_counts_additions(self):
+        state = CountState()
+        for v in [1.0, 2.0, 3.0]:
+            state.add(v)
+        assert state.result() == 3.0
+
+    def test_remove(self):
+        state = CountState()
+        state.add(1.0)
+        state.add(2.0)
+        state.remove(1.0)
+        assert state.result() == 1.0
+
+    def test_remove_empty_raises(self):
+        with pytest.raises(ValueError):
+            CountState().remove(1.0)
+
+    def test_merge_and_copy(self):
+        a, b = CountState(), CountState()
+        a.add(1)
+        b.add(2)
+        b.add(3)
+        a.merge(b)
+        assert a.result() == 3.0
+        c = a.copy()
+        c.add(4)
+        assert a.result() == 3.0
+        assert c.result() == 4.0
+
+
+class TestCountStatistic:
+    def test_pointwise_and_batch(self):
+        stat = get_statistic("count")
+        assert stat(np.arange(7.0)) == 7.0
+        matrix = np.zeros((3, 11))
+        np.testing.assert_array_equal(stat.batch(matrix), [11.0] * 3)
+
+    def test_auto_correction_is_inverse_fraction(self):
+        assert get_correction("auto", "count") is inverse_fraction
+
+    def test_earl_session_estimates_population_size(self):
+        """COUNT over a sample, corrected by 1/p, estimates N itself."""
+        data = np.random.default_rng(1).lognormal(3.0, 1.0, 100_000)
+        cfg = EarlConfig(sigma=0.05, seed=2, B_override=20, n_override=1000)
+        res = EarlSession(data, "count", config=cfg).run()
+        # count(sample)/p == n/(n/N) == N exactly
+        assert res.estimate == pytest.approx(len(data), rel=1e-9)

@@ -1,0 +1,210 @@
+"""Tests for inter-iteration delta maintenance (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.core.bootstrap import bootstrap
+from repro.core.delta import (
+    MAINTENANCE_NAIVE,
+    MAINTENANCE_NONE,
+    MAINTENANCE_OPTIMIZED,
+    Resample,
+    ResampleSet,
+)
+from repro.core.estimators import get_statistic
+
+
+@pytest.fixture
+def population():
+    return np.random.default_rng(1).lognormal(3.0, 1.0, 12_000)
+
+
+class TestResample:
+    def test_add_and_size(self):
+        r = Resample(get_statistic("mean").make_state())
+        r.new_segment()
+        for v in [1.0, 2.0, 3.0]:
+            r.add(v, 0)
+        assert r.size == 3
+        assert r.estimate() == pytest.approx(2.0)
+
+    def test_remove_random_keeps_state_consistent(self):
+        rng = np.random.default_rng(2)
+        r = Resample(get_statistic("mean").make_state())
+        r.new_segment()
+        values = [float(i) for i in range(20)]
+        for v in values:
+            r.add(v, 0)
+        removed = r.remove_random(rng)
+        assert removed in values
+        remaining = sum(values) - removed
+        assert r.estimate() == pytest.approx(remaining / 19)
+
+    def test_remove_from_empty_raises(self):
+        r = Resample(get_statistic("mean").make_state())
+        r.new_segment()
+        with pytest.raises(ValueError):
+            r.remove_random(np.random.default_rng(3))
+
+    def test_multi_segment_removal_spans_segments(self):
+        rng = np.random.default_rng(4)
+        r = Resample(get_statistic("sum").make_state())
+        r.new_segment()
+        r.add(1.0, 0)
+        r.new_segment()
+        r.add(2.0, 1)
+        seen = set()
+        for _ in range(50):
+            clone = Resample(get_statistic("sum").make_state())
+            clone.new_segment()
+            clone.add(1.0, 0)
+            clone.new_segment()
+            clone.add(2.0, 1)
+            seen.add(clone.remove_random(rng))
+        assert seen == {1.0, 2.0}
+
+
+class TestResampleSetLifecycle:
+    @pytest.mark.parametrize("mode", [MAINTENANCE_NAIVE,
+                                      MAINTENANCE_OPTIMIZED,
+                                      MAINTENANCE_NONE])
+    def test_sizes_always_match_sample(self, population, mode):
+        rs = ResampleSet("mean", 20, maintenance=mode, seed=5)
+        rs.initialize(population[:500])
+        assert set(rs.resample_sizes()) == {500}
+        rs.expand(population[500:1500])
+        assert set(rs.resample_sizes()) == {1500}
+        rs.expand(population[1500:2000])
+        assert set(rs.resample_sizes()) == {2000}
+        assert rs.sample_size == 2000
+
+    def test_double_initialize_rejected(self, population):
+        rs = ResampleSet("mean", 5, seed=6)
+        rs.initialize(population[:100])
+        with pytest.raises(RuntimeError):
+            rs.initialize(population[:100])
+
+    def test_expand_before_initialize_rejected(self, population):
+        rs = ResampleSet("mean", 5, seed=7)
+        with pytest.raises(RuntimeError):
+            rs.expand(population[:100])
+
+    def test_empty_initialize_rejected(self):
+        rs = ResampleSet("mean", 5, seed=8)
+        with pytest.raises(ValueError):
+            rs.initialize([])
+
+    def test_empty_expand_is_noop(self, population):
+        rs = ResampleSet("mean", 5, seed=9)
+        rs.initialize(population[:100])
+        before = rs.estimates()
+        rs.expand([])
+        np.testing.assert_array_equal(before, rs.estimates())
+
+    def test_estimates_before_initialize_rejected(self):
+        with pytest.raises(RuntimeError):
+            ResampleSet("mean", 5, seed=10).estimates()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ResampleSet("mean", 5, maintenance="turbo")
+
+    def test_invalid_B(self):
+        with pytest.raises(ValueError):
+            ResampleSet("mean", 0)
+
+
+class TestStatisticalValidity:
+    """Maintained resamples must be distributed like fresh bootstraps."""
+
+    @pytest.mark.parametrize("mode", [MAINTENANCE_NAIVE,
+                                      MAINTENANCE_OPTIMIZED])
+    def test_mean_and_spread_match_fresh_bootstrap(self, population, mode):
+        B = 120
+        rs = ResampleSet("mean", B, maintenance=mode, seed=11)
+        rs.initialize(population[:1000])
+        rs.expand(population[1000:2000])
+        rs.expand(population[2000:4000])
+        maintained = rs.estimates()
+
+        fresh = bootstrap(population[:4000], "mean", B=B, seed=12)
+        # Same centre...
+        assert maintained.mean() == pytest.approx(fresh.mean, rel=0.02)
+        # ...and same dispersion (within Monte-Carlo noise).
+        assert maintained.std(ddof=1) == pytest.approx(fresh.std, rel=0.5)
+
+    @pytest.mark.parametrize("mode", [MAINTENANCE_NAIVE,
+                                      MAINTENANCE_OPTIMIZED])
+    def test_median_statistic_maintained(self, population, mode):
+        rs = ResampleSet("median", 60, maintenance=mode, seed=13)
+        rs.initialize(population[:800])
+        rs.expand(population[800:1600])
+        maintained = rs.estimates()
+        true_median = np.median(population[:1600])
+        assert maintained.mean() == pytest.approx(true_median, rel=0.1)
+
+    def test_old_sample_share_is_binomial_like(self, population):
+        """After one expansion n→2n, each resample should keep ≈ n/2 of
+        its items from the old sample on average (Eq. 2)."""
+        B = 200
+        rs = ResampleSet("mean", B, maintenance=MAINTENANCE_NAIVE, seed=14)
+        rs.initialize(population[:500])
+        rs.expand(population[500:1000])
+        old_shares = [sum(len(seg) for seg in r.segments[:-1])
+                      for r in rs._resamples]
+        mean_share = np.mean(old_shares)
+        # E[k] = n' * (n/n') = 500; std ~ sqrt(500*0.5) ≈ 16
+        assert mean_share == pytest.approx(500, abs=10)
+
+
+class TestWorkAccounting:
+    def test_maintenance_does_less_work_than_rebuild(self, population):
+        n0, n1 = 2000, 4000
+        B = 30
+        maintained = ResampleSet("mean", B,
+                                 maintenance=MAINTENANCE_OPTIMIZED, seed=15)
+        maintained.initialize(population[:n0])
+        ops_before = maintained.counters.state_ops
+        maintained.expand(population[n0:n1])
+        maintained_ops = maintained.counters.state_ops - ops_before
+
+        rebuilt = ResampleSet("mean", B, maintenance=MAINTENANCE_NONE,
+                              seed=16)
+        rebuilt.initialize(population[:n0])
+        ops_before = rebuilt.counters.state_ops
+        rebuilt.expand(population[n0:n1])
+        rebuild_ops = rebuilt.counters.state_ops - ops_before
+
+        assert maintained_ops < rebuild_ops * 0.75
+
+    def test_optimized_touches_disk_less_than_naive(self, population):
+        def run(mode):
+            ledger = CostLedger()
+            rs = ResampleSet("mean", 20, maintenance=mode, seed=17,
+                             ledger=ledger)
+            rs.initialize(population[:1000])
+            rs.expand(population[1000:2000])
+            rs.expand(population[2000:3000])
+            return rs.counters, ledger
+
+        naive_counters, naive_ledger = run(MAINTENANCE_NAIVE)
+        opt_counters, opt_ledger = run(MAINTENANCE_OPTIMIZED)
+        assert opt_counters.disk_accesses < naive_counters.disk_accesses
+        assert opt_ledger.seconds("disk_seek") < \
+            naive_ledger.seconds("disk_seek")
+        assert opt_counters.sketch_draws > 0
+
+    def test_rebuild_mode_counts_full_rebuilds(self, population):
+        rs = ResampleSet("mean", 10, maintenance=MAINTENANCE_NONE, seed=18)
+        rs.initialize(population[:100])
+        rs.expand(population[100:200])
+        assert rs.counters.full_rebuilds == 10
+
+    def test_set_ledger_rebinds(self, population):
+        rs = ResampleSet("mean", 10, maintenance=MAINTENANCE_NAIVE, seed=19)
+        rs.initialize(population[:200])
+        fresh_ledger = CostLedger()
+        rs.set_ledger(fresh_ledger)
+        rs.expand(population[200:400])
+        assert fresh_ledger.seconds("disk_seek") > 0

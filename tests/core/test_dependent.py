@@ -1,0 +1,115 @@
+"""Tests for the block bootstrap on dependent data (Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap
+from repro.core.dependent import (
+    auto_block_length,
+    block_bootstrap,
+    lag1_autocorrelation,
+)
+from repro.workloads import ar1_series
+
+
+@pytest.fixture
+def dependent_series():
+    return ar1_series(4000, phi=0.85, scale=1.0, loc=100.0, seed=1)
+
+
+class TestLag1Autocorrelation:
+    def test_ar1_series_is_correlated(self, dependent_series):
+        rho = lag1_autocorrelation(dependent_series)
+        assert rho > 0.7
+
+    def test_iid_series_is_uncorrelated(self):
+        iid = np.random.default_rng(2).normal(size=4000)
+        assert abs(lag1_autocorrelation(iid)) < 0.1
+
+    def test_constant_series(self):
+        assert lag1_autocorrelation(np.full(100, 3.0)) == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            lag1_autocorrelation([1.0])
+
+
+class TestAutoBlockLength:
+    def test_longer_for_more_dependent_series(self):
+        weak = ar1_series(3000, phi=0.2, seed=3)
+        strong = ar1_series(3000, phi=0.95, seed=3)
+        assert auto_block_length(strong) > auto_block_length(weak)
+
+    def test_iid_gets_small_blocks(self):
+        iid = np.random.default_rng(4).normal(size=3000)
+        assert auto_block_length(iid) <= 3
+
+    def test_tiny_series(self):
+        assert auto_block_length([1.0, 2.0]) == 1
+
+    def test_constant_series(self):
+        assert auto_block_length(np.full(500, 2.0)) == 1
+
+
+class TestBlockBootstrap:
+    def test_estimates_shape(self, dependent_series):
+        res = block_bootstrap(dependent_series, "mean", B=40, seed=5)
+        assert res.estimates.shape == (40,)
+        assert res.n == 4000
+
+    def test_point_estimate_matches(self, dependent_series):
+        res = block_bootstrap(dependent_series, "mean", B=20, seed=6)
+        assert res.point_estimate == pytest.approx(
+            np.mean(dependent_series))
+
+    def test_plain_bootstrap_underestimates_dependent_variance(
+            self, dependent_series):
+        """The whole point of blocks (App. A): i.i.d. resampling breaks
+        the dependence and understates the error of the mean."""
+        blocked = block_bootstrap(dependent_series, "mean", B=200,
+                                  block_length=50, seed=7)
+        plain = bootstrap(dependent_series, "mean", B=200, seed=8)
+        assert blocked.std > 1.5 * plain.std
+
+    def test_blocks_preserve_autocorrelation(self, dependent_series):
+        """Resampled series keep most of the original lag-1 correlation."""
+        rng = np.random.default_rng(9)
+        n = len(dependent_series)
+        b = 100
+        starts = rng.integers(0, n - b + 1, size=n // b)
+        resample = np.concatenate(
+            [dependent_series[s:s + b] for s in starts])
+        rho_original = lag1_autocorrelation(dependent_series)
+        rho_resampled = lag1_autocorrelation(resample)
+        assert rho_resampled > 0.6 * rho_original
+
+    def test_iid_blocked_matches_plain(self):
+        """On i.i.d. data the block bootstrap agrees with the plain one."""
+        iid = np.random.default_rng(10).normal(50, 10, 3000)
+        blocked = block_bootstrap(iid, "mean", B=200, block_length=10,
+                                  seed=11)
+        plain = bootstrap(iid, "mean", B=200, seed=12)
+        assert blocked.std == pytest.approx(plain.std, rel=0.5)
+
+    def test_non_circular_variant(self, dependent_series):
+        res = block_bootstrap(dependent_series, "mean", B=30,
+                              block_length=25, circular=False, seed=13)
+        assert res.estimates.shape == (30,)
+
+    def test_block_length_longer_than_series_capped(self):
+        short = np.arange(10.0)
+        res = block_bootstrap(short, "mean", B=10, block_length=100, seed=14)
+        assert res.estimates.shape == (10,)
+
+    def test_median_statistic(self, dependent_series):
+        res = block_bootstrap(dependent_series, "median", B=30, seed=15)
+        assert res.point_estimate == pytest.approx(
+            np.median(dependent_series))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_bootstrap([], "mean")
+        with pytest.raises(ValueError):
+            block_bootstrap([1.0, 2.0], "mean", B=0)
+        with pytest.raises(ValueError):
+            block_bootstrap([1.0, 2.0], "mean", block_length=0)

@@ -1,0 +1,76 @@
+"""End-to-end behaviour of the pluggable error metrics (§3).
+
+"Our approach is independent of the error measure and is applicable to
+other errors (e.g., bias, variance)" — these tests drive the full
+session loop under each metric and check the semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig, EarlSession
+from repro.workloads import numeric_dataset
+
+
+@pytest.fixture(scope="module")
+def population():
+    return numeric_dataset(150_000, "lognormal", seed=1)
+
+
+class TestMetricSemantics:
+    def test_cv_and_relative_ci_relationship(self, population):
+        """relative_ci = 1.96·cv, so at equal σ it demands ~4x the
+        sample (cv halves per 4x n)."""
+        cv_run = EarlSession(population, "mean",
+                             config=EarlConfig(sigma=0.05, seed=2,
+                                               error_metric="cv")).run()
+        ci_run = EarlSession(population, "mean",
+                             config=EarlConfig(sigma=0.05, seed=2,
+                                               error_metric="relative_ci")
+                             ).run()
+        assert ci_run.n > cv_run.n
+
+    def test_variance_metric_terminates(self, population):
+        # variance of the mean at n=1000 for this data is tiny; a loose
+        # absolute bound terminates immediately
+        res = EarlSession(population, "mean",
+                          config=EarlConfig(sigma=0.9, seed=3,
+                                            error_metric="variance",
+                                            B_override=25,
+                                            n_override=1000)).run()
+        assert res.achieved
+        assert res.error == pytest.approx(
+            res.accuracy.variance, rel=1e-12)
+
+    def test_bias_metric_terminates(self, population):
+        res = EarlSession(population, "mean",
+                          config=EarlConfig(sigma=0.9, seed=4,
+                                            error_metric="bias",
+                                            B_override=25,
+                                            n_override=1000)).run()
+        assert res.achieved
+        # bias of the mean is ~zero; the metric observed that
+        assert res.error < 0.9
+
+    def test_error_field_follows_selected_metric(self, population):
+        for metric in ["cv", "relative_ci", "variance", "bias"]:
+            res = EarlSession(population, "mean",
+                              config=EarlConfig(sigma=0.99, seed=5,
+                                                error_metric=metric,
+                                                B_override=20,
+                                                n_override=500)).run()
+            assert res.error >= 0.0
+            if metric == "cv":
+                assert res.error == pytest.approx(res.accuracy.cv)
+
+    def test_unachievable_bound_reports_honestly(self, population):
+        """A bound the data cannot meet within the iteration budget must
+        yield achieved=False, never a fake success."""
+        res = EarlSession(population, "mean",
+                          config=EarlConfig(sigma=1e-7, seed=6,
+                                            max_iterations=3,
+                                            B_override=20,
+                                            n_override=200)).run()
+        assert not res.achieved
+        assert res.error > 1e-7
+        assert res.num_iterations == 3

@@ -1,0 +1,104 @@
+"""Tests for the Figure 4 porcelain API."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.figure4 import Figure4Sampler
+from repro.workloads import load_numeric, numeric_dataset
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(n_nodes=4, block_size=1 << 18, seed=80)
+    values = numeric_dataset(20_000, "lognormal", seed=81)
+    ds = load_numeric(cluster, "/data", values, logical_scale=100.0)
+    return cluster, ds
+
+
+class TestFigure4Steps:
+    def test_init_estimates_population(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=1)
+        s.init(ds.path)
+        assert s._population == pytest.approx(ds.records, rel=0.02)
+
+    def test_generate_samples_draws_lines(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=2)
+        s.init(ds.path)
+        s.generate_samples(200, 15)
+        assert len(s._sample_values) == 200
+        assert s.simulated_seconds > 0
+
+    def test_generate_is_incremental(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=3)
+        s.init(ds.path)
+        s.generate_samples(100, 10)
+        s.generate_samples(300, 10)
+        assert len(s._sample_values) == 300
+
+    def test_user_job_produces_B_estimates(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=4)
+        s.init(ds.path)
+        s.generate_samples(200, 25)
+        estimates = s.run_user_job()
+        assert estimates.shape == (25,)
+
+    def test_aes_job_sets_error(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=5)
+        s.init(ds.path)
+        s.generate_samples(200, 25)
+        s.run_user_job()
+        accuracy = s.run_aes_job()
+        assert s.error == accuracy.error
+        assert accuracy.n == 200
+
+    def test_step_order_enforced(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=6)
+        with pytest.raises(RuntimeError):
+            s.generate_samples(10, 5)
+        s.init(ds.path)
+        with pytest.raises(RuntimeError):
+            s.run_user_job()
+        with pytest.raises(RuntimeError):
+            s.run_aes_job()
+        with pytest.raises(RuntimeError):
+            s.result()
+
+
+class TestFigure4Loop:
+    def test_loop_reaches_sigma(self, env):
+        cluster, ds = env
+        s = Figure4Sampler(cluster, seed=7)
+        s.init(ds.path)
+        accuracy = s.run_loop(sigma=0.05)
+        assert s.error <= 0.05
+        truth = ds.truth["mean"]
+        assert abs(accuracy.estimate - truth) / truth < 0.15
+
+    def test_loop_fallback_on_tiny_data(self):
+        cluster = Cluster(n_nodes=3, block_size=1 << 18, seed=82)
+        values = numeric_dataset(300, "lognormal", seed=83)
+        ds = load_numeric(cluster, "/tiny", values)
+        s = Figure4Sampler(cluster, seed=8)
+        s.init(ds.path)
+        s.run_loop(sigma=0.005)
+        # "sample_size and num_resamples will be set to N and 1"
+        assert s.full_data_mode
+        assert s.num_resamples == 1
+        assert s.sample_size == s._population
+
+    def test_loop_deterministic(self, env):
+        cluster, ds = env
+
+        def run():
+            s = Figure4Sampler(cluster, seed=9)
+            s.init(ds.path)
+            return s.run_loop(sigma=0.05).estimate
+
+        assert run() == run()

@@ -1,0 +1,166 @@
+"""Tests for intra-iteration optimization (§4.2, Eq. 4, Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bootstrap import bootstrap
+from repro.core.intra import (
+    average_optimal_saving,
+    optimal_sharing,
+    prob_identical_fraction,
+    shared_prefix_bootstrap,
+    work_saved,
+    work_saved_curve,
+)
+
+
+class TestEquation4:
+    def test_paper_example_n29_y03(self):
+        """§4.2: "if n = 29 and y = 0.3 ... 35% of the time"."""
+        assert prob_identical_fraction(29, 0.3) == pytest.approx(0.35, abs=0.02)
+
+    def test_y_zero_is_certain(self):
+        assert prob_identical_fraction(50, 0.0) == 1.0
+
+    def test_decreasing_in_y(self):
+        probs = [prob_identical_fraction(30, y)
+                 for y in [0.1, 0.3, 0.5, 0.7, 0.9]]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_large_n_stays_finite(self):
+        p = prob_identical_fraction(10_000, 0.5)
+        assert 0.0 <= p <= 1.0
+
+    @given(n=st.integers(min_value=1, max_value=500),
+           y=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_valid_probability(self, n, y):
+        assert 0.0 <= prob_identical_fraction(n, y) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_identical_fraction(0, 0.5)
+        with pytest.raises(ValueError):
+            prob_identical_fraction(10, 1.5)
+
+
+class TestWorkSaved:
+    def test_work_saved_formula(self):
+        n, y = 29, 0.3
+        assert work_saved(n, y) == pytest.approx(
+            prob_identical_fraction(n, y) * y)
+
+    def test_optimal_sharing_maximizes(self):
+        n = 25
+        y_star, saved_star = optimal_sharing(n)
+        for k in range(1, n + 1):
+            assert work_saved(n, k / n) <= saved_star + 1e-12
+        assert saved_star == pytest.approx(work_saved(n, y_star))
+
+    def test_paper_average_saving_over_small_samples(self):
+        """§4.2: "on average we save over 20% of work" — holds over the
+        small-sample range where the optimization is intended."""
+        assert average_optimal_saving(range(2, 31)) > 0.20
+
+    def test_saving_declines_with_n(self):
+        """"Our optimization techniques are best suited for small sample
+        sizes" (§4.2)."""
+        small = optimal_sharing(10)[1]
+        large = optimal_sharing(500)[1]
+        assert small > large
+
+    def test_curve_covers_grid(self):
+        rows = work_saved_curve([10, 20], [0.1, 0.2, 0.3])
+        assert len(rows) == 6
+        assert rows[0][:2] == (10, 0.1)
+
+    def test_average_requires_sizes(self):
+        with pytest.raises(ValueError):
+            average_optimal_saving([])
+
+
+class TestSharedPrefixBootstrap:
+    @pytest.fixture
+    def data(self):
+        return np.random.default_rng(1).lognormal(3.0, 1.0, 400)
+
+    @pytest.fixture
+    def small_data(self):
+        # §4.2: the optimization targets *small* samples — Eq. 4's
+        # sharing probability is negligible for large n.
+        return np.random.default_rng(1).lognormal(3.0, 1.0, 25)
+
+    def test_saves_work_on_small_samples(self, small_data):
+        res = shared_prefix_bootstrap(small_data, "mean", B=400, y=0.3,
+                                      seed=2)
+        assert res.ops_performed < res.ops_baseline
+        assert 0.0 < res.ops_saved_fraction < 1.0
+
+    def test_measured_saving_tracks_equation4(self, small_data):
+        n = len(small_data)
+        y = 0.4
+        res = shared_prefix_bootstrap(small_data, "mean", B=2000, y=y,
+                                      seed=2)
+        expected = prob_identical_fraction(n, y) * (int(y * n) / n)
+        assert res.ops_saved_fraction == pytest.approx(expected, abs=0.05)
+
+    def test_estimates_match_plain_bootstrap(self, data):
+        shared = shared_prefix_bootstrap(data, "mean", B=300, seed=3)
+        plain = bootstrap(data, "mean", B=300, seed=4)
+        assert shared.estimates.mean() == pytest.approx(plain.mean, rel=0.02)
+        assert shared.estimates.std(ddof=1) == pytest.approx(plain.std,
+                                                             rel=0.5)
+
+    def test_optimal_y_picked_when_omitted(self, data):
+        res = shared_prefix_bootstrap(data, "mean", B=50, seed=5)
+        y_star, _ = optimal_sharing(len(data))
+        assert res.shared_fraction == pytest.approx(y_star)
+
+    def test_y_zero_degenerates_to_plain(self, data):
+        res = shared_prefix_bootstrap(data, "mean", B=40, y=0.0, seed=6)
+        assert res.ops_performed == res.ops_baseline
+
+    def test_median_supported(self, data):
+        res = shared_prefix_bootstrap(data, "median", B=60, seed=7)
+        assert res.estimates.mean() == pytest.approx(np.median(data),
+                                                     rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shared_prefix_bootstrap([], "mean", B=10)
+        with pytest.raises(ValueError):
+            shared_prefix_bootstrap([1.0], "mean", B=0)
+
+
+class TestOptimalSharingSearch:
+    """§4.2: "The optimal y for given n can be found using a simple
+    binary search" — the log-time search must agree with the scan."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 10, 17, 29, 64, 100, 257, 1000])
+    def test_search_matches_exhaustive_scan(self, n):
+        from repro.core.intra import optimal_sharing_search
+
+        y_scan, saved_scan = optimal_sharing(n)
+        y_search, saved_search = optimal_sharing_search(n)
+        assert saved_search == pytest.approx(saved_scan, rel=1e-12)
+        assert y_search == pytest.approx(y_scan)
+
+    def test_search_is_logarithmic_evaluations(self):
+        """The search touches O(log n) candidates, not all n."""
+        import repro.core.intra as intra
+
+        calls = []
+        original = intra.work_saved
+
+        def counting(n, y):
+            calls.append(y)
+            return original(n, y)
+
+        intra.work_saved = counting
+        try:
+            intra.optimal_sharing_search(10_000)
+        finally:
+            intra.work_saved = original
+        assert len(calls) < 100

@@ -1,0 +1,116 @@
+"""Tests for jackknife-based estimation (the §8 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import (
+    EarlConfig,
+    EarlJob,
+    EarlSession,
+    JackknifeEstimationStage,
+)
+from repro.workloads import load_numeric, numeric_dataset
+
+
+@pytest.fixture(scope="module")
+def population():
+    return np.random.default_rng(1).lognormal(3.0, 1.0, 150_000)
+
+
+class TestJackknifeStage:
+    def test_offer_and_history(self, population):
+        stage = JackknifeEstimationStage("mean")
+        first = stage.offer(population[:500])
+        second = stage.offer(population[500:1500])
+        assert stage.sample_size == 1500
+        assert len(stage.history) == 2
+        assert second.cv < first.cv * 1.5
+
+    def test_estimate_matches_sample_mean(self, population):
+        stage = JackknifeEstimationStage("mean")
+        est = stage.offer(population[:2000])
+        assert est.estimate == pytest.approx(np.mean(population[:2000]))
+
+    def test_cv_matches_clt_for_mean(self, population):
+        """Jackknife std of the mean is exactly s/√n."""
+        sample = population[:3000]
+        stage = JackknifeEstimationStage("mean")
+        est = stage.offer(sample)
+        clt = np.std(sample, ddof=1) / np.sqrt(len(sample))
+        assert est.std == pytest.approx(clt, rel=1e-9)
+
+    def test_refuses_non_smooth_statistics(self):
+        with pytest.raises(ValueError):
+            JackknifeEstimationStage("median")
+        with pytest.raises(ValueError):
+            JackknifeEstimationStage("p90")
+
+    def test_work_ops_linear_in_n(self, population):
+        stage = JackknifeEstimationStage("mean")
+        stage.offer(population[:100])
+        assert stage.work_ops == 100
+        stage.offer(population[100:300])
+        assert stage.work_ops == 100 + 300
+
+    def test_ci_contains_estimate(self, population):
+        stage = JackknifeEstimationStage("mean")
+        est = stage.offer(population[:500])
+        assert est.ci_low < est.estimate < est.ci_high
+
+    def test_error_stability(self, population):
+        stage = JackknifeEstimationStage("mean")
+        assert stage.error_stability() is None
+        stage.offer(population[:200])
+        stage.offer(population[200:400])
+        assert stage.error_stability() is not None
+
+    def test_too_few_observations_rejected(self):
+        stage = JackknifeEstimationStage("mean")
+        with pytest.raises(ValueError):
+            stage.offer([1.0])
+
+
+class TestJackknifeInSession:
+    def test_session_with_jackknife_estimation(self, population):
+        cfg = EarlConfig(sigma=0.05, seed=2, estimation="jackknife")
+        res = EarlSession(population, "mean", config=cfg).run()
+        truth = population.mean()
+        assert abs(res.estimate - truth) / truth < 0.1
+        assert res.achieved == (res.error <= 0.05)
+
+    def test_jackknife_does_less_work_than_bootstrap(self, population):
+        """For the mean at equal n: n jackknife ops vs B×n bootstrap ops."""
+        from repro.core import AccuracyEstimationStage
+
+        sample = population[:2000]
+        jk = JackknifeEstimationStage("mean")
+        jk.offer(sample)
+        bs = AccuracyEstimationStage("mean", B=30, seed=3)
+        bs.offer(sample)
+        assert jk.work_ops < bs.work_ops / 10
+
+    def test_agreement_with_bootstrap_error(self, population):
+        """Both estimators target the same quantity — the std of the
+        sample mean — and must agree for a smooth statistic."""
+        from repro.core import AccuracyEstimationStage
+
+        sample = population[:4000]
+        jk = JackknifeEstimationStage("mean").offer(sample)
+        bs = AccuracyEstimationStage("mean", B=200, seed=4).offer(sample)
+        assert jk.std == pytest.approx(bs.std, rel=0.3)
+
+
+class TestJackknifeInJob:
+    def test_earl_job_with_jackknife(self):
+        cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=5)
+        values = numeric_dataset(30_000, "lognormal", seed=6)
+        ds = load_numeric(cluster, "/jk", values, logical_scale=500.0)
+        cfg = EarlConfig(sigma=0.05, seed=7, estimation="jackknife")
+        res = EarlJob(cluster, ds.path, statistic="mean", config=cfg).run()
+        truth = ds.truth["mean"]
+        assert abs(res.estimate - truth) / truth < 0.12
+
+    def test_config_validates_estimation(self):
+        with pytest.raises(ValueError):
+            EarlConfig(estimation="crystal-ball")

@@ -1,0 +1,42 @@
+"""Tests for record-count estimation under partial data loss."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.earl import estimate_record_count
+from repro.hdfs.errors import BlockUnavailableError
+from repro.workloads import load_numeric, numeric_dataset
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(n_nodes=4, block_size=4096, replication=1, seed=1)
+
+
+class TestEstimateRecordCount:
+    def test_probes_first_available_block_after_loss(self, cluster):
+        values = numeric_dataset(3000, "lognormal", seed=2)
+        ds = load_numeric(cluster, "/data", values)
+        meta = cluster.hdfs.namenode.get(ds.path)
+        # kill the node holding block 0 (replication=1: block 0 is gone)
+        first_replica = meta.blocks[0].replicas[0]
+        node_idx = first_replica.split("-")[1]
+        cluster.fail_node(f"node-{node_idx}")
+        if cluster.hdfs.block_available(meta.blocks[0]):
+            pytest.skip("replica landed elsewhere; scenario not formed")
+        n, seconds = estimate_record_count(cluster, ds.path)
+        assert n == pytest.approx(ds.records, rel=0.05)
+        assert seconds > 0
+
+    def test_total_loss_raises_clearly(self, cluster):
+        values = numeric_dataset(500, "lognormal", seed=3)
+        ds = load_numeric(cluster, "/data", values)
+        for node in list(cluster.nodes):
+            cluster.fail_node(node.node_id)
+        with pytest.raises(BlockUnavailableError):
+            estimate_record_count(cluster, ds.path)
+
+    def test_single_line_no_newline_in_probe(self, cluster):
+        cluster.hdfs.write_text("/one", "x" * 100)  # no newline at all
+        n, _ = estimate_record_count(cluster, "/one")
+        assert n == 1

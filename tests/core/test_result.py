@@ -1,0 +1,59 @@
+"""Tests for EarlResult / IterationRecord plumbing."""
+
+import pytest
+
+from repro.core.accuracy import AccuracyEstimate
+from repro.core.result import EarlResult, IterationRecord
+
+
+def make_accuracy(error=0.04) -> AccuracyEstimate:
+    return AccuracyEstimate(estimate=10.0, point_estimate=10.1, error=error,
+                            cv=error, std=0.4, variance=0.16, bias=-0.1,
+                            ci_low=9.2, ci_high=10.8, n=100, B=30)
+
+
+def make_result(**kwargs) -> EarlResult:
+    base = dict(estimate=10.0, uncorrected_estimate=10.0, error=0.04,
+                achieved=True, sigma=0.05, statistic="mean", n=100, B=30,
+                population_size=10_000, sample_fraction=0.01,
+                used_fallback=False, simulated_seconds=12.5)
+    base.update(kwargs)
+    return EarlResult(**base)
+
+
+class TestEarlResult:
+    def test_num_iterations(self):
+        records = [IterationRecord(iteration=i, sample_size=i * 100,
+                                   accuracy=make_accuracy(),
+                                   simulated_seconds=1.0, expanded=i < 2)
+                   for i in (1, 2)]
+        assert make_result(iterations=records).num_iterations == 2
+
+    def test_ci_from_accuracy(self):
+        res = make_result(accuracy=make_accuracy())
+        assert res.ci == (9.2, 10.8)
+
+    def test_ci_none_without_accuracy(self):
+        assert make_result().ci is None
+
+    def test_optional_fields_default_none(self):
+        res = make_result()
+        assert res.key_estimates is None
+        assert res.block_length is None
+
+    def test_repr_mentions_status(self):
+        assert "met" in repr(make_result(achieved=True))
+        assert "NOT met" in repr(make_result(achieved=False))
+        assert "exact-fallback" in repr(make_result(used_fallback=True))
+
+
+class TestAccuracyEstimate:
+    def test_meets_boundary(self):
+        acc = make_accuracy(error=0.05)
+        assert acc.meets(0.05)
+        assert not acc.meets(0.049)
+
+    def test_frozen(self):
+        acc = make_accuracy()
+        with pytest.raises(Exception):
+            acc.error = 0.1

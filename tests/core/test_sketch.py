@@ -1,0 +1,124 @@
+"""Tests for the two-layer memory/disk sketch (§4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.core.sketch import Sketch
+
+
+class TestSketchStructure:
+    def test_size_is_c_sqrt_n(self):
+        backing = list(range(10_000))
+        sketch = Sketch(backing, c=4.0, rng=np.random.default_rng(1))
+        assert sketch.sketch_size == math.ceil(4.0 * 100)
+
+    def test_size_capped_at_backing(self):
+        sketch = Sketch(list(range(5)), c=10.0,
+                        rng=np.random.default_rng(2))
+        assert sketch.sketch_size == 5
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            Sketch([1, 2, 3], c=0.0)
+
+    def test_empty_backing(self):
+        sketch = Sketch([], c=2.0)
+        assert sketch.sketch_size == 0
+        with pytest.raises(ValueError):
+            sketch.draw()
+
+
+class TestDrawing:
+    def test_draws_come_from_backing(self):
+        backing = list(range(100))
+        sketch = Sketch(backing, c=2.0, rng=np.random.default_rng(3))
+        for _ in range(15):
+            assert sketch.draw() in backing
+
+    def test_exhaustion_triggers_disk_reload(self):
+        backing = list(range(100))
+        ledger = CostLedger()
+        sketch = Sketch(backing, c=1.0, rng=np.random.default_rng(4),
+                        ledger=ledger)
+        size = sketch.sketch_size
+        for _ in range(size):
+            sketch.draw()
+        assert sketch.exhausted
+        sketch.draw()  # forces reload
+        assert sketch.disk_reloads == 1
+        assert ledger.seconds("disk_seek") > 0
+        assert ledger.seconds("disk_read") > 0
+
+    def test_memory_draws_are_free(self):
+        ledger = CostLedger()
+        sketch = Sketch(list(range(1000)), c=4.0,
+                        rng=np.random.default_rng(5), ledger=ledger)
+        for _ in range(sketch.sketch_size):
+            sketch.draw()
+        assert ledger.total_seconds == 0.0
+
+    def test_draw_counter(self):
+        sketch = Sketch(list(range(50)), c=2.0,
+                        rng=np.random.default_rng(6))
+        for _ in range(7):
+            sketch.draw()
+        assert sketch.draws == 7
+
+
+class TestRefresh:
+    def test_refresh_resets_pointer(self):
+        sketch = Sketch(list(range(200)), c=2.0,
+                        rng=np.random.default_rng(7))
+        for _ in range(5):
+            sketch.draw()
+        used_before = 5
+        sketch.refresh()
+        assert sketch.remaining == sketch.sketch_size
+        assert not sketch.exhausted
+        assert used_before <= sketch.draws
+
+    def test_refresh_keeps_items_from_backing(self):
+        backing = list(range(300))
+        sketch = Sketch(backing, c=3.0, rng=np.random.default_rng(8))
+        for _ in range(10):
+            sketch.draw()
+        sketch.refresh()
+        seen = [sketch.draw() for _ in range(sketch.sketch_size)]
+        assert all(item in backing for item in seen)
+
+    def test_refresh_costs_no_disk(self):
+        ledger = CostLedger()
+        sketch = Sketch(list(range(400)), c=2.0,
+                        rng=np.random.default_rng(9), ledger=ledger)
+        for _ in range(10):
+            sketch.draw()
+        sketch.refresh()
+        assert ledger.total_seconds == 0.0
+
+
+class TestBackingGrowth:
+    def test_notify_backing_grew_rescales(self):
+        backing = list(range(100))
+        sketch = Sketch(backing, c=2.0, rng=np.random.default_rng(10))
+        old_size = sketch.sketch_size
+        backing.extend(range(100, 10_000))
+        sketch.notify_backing_grew()
+        assert sketch.sketch_size > old_size
+        assert sketch.remaining == sketch.sketch_size
+
+    def test_uniformity_of_draws(self):
+        """Sequential draws from the sketch are uniform over the backing
+        (in aggregate across refreshes)."""
+        backing = list(range(20))
+        rng = np.random.default_rng(11)
+        sketch = Sketch(backing, c=2.0, rng=rng)
+        counts = np.zeros(20)
+        for _ in range(4000):
+            counts[sketch.draw()] += 1
+            if sketch.exhausted:
+                sketch.refresh()
+        expected = 4000 / 20
+        assert np.all(np.abs(counts - expected) < 6 * np.sqrt(expected))

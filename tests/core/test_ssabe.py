@@ -1,0 +1,141 @@
+"""Tests for SSABE — sample size and bootstrap count estimation (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ssabe import (
+    estimate_num_bootstraps,
+    estimate_parameters,
+    estimate_sample_size,
+    theoretical_sample_size_mean,
+)
+
+
+@pytest.fixture
+def pilot():
+    return np.random.default_rng(1).lognormal(3.0, 1.0, 1000)
+
+
+class TestEstimateNumBootstraps:
+    def test_returns_stable_B(self, pilot):
+        B, curve = estimate_num_bootstraps(pilot, "mean", tau=0.01, seed=2)
+        assert B >= 15
+        assert curve[0][0] == 2
+        assert curve[-1][0] == B or B == curve[-1][0]
+
+    def test_respects_B_min(self, pilot):
+        B, _ = estimate_num_bootstraps(pilot, "mean", tau=0.5, B_min=25,
+                                       seed=3)
+        assert B >= 25
+
+    def test_tiny_tau_hits_cap(self, pilot):
+        B, _ = estimate_num_bootstraps(pilot, "mean", tau=1e-9, B_cap=40,
+                                       seed=4)
+        assert B == 40
+
+    def test_curve_is_monotone_in_candidate(self, pilot):
+        _, curve = estimate_num_bootstraps(pilot, "mean", seed=5)
+        candidates = [b for b, _ in curve]
+        assert candidates == sorted(candidates)
+
+    def test_empty_pilot_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_num_bootstraps([], "mean")
+
+    def test_b_min_validation(self, pilot):
+        with pytest.raises(ValueError):
+            estimate_num_bootstraps(pilot, "mean", B_min=1)
+
+    def test_deterministic(self, pilot):
+        a = estimate_num_bootstraps(pilot, "mean", seed=6)
+        b = estimate_num_bootstraps(pilot, "mean", seed=6)
+        assert a == b
+
+
+class TestEstimateSampleSize:
+    def test_extrapolates_beyond_pilot_for_tight_sigma(self, pilot):
+        n, points, a, b = estimate_sample_size(pilot, "mean", sigma=0.01,
+                                               B=30, seed=7)
+        assert n > len(pilot)
+        assert len(points) == 5
+
+    def test_small_n_for_loose_sigma(self, pilot):
+        n, _, _, _ = estimate_sample_size(pilot, "mean", sigma=0.5, B=30,
+                                          seed=8)
+        assert n <= len(pilot)
+
+    def test_cv_points_decrease(self, pilot):
+        _, points, _, _ = estimate_sample_size(pilot, "mean", sigma=0.01,
+                                               B=40, seed=9)
+        first_cv = points[0][1]
+        last_cv = points[-1][1]
+        assert last_cv < first_cv
+
+    def test_fitted_exponent_near_half(self, pilot):
+        """cv ∝ n^(-1/2) for the mean, so the fit should find b ≈ 0.5."""
+        _, _, a, b = estimate_sample_size(pilot, "mean", sigma=0.001, B=60,
+                                          seed=10)
+        assert b is not None
+        assert 0.2 < b < 0.9
+
+    def test_pilot_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sample_size(np.arange(10.0), "mean", levels=5)
+
+    def test_constant_data_needs_minimum(self):
+        n, _, _, _ = estimate_sample_size(np.full(200, 5.0), "mean",
+                                          sigma=0.05, B=10, seed=11)
+        assert n >= 10
+
+
+class TestEstimateParameters:
+    def test_full_pipeline(self, pilot):
+        res = estimate_parameters(pilot, 1_000_000, "mean", sigma=0.05,
+                                  seed=12)
+        assert res.B >= 15
+        assert res.n >= 10
+        assert not res.fallback_to_exact
+        assert res.work_bound == res.B * res.n
+        assert res.pilot_size == 1000
+
+    def test_fallback_when_population_small(self, pilot):
+        res = estimate_parameters(pilot, 50, "mean", sigma=0.001, seed=13)
+        assert res.fallback_to_exact
+        assert res.n <= 50
+
+    def test_n_capped_at_population(self, pilot):
+        res = estimate_parameters(pilot, 600, "mean", sigma=0.0001, seed=14)
+        assert res.n <= 600
+
+    def test_diagnostics_recorded(self, pilot):
+        res = estimate_parameters(pilot, 10_000, "mean", seed=15)
+        assert len(res.cv_by_B) >= 1
+        assert len(res.cv_by_n) == 5
+
+
+class TestTheoreticalSampleSize:
+    def test_formula(self):
+        # cv_pop = 1.3, sigma = 0.05 -> n = (1.3/0.05)^2 = 676
+        assert theoretical_sample_size_mean(1.3, 0.05) == 676
+
+    def test_tighter_sigma_needs_more(self):
+        assert theoretical_sample_size_mean(1.0, 0.01) > \
+            theoretical_sample_size_mean(1.0, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theoretical_sample_size_mean(0.0, 0.05)
+        with pytest.raises(ValueError):
+            theoretical_sample_size_mean(1.0, 0.0)
+
+    def test_empirical_vs_theoretical_same_order(self):
+        """Fig. 8's sanity check: for the mean, SSABE's estimate should
+        land within an order of magnitude of the CLT prescription."""
+        rng = np.random.default_rng(16)
+        population = rng.lognormal(3.0, 1.0, 200_000)
+        pilot = population[:2000]
+        res = estimate_parameters(pilot, len(population), "mean",
+                                  sigma=0.05, seed=17)
+        pop_cv = float(np.std(population, ddof=1) / np.mean(population))
+        theory_n = theoretical_sample_size_mean(pop_cv, 0.05)
+        assert theory_n / 10 < res.n < theory_n * 10

@@ -1,0 +1,57 @@
+"""Focused tests for SSABE's hardened stability rule (see EXPERIMENTS.md:
+the paper's single-step criterion fires too early on noisy cv curves)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ssabe import estimate_num_bootstraps
+
+
+@pytest.fixture
+def pilot():
+    return np.random.default_rng(1).lognormal(3.0, 1.0, 800)
+
+
+class TestStabilityWindow:
+    def test_wider_window_never_decreases_B(self, pilot):
+        results = []
+        for window in [1, 3, 6]:
+            B, _ = estimate_num_bootstraps(pilot, "mean", tau=0.01,
+                                           B_min=2, stability_window=window,
+                                           seed=2)
+            results.append(B)
+        assert results == sorted(results)
+
+    def test_single_step_rule_fires_early(self, pilot):
+        """With window=1 and B_min=2 (the paper's literal rule) the
+        estimate collapses to a handful of resamples — the failure mode
+        the hardening exists for."""
+        B, _ = estimate_num_bootstraps(pilot, "mean", tau=0.02, B_min=2,
+                                       stability_window=1, seed=3)
+        assert B < 10
+
+    def test_hardened_rule_yields_usable_B(self, pilot):
+        B, _ = estimate_num_bootstraps(pilot, "mean", tau=0.01, B_min=15,
+                                       stability_window=3, seed=4)
+        assert 15 <= B <= 100
+
+    def test_streak_resets_on_large_step(self):
+        """A cv curve that keeps jumping must not be declared stable:
+        high-variance data pushes B toward the candidate cap."""
+        wild = np.random.default_rng(5).pareto(1.1, 500) * 10
+        B_wild, curve = estimate_num_bootstraps(wild, "mean", tau=0.001,
+                                                B_min=5,
+                                                stability_window=3,
+                                                B_cap=60, seed=6)
+        steps = [abs(b_cv - a_cv)
+                 for (_, a_cv), (_, b_cv) in zip(curve, curve[1:])]
+        # the data is wild enough that some steps exceed tau late on
+        assert any(s > 0.001 for s in steps[5:])
+        assert B_wild >= 5
+
+    def test_candidate_range_honours_tau(self, pilot):
+        """The candidate set is {2..1/τ} (§3.2): a coarse τ caps B low."""
+        B, curve = estimate_num_bootstraps(pilot, "mean", tau=0.2,
+                                           B_min=2, stability_window=1,
+                                           seed=7)
+        assert curve[-1][0] <= max(5, int(1 / 0.2))

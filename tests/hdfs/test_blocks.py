@@ -1,0 +1,23 @@
+"""Tests for Block metadata."""
+
+from repro.hdfs.blocks import DEFAULT_BLOCK_SIZE, Block
+
+
+class TestBlock:
+    def test_default_block_size_is_hadoop_default(self):
+        assert DEFAULT_BLOCK_SIZE == 64 * 1024 * 1024
+
+    def test_end(self):
+        block = Block(block_id=1, path="/f", offset=100, length=50)
+        assert block.end == 150
+
+    def test_covers(self):
+        block = Block(block_id=1, path="/f", offset=100, length=50)
+        assert block.covers(100)
+        assert block.covers(149)
+        assert not block.covers(150)
+        assert not block.covers(99)
+
+    def test_replicas_default_empty(self):
+        block = Block(block_id=1, path="/f", offset=0, length=10)
+        assert block.replicas == []

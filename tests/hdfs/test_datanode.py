@@ -1,0 +1,58 @@
+"""Tests for the DataNode block store."""
+
+import pytest
+
+from repro.hdfs.datanode import DataNode
+
+
+class TestDataNode:
+    def test_store_and_read(self):
+        dn = DataNode("dn-1")
+        dn.store(1, b"abc")
+        assert dn.read(1) == b"abc"
+        assert dn.has_block(1)
+
+    def test_missing_block(self):
+        dn = DataNode("dn-1")
+        assert not dn.has_block(9)
+
+    def test_fail_makes_blocks_unreadable(self):
+        dn = DataNode("dn-1")
+        dn.store(1, b"abc")
+        dn.fail()
+        assert not dn.alive
+        assert not dn.has_block(1)
+        with pytest.raises(RuntimeError):
+            dn.read(1)
+
+    def test_store_on_failed_node_rejected(self):
+        dn = DataNode("dn-1")
+        dn.fail()
+        with pytest.raises(RuntimeError):
+            dn.store(1, b"x")
+
+    def test_recover_restores_data(self):
+        dn = DataNode("dn-1")
+        dn.store(1, b"abc")
+        dn.fail()
+        dn.recover()
+        assert dn.read(1) == b"abc"
+
+    def test_drop(self):
+        dn = DataNode("dn-1")
+        dn.store(1, b"abc")
+        dn.drop(1)
+        assert not dn.has_block(1)
+        dn.drop(1)  # idempotent
+
+    def test_used_bytes(self):
+        dn = DataNode("dn-1")
+        dn.store(1, b"abc")
+        dn.store(2, b"defgh")
+        assert dn.used_bytes == 8
+
+    def test_block_ids(self):
+        dn = DataNode("dn-1")
+        dn.store(5, b"a")
+        dn.store(7, b"b")
+        assert set(dn.block_ids()) == {5, 7}

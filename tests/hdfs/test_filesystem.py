@@ -1,0 +1,163 @@
+"""Tests for the simulated HDFS facade."""
+
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs import (
+    HDFS,
+    BlockUnavailableError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+)
+
+
+@pytest.fixture
+def fs() -> HDFS:
+    return HDFS(n_datanodes=4, block_size=64, replication=2, seed=5)
+
+
+class TestWriteRead:
+    def test_roundtrip_bytes(self, fs):
+        data = bytes(range(256)) * 3
+        fs.write_bytes("/f", data)
+        assert fs.read_bytes("/f") == data
+
+    def test_roundtrip_text(self, fs):
+        fs.write_text("/t", "hello\nworld\n")
+        assert fs.read_text("/t") == "hello\nworld\n"
+
+    def test_roundtrip_lines(self, fs):
+        lines = [f"line-{i}" for i in range(50)]
+        fs.write_lines("/lines", lines)
+        assert fs.read_lines("/lines") == lines
+
+    def test_empty_lines_file(self, fs):
+        fs.write_lines("/empty", [])
+        assert fs.read_lines("/empty") == []
+
+    def test_multi_block_chunking(self, fs):
+        data = b"x" * 300  # block_size=64 -> 5 blocks
+        meta = fs.write_bytes("/blocks", data)
+        assert len(meta.blocks) == 5
+        assert [b.length for b in meta.blocks] == [64, 64, 64, 64, 44]
+        assert fs.read_bytes("/blocks") == data
+
+    def test_blocks_are_replicated(self, fs):
+        meta = fs.write_bytes("/r", b"y" * 100)
+        for block in meta.blocks:
+            assert len(block.replicas) == 2
+            assert len(set(block.replicas)) == 2
+
+    def test_overwrite_requires_flag(self, fs):
+        fs.write_text("/dup", "a")
+        with pytest.raises(FileAlreadyExists):
+            fs.write_text("/dup", "b")
+        fs.write_text("/dup", "b", overwrite=True)
+        assert fs.read_text("/dup") == "b"
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FileNotFoundInHdfs):
+            fs.read_bytes("/nope")
+
+    def test_delete_frees_datanode_space(self, fs):
+        fs.write_bytes("/gone", b"z" * 500)
+        assert fs.total_used_bytes() > 0
+        fs.delete("/gone")
+        assert fs.total_used_bytes() == 0
+        assert not fs.exists("/gone")
+
+
+class TestReadRange:
+    def test_range_matches_slice(self, fs):
+        data = bytes(i % 251 for i in range(1000))
+        fs.write_bytes("/rr", data)
+        for start, end in [(0, 10), (60, 70), (63, 65), (0, 1000), (999, 1000)]:
+            assert fs.read_range("/rr", start, end) == data[start:end]
+
+    def test_out_of_bounds_rejected(self, fs):
+        fs.write_bytes("/rb", b"abc")
+        with pytest.raises(ValueError):
+            fs.read_range("/rb", 0, 4)
+        with pytest.raises(ValueError):
+            fs.read_range("/rb", -1, 2)
+        with pytest.raises(ValueError):
+            fs.read_range("/rb", 2, 1)
+
+
+class TestCostCharging:
+    def test_full_read_charges_logical_bytes(self, fs):
+        ledger = CostLedger()
+        fs.write_bytes("/cost", b"a" * 1000, logical_scale=10.0)
+        fs.read_bytes("/cost", ledger=ledger)
+        expected = 10_000 / ledger.params.disk_bandwidth
+        assert ledger.seconds("disk_read") == pytest.approx(expected)
+
+    def test_range_read_scales(self, fs):
+        ledger = CostLedger()
+        fs.write_bytes("/cost2", b"a" * 1000, logical_scale=4.0)
+        fs.read_range("/cost2", 0, 100, ledger=ledger)
+        expected = 400 / ledger.params.disk_bandwidth
+        assert ledger.seconds("disk_read") == pytest.approx(expected)
+
+    def test_write_charges_replication_network(self, fs):
+        ledger = CostLedger()
+        fs.write_bytes("/w", b"a" * 1000, ledger=ledger)
+        assert ledger.seconds("disk_write") > 0
+        assert ledger.seconds("network") > 0
+
+
+class TestFailuresAndAvailability:
+    def test_replica_survives_single_failure(self, fs):
+        data = b"q" * 500
+        fs.write_bytes("/ha", data)
+        fs.fail_datanode("datanode-0")
+        # replication=2 so one failure can never lose data
+        assert fs.read_bytes("/ha") == data
+
+    def test_all_replicas_lost_raises(self, fs):
+        fs.write_bytes("/lost", b"v" * 100)
+        for node_id in list(fs.datanodes):
+            fs.fail_datanode(node_id)
+        with pytest.raises(BlockUnavailableError):
+            fs.read_bytes("/lost")
+
+    def test_available_fraction_degrades(self, fs):
+        fs.write_bytes("/frac", b"m" * 640)  # 10 blocks
+        assert fs.available_fraction("/frac") == 1.0
+        for node_id in list(fs.datanodes):
+            fs.fail_datanode(node_id)
+        assert fs.available_fraction("/frac") == 0.0
+
+    def test_recovery_restores_reads(self, fs):
+        fs.write_bytes("/rec", b"r" * 100)
+        for node_id in list(fs.datanodes):
+            fs.fail_datanode(node_id)
+        for node_id in list(fs.datanodes):
+            fs.recover_datanode(node_id)
+        assert fs.read_bytes("/rec") == b"r" * 100
+
+    def test_split_available_tracks_blocks(self, fs):
+        fs.write_bytes("/sa", b"s" * 640)
+        splits = fs.get_splits("/sa", 64)
+        assert all(fs.split_available(s) for s in splits)
+        for node_id in list(fs.datanodes):
+            fs.fail_datanode(node_id)
+        assert not any(fs.split_available(s) for s in splits)
+
+
+class TestNamespace:
+    def test_list_files_prefix(self, fs):
+        fs.write_text("/a/one", "1")
+        fs.write_text("/a/two", "2")
+        fs.write_text("/b/three", "3")
+        assert fs.list_files("/a") == ["/a/one", "/a/two"]
+        assert len(fs.list_files("/")) == 3
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.write_text("relative", "x")
+
+    def test_logical_size(self, fs):
+        fs.write_bytes("/ls", b"a" * 100, logical_scale=7.0)
+        assert fs.logical_size("/ls") == 700
+        assert fs.file_size("/ls") == 100

@@ -1,0 +1,61 @@
+"""Tests for the HDFS rebalancer."""
+
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs import HDFS, imbalance, rebalance, replica_counts
+
+
+def skewed_fs() -> HDFS:
+    """All replicas forced onto one node (replication=1, single healthy)."""
+    fs = HDFS(n_datanodes=4, block_size=16, replication=1, seed=9)
+    # Fail all but node 0 during writes so everything lands there.
+    for node_id in ["datanode-1", "datanode-2", "datanode-3"]:
+        fs.fail_datanode(node_id)
+    fs.write_bytes("/skew", b"a" * 160)  # 10 blocks on datanode-0
+    for node_id in ["datanode-1", "datanode-2", "datanode-3"]:
+        fs.recover_datanode(node_id)
+    return fs
+
+
+class TestRebalance:
+    def test_detects_imbalance(self):
+        fs = skewed_fs()
+        assert imbalance(fs) == 10
+
+    def test_rebalance_flattens_counts(self):
+        fs = skewed_fs()
+        moves = rebalance(fs)
+        assert moves, "expected at least one move"
+        counts = replica_counts(fs)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_data_survives_rebalance(self):
+        fs = skewed_fs()
+        before = fs.read_bytes("/skew")
+        rebalance(fs)
+        assert fs.read_bytes("/skew") == before
+
+    def test_rebalance_charges_network(self):
+        fs = skewed_fs()
+        ledger = CostLedger()
+        rebalance(fs, ledger=ledger)
+        assert ledger.seconds("network") > 0
+
+    def test_balanced_fs_is_noop(self):
+        fs = HDFS(n_datanodes=3, block_size=16, replication=1, seed=2)
+        fs.write_bytes("/even", b"b" * 48)  # 3 blocks over 3 nodes
+        rebalance(fs)  # idempotent regardless of placement
+        assert rebalance(fs) == []
+
+    def test_never_duplicates_replica_on_same_node(self):
+        fs = skewed_fs()
+        rebalance(fs)
+        for path in fs.list_files():
+            for block in fs.namenode.get(path).blocks:
+                assert len(block.replicas) == len(set(block.replicas))
+
+    def test_replica_counts_only_healthy(self):
+        fs = skewed_fs()
+        fs.fail_datanode("datanode-3")
+        assert "datanode-3" not in replica_counts(fs)

@@ -1,0 +1,73 @@
+"""Tests for logical input-split computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs.splits import InputSplit, compute_splits
+
+
+class TestComputeSplits:
+    def test_empty_file_no_splits(self):
+        assert compute_splits("/f", 0, 0, 64) == []
+
+    def test_single_split_when_small(self):
+        splits = compute_splits("/f", 100, 100, 1000)
+        assert len(splits) == 1
+        assert splits[0].start == 0
+        assert splits[0].length == 100
+
+    def test_split_count_follows_logical_size(self):
+        # 1000 actual bytes standing in for 10000 logical, split=1000
+        splits = compute_splits("/f", 1000, 10_000, 1000)
+        assert len(splits) == 10
+
+    def test_splits_partition_file_exactly(self):
+        splits = compute_splits("/f", 997, 997, 100)
+        assert splits[0].start == 0
+        assert splits[-1].end == 997
+        for prev, cur in zip(splits, splits[1:]):
+            assert prev.end == cur.start
+
+    def test_logical_lengths_sum(self):
+        splits = compute_splits("/f", 1000, 123_456, 10_000)
+        assert sum(s.logical_length for s in splits) == 123_456
+
+    def test_at_least_one_byte_per_split(self):
+        splits = compute_splits("/f", 3, 1_000_000, 10)
+        assert len(splits) == 3  # capped at actual size
+
+    def test_invalid_split_size(self):
+        with pytest.raises(ValueError):
+            compute_splits("/f", 10, 10, 0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compute_splits("/f", -1, 10, 10)
+
+    @given(actual=st.integers(min_value=1, max_value=10_000),
+           scale=st.integers(min_value=1, max_value=1000),
+           split=st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_partition_invariants(self, actual, scale, split):
+        logical = actual * scale
+        splits = compute_splits("/f", actual, logical, split)
+        assert splits[0].start == 0
+        assert splits[-1].end == actual
+        assert sum(s.length for s in splits) == actual
+        assert sum(s.logical_length for s in splits) == logical
+        for prev, cur in zip(splits, splits[1:]):
+            assert prev.end == cur.start
+        assert [s.index for s in splits] == list(range(len(splits)))
+
+
+class TestInputSplit:
+    def test_end_property(self):
+        s = InputSplit(path="/f", index=0, start=10, length=5,
+                       logical_length=5)
+        assert s.end == 15
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            InputSplit(path="/f", index=0, start=-1, length=5,
+                       logical_length=5)

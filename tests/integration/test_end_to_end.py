@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the full EARL pipeline on the full
+simulated substrate, validated against exact answers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import EarlConfig, EarlJob, run_stock_job
+from repro.workloads import (
+    keyed_lines,
+    load_numeric,
+    load_stand_in,
+    numeric_dataset,
+)
+
+
+class TestEarlVsStockAgreement:
+    """EARL's estimate must track the stock job's exact answer, at a
+    fraction of the simulated cost, across statistics and samplers."""
+
+    @pytest.fixture(scope="class")
+    def env(self):
+        cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=100)
+        values = numeric_dataset(50_000, "lognormal", seed=101)
+        ds = load_numeric(cluster, "/data", values, logical_scale=2000.0)
+        return cluster, ds
+
+    @pytest.mark.parametrize("statistic,rel_tol", [
+        ("mean", 0.12),
+        ("median", 0.12),
+        ("sum", 0.15),
+        ("p90", 0.15),
+    ])
+    def test_statistic_agreement(self, env, statistic, rel_tol):
+        cluster, ds = env
+        exact, stock_result = run_stock_job(cluster, ds.path, statistic,
+                                            seed=1)
+        earl = EarlJob(cluster, ds.path, statistic=statistic,
+                       config=EarlConfig(sigma=0.05, seed=2)).run()
+        assert abs(earl.estimate - exact) / abs(exact) < rel_tol
+        assert earl.simulated_seconds < stock_result.simulated_seconds
+
+    @pytest.mark.parametrize("sampler", ["premap", "postmap"])
+    def test_both_samplers_converge(self, env, sampler):
+        cluster, ds = env
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.05, seed=3,
+                                         sampler=sampler)).run()
+        truth = ds.truth["mean"]
+        assert abs(earl.estimate - truth) / truth < 0.12
+
+    @pytest.mark.parametrize("maintenance", ["optimized", "naive", "none"])
+    def test_all_maintenance_modes_agree(self, env, maintenance):
+        cluster, ds = env
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.05, seed=4,
+                                         maintenance=maintenance)).run()
+        truth = ds.truth["mean"]
+        assert abs(earl.estimate - truth) / truth < 0.12
+
+
+class TestMultiKeyPipeline:
+    def test_grouped_statistics(self):
+        cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=110)
+        values = numeric_dataset(30_000, "lognormal", seed=111)
+        lines = keyed_lines(values, 4, seed=112)
+        cluster.hdfs.write_lines("/keyed", lines, logical_scale=500.0)
+        earl = EarlJob(cluster, "/keyed", statistic="mean", n_reducers=2,
+                       config=EarlConfig(sigma=0.08, seed=113)).run()
+        assert hasattr(earl, "key_estimates")
+        assert len(earl.key_estimates) == 4
+        overall = float(np.mean(values))
+        for estimate in earl.key_estimates.values():
+            assert abs(estimate - overall) / overall < 0.25
+
+
+class TestStandInScaling:
+    def test_speedup_grows_with_logical_size(self):
+        """The Fig. 5 mechanism: EARL's advantage must widen as the
+        (logical) dataset grows, because its cost is tied to the sample
+        while stock cost is tied to the file."""
+        speedups = []
+        for gb in [1.0, 32.0]:
+            cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=120)
+            ds = load_stand_in(cluster, "/sweep", logical_gb=gb,
+                               records=40_000, seed=121)
+            _, stock = run_stock_job(cluster, ds.path, "mean", seed=1)
+            earl = EarlJob(cluster, ds.path, statistic="mean",
+                           config=EarlConfig(sigma=0.05, seed=2)).run()
+            speedups.append(stock.simulated_seconds / earl.simulated_seconds)
+        assert speedups[1] > speedups[0]
+
+    def test_small_data_falls_back_gracefully(self):
+        """§6.1: below ~1 GB EARL "intelligently switches back to the
+        original work flow ... without incurring a big overhead"."""
+        cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=130)
+        values = numeric_dataset(800, "lognormal", seed=131)
+        ds = load_numeric(cluster, "/small", values)
+        _, stock = run_stock_job(cluster, ds.path, "mean", seed=1)
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.02, seed=2)).run()
+        assert earl.used_fallback
+        assert earl.estimate == pytest.approx(ds.truth["mean"], rel=1e-6)
+        # overhead of the pilot phase stays small
+        assert earl.simulated_seconds < stock.simulated_seconds * 3

@@ -1,0 +1,78 @@
+"""Tests for the programmatic evaluation runners and their CLI."""
+
+import pytest
+
+from repro.evaluation import (
+    fault_point,
+    fig5_point,
+    fig6_point,
+    fig7_point,
+    fig9_point,
+)
+from repro.evaluation.__main__ import main as cli_main
+
+
+class TestRunners:
+    def test_fig5_point_fields(self):
+        row = fig5_point(5.0, records=10_000, seed=1)
+        assert row["gb"] == 5.0
+        assert row["stock_s"] > 0
+        assert row["earl_s"] > 0
+        assert row["speedup"] == pytest.approx(
+            row["stock_s"] / row["earl_s"])
+        assert 0 <= row["rel_err"] < 0.2
+
+    def test_fig6_point_ordering(self):
+        row = fig6_point(20.0, records=20_000, seed=2)
+        assert row["optimized_s"] <= row["naive_s"] * 1.1
+        assert row["naive_err"] < 0.2 and row["opt_err"] < 0.2
+
+    def test_fig7_point_accuracy(self):
+        row = fig7_point(2.0, points=8_000, seed=3)
+        assert row["earl_opt_err"] < 0.05
+        assert row["speedup"] > 1.0
+
+    def test_fig9_point_premap_wins(self):
+        row = fig9_point(5.0, records=10_000, seed=4)
+        assert row["premap_s"] < row["postmap_s"]
+
+    def test_fault_point_healthy(self):
+        row = fault_point(0, records=10_000, logical_gb=2.0, seed=5)
+        assert row["stock"] == "ok"
+        assert row["available"] == 1.0
+
+    def test_fault_point_degraded(self):
+        row = fault_point(2, records=10_000, logical_gb=2.0, seed=6)
+        assert 0.0 < row["available"] <= 1.0
+        assert row["earl_cv"] >= 0.0
+
+    def test_points_are_deterministic(self):
+        a = fig5_point(1.0, records=5_000, seed=7)
+        b = fig5_point(1.0, records=5_000, seed=7)
+        assert a == b
+
+
+class TestCli:
+    def test_cli_fig5(self, capsys):
+        code = cli_main(["fig5", "--sizes", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "1" in out
+
+    def test_cli_fault(self, capsys):
+        code = cli_main(["fault", "--sizes", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stock" in out
+
+    def test_cli_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])
+
+    def test_cli_seed_forwarded(self, capsys):
+        cli_main(["fig5", "--sizes", "1", "--seed", "42"])
+        first = capsys.readouterr().out
+        cli_main(["fig5", "--sizes", "1", "--seed", "42"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,70 @@
+"""Integration tests for §3.4: approximate answers despite node failures."""
+
+import pytest
+
+from repro.cluster import Cluster, FailureInjector
+from repro.core import EarlConfig, EarlJob, run_stock_job
+from repro.mapreduce import JobFailedError
+from repro.workloads import load_numeric, numeric_dataset
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(n_nodes=5, block_size=64 * 1024, replication=2,
+                      seed=200)
+    values = numeric_dataset(30_000, "lognormal", seed=201)
+    ds = load_numeric(cluster, "/data", values, logical_scale=1000.0)
+    return cluster, ds
+
+
+class TestFailureScenarios:
+    def test_earl_survives_two_node_loss(self, env):
+        cluster, ds = env
+        FailureInjector(cluster, seed=1).fail_random_nodes(2)
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.05, seed=2)).run()
+        truth = ds.truth["mean"]
+        assert abs(earl.estimate - truth) / truth < 0.2
+
+    def test_earl_reports_input_fraction_under_heavy_loss(self, env):
+        cluster, ds = env
+        # lose storage on 4 of 5 nodes; replication=2 cannot cover that
+        for node_id in ["node-0", "node-1", "node-2", "node-3"]:
+            cluster.fail_node(node_id)
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.10, seed=3)).run()
+        assert earl.input_fraction <= 1.0
+        assert earl.error >= 0.0
+
+    def test_stock_cannot_complete_after_total_storage_loss(self, env):
+        cluster, ds = env
+        for node in list(cluster.nodes):
+            cluster.fail_node(node.node_id)
+        for node in cluster.nodes:
+            node.recover()  # compute returns; storage remains lost
+        with pytest.raises(JobFailedError):
+            run_stock_job(cluster, ds.path, "mean", seed=4)
+
+    def test_replication_covers_single_failure_exactly(self, env):
+        cluster, ds = env
+        cluster.fail_node("node-2")
+        assert cluster.hdfs.available_fraction(ds.path) == 1.0
+        earl = EarlJob(cluster, ds.path, statistic="mean",
+                       config=EarlConfig(sigma=0.05, seed=5)).run()
+        assert earl.input_fraction == 1.0
+
+    def test_failures_reduce_cluster_parallelism(self, env):
+        """Losing a node also removes slots: the same job takes longer.
+
+        One failure only — with replication 2 a single node loss never
+        loses data, so the stock job still completes (just slower).
+        """
+        cluster, ds = env
+        # Force more map tasks than slots so wave counts actually differ.
+        split = ds.logical_bytes // 30
+        _, before = run_stock_job(cluster, ds.path, "mean", seed=6,
+                                  split_logical_bytes=split)
+        cluster.fail_node("node-0")
+        _, after = run_stock_job(cluster, ds.path, "mean", seed=7,
+                                 split_logical_bytes=split)
+        assert after.simulated_seconds > before.simulated_seconds

@@ -1,0 +1,77 @@
+"""Integration tests for pipelined sample expansion (paper §2.1/§5).
+
+EARL's Hadoop modifications exist to make multi-iteration runs cheap:
+persistent mappers avoid per-iteration job restarts and the feedback
+channel drives termination.  These tests measure that machinery end to
+end on the simulated cluster.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import EarlConfig, EarlJob
+from repro.workloads import load_stand_in
+
+
+def multi_iteration_config(seed: int, **overrides) -> EarlConfig:
+    """Force several expansion rounds from a tiny initial sample."""
+    base = dict(sigma=0.05, seed=seed, B_override=25, n_override=64,
+                expansion_factor=2.0, max_iterations=8)
+    base.update(overrides)
+    return EarlConfig(**base)
+
+
+@pytest.fixture
+def env():
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=90)
+    ds = load_stand_in(cluster, "/data/p", logical_gb=20.0,
+                       records=50_000, seed=91)
+    return cluster, ds
+
+
+class TestPipelinedExpansion:
+    def test_pipelining_saves_restart_costs(self, env):
+        cluster, ds = env
+        pipelined = EarlJob(cluster, ds.path, statistic="mean",
+                            config=multi_iteration_config(1),
+                            pipelined=True).run()
+        restarted = EarlJob(cluster, ds.path, statistic="mean",
+                            config=multi_iteration_config(1),
+                            pipelined=False).run()
+        # identical statistical work (same seeds) ...
+        assert restarted.num_iterations == pipelined.num_iterations
+        assert pipelined.num_iterations >= 2
+        # ... but the restarting variant pays set-up + start-up per round
+        assert restarted.simulated_seconds > pipelined.simulated_seconds
+
+    def test_first_iteration_paid_startup_once(self, env):
+        cluster, ds = env
+        res = EarlJob(cluster, ds.path, statistic="mean",
+                      config=multi_iteration_config(2)).run()
+        assert res.num_iterations >= 2
+        first = res.iterations[0].simulated_seconds
+        # warm iterations process more data yet cost no start-up; the
+        # first (cold) iteration's fixed costs dominate its tiny sample
+        for later in res.iterations[1:-1]:
+            assert later.simulated_seconds < first * 4
+
+    def test_postmap_expansions_need_no_further_io(self, env):
+        """Post-map: the full load happens once; expansions release
+        cached pairs (Algorithm 1, lines 9-15)."""
+        cluster, ds = env
+        res = EarlJob(cluster, ds.path, statistic="mean",
+                      config=multi_iteration_config(3, sampler="postmap")
+                      ).run()
+        assert res.num_iterations >= 2
+        first = res.iterations[0].simulated_seconds
+        for later in res.iterations[1:]:
+            assert later.simulated_seconds < first / 2
+
+    def test_sample_sizes_grow_geometrically(self, env):
+        cluster, ds = env
+        res = EarlJob(cluster, ds.path, statistic="mean",
+                      config=multi_iteration_config(4)).run()
+        sizes = [rec.sample_size for rec in res.iterations]
+        assert sizes == sorted(sizes)
+        for a, b in zip(sizes, sizes[1:]):
+            assert b >= a * 1.5

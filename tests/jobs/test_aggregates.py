@@ -1,0 +1,48 @@
+"""Tests for aggregate jobs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.jobs.aggregates import run_aggregate, run_count
+from repro.workloads import keyed_lines, numeric_dataset
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(n_nodes=4, block_size=1 << 18, seed=40)
+
+
+@pytest.fixture
+def values():
+    return numeric_dataset(5000, "normal", seed=41)
+
+
+class TestRunAggregate:
+    def test_global_mean(self, cluster, values):
+        cluster.hdfs.write_lines("/v", [f"{v:.6f}" for v in values])
+        result, _ = run_aggregate(cluster, "/v", "mean", seed=1)
+        assert result["all"] == pytest.approx(np.mean(values))
+
+    def test_per_key_statistics(self, cluster, values):
+        cluster.hdfs.write_lines("/kv", keyed_lines(values, 3, seed=42))
+        result, _ = run_aggregate(cluster, "/kv", "max", n_reducers=2, seed=2)
+        assert len(result) == 3
+        assert max(result.values()) == pytest.approx(np.max(values),
+                                                     rel=1e-6)
+
+    def test_median(self, cluster, values):
+        cluster.hdfs.write_lines("/v", [f"{v:.6f}" for v in values])
+        result, _ = run_aggregate(cluster, "/v", "median", seed=3)
+        assert result["all"] == pytest.approx(np.median(values), rel=1e-6)
+
+    def test_count(self, cluster, values):
+        cluster.hdfs.write_lines("/kv", keyed_lines(values, 4, seed=43))
+        counts, _ = run_count(cluster, "/kv", seed=4)
+        assert sum(counts.values()) == len(values)
+
+    def test_sum_correction_param(self, cluster, values):
+        cluster.hdfs.write_lines("/v", [f"{v:.6f}" for v in values])
+        result, _ = run_aggregate(cluster, "/v", "sum",
+                                  params={"sample_fraction": 0.5}, seed=5)
+        assert result["all"] == pytest.approx(2 * np.sum(values), rel=1e-9)

@@ -1,0 +1,60 @@
+"""Tests for the correlation job and its bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.jobs.correlation import bootstrap_correlation, run_correlation
+
+
+@pytest.fixture
+def xy():
+    rng = np.random.default_rng(50)
+    x = rng.normal(0, 1, 4000)
+    y = 0.6 * x + rng.normal(0, 0.8, 4000)
+    return x, y
+
+
+@pytest.fixture
+def cluster(xy) -> Cluster:
+    x, y = xy
+    cluster = Cluster(n_nodes=4, block_size=1 << 18, seed=51)
+    lines = [f"{a:.6f},{b:.6f}" for a, b in zip(x, y)]
+    cluster.hdfs.write_lines("/pairs", lines)
+    return cluster
+
+
+class TestRunCorrelation:
+    def test_matches_numpy(self, cluster, xy):
+        x, y = xy
+        r, _ = run_correlation(cluster, "/pairs", seed=1)
+        assert r == pytest.approx(np.corrcoef(x, y)[0, 1], rel=1e-6)
+
+
+class TestBootstrapCorrelation:
+    def test_sample_estimate_near_population(self, xy):
+        x, y = xy
+        pairs = list(zip(x[:500], y[:500]))
+        res = bootstrap_correlation(pairs, B=50, seed=2)
+        assert res.mean == pytest.approx(np.corrcoef(x, y)[0, 1], abs=0.15)
+        assert res.cv < 0.3
+
+    def test_cv_shrinks_with_sample_size(self, xy):
+        x, y = xy
+        small = bootstrap_correlation(list(zip(x[:100], y[:100])), B=100,
+                                      seed=3)
+        large = bootstrap_correlation(list(zip(x[:2000], y[:2000])), B=100,
+                                      seed=3)
+        assert large.std < small.std
+
+    def test_perfectly_correlated_has_tiny_error(self):
+        x = np.arange(200.0)
+        res = bootstrap_correlation(list(zip(x, 3 * x)), B=30, seed=4)
+        assert res.mean == pytest.approx(1.0, abs=1e-9)
+        assert res.std == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_correlation([(1.0, 2.0)], B=10)
+        with pytest.raises(ValueError):
+            bootstrap_correlation([(1.0, 2.0), (2.0, 3.0)], B=0)

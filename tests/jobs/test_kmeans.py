@@ -1,0 +1,147 @@
+"""Tests for K-Means (stock MR + EARL-accelerated, §6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import EarlConfig
+from repro.jobs.kmeans import (
+    EarlKMeans,
+    centroid_relative_error,
+    kmeans_inmemory,
+    kmeans_mapreduce,
+    kmeanspp_init,
+    match_centroids,
+)
+from repro.workloads import gaussian_mixture_points, point_lines
+
+CENTERS = [[0.0, 0.0], [20.0, 20.0], [40.0, 0.0]]
+
+
+@pytest.fixture(scope="module")
+def points():
+    pts, _ = gaussian_mixture_points(8000, CENTERS, spread=2.0, seed=1)
+    return pts
+
+
+@pytest.fixture
+def cluster(points) -> Cluster:
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=2)
+    # Stand-in for a multi-GB point file: full scans must actually hurt,
+    # otherwise sampling cannot win (Fig. 7 regime).
+    cluster.hdfs.write_lines("/points", point_lines(points),
+                             logical_scale=5000.0)
+    return cluster
+
+
+class TestInMemoryKMeans:
+    def test_recovers_true_centers(self, points):
+        centroids, inertia, iters = kmeans_inmemory(points, 3, seed=3)
+        matched = match_centroids(np.asarray(CENTERS), centroids)
+        for truth, found in zip(CENTERS, matched):
+            assert np.linalg.norm(np.asarray(truth) - found) < 1.0
+        assert inertia > 0
+        assert iters >= 1
+
+    def test_respects_init_centroids(self, points):
+        init = np.asarray(CENTERS, dtype=float)
+        centroids, _, iters = kmeans_inmemory(points, 3, init_centroids=init,
+                                              seed=4)
+        assert iters <= 5  # already near the optimum
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans_inmemory(np.zeros((2, 2)), 3)
+
+    def test_bad_init_shape_rejected(self, points):
+        with pytest.raises(ValueError):
+            kmeans_inmemory(points, 3, init_centroids=np.zeros((2, 2)))
+
+    def test_deterministic(self, points):
+        a, _, _ = kmeans_inmemory(points, 3, seed=5)
+        b, _, _ = kmeans_inmemory(points, 3, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKMeansPlusPlus:
+    def test_selects_k_points(self, points):
+        rng = np.random.default_rng(6)
+        init = kmeanspp_init(points, 4, rng)
+        assert init.shape == (4, 2)
+
+    def test_spreads_across_clusters(self, points):
+        """D² weighting should pick one seed near each true center."""
+        rng = np.random.default_rng(7)
+        init = kmeanspp_init(points, 3, rng)
+        matched = match_centroids(np.asarray(CENTERS), init)
+        for truth, found in zip(CENTERS, matched):
+            assert np.linalg.norm(np.asarray(truth) - found) < 10.0
+
+
+class TestCentroidMatching:
+    def test_match_reorders(self):
+        ref = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cand = np.array([[10.1, 9.9], [0.1, -0.1]])
+        matched = match_centroids(ref, cand)
+        assert np.linalg.norm(matched[0] - ref[0]) < 0.5
+        assert np.linalg.norm(matched[1] - ref[1]) < 0.5
+
+    def test_relative_error_zero_for_identical(self):
+        ref = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert centroid_relative_error(ref, ref) == 0.0
+
+    def test_relative_error_scale_free(self):
+        ref = np.array([[10.0, 0.0], [0.0, 10.0]])
+        cand = ref + 0.5
+        err1 = centroid_relative_error(ref, cand)
+        err2 = centroid_relative_error(ref * 100, cand * 100)
+        assert err1 == pytest.approx(err2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            match_centroids(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestMapReduceKMeans:
+    def test_converges_to_true_centers(self, cluster, points):
+        result = kmeans_mapreduce(cluster, "/points", 3, seed=8)
+        assert result.converged
+        ref, _, _ = kmeans_inmemory(points, 3, seed=9)
+        assert centroid_relative_error(ref, result.centroids) < 0.05
+
+    def test_simulated_time_positive(self, cluster):
+        result = kmeans_mapreduce(cluster, "/points", 3, seed=10)
+        assert result.simulated_seconds > 0
+        assert result.iterations >= 1
+
+
+class TestEarlKMeans:
+    def test_centroids_within_5_percent_of_optimal(self, cluster, points):
+        """§6.3: "EARL finds centroids that are within 5% of the
+        optimal"."""
+        ref, _, _ = kmeans_inmemory(points, 3, seed=11)
+        job = EarlKMeans(cluster, "/points", 3,
+                         config=EarlConfig(sigma=0.05, seed=12),
+                         initial_sample_size=400)
+        result = job.run()
+        assert centroid_relative_error(ref, result.centroids) < 0.05
+        assert result.error is not None and result.error <= 0.05
+
+    def test_faster_than_stock(self, cluster):
+        stock = kmeans_mapreduce(cluster, "/points", 3, seed=13)
+        earl = EarlKMeans(cluster, "/points", 3,
+                          config=EarlConfig(sigma=0.05, seed=14),
+                          initial_sample_size=400).run()
+        assert earl.simulated_seconds < stock.simulated_seconds
+
+    def test_sample_size_recorded(self, cluster):
+        result = EarlKMeans(cluster, "/points", 3,
+                            config=EarlConfig(sigma=0.05, seed=15),
+                            initial_sample_size=300).run()
+        assert result.sample_size >= 300
+
+    def test_validation(self, cluster):
+        with pytest.raises(ValueError):
+            EarlKMeans(cluster, "/points", 0)
+        with pytest.raises(ValueError):
+            EarlKMeans(cluster, "/points", 3, initial_sample_size=0)

@@ -1,0 +1,44 @@
+"""Tests for map-side combining."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.mapreduce.combiner import run_combiner
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.reducer import Reducer, SumReducer
+from repro.mapreduce.types import TaskContext
+
+
+def make_ctx() -> TaskContext:
+    return TaskContext(ledger=CostLedger(), counters=Counters(),
+                       rng=np.random.default_rng(0))
+
+
+class TestRunCombiner:
+    def test_sums_per_key(self):
+        pairs = [("a", 1.0), ("b", 2.0), ("a", 3.0), ("b", 4.0)]
+        out = run_combiner(SumReducer(), pairs, make_ctx())
+        assert out == [("a", 4.0), ("b", 6.0)]
+
+    def test_preserves_first_seen_key_order(self):
+        pairs = [("z", 1.0), ("a", 1.0), ("z", 1.0)]
+        out = run_combiner(SumReducer(), pairs, make_ctx())
+        assert [k for k, _ in out] == ["z", "a"]
+
+    def test_empty_input(self):
+        assert run_combiner(SumReducer(), [], make_ctx()) == []
+
+    def test_key_changing_combiner_rejected(self):
+        class Renamer(Reducer):
+            def reduce(self, key, values, ctx):
+                yield "other", sum(values)
+
+        with pytest.raises(ValueError):
+            run_combiner(Renamer(), [("a", 1.0)], make_ctx())
+
+    def test_combiner_shrinks_pair_count(self):
+        pairs = [("k", float(i)) for i in range(100)]
+        out = run_combiner(SumReducer(), pairs, make_ctx())
+        assert len(out) == 1
+        assert out[0][1] == sum(range(100))

@@ -1,0 +1,37 @@
+"""Tests for job counters."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+
+
+class TestCounters:
+    def test_default_zero(self):
+        assert Counters().get("ANYTHING") == 0
+
+    def test_increment(self):
+        c = Counters()
+        c.increment("X")
+        c.increment("X", 4)
+        assert c["X"] == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().increment("X", -1)
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("X", 2)
+        b.increment("X", 3)
+        b.increment("Y", 1)
+        a.merge(b)
+        assert a["X"] == 5
+        assert a["Y"] == 1
+        assert b["X"] == 3
+
+    def test_as_dict_is_copy(self):
+        c = Counters()
+        c.increment("X")
+        d = c.as_dict()
+        d["X"] = 100
+        assert c["X"] == 1

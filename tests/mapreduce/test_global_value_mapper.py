@@ -1,0 +1,46 @@
+"""Tests for GlobalValueMapper (whole-dataset statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.mapreduce import GlobalValueMapper
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.types import TaskContext
+
+
+def make_ctx() -> TaskContext:
+    return TaskContext(ledger=CostLedger(), counters=Counters(),
+                       rng=np.random.default_rng(0))
+
+
+class TestGlobalValueMapper:
+    def test_keyed_line_drops_key(self):
+        out = list(GlobalValueMapper().map(0, "user9\t3.5", make_ctx()))
+        assert out == [("all", 3.5)]
+
+    def test_bare_value(self):
+        out = list(GlobalValueMapper().map(0, "7.25", make_ctx()))
+        assert out == [("all", 7.25)]
+
+    def test_custom_constant_key(self):
+        mapper = GlobalValueMapper(constant_key="global")
+        out = list(mapper.map(0, "k\t1.0", make_ctx()))
+        assert out == [("global", 1.0)]
+
+    def test_custom_delimiter(self):
+        mapper = GlobalValueMapper(delimiter="|")
+        out = list(mapper.map(0, "grp|2.5", make_ctx()))
+        assert out == [("all", 2.5)]
+
+    def test_empty_line(self):
+        assert list(GlobalValueMapper().map(0, "", make_ctx())) == []
+
+    def test_all_values_reach_single_group(self):
+        mapper = GlobalValueMapper()
+        ctx = make_ctx()
+        pairs = []
+        for i, line in enumerate(["a\t1.0", "b\t2.0", "3.0"]):
+            pairs.extend(mapper.map(i, line, ctx))
+        assert [k for k, _ in pairs] == ["all"] * 3
+        assert [v for _, v in pairs] == [1.0, 2.0, 3.0]

@@ -1,0 +1,63 @@
+"""Tests for JobConf / JobResult plumbing."""
+
+import pytest
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.errors import InvalidJobError
+from repro.mapreduce.job import JobConf, JobResult
+from repro.mapreduce.mapper import ProjectionMapper
+from repro.mapreduce.reducer import MeanReducer
+
+
+def make_conf(**kwargs) -> JobConf:
+    base = dict(name="j", input_path="/in", mapper=ProjectionMapper(),
+                reducer=MeanReducer())
+    base.update(kwargs)
+    return JobConf(**base)
+
+
+class TestJobConf:
+    def test_job_ids_unique(self):
+        conf = make_conf()
+        assert conf.new_job_id() != conf.new_job_id()
+
+    def test_invalid_reducers(self):
+        with pytest.raises(InvalidJobError):
+            make_conf(n_reducers=0)
+
+    def test_invalid_cpu_factor(self):
+        with pytest.raises(InvalidJobError):
+            make_conf(cpu_factor=0.0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidJobError):
+            make_conf(on_unavailable="retry-forever")
+
+    def test_defaults(self):
+        conf = make_conf()
+        assert conf.combiner is None
+        assert conf.output_path is None
+        assert conf.local_mode is False
+
+
+def make_result(output) -> JobResult:
+    return JobResult(job_id="job_x", output=output, counters=Counters(),
+                     simulated_seconds=1.0, map_tasks=1, reduce_tasks=1,
+                     skipped_splits=0, input_fraction=1.0)
+
+
+class TestJobResult:
+    def test_grouped(self):
+        result = make_result([("a", 1), ("b", 2), ("a", 3)])
+        assert result.grouped() == {"a": [1, 3], "b": [2]}
+
+    def test_single_value(self):
+        assert make_result([("k", 42)]).single_value() == 42
+
+    def test_single_value_rejects_multiple(self):
+        with pytest.raises(ValueError):
+            make_result([("a", 1), ("b", 2)]).single_value()
+
+    def test_single_value_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_result([]).single_value()

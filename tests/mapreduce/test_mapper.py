@@ -1,0 +1,56 @@
+"""Tests for the mapper APIs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.mapper import IdentityMapper, Mapper, ProjectionMapper
+from repro.mapreduce.types import TaskContext
+
+
+def make_ctx() -> TaskContext:
+    return TaskContext(ledger=CostLedger(), counters=Counters(),
+                       rng=np.random.default_rng(0))
+
+
+class TestIdentityMapper:
+    def test_passthrough(self):
+        out = list(IdentityMapper().map("k", "v", make_ctx()))
+        assert out == [("k", "v")]
+
+
+class TestProjectionMapper:
+    def test_bare_number_uses_constant_key(self):
+        out = list(ProjectionMapper().map(0, "42.5", make_ctx()))
+        assert out == [("all", 42.5)]
+
+    def test_keyed_line(self):
+        out = list(ProjectionMapper().map(0, "user1\t3.25", make_ctx()))
+        assert out == [("user1", 3.25)]
+
+    def test_custom_delimiter(self):
+        mapper = ProjectionMapper(delimiter="|")
+        out = list(mapper.map(0, "g|7.0", make_ctx()))
+        assert out == [("g", 7.0)]
+
+    def test_custom_constant_key(self):
+        mapper = ProjectionMapper(constant_key="total")
+        out = list(mapper.map(0, "1.0", make_ctx()))
+        assert out == [("total", 1.0)]
+
+    def test_empty_line_emits_nothing(self):
+        assert list(ProjectionMapper().map(0, "", make_ctx())) == []
+
+    def test_non_numeric_payload_raises(self):
+        with pytest.raises(ValueError):
+            list(ProjectionMapper().map(0, "k\tnot-a-number", make_ctx()))
+
+
+class TestMapperBase:
+    def test_map_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(Mapper().map("k", "v", make_ctx()))
+
+    def test_cleanup_default_empty(self):
+        assert list(Mapper().cleanup(make_ctx())) == []

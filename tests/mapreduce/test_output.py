@@ -1,0 +1,83 @@
+"""Tests for job output persistence to HDFS."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.mapreduce import (
+    JobClient,
+    JobConf,
+    JobFailedError,
+    MeanReducer,
+    ProjectionMapper,
+    SumReducer,
+)
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(n_nodes=4, block_size=1 << 18, seed=70)
+
+
+@pytest.fixture
+def loaded(cluster):
+    lines = [f"k{i % 3}\t{float(i)}" for i in range(300)]
+    cluster.hdfs.write_lines("/in", lines)
+    return lines
+
+
+class TestOutputPath:
+    def test_output_written_as_tab_lines(self, cluster, loaded):
+        conf = JobConf(name="sum", input_path="/in",
+                       mapper=ProjectionMapper(), reducer=SumReducer(),
+                       output_path="/out/sums", seed=1)
+        result = JobClient(cluster).run(conf)
+        lines = cluster.hdfs.read_lines("/out/sums")
+        assert len(lines) == 3
+        parsed = dict(line.split("\t") for line in lines)
+        for key, value in result.output:
+            assert float(parsed[key]) == pytest.approx(value)
+
+    def test_existing_output_rejected(self, cluster, loaded):
+        cluster.hdfs.write_text("/out/existing", "old data")
+        conf = JobConf(name="mean", input_path="/in",
+                       mapper=ProjectionMapper(), reducer=MeanReducer(),
+                       output_path="/out/existing", seed=1)
+        with pytest.raises(JobFailedError):
+            JobClient(cluster).run(conf)
+        # the old data survives the refusal
+        assert cluster.hdfs.read_text("/out/existing") == "old data"
+
+    def test_output_write_charged(self, cluster, loaded):
+        conf = JobConf(name="mean", input_path="/in",
+                       mapper=ProjectionMapper(), reducer=MeanReducer(),
+                       output_path="/out/charged", seed=1)
+        result = JobClient(cluster).run(conf)
+        assert result.driver_ledger.seconds("disk_write") > 0
+
+    def test_no_output_path_writes_nothing(self, cluster, loaded):
+        before = set(cluster.hdfs.list_files())
+        conf = JobConf(name="mean", input_path="/in",
+                       mapper=ProjectionMapper(), reducer=MeanReducer(),
+                       seed=1)
+        JobClient(cluster).run(conf)
+        assert set(cluster.hdfs.list_files()) == before
+
+    def test_chained_jobs_via_hdfs(self, cluster, loaded):
+        """Classic MR workflow: job 2 consumes job 1's output."""
+        first = JobConf(name="sum", input_path="/in",
+                        mapper=ProjectionMapper(), reducer=SumReducer(),
+                        output_path="/stage1", seed=1)
+        JobClient(cluster).run(first)
+        second = JobConf(name="mean-of-sums", input_path="/stage1",
+                         mapper=ProjectionMapper(), reducer=MeanReducer(),
+                         seed=2)
+        result = JobClient(cluster).run(second)
+        sums = [sum(float(i) for i in range(300) if i % 3 == k)
+                for k in range(3)]
+        # stage-1 lines are "k<i>\t<sum>"; ProjectionMapper groups by key,
+        # so each group holds one value and the global check is via mean
+        grouped = result.grouped()
+        assert len(grouped) == 3
+        np.testing.assert_allclose(sorted(v[0] for v in grouped.values()),
+                                   sorted(sums))

@@ -1,0 +1,55 @@
+"""Tests for deterministic hash partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.partitioner import HashPartitioner, stable_hash
+
+keys = st.one_of(st.integers(), st.text(max_size=20),
+                 st.tuples(st.integers(), st.text(max_size=5)))
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("alpha") == stable_hash("alpha")
+
+    def test_differs_across_keys(self):
+        values = {stable_hash(f"key-{i}") for i in range(100)}
+        assert len(values) > 90  # collisions possible but rare
+
+    def test_32bit_range(self):
+        for key in ["a", 123, (1, "x"), None]:
+            h = stable_hash(key)
+            assert 0 <= h <= 0xFFFFFFFF
+
+
+class TestHashPartitioner:
+    def test_partition_in_range(self):
+        part = HashPartitioner(4)
+        for i in range(200):
+            assert 0 <= part.partition(f"k{i}") < 4
+
+    def test_same_key_same_partition(self):
+        part = HashPartitioner(8)
+        assert part.partition("x") == part.partition("x")
+
+    def test_roughly_uniform(self):
+        part = HashPartitioner(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[part.partition(f"key-{i}")] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(key=keys, n=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_property_in_range_and_stable(self, key, n):
+        part = HashPartitioner(n)
+        p = part.partition(key)
+        assert 0 <= p < n
+        assert part.partition(key) == p

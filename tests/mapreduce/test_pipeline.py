@@ -1,0 +1,68 @@
+"""Tests for the reducer→mapper feedback channel."""
+
+import pytest
+
+from repro.hdfs import HDFS
+from repro.mapreduce.pipeline import FeedbackChannel
+
+
+@pytest.fixture
+def fs() -> HDFS:
+    return HDFS(n_datanodes=3, block_size=1024, replication=2, seed=6)
+
+
+@pytest.fixture
+def channel(fs) -> FeedbackChannel:
+    return FeedbackChannel(fs, "job_000042")
+
+
+class TestFeedbackChannel:
+    def test_empty_channel_has_no_error(self, channel):
+        assert channel.average_error() is None
+        assert channel.read_errors() == []
+
+    def test_publish_and_average(self, channel):
+        channel.publish_error(0, 1.0, 0.10)
+        channel.publish_error(1, 1.0, 0.20)
+        assert channel.average_error() == pytest.approx(0.15)
+
+    def test_overwrite_keeps_latest(self, channel):
+        channel.publish_error(0, 1.0, 0.5)
+        channel.publish_error(0, 2.0, 0.1)
+        entries = channel.read_errors()
+        assert entries == [(2.0, 0.1)]
+
+    def test_since_filters_stale_entries(self, channel):
+        channel.publish_error(0, 1.0, 0.5)
+        channel.publish_error(1, 3.0, 0.1)
+        assert channel.read_errors(since=2.0) == [(3.0, 0.1)]
+        assert channel.average_error(since=2.0) == pytest.approx(0.1)
+        assert channel.average_error(since=5.0) is None
+
+    def test_negative_error_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.publish_error(0, 1.0, -0.1)
+
+    def test_stop_signal(self, channel):
+        assert not channel.stop_requested()
+        channel.signal_stop()
+        assert channel.stop_requested()
+
+    def test_channels_isolated_by_job(self, fs):
+        a = FeedbackChannel(fs, "job_a")
+        b = FeedbackChannel(fs, "job_b")
+        a.publish_error(0, 1.0, 0.3)
+        assert b.average_error() is None
+
+    def test_cleanup_removes_files(self, fs, channel):
+        channel.publish_error(0, 1.0, 0.3)
+        channel.signal_stop()
+        channel.cleanup()
+        assert channel.average_error() is None
+        assert not channel.stop_requested()
+
+    def test_roundtrip_precision(self, channel):
+        channel.publish_error(0, 1.23456789, 0.000123456789)
+        (ts, err), = channel.read_errors()
+        assert ts == pytest.approx(1.23456789, rel=1e-12)
+        assert err == pytest.approx(0.000123456789, rel=1e-12)

@@ -1,0 +1,123 @@
+"""Tests for the reducer APIs (classic + incremental protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.reducer import (
+    IdentityReducer,
+    IncrementalReducer,
+    MeanReducer,
+    SumReducer,
+)
+from repro.mapreduce.types import TaskContext
+
+
+def make_ctx(**config) -> TaskContext:
+    return TaskContext(ledger=CostLedger(), counters=Counters(),
+                       rng=np.random.default_rng(0), config=config)
+
+
+class TestSumReducer:
+    def test_initialize_and_finalize(self):
+        r = SumReducer()
+        assert r.finalize(r.initialize([1.0, 2.0, 3.0])) == 6.0
+
+    def test_update_with_value_and_state(self):
+        r = SumReducer()
+        state = r.initialize([1.0])
+        state = r.update(state, 2.0)
+        state = r.update(state, r.initialize([3.0, 4.0]))
+        assert r.finalize(state) == 10.0
+
+    def test_correct_scales_by_inverse_p(self):
+        assert SumReducer().correct(50.0, 0.5) == 100.0
+
+    def test_correct_validates_p(self):
+        with pytest.raises(ValueError):
+            SumReducer().correct(50.0, 0.0)
+        with pytest.raises(ValueError):
+            SumReducer().correct(50.0, 1.5)
+
+    def test_reduce_applies_correction_from_context(self):
+        ctx = make_ctx(sample_fraction=0.25)
+        out = list(SumReducer().reduce("k", [1.0, 2.0], ctx))
+        assert out == [("k", 12.0)]
+
+    def test_reduce_no_correction_at_full_data(self):
+        ctx = make_ctx(sample_fraction=1.0)
+        out = list(SumReducer().reduce("k", [1.0, 2.0], ctx))
+        assert out == [("k", 3.0)]
+
+
+class TestMeanReducer:
+    def test_mean(self):
+        r = MeanReducer()
+        assert r.finalize(r.initialize([2.0, 4.0, 6.0])) == 4.0
+
+    def test_state_merge(self):
+        r = MeanReducer()
+        state = r.initialize([2.0, 4.0])
+        state = r.update(state, r.initialize([6.0]))
+        assert r.finalize(state) == 4.0
+
+    def test_update_with_scalar(self):
+        r = MeanReducer()
+        state = r.initialize([2.0])
+        state = r.update(state, 4.0)
+        assert r.finalize(state) == 3.0
+
+    def test_mean_needs_no_correction(self):
+        assert MeanReducer().correct(5.0, 0.1) == 5.0
+
+    def test_empty_group_rejected(self):
+        r = MeanReducer()
+        with pytest.raises(ValueError):
+            r.finalize(r.initialize([]))
+
+
+class TestIdentityReducer:
+    def test_passthrough(self):
+        ctx = make_ctx()
+        out = list(IdentityReducer().reduce("k", [1, 2, 3], ctx))
+        assert out == [("k", 1), ("k", 2), ("k", 3)]
+
+
+class TestIncrementalProtocol:
+    def test_reduce_derived_from_protocol(self):
+        class MaxReducer(IncrementalReducer):
+            def initialize(self, values):
+                return max(values)
+
+            def update(self, state, new_input):
+                return max(state, new_input)
+
+            def finalize(self, state):
+                return state
+
+        ctx = make_ctx()
+        out = list(MaxReducer().reduce("k", [3.0, 9.0, 1.0], ctx))
+        assert out == [("k", 9.0)]
+
+    def test_abstract_methods_raise(self):
+        r = IncrementalReducer()
+        with pytest.raises(NotImplementedError):
+            r.initialize([1])
+        with pytest.raises(NotImplementedError):
+            r.update(None, 1)
+        with pytest.raises(NotImplementedError):
+            r.finalize(None)
+
+    def test_default_correct_is_identity(self):
+        class Noop(IncrementalReducer):
+            def initialize(self, values):
+                return 0.0
+
+            def update(self, state, new_input):
+                return state
+
+            def finalize(self, state):
+                return state
+
+        assert Noop().correct(7.0, 0.2) == 7.0

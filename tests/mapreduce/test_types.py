@@ -1,0 +1,38 @@
+"""Tests for shared engine types."""
+
+import numpy as np
+
+from repro.mapreduce.types import estimate_pair_bytes
+
+
+class TestEstimatePairBytes:
+    def test_numeric_pair(self):
+        assert estimate_pair_bytes(1, 2.0) == 8 + 8 + 2
+
+    def test_string_scales_with_length(self):
+        short = estimate_pair_bytes("k", "ab")
+        long = estimate_pair_bytes("k", "ab" * 50)
+        assert long > short
+
+    def test_none_and_bool(self):
+        assert estimate_pair_bytes(None, True) == 1 + 1 + 2
+
+    def test_nested_containers(self):
+        size = estimate_pair_bytes("k", [1.0, 2.0, 3.0])
+        assert size >= 24
+
+    def test_ndarray_uses_nbytes(self):
+        arr = np.zeros(10)
+        assert estimate_pair_bytes("k", arr) == 1 + 80 + 2
+
+    def test_dict(self):
+        assert estimate_pair_bytes("k", {"a": 1}) > 8
+
+    def test_unknown_object_default(self):
+        class Thing:
+            pass
+        assert estimate_pair_bytes("k", Thing()) == 1 + 16 + 2
+
+    def test_always_positive(self):
+        for obj in [0, "", [], {}, None, b""]:
+            assert estimate_pair_bytes(obj, obj) > 0

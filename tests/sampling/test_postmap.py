@@ -1,0 +1,100 @@
+"""Tests for post-map sampling (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.sampling.postmap import PostMapSampler
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(n_nodes=4, block_size=1024, replication=2, seed=9)
+
+
+@pytest.fixture
+def lines():
+    return [f"{i:010d}" for i in range(1500)]
+
+
+@pytest.fixture
+def loaded(cluster, lines):
+    cluster.hdfs.write_lines("/f", lines)
+    return lines
+
+
+def collect(cluster, sampler, rng=None):
+    rng = rng or np.random.default_rng(6)
+    out = []
+    ledger = cluster.new_ledger()
+    for split in sampler.splits:
+        out.extend(sampler.read(cluster.hdfs, split, ledger, rng))
+    return out, ledger
+
+
+class TestPostMapSampler:
+    def test_reaches_target_without_replacement(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(200)
+        sample, _ = collect(cluster, sampler)
+        assert len(sample) == 200
+        offsets = [o for o, _ in sample]
+        assert len(set(offsets)) == 200
+
+    def test_first_read_pays_full_scan(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(10)
+        _, ledger = collect(cluster, sampler)
+        full_bytes = cluster.hdfs.file_size("/f")
+        assert ledger.seconds("disk_read") >= \
+            full_bytes / ledger.params.disk_bandwidth * 0.9
+
+    def test_expansion_is_free_after_load(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(10)
+        collect(cluster, sampler)
+        sampler.set_total_target(500)
+        more, ledger = collect(cluster, sampler)
+        assert len(more) == 490
+        # cached in mapper memory: no further disk reads
+        assert ledger.seconds("disk_read") == 0.0
+
+    def test_exact_pair_count_after_full_load(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        assert sampler.total_pairs() is None
+        sampler.set_total_target(10)
+        collect(cluster, sampler)
+        assert sampler.total_pairs() == len(loaded)
+
+    def test_expansion_preserves_released_prefix(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(100)
+        first, _ = collect(cluster, sampler)
+        sampler.set_total_target(300)
+        second, _ = collect(cluster, sampler)
+        assert not {o for o, _ in first} & {o for o, _ in second}
+        assert sampler.sampled_count == 300
+
+    def test_target_capped_at_population(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(10_000)
+        sample, _ = collect(cluster, sampler)
+        assert len(sample) == len(loaded)
+
+    def test_target_cannot_shrink(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(100)
+        with pytest.raises(ValueError):
+            sampler.set_total_target(99)
+
+    def test_uniformity(self, cluster, loaded):
+        sampler = PostMapSampler(cluster.hdfs, "/f")
+        sampler.set_total_target(750)
+        sample, _ = collect(cluster, sampler, np.random.default_rng(17))
+        values = [int(line) for _, line in sample]
+        counts = np.histogram(values, bins=10, range=(0, 1500))[0]
+        assert counts.min() > 40
+
+    def test_scales_with_file_for_stand_ins(self, cluster, loaded):
+        # sampled stand-in records carry the file's logical scale
+        assert PostMapSampler(cluster.hdfs, "/f").scales_with_file is True

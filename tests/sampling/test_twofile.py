@@ -1,0 +1,95 @@
+"""Tests for the 2-file/ARHASH sampler (§7 related work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostLedger
+from repro.sampling.twofile import TwoFileSampler
+
+
+class TestTwoFileSampler:
+    def test_draws_come_from_population(self):
+        values = list(range(100))
+        sampler = TwoFileSampler(values, 0.5, seed=1)
+        sample = sampler.sample(200)
+        assert all(v in values for v in sample)
+
+    def test_memory_probability(self):
+        sampler = TwoFileSampler(list(range(100)), 0.3, seed=2)
+        assert sampler.memory_probability == pytest.approx(0.3)
+
+    def test_disk_draw_fraction_matches_expectation(self):
+        sampler = TwoFileSampler(list(range(1000)), 0.8, seed=3)
+        k = 5000
+        sampler.sample(k)
+        observed = sampler.disk_draws / k
+        assert observed == pytest.approx(0.2, abs=0.03)
+        assert sampler.expected_seeks(k) == pytest.approx(1000.0)
+
+    def test_all_memory_never_seeks(self):
+        sampler = TwoFileSampler(list(range(50)), 1.0, seed=4)
+        ledger = CostLedger()
+        sampler.sample(500, ledger=ledger)
+        assert sampler.disk_draws == 0
+        assert ledger.seconds("disk_seek") == 0.0
+
+    def test_disk_draws_charge_ledger(self):
+        sampler = TwoFileSampler(list(range(50)), 0.0, seed=5,
+                                 item_bytes=100)
+        ledger = CostLedger()
+        sampler.sample(10, ledger=ledger)
+        assert sampler.disk_draws == 10
+        assert ledger.seconds("disk_seek") > 0
+        assert ledger.seconds("disk_read") > 0
+
+    def test_uniformity_over_whole_population(self):
+        """Two-stage draw must remain uniform over the union."""
+        values = list(range(20))
+        sampler = TwoFileSampler(values, 0.5, seed=6)
+        counts = np.zeros(20)
+        k = 20_000
+        for v in sampler.sample(k):
+            counts[v] += 1
+        expected = k / 20
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            TwoFileSampler([], 0.5)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TwoFileSampler([1], 0.5).sample(-1)
+
+
+class TestBaseHelpers:
+    def test_draw_sample_without_replacement(self):
+        from repro.sampling.base import draw_sample
+        sample = draw_sample(list(range(50)), 10, seed=1)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_draw_sample_with_replacement_allows_oversampling(self):
+        from repro.sampling.base import draw_sample
+        sample = draw_sample([1, 2, 3], 10, replace=True, seed=2)
+        assert len(sample) == 10
+
+    def test_draw_sample_validation(self):
+        from repro.sampling.base import draw_sample
+        with pytest.raises(ValueError):
+            draw_sample([1, 2], 3)
+        with pytest.raises(ValueError):
+            draw_sample([1, 2], -1)
+
+    def test_allocate_per_split_sums_to_total(self):
+        from repro.hdfs.splits import InputSplit
+        from repro.sampling.base import allocate_per_split
+        splits = [InputSplit("/f", i, i * 100, 100, logical_length=ln)
+                  for i, ln in enumerate([100, 300, 600])]
+        counts = allocate_per_split(splits, 100)
+        assert sum(counts) == 100
+        assert counts[2] > counts[0]
+
+    def test_allocate_empty(self):
+        from repro.sampling.base import allocate_per_split
+        assert allocate_per_split([], 10) == []

@@ -1,0 +1,45 @@
+"""Tests for the RNG discipline."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_child
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnChild:
+    def test_children_are_independent_streams(self):
+        parent = ensure_rng(3)
+        a, b = spawn_child(parent, 2)
+        assert not (a.integers(0, 2**31, 50) == b.integers(0, 2**31, 50)).all()
+
+    def test_deterministic_given_parent_seed(self):
+        kids1 = [g.integers(0, 1000, 5) for g in spawn_child(ensure_rng(9), 3)]
+        kids2 = [g.integers(0, 1000, 5) for g in spawn_child(ensure_rng(9), 3)]
+        for x, y in zip(kids1, kids2):
+            assert (x == y).all()
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            spawn_child(ensure_rng(1), 0)

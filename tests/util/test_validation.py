@@ -1,0 +1,55 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", 3.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction("p", 0.5) == 0.5
+
+    def test_default_excludes_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 0.0)
+
+    def test_inclusive_low(self):
+        assert check_fraction("p", 0.0, inclusive_low=True) == 0.0
+
+    def test_default_includes_one(self):
+        assert check_fraction("p", 1.0) == 1.0
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.0, inclusive_high=False)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.5)

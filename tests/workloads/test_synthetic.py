@@ -1,0 +1,127 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ar1_series,
+    categorical_dataset,
+    clustered_lines,
+    gaussian_mixture_points,
+    keyed_lines,
+    numeric_dataset,
+    numeric_lines,
+    parse_point,
+    point_lines,
+    population_summary,
+)
+
+
+class TestNumericDataset:
+    @pytest.mark.parametrize("dist", ["normal", "lognormal", "exponential",
+                                      "uniform", "pareto"])
+    def test_distributions_available(self, dist):
+        data = numeric_dataset(500, dist, seed=1)
+        assert data.shape == (500,)
+        assert np.isfinite(data).all()
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            numeric_dataset(10, "cauchy-ish")
+
+    def test_deterministic(self):
+        a = numeric_dataset(100, "lognormal", seed=2)
+        b = numeric_dataset(100, "lognormal", seed=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_params_forwarded(self):
+        data = numeric_dataset(5000, "normal", seed=3, loc=500.0, scale=1.0)
+        assert np.mean(data) == pytest.approx(500.0, abs=1.0)
+
+
+class TestLineRendering:
+    def test_numeric_lines_fixed_width(self):
+        lines = numeric_lines([1.5, 123456.789])
+        assert all(len(line) == 15 for line in lines)
+        assert float(lines[0]) == 1.5
+
+    def test_roundtrip_precision(self):
+        values = numeric_dataset(100, "lognormal", seed=4)
+        parsed = [float(line) for line in numeric_lines(values)]
+        np.testing.assert_allclose(parsed, values, atol=1e-6)
+
+    def test_keyed_lines_format(self):
+        lines = keyed_lines([1.0, 2.0, 3.0], 2, seed=5)
+        for line in lines:
+            key, _, value = line.partition("\t")
+            assert key.startswith("k")
+            float(value)
+
+    def test_clustered_lines_sorted(self):
+        lines = clustered_lines([3.0, 1.0, 2.0])
+        values = [float(l) for l in lines]
+        assert values == sorted(values)
+
+
+class TestCategoricalDataset:
+    def test_values_binary(self):
+        data = categorical_dataset(1000, 0.3, seed=6)
+        assert set(np.unique(data)) <= {0, 1}
+
+    def test_proportion_close(self):
+        data = categorical_dataset(20_000, 0.3, seed=7)
+        assert np.mean(data) == pytest.approx(0.3, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            categorical_dataset(10, 0.0)
+
+
+class TestAr1Series:
+    def test_stationary_around_loc(self):
+        series = ar1_series(5000, phi=0.5, loc=100.0, seed=8)
+        assert np.mean(series) == pytest.approx(100.0, abs=1.0)
+
+    def test_phi_bounds(self):
+        with pytest.raises(ValueError):
+            ar1_series(10, phi=1.0)
+
+    def test_dependence_increases_with_phi(self):
+        from repro.core.dependent import lag1_autocorrelation
+        weak = ar1_series(3000, phi=0.1, seed=9)
+        strong = ar1_series(3000, phi=0.9, seed=9)
+        assert lag1_autocorrelation(strong) > lag1_autocorrelation(weak)
+
+
+class TestMixturePoints:
+    def test_shapes(self):
+        pts, labels = gaussian_mixture_points(
+            300, [[0, 0], [10, 10]], seed=10)
+        assert pts.shape == (300, 2)
+        assert labels.shape == (300,)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_weights_respected(self):
+        _, labels = gaussian_mixture_points(
+            10_000, [[0, 0], [10, 10]], weights=[0.9, 0.1], seed=11)
+        assert np.mean(labels == 0) == pytest.approx(0.9, abs=0.02)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(10, [[0, 0]], weights=[0.5])
+
+    def test_point_lines_roundtrip(self):
+        pts, _ = gaussian_mixture_points(50, [[5, 5]], seed=12)
+        lines = point_lines(pts)
+        parsed = np.array([parse_point(line) for line in lines])
+        np.testing.assert_allclose(parsed, pts, atol=1e-6)
+
+
+class TestPopulationSummary:
+    def test_fields(self):
+        summary = population_summary([1.0, 2.0, 3.0, 4.0])
+        assert summary["mean"] == 2.5
+        assert summary["median"] == 2.5
+        assert summary["sum"] == 10.0
+        assert summary["std"] == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert summary["cv"] == pytest.approx(summary["std"] / 2.5)
