@@ -1,0 +1,34 @@
+# Developer entry points for the EARL reproduction.
+#
+#   make test        - tier-1 test suite (the gate every PR must keep green)
+#   make bench       - every figure benchmark (writes benchmarks/results/)
+#   make bench-smoke - quick benchmark subset (~30 s)
+#   make docs-check  - every .md referenced from code/docs actually exists
+#   make examples    - run every example script end to end
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke docs-check examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# bench_*.py does not match pytest's default test-file pattern, so the
+# files are passed explicitly (explicit args are always collected).
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+bench-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_fig2_bootstrap_convergence.py \
+		benchmarks/bench_fig10_delta_maintenance.py \
+		benchmarks/bench_exec_backends.py
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+examples:
+	@set -e; for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f > /dev/null; \
+	done; echo "all examples ran"

@@ -22,6 +22,7 @@ import numpy as np
 from repro.cluster.costmodel import CostLedger
 from repro.core.delta import MAINTENANCE_OPTIMIZED, ResampleSet
 from repro.core.estimators import StatisticLike, get_statistic
+from repro.exec.executor import Executor
 from repro.util.rng import SeedLike
 from repro.util.stats import coefficient_of_variation, relative_half_width
 
@@ -114,17 +115,26 @@ def summarize_distribution(estimates: np.ndarray, point_estimate: float,
 
 
 class AccuracyEstimationStage:
-    """Stateful AES over a growing sample (Fig. 1's right-hand stage)."""
+    """Stateful AES over a growing sample (Fig. 1's right-hand stage).
+
+    ``executor`` optionally parallelizes the per-resample estimate
+    evaluation after every expansion (see
+    :meth:`~repro.core.delta.ResampleSet.estimates`); results are
+    identical with or without it.  The stage borrows the executor — the
+    caller owns its lifecycle.
+    """
 
     def __init__(self, statistic: StatisticLike, B: int, *,
                  metric: str = "cv",
                  maintenance: str = MAINTENANCE_OPTIMIZED,
                  sketch_c: float = 4.0,
                  seed: SeedLike = None,
-                 ledger: Optional[CostLedger] = None) -> None:
+                 ledger: Optional[CostLedger] = None,
+                 executor: Optional[Executor] = None) -> None:
         self._stat = get_statistic(statistic)
         self._metric = metric
         get_error_metric(metric)  # validate eagerly
+        self._executor = executor
         self._resamples = ResampleSet(self._stat, B,
                                       maintenance=maintenance,
                                       sketch_c=sketch_c, seed=seed,
@@ -176,7 +186,7 @@ class AccuracyEstimationStage:
         return abs(self._history[-1].cv - self._history[-2].cv)
 
     def _current_estimate(self) -> AccuracyEstimate:
-        estimates = self._resamples.estimates()
+        estimates = self._resamples.estimates(executor=self._executor)
         sample = np.asarray(self._resamples.sample, dtype=float)
         point = self._stat(sample)
         return summarize_distribution(estimates, point,

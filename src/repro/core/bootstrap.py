@@ -13,14 +13,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.estimators import StatisticLike, get_statistic
-from repro.util.rng import SeedLike, ensure_rng
+from repro.core.estimators import Statistic, StatisticLike, get_statistic
+from repro.exec.executor import Executor, as_executor, chunk_sizes
+from repro.util.rng import SeedLike, ensure_rng, spawn_child
 from repro.util.stats import coefficient_of_variation
 from repro.util.validation import check_positive, check_positive_int
+
+#: Resamples per work unit when a bootstrap fans out over an executor.
+#: Fixed (never derived from the worker count) so the decomposition —
+#: and therefore every RNG stream — is identical on any backend and any
+#: pool size.
+DEFAULT_CHUNK_B = 32
 
 
 def exact_bootstrap_count(n: int) -> int:
@@ -100,12 +107,40 @@ class BootstrapResult:
         return float(lo), float(hi)
 
 
+def _bootstrap_chunk(task: Tuple[np.ndarray, Statistic, int,
+                                 np.random.Generator]) -> np.ndarray:
+    """Draw and evaluate one chunk of resamples.
+
+    Module-level so a :class:`~repro.exec.ProcessExecutor` can pickle it
+    by reference.  The chunk's generator was pre-spawned by the caller,
+    so the result depends only on the task, never on which worker (or
+    how many workers) ran it.
+    """
+    data, stat, chunk_b, rng = task
+    indices = rng.integers(0, data.size, size=(chunk_b, data.size))
+    return np.asarray(stat.batch(data[indices]), dtype=float)
+
+
 def bootstrap(sample: Sequence[float], statistic: StatisticLike = "mean", *,
-              B: int = 30, seed: SeedLike = None) -> BootstrapResult:
+              B: int = 30, seed: SeedLike = None,
+              executor: Union[None, str, Executor] = None,
+              chunk_b: int = DEFAULT_CHUNK_B) -> BootstrapResult:
     """Monte-Carlo bootstrap of ``statistic`` over ``sample``.
 
-    Resampling is vectorized: a ``B × n`` index matrix is drawn in one
-    shot and the statistic's batch form evaluates all rows.
+    Without an ``executor`` (the default), resampling is vectorized in
+    one shot: a ``B × n`` index matrix is drawn from ``seed``'s stream
+    and the statistic's batch form evaluates all rows — bit-for-bit the
+    library's historical behavior.
+
+    With an ``executor`` (a backend name or an :class:`~repro.exec.Executor`
+    instance), the ``B`` resamples are decomposed into fixed-size chunks
+    of ``chunk_b`` and each chunk gets its own pre-spawned child RNG
+    stream, so the result distribution is byte-identical across
+    ``"serial"``, ``"threads"`` and ``"processes"`` and across worker
+    counts — but it is a *different* (equally valid) draw than the
+    executor-less path, which consumes ``seed``'s stream directly.  For
+    process pools the statistic must be picklable (every registered
+    statistic is; ad-hoc lambdas are not).
     """
     check_positive_int("B", B)
     stat = get_statistic(statistic)
@@ -114,8 +149,24 @@ def bootstrap(sample: Sequence[float], statistic: StatisticLike = "mean", *,
         raise ValueError("sample must be a non-empty 1-D sequence")
     rng = ensure_rng(seed)
     n = data.size
-    indices = rng.integers(0, n, size=(B, n))
-    estimates = np.asarray(stat.batch(data[indices]), dtype=float)
+    if executor is None:
+        indices = rng.integers(0, n, size=(B, n))
+        estimates = np.asarray(stat.batch(data[indices]), dtype=float)
+        return BootstrapResult(estimates=estimates,
+                               point_estimate=stat(data), n=n, B=B)
+
+    check_positive_int("chunk_b", chunk_b)
+    sizes = chunk_sizes(B, chunk_b)
+    rngs = spawn_child(rng, len(sizes))
+    tasks = [(data, stat, size, chunk_rng)
+             for size, chunk_rng in zip(sizes, rngs)]
+    ex, owned = as_executor(executor)
+    try:
+        parts = ex.map(_bootstrap_chunk, tasks)
+    finally:
+        if owned:
+            ex.close()
+    estimates = np.concatenate(parts)
     return BootstrapResult(estimates=estimates,
                            point_estimate=stat(data), n=n, B=B)
 

@@ -11,6 +11,7 @@ from repro.core.delta import (
     MAINTENANCE_NONE,
     MAINTENANCE_OPTIMIZED,
 )
+from repro.exec.executor import EXECUTOR_SERIAL, available_executors
 from repro.util.rng import SeedLike
 from repro.util.validation import check_fraction, check_positive, check_positive_int
 
@@ -71,6 +72,20 @@ class EarlConfig:
         Confidence level of reported bootstrap intervals.
     seed:
         Master seed for the whole run (reproducibility).
+    executor:
+        Execution backend for the run's fan-out points (task waves,
+        resample evaluation, sweeps): ``"serial"`` (default; in-order,
+        bit-for-bit the reference), ``"threads"``
+        (``ThreadPoolExecutor``; wins when the work releases the GIL),
+        or ``"processes"`` (``ProcessPoolExecutor``; true CPU
+        parallelism, work must be picklable).  All three produce
+        byte-identical results for a fixed ``seed`` — see
+        :mod:`repro.exec`.  The ``REPRO_EXECUTOR`` environment variable
+        overrides this field at run time.
+    max_workers:
+        Pool size for the parallel backends (default: the machine's CPU
+        count; ignored by ``"serial"``).  ``REPRO_MAX_WORKERS``
+        overrides it.
     """
 
     sigma: float = 0.05
@@ -91,6 +106,8 @@ class EarlConfig:
     seed: SeedLike = None
     B_override: Optional[int] = None
     n_override: Optional[int] = None
+    executor: str = EXECUTOR_SERIAL
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_fraction("sigma", self.sigma, inclusive_high=True)
@@ -123,3 +140,8 @@ class EarlConfig:
             check_positive_int("B_override", self.B_override)
         if self.n_override is not None:
             check_positive_int("n_override", self.n_override)
+        if self.executor not in available_executors():
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"known: {available_executors()}")
+        if self.max_workers is not None:
+            check_positive_int("max_workers", self.max_workers)

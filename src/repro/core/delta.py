@@ -28,8 +28,15 @@ from typing import Any, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.costmodel import CostLedger
-from repro.core.estimators import EstimatorState, Statistic, StatisticLike, get_statistic
+from repro.core.estimators import (
+    EstimatorState,
+    FunctionalState,
+    Statistic,
+    StatisticLike,
+    get_statistic,
+)
 from repro.core.sketch import ITEM_BYTES, Sketch
+from repro.exec.executor import Executor
 from repro.util.rng import SeedLike, ensure_rng
 from repro.util.validation import check_positive, check_positive_int
 
@@ -413,11 +420,34 @@ class ResampleSet:
         self._maintainer.counters = MaintenanceCounters()
 
     # ------------------------------------------------------------- results
-    def estimates(self) -> np.ndarray:
-        """Per-resample statistic values (the result distribution)."""
+    def estimates(self, executor: Optional[Executor] = None) -> np.ndarray:
+        """Per-resample statistic values (the result distribution).
+
+        ``executor`` optionally fans the ``B`` evaluations out over a
+        parallel backend — but only when evaluation is actually work:
+        registered statistics keep O(1)-readable states (running mean,
+        sorted multiset, …) for which pool dispatch (and, on process
+        pools, pickling each resample) can only lose, so those stay on
+        the plain loop.  :class:`~repro.core.estimators.FunctionalState`
+        — the arbitrary-user-function fallback, whose ``result()``
+        re-evaluates the whole resample — is the case that fans out.
+        Either way the result is identical on every backend (evaluation
+        is a pure read; order is preserved by
+        :meth:`~repro.exec.Executor.map`); the *maintenance* of the
+        resamples stays sequential regardless — §4.1's delta updates
+        share one RNG stream by design.
+        """
         if not self._resamples:
             raise RuntimeError("no resamples yet; call initialize()")
+        if executor is not None and executor.is_parallel \
+                and isinstance(self._resamples[0].state, FunctionalState):
+            return np.array(executor.map(_resample_estimate, self._resamples))
         return np.array([r.estimate() for r in self._resamples])
 
     def resample_sizes(self) -> List[int]:
         return [r.size for r in self._resamples]
+
+
+def _resample_estimate(resample: Resample) -> float:
+    """Module-level accessor so process pools can pickle it by reference."""
+    return resample.estimate()

@@ -40,6 +40,7 @@ from repro.core.estimators import Statistic, StatisticLike, get_statistic
 from repro.core.jackknife_stage import JackknifeEstimationStage
 from repro.core.result import EarlResult, IterationRecord
 from repro.core.ssabe import SSABEResult, estimate_parameters
+from repro.exec.executor import Executor, as_executor, resolve_executor
 from repro.mapreduce.job import ON_UNAVAILABLE_SKIP, JobConf, JobResult
 from repro.mapreduce.mapper import Mapper, ProjectionMapper
 from repro.mapreduce.pipeline import FeedbackChannel
@@ -56,15 +57,18 @@ _earl_run_ids = itertools.count()
 
 
 def make_estimation_stage(statistic: "Statistic", B: int, cfg: EarlConfig,
-                          *, seed=None):
+                          *, seed=None, executor: Optional[Executor] = None):
     """Build the configured error-estimation stage (bootstrap default,
-    jackknife as the §8 future-work alternative)."""
+    jackknife as the §8 future-work alternative).  ``executor``
+    parallelizes the bootstrap stage's resample evaluation; results are
+    identical with or without it."""
     if cfg.estimation == "jackknife":
         return JackknifeEstimationStage(statistic,
                                         confidence=cfg.confidence)
     return AccuracyEstimationStage(
         statistic, B, metric=cfg.error_metric,
-        maintenance=cfg.maintenance, sketch_c=cfg.sketch_c, seed=seed)
+        maintenance=cfg.maintenance, sketch_c=cfg.sketch_c, seed=seed,
+        executor=executor)
 
 # ---------------------------------------------------------------------------
 # In-memory driver
@@ -134,24 +138,30 @@ class EarlSession:
             return self._exact_result(B=B, n=n, ssabe=ssabe)
 
         # ------------------------------------------------- expansion loop
-        aes = make_estimation_stage(self._stat, B, cfg, seed=rng)
-        iterations: List[IterationRecord] = []
-        consumed = 0
-        target = min(max(n, 2), N)
-        estimate: Optional[AccuracyEstimate] = None
-        for iteration in range(1, cfg.max_iterations + 1):
-            delta = data[order[consumed:target]]
-            consumed = target
-            estimate = aes.offer(delta)
-            expand = (not estimate.meets(cfg.sigma)
-                      and consumed < N
-                      and iteration < cfg.max_iterations)
-            iterations.append(IterationRecord(
-                iteration=iteration, sample_size=consumed,
-                accuracy=estimate, simulated_seconds=0.0, expanded=expand))
-            if not expand:
-                break
-            target = min(N, math.ceil(consumed * cfg.expansion_factor))
+        executor = resolve_executor(cfg)
+        try:
+            aes = make_estimation_stage(self._stat, B, cfg, seed=rng,
+                                        executor=executor)
+            iterations: List[IterationRecord] = []
+            consumed = 0
+            target = min(max(n, 2), N)
+            estimate: Optional[AccuracyEstimate] = None
+            for iteration in range(1, cfg.max_iterations + 1):
+                delta = data[order[consumed:target]]
+                consumed = target
+                estimate = aes.offer(delta)
+                expand = (not estimate.meets(cfg.sigma)
+                          and consumed < N
+                          and iteration < cfg.max_iterations)
+                iterations.append(IterationRecord(
+                    iteration=iteration, sample_size=consumed,
+                    accuracy=estimate, simulated_seconds=0.0,
+                    expanded=expand))
+                if not expand:
+                    break
+                target = min(N, math.ceil(consumed * cfg.expansion_factor))
+        finally:
+            executor.close()
 
         assert estimate is not None
         p = consumed / N
@@ -194,6 +204,9 @@ class EarlSession:
 
 class StatisticReducer(IncrementalReducer):
     """Adapter: any registered statistic as an incremental reducer."""
+
+    #: Per-call state only — safe to run reduce tasks concurrently.
+    parallel_safe = True
 
     def __init__(self, statistic: StatisticLike, *,
                  correction: CorrectionLike = "auto") -> None:
@@ -242,7 +255,8 @@ class BootstrapReducer(Reducer):
                  estimation: str = "bootstrap",
                  confidence: float = 0.95,
                  seed=None,
-                 channel: Optional[FeedbackChannel] = None) -> None:
+                 channel: Optional[FeedbackChannel] = None,
+                 executor: Optional[Executor] = None) -> None:
         check_positive_int("B", B)
         self._stat = get_statistic(statistic)
         self._B = B
@@ -253,6 +267,7 @@ class BootstrapReducer(Reducer):
         self._confidence = confidence
         self._rng = ensure_rng(seed)
         self._channel = channel
+        self._executor = executor  # borrowed; the driver owns it
         self._stages: Dict[Hashable, object] = {}
         self._task_errors: List[float] = []
 
@@ -271,7 +286,7 @@ class BootstrapReducer(Reducer):
                 stage = AccuracyEstimationStage(
                     self._stat, self._B, metric=self._metric,
                     maintenance=self._maintenance, sketch_c=self._sketch_c,
-                    seed=self._rng)
+                    seed=self._rng, executor=self._executor)
             self._stages[key] = stage
         stage.set_ledger(ctx.ledger)
         if ctx.record_scale != 1.0:
@@ -420,11 +435,24 @@ class EarlJob:
         """Execute the MapReduce-backed loop on the simulated cluster:
         local-mode SSABE pilot, sampled (pre/post-map) iterations with
         persistent mappers and the reducer->mapper feedback channel,
-        until the published average error meets sigma."""
+        until the published average error meets sigma.
+
+        The run's fan-out points go through the backend selected by
+        ``config.executor`` (or the ``REPRO_EXECUTOR`` override);
+        results and simulated times are byte-identical across backends
+        for a fixed ``config.seed``.
+        """
+        executor = resolve_executor(self._config)
+        try:
+            return self._run(executor)
+        finally:
+            executor.close()
+
+    def _run(self, executor: Executor) -> EarlResult:
         cfg = self._config
         rng = ensure_rng(cfg.seed)
         pilot_rng, job_rng, reducer_rng = spawn_child(rng, 3)
-        client = JobClient(self._cluster)
+        client = JobClient(self._cluster, executor=executor)
         state = _EarlJobState()
 
         N, probe_seconds = estimate_record_count(self._cluster, self._path)
@@ -460,7 +488,7 @@ class EarlJob:
             self._stat, B, metric=cfg.error_metric,
             maintenance=cfg.maintenance, sketch_c=cfg.sketch_c,
             estimation=cfg.estimation, confidence=cfg.confidence,
-            seed=reducer_rng, channel=channel)
+            seed=reducer_rng, channel=channel, executor=executor)
         self.last_reducer = reducer
         conf = JobConf(
             name=f"earl-{self._stat.name}", input_path=self._path,
@@ -628,11 +656,18 @@ def run_stock_job(cluster: Cluster, input_path: str,
                   n_reducers: int = 1,
                   cpu_factor: float = 1.0,
                   split_logical_bytes: Optional[int] = None,
-                  seed=None) -> Tuple[float, JobResult]:
+                  seed=None,
+                  executor=None) -> Tuple[float, JobResult]:
     """Stock-Hadoop baseline: full scan, exact answer, no approximation.
 
     Returns ``(value, JobResult)`` — the benchmarks compare
     ``JobResult.simulated_seconds`` against the EARL run's total.
+
+    ``executor`` (``None``, a backend name, or an
+    :class:`~repro.exec.Executor`) fans the map/reduce task waves out
+    over a parallel backend; the default mapper and reducer are both
+    ``parallel_safe``, so this is the engine's genuinely parallel path.
+    Results are identical on every backend.
     """
     stat = get_statistic(statistic)
     conf = JobConf(
@@ -641,7 +676,12 @@ def run_stock_job(cluster: Cluster, input_path: str,
         reducer=StatisticReducer(stat, correction=correction),
         n_reducers=n_reducers, cpu_factor=cpu_factor,
         split_logical_bytes=split_logical_bytes, seed=seed)
-    result = JobClient(cluster).run(conf)
+    ex, owned = as_executor(executor)
+    try:
+        result = JobClient(cluster, executor=ex).run(conf)
+    finally:
+        if owned:
+            ex.close()
     grouped = result.grouped()
     if len(grouped) == 1:
         value = next(iter(grouped.values()))[0]

@@ -436,6 +436,35 @@ class FunctionalState(EstimatorState):
 # --------------------------------------------------------------------------
 
 
+class _RowwiseBatch:
+    """Default ``batch``: apply ``pointwise`` to every resample row.
+
+    A class rather than a closure so that a ``Statistic`` built from a
+    picklable callable is itself picklable (process-pool bootstrap).
+    """
+
+    __slots__ = ("pointwise",)
+
+    def __init__(self, pointwise: Callable[[np.ndarray], float]) -> None:
+        self.pointwise = pointwise
+
+    def __call__(self, matrix: np.ndarray) -> np.ndarray:
+        return np.apply_along_axis(self.pointwise, 1, matrix)
+
+
+class _FunctionalStateFactory:
+    """Default ``make_state``: a :class:`FunctionalState` over
+    ``pointwise`` (lambda-free for the same picklability reason)."""
+
+    __slots__ = ("pointwise",)
+
+    def __init__(self, pointwise: Callable[[np.ndarray], float]) -> None:
+        self.pointwise = pointwise
+
+    def __call__(self) -> "FunctionalState":
+        return FunctionalState(self.pointwise)
+
+
 class Statistic:
     """A named statistic with batch and incremental implementations.
 
@@ -452,24 +481,47 @@ class Statistic:
                  ) -> None:
         self.name = name
         self.pointwise = pointwise
-        self.batch = batch or (
-            lambda matrix: np.apply_along_axis(pointwise, 1, matrix))
-        self.make_state = make_state or (lambda: FunctionalState(pointwise))
+        self.batch = batch or _RowwiseBatch(pointwise)
+        self.make_state = make_state or _FunctionalStateFactory(pointwise)
 
     def __call__(self, sample: np.ndarray) -> float:
         return float(self.pointwise(np.asarray(sample)))
+
+    def __reduce__(self):
+        """Pickle registry statistics *by name*.
+
+        The implementations are lambdas (unpicklable by value), but a
+        registered statistic — or a ``quantile:<q>`` built by
+        :func:`get_statistic` — can be reconstructed from its name on
+        the far side of a process pool, which is what lets bootstrap
+        work units ship a statistic to a
+        :class:`~repro.exec.ProcessExecutor` worker.  By-name
+        reconstruction only fires when the name provably rebuilds *this*
+        statistic (registry identity, or the ``_reconstruct_by_name``
+        marker set by :func:`_quantile_statistic`); ad-hoc instances —
+        even ones whose name looks like ``quantile:...`` — fall back to
+        default pickling and must bring picklable callables.
+        """
+        if _REGISTRY.get(self.name) is self \
+                or getattr(self, "_reconstruct_by_name", False):
+            return (get_statistic, (self.name,))
+        return super().__reduce__()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Statistic({self.name!r})"
 
 
 def _quantile_statistic(q: float, name: str) -> Statistic:
-    return Statistic(
+    stat = Statistic(
         name,
         pointwise=lambda a: float(np.quantile(a, q)),
         batch=lambda m: np.quantile(m, q, axis=1),
         make_state=lambda: QuantileState(q),
     )
+    # get_statistic(name) rebuilds exactly this statistic, so pickling
+    # by name is sound for these instances (see Statistic.__reduce__).
+    stat._reconstruct_by_name = True
+    return stat
 
 
 _REGISTRY: Dict[str, Statistic] = {}
@@ -521,6 +573,24 @@ register_statistic(_quantile_statistic(0.99, "p99"))
 StatisticLike = Union[str, Statistic, Callable[[np.ndarray], float]]
 
 
+class _PointwiseAdapter:
+    """Lambda-free wrapper for user callables.
+
+    Being a plain class (not a closure), it pickles whenever the wrapped
+    callable does — so a :class:`FunctionalState` built from a
+    module-level user function can cross a process pool, which is what
+    lets arbitrary statistics ride the parallel resample evaluation.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[np.ndarray], float]) -> None:
+        self.fn = fn
+
+    def __call__(self, a: np.ndarray) -> float:
+        return float(self.fn(a))
+
+
 def get_statistic(spec: StatisticLike) -> Statistic:
     """Resolve a name, ``Statistic`` or plain callable to a ``Statistic``.
 
@@ -532,7 +602,7 @@ def get_statistic(spec: StatisticLike) -> Statistic:
         return spec
     if callable(spec):
         name = getattr(spec, "__name__", "custom")
-        return Statistic(name, pointwise=lambda a: float(spec(a)))
+        return Statistic(name, pointwise=_PointwiseAdapter(spec))
     if isinstance(spec, str):
         if spec in _REGISTRY:
             return _REGISTRY[spec]

@@ -5,10 +5,13 @@ Usage::
     python -m repro.evaluation fig5
     python -m repro.evaluation fig6 --sizes 2 10
     python -m repro.evaluation fig7 --seed 123
+    python -m repro.evaluation fig5 --executor processes --workers 4
     python -m repro.evaluation fault
 
 Prints the same series the corresponding pytest benchmark records under
-``benchmarks/results/``.
+``benchmarks/results/``.  ``--executor`` fans the sweep's points out
+over a parallel backend (the ``REPRO_EXECUTOR`` environment variable
+overrides it); the printed series is identical on every backend.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import sys
 from typing import Dict, List
 
 from repro.evaluation import runners
+from repro.exec.executor import available_executors, resolve_executor
 
 
 def _print_table(rows: List[Dict[str, object]]) -> None:
@@ -53,28 +57,41 @@ def main(argv: List[str] | None = None) -> int:
                              "counts for 'fault'")
     parser.add_argument("--seed", type=int, default=None,
                         help="master seed (default: the benchmarks' seed)")
+    parser.add_argument("--executor", choices=available_executors(),
+                        default=None,
+                        help="backend the sweep's points run on "
+                             "(default: serial; REPRO_EXECUTOR overrides)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for parallel backends "
+                             "(default: CPU count)")
     args = parser.parse_args(argv)
 
     kwargs = {}
     if args.seed is not None:
         kwargs["seed"] = args.seed
 
-    if args.figure == "fig5":
-        rows = runners.fig5_sweep(args.sizes or runners.FIG5_SIZES_GB,
-                                  **kwargs)
-    elif args.figure == "fig6":
-        rows = runners.fig6_sweep(args.sizes or runners.FIG6_SIZES_GB,
-                                  **kwargs)
-    elif args.figure == "fig7":
-        rows = runners.fig7_sweep(args.sizes or runners.FIG7_SIZES_GB,
-                                  **kwargs)
-    elif args.figure == "fig9":
-        rows = runners.fig9_sweep(args.sizes or runners.FIG9_SIZES_GB,
-                                  **kwargs)
-    else:
-        failures = [int(s) for s in args.sizes] if args.sizes \
-            else runners.FAULT_SWEEP
-        rows = runners.fault_sweep(failures, **kwargs)
+    executor = resolve_executor(name=args.executor,
+                                max_workers=args.workers)
+    kwargs["executor"] = executor
+    try:
+        if args.figure == "fig5":
+            rows = runners.fig5_sweep(args.sizes or runners.FIG5_SIZES_GB,
+                                      **kwargs)
+        elif args.figure == "fig6":
+            rows = runners.fig6_sweep(args.sizes or runners.FIG6_SIZES_GB,
+                                      **kwargs)
+        elif args.figure == "fig7":
+            rows = runners.fig7_sweep(args.sizes or runners.FIG7_SIZES_GB,
+                                      **kwargs)
+        elif args.figure == "fig9":
+            rows = runners.fig9_sweep(args.sizes or runners.FIG9_SIZES_GB,
+                                      **kwargs)
+        else:
+            failures = [int(s) for s in args.sizes] if args.sizes \
+                else runners.FAULT_SWEEP
+            rows = runners.fault_sweep(failures, **kwargs)
+    finally:
+        executor.close()
 
     _print_table(rows)
     return 0

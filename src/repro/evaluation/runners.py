@@ -6,14 +6,26 @@ dict of the series values; ``figN_sweep`` maps it over the default
 x-axis.  The pytest benchmarks under ``benchmarks/`` and the
 ``python -m repro.evaluation`` CLI both drive these runners, so the
 reproduced numbers come from exactly one implementation.
+
+Every sweep accepts an ``executor`` (``None``, a backend name, or an
+:class:`~repro.exec.Executor`): the sweep's points are independent —
+each builds its own cluster and derives its seed from the point's
+*index*, never from execution order — so a whole figure can run its
+points concurrently (``executor="processes"``, or
+``REPRO_EXECUTOR=processes`` with the CLI) and still produce exactly
+the serial series.  Process-pool workers cannot nest pools, so their
+initializer strips the env override and each point's inner engine runs
+``"serial"``; under a *thread* backend, inner runs may legally build
+nested thread pools (deterministic either way, just extra pool
+overhead).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
-
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import Cluster, FailureInjector
+from repro.exec.executor import as_executor
 from repro.core import EarlConfig, EarlJob, run_stock_job
 from repro.jobs import (
     EarlKMeans,
@@ -43,6 +55,32 @@ FIG7_POINTS = 40_000
 FIG9_RECORDS = 30_000
 
 FIG7_CENTERS = [[0.0, 0.0], [30.0, 30.0], [60.0, 0.0], [30.0, -25.0]]
+
+#: One sweep point: (point function, positional args, keyword args).
+_PointSpec = Tuple[Callable[..., Dict[str, object]], tuple, dict]
+
+
+def _run_point(spec: _PointSpec) -> Dict[str, object]:
+    """Execute one sweep point (module-level so process pools can pickle
+    it by reference)."""
+    fn, args, kwargs = spec
+    return fn(*args, **kwargs)
+
+
+def _run_sweep(specs: Sequence[_PointSpec],
+               executor) -> List[Dict[str, object]]:
+    """Map the sweep's point specs over the chosen backend, in order.
+
+    Each spec carries its own seed (derived from the point's index), so
+    the series is identical whether the points run serially or fan out
+    over threads/processes.
+    """
+    ex, owned = as_executor(executor)
+    try:
+        return ex.map(_run_point, list(specs))
+    finally:
+        if owned:
+            ex.close()
 
 
 # ---------------------------------------------------------------------------
@@ -74,10 +112,11 @@ def fig5_point(gb: float, *, records: int = FIG5_RECORDS,
 
 def fig5_sweep(sizes_gb: Sequence[float] = FIG5_SIZES_GB, *,
                records: int = FIG5_RECORDS,
-               seed: int = 500) -> List[Dict[str, object]]:
+               seed: int = 500, executor=None) -> List[Dict[str, object]]:
     """Fig. 5 series over the default (or given) data sizes."""
-    return [fig5_point(gb, records=records, seed=seed + 10 * i)
-            for i, gb in enumerate(sizes_gb)]
+    return _run_sweep(
+        [(fig5_point, (gb,), {"records": records, "seed": seed + 10 * i})
+         for i, gb in enumerate(sizes_gb)], executor)
 
 
 # ---------------------------------------------------------------------------
@@ -119,10 +158,11 @@ def fig6_point(gb: float, *, records: int = FIG6_RECORDS,
 
 def fig6_sweep(sizes_gb: Sequence[float] = FIG6_SIZES_GB, *,
                records: int = FIG6_RECORDS,
-               seed: int = 600) -> List[Dict[str, object]]:
+               seed: int = 600, executor=None) -> List[Dict[str, object]]:
     """Fig. 6 series over the default (or given) data sizes."""
-    return [fig6_point(gb, records=records, seed=seed + 10 * i)
-            for i, gb in enumerate(sizes_gb)]
+    return _run_sweep(
+        [(fig6_point, (gb,), {"records": records, "seed": seed + 10 * i})
+         for i, gb in enumerate(sizes_gb)], executor)
 
 
 # ---------------------------------------------------------------------------
@@ -161,10 +201,11 @@ def fig7_point(gb: float, *, points: int = FIG7_POINTS,
 
 def fig7_sweep(sizes_gb: Sequence[float] = FIG7_SIZES_GB, *,
                points: int = FIG7_POINTS,
-               seed: int = 700) -> List[Dict[str, object]]:
+               seed: int = 700, executor=None) -> List[Dict[str, object]]:
     """Fig. 7 series over the default (or given) data sizes."""
-    return [fig7_point(gb, points=points, seed=seed + 10 * i)
-            for i, gb in enumerate(sizes_gb)]
+    return _run_sweep(
+        [(fig7_point, (gb,), {"points": points, "seed": seed + 10 * i})
+         for i, gb in enumerate(sizes_gb)], executor)
 
 
 # ---------------------------------------------------------------------------
@@ -192,10 +233,11 @@ def fig9_point(gb: float, *, records: int = FIG9_RECORDS,
 
 def fig9_sweep(sizes_gb: Sequence[float] = FIG9_SIZES_GB, *,
                records: int = FIG9_RECORDS,
-               seed: int = 900) -> List[Dict[str, object]]:
+               seed: int = 900, executor=None) -> List[Dict[str, object]]:
     """Fig. 9 series over the default (or given) data sizes."""
-    return [fig9_point(gb, records=records, seed=seed + 10 * i)
-            for i, gb in enumerate(sizes_gb)]
+    return _run_sweep(
+        [(fig9_point, (gb,), {"records": records, "seed": seed + 10 * i})
+         for i, gb in enumerate(sizes_gb)], executor)
 
 
 # ---------------------------------------------------------------------------
@@ -246,6 +288,8 @@ def fault_point(n_failed: int, *, records: int = 40_000,
 
 
 def fault_sweep(failures: Sequence[int] = FAULT_SWEEP, *,
-                seed: int = 1100) -> List[Dict[str, object]]:
+                seed: int = 1100, executor=None) -> List[Dict[str, object]]:
     """§3.4 series over the given failed-node counts."""
-    return [fault_point(k, seed=seed + 10 * k) for k in failures]
+    return _run_sweep(
+        [(fault_point, (k,), {"seed": seed + 10 * k}) for k in failures],
+        executor)

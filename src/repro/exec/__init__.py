@@ -1,0 +1,71 @@
+"""Pluggable parallel execution backends (the engine's scaling seam).
+
+This package decides *where* the repro engine's independent work units
+run: serially in-process (the deterministic default), on a thread pool,
+or on a process pool.  Four hot paths fan out through it:
+
+* map/reduce task waves of the simulated MapReduce engine
+  (:class:`repro.mapreduce.runtime.JobClient`);
+* Monte-Carlo bootstrap resampling (:func:`repro.core.bootstrap.bootstrap`
+  with an ``executor=``);
+* result-distribution evaluation of delta-maintained resample sets
+  (:meth:`repro.core.delta.ResampleSet.estimates`);
+* whole figure sweeps (:mod:`repro.evaluation.runners` ``*_sweep``
+  functions and the ``python -m repro.evaluation --executor`` flag).
+
+Usage
+-----
+Select a backend per EARL run through the config::
+
+    from repro import EarlConfig, EarlSession
+    cfg = EarlConfig(seed=1, executor="processes", max_workers=4)
+    result = EarlSession(data, "median", config=cfg).run()
+
+or build one directly for the lower-level APIs::
+
+    from repro.exec import get_executor
+    from repro.core.bootstrap import bootstrap
+    with get_executor("processes") as ex:
+        res = bootstrap(sample, "median", B=500, seed=7, executor=ex)
+
+The ``REPRO_EXECUTOR`` environment variable overrides any configured
+name (and ``REPRO_MAX_WORKERS`` the worker count), so an existing
+script or benchmark can be flipped to a parallel backend without code
+changes.  Results are byte-identical across all backends for any fixed
+seed — see the determinism contract in :mod:`repro.exec.executor` and
+DESIGN.md's "Execution backends" section.
+"""
+
+from repro.exec.executor import (
+    EXECUTOR_ENV,
+    EXECUTOR_PROCESSES,
+    EXECUTOR_SERIAL,
+    EXECUTOR_THREADS,
+    MAX_WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    as_executor,
+    available_executors,
+    chunk_sizes,
+    get_executor,
+    resolve_executor,
+)
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "resolve_executor",
+    "as_executor",
+    "available_executors",
+    "chunk_sizes",
+    "EXECUTOR_SERIAL",
+    "EXECUTOR_THREADS",
+    "EXECUTOR_PROCESSES",
+    "EXECUTOR_ENV",
+    "MAX_WORKERS_ENV",
+]

@@ -1,0 +1,320 @@
+"""Pluggable execution backends for the repro engine's fan-out points.
+
+Every hot path that consists of *independent work units* — map/reduce
+task waves in :mod:`repro.mapreduce.runtime`, Monte-Carlo resample
+batches in :mod:`repro.core.bootstrap`, result-distribution evaluation
+in :mod:`repro.core.delta`, and whole figure sweeps in
+:mod:`repro.evaluation.runners` — fans out through one strategy
+interface, :class:`Executor`, instead of a hard-coded ``for`` loop.
+
+Three backends are provided:
+
+* :class:`SerialExecutor` — in-order, in-process execution.  The
+  default, and the reference behavior every other backend must
+  reproduce bit-for-bit.
+* :class:`ThreadExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
+  pool.  Shares memory with the caller; best when the work releases the
+  GIL (numpy batch kernels) or waits on simulated I/O.
+* :class:`ProcessExecutor` — a ``concurrent.futures.ProcessPoolExecutor``
+  pool.  True CPU parallelism; work units and their results must be
+  picklable, and worker-side mutations of shared objects are *lost*
+  (see ``shares_memory``).
+
+Determinism contract
+--------------------
+Backends may only change *where* a unit runs, never *what* it computes:
+
+1. work is decomposed identically for every backend (fixed chunk sizes,
+   never "number of workers" chunks);
+2. every unit carries its own RNG stream, pre-spawned by the caller via
+   :func:`repro.util.rng.spawn_child`;
+3. :meth:`Executor.map` returns results in submission order.
+
+Under these rules ``serial``, ``threads`` and ``processes`` produce
+byte-identical results for any seeded run, which is what the
+cross-backend tests in ``tests/exec/`` assert.
+
+Selection
+---------
+:func:`get_executor` builds a backend by name; :func:`resolve_executor`
+reads the name from an :class:`~repro.core.config.EarlConfig` (fields
+``executor`` and ``max_workers``), with the ``REPRO_EXECUTOR``
+environment variable overriding the config — handy for flipping a whole
+benchmark run to ``processes`` without touching code::
+
+    REPRO_EXECUTOR=processes python -m repro.evaluation fig5
+
+Nesting caveat: process-pool workers are daemonic and cannot fork their
+own pools.  Keep inner configs on ``"serial"`` (the default) when an
+outer sweep already runs on ``"processes"``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from concurrent.futures import ThreadPoolExecutor as _ThreadPool
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive_int
+
+#: Environment variable overriding the configured backend name.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+#: Environment variable overriding the configured worker count.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Canonical backend names.
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_THREADS = "threads"
+EXECUTOR_PROCESSES = "processes"
+
+
+class Executor:
+    """Strategy interface: run independent work units, keep their order.
+
+    Attributes
+    ----------
+    name:
+        Canonical backend name (``"serial"``, ``"threads"``,
+        ``"processes"``).
+    is_parallel:
+        Whether units may run concurrently.  Callers use this to gate
+        fan-out of work that is only safe sequentially.
+    shares_memory:
+        Whether a unit's mutations of objects shared with the caller are
+        visible after :meth:`map` returns.  ``False`` for process pools:
+        units there must communicate exclusively through their return
+        value.
+    """
+
+    name: str = "abstract"
+    is_parallel: bool = False
+    shares_memory: bool = True
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item; return results in item order.
+
+        Exceptions raised by a unit propagate to the caller (the first
+        failing unit in submission order, matching serial semantics).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources.  Idempotent; ``map`` after ``close``
+        is undefined."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialExecutor(Executor):
+    """In-order, in-process execution — the deterministic reference.
+
+    ``max_workers`` is accepted (and ignored) so the three backends are
+    constructor-compatible.
+    """
+
+    name = EXECUTOR_SERIAL
+    is_parallel = False
+    shares_memory = True
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        _check_workers(max_workers)
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Plain ordered loop: ``[fn(item) for item in items]``."""
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared lazy-pool plumbing for the two concurrent backends."""
+
+    _pool_factory: Callable[..., Any]
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        _check_workers(max_workers)
+        self._max_workers = max_workers or _default_workers()
+        self._pool: Optional[Any] = None
+
+    @property
+    def max_workers(self) -> int:
+        """Worker count the pool is (or will be) created with."""
+        return self._max_workers
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is None:
+            self._pool = type(self)._pool_factory(max_workers=self._max_workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Fan items out over the pool; gather in submission order."""
+        items = list(items)
+        if len(items) <= 1:  # nothing to overlap; skip pool dispatch
+            return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (waits for in-flight units)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend: concurrent, shared-memory execution.
+
+    Python threads interleave under the GIL, so pure-Python units gain
+    little wall-clock — the win is for units that release the GIL
+    (vectorized numpy work) or block.  The pool is created lazily on the
+    first multi-item :meth:`map`.
+    """
+
+    name = EXECUTOR_THREADS
+    is_parallel = True
+    shares_memory = True
+    _pool_factory = _ThreadPool
+
+
+def _process_worker_init() -> None:
+    """Initializer for process-pool workers.
+
+    A pool worker is daemonic and cannot fork its own pool, so any
+    inherited ``REPRO_EXECUTOR``/``REPRO_MAX_WORKERS`` override must not
+    apply inside the worker: nested :func:`resolve_executor` calls fall
+    back to the configured (normally ``"serial"``) backend instead of
+    trying to build a pool-inside-a-pool.
+    """
+    os.environ.pop(EXECUTOR_ENV, None)
+    os.environ.pop(MAX_WORKERS_ENV, None)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend: true CPU parallelism.
+
+    Work functions must be module-level (picklable by reference) and
+    arguments/results picklable by value.  Mutations of shared objects
+    happen in the worker's copy and are discarded — units communicate
+    through return values only, which is why the engine requires
+    ``parallel_safe`` declarations before routing tasks here.
+    """
+
+    name = EXECUTOR_PROCESSES
+    is_parallel = True
+    shares_memory = False
+
+    @staticmethod
+    def _pool_factory(max_workers: Optional[int] = None) -> _ProcessPool:
+        return _ProcessPool(max_workers=max_workers,
+                            initializer=_process_worker_init)
+
+
+#: Registry of selectable backends.
+_EXECUTORS = {
+    EXECUTOR_SERIAL: SerialExecutor,
+    EXECUTOR_THREADS: ThreadExecutor,
+    EXECUTOR_PROCESSES: ProcessExecutor,
+}
+
+
+def available_executors() -> List[str]:
+    """Names accepted by :func:`get_executor` (and ``EarlConfig.executor``)."""
+    return sorted(_EXECUTORS)
+
+
+def get_executor(name: str, max_workers: Optional[int] = None) -> Executor:
+    """Build the named backend (``"serial"``, ``"threads"``, ``"processes"``).
+
+    ``max_workers`` bounds pool size for the concurrent backends
+    (default: the machine's CPU count) and is ignored by ``serial``.
+    """
+    try:
+        cls = _EXECUTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; known: {available_executors()}"
+        ) from None
+    return cls(max_workers=max_workers)
+
+
+def resolve_executor(config: Optional[Any] = None, *,
+                     name: Optional[str] = None,
+                     max_workers: Optional[int] = None) -> Executor:
+    """Build the backend a run should use, honoring the env override.
+
+    Precedence for the backend name: ``REPRO_EXECUTOR`` environment
+    variable > explicit ``name`` argument > ``config.executor`` >
+    ``"serial"``.  Worker count: ``REPRO_MAX_WORKERS`` > ``max_workers``
+    argument > ``config.max_workers`` > CPU count.  ``config`` is any
+    object with ``executor``/``max_workers`` attributes (typically an
+    :class:`~repro.core.config.EarlConfig`).
+
+    The caller owns the returned executor and should ``close()`` it (or
+    use it as a context manager).
+    """
+    env_name = os.environ.get(EXECUTOR_ENV)
+    chosen = env_name or name or getattr(config, "executor", None) \
+        or EXECUTOR_SERIAL
+    env_workers = os.environ.get(MAX_WORKERS_ENV)
+    if env_workers:
+        try:
+            workers: Optional[int] = int(env_workers)
+        except ValueError:
+            raise ValueError(
+                f"{MAX_WORKERS_ENV} must be an integer, "
+                f"got {env_workers!r}") from None
+    else:
+        workers = (max_workers if max_workers is not None
+                   else getattr(config, "max_workers", None))
+    return get_executor(chosen, max_workers=workers)
+
+
+def as_executor(spec: Any) -> Tuple[Executor, bool]:
+    """Normalize ``spec`` into ``(executor, owned)``.
+
+    ``spec`` may be ``None`` (serial), a backend name, or an
+    :class:`Executor` instance.  ``owned`` tells the caller whether it
+    created the executor (and must therefore close it) or borrowed one
+    whose lifecycle belongs to somebody else.
+    """
+    if spec is None:
+        return SerialExecutor(), True
+    if isinstance(spec, Executor):
+        return spec, False
+    if isinstance(spec, str):
+        return get_executor(spec), True
+    raise TypeError(
+        f"executor must be None, a name, or an Executor; got {type(spec).__name__}")
+
+
+def chunk_sizes(total: int, chunk: int) -> List[int]:
+    """Deterministic decomposition of ``total`` units into fixed chunks.
+
+    Returns ``[chunk, chunk, ..., remainder]``.  The decomposition
+    depends only on ``total`` and ``chunk`` — never on worker count —
+    which is what keeps chunked Monte-Carlo runs identical across
+    backends and pool sizes.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if chunk < 1:
+        raise ValueError("chunk must be positive")
+    sizes = [chunk] * (total // chunk)
+    if total % chunk:
+        sizes.append(total % chunk)
+    return sizes
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _check_workers(max_workers: Optional[int]) -> None:
+    """Shared validation, same semantics as ``EarlConfig.max_workers``."""
+    if max_workers is not None:
+        check_positive_int("max_workers", max_workers)

@@ -18,7 +18,18 @@ class Mapper:
     Subclasses override :meth:`map`; :meth:`setup` and :meth:`cleanup`
     bracket a task's record stream (``cleanup`` may emit trailing pairs —
     that is how in-mapper combining flushes its buffer).
+
+    Set :attr:`parallel_safe` to ``True`` on a subclass to declare that
+    concurrent map tasks sharing this instance neither race on mutable
+    state nor need their mutations seen by the driver afterwards; the
+    engine may then fan the map wave out over a parallel
+    :class:`~repro.exec.Executor` (see
+    :func:`repro.mapreduce.runtime.wave_parallelizable`).  The default is
+    conservative: undeclared mappers keep their wave serial.
     """
+
+    #: Opt-in flag for parallel task waves (see class docstring).
+    parallel_safe: bool = False
 
     def setup(self, ctx: TaskContext) -> None:
         """Called once before the first record of a task."""
@@ -36,6 +47,8 @@ class Mapper:
 class IdentityMapper(Mapper):
     """Pass records through unchanged."""
 
+    parallel_safe = True
+
     def map(self, key: Hashable, value: Any,
             ctx: TaskContext) -> Iterable[KeyValue]:
         yield key, value
@@ -48,6 +61,8 @@ class ProjectionMapper(Mapper):
     of ``key<TAB>value`` (or bare numeric values, in which case a constant
     group key is used so a single reducer sees the whole stream).
     """
+
+    parallel_safe = True  # pure function of the input line
 
     def __init__(self, *, delimiter: str = "\t",
                  constant_key: Hashable = "all") -> None:
@@ -73,6 +88,8 @@ class GlobalValueMapper(Mapper):
     when the question is about the overall distribution (e.g. the global
     median) rather than per-group values.
     """
+
+    parallel_safe = True  # pure function of the input line
 
     def __init__(self, *, delimiter: str = "\t",
                  constant_key: Hashable = "all") -> None:

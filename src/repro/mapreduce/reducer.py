@@ -23,7 +23,18 @@ from repro.mapreduce.types import KeyValue, TaskContext
 
 
 class Reducer:
-    """Classic reducer: override :meth:`reduce`."""
+    """Classic reducer: override :meth:`reduce`.
+
+    :attr:`parallel_safe` mirrors :attr:`repro.mapreduce.mapper.Mapper.parallel_safe`:
+    a ``True`` declaration lets the engine run the reduce wave's tasks on
+    a parallel :class:`~repro.exec.Executor`.  Leave it ``False`` (the
+    default) for reducers whose cross-task state the driver reads after
+    the job — e.g. EARL's :class:`~repro.core.earl.BootstrapReducer`,
+    which accumulates per-key estimation stages the driver inspects.
+    """
+
+    #: Opt-in flag for parallel task waves (see class docstring).
+    parallel_safe: bool = False
 
     def setup(self, ctx: TaskContext) -> None:
         """Called once before the first key group of a task."""
@@ -39,6 +50,8 @@ class Reducer:
 
 class IdentityReducer(Reducer):
     """Emit every value unchanged."""
+
+    parallel_safe = True
 
     def reduce(self, key: Hashable, values: Sequence[Any],
                ctx: TaskContext) -> Iterable[KeyValue]:
@@ -88,6 +101,8 @@ class IncrementalReducer(Reducer):
 class SumReducer(IncrementalReducer):
     """SUM with the paper's canonical ``1/p`` correction (§2.1)."""
 
+    parallel_safe = True
+
     def initialize(self, values: Sequence[Any]) -> float:
         return float(sum(values))
 
@@ -105,6 +120,8 @@ class SumReducer(IncrementalReducer):
 
 class MeanReducer(IncrementalReducer):
     """AVG as a mergeable ``(sum, count)`` state; needs no correction."""
+
+    parallel_safe = True
 
     def initialize(self, values: Sequence[Any]) -> tuple[float, int]:
         total = 0.0

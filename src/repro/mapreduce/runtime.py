@@ -16,6 +16,16 @@ Two execution modes mirror the paper:
 A third knob, ``warm_start``, models EARL's persistent mappers (§2.1
 modification 2): when the sample is expanded, already-running tasks are
 reused, so neither job set-up nor task start-up is charged again.
+
+Real execution of a wave's tasks can fan out over an
+:class:`~repro.exec.Executor` (threads or processes) when every
+component of the wave declares itself ``parallel_safe`` — see
+:func:`wave_parallelizable`.  Only *where* tasks run changes: each task
+already owns a pre-spawned RNG stream and a private ledger, and results
+are gathered in task order, so parallel backends are byte-identical to
+serial execution.  The simulated :class:`CostLedger` accounting and the
+slot-scheduled makespan are computed from the same per-task durations
+regardless of backend.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.costmodel import CostLedger
 from repro.cluster.scheduler import schedule_tasks
+from repro.exec.executor import Executor
 from repro.hdfs.errors import BlockUnavailableError
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.record_reader import LineRecordReader
@@ -59,9 +70,17 @@ class RecordSource(Protocol):
     real sample (the paper sizes samples as a fraction ``p`` of the
     data, so real sample volumes grow with the file).  Set it false only
     for sources whose records are literal, unscaled data.
+
+    ``parallel_safe`` declares that concurrent ``read`` calls for
+    different splits neither race on shared state nor need their
+    mutations seen by the driver — the condition for the engine to fan
+    the map wave out over a parallel :class:`~repro.exec.Executor`.
+    Stateful samplers (which accumulate ``sampled_count`` across splits)
+    must leave it false; the engine then runs their wave serially.
     """
 
     scales_with_file: bool
+    parallel_safe: bool
 
     def read(self, fs: HDFS, split: InputSplit, ledger: CostLedger,
              rng: np.random.Generator) -> Iterator[KeyValue]:
@@ -72,11 +91,36 @@ class FullScanSource:
     """Default record source: read every line of the split."""
 
     scales_with_file = True
+    #: Pure function of (fs, split): safe on every backend.
+    parallel_safe = True
 
     def read(self, fs: HDFS, split: InputSplit, ledger: CostLedger,
              rng: np.random.Generator) -> Iterator[KeyValue]:
         reader = LineRecordReader(fs, split, ledger=ledger)
         return iter(reader.read_records())
+
+
+def wave_parallelizable(conf: JobConf, source: RecordSource,
+                        executor: Optional[Executor], *,
+                        reduce_side: bool) -> bool:
+    """Whether a task wave may fan out over ``executor``.
+
+    Requires a parallel backend, cluster (non-local) mode — the paper's
+    local mode is *defined* as serial single-process execution (§3.2) —
+    and a ``parallel_safe = True`` declaration from every user component
+    involved in the wave (map side: record source, mapper, combiner;
+    reduce side: reducer).  Components that don't declare themselves are
+    treated as stateful and keep their wave serial, so correctness never
+    depends on a user class anticipating this engine feature.
+    """
+    if executor is None or not executor.is_parallel or conf.local_mode:
+        return False
+    if reduce_side:
+        return bool(getattr(conf.reducer, "parallel_safe", False))
+    return (bool(getattr(source, "parallel_safe", False))
+            and bool(getattr(conf.mapper, "parallel_safe", False))
+            and (conf.combiner is None
+                 or bool(getattr(conf.combiner, "parallel_safe", False))))
 
 
 @dataclass
@@ -90,12 +134,62 @@ class _MapTaskResult:
     skipped: bool = False
 
 
+@dataclass
+class _MapTaskArgs:
+    """Everything one map task needs, bundled so the task is a pure
+    picklable function of its arguments (a process-pool requirement).
+
+    Cost note: on the ``processes`` backend every task pickles its
+    ``fs`` (the whole simulated HDFS) and ``conf``, so IPC grows with
+    stored bytes times split count.  Stand-in files keep stored bytes
+    laptop-sized, which keeps this affordable; for map waves over large
+    actual data prefer ``threads`` (shared memory) until a
+    shared-fs/worker-initializer scheme lands (see DESIGN.md §3)."""
+
+    fs: HDFS
+    ledger: CostLedger
+    conf: JobConf
+    source: RecordSource
+    split: InputSplit
+    rng: np.random.Generator
+    record_scale: float
+    warm_start: bool
+
+
+@dataclass
+class _ReduceTaskArgs:
+    """Argument bundle of one reduce task (see :class:`_MapTaskArgs`)."""
+
+    ledger: CostLedger
+    conf: JobConf
+    partition: int
+    pairs: List[KeyValue]
+    in_bytes: float
+    in_records: float
+    rng: np.random.Generator
+    record_scale: float
+    warm_start: bool
+
+
 class JobClient:
     """Submits jobs to a simulated cluster (the ``JobClient.runJob`` of
-    the paper's Figure 4)."""
+    the paper's Figure 4).
 
-    def __init__(self, cluster: Cluster) -> None:
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster jobs run against.
+    executor:
+        Optional :class:`~repro.exec.Executor` that parallel-safe task
+        waves fan out over (see :func:`wave_parallelizable`).  ``None``
+        keeps the engine fully serial.  The caller owns the executor's
+        lifecycle; the client never closes it.
+    """
+
+    def __init__(self, cluster: Cluster,
+                 executor: Optional[Executor] = None) -> None:
         self.cluster = cluster
+        self.executor = executor
 
     # ------------------------------------------------------------------ run
     def run(self, conf: JobConf, *,
@@ -141,16 +235,21 @@ class JobClient:
         record_scale = meta_scale if source.scales_with_file else 1.0
 
         # ----------------------------------------------------------- map
-        map_results: List[_MapTaskResult] = []
         skipped_logical = 0
         total_logical = sum(s.logical_length for s in splits) or 1
-        for i, split in enumerate(splits):
-            result = self._run_map_task(
-                conf, source, split, task_rngs[i], record_scale,
-                warm_start=warm_start)
+        map_args = [
+            _MapTaskArgs(fs=fs, ledger=self.cluster.new_ledger(), conf=conf,
+                         source=source, split=split, rng=task_rngs[i],
+                         record_scale=record_scale, warm_start=warm_start)
+            for i, split in enumerate(splits)]
+        if wave_parallelizable(conf, source, self.executor,
+                               reduce_side=False):
+            map_results = self.executor.map(_execute_map_task, map_args)
+        else:
+            map_results = [_execute_map_task(args) for args in map_args]
+        for split, result in zip(splits, map_results):
             if result.skipped:
                 skipped_logical += split.logical_length
-            map_results.append(result)
 
         job_counters = Counters()
         for r in map_results:
@@ -168,13 +267,23 @@ class JobClient:
                 shuffle_records[p] += r.partition_records[p]
 
         # --------------------------------------------------------- reduce
-        reduce_results: List[Tuple[List[KeyValue], float, Counters, CostLedger]] = []
-        for p in range(n_red):
-            out = self._run_reduce_task(
-                conf, p, shuffle[p], shuffle_bytes[p], shuffle_records[p],
-                task_rngs[n_tasks + p], record_scale=record_scale,
-                warm_start=warm_start)
-            reduce_results.append(out)
+        reduce_args = [
+            _ReduceTaskArgs(ledger=self.cluster.new_ledger(), conf=conf,
+                            partition=p, pairs=shuffle[p],
+                            in_bytes=shuffle_bytes[p],
+                            in_records=shuffle_records[p],
+                            rng=task_rngs[n_tasks + p],
+                            record_scale=record_scale,
+                            warm_start=warm_start)
+            for p in range(n_red)]
+        if wave_parallelizable(conf, source, self.executor,
+                               reduce_side=True):
+            reduce_results = self.executor.map(_execute_reduce_task,
+                                               reduce_args)
+        else:
+            reduce_results = [_execute_reduce_task(args)
+                              for args in reduce_args]
+        for out in reduce_results:
             job_counters.merge(out[2])
 
         # ------------------------------------------------------- makespan
@@ -218,126 +327,134 @@ class JobClient:
             driver_ledger=driver,
         )
 
-    # ------------------------------------------------------------ map tasks
-    def _run_map_task(self, conf: JobConf, source: RecordSource,
-                      split: InputSplit, rng: np.random.Generator,
-                      record_scale: float, *, warm_start: bool
-                      ) -> _MapTaskResult:
-        fs = self.cluster.hdfs
-        ledger = self.cluster.new_ledger()
-        counters = Counters()
-        if not conf.local_mode and not warm_start:
-            ledger.charge_task_startup()
+# --------------------------------------------------------------- map tasks
+def _execute_map_task(args: _MapTaskArgs) -> _MapTaskResult:
+    """Run one map task.
 
-        n_red = conf.n_reducers
-        partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
-        if not fs.split_available(split):
-            if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
-                raise JobFailedError(
-                    f"split {split.index} of {split.path} is unavailable "
-                    "(all replicas lost)")
-            counters.increment(C.SKIPPED_SPLITS)
-            counters.increment(C.FAILED_TASKS)
-            return _MapTaskResult(partitions=partitions,
-                                  partition_bytes=[0.0] * n_red,
-                                  partition_records=[0.0] * n_red,
-                                  duration=ledger.total_seconds,
-                                  counters=counters, ledger=ledger,
-                                  skipped=True)
+    Module-level (not a :class:`JobClient` method) so a process-pool
+    backend can pickle it by reference; everything it touches arrives in
+    ``args`` and everything it produces leaves in the result — there is
+    no hidden driver state, which is what makes the fan-out safe.
+    """
+    fs = args.fs
+    conf = args.conf
+    split = args.split
+    ledger = args.ledger
+    record_scale = args.record_scale
+    counters = Counters()
+    if not conf.local_mode and not args.warm_start:
+        ledger.charge_task_startup()
 
-        ctx = TaskContext(ledger=ledger, counters=counters, rng=rng,
-                          record_scale=record_scale,
-                          cpu_factor=conf.cpu_factor, config=dict(conf.params),
-                          task_id=f"map-{split.index}")
-        partitioner = HashPartitioner(n_red)
-        mapper = conf.mapper
-        buffered: List[KeyValue] = []
-
-        try:
-            mapper.setup(ctx)
-            for key, value in source.read(fs, split, ledger, rng):
-                counters.increment(C.MAP_INPUT_RECORDS)
-                ledger.charge_cpu_records(record_scale, conf.cpu_factor)
-                for pair in mapper.map(key, value, ctx):
-                    buffered.append(pair)
-            for pair in mapper.cleanup(ctx):
-                buffered.append(pair)
-        except BlockUnavailableError as exc:
-            # The availability pre-check covers the split's own blocks,
-            # but a record reader legitimately over-reads past the split
-            # end (to finish its last line) and can hit a lost block
-            # mid-task.  Apply the same policy as for lost splits.
-            if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
-                raise JobFailedError(
-                    f"map task {split.index} of {split.path} lost its "
-                    f"input mid-read: {exc}") from exc
-            counters.increment(C.SKIPPED_SPLITS)
-            counters.increment(C.FAILED_TASKS)
-            return _MapTaskResult(partitions=[[] for _ in range(n_red)],
-                                  partition_bytes=[0.0] * n_red,
-                                  partition_records=[0.0] * n_red,
-                                  duration=ledger.total_seconds,
-                                  counters=counters, ledger=ledger,
-                                  skipped=True)
-        counters.increment(C.MAP_OUTPUT_RECORDS, len(buffered))
-
-        if conf.combiner is not None and buffered:
-            ledger.charge_cpu_records(len(buffered) * record_scale,
-                                      conf.cpu_factor)
-            buffered = run_combiner(conf.combiner, buffered, ctx)
-            # Combined output is O(#keys): it no longer scales with the file.
-            pair_scale = 1.0
-        else:
-            pair_scale = record_scale
-
-        partition_bytes = [0.0] * n_red
-        partition_records = [0.0] * n_red
-        for key, value in buffered:
-            p = partitioner.partition(key)
-            partitions[p].append((key, value))
-            partition_bytes[p] += estimate_pair_bytes(key, value) * pair_scale
-            partition_records[p] += pair_scale
-
+    n_red = conf.n_reducers
+    partitions: List[List[KeyValue]] = [[] for _ in range(n_red)]
+    if not fs.split_available(split):
+        if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
+            raise JobFailedError(
+                f"split {split.index} of {split.path} is unavailable "
+                "(all replicas lost)")
+        counters.increment(C.SKIPPED_SPLITS)
+        counters.increment(C.FAILED_TASKS)
         return _MapTaskResult(partitions=partitions,
-                              partition_bytes=partition_bytes,
-                              partition_records=partition_records,
+                              partition_bytes=[0.0] * n_red,
+                              partition_records=[0.0] * n_red,
                               duration=ledger.total_seconds,
-                              counters=counters, ledger=ledger)
+                              counters=counters, ledger=ledger,
+                              skipped=True)
 
-    # --------------------------------------------------------- reduce tasks
-    def _run_reduce_task(self, conf: JobConf, partition: int,
-                         pairs: List[KeyValue], in_bytes: float,
-                         in_records: float, rng: np.random.Generator,
-                         *, record_scale: float, warm_start: bool
+    ctx = TaskContext(ledger=ledger, counters=counters, rng=args.rng,
+                      record_scale=record_scale,
+                      cpu_factor=conf.cpu_factor, config=dict(conf.params),
+                      task_id=f"map-{split.index}")
+    partitioner = HashPartitioner(n_red)
+    mapper = conf.mapper
+    buffered: List[KeyValue] = []
+
+    try:
+        mapper.setup(ctx)
+        for key, value in args.source.read(fs, split, ledger, args.rng):
+            counters.increment(C.MAP_INPUT_RECORDS)
+            ledger.charge_cpu_records(record_scale, conf.cpu_factor)
+            for pair in mapper.map(key, value, ctx):
+                buffered.append(pair)
+        for pair in mapper.cleanup(ctx):
+            buffered.append(pair)
+    except BlockUnavailableError as exc:
+        # The availability pre-check covers the split's own blocks,
+        # but a record reader legitimately over-reads past the split
+        # end (to finish its last line) and can hit a lost block
+        # mid-task.  Apply the same policy as for lost splits.
+        if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
+            raise JobFailedError(
+                f"map task {split.index} of {split.path} lost its "
+                f"input mid-read: {exc}") from exc
+        counters.increment(C.SKIPPED_SPLITS)
+        counters.increment(C.FAILED_TASKS)
+        return _MapTaskResult(partitions=[[] for _ in range(n_red)],
+                              partition_bytes=[0.0] * n_red,
+                              partition_records=[0.0] * n_red,
+                              duration=ledger.total_seconds,
+                              counters=counters, ledger=ledger,
+                              skipped=True)
+    counters.increment(C.MAP_OUTPUT_RECORDS, len(buffered))
+
+    if conf.combiner is not None and buffered:
+        ledger.charge_cpu_records(len(buffered) * record_scale,
+                                  conf.cpu_factor)
+        buffered = run_combiner(conf.combiner, buffered, ctx)
+        # Combined output is O(#keys): it no longer scales with the file.
+        pair_scale = 1.0
+    else:
+        pair_scale = record_scale
+
+    partition_bytes = [0.0] * n_red
+    partition_records = [0.0] * n_red
+    for key, value in buffered:
+        p = partitioner.partition(key)
+        partitions[p].append((key, value))
+        partition_bytes[p] += estimate_pair_bytes(key, value) * pair_scale
+        partition_records[p] += pair_scale
+
+    return _MapTaskResult(partitions=partitions,
+                          partition_bytes=partition_bytes,
+                          partition_records=partition_records,
+                          duration=ledger.total_seconds,
+                          counters=counters, ledger=ledger)
+
+
+# ------------------------------------------------------------ reduce tasks
+def _execute_reduce_task(args: _ReduceTaskArgs
                          ) -> Tuple[List[KeyValue], float, Counters, CostLedger]:
-        ledger = self.cluster.new_ledger()
-        counters = Counters()
-        if not conf.local_mode and not warm_start:
-            ledger.charge_task_startup()
-        ledger.charge_network(in_bytes)
-        ledger.charge_cpu_records(in_records, conf.cpu_factor)
+    """Run one reduce task (module-level for the same reason as
+    :func:`_execute_map_task`)."""
+    conf = args.conf
+    ledger = args.ledger
+    counters = Counters()
+    if not conf.local_mode and not args.warm_start:
+        ledger.charge_task_startup()
+    ledger.charge_network(args.in_bytes)
+    ledger.charge_cpu_records(args.in_records, conf.cpu_factor)
 
-        ctx = TaskContext(ledger=ledger, counters=counters, rng=rng,
-                          record_scale=record_scale,
-                          cpu_factor=conf.cpu_factor,
-                          config=dict(conf.params),
-                          task_id=f"reduce-{partition}")
+    ctx = TaskContext(ledger=ledger, counters=counters, rng=args.rng,
+                      record_scale=args.record_scale,
+                      cpu_factor=conf.cpu_factor,
+                      config=dict(conf.params),
+                      task_id=f"reduce-{args.partition}")
 
-        # Group by key, then process groups in deterministic sorted order
-        # (Hadoop sorts intermediate keys before reducing).
-        groups: Dict[Hashable, List[Any]] = {}
-        for key, value in pairs:
-            groups.setdefault(key, []).append(value)
-        counters.increment(C.REDUCE_INPUT_GROUPS, len(groups))
-        counters.increment(C.REDUCE_INPUT_RECORDS, len(pairs))
+    # Group by key, then process groups in deterministic sorted order
+    # (Hadoop sorts intermediate keys before reducing).
+    groups: Dict[Hashable, List[Any]] = {}
+    for key, value in args.pairs:
+        groups.setdefault(key, []).append(value)
+    counters.increment(C.REDUCE_INPUT_GROUPS, len(groups))
+    counters.increment(C.REDUCE_INPUT_RECORDS, len(args.pairs))
 
-        reducer = conf.reducer
-        output: List[KeyValue] = []
-        reducer.setup(ctx)
-        for key in sorted(groups, key=repr):
-            for out in reducer.reduce(key, groups[key], ctx):
-                output.append(out)
-        for out in reducer.cleanup(ctx):
+    reducer = conf.reducer
+    output: List[KeyValue] = []
+    reducer.setup(ctx)
+    for key in sorted(groups, key=repr):
+        for out in reducer.reduce(key, groups[key], ctx):
             output.append(out)
-        counters.increment(C.REDUCE_OUTPUT_RECORDS, len(output))
-        return output, ledger.total_seconds, counters, ledger
+    for out in reducer.cleanup(ctx):
+        output.append(out)
+    counters.increment(C.REDUCE_OUTPUT_RECORDS, len(output))
+    return output, ledger.total_seconds, counters, ledger

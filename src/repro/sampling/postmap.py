@@ -33,6 +33,9 @@ class PostMapSampler:
     #: A sampled stand-in record is a proxy for ``logical_scale``
     #: records of the real sample (fraction-based sample sizing, §3.2).
     scales_with_file = True
+    #: Stateful across splits (cumulative ``sampled_count`` the driver
+    #: reads) — the wave must stay serial.
+    parallel_safe = False
 
     def __init__(self, fs: HDFS, path: str, *,
                  split_logical_bytes: Optional[int] = None) -> None:

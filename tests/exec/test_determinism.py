@@ -1,0 +1,180 @@
+"""Cross-backend determinism: serial, threads and processes must produce
+byte-identical results for any fixed seed.
+
+This is the contract that makes the executor a pure performance knob —
+flipping ``EarlConfig.executor`` (or ``REPRO_EXECUTOR``) may change
+wall-clock time but never a number, including the simulated
+:class:`~repro.cluster.costmodel.CostLedger` makespans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EarlConfig, EarlJob, EarlSession, run_stock_job
+from repro.cluster import Cluster
+from repro.core.bootstrap import bootstrap
+from repro.core.delta import ResampleSet
+from repro.exec import get_executor
+from repro.workloads import load_stand_in
+
+BACKENDS = ["serial", "threads", "processes"]
+
+
+@pytest.fixture(autouse=True)
+def _no_env_override(monkeypatch):
+    """REPRO_EXECUTOR takes precedence over EarlConfig.executor, so a
+    suite run under e.g. ``REPRO_EXECUTOR=processes make test`` would
+    silently compare a backend against itself.  Clear it for every test
+    here (test_env_override_* sets it back explicitly)."""
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+
+
+@pytest.fixture(scope="module")
+def data() -> np.ndarray:
+    return np.random.default_rng(3).lognormal(3.0, 1.0, 4000)
+
+
+# ---------------------------------------------------------------- bootstrap
+
+
+@pytest.mark.parametrize("statistic", ["mean", "median"])
+def test_bootstrap_identical_across_backends(data, statistic):
+    results = [bootstrap(data, statistic, B=50, seed=7, executor=name,
+                         chunk_b=16)
+               for name in BACKENDS]
+    for other in results[1:]:
+        assert np.array_equal(results[0].estimates, other.estimates)
+        assert results[0].point_estimate == other.point_estimate
+
+
+def test_bootstrap_chunked_independent_of_worker_count(data):
+    one = bootstrap(data, "mean", B=40, seed=7,
+                    executor=get_executor("threads", max_workers=1))
+    four = bootstrap(data, "mean", B=40, seed=7,
+                     executor=get_executor("threads", max_workers=4))
+    assert np.array_equal(one.estimates, four.estimates)
+
+
+def test_bootstrap_executor_path_is_seed_reproducible(data):
+    a = bootstrap(data, "mean", B=40, seed=11, executor="serial")
+    b = bootstrap(data, "mean", B=40, seed=11, executor="serial")
+    assert np.array_equal(a.estimates, b.estimates)
+
+
+# -------------------------------------------------------------- resample set
+
+
+def _interquartile_mean(a: np.ndarray) -> float:
+    """Module-level arbitrary statistic: resolves to a FunctionalState
+    (full re-evaluation per resample — the case the executor fan-out in
+    ResampleSet.estimates() exists for) and is picklable by reference."""
+    lo, hi = np.quantile(a, [0.25, 0.75])
+    inner = a[(a >= lo) & (a <= hi)]
+    return float(np.mean(inner)) if inner.size else float(np.mean(a))
+
+
+def test_resample_set_estimates_identical_with_executor(data):
+    def build():
+        rs = ResampleSet(_interquartile_mean, 20, seed=5)
+        rs.initialize(data[:300])
+        rs.expand(data[300:450])
+        return rs
+
+    plain = build().estimates()
+    with get_executor("threads", max_workers=2) as ex:
+        threaded = build().estimates(executor=ex)
+    with get_executor("processes", max_workers=2) as ex:
+        processed = build().estimates(executor=ex)
+    assert np.array_equal(plain, threaded)
+    assert np.array_equal(plain, processed)
+
+
+def test_resample_set_cheap_states_skip_the_pool(data):
+    """Registered statistics keep O(1)-readable states; estimates() must
+    not pay pool dispatch (or pickling) for those — and the numbers are
+    identical either way."""
+    def build():
+        rs = ResampleSet("median", 20, seed=5)
+        rs.initialize(data[:300])
+        return rs
+
+    with get_executor("processes", max_workers=2) as ex:
+        assert np.array_equal(build().estimates(executor=ex),
+                              build().estimates())
+
+
+# -------------------------------------------------------------- EarlSession
+
+
+def test_earl_session_identical_across_backends(data):
+    results = {}
+    for name in BACKENDS:
+        cfg = EarlConfig(sigma=0.05, seed=42, executor=name, max_workers=2)
+        results[name] = EarlSession(data, "mean", config=cfg).run()
+    ref = results["serial"]
+    for name in BACKENDS[1:]:
+        res = results[name]
+        assert res.estimate == ref.estimate
+        assert res.error == ref.error
+        assert res.n == ref.n and res.B == ref.B
+        assert len(res.iterations) == len(ref.iterations)
+        for a, b in zip(res.iterations, ref.iterations):
+            assert a.sample_size == b.sample_size
+            assert a.accuracy.cv == b.accuracy.cv
+
+
+# ------------------------------------------------------------------ EarlJob
+
+
+def _job_cluster():
+    cluster = Cluster(n_nodes=4, block_size=1 << 18, seed=9)
+    ds = load_stand_in(cluster, "/data/det", logical_gb=1.0,
+                       records=8_000, seed=10)
+    return cluster, ds
+
+
+@pytest.mark.parametrize("backend", BACKENDS[1:])
+def test_earl_job_identical_across_backends(backend):
+    def run(name):
+        cluster, ds = _job_cluster()
+        cfg = EarlConfig(sigma=0.05, seed=21, executor=name, max_workers=2)
+        return EarlJob(cluster, ds.path, statistic="mean", config=cfg).run()
+
+    ref, res = run("serial"), run(backend)
+    assert res.estimate == ref.estimate
+    assert res.error == ref.error
+    assert res.n == ref.n
+    # Simulated makespans — the CostLedger totals — must match exactly:
+    # backends change where tasks run, never what the cost model charges.
+    assert res.simulated_seconds == ref.simulated_seconds
+    assert [it.simulated_seconds for it in res.iterations] \
+        == [it.simulated_seconds for it in ref.iterations]
+
+
+@pytest.mark.parametrize("backend", BACKENDS[1:])
+def test_stock_job_identical_across_backends(backend):
+    def run(name):
+        cluster, ds = _job_cluster()
+        return run_stock_job(cluster, ds.path, "mean", seed=22,
+                             executor=name)
+
+    (ref_value, ref_job), (value, job) = run("serial"), run(backend)
+    assert value == ref_value
+    assert job.output == ref_job.output
+    assert job.simulated_seconds == ref_job.simulated_seconds
+    assert job.breakdown == ref_job.breakdown
+    assert job.counters.as_dict() == ref_job.counters.as_dict()
+
+
+def test_env_override_switches_backend_without_changing_results(
+        data, monkeypatch):
+    cfg = EarlConfig(sigma=0.05, seed=42)
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    ref = EarlSession(data, "median", config=cfg).run()
+    monkeypatch.setenv("REPRO_EXECUTOR", "threads")
+    res = EarlSession(data, "median", config=cfg).run()
+    assert res.estimate == ref.estimate
+    assert res.error == ref.error

@@ -1,0 +1,210 @@
+"""Unit tests for the pluggable execution backends (repro.exec)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    EXECUTOR_ENV,
+    MAX_WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    as_executor,
+    available_executors,
+    chunk_sizes,
+    get_executor,
+    resolve_executor,
+)
+
+
+def _square(x: int) -> int:
+    """Module-level so the process backend can pickle it by reference."""
+    return x * x
+
+
+def _raise_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError("three is right out")
+    return x
+
+
+# ---------------------------------------------------------------- selection
+
+
+def test_available_executors_names():
+    assert available_executors() == ["processes", "serial", "threads"]
+
+
+@pytest.mark.parametrize("name,cls,is_parallel,shares_memory", [
+    ("serial", SerialExecutor, False, True),
+    ("threads", ThreadExecutor, True, True),
+    ("processes", ProcessExecutor, True, False),
+])
+def test_get_executor_builds_the_right_backend(name, cls, is_parallel,
+                                               shares_memory):
+    ex = get_executor(name)
+    try:
+        assert isinstance(ex, cls)
+        assert ex.name == name
+        assert ex.is_parallel is is_parallel
+        assert ex.shares_memory is shares_memory
+    finally:
+        ex.close()
+
+
+def test_get_executor_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown executor"):
+        get_executor("gpu")
+
+
+@pytest.mark.parametrize("bad", [0, -1, 2.5, "four"])
+def test_bad_max_workers_rejected_by_every_backend(bad):
+    # Same semantics as EarlConfig.max_workers (check_positive_int):
+    # wrong type -> TypeError, non-positive int -> ValueError.
+    for name in available_executors():
+        with pytest.raises((ValueError, TypeError), match="max_workers"):
+            get_executor(name, max_workers=bad)
+
+
+def test_pool_backends_default_worker_count_positive():
+    for cls in (ThreadExecutor, ProcessExecutor):
+        ex = cls()
+        try:
+            assert ex.max_workers >= 1
+        finally:
+            ex.close()
+
+
+# ------------------------------------------------------------------ resolve
+
+
+class _FakeConfig:
+    def __init__(self, executor="serial", max_workers=None):
+        self.executor = executor
+        self.max_workers = max_workers
+
+
+def test_resolve_prefers_env_over_name_over_config(monkeypatch):
+    monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+    cfg = _FakeConfig(executor="threads", max_workers=2)
+
+    ex = resolve_executor(cfg)
+    try:
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.max_workers == 2
+    finally:
+        ex.close()
+
+    ex = resolve_executor(cfg, name="serial")
+    try:
+        assert isinstance(ex, SerialExecutor)
+    finally:
+        ex.close()
+
+    monkeypatch.setenv(EXECUTOR_ENV, "processes")
+    monkeypatch.setenv(MAX_WORKERS_ENV, "3")
+    ex = resolve_executor(cfg, name="serial")
+    try:
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.max_workers == 3
+    finally:
+        ex.close()
+
+
+def test_resolve_defaults_to_serial(monkeypatch):
+    monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+    ex = resolve_executor()
+    try:
+        assert isinstance(ex, SerialExecutor)
+    finally:
+        ex.close()
+
+
+def test_as_executor_normalization():
+    ex, owned = as_executor(None)
+    assert isinstance(ex, SerialExecutor) and owned
+
+    ex, owned = as_executor("threads")
+    try:
+        assert isinstance(ex, ThreadExecutor) and owned
+    finally:
+        ex.close()
+
+    borrowed = SerialExecutor()
+    ex, owned = as_executor(borrowed)
+    assert ex is borrowed and not owned
+
+    with pytest.raises(TypeError, match="executor must be"):
+        as_executor(42)
+
+
+def test_earlconfig_validates_executor_fields():
+    from repro import EarlConfig
+
+    cfg = EarlConfig(executor="processes", max_workers=4)
+    assert cfg.executor == "processes" and cfg.max_workers == 4
+    with pytest.raises(ValueError, match="unknown executor"):
+        EarlConfig(executor="gpu")
+    with pytest.raises(ValueError, match="max_workers"):
+        EarlConfig(max_workers=0)
+
+
+# ---------------------------------------------------------------------- map
+
+
+@pytest.mark.parametrize("name", ["serial", "threads", "processes"])
+def test_map_preserves_submission_order(name):
+    with get_executor(name, max_workers=2) as ex:
+        assert ex.map(_square, range(10)) == [x * x for x in range(10)]
+
+
+@pytest.mark.parametrize("name", ["serial", "threads", "processes"])
+def test_map_propagates_exceptions(name):
+    with get_executor(name, max_workers=2) as ex:
+        with pytest.raises(ValueError, match="three"):
+            ex.map(_raise_on_three, range(6))
+
+
+def test_map_empty_and_singleton():
+    for name in available_executors():
+        with get_executor(name) as ex:
+            assert ex.map(_square, []) == []
+            assert ex.map(_square, [7]) == [49]
+
+
+def test_close_is_idempotent():
+    ex = get_executor("threads", max_workers=1)
+    ex.map(_square, [1, 2])
+    ex.close()
+    ex.close()
+
+
+def test_abstract_map_not_implemented():
+    with pytest.raises(NotImplementedError):
+        Executor().map(_square, [1])
+
+
+# -------------------------------------------------------------- chunk_sizes
+
+
+def test_chunk_sizes_decomposition():
+    assert chunk_sizes(10, 4) == [4, 4, 2]
+    assert chunk_sizes(8, 4) == [4, 4]
+    assert chunk_sizes(3, 10) == [3]
+    assert chunk_sizes(0, 5) == []
+
+
+def test_chunk_sizes_depends_only_on_total_and_chunk():
+    # Worker counts never enter the decomposition — that's the property
+    # cross-backend determinism rests on.
+    assert sum(chunk_sizes(1000, 32)) == 1000
+    assert chunk_sizes(1000, 32) == chunk_sizes(1000, 32)
+
+
+def test_chunk_sizes_validation():
+    with pytest.raises(ValueError):
+        chunk_sizes(-1, 4)
+    with pytest.raises(ValueError):
+        chunk_sizes(10, 0)

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.util",
     "repro.evaluation",
+    "repro.exec",
 ]
 
 
