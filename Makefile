@@ -1,6 +1,9 @@
 # Developer entry points for the EARL reproduction.
 #
-#   make test        - tier-1 test suite (the gate every PR must keep green)
+#   make test        - tier-1 test suite (the gate every PR must keep green;
+#                      excludes tests marked `slow`, see pytest.ini)
+#   make test-all    - the whole suite including the slow statistical-
+#                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
 #   make docs-check  - every .md referenced from code/docs actually exists
@@ -9,10 +12,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke docs-check examples
+.PHONY: test test-all bench bench-smoke docs-check examples
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-all:
+	$(PYTHON) -m pytest -x -q -m "slow or not slow"
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files are passed explicitly (explicit args are always collected).

@@ -1,0 +1,82 @@
+"""Progressive-results dashboard: watch EARL refine answers live.
+
+Three demos of the streaming layer (``repro.streaming``):
+
+1. **Single query, progressive estimates** — iterate
+   ``EarlSession.stream()`` and print each snapshot: the paper's early
+   answers, observable while they are computed instead of only at the
+   end.
+2. **Consumer-driven early stop** — a ``StreamConsumer`` that walks
+   away as soon as the CI is "good enough for the dashboard", long
+   before the configured σ would stop the run; the underlying job is
+   torn down cleanly and only the completed iterations were charged.
+3. **Concurrent multi-query session** — a ``SessionManager`` answering
+   mean, median and p90 over ONE shared pilot and ONE shared growing
+   sample, each query terminating independently at its own σ.
+
+Run with ``PYTHONPATH=src python examples/streaming_dashboard.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EarlConfig, EarlSession
+from repro.streaming import SessionManager, StreamConsumer
+
+RECORDS = 400_000
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def fmt_snapshot(name: str, snap) -> str:
+    flag = "FINAL" if snap.final else "  ..."
+    return (f"  [{flag}] {name:<7s} iter {snap.iteration}: "
+            f"estimate {snap.estimate:10.4f}  "
+            f"CI [{snap.ci_low:8.3f}, {snap.ci_high:8.3f}]  "
+            f"cv {snap.cv:6.4f}  n={snap.sample_size:>7,d} "
+            f"({snap.sample_fraction:7.3%} of data)")
+
+
+def main() -> None:
+    data = np.random.default_rng(7).lognormal(3.0, 1.2, RECORDS)
+    truth = float(np.mean(data))
+
+    banner("1. progressive estimates from one streaming query")
+    cfg = EarlConfig(sigma=0.02, seed=42, B_override=30, n_override=500,
+                     expansion_factor=2.0)
+    for snap in EarlSession(data, "mean", config=cfg).stream():
+        print(fmt_snapshot("mean", snap))
+    print(f"  true mean: {truth:.4f}")
+
+    banner("2. consumer-driven early stop (CI good enough -> cancel)")
+    consumer = StreamConsumer(
+        on_snapshot=lambda s: print(fmt_snapshot("mean", s)),
+        stop_when=lambda s: (s.ci_high - s.ci_low) / s.estimate < 0.25)
+    result = consumer.consume(EarlSession(
+        data, "mean", config=EarlConfig(sigma=0.001, seed=42,
+                                        B_override=30, n_override=500)))
+    print(f"  stopped early: {consumer.stopped_early} "
+          f"after {len(consumer.snapshots)} snapshot(s); "
+          f"batch result returned: {result is not None}")
+
+    banner("3. concurrent queries over one shared sample")
+    manager = SessionManager(data, config=EarlConfig(sigma=0.03, seed=9))
+    manager.submit("mean")
+    manager.submit("median", sigma=0.02)
+    manager.submit("p90", sigma=0.05)
+    for query, snap in manager.stream():
+        print(fmt_snapshot(query.name, snap))
+    print("  final answers:")
+    for query in manager.queries:
+        res = query.result
+        print(f"    {query.name:<7s} = {res.estimate:10.4f}  "
+              f"(error {res.error:.4f} <= sigma {res.sigma}: "
+              f"{res.achieved}; {res.num_iterations} iteration(s), "
+              f"n={res.n:,d})")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,11 +27,13 @@ from repro.core import (
     EarlJob,
     EarlResult,
     EarlSession,
+    ProgressSnapshot,
     bootstrap,
     jackknife,
     run_stock_job,
 )
 from repro.core.estimators import available_statistics, get_statistic
+from repro.streaming import SessionManager, StreamConsumer
 
 __version__ = "1.0.0"
 
@@ -40,6 +42,9 @@ __all__ = [
     "EarlJob",
     "EarlConfig",
     "EarlResult",
+    "ProgressSnapshot",
+    "SessionManager",
+    "StreamConsumer",
     "AccuracyEstimate",
     "bootstrap",
     "BootstrapResult",

@@ -82,7 +82,7 @@ from repro.core.jackknife_stage import (
     JACKKNIFE_SAFE_STATISTICS,
     JackknifeEstimationStage,
 )
-from repro.core.result import EarlResult, IterationRecord
+from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
 from repro.core.sketch import ITEM_BYTES, Sketch
 from repro.core.ssabe import (
     SSABEResult,
@@ -95,6 +95,7 @@ from repro.core.ssabe import (
 __all__ = [
     # drivers
     "EarlSession", "EarlJob", "EarlConfig", "EarlResult", "IterationRecord",
+    "ProgressSnapshot",
     "BootstrapReducer", "StatisticReducer", "run_stock_job",
     "estimate_record_count",
     # bootstrap / jackknife

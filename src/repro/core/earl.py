@@ -24,7 +24,17 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -38,7 +48,7 @@ from repro.core.config import (
 from repro.core.correction import CorrectionLike, get_correction
 from repro.core.estimators import Statistic, StatisticLike, get_statistic
 from repro.core.jackknife_stage import JackknifeEstimationStage
-from repro.core.result import EarlResult, IterationRecord
+from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
 from repro.core.ssabe import SSABEResult, estimate_parameters
 from repro.exec.executor import Executor, as_executor, resolve_executor
 from repro.mapreduce.job import ON_UNAVAILABLE_SKIP, JobConf, JobResult
@@ -70,6 +80,42 @@ def make_estimation_stage(statistic: "Statistic", B: int, cfg: EarlConfig,
         maintenance=cfg.maintenance, sketch_c=cfg.sketch_c, seed=seed,
         executor=executor)
 
+
+def check_row_compatibility(statistic: Statistic, data: np.ndarray) -> None:
+    """Reject 2-D data for scalar-item statistics up front.
+
+    Only statistics declaring ``row_items`` (e.g. ``"correlation"``)
+    can ingest vector rows; letting a scalar state meet a row would
+    fail deep inside delta maintenance with an opaque ``TypeError``.
+    """
+    if data.ndim == 2 and not getattr(statistic, "row_items", False):
+        raise ValueError(
+            f"statistic {statistic.name!r} consumes scalar items; 2-D "
+            "row data requires a row-wise statistic such as "
+            "'correlation'")
+
+
+def pilot_size_for(cfg: EarlConfig, N: int) -> int:
+    """§3.2 pilot sizing, shared by every driver: at least
+    ``min_pilot_size``, the pilot fraction of ``N``, and enough items
+    for the nested subsample halvings — capped at ``N``."""
+    return min(N, max(cfg.min_pilot_size,
+                      math.ceil(cfg.pilot_fraction * N),
+                      2 ** cfg.subsample_levels))
+
+
+def exact_fallback_result(statistic: Statistic, data, *, sigma: float,
+                          ssabe: Optional[SSABEResult]) -> EarlResult:
+    """§3.1 fallback: ``B x n >= N``, so the exact computation over all
+    ``N`` in-memory items wins — shared by the in-memory drivers."""
+    value = statistic(np.asarray(data))
+    N = len(data)
+    return EarlResult(
+        estimate=value, uncorrected_estimate=value, error=0.0,
+        achieved=True, sigma=sigma, statistic=statistic.name, n=N, B=1,
+        population_size=N, sample_fraction=1.0, used_fallback=True,
+        simulated_seconds=0.0, iterations=[], ssabe=ssabe, accuracy=None)
+
 # ---------------------------------------------------------------------------
 # In-memory driver
 # ---------------------------------------------------------------------------
@@ -94,9 +140,14 @@ class EarlSession:
                  config: Optional[EarlConfig] = None,
                  correction: CorrectionLike = "auto") -> None:
         self._data = np.asarray(data, dtype=float)
-        if self._data.ndim != 1 or self._data.size == 0:
-            raise ValueError("data must be a non-empty 1-D sequence")
+        # 1-D: plain numeric items.  2-D: each ROW is one item (e.g.
+        # (x, y) pairs for the "correlation" statistic); resampling and
+        # delta maintenance treat rows atomically.
+        if self._data.ndim not in (1, 2) or len(self._data) == 0:
+            raise ValueError("data must be a non-empty 1-D sequence "
+                             "or a 2-D array of row items")
         self._stat = get_statistic(statistic)
+        check_row_compatibility(self._stat, self._data)
         self._config = config or EarlConfig()
         self._correction = get_correction(correction, self._stat.name)
 
@@ -107,19 +158,36 @@ class EarlSession:
     def run(self) -> EarlResult:
         """Execute the full loop: SSABE pilot, sampling, bootstrap error
         estimation, expansion until ``cv <= sigma`` (or the §3.1 exact
-        fallback when ``B x n >= N``)."""
+        fallback when ``B x n >= N``).
+
+        This is a thin wrapper that drains :meth:`stream`; for a fixed
+        seed the returned result is identical either way.
+        """
+        final: Optional[ProgressSnapshot] = None
+        for final in self.stream():
+            pass
+        assert final is not None and final.result is not None
+        return final.result
+
+    def stream(self) -> Iterator[ProgressSnapshot]:
+        """Progressive engine: yield a :class:`ProgressSnapshot` after
+        every accuracy-estimation stage.
+
+        The last snapshot has ``final=True`` and carries the complete
+        :class:`EarlResult` — draining the stream is exactly
+        :meth:`run`.  Closing the generator early (``break`` out of the
+        loop, or call ``close()``) cancels the run: the bootstrap
+        executor is torn down and no further iteration is computed, so
+        only the completed iterations were ever charged.
+        """
         cfg = self._config
         rng = ensure_rng(cfg.seed)
         data = self._data
-        N = data.size
+        N = len(data)
         order = rng.permutation(N)  # prefixes = uniform samples w/o repl.
 
         # ---------------------------------------------------- SSABE pilot
-        pilot_size = min(N, max(cfg.min_pilot_size,
-                                math.ceil(cfg.pilot_fraction * N)))
-        pilot_size = max(pilot_size, 2 ** cfg.subsample_levels)
-        pilot_size = min(pilot_size, N)
-        pilot = data[order[:pilot_size]]
+        pilot = data[order[:pilot_size_for(cfg, N)]]
         ssabe: Optional[SSABEResult] = None
         if cfg.B_override is not None and cfg.n_override is not None:
             B, n = cfg.B_override, cfg.n_override
@@ -135,7 +203,10 @@ class EarlSession:
             fallback = B * n >= N
 
         if fallback:
-            return self._exact_result(B=B, n=n, ssabe=ssabe)
+            result = exact_fallback_result(self._stat, self._data,
+                                           sigma=cfg.sigma, ssabe=ssabe)
+            yield _exact_snapshot(result)
+            return
 
         # ------------------------------------------------- expansion loop
         executor = resolve_executor(cfg)
@@ -159,6 +230,7 @@ class EarlSession:
                     expanded=expand))
                 if not expand:
                     break
+                yield self._snapshot(iteration, estimate, consumed, N)
                 target = min(N, math.ceil(consumed * cfg.expansion_factor))
         finally:
             executor.close()
@@ -166,7 +238,7 @@ class EarlSession:
         assert estimate is not None
         p = consumed / N
         corrected = self._correction(estimate.estimate, p)
-        return EarlResult(
+        result = EarlResult(
             estimate=corrected,
             uncorrected_estimate=estimate.estimate,
             error=estimate.error,
@@ -183,18 +255,70 @@ class EarlSession:
             ssabe=ssabe,
             accuracy=estimate,
         )
+        yield _final_snapshot(result, len(iterations), 0.0)
 
-    def _exact_result(self, *, B: int, n: int,
-                      ssabe: Optional[SSABEResult]) -> EarlResult:
-        """§3.1 fallback: B×n ≥ N, so compute exactly over all N items."""
-        value = self._stat(self._data)
-        return EarlResult(
-            estimate=value, uncorrected_estimate=value, error=0.0,
-            achieved=True, sigma=self._config.sigma,
-            statistic=self._stat.name, n=self._data.size, B=1,
-            population_size=self._data.size, sample_fraction=1.0,
-            used_fallback=True, simulated_seconds=0.0, iterations=[],
-            ssabe=ssabe, accuracy=None)
+    def _snapshot(self, iteration: int, accuracy: AccuracyEstimate,
+                  consumed: int, N: int) -> ProgressSnapshot:
+        """Intermediate snapshot after one estimation stage."""
+        p = consumed / N
+        return ProgressSnapshot(
+            iteration=iteration,
+            estimate=self._correction(accuracy.estimate, p),
+            uncorrected_estimate=accuracy.estimate,
+            error=accuracy.error,
+            cv=accuracy.cv,
+            ci_low=accuracy.ci_low,
+            ci_high=accuracy.ci_high,
+            sample_size=consumed,
+            population_size=N,
+            sample_fraction=p,
+            achieved=accuracy.meets(self._config.sigma),
+            final=False,
+            statistic=self._stat.name,
+            cost_delta_seconds=0.0,
+            cost_total_seconds=0.0,
+            accuracy=accuracy,
+            result=None)
+
+def _final_snapshot(result: EarlResult, iteration: int,
+                    delta_seconds: float) -> ProgressSnapshot:
+    """The stream's last snapshot, restating a just-built result (no
+    re-aggregation of reducer state)."""
+    accuracy = result.accuracy
+    assert accuracy is not None
+    return ProgressSnapshot(
+        iteration=iteration,
+        estimate=result.estimate,
+        uncorrected_estimate=result.uncorrected_estimate,
+        error=result.error,
+        cv=accuracy.cv,
+        ci_low=accuracy.ci_low,
+        ci_high=accuracy.ci_high,
+        sample_size=result.n,
+        population_size=result.population_size,
+        sample_fraction=result.sample_fraction,
+        achieved=result.achieved,
+        final=True,
+        statistic=result.statistic,
+        cost_delta_seconds=delta_seconds,
+        cost_total_seconds=result.simulated_seconds,
+        accuracy=accuracy,
+        result=result)
+
+
+def _exact_snapshot(result: EarlResult) -> ProgressSnapshot:
+    """The single final snapshot of a §3.1 exact-fallback stream."""
+    return ProgressSnapshot(
+        iteration=0, estimate=result.estimate,
+        uncorrected_estimate=result.uncorrected_estimate,
+        error=0.0, cv=0.0,
+        ci_low=result.estimate, ci_high=result.estimate,
+        sample_size=result.n, population_size=result.population_size,
+        sample_fraction=result.sample_fraction,
+        achieved=True, final=True, statistic=result.statistic,
+        cost_delta_seconds=result.simulated_seconds,
+        cost_total_seconds=result.simulated_seconds,
+        accuracy=None, result=result)
 
 
 # ---------------------------------------------------------------------------
@@ -429,6 +553,8 @@ class EarlJob:
         self._on_unavailable = on_unavailable
         self._pipelined = pipelined
         self.last_reducer: Optional[BootstrapReducer] = None
+        self.last_channel: Optional[FeedbackChannel] = None
+        self.last_sampler = None
 
     # ------------------------------------------------------------------ run
     def run(self) -> EarlResult:
@@ -437,18 +563,38 @@ class EarlJob:
         persistent mappers and the reducer->mapper feedback channel,
         until the published average error meets sigma.
 
-        The run's fan-out points go through the backend selected by
-        ``config.executor`` (or the ``REPRO_EXECUTOR`` override);
-        results and simulated times are byte-identical across backends
-        for a fixed ``config.seed``.
+        This drains :meth:`stream`; for a fixed ``config.seed`` the
+        result is identical either way.  The run's fan-out points go
+        through the backend selected by ``config.executor`` (or the
+        ``REPRO_EXECUTOR`` override); results and simulated times are
+        byte-identical across backends.
+        """
+        final: Optional[ProgressSnapshot] = None
+        for final in self.stream():
+            pass
+        assert final is not None and final.result is not None
+        return final.result
+
+    def stream(self) -> Iterator[ProgressSnapshot]:
+        """Progressive engine: yield a :class:`ProgressSnapshot` after
+        every cluster iteration's accuracy-estimation stage.
+
+        The last snapshot has ``final=True`` and carries the run's
+        :class:`EarlResult`.  Closing the generator early cancels the
+        run *cleanly*: the stop flag is raised on the reducer→mapper
+        :class:`~repro.mapreduce.pipeline.FeedbackChannel` (the §3.3
+        protocol the persistent mappers poll for termination), the
+        execution backend is shut down, and the cost ledger holds only
+        the iterations that actually completed — no further cluster
+        task runs after the consumer stops.
         """
         executor = resolve_executor(self._config)
         try:
-            return self._run(executor)
+            yield from self._stream(executor)
         finally:
             executor.close()
 
-    def _run(self, executor: Executor) -> EarlResult:
+    def _stream(self, executor: Executor) -> Iterator[ProgressSnapshot]:
         cfg = self._config
         rng = ensure_rng(cfg.seed)
         pilot_rng, job_rng, reducer_rng = spawn_child(rng, 3)
@@ -476,7 +622,9 @@ class EarlJob:
             n = cfg.n_override or ssabe.n
 
         if B * n >= N:
-            return self._run_exact(client, job_rng, state, N, ssabe)
+            result = self._run_exact(client, job_rng, state, N, ssabe)
+            yield _exact_snapshot(result)
+            return
 
         # ------------------------------------------------- expansion loop
         sampler = self._make_sampler()
@@ -490,6 +638,8 @@ class EarlJob:
             estimation=cfg.estimation, confidence=cfg.confidence,
             seed=reducer_rng, channel=channel, executor=executor)
         self.last_reducer = reducer
+        self.last_channel = channel
+        self.last_sampler = sampler
         conf = JobConf(
             name=f"earl-{self._stat.name}", input_path=self._path,
             mapper=self._mapper, reducer=reducer,
@@ -502,34 +652,46 @@ class EarlJob:
         target = min(max(n, 2), N)
         last_result: Optional[JobResult] = None
         avg_error: Optional[float] = None
-        for iteration in range(1, cfg.max_iterations + 1):
-            sampler.set_total_target(target)
-            conf.params["iteration"] = iteration
-            last_result = client.run(
-                conf, record_source=sampler, splits=sampler.splits,
-                warm_start=self._pipelined and iteration > 1)
-            state.simulated_seconds += last_result.simulated_seconds
-            state.input_fraction = min(state.input_fraction,
-                                       last_result.input_fraction)
-            avg_error = channel.average_error()
-            sampled = sampler.sampled_count
-            accuracy = self._combined_accuracy(reducer)
-            met = avg_error is not None and avg_error <= cfg.sigma
-            exhausted = sampled >= N or sampler_exhausted(sampler, target)
-            expand = not met and not exhausted \
-                and iteration < cfg.max_iterations
-            iterations.append(IterationRecord(
-                iteration=iteration, sample_size=sampled,
-                accuracy=accuracy,
-                simulated_seconds=last_result.simulated_seconds,
-                expanded=expand))
-            if not expand:
-                break
-            target = min(N, math.ceil(max(sampled, 1) * cfg.expansion_factor))
+        try:
+            for iteration in range(1, cfg.max_iterations + 1):
+                sampler.set_total_target(target)
+                conf.params["iteration"] = iteration
+                last_result = client.run(
+                    conf, record_source=sampler, splits=sampler.splits,
+                    warm_start=self._pipelined and iteration > 1)
+                state.simulated_seconds += last_result.simulated_seconds
+                state.input_fraction = min(state.input_fraction,
+                                           last_result.input_fraction)
+                avg_error = channel.average_error()
+                sampled = sampler.sampled_count
+                accuracy = self._combined_accuracy(reducer)
+                met = avg_error is not None and avg_error <= cfg.sigma
+                exhausted = sampled >= N or sampler_exhausted(sampler, target)
+                expand = not met and not exhausted \
+                    and iteration < cfg.max_iterations
+                iterations.append(IterationRecord(
+                    iteration=iteration, sample_size=sampled,
+                    accuracy=accuracy,
+                    simulated_seconds=last_result.simulated_seconds,
+                    expanded=expand))
+                if not expand:
+                    break
+                yield self._snapshot(reducer, state, N, iteration,
+                                     last_result.simulated_seconds)
+                target = min(N,
+                             math.ceil(max(sampled, 1)
+                                       * cfg.expansion_factor))
+        finally:
+            # Reached on normal termination AND on consumer-driven
+            # cancellation (GeneratorExit): the persistent mappers poll
+            # this flag and terminate, so no task keeps running after
+            # the consumer walks away (§3.3's termination protocol).
+            channel.signal_stop()
 
-        channel.signal_stop()
         assert last_result is not None
-        return self._finalize(reducer, iterations, state, N, B, ssabe)
+        result = self._finalize(reducer, iterations, state, N, B, ssabe)
+        yield _final_snapshot(result, len(iterations),
+                              last_result.simulated_seconds)
 
     # ------------------------------------------------------------- helpers
     def _make_sampler(self):
@@ -550,11 +712,8 @@ class EarlJob:
         single machine prior to MR job start-up" (§3.2).
         """
         cfg = self._config
-        pilot_size = min(N, max(cfg.min_pilot_size,
-                                math.ceil(cfg.pilot_fraction * N),
-                                2 ** cfg.subsample_levels))
         sampler = self._make_sampler()
-        sampler.set_total_target(pilot_size)
+        sampler.set_total_target(pilot_size_for(cfg, N))
         from repro.mapreduce.reducer import IdentityReducer
         conf = JobConf(
             name="earl-pilot", input_path=self._path, mapper=self._mapper,
@@ -604,13 +763,15 @@ class EarlJob:
         # Multi-key job: report the worst key (conservative).
         return max(estimates.values(), key=lambda e: e.error)
 
-    def _finalize(self, reducer: BootstrapReducer,
-                  iterations: List[IterationRecord], state: _EarlJobState,
-                  N: int, B: int, ssabe: Optional[SSABEResult]) -> EarlResult:
-        cfg = self._config
+    def _summarize(self, reducer: BootstrapReducer, state: _EarlJobState,
+                   N: int) -> Optional[Tuple[float, AccuracyEstimate,
+                                             Dict[Any, float], float, int]]:
+        """Corrected summary of the reducer's current per-key estimates:
+        ``(estimate, accuracy, corrected_by_key, p, sampled)``, or
+        ``None`` before any estimate exists."""
         key_estimates = reducer.key_estimates()
         if not key_estimates:
-            raise RuntimeError("EARL produced no estimates; empty sample?")
+            return None
         sampled = sum(reducer.sample_sizes().values())
         # Under node failures only a fraction of the input was reachable;
         # the effective population shrinks accordingly (§3.4).
@@ -622,6 +783,54 @@ class EarlJob:
         assert accuracy is not None
         estimate = (next(iter(corrected.values())) if len(corrected) == 1
                     else float(np.mean(list(corrected.values()))))
+        return estimate, accuracy, corrected, p, sampled
+
+    def _snapshot(self, reducer: BootstrapReducer, state: _EarlJobState,
+                  N: int, iteration: int,
+                  delta_seconds: float) -> ProgressSnapshot:
+        """Intermediate snapshot of the driver loop after one iteration
+        (the final one is restated from the result, see
+        :func:`_final_snapshot`)."""
+        summary = self._summarize(reducer, state, N)
+        if summary is None:  # no estimate yet (e.g. empty iteration)
+            nan = float("nan")
+            return ProgressSnapshot(
+                iteration=iteration, estimate=nan,
+                uncorrected_estimate=nan, error=math.inf, cv=math.inf,
+                ci_low=nan, ci_high=nan, sample_size=0,
+                population_size=N, sample_fraction=0.0, achieved=False,
+                final=False, statistic=self._stat.name,
+                cost_delta_seconds=delta_seconds,
+                cost_total_seconds=state.simulated_seconds,
+                accuracy=None, result=None)
+        estimate, accuracy, _, p, sampled = summary
+        return ProgressSnapshot(
+            iteration=iteration,
+            estimate=estimate,
+            uncorrected_estimate=accuracy.estimate,
+            error=accuracy.error,
+            cv=accuracy.cv,
+            ci_low=accuracy.ci_low,
+            ci_high=accuracy.ci_high,
+            sample_size=sampled,
+            population_size=N,
+            sample_fraction=p,
+            achieved=accuracy.meets(self._config.sigma),
+            final=False,
+            statistic=self._stat.name,
+            cost_delta_seconds=delta_seconds,
+            cost_total_seconds=state.simulated_seconds,
+            accuracy=accuracy,
+            result=None)
+
+    def _finalize(self, reducer: BootstrapReducer,
+                  iterations: List[IterationRecord], state: _EarlJobState,
+                  N: int, B: int, ssabe: Optional[SSABEResult]) -> EarlResult:
+        cfg = self._config
+        summary = self._summarize(reducer, state, N)
+        if summary is None:
+            raise RuntimeError("EARL produced no estimates; empty sample?")
+        estimate, accuracy, corrected, p, sampled = summary
         result = EarlResult(
             estimate=estimate,
             uncorrected_estimate=accuracy.estimate,

@@ -471,18 +471,22 @@ class Statistic:
     ``pointwise`` evaluates on one 1-D sample; ``batch`` evaluates on a
     2-D matrix whose rows are resamples (the Monte-Carlo fast path);
     ``make_state`` builds the incremental state used by delta
-    maintenance.
+    maintenance.  ``row_items=True`` declares that one *item* of the
+    sample is a vector row rather than a scalar (e.g. an (x, y) pair
+    for ``"correlation"``) — the drivers only accept 2-D data for such
+    statistics, since scalar states cannot ingest rows.
     """
 
     def __init__(self, name: str,
                  pointwise: Callable[[np.ndarray], float],
                  batch: Optional[Callable[[np.ndarray], np.ndarray]] = None,
-                 make_state: Optional[Callable[[], EstimatorState]] = None
-                 ) -> None:
+                 make_state: Optional[Callable[[], EstimatorState]] = None,
+                 row_items: bool = False) -> None:
         self.name = name
         self.pointwise = pointwise
         self.batch = batch or _RowwiseBatch(pointwise)
         self.make_state = make_state or _FunctionalStateFactory(pointwise)
+        self.row_items = row_items
 
     def __call__(self, sample: np.ndarray) -> float:
         return float(self.pointwise(np.asarray(sample)))
@@ -563,6 +567,40 @@ register_statistic(Statistic(
     "count", pointwise=lambda a: float(len(a)),
     batch=lambda m: np.full(m.shape[0], float(m.shape[1])),
     make_state=CountState))
+def _pearson_pointwise(sample: np.ndarray) -> float:
+    """Pearson r over an ``(n, 2)`` array whose rows are (x, y) pairs."""
+    arr = np.asarray(sample, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] < 2:
+        raise ValueError("correlation needs an (n >= 2, 2) array of pairs")
+    x, y = arr[:, 0], arr[:, 1]
+    sx, sy = float(x.std()), float(y.std())
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def _pearson_batch(resamples: np.ndarray) -> np.ndarray:
+    """Batch form over a ``(B, n, 2)`` stack of pair resamples,
+    vectorized over the resample axis."""
+    arr = np.asarray(resamples, dtype=float)
+    if arr.ndim != 3 or arr.shape[2] != 2 or arr.shape[1] < 2:
+        raise ValueError(
+            "correlation batch needs a (B, n >= 2, 2) stack of pairs")
+    x, y = arr[:, :, 0], arr[:, :, 1]
+    cov = np.mean((x - x.mean(axis=1, keepdims=True))
+                  * (y - y.mean(axis=1, keepdims=True)), axis=1)
+    denom = x.std(axis=1) * y.std(axis=1)
+    out = np.zeros(arr.shape[0])
+    np.divide(cov, denom, out=out, where=denom > 0.0)
+    return out
+
+
+# Items of a correlation sample are (x, y) ROWS, not scalars: the
+# drivers treat 2-D data row-wise, resampling pairs jointly (resampling
+# x and y independently would destroy the dependence being measured).
+register_statistic(Statistic(
+    "correlation", pointwise=_pearson_pointwise,
+    batch=_pearson_batch, make_state=CorrelationState, row_items=True))
 register_statistic(_quantile_statistic(0.25, "p25"))
 register_statistic(_quantile_statistic(0.75, "p75"))
 register_statistic(_quantile_statistic(0.90, "p90"))

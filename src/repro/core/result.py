@@ -1,4 +1,12 @@
-"""Result objects returned by the EARL drivers."""
+"""Result objects returned by the EARL drivers.
+
+Two granularities: :class:`EarlResult` is the batch outcome of a whole
+run, while :class:`ProgressSnapshot` is the progressively-refined answer
+the streaming engines (``EarlSession.stream()`` / ``EarlJob.stream()``)
+yield after every accuracy-estimation stage.  The final snapshot of a
+stream carries the run's :class:`EarlResult`, field-for-field identical
+to what ``run()`` returns for the same seed.
+"""
 
 from __future__ import annotations
 
@@ -18,6 +26,58 @@ class IterationRecord:
     accuracy: AccuracyEstimate
     simulated_seconds: float
     expanded: bool  # whether this iteration triggered a further expansion
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One progressively-refined answer from a streaming EARL run.
+
+    The streaming engines yield a snapshot after every accuracy
+    estimation stage — one per expansion-loop iteration, with the last
+    one marked ``final`` and carrying the complete :class:`EarlResult`.
+    The §3.1 exact-fallback path emits a single final snapshot with
+    ``iteration == 0`` (no expansion loop ran).
+
+    ``estimate`` is already corrected for the sample fraction ``p``
+    available *at this iteration*, so a consumer can act on any snapshot
+    as if the run had terminated there.  ``cost_delta_seconds`` is the
+    simulated time this iteration charged to the cost ledger (always
+    0.0 for the in-memory :class:`EarlSession`, which simulates no
+    cluster); ``cost_total_seconds`` accumulates the whole run so far
+    including probe and pilot costs — on consumer-driven early stop the
+    ledger therefore shows only the iterations that actually completed.
+    """
+
+    iteration: int            # 1-based loop iteration; 0 = exact fallback
+    estimate: float           # corrected estimate as of this iteration
+    uncorrected_estimate: float
+    error: float              # selected error metric (default cv)
+    cv: float
+    ci_low: float
+    ci_high: float
+    sample_size: int
+    population_size: int
+    sample_fraction: float
+    achieved: bool            # error <= sigma at this point
+    final: bool               # last snapshot of the stream
+    statistic: str
+    cost_delta_seconds: float
+    cost_total_seconds: float
+    accuracy: Optional[AccuracyEstimate] = None
+    result: Optional["EarlResult"] = None  # populated when final
+
+    @property
+    def ci(self) -> tuple:
+        """The bootstrap confidence interval ``(ci_low, ci_high)``."""
+        return (self.ci_low, self.ci_high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "final" if self.final else "partial"
+        return (f"ProgressSnapshot(iter={self.iteration} [{flag}], "
+                f"{self.statistic}={self.estimate:.6g}, "
+                f"error={self.error:.4f}, n={self.sample_size}/"
+                f"{self.population_size}, "
+                f"t+={self.cost_delta_seconds:.2f}s)")
 
 
 @dataclass

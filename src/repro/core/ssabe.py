@@ -87,12 +87,12 @@ def estimate_num_bootstraps(pilot: Sequence[float],
         raise ValueError("B_min must be at least 2 (cv needs two resamples)")
     stat = get_statistic(statistic)
     data = np.asarray(pilot, dtype=float)
-    if data.size == 0:
+    if len(data) == 0:
         raise ValueError("pilot sample cannot be empty")
     rng = ensure_rng(seed)
     B_max = min(max(B_min + stability_window, math.ceil(1.0 / tau)), B_cap)
 
-    n = data.size
+    n = len(data)  # rows are items for 2-D pilots (e.g. (x, y) pairs)
     running = RunningStats()
     curve: List[Tuple[int, float]] = []
     prev_cv: Optional[float] = None
@@ -139,13 +139,13 @@ def estimate_sample_size(pilot: Sequence[float],
     check_positive_int("B", B)
     check_positive_int("levels", levels)
     data = np.asarray(pilot, dtype=float)
-    if data.size < 2 ** levels:
+    if len(data) < 2 ** levels:
         raise ValueError(
-            f"pilot of size {data.size} too small for {levels} halvings")
+            f"pilot of size {len(data)} too small for {levels} halvings")
     rng = ensure_rng(seed)
-    shuffled = data[rng.permutation(data.size)]
+    shuffled = data[rng.permutation(len(data))]
 
-    sizes = [data.size // (2 ** (levels - i)) for i in range(1, levels + 1)]
+    sizes = [len(data) // (2 ** (levels - i)) for i in range(1, levels + 1)]
     sizes = sorted(set(max(2, s) for s in sizes))
     resamples = ResampleSet(statistic, B, maintenance=maintenance, seed=rng)
     points: List[Tuple[int, float]] = []
@@ -219,7 +219,7 @@ def estimate_parameters(pilot: Sequence[float], population_size: int,
     n = min(n, population_size)
     fallback = B * n >= population_size
     return SSABEResult(B=B, n=n, fallback_to_exact=fallback,
-                       pilot_size=int(data.size),
+                       pilot_size=int(len(data)),
                        population_size=population_size,
                        cv_by_B=cv_by_B, cv_by_n=cv_by_n,
                        fit_coefficient=a, fit_exponent=b)

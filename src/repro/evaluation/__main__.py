@@ -7,11 +7,20 @@ Usage::
     python -m repro.evaluation fig7 --seed 123
     python -m repro.evaluation fig5 --executor processes --workers 4
     python -m repro.evaluation fault
+    python -m repro.evaluation fig5 --stream
+    python -m repro.evaluation fig6 --stream --sizes 50
 
 Prints the same series the corresponding pytest benchmark records under
 ``benchmarks/results/``.  ``--executor`` fans the sweep's points out
 over a parallel backend (the ``REPRO_EXECUTOR`` environment variable
 overrides it); the printed series is identical on every backend.
+
+``--stream`` switches to *progress mode*: instead of the batch sweep,
+one streaming EarlJob run of the figure's statistic is traced, printing
+a row per expansion iteration as the simulated cluster produces it —
+the progressively-refined estimate, its CI, and the cost charged so
+far.  Supported for fig5 (mean), fig6 (median) and fig9 (mean,
+post-map sampler); the traced data size is the first ``--sizes`` entry.
 """
 
 from __future__ import annotations
@@ -44,6 +53,51 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+#: --stream support: figure -> (statistic, sampler) of the traced run.
+_STREAM_MODES = {
+    "fig5": ("mean", "premap"),
+    "fig6": ("median", "premap"),
+    "fig9": ("mean", "postmap"),
+}
+
+
+def _run_stream_mode(parser: argparse.ArgumentParser,
+                     args: argparse.Namespace) -> int:
+    """Trace one streaming run, printing each progress row live."""
+    if args.figure not in _STREAM_MODES:
+        parser.error(f"--stream supports {sorted(_STREAM_MODES)}, "
+                     f"not {args.figure!r}")
+    statistic, sampler = _STREAM_MODES[args.figure]
+    gb = args.sizes[0] if args.sizes else 10.0
+    kwargs = {"executor": args.executor, "max_workers": args.workers}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    print(f"streaming {statistic} over a {gb:g} GB stand-in "
+          f"({sampler} sampling); one row per expansion iteration:")
+    header_printed = False
+    widths = {}
+
+    def live(row):
+        nonlocal header_printed
+        cells = {col: _fmt(val) for col, val in row.items()}
+        if not header_printed:
+            # Live output cannot right-size columns to unseen rows;
+            # pad generously instead (matches _fmt's %.4g value width).
+            widths.update({col: max(len(col), 10) for col in cells})
+            print("  ".join(col.ljust(widths[col]) for col in cells))
+            header_printed = True
+        print("  ".join(cells[col].ljust(widths[col]) for col in cells))
+
+    rows = runners.stream_trace(gb, statistic=statistic, sampler=sampler,
+                                on_snapshot=live, **kwargs)
+    final = rows[-1]
+    print(f"final: {statistic}={_fmt(final['estimate'])} "
+          f"(error={_fmt(final['error'])}, achieved={final['achieved']}) "
+          f"after {len(rows)} iteration(s), "
+          f"{_fmt(final['cost_total_s'])} simulated seconds")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
@@ -64,7 +118,14 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size for parallel backends "
                              "(default: CPU count)")
+    parser.add_argument("--stream", action="store_true",
+                        help="progress mode: trace one streaming EarlJob "
+                             "run of the figure's statistic, one row per "
+                             "expansion iteration (fig5/fig6/fig9)")
     args = parser.parse_args(argv)
+
+    if args.stream:
+        return _run_stream_mode(parser, args)
 
     kwargs = {}
     if args.seed is not None:

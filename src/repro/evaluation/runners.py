@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import Cluster, FailureInjector
 from repro.exec.executor import as_executor
-from repro.core import EarlConfig, EarlJob, run_stock_job
+from repro.core import EarlConfig, EarlJob, ProgressSnapshot, run_stock_job
 from repro.jobs import (
     EarlKMeans,
     centroid_relative_error,
@@ -238,6 +238,67 @@ def fig9_sweep(sizes_gb: Sequence[float] = FIG9_SIZES_GB, *,
     return _run_sweep(
         [(fig9_point, (gb,), {"records": records, "seed": seed + 10 * i})
          for i, gb in enumerate(sizes_gb)], executor)
+
+
+# ---------------------------------------------------------------------------
+# Progressive streaming trace (the CLI's --stream mode)
+# ---------------------------------------------------------------------------
+
+#: Default stand-in size for streaming traces.
+STREAM_RECORDS = 30_000
+
+
+def _snapshot_row(snap: ProgressSnapshot) -> Dict[str, object]:
+    """One progress row of the --stream table."""
+    return {
+        "iteration": snap.iteration,
+        "estimate": snap.estimate,
+        "error": snap.error,
+        "ci_low": snap.ci_low,
+        "ci_high": snap.ci_high,
+        "sampled": snap.sample_size,
+        "fraction": snap.sample_fraction,
+        "cost_delta_s": snap.cost_delta_seconds,
+        "cost_total_s": snap.cost_total_seconds,
+        "achieved": snap.achieved,
+        "final": snap.final,
+    }
+
+
+def stream_trace(gb: float = 10.0, *, statistic: str = "mean",
+                 records: int = STREAM_RECORDS, sampler: str = "premap",
+                 sigma: float = 0.05, seed: int = 1500,
+                 executor: Optional[str] = None,
+                 max_workers: Optional[int] = None,
+                 on_snapshot: Optional[Callable[[Dict[str, object]], None]]
+                 = None) -> List[Dict[str, object]]:
+    """Progressive rows of one streaming :class:`EarlJob` run.
+
+    This is the engine behind ``python -m repro.evaluation <fig>
+    --stream``: instead of one batch figure point, the EarlJob's
+    snapshot stream is drained and every intermediate estimate becomes
+    a row — the estimate/CI/cost a dashboard would have shown at that
+    moment.  ``on_snapshot`` (row callback) lets the CLI print each row
+    as the simulated cluster produces it.  ``executor`` (a backend
+    *name* here, since the job owns its executor's lifecycle) and
+    ``max_workers`` select the run's backend; rows are identical on
+    every backend.
+    """
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed)
+    ds = load_stand_in(cluster, "/data/stream", logical_gb=gb,
+                       records=records, seed=seed + 1)
+    job = EarlJob(cluster, ds.path, statistic=statistic,
+                  config=EarlConfig(sigma=sigma, seed=seed + 2,
+                                    sampler=sampler,
+                                    executor=executor or "serial",
+                                    max_workers=max_workers))
+    rows: List[Dict[str, object]] = []
+    for snap in job.stream():
+        row = _snapshot_row(snap)
+        if on_snapshot is not None:
+            on_snapshot(row)
+        rows.append(row)
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,32 @@
+"""Progressive result streaming for the EARL drivers.
+
+The paper's premise is *early* accurate results — this package makes
+them observable while they are being computed.  The core drivers expose
+generator engines (``EarlSession.stream()`` / ``EarlJob.stream()``)
+that yield a typed :class:`~repro.core.result.ProgressSnapshot` after
+every accuracy-estimation stage; this package layers the consumer side
+on top:
+
+* :func:`stream` / :class:`StreamConsumer` — observer callbacks,
+  declarative early-stop, and cancellation that cleanly tears the
+  underlying run down (executor shutdown, feedback-channel stop flag);
+* :class:`SessionManager` — many concurrent EARL queries over one
+  shared pilot and one shared growing sample, each with its own
+  delta-maintained resample set, fanned out through the pluggable
+  execution backends.
+
+See DESIGN.md §4 ("Progressive result streaming") for the snapshot and
+cancellation contract.
+"""
+
+from repro.core.result import ProgressSnapshot
+from repro.streaming.consumers import StreamConsumer, stream
+from repro.streaming.session import QueryHandle, SessionManager
+
+__all__ = [
+    "ProgressSnapshot",
+    "stream",
+    "StreamConsumer",
+    "SessionManager",
+    "QueryHandle",
+]

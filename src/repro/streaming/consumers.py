@@ -1,0 +1,163 @@
+"""Consumers over the drivers' progressive snapshot streams.
+
+The streaming engines (``EarlSession.stream()`` / ``EarlJob.stream()``)
+are plain generators, so ``for snapshot in driver.stream()`` already
+works.  This module adds the two consumer styles interactive callers
+actually want on top of that iterator protocol:
+
+* :func:`stream` — an iterator *wrapper* with observer callbacks and
+  declarative early-stop (a predicate or a snapshot budget).  Stopping
+  — whether via the predicate, via ``break``, or via ``close()`` —
+  always closes the underlying engine generator, which triggers the
+  drivers' teardown: the bootstrap executor shuts down and (for
+  :class:`~repro.core.EarlJob`) the stop flag is raised on the
+  reducer→mapper feedback channel so the persistent mappers terminate.
+  Only the iterations that completed were ever charged to the cost
+  ledger.
+* :class:`StreamConsumer` — a reusable observer object carrying the
+  collected snapshots, the final result (when the stream ran to
+  completion), and an imperative :meth:`~StreamConsumer.stop` that can
+  be called from inside a callback.
+
+Both accept anything exposing ``stream() -> Iterator[ProgressSnapshot]``
+— the two EARL drivers today, and any future progressive engine that
+honors the same snapshot contract.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.result import EarlResult, ProgressSnapshot
+
+#: A progressive engine: anything with ``stream() -> Iterator[snapshot]``.
+SnapshotCallback = Callable[[ProgressSnapshot], None]
+StopPredicate = Callable[[ProgressSnapshot], bool]
+
+
+def stream(driver, *,
+           on_snapshot: Optional[SnapshotCallback] = None,
+           stop_when: Optional[StopPredicate] = None,
+           max_snapshots: Optional[int] = None
+           ) -> Iterator[ProgressSnapshot]:
+    """Iterate ``driver.stream()`` with callbacks and early stop.
+
+    Parameters
+    ----------
+    driver:
+        An :class:`~repro.core.EarlSession`, :class:`~repro.core.EarlJob`
+        or any object exposing ``stream()``.
+    on_snapshot:
+        Called with every snapshot before it is yielded.
+    stop_when:
+        Early-stop predicate: when it returns ``True`` for a snapshot,
+        that snapshot is still yielded and the run is then cancelled
+        (the underlying generator is closed, tearing the job down).
+    max_snapshots:
+        Hard budget on consumed snapshots; the run is cancelled after
+        yielding the budget's last snapshot.
+
+    Closing this generator (or breaking out of a ``for`` loop over it)
+    likewise cancels the underlying run.
+    """
+    if max_snapshots is not None and max_snapshots < 1:
+        raise ValueError("max_snapshots must be positive")
+    source = driver.stream()
+    try:
+        count = 0
+        for snapshot in source:
+            count += 1
+            if on_snapshot is not None:
+                on_snapshot(snapshot)
+            yield snapshot
+            if snapshot.final:
+                break
+            if stop_when is not None and stop_when(snapshot):
+                break
+            if max_snapshots is not None and count >= max_snapshots:
+                break
+    finally:
+        source.close()
+
+
+class StreamConsumer:
+    """Observer-style consumer with early-stop and cancellation.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import EarlSession, EarlConfig
+    >>> from repro.streaming import StreamConsumer
+    >>> data = np.random.default_rng(0).lognormal(0, 1, 100_000)
+    >>> consumer = StreamConsumer(
+    ...     stop_when=lambda s: s.error < 0.08)   # looser than sigma
+    >>> session = EarlSession(data, "mean",
+    ...                       config=EarlConfig(sigma=0.01, seed=1))
+    >>> _ = consumer.consume(session)
+    >>> len(consumer.snapshots) >= 1
+    True
+
+    After :meth:`consume` returns, :attr:`snapshots` holds every
+    snapshot seen, :attr:`result` the final :class:`EarlResult` (or
+    ``None`` if the consumer stopped the run early), and
+    :attr:`stopped_early` says which of the two happened.
+    """
+
+    def __init__(self, *,
+                 on_snapshot: Optional[SnapshotCallback] = None,
+                 on_final: Optional[SnapshotCallback] = None,
+                 stop_when: Optional[StopPredicate] = None,
+                 max_snapshots: Optional[int] = None) -> None:
+        if max_snapshots is not None and max_snapshots < 1:
+            raise ValueError("max_snapshots must be positive")
+        self._on_snapshot = on_snapshot
+        self._on_final = on_final
+        self._stop_when = stop_when
+        self._max_snapshots = max_snapshots
+        self._stop_requested = False
+        self.snapshots: List[ProgressSnapshot] = []
+        self.result: Optional[EarlResult] = None
+        self.stopped_early = False
+
+    def stop(self) -> None:
+        """Request cancellation; honored after the current snapshot.
+
+        Designed to be called from inside an ``on_snapshot`` callback —
+        the run is torn down before the next iteration starts.
+        """
+        self._stop_requested = True
+
+    def consume(self, driver) -> Optional[EarlResult]:
+        """Drive ``driver.stream()`` to completion or early stop.
+
+        Returns the final :class:`~repro.core.EarlResult` when the run
+        completed, ``None`` when this consumer cancelled it first.
+        A consumer is reusable: each call starts from a clean slate
+        (snapshots, result, stop state all reset).
+        """
+        self._stop_requested = False
+        self.snapshots = []
+        self.result = None
+        self.stopped_early = False
+        source = driver.stream()
+        try:
+            for snapshot in source:
+                self.snapshots.append(snapshot)
+                if self._on_snapshot is not None:
+                    self._on_snapshot(snapshot)
+                if snapshot.final:
+                    self.result = snapshot.result
+                    if self._on_final is not None:
+                        self._on_final(snapshot)
+                    return self.result
+                stop = (self._stop_requested
+                        or (self._stop_when is not None
+                            and self._stop_when(snapshot))
+                        or (self._max_snapshots is not None
+                            and len(self.snapshots) >= self._max_snapshots))
+                if stop:
+                    self.stopped_early = True
+                    return None
+        finally:
+            source.close()
+        return self.result

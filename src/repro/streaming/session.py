@@ -1,0 +1,368 @@
+"""Concurrent multi-query EARL sessions over one shared sample.
+
+Interactive analytics rarely asks one question: a dashboard wants the
+mean, a tail quantile and a correlation of the *same* dataset at once.
+Running one :class:`~repro.core.EarlSession` per query would draw one
+pilot and one growing uniform sample per query — paying the sampling
+and (on a cluster) the scan cost k times for k queries.
+
+:class:`SessionManager` instead runs all submitted queries over **one**
+pilot and **one** growing uniform sample (a random permutation prefix —
+every query's sampler is the same uniform-without-replacement design,
+which is what makes them *compatible*): each expansion round draws a
+single delta and feeds it to every active query's own delta-maintained
+:class:`~repro.core.delta.ResampleSet` (§4.1).  Queries terminate
+independently — each stops expanding the moment its own error bound σ
+is met — and the shared sample only keeps growing while some query
+still needs more data.  This is the M3R-style in-memory reuse across
+jobs and the Shark-style interactive serving loop from PAPERS.md,
+applied to EARL's early-answer machinery.
+
+The per-round accuracy-estimation stages of the active queries are
+independent work units, so they fan out through the PR-1 executor seam
+(:class:`~repro.exec.Executor`, selected by ``EarlConfig.executor``):
+every query owns a pre-spawned RNG stream and results are gathered in
+submission order, so serial, thread and process backends produce
+byte-identical results for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.config import EarlConfig
+from repro.core.correction import CorrectionLike, get_correction
+from repro.core.earl import (
+    _exact_snapshot,
+    check_row_compatibility,
+    exact_fallback_result,
+    make_estimation_stage,
+    pilot_size_for,
+)
+from repro.core.estimators import StatisticLike, get_statistic
+from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
+from repro.core.ssabe import SSABEResult, estimate_parameters
+from repro.exec.executor import Executor, resolve_executor
+from repro.util.rng import ensure_rng, spawn_child
+
+
+class QueryHandle:
+    """One query of a :class:`SessionManager` run.
+
+    Carries the query's parameters, the snapshots observed so far, and
+    — once the query terminated — its :class:`~repro.core.EarlResult`.
+    :meth:`cancel` withdraws the query from subsequent expansion rounds
+    (its resample set is simply no longer updated; the other queries
+    keep running on the shared sample).
+    """
+
+    def __init__(self, name: str, statistic, *, sigma: float,
+                 error_metric: str, correction,
+                 B_override: Optional[int],
+                 n_override: Optional[int]) -> None:
+        self.name = name
+        self.statistic = statistic
+        self.sigma = sigma
+        self.error_metric = error_metric
+        self.correction = correction
+        self.B_override = B_override
+        self.n_override = n_override
+        self.B: Optional[int] = None
+        self.n: Optional[int] = None
+        self.ssabe: Optional[SSABEResult] = None
+        self.stage: Optional[AccuracyEstimationStage] = None
+        self.iterations: List[IterationRecord] = []
+        self.snapshots: List[ProgressSnapshot] = []
+        self.result: Optional[EarlResult] = None
+        self.cancelled = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the query terminated (result ready) or was cancelled."""
+        return self.result is not None or self.cancelled
+
+    def cancel(self) -> None:
+        """Withdraw the query from subsequent expansion rounds."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("done" if self.result is not None
+                 else "cancelled" if self.cancelled else "running")
+        return (f"QueryHandle({self.name!r}, "
+                f"{self.statistic.name}, sigma={self.sigma}, {state})")
+
+
+def _offer_shared(args: Tuple[AccuracyEstimationStage, Any]
+                  ) -> AccuracyEstimate:
+    """Fan-out unit for shared-memory backends: mutate in place."""
+    stage, delta = args
+    return stage.offer(delta)
+
+
+def _offer_owned(args: Tuple[AccuracyEstimationStage, Any]
+                 ) -> Tuple[AccuracyEstimationStage, AccuracyEstimate]:
+    """Fan-out unit for process backends: the worker's mutated stage is
+    shipped back and rebound by the caller (module-level so process
+    pools pickle it by reference)."""
+    stage, delta = args
+    estimate = stage.offer(delta)
+    return stage, estimate
+
+
+class SessionManager:
+    """Run multiple concurrent EARL queries over one shared sample.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.streaming import SessionManager
+    >>> from repro.core import EarlConfig
+    >>> data = np.random.default_rng(0).lognormal(0, 1, 300_000)
+    >>> mgr = SessionManager(data, config=EarlConfig(sigma=0.05, seed=1))
+    >>> q_mean = mgr.submit("mean")
+    >>> q_p90 = mgr.submit("p90", sigma=0.1)
+    >>> results = mgr.run()
+    >>> sorted(results) == ["mean", "p90"]
+    True
+
+    ``data`` may be 1-D (numeric items) or 2-D (rows are items, e.g.
+    (x, y) pairs for ``"correlation"`` queries).  ``config`` provides
+    the shared knobs — seed, pilot sizing, expansion policy, resample
+    maintenance, and the execution backend; per-query σ / error metric
+    / B / n come from :meth:`submit`.
+
+    A manager streams **once**: iterate :meth:`stream` (or call
+    :meth:`run`, which drains it).  Closing the stream cancels every
+    query still running.
+    """
+
+    def __init__(self, data: Sequence[float], *,
+                 config: Optional[EarlConfig] = None) -> None:
+        self._data = np.asarray(data, dtype=float)
+        if self._data.ndim not in (1, 2) or len(self._data) == 0:
+            raise ValueError("data must be a non-empty 1-D sequence "
+                             "or a 2-D array of row items")
+        self._config = config or EarlConfig()
+        self._queries: List[QueryHandle] = []
+        self._started = False
+
+    @property
+    def config(self) -> EarlConfig:
+        return self._config
+
+    @property
+    def queries(self) -> List[QueryHandle]:
+        """The submitted query handles, in submission order."""
+        return list(self._queries)
+
+    def submit(self, statistic: StatisticLike, *,
+               sigma: Optional[float] = None,
+               error_metric: Optional[str] = None,
+               correction: CorrectionLike = "auto",
+               B_override: Optional[int] = None,
+               n_override: Optional[int] = None,
+               name: Optional[str] = None) -> QueryHandle:
+        """Register a query; returns its :class:`QueryHandle`.
+
+        Per-query overrides default to the shared config: ``sigma``
+        (the error bound this query must meet), ``error_metric``, and
+        the SSABE ``B_override``/``n_override`` escape hatch.  ``name``
+        keys the :meth:`run` result dict (default: the statistic's
+        name, suffixed on collision).
+        """
+        if self._started:
+            raise RuntimeError("cannot submit after streaming started")
+        stat = get_statistic(statistic)
+        check_row_compatibility(stat, self._data)
+        if name is None:
+            name = stat.name
+            taken = {q.name for q in self._queries}
+            suffix = 2
+            while name in taken:
+                name = f"{stat.name}#{suffix}"
+                suffix += 1
+        elif any(q.name == name for q in self._queries):
+            raise ValueError(f"duplicate query name {name!r}")
+        handle = QueryHandle(
+            name, stat,
+            sigma=self._config.sigma if sigma is None else sigma,
+            error_metric=(self._config.error_metric if error_metric is None
+                          else error_metric),
+            correction=get_correction(correction, stat.name),
+            B_override=(self._config.B_override if B_override is None
+                        else B_override),
+            n_override=(self._config.n_override if n_override is None
+                        else n_override))
+        self._queries.append(handle)
+        return handle
+
+    # ------------------------------------------------------------- streaming
+    def stream(self) -> Iterator[Tuple[QueryHandle, ProgressSnapshot]]:
+        """Run all queries concurrently, yielding ``(query, snapshot)``
+        pairs as each round's accuracy estimates arrive.
+
+        One shared pilot seeds every query's SSABE; one shared
+        permutation prefix is the sample all queries read.  A query's
+        final snapshot carries its :class:`~repro.core.EarlResult`.
+        Cancel individual queries via
+        :meth:`QueryHandle.cancel`, or the whole session by closing
+        this generator.
+        """
+        if not self._queries:
+            raise RuntimeError("no queries submitted")
+        if self._started:
+            raise RuntimeError("a SessionManager streams only once")
+        self._started = True
+        cfg = self._config
+        data = self._data
+        N = len(data)
+        rng = ensure_rng(cfg.seed)
+        order = rng.permutation(N)  # the ONE shared sample
+
+        # ------------------------------------------------ shared pilot
+        pilot = data[order[:pilot_size_for(cfg, N)]]
+
+        executor = resolve_executor(cfg)
+        try:
+            # Two pre-spawned streams per query (SSABE, stage), so a
+            # query's randomness is independent of submission of others
+            # consuming theirs.
+            children = spawn_child(rng, 2 * len(self._queries))
+            active: List[QueryHandle] = []
+            for i, query in enumerate(self._queries):
+                ssabe_rng, stage_rng = children[2 * i], children[2 * i + 1]
+                if (query.B_override is not None
+                        and query.n_override is not None):
+                    B, n = query.B_override, query.n_override
+                else:
+                    query.ssabe = estimate_parameters(
+                        pilot, N, query.statistic, sigma=query.sigma,
+                        tau=cfg.tau, levels=cfg.subsample_levels,
+                        B_min=cfg.B_min,
+                        stability_window=cfg.stability_window,
+                        maintenance=cfg.maintenance, seed=ssabe_rng)
+                    B = query.B_override or query.ssabe.B
+                    n = query.n_override or query.ssabe.n
+                query.B, query.n = B, n
+                if B * n >= N:
+                    result = exact_fallback_result(
+                        query.statistic, self._data, sigma=query.sigma,
+                        ssabe=query.ssabe)
+                    query.result = result
+                    snapshot = _exact_snapshot(result)
+                    query.snapshots.append(snapshot)
+                    yield query, snapshot
+                    continue
+                # Per-query delta-maintained resample set.  The stage
+                # gets no executor of its own: the manager already fans
+                # the *queries* out, and nesting pools gains nothing.
+                query.stage = make_estimation_stage(
+                    query.statistic, B,
+                    replace(cfg, error_metric=query.error_metric),
+                    seed=stage_rng, executor=None)
+                active.append(query)
+
+            consumed = 0
+            for iteration in range(1, cfg.max_iterations + 1):
+                active = [q for q in active if not q.cancelled]
+                if not active:
+                    return
+                target = (min(max(max(q.n for q in active), 2), N)
+                          if consumed == 0 else
+                          min(N, math.ceil(consumed
+                                           * cfg.expansion_factor)))
+                delta = data[order[consumed:target]]
+                consumed = target
+                estimates = self._offer_round(executor, active, delta)
+                still_active: List[QueryHandle] = []
+                for query, estimate in zip(active, estimates):
+                    expand = (not estimate.meets(query.sigma)
+                              and consumed < N
+                              and iteration < cfg.max_iterations)
+                    query.iterations.append(IterationRecord(
+                        iteration=iteration, sample_size=consumed,
+                        accuracy=estimate, simulated_seconds=0.0,
+                        expanded=expand))
+                    if expand:
+                        snapshot = self._snapshot(query, estimate,
+                                                  consumed, N)
+                        still_active.append(query)
+                    else:
+                        query.result = self._query_result(
+                            query, estimate, consumed, N)
+                        snapshot = self._snapshot(query, estimate,
+                                                  consumed, N, final=True,
+                                                  result=query.result)
+                    query.snapshots.append(snapshot)
+                    yield query, snapshot
+                active = still_active
+                if not active:
+                    return
+        finally:
+            executor.close()
+
+    def run(self) -> Dict[str, Optional[EarlResult]]:
+        """Drain :meth:`stream`; returns ``{name: result}`` (``None``
+        for queries cancelled before terminating)."""
+        for _ in self.stream():
+            pass
+        return {query.name: query.result for query in self._queries}
+
+    # --------------------------------------------------------------- helpers
+    def _offer_round(self, executor: Executor,
+                     active: List[QueryHandle], delta) -> List[AccuracyEstimate]:
+        """Feed one shared delta to every active query's stage.
+
+        Fans out over the configured backend when it can pay off; the
+        per-query RNG streams and ordered gather keep results
+        byte-identical across serial / threads / processes.
+        """
+        if executor.is_parallel and len(active) > 1:
+            work = [(q.stage, delta) for q in active]
+            if executor.shares_memory:
+                return executor.map(_offer_shared, work)
+            pairs = executor.map(_offer_owned, work)
+            estimates = []
+            for query, (stage, estimate) in zip(active, pairs):
+                query.stage = stage  # rebind the worker's mutated copy
+                estimates.append(estimate)
+            return estimates
+        return [q.stage.offer(delta) for q in active]
+
+    def _snapshot(self, query: QueryHandle, accuracy: AccuracyEstimate,
+                  consumed: int, N: int, *, final: bool = False,
+                  result: Optional[EarlResult] = None) -> ProgressSnapshot:
+        p = consumed / N
+        return ProgressSnapshot(
+            iteration=len(query.iterations),
+            estimate=query.correction(accuracy.estimate, p),
+            uncorrected_estimate=accuracy.estimate,
+            error=accuracy.error, cv=accuracy.cv,
+            ci_low=accuracy.ci_low, ci_high=accuracy.ci_high,
+            sample_size=consumed, population_size=N, sample_fraction=p,
+            achieved=accuracy.meets(query.sigma), final=final,
+            statistic=query.statistic.name,
+            cost_delta_seconds=0.0, cost_total_seconds=0.0,
+            accuracy=accuracy, result=result)
+
+    def _query_result(self, query: QueryHandle,
+                      accuracy: AccuracyEstimate, consumed: int,
+                      N: int) -> EarlResult:
+        p = consumed / N
+        return EarlResult(
+            estimate=query.correction(accuracy.estimate, p),
+            uncorrected_estimate=accuracy.estimate,
+            error=accuracy.error,
+            achieved=accuracy.meets(query.sigma),
+            sigma=query.sigma,
+            statistic=query.statistic.name,
+            n=consumed, B=query.B or 0,
+            population_size=N, sample_fraction=p,
+            used_fallback=False, simulated_seconds=0.0,
+            iterations=list(query.iterations),
+            ssabe=query.ssabe, accuracy=accuracy)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from scipy import stats as sp_stats
 
 from repro.cluster.costmodel import CostLedger
 from repro.core.bootstrap import bootstrap
@@ -143,6 +144,33 @@ class TestStatisticalValidity:
         maintained = rs.estimates()
         true_median = np.median(population[:1600])
         assert maintained.mean() == pytest.approx(true_median, rel=0.1)
+
+    @pytest.mark.parametrize("mode", [MAINTENANCE_NAIVE,
+                                      MAINTENANCE_OPTIMIZED])
+    def test_ks_delta_updates_distributed_like_fresh_bootstrap(
+            self, population, mode):
+        """§4.1 regression (KS): delta-updated resample estimates are
+        distributed like *fresh* bootstrap estimates of the enlarged
+        sample — the multinomial-thinning equivalence the maintenance
+        algorithms rest on.  Seeded and tolerance-bounded: with both
+        sides drawing B estimates of the same target distribution, a
+        two-sample KS p-value below 1e-3 would flag a real divergence,
+        not Monte-Carlo noise."""
+        B = 200
+        rs = ResampleSet("mean", B, maintenance=mode, seed=104)
+        rs.initialize(population[:400])
+        rs.expand(population[400:800])        # two delta rounds: the
+        rs.expand(population[800:1600])       # general multi-segment case
+        maintained = np.asarray(rs.estimates())
+
+        enlarged = population[:1600]
+        rng = np.random.default_rng(105)
+        fresh = np.array([
+            enlarged[rng.integers(0, enlarged.size,
+                                  size=enlarged.size)].mean()
+            for _ in range(B)])
+        _, p_value = sp_stats.ks_2samp(maintained, fresh)
+        assert p_value > 1e-3
 
     def test_old_sample_share_is_binomial_like(self, population):
         """After one expansion n→2n, each resample should keep ≈ n/2 of

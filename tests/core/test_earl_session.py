@@ -124,9 +124,27 @@ class TestValidation:
         with pytest.raises(ValueError):
             EarlSession([], "mean")
 
-    def test_2d_data_rejected(self):
+    def test_3d_data_rejected(self):
         with pytest.raises(ValueError):
-            EarlSession(np.zeros((3, 3)), "mean")
+            EarlSession(np.zeros((3, 3, 3)), "mean")
+
+    def test_2d_data_rejected_for_scalar_statistics(self):
+        """Scalar-item statistics cannot ingest rows; the rejection must
+        be a clear ValueError at construction, not a deep TypeError."""
+        with pytest.raises(ValueError, match="scalar items"):
+            EarlSession(np.zeros((5000, 2)), "mean")
+
+    def test_2d_rows_are_items(self):
+        """2-D data is accepted: each row is one item (pair statistics
+        such as "correlation" resample rows jointly)."""
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=4000)
+        pairs = np.column_stack([x, 0.9 * x + 0.4 * rng.normal(size=4000)])
+        cfg = EarlConfig(sigma=0.1, seed=22, B_override=20, n_override=300)
+        res = EarlSession(pairs, "correlation", config=cfg).run()
+        truth = float(np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1])
+        assert res.population_size == 4000
+        assert abs(res.estimate - truth) < 0.2
 
     def test_deterministic_given_seed(self, population):
         a = EarlSession(population, "mean",

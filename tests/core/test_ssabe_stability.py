@@ -6,6 +6,10 @@ import pytest
 
 from repro.core.ssabe import estimate_num_bootstraps
 
+#: Statistical-stability suite: excluded from the default tier-1 run
+#: (see pytest.ini); `make test-all` includes it.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture
 def pilot():

@@ -13,6 +13,10 @@ import pytest
 from scipy import stats as sp_stats
 
 from repro.core import EarlConfig, EarlSession
+
+#: Many-seed statistical-stability suite: excluded from the default
+#: tier-1 run (see pytest.ini); `make test-all` includes it.
+pytestmark = pytest.mark.slow
 from repro.core.bootstrap import bootstrap
 from repro.core.delta import ResampleSet
 from repro.workloads import numeric_dataset

@@ -1,0 +1,112 @@
+"""Early-stop and cancellation: a consumer walking away after k
+snapshots leaves no running work behind, and the cost ledger holds only
+the k completed iterations."""
+
+import numpy as np
+import pytest
+
+from repro import EarlConfig, EarlJob, EarlSession
+from repro.cluster import Cluster
+from repro.streaming import StreamConsumer, stream
+from repro.workloads import load_stand_in
+
+#: Never-met bound + small starting sample => many iterations to cancel.
+LOOP_CFG = dict(sigma=0.001, seed=77, B_override=20, n_override=200,
+                expansion_factor=1.6, max_iterations=10)
+
+
+@pytest.fixture
+def population():
+    return np.random.default_rng(4).lognormal(1.0, 1.0, 100_000)
+
+
+def make_job(seed=9):
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=seed)
+    ds = load_stand_in(cluster, "/data/stop", logical_gb=5.0,
+                       records=12_000, seed=seed + 1)
+    return EarlJob(cluster, ds.path, statistic="mean",
+                   config=EarlConfig(**LOOP_CFG))
+
+
+class TestSessionEarlyStop:
+    def test_closing_after_k_snapshots_matches_prefix(self, population):
+        full = list(EarlSession(population, "mean",
+                                config=EarlConfig(**LOOP_CFG)).stream())
+        assert len(full) > 3
+        gen = EarlSession(population, "mean",
+                          config=EarlConfig(**LOOP_CFG)).stream()
+        taken = [next(gen), next(gen)]
+        gen.close()  # cancellation: GeneratorExit tears the run down
+        assert taken == full[:2]
+
+    def test_stream_wrapper_predicate_stops(self, population):
+        session = EarlSession(population, "mean",
+                              config=EarlConfig(**LOOP_CFG))
+        seen = list(stream(session, stop_when=lambda s: s.iteration >= 2))
+        assert len(seen) == 2
+        assert not seen[-1].final
+
+
+class TestJobCancellation:
+    def test_cancel_after_k_iterations(self):
+        # Reference run: every iteration's cost, to compare prefixes.
+        full = list(make_job().stream())
+        assert len(full) > 3, "config must produce a multi-iteration run"
+
+        job = make_job()
+        gen = job.stream()
+        taken = [next(gen), next(gen)]
+        gen.close()
+
+        # 1. Clean teardown: the stop flag the persistent mappers poll
+        #    is raised, so no task keeps running (§3.3 termination).
+        assert job.last_channel is not None
+        assert job.last_channel.stop_requested()
+        # 2. No further sampling happened after the consumer stopped.
+        assert job.last_sampler.sampled_count == taken[1].sample_size
+        # 3. The cost ledger charges exactly the k completed iterations:
+        #    the cancelled run's snapshots are byte-identical to the
+        #    full run's first k, and the total stops there.
+        assert taken == full[:2]
+        assert taken[1].cost_total_seconds < full[-1].cost_total_seconds
+        assert taken[1].cost_total_seconds == pytest.approx(
+            taken[0].cost_total_seconds + taken[1].cost_delta_seconds)
+
+    def test_stop_flag_also_raised_on_normal_completion(self):
+        job = make_job()
+        list(job.stream())
+        assert job.last_channel.stop_requested()
+
+
+class TestStreamConsumer:
+    def test_max_snapshots_budget(self, population):
+        consumer = StreamConsumer(max_snapshots=3)
+        result = consumer.consume(
+            EarlSession(population, "mean", config=EarlConfig(**LOOP_CFG)))
+        assert result is None
+        assert consumer.stopped_early
+        assert len(consumer.snapshots) == 3
+        assert consumer.result is None
+
+    def test_stop_callable_from_callback(self, population):
+        consumer = StreamConsumer(on_snapshot=lambda s: consumer.stop())
+        result = consumer.consume(
+            EarlSession(population, "mean", config=EarlConfig(**LOOP_CFG)))
+        assert result is None and consumer.stopped_early
+        assert len(consumer.snapshots) == 1
+
+    def test_full_consume_returns_batch_result(self, population):
+        cfg = EarlConfig(sigma=0.05, seed=5)
+        batch = EarlSession(population, "mean", config=cfg).run()
+        consumer = StreamConsumer()
+        result = consumer.consume(EarlSession(population, "mean",
+                                              config=cfg))
+        assert not consumer.stopped_early
+        assert result == batch
+        assert consumer.snapshots[-1].final
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            StreamConsumer(max_snapshots=0)
+        with pytest.raises(ValueError):
+            list(stream(object(), max_snapshots=0))

@@ -1,0 +1,155 @@
+"""Streaming-equivalence matrix: draining ``stream()`` == batch ``run()``.
+
+The tentpole contract of the progressive engines: for any fixed seed,
+the final :class:`ProgressSnapshot` of a stream carries an
+:class:`EarlResult` **field-for-field identical** to what the batch
+``run()`` returns — across statistics (mean / median / correlation),
+pre- and post-map samplers, and all three executor backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EarlConfig, EarlJob, EarlSession
+from repro.cluster import Cluster
+from repro.workloads import load_stand_in
+
+SEED = 1234
+BACKENDS = ["serial", "threads", "processes"]
+
+
+def lognormal(n=60_000, seed=0):
+    return np.random.default_rng(seed).lognormal(0.5, 1.0, n)
+
+
+def assert_results_identical(a, b):
+    """Field-for-field equality of two EarlResults (floats exact)."""
+    assert type(a) is type(b)
+    for name in a.__dataclass_fields__:
+        assert getattr(a, name) == getattr(b, name), \
+            f"field {name!r} differs: {getattr(a, name)!r} " \
+            f"!= {getattr(b, name)!r}"
+
+
+def assert_final_snapshot_mirrors(final, result):
+    """The final snapshot's own fields restate the batch result."""
+    assert final.final
+    assert final.estimate == result.estimate
+    assert final.uncorrected_estimate == result.uncorrected_estimate
+    assert final.error == result.error
+    assert final.achieved == result.achieved
+    assert final.sample_size == result.n
+    assert final.population_size == result.population_size
+    assert final.sample_fraction == result.sample_fraction
+    assert final.statistic == result.statistic
+    assert final.cost_total_seconds == result.simulated_seconds
+
+
+class TestEarlSessionMatrix:
+    @pytest.mark.parametrize("statistic", ["mean", "median"])
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_final_snapshot_matches_batch(self, statistic, executor):
+        data = lognormal()
+        cfg = EarlConfig(sigma=0.04, seed=SEED, executor=executor,
+                         max_workers=2)
+        batch = EarlSession(data, statistic, config=cfg).run()
+        snapshots = list(EarlSession(data, statistic,
+                                     config=cfg).stream())
+        final = snapshots[-1]
+        assert final.result is not None
+        assert_results_identical(final.result, batch)
+        assert_final_snapshot_mirrors(final, batch)
+        # one snapshot per expansion-loop iteration, prefix-consistent
+        assert len(snapshots) == batch.num_iterations
+        for snap, record in zip(snapshots, batch.iterations):
+            assert snap.sample_size == record.sample_size
+            assert snap.accuracy == record.accuracy
+
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_correlation_final_snapshot_matches_batch(self, executor):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=40_000)
+        pairs = np.column_stack([x, 0.8 * x
+                                 + 0.6 * rng.normal(size=40_000)])
+        cfg = EarlConfig(sigma=0.05, seed=SEED, executor=executor,
+                         max_workers=2, B_override=25, n_override=400)
+        batch = EarlSession(pairs, "correlation", config=cfg).run()
+        snapshots = list(EarlSession(pairs, "correlation",
+                                     config=cfg).stream())
+        assert snapshots[-1].result is not None
+        assert_results_identical(snapshots[-1].result, batch)
+        truth = float(np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1])
+        assert abs(batch.estimate - truth) < 0.15
+
+    def test_exact_fallback_single_final_snapshot(self):
+        data = lognormal(500)
+        cfg = EarlConfig(sigma=0.05, seed=SEED)  # tiny N -> B*n >= N
+        batch = EarlSession(data, "mean", config=cfg).run()
+        assert batch.used_fallback
+        snapshots = list(EarlSession(data, "mean", config=cfg).stream())
+        assert len(snapshots) == 1
+        assert snapshots[0].final and snapshots[0].iteration == 0
+        assert_results_identical(snapshots[0].result, batch)
+
+
+def make_job(*, statistic, sampler, executor, seed=SEED, **cfg):
+    cluster = Cluster(n_nodes=5, block_size=1 << 20, seed=5)
+    ds = load_stand_in(cluster, "/data/eq", logical_gb=5.0,
+                       records=12_000, seed=6)
+    return EarlJob(cluster, ds.path, statistic=statistic,
+                   config=EarlConfig(sigma=0.05, seed=seed,
+                                     sampler=sampler, executor=executor,
+                                     max_workers=2, **cfg))
+
+
+class TestEarlJobMatrix:
+    @pytest.mark.parametrize("sampler", ["premap", "postmap"])
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_final_snapshot_matches_batch(self, sampler, executor):
+        batch = make_job(statistic="mean", sampler=sampler,
+                         executor=executor).run()
+        job = make_job(statistic="mean", sampler=sampler,
+                       executor=executor)
+        snapshots = list(job.stream())
+        final = snapshots[-1]
+        assert final.result is not None
+        assert_results_identical(final.result, batch)
+        assert_final_snapshot_mirrors(final, batch)
+        if batch.used_fallback:  # SSABE chose the §3.1 exact path
+            assert len(snapshots) == 1 and final.iteration == 0
+        else:
+            assert len(snapshots) == batch.num_iterations
+            # per-iteration simulated cost is the snapshot delta
+            for snap, record in zip(snapshots, batch.iterations):
+                assert snap.cost_delta_seconds == record.simulated_seconds
+
+    def test_postmap_expansion_loop_equivalence(self):
+        """Force the expansion loop under post-map sampling (the matrix
+        cell the SSABE pilot above may route to the exact fallback)."""
+        overrides = dict(B_override=20, n_override=300,
+                         expansion_factor=2.0)
+        batch = make_job(statistic="mean", sampler="postmap",
+                         executor="serial", **overrides).run()
+        assert not batch.used_fallback
+        job = make_job(statistic="mean", sampler="postmap",
+                       executor="serial", **overrides)
+        snapshots = list(job.stream())
+        assert len(snapshots) == batch.num_iterations >= 1
+        assert_results_identical(snapshots[-1].result, batch)
+
+    def test_median_stream_equals_batch(self):
+        batch = make_job(statistic="median", sampler="premap",
+                         executor="serial").run()
+        job = make_job(statistic="median", sampler="premap",
+                       executor="serial")
+        snapshots = list(job.stream())
+        assert_results_identical(snapshots[-1].result, batch)
+
+    def test_stream_results_identical_across_backends(self):
+        finals = []
+        for executor in BACKENDS:
+            job = make_job(statistic="mean", sampler="premap",
+                           executor=executor)
+            finals.append(list(job.stream())[-1].result)
+        assert_results_identical(finals[0], finals[1])
+        assert_results_identical(finals[0], finals[2])

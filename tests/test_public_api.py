@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.util",
     "repro.evaluation",
     "repro.exec",
+    "repro.streaming",
 ]
 
 
