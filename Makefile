@@ -6,13 +6,17 @@
 #                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
+#   make bench-json  - kernel throughput benchmark (smoke sizes) ->
+#                      benchmarks/results/BENCH_kernel.json, gated against
+#                      the committed baseline benchmarks/BENCH_kernel.json
+#                      (fails on a >20% expand-speedup regression)
 #   make docs-check  - every .md referenced from code/docs actually exists
 #   make examples    - run every example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-smoke docs-check examples
+.PHONY: test test-all bench bench-smoke bench-json docs-check examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +34,15 @@ bench-smoke:
 		benchmarks/bench_fig2_bootstrap_convergence.py \
 		benchmarks/bench_fig10_delta_maintenance.py \
 		benchmarks/bench_exec_backends.py
+
+# Smoke sizes only; the machine-independent gate (speedup ratio vs the
+# committed baseline) lives in tools/check_bench_regression.py — the
+# absolute >=10x assertion is exercised by `make bench` / full CLI runs.
+bench-json:
+	$(PYTHON) benchmarks/bench_kernel.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_kernel.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_kernel.json benchmarks/BENCH_kernel.json
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -13,12 +13,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.estimators import Statistic, StatisticLike, get_statistic
-from repro.exec.executor import Executor, as_executor, chunk_sizes
+from repro.exec.executor import (
+    Executor,
+    as_executor,
+    broadcast_value,
+    chunk_sizes,
+)
 from repro.util.rng import SeedLike, ensure_rng, spawn_child
 from repro.util.stats import coefficient_of_variation
 from repro.util.validation import check_positive, check_positive_int
@@ -107,16 +112,20 @@ class BootstrapResult:
         return float(lo), float(hi)
 
 
-def _bootstrap_chunk(task: Tuple[np.ndarray, Statistic, int,
+def _bootstrap_chunk(task: Tuple[Any, Statistic, int,
                                  np.random.Generator]) -> np.ndarray:
     """Draw and evaluate one chunk of resamples.
 
     Module-level so a :class:`~repro.exec.ProcessExecutor` can pickle it
     by reference.  The chunk's generator was pre-spawned by the caller,
     so the result depends only on the task, never on which worker (or
-    how many workers) ran it.
+    how many workers) ran it.  The sample arrives as a
+    :class:`~repro.exec.BroadcastHandle` (shipped to each worker once
+    per pool) or as a raw array — :func:`~repro.exec.broadcast_value`
+    accepts both.
     """
-    data, stat, chunk_b, rng = task
+    shared, stat, chunk_b, rng = task
+    data = broadcast_value(shared)
     indices = rng.integers(0, data.size, size=(chunk_b, data.size))
     return np.asarray(stat.batch(data[indices]), dtype=float)
 
@@ -141,6 +150,12 @@ def bootstrap(sample: Sequence[float], statistic: StatisticLike = "mean", *,
     executor-less path, which consumes ``seed``'s stream directly.  For
     process pools the statistic must be picklable (every registered
     statistic is; ad-hoc lambdas are not).
+
+    The sample itself travels through the executor's broadcast-once
+    data plane: serial/thread backends pass a zero-copy reference and a
+    process pool receives it once per worker at pool start-up, so chunk
+    tasks never re-pickle the data (see
+    :meth:`~repro.exec.Executor.broadcast`).
     """
     check_positive_int("B", B)
     stat = get_statistic(statistic)
@@ -158,12 +173,20 @@ def bootstrap(sample: Sequence[float], statistic: StatisticLike = "mean", *,
     check_positive_int("chunk_b", chunk_b)
     sizes = chunk_sizes(B, chunk_b)
     rngs = spawn_child(rng, len(sizes))
-    tasks = [(data, stat, size, chunk_rng)
-             for size, chunk_rng in zip(sizes, rngs)]
     ex, owned = as_executor(executor)
+    shared = None
     try:
+        # Broadcast-once data plane: the sample is shared with the pool
+        # a single time instead of being pickled into every chunk task.
+        shared = ex.broadcast(data)
+        tasks = [(shared, stat, size, chunk_rng)
+                 for size, chunk_rng in zip(sizes, rngs)]
         parts = ex.map(_bootstrap_chunk, tasks)
     finally:
+        # Released promptly so repeated bootstraps over one long-lived
+        # executor never accumulate old samples in its registry.
+        if shared is not None:
+            ex.release(shared)
         if owned:
             ex.close()
     estimates = np.concatenate(parts)
@@ -181,6 +204,9 @@ def bootstrap_cv_curve(sample: Sequence[float],
     Draws ``max(B_values)`` resamples once and reports the cv over each
     prefix, so the curve reflects a single growing Monte-Carlo run — the
     same way EARL's SSABE phase scans candidate ``B`` values (§3.2).
+    Prefix moments come from running cumulative sums, so the whole curve
+    costs one pass over the estimates instead of re-reducing every
+    prefix (O(B) rather than O(B²) in the number of resamples).
     """
     stat = get_statistic(statistic)
     data = np.asarray(sample, dtype=float)
@@ -196,13 +222,19 @@ def bootstrap_cv_curve(sample: Sequence[float],
     top = B_values[-1]
     indices = rng.integers(0, n, size=(top, n))
     estimates = np.asarray(stat.batch(data[indices]), dtype=float)
-    curve: List[tuple[int, float]] = []
-    for b in B_values:
-        prefix = estimates[:b]
-        mean = float(np.mean(prefix))
-        std = float(np.std(prefix, ddof=1))
-        curve.append((b, coefficient_of_variation(mean, std)))
-    return curve
+    # One pass: cumulative first/second moments of the shifted estimates
+    # give every prefix's mean and (ddof=1) std.  Shifting by the grand
+    # mean keeps the sum-of-squares subtraction from cancelling.
+    shift = float(estimates.mean())
+    centred = estimates - shift
+    counts = np.asarray(B_values)
+    cum = np.cumsum(centred)[counts - 1]
+    cumsq = np.cumsum(centred * centred)[counts - 1]
+    means = cum / counts
+    variances = np.maximum(cumsq - counts * means * means, 0.0) / (counts - 1)
+    stds = np.sqrt(variances)
+    return [(int(b), coefficient_of_variation(shift + m, s))
+            for b, m, s in zip(counts, means, stds)]
 
 
 def bootstrap_cv_vs_n(population: Sequence[float],

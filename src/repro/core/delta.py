@@ -17,6 +17,20 @@ multinomial thinning argument), but costs only O(|Δs|) work per
 resample.  The **naive** maintainer hits the disk-resident ``s``/``b``
 for every random access; the **optimized** maintainer goes through the
 §4.1 two-layer sketches and touches disk only on sketch exhaustion.
+
+Vectorized kernel
+-----------------
+The O(|Δs|)-per-resample accounting only pays off if the constant per
+item is small, so the maintainers run a *vectorized* kernel by default:
+index draws are taken as whole arrays (``rng.integers(..., size=m)``,
+batched sketch serves) and estimator states are updated through
+``add_many``/``remove_many`` instead of one Python call per item.  The
+kernel consumes the random stream in exactly the same order as the
+scalar reference (``vectorized=False``), so drawn items, resample
+contents and :class:`MaintenanceCounters` are byte-identical for any
+seed; only the estimator-state arithmetic is reassociated (batch moment
+merges), which can move finalized estimates by floating-point rounding.
+See DESIGN.md "Vectorized kernel & data plane".
 """
 
 from __future__ import annotations
@@ -62,6 +76,87 @@ class MaintenanceCounters:
         self.full_rebuilds += other.full_rebuilds
 
 
+class _ItemBuffer:
+    """Growable ndarray-backed segment for vectorized resamples.
+
+    Presents the slice of the list API the maintainers need — ``len``,
+    indexing (for the swap-pop delete), ``append``, ``pop`` — while a
+    whole batch lands as one array copy (:meth:`extend_array`) instead
+    of per-item list appends.  Scalar resamples keep plain Python lists,
+    so the ``vectorized=False`` reference stays the original code path.
+
+    ``pop``/indexing return scalars for 1-D buffers and row *copies*
+    for 2-D ones — never views, so a swap-pop overwriting a slot can't
+    retroactively change an item already handed out.
+    """
+
+    __slots__ = ("_buf", "_len")
+
+    def __init__(self) -> None:
+        self._buf: Optional[np.ndarray] = None
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _reserve(self, extra: int, template: np.ndarray) -> None:
+        if self._buf is None:
+            cap = max(16, 2 * extra)
+            self._buf = np.empty((cap,) + template.shape[1:],
+                                 dtype=template.dtype)
+        elif self._len + extra > len(self._buf):
+            cap = max(2 * len(self._buf), self._len + extra)
+            grown = np.empty((cap,) + self._buf.shape[1:],
+                             dtype=self._buf.dtype)
+            grown[:self._len] = self._buf[:self._len]
+            self._buf = grown
+
+    def extend_array(self, items: np.ndarray) -> None:
+        count = len(items)
+        if count == 0:
+            return
+        items = np.asarray(items)
+        self._reserve(count, items)
+        self._buf[self._len:self._len + count] = items
+        self._len += count
+
+    def append(self, item: Any) -> None:
+        self.extend_array(np.asarray(item).reshape((1,) + np.shape(item)))
+
+    def pop(self) -> Any:
+        if self._len == 0:
+            raise IndexError("pop from empty segment")
+        self._len -= 1
+        item = self._buf[self._len]
+        return item.copy() if isinstance(item, np.ndarray) else item
+
+    def _index(self, idx: int) -> int:
+        if idx < 0:
+            idx += self._len
+        if not 0 <= idx < self._len:
+            raise IndexError("segment index out of range")
+        return idx
+
+    def __getitem__(self, idx: int) -> Any:
+        item = self._buf[self._index(idx)]
+        return item.copy() if isinstance(item, np.ndarray) else item
+
+    def __setitem__(self, idx: int, value: Any) -> None:
+        self._buf[self._index(idx)] = value
+
+    def __iter__(self):
+        return iter(self.as_array())
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        arr = self.as_array()
+        return arr if dtype is None else arr.astype(dtype)
+
+    def as_array(self) -> np.ndarray:
+        if self._buf is None:
+            return np.empty(0)
+        return self._buf[:self._len]
+
+
 class Resample:
     """One bootstrap resample: items partitioned by delta-generation.
 
@@ -70,27 +165,53 @@ class Resample:
     Keeping the partition explicit lets the maintainer delete uniformly
     (segment chosen proportionally to its size) and lets the optimized
     algorithm keep one sketch per segment.
+
+    ``vectorized`` resamples store segments in ndarray-backed
+    :class:`_ItemBuffer` chunks (batch appends are array copies); the
+    default keeps plain Python lists — the scalar reference layout.
     """
 
-    __slots__ = ("state", "segments")
+    __slots__ = ("state", "segments", "_vectorized")
 
-    def __init__(self, state: EstimatorState) -> None:
+    def __init__(self, state: EstimatorState,
+                 vectorized: bool = False) -> None:
         self.state = state
-        self.segments: List[List[Any]] = []
+        self.segments: List[Any] = []
+        self._vectorized = vectorized
 
     @property
     def size(self) -> int:
         return sum(len(seg) for seg in self.segments)
 
     def new_segment(self) -> None:
-        self.segments.append([])
+        self.segments.append(_ItemBuffer() if self._vectorized else [])
 
     def add(self, item: Any, segment: int) -> None:
         self.segments[segment].append(item)
         self.state.add(item)
 
-    def remove_random(self, rng: np.random.Generator) -> Any:
-        """Delete a uniformly random item (swap-pop within its segment)."""
+    def add_many(self, items: np.ndarray, segment: int) -> None:
+        """Append a whole batch to one segment with a single state call.
+
+        Equivalent to ``for item in items: self.add(item, segment)`` —
+        same items in the same order — but the segment grows by one
+        array copy and the estimator state is updated once via
+        ``add_many``.
+        """
+        if len(items) == 0:
+            return
+        target = self.segments[segment]
+        if isinstance(target, _ItemBuffer):
+            target.extend_array(items)
+        elif items.ndim == 1:
+            target.extend(items.tolist())
+        else:  # row items into a list segment: keep ndarray rows
+            target.extend(list(items))
+        self.state.add_many(items)
+
+    def _pop_random(self, rng: np.random.Generator) -> Any:
+        """Swap-pop a uniformly random item, *without* updating the
+        state (callers batch the state update)."""
         total = self.size
         if total == 0:
             raise ValueError("cannot remove from an empty resample")
@@ -101,26 +222,55 @@ class Resample:
                 item = segment[idx]
                 segment[idx] = segment[-1]
                 segment.pop()
-                self.state.remove(item)
                 return item
             flat -= len(segment)
         raise AssertionError("unreachable: index inside total size")
+
+    def remove_random(self, rng: np.random.Generator) -> Any:
+        """Delete a uniformly random item (swap-pop within its segment)."""
+        item = self._pop_random(rng)
+        self.state.remove(item)
+        return item
+
+    def remove_random_many(self, rng: np.random.Generator,
+                           count: int) -> List[Any]:
+        """Delete ``count`` uniformly random items with one state call.
+
+        The index draws are the same scalar ``rng.integers(0, size)``
+        sequence as ``count`` :meth:`remove_random` calls (the shrinking
+        bound makes them inherently sequential), so the random stream —
+        and the deleted items — are byte-identical; only the state
+        update is batched through ``remove_many``.
+        """
+        removed = [self._pop_random(rng) for _ in range(count)]
+        if removed:
+            self.state.remove_many(np.asarray(removed))
+        return removed
 
     def estimate(self) -> float:
         return self.state.result()
 
 
 class _BaseMaintainer:
-    """Shared logic for naive and sketch-based maintainers."""
+    """Shared logic for naive and sketch-based maintainers.
+
+    ``vectorized`` selects between the batched kernel (default) and the
+    item-at-a-time scalar reference.  Both consume the random stream in
+    the same order, so they draw the same items and report the same
+    counters; the kernels differ only in how the estimator state folds
+    a batch in (see the module docstring).
+    """
 
     def __init__(self, statistic: Statistic, *,
                  rng: np.random.Generator,
                  ledger: Optional[CostLedger],
-                 io_scale: float = 1.0) -> None:
+                 io_scale: float = 1.0,
+                 vectorized: bool = True) -> None:
         self._stat = statistic
         self._rng = rng
         self._ledger = ledger
         self.io_scale = io_scale
+        self._vectorized = vectorized
         self.counters = MaintenanceCounters()
 
     # Hooks the two algorithms specialize --------------------------------
@@ -143,6 +293,32 @@ class _BaseMaintainer:
     def end_iteration(self) -> None:
         """Called once per iteration after all resamples were updated."""
 
+    # Batched draw hooks --------------------------------------------------
+    # Defaults drive the scalar draw hooks but fold the state update into
+    # one ``add_many`` call; maintainers override where whole-array draws
+    # are possible without changing the random stream.
+    def _add_from_old_batch(self, resample: Resample, count: int) -> None:
+        if count == 0:
+            return
+        items = []
+        targets = []
+        for _ in range(count):
+            item, segment = self._draw_from_old_with_segment(resample)
+            items.append(item)
+            targets.append(segment)
+        arr = np.asarray(items)
+        target_arr = np.asarray(targets)
+        for seg in np.unique(target_arr):
+            resample.segments[int(seg)].extend_array(arr[target_arr == seg])
+        resample.state.add_many(arr)
+
+    def _add_from_delta_batch(self, resample: Resample, segment: int,
+                              count: int) -> None:
+        if count == 0:
+            return
+        items = np.asarray([self._draw_from_delta() for _ in range(count)])
+        resample.add_many(items, segment)
+
     # Common update -------------------------------------------------------
     def update(self, resample: Resample, n_old: int, n_new: int,
                delta_size: int) -> None:
@@ -152,22 +328,34 @@ class _BaseMaintainer:
         k = int(min(max(self._draw_k(n_old, n_new), 0), n_new))
         # Step 2: reconcile the old-sample part of the resample to size k.
         if k < n_old:
-            for _ in range(n_old - k):
-                resample.remove_random(self._rng)
-                self.counters.state_ops += 1
+            count = n_old - k
+            if self._vectorized:
+                resample.remove_random_many(self._rng, count)
+            else:
+                for _ in range(count):
+                    resample.remove_random(self._rng)
+            self.counters.state_ops += count
         elif k > n_old:
-            for _ in range(k - n_old):
-                item, segment = self._draw_from_old_with_segment(resample)
-                resample.segments[segment].append(item)
-                resample.state.add(item)
-                self.counters.state_ops += 1
+            count = k - n_old
+            if self._vectorized:
+                self._add_from_old_batch(resample, count)
+            else:
+                for _ in range(count):
+                    item, segment = self._draw_from_old_with_segment(resample)
+                    resample.segments[segment].append(item)
+                    resample.state.add(item)
+            self.counters.state_ops += count
         # Step 3: top up to n_new with draws from the delta sample.
         resample.new_segment()
         new_segment = len(resample.segments) - 1
-        for _ in range(n_new - k):
-            item = self._draw_from_delta()
-            resample.add(item, new_segment)
-            self.counters.state_ops += 1
+        count = n_new - k
+        if self._vectorized:
+            self._add_from_delta_batch(resample, new_segment, count)
+        else:
+            for _ in range(count):
+                item = self._draw_from_delta()
+                resample.add(item, new_segment)
+        self.counters.state_ops += count
 
 
 class NaiveMaintainer(_BaseMaintainer):
@@ -180,25 +368,41 @@ class NaiveMaintainer(_BaseMaintainer):
 
     def __init__(self, statistic: Statistic, *, rng: np.random.Generator,
                  ledger: Optional[CostLedger],
-                 io_scale: float = 1.0) -> None:
+                 io_scale: float = 1.0,
+                 vectorized: bool = True) -> None:
         super().__init__(statistic, rng=rng, ledger=ledger,
-                         io_scale=io_scale)
+                         io_scale=io_scale, vectorized=vectorized)
         self._old_segments: List[List[Any]] = []
+        self._old_flat: Optional[np.ndarray] = None
+        self._old_starts: Optional[np.ndarray] = None
 
     def on_delta(self, delta: Sequence[Any]) -> None:
         self._current_delta = list(delta)
+        self._delta_arr = np.asarray(self._current_delta)
 
     def end_iteration(self) -> None:
         self._old_segments.append(self._current_delta)
+        self._old_flat = None  # old-sample layout changed; rebuild lazily
+
+    def _old_layout(self):
+        """Flattened stored sample + segment start offsets (cached —
+        the stored segments are fixed while resamples are updated)."""
+        if self._old_flat is None:
+            self._old_flat = np.concatenate(
+                [np.asarray(seg) for seg in self._old_segments])
+            sizes = [len(seg) for seg in self._old_segments]
+            self._old_starts = np.concatenate(
+                [[0], np.cumsum(sizes[:-1])]).astype(np.int64)
+        return self._old_flat, self._old_starts
 
     def _draw_k(self, n_old: int, n_new: int) -> int:
         return int(self._rng.binomial(n_new, n_old / n_new))
 
-    def _charge_disk(self) -> None:
-        self.counters.disk_accesses += 1
+    def _charge_disk(self, count: int = 1) -> None:
+        self.counters.disk_accesses += count
         if self._ledger is not None:
-            self._ledger.charge_seeks(1)
-            self._ledger.charge_disk_read(ITEM_BYTES * self.io_scale)
+            self._ledger.charge_seeks(count)
+            self._ledger.charge_disk_read(count * ITEM_BYTES * self.io_scale)
 
     def _draw_from_old_with_segment(self, resample: Resample):
         """Uniform item of the stored old sample (disk-resident)."""
@@ -217,6 +421,29 @@ class NaiveMaintainer(_BaseMaintainer):
         idx = int(self._rng.integers(0, len(self._current_delta)))
         return self._current_delta[idx]
 
+    # Vectorized paths: one fixed-bound ``integers`` array call replaces
+    # the same number of scalar calls — the random stream is unchanged.
+    def _add_from_old_batch(self, resample: Resample, count: int) -> None:
+        if count == 0:
+            return
+        flat, starts = self._old_layout()
+        self._charge_disk(count)
+        idx = self._rng.integers(0, len(flat), size=count)
+        items = flat[idx]
+        seg_ids = np.searchsorted(starts, idx, side="right") - 1
+        np.minimum(seg_ids, len(resample.segments) - 1, out=seg_ids)
+        for seg in np.unique(seg_ids):
+            resample.segments[int(seg)].extend_array(items[seg_ids == seg])
+        resample.state.add_many(items)
+
+    def _add_from_delta_batch(self, resample: Resample, segment: int,
+                              count: int) -> None:
+        if count == 0:
+            return
+        self._charge_disk(count)
+        idx = self._rng.integers(0, len(self._current_delta), size=count)
+        resample.add_many(self._delta_arr[idx], segment)
+
 
 class SketchMaintainer(_BaseMaintainer):
     """The paper's optimized algorithm: Gaussian ``k``, sketched access.
@@ -231,13 +458,15 @@ class SketchMaintainer(_BaseMaintainer):
 
     def __init__(self, statistic: Statistic, *, rng: np.random.Generator,
                  ledger: Optional[CostLedger], c: float = 4.0,
-                 io_scale: float = 1.0) -> None:
+                 io_scale: float = 1.0,
+                 vectorized: bool = True) -> None:
         super().__init__(statistic, rng=rng, ledger=ledger,
-                         io_scale=io_scale)
+                         io_scale=io_scale, vectorized=vectorized)
         check_positive("c", c)
         self._c = c
         self._delta_store: List[List[Any]] = []
         self._delta_sketches: List[Sketch] = []
+        self._old_probs_cache: Optional[np.ndarray] = None
 
     def on_delta(self, delta: Sequence[Any]) -> None:
         stored = list(delta)
@@ -265,6 +494,18 @@ class SketchMaintainer(_BaseMaintainer):
             self.counters.sketch_draws += 1
         return item
 
+    def _old_probs(self) -> np.ndarray:
+        """Old-segment selection weights (cached: the stores are fixed
+        while one iteration's resamples are updated)."""
+        n_old_stores = len(self._delta_store) - 1
+        if self._old_probs_cache is None \
+                or len(self._old_probs_cache) != n_old_stores:
+            sizes = np.array([len(store)
+                              for store in self._delta_store[:-1]],
+                             dtype=float)
+            self._old_probs_cache = sizes / sizes.sum()
+        return self._old_probs_cache
+
     def _draw_from_old_with_segment(self, resample: Resample):
         """Uniform item of the old sample via the per-delta sketches.
 
@@ -272,15 +513,28 @@ class SketchMaintainer(_BaseMaintainer):
         then a sketch draw within the segment — the composition is a
         uniform draw over the whole old sample.
         """
-        old_stores = self._delta_store[:-1]
-        total = sum(len(store) for store in old_stores)
-        probs = [len(store) / total for store in old_stores]
-        seg_idx = int(self._rng.choice(len(old_stores), p=probs))
+        probs = self._old_probs()
+        seg_idx = int(self._rng.choice(len(probs), p=probs))
         item = self._sketch_draw(self._delta_sketches[seg_idx])
         return item, min(seg_idx, len(resample.segments) - 1)
 
     def _draw_from_delta(self) -> Any:
         return self._sketch_draw(self._delta_sketches[-1])
+
+    # Vectorized delta top-up: the whole run of draws is served as one
+    # sketch slice sequence (:meth:`Sketch.draw_many` is byte-identical
+    # to the scalar loop, reloads included).  Old-sample additions keep
+    # the scalar path — their per-item segment choice interleaves with
+    # sketch reloads on the shared stream, so batching them would
+    # reorder draws; they are O(√n) items, far off the hot path.
+    def _add_from_delta_batch(self, resample: Resample, segment: int,
+                              count: int) -> None:
+        if count == 0:
+            return
+        items, reloads = self._delta_sketches[-1].draw_many(count)
+        self.counters.disk_accesses += reloads
+        self.counters.sketch_draws += count - reloads
+        resample.add_many(items, segment)
 
 
 class ResampleSet:
@@ -292,6 +546,13 @@ class ResampleSet:
     iteration.  ``maintenance`` selects §4.1's naive or optimized
     algorithm, or ``"none"`` to rebuild every resample from scratch each
     iteration (the stock-bootstrap baseline of Fig. 6/10).
+
+    ``vectorized`` (default) runs the NumPy batch kernel; ``False``
+    selects the item-at-a-time scalar reference.  Both consume the
+    random stream identically — same drawn items, same
+    :class:`MaintenanceCounters` for any seed — and differ only in
+    floating-point reassociation of the estimator-state arithmetic
+    (``benchmarks/bench_kernel.py`` measures the gap in throughput).
     """
 
     def __init__(self, statistic: StatisticLike, B: int, *,
@@ -299,7 +560,8 @@ class ResampleSet:
                  sketch_c: float = 4.0,
                  seed: SeedLike = None,
                  ledger: Optional[CostLedger] = None,
-                 io_scale: float = 1.0) -> None:
+                 io_scale: float = 1.0,
+                 vectorized: bool = True) -> None:
         check_positive_int("B", B)
         if maintenance not in (MAINTENANCE_NAIVE, MAINTENANCE_OPTIMIZED,
                                MAINTENANCE_NONE):
@@ -311,16 +573,18 @@ class ResampleSet:
         self._rng = ensure_rng(seed)
         self._ledger = ledger
         self._io_scale = io_scale
+        self._vectorized = vectorized
         self._sample: List[Any] = []
         self._resamples: List[Resample] = []
         self.counters = MaintenanceCounters()
         if maintenance == MAINTENANCE_NAIVE:
             self._maintainer: Optional[_BaseMaintainer] = NaiveMaintainer(
-                self._stat, rng=self._rng, ledger=ledger, io_scale=io_scale)
+                self._stat, rng=self._rng, ledger=ledger, io_scale=io_scale,
+                vectorized=vectorized)
         elif maintenance == MAINTENANCE_OPTIMIZED:
             self._maintainer = SketchMaintainer(
                 self._stat, rng=self._rng, ledger=ledger, c=sketch_c,
-                io_scale=io_scale)
+                io_scale=io_scale, vectorized=vectorized)
         else:
             self._maintainer = None
 
@@ -355,6 +619,27 @@ class ResampleSet:
     def sample(self) -> List[Any]:
         return list(self._sample)
 
+    def _fresh_resample(self, items: List[Any],
+                        items_arr: Optional[np.ndarray],
+                        n: int) -> Resample:
+        """One fresh bootstrap resample: ``n`` draws with replacement
+        from ``items``, consuming this set's stream.  The single
+        construction path shared by :meth:`initialize` and the
+        no-maintainer rebuild, so the two can never drift apart.
+        ``items_arr`` is the vectorized kernel's array view of
+        ``items`` (``None`` on the scalar path)."""
+        resample = Resample(self._stat.make_state(),
+                            vectorized=self._vectorized)
+        resample.new_segment()
+        idx = self._rng.integers(0, n, size=n)
+        if self._vectorized:
+            resample.add_many(items_arr[idx], 0)
+        else:
+            for i in idx:
+                resample.add(items[int(i)], 0)
+        self.counters.state_ops += n
+        return resample
+
     def initialize(self, sample: Sequence[Any]) -> None:
         """First iteration: the initial sample is the first delta (§4.1:
         "we can treat the initial sample as a delta sample added to an
@@ -368,14 +653,9 @@ class ResampleSet:
         if self._maintainer is not None:
             self._maintainer.on_delta(items)
         n = len(items)
+        items_arr = np.asarray(sample) if self._vectorized else None
         for _ in range(self.B):
-            resample = Resample(self._stat.make_state())
-            resample.new_segment()
-            idx = self._rng.integers(0, n, size=n)
-            for i in idx:
-                resample.add(items[int(i)], 0)
-            self.counters.state_ops += n
-            self._resamples.append(resample)
+            self._resamples.append(self._fresh_resample(items, items_arr, n))
         if self._maintainer is not None:
             self._maintainer.end_iteration()
             self.counters.merge(self._maintainer.counters)
@@ -396,15 +676,11 @@ class ResampleSet:
             # Baseline: throw everything away and bootstrap s' afresh.
             self._resamples = []
             items = self._sample
+            items_arr = np.asarray(items) if self._vectorized else None
             for _ in range(self.B):
-                resample = Resample(self._stat.make_state())
-                resample.new_segment()
-                idx = self._rng.integers(0, n_new, size=n_new)
-                for i in idx:
-                    resample.add(items[int(i)], 0)
-                self.counters.state_ops += n_new
+                self._resamples.append(
+                    self._fresh_resample(items, items_arr, n_new))
                 self.counters.full_rebuilds += 1
-                self._resamples.append(resample)
             if self._ledger is not None:
                 # Re-reading the whole stored sample for every rebuild.
                 self._ledger.charge_seeks(self.B)

@@ -31,13 +31,34 @@ from repro.util.stats import RunningStats
 
 
 class EstimatorState:
-    """Interface of an incremental statistic state."""
+    """Interface of an incremental statistic state.
+
+    Besides the scalar ``add``/``remove``, every state accepts whole
+    *batches* through ``add_many``/``remove_many`` — the entry point of
+    the vectorized delta-maintenance kernel (§4.1 does O(|Δs|) state
+    updates per resample; the batch forms do them in one NumPy call
+    instead of |Δs| Python calls).  The default implementations fall
+    back to the scalar loop, so arbitrary user states stay correct; the
+    registered statistics override them with true NumPy kernels.  A
+    batch op is equivalent to the corresponding scalar loop — same
+    final count, same result up to floating-point reassociation.
+    """
 
     def add(self, value: Any) -> None:
         raise NotImplementedError
 
     def remove(self, value: Any) -> None:
         raise NotImplementedError
+
+    def add_many(self, values: Any) -> None:
+        """Add every item of ``values`` (rows of a 2-D array are items)."""
+        for value in values:
+            self.add(value)
+
+    def remove_many(self, values: Any) -> None:
+        """Remove every item of ``values`` (batch analogue of ``remove``)."""
+        for value in values:
+            self.remove(value)
 
     def result(self) -> float:
         raise NotImplementedError
@@ -71,6 +92,41 @@ class _SortedFloats:
             raise KeyError(f"value {value!r} not present")
         self._data.pop(idx)
 
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Bulk insert: one O((n+m) log(n+m)) sort instead of ``m``
+        O(n) shifting insertions."""
+        incoming = np.asarray(values, dtype=float).ravel()
+        if incoming.size == 0:
+            return
+        merged = np.concatenate([np.asarray(self._data), incoming])
+        merged.sort()
+        self._data = merged.tolist()
+
+    def remove_many(self, values: Iterable[float]) -> None:
+        """Bulk removal of a multiset of values (KeyError if any value
+        — counting multiplicity — is not present)."""
+        incoming = np.sort(np.asarray(values, dtype=float).ravel())
+        m = incoming.size
+        if m == 0:
+            return
+        arr = np.asarray(self._data)
+        if arr.size == 0:
+            raise KeyError(f"value {incoming[0]!r} not present")
+        base = np.searchsorted(arr, incoming, side="left")
+        # The i-th copy of a repeated value claims the i-th slot of its
+        # equal run in ``arr`` (both arrays are sorted, so run ranks
+        # line up).
+        new_run = np.r_[True, incoming[1:] != incoming[:-1]]
+        run_starts = np.flatnonzero(new_run)
+        rank_in_run = np.arange(m) - run_starts[np.cumsum(new_run) - 1]
+        idx = base + rank_in_run
+        bad = (idx >= arr.size) | (arr[np.minimum(idx, arr.size - 1)]
+                                   != incoming)
+        if bad.any():
+            missing = incoming[int(np.flatnonzero(bad)[0])]
+            raise KeyError(f"value {missing!r} not present")
+        self._data = np.delete(arr, idx).tolist()
+
     def kth(self, index: int) -> float:
         return self._data[index]
 
@@ -97,6 +153,12 @@ class MeanState(EstimatorState):
 
     def remove(self, value: Any) -> None:
         self._stats.remove(float(value))
+
+    def add_many(self, values: Any) -> None:
+        self._stats.add_values(np.asarray(values, dtype=float))
+
+    def remove_many(self, values: Any) -> None:
+        self._stats.remove_values(np.asarray(values, dtype=float))
 
     def merge(self, other: "MeanState") -> None:
         self._stats.merge(other._stats)
@@ -130,6 +192,18 @@ class SumState(EstimatorState):
         self._sum -= float(value)
         self._count -= 1
 
+    def add_many(self, values: Any) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        self._sum += float(arr.sum())
+        self._count += arr.size
+
+    def remove_many(self, values: Any) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size > self._count:
+            raise ValueError("cannot remove from an empty SumState")
+        self._sum -= float(arr.sum())
+        self._count -= arr.size
+
     def merge(self, other: "SumState") -> None:
         self._sum += other._sum
         self._count += other._count
@@ -157,6 +231,12 @@ class VarianceState(EstimatorState):
 
     def remove(self, value: Any) -> None:
         self._stats.remove(float(value))
+
+    def add_many(self, values: Any) -> None:
+        self._stats.add_values(np.asarray(values, dtype=float))
+
+    def remove_many(self, values: Any) -> None:
+        self._stats.remove_values(np.asarray(values, dtype=float))
 
     def merge(self, other: "VarianceState") -> None:
         self._stats.merge(other._stats)
@@ -204,6 +284,12 @@ class QuantileState(EstimatorState):
 
     def remove(self, value: Any) -> None:
         self._sorted.remove(float(value))
+
+    def add_many(self, values: Any) -> None:
+        self._sorted.insert_many(values)
+
+    def remove_many(self, values: Any) -> None:
+        self._sorted.remove_many(values)
 
     def result(self) -> float:
         n = len(self._sorted)
@@ -253,6 +339,12 @@ class ExtremeState(EstimatorState):
     def remove(self, value: Any) -> None:
         self._sorted.remove(float(value))
 
+    def add_many(self, values: Any) -> None:
+        self._sorted.insert_many(values)
+
+    def remove_many(self, values: Any) -> None:
+        self._sorted.remove_many(values)
+
     def result(self) -> float:
         n = len(self._sorted)
         if n == 0:
@@ -287,6 +379,18 @@ class ProportionState(EstimatorState):
         self._count -= 1
         if value:
             self._successes -= 1
+
+    def add_many(self, values: Any) -> None:
+        arr = np.asarray(values)
+        self._count += arr.size
+        self._successes += int(np.count_nonzero(arr))
+
+    def remove_many(self, values: Any) -> None:
+        arr = np.asarray(values)
+        if arr.size > self._count:
+            raise ValueError("cannot remove from an empty ProportionState")
+        self._count -= arr.size
+        self._successes -= int(np.count_nonzero(arr))
 
     def merge(self, other: "ProportionState") -> None:
         self._successes += other._successes
@@ -339,6 +443,36 @@ class CorrelationState(EstimatorState):
         self._syy -= y * y
         self._sxy -= x * y
 
+    def _batch_sums(self, values: Any):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(
+                "correlation batch needs an (m, 2) array of (x, y) pairs")
+        x, y = arr[:, 0], arr[:, 1]
+        return (arr.shape[0], float(x.sum()), float(y.sum()),
+                float((x * x).sum()), float((y * y).sum()),
+                float((x * y).sum()))
+
+    def add_many(self, values: Any) -> None:
+        m, sx, sy, sxx, syy, sxy = self._batch_sums(values)
+        self._n += m
+        self._sx += sx
+        self._sy += sy
+        self._sxx += sxx
+        self._syy += syy
+        self._sxy += sxy
+
+    def remove_many(self, values: Any) -> None:
+        m, sx, sy, sxx, syy, sxy = self._batch_sums(values)
+        if m > self._n:
+            raise ValueError("cannot remove from an empty CorrelationState")
+        self._n -= m
+        self._sx -= sx
+        self._sy -= sy
+        self._sxx -= sxx
+        self._syy -= syy
+        self._sxy -= sxy
+
     def merge(self, other: "CorrelationState") -> None:
         self._n += other._n
         self._sx += other._sx
@@ -383,6 +517,14 @@ class CountState(EstimatorState):
             raise ValueError("cannot remove from an empty CountState")
         self._count -= 1
 
+    def add_many(self, values: Any) -> None:
+        self._count += len(values)
+
+    def remove_many(self, values: Any) -> None:
+        if len(values) > self._count:
+            raise ValueError("cannot remove from an empty CountState")
+        self._count -= len(values)
+
     def merge(self, other: "CountState") -> None:
         self._count += other._count
 
@@ -415,6 +557,9 @@ class FunctionalState(EstimatorState):
 
     def remove(self, value: Any) -> None:
         self._values.remove(float(value))
+
+    def add_many(self, values: Any) -> None:
+        self._values.extend(np.asarray(values, dtype=float).ravel().tolist())
 
     def result(self) -> float:
         if not self._values:

@@ -18,7 +18,7 @@ latency" — the ablation benchmark sweeps it.
 from __future__ import annotations
 
 import math
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,8 +48,12 @@ class Sketch:
         self.io_scale = io_scale
         self.disk_reloads = 0
         self.draws = 0
-        self._items: List[Any] = []
+        #: In-memory items, kept as an ndarray so whole runs of draws
+        #: can be served as one slice (see :meth:`draw_many`).
+        self._items: np.ndarray = np.empty(0)
         self._next = 0
+        self._backing_arr: Optional[np.ndarray] = None
+        self._backing_len = -1
         self._resample_from_backing(charge=False)
 
     def set_ledger(self, ledger: Optional[CostLedger]) -> None:
@@ -73,14 +77,21 @@ class Sketch:
     def exhausted(self) -> bool:
         return self.remaining == 0
 
+    def _backing_array(self) -> np.ndarray:
+        """The backing store as an ndarray (cached; rebuilt on growth)."""
+        if self._backing_arr is None or self._backing_len != len(self._backing):
+            self._backing_arr = np.asarray(self._backing)
+            self._backing_len = len(self._backing)
+        return self._backing_arr
+
     def _resample_from_backing(self, *, charge: bool) -> None:
         """Draw a fresh sketch from the disk copy (without replacement)."""
         size = self.sketch_size
         if size == 0:
-            self._items, self._next = [], 0
+            self._items, self._next = np.empty(0), 0
             return
         idx = self._rng.choice(len(self._backing), size=size, replace=False)
-        self._items = [self._backing[int(i)] for i in idx]
+        self._items = self._backing_array()[idx]
         self._next = 0
         if charge:
             self.disk_reloads += 1
@@ -102,6 +113,37 @@ class Sketch:
         self.draws += 1
         return item
 
+    def draw_many(self, count: int) -> Tuple[np.ndarray, int]:
+        """``count`` sequential random items as one array, plus how many
+        disk reloads the run triggered.
+
+        Byte-identical to ``count`` calls of :meth:`draw` for any seed:
+        items are served in the same order and a reload — the only RNG
+        consumer — fires at exactly the same positions with the same
+        arguments.  This is the batched path the vectorized delta
+        maintainers use to top resamples up from Δs in one state call.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0), 0
+        if len(self._backing) == 0:
+            raise ValueError("cannot draw from a sketch over empty data")
+        chunks = []
+        reloads = 0
+        left = count
+        while left > 0:
+            if self.exhausted:
+                self._resample_from_backing(charge=True)
+                reloads += 1
+            take = min(left, self.remaining)
+            chunks.append(self._items[self._next:self._next + take])
+            self._next += take
+            self.draws += take
+            left -= take
+        return (chunks[0] if len(chunks) == 1
+                else np.concatenate(chunks)), reloads
+
     # -------------------------------------------------------------- refresh
     def refresh(self) -> None:
         """End-of-iteration reservoir substitution of used items (§4.1).
@@ -110,15 +152,21 @@ class Sketch:
         the sketch remains a random subset; memory-only, no disk charge
         (the paper defers the disk commit to exhaustion time).
         """
-        if not self._items or len(self._backing) == 0:
+        if len(self._items) == 0 or len(self._backing) == 0:
             return
         used = self._next
-        for slot in range(used):
-            replacement = int(self._rng.integers(0, len(self._backing)))
-            self._items[slot] = self._backing[replacement]
+        # Substitute into a private copy: draw_many hands out views of
+        # the current item array, which must stay immutable.
+        items = self._items.copy()
+        if used:
+            # One array draw == `used` scalar draws (same bound, same
+            # stream), so the vectorized refresh stays byte-identical.
+            replacements = self._rng.integers(0, len(self._backing),
+                                              size=used)
+            items[:used] = self._backing_array()[replacements]
         # Reshuffle so the sequential pointer again walks a random order.
-        order = self._rng.permutation(len(self._items))
-        self._items = [self._items[int(i)] for i in order]
+        order = self._rng.permutation(len(items))
+        self._items = items[order]
         self._next = 0
 
     def notify_backing_grew(self) -> None:

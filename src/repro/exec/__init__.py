@@ -42,12 +42,14 @@ from repro.exec.executor import (
     EXECUTOR_SERIAL,
     EXECUTOR_THREADS,
     MAX_WORKERS_ENV,
+    BroadcastHandle,
     Executor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     as_executor,
     available_executors,
+    broadcast_value,
     chunk_sizes,
     get_executor,
     resolve_executor,
@@ -58,6 +60,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "BroadcastHandle",
+    "broadcast_value",
     "get_executor",
     "resolve_executor",
     "as_executor",

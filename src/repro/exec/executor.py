@@ -20,6 +20,18 @@ Three backends are provided:
   picklable, and worker-side mutations of shared objects are *lost*
   (see ``shares_memory``).
 
+Broadcast-once data plane
+-------------------------
+Fan-out callers that ship one large read-only value (the sample) to
+many work units wrap it in a :class:`BroadcastHandle` via
+:meth:`Executor.broadcast`.  Serial and thread backends hand out a
+zero-copy reference; the process backend installs the payload in each
+worker once, at pool construction, so every subsequent task pickles a
+short id instead of the value.  Work functions unwrap with
+:func:`broadcast_value`.  Handles are only ids plus local references —
+they never change *what* is computed, so the determinism contract below
+is unaffected.
+
 Determinism contract
 --------------------
 Backends may only change *where* a unit runs, never *what* it computes:
@@ -51,10 +63,11 @@ outer sweep already runs on ``"processes"``.
 
 from __future__ import annotations
 
+import itertools
 import os
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.util.validation import check_positive_int
 
@@ -67,6 +80,98 @@ MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 EXECUTOR_SERIAL = "serial"
 EXECUTOR_THREADS = "threads"
 EXECUTOR_PROCESSES = "processes"
+
+
+class BroadcastHandle:
+    """Executor-scoped read-only shared data (the *broadcast-once* plane).
+
+    A handle stands in for a large immutable value (typically the sample
+    array) inside work-unit arguments.  On shared-memory backends
+    (serial, threads) it is a zero-copy reference; on a process pool the
+    value is shipped to each worker **once**, when the pool spins up,
+    instead of being pickled into every task.  Work functions read the
+    payload back through :attr:`value` (or :func:`broadcast_value`,
+    which also accepts raw values).
+
+    Lifetime: a handle is valid until its executor is closed.  The
+    payload must not be mutated after broadcasting — workers may hold
+    a copy, so mutations would desynchronize backends.
+    """
+
+    __slots__ = ("bid", "_value")
+
+    def __init__(self, bid: str, value: Any) -> None:
+        self.bid = bid
+        self._value = value
+
+    @property
+    def value(self) -> Any:
+        """The broadcast payload (zero-copy in this process)."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(bid={self.bid!r})"
+
+
+def broadcast_value(obj: Any) -> Any:
+    """``obj.value`` if ``obj`` is a :class:`BroadcastHandle`, else ``obj``.
+
+    Lets a work function accept both broadcast and plain arguments.
+    """
+    return obj.value if isinstance(obj, BroadcastHandle) else obj
+
+
+#: Per-process broadcast registry.  In the driver it mirrors what each
+#: live :class:`ProcessExecutor` has broadcast (so in-process fallback
+#: paths resolve); in a pool worker it is populated once by the worker
+#: initializer from the payloads shipped at pool construction.
+_BROADCASTS: Dict[str, Any] = {}
+
+_BROADCAST_IDS = itertools.count()
+
+
+def _next_broadcast_id() -> str:
+    return f"bcast-{os.getpid()}-{next(_BROADCAST_IDS)}"
+
+
+def _resolve_broadcast_handle(bid: str) -> "BroadcastHandle":
+    """Unpickle hook of a process-pool broadcast handle: rebind to the
+    payload installed in this process (see ``_process_worker_init``)."""
+    try:
+        return BroadcastHandle(bid, _BROADCASTS[bid])
+    except KeyError:
+        raise RuntimeError(
+            f"broadcast {bid!r} is not installed in this process; "
+            "was the handle used after its executor was closed?") from None
+
+
+def _rebuild_broadcast_handle(bid: str, value: Any) -> "BroadcastHandle":
+    """Unpickle hook for a handle whose payload travelled by value (a
+    broadcast made after the pool already existed)."""
+    return BroadcastHandle(bid, value)
+
+
+class _ProcessBroadcastHandle(BroadcastHandle):
+    """Handle whose payload ships to workers once, at pool construction.
+
+    Pickles as a bare id when the executor's pool either does not exist
+    yet (the payload will ride the worker initializer) or was built with
+    this broadcast installed.  A broadcast made *after* the pool started
+    falls back to by-value pickling — per-task cost, exactly the
+    pre-broadcast behavior, but no pool teardown.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, bid: str, value: Any,
+                 owner: "ProcessExecutor") -> None:
+        super().__init__(bid, value)
+        self._owner = owner
+
+    def __reduce__(self):
+        if self._owner.ships_by_initializer(self.bid):
+            return (_resolve_broadcast_handle, (self.bid,))
+        return (_rebuild_broadcast_handle, (self.bid, self.value))
 
 
 class Executor:
@@ -98,6 +203,33 @@ class Executor:
         failing unit in submission order, matching serial semantics).
         """
         raise NotImplementedError
+
+    def broadcast(self, value: Any) -> BroadcastHandle:
+        """Share a read-only ``value`` with every work unit of this
+        executor.
+
+        Returns a :class:`BroadcastHandle` to embed in work-unit
+        arguments instead of the value itself.  Shared-memory backends
+        return a zero-copy reference; :class:`ProcessExecutor` ships the
+        payload to each worker once, at pool construction (a broadcast
+        made after the pool already started falls back to by-value
+        pickling per task).  Call :meth:`release` when the handle is no
+        longer needed — at the latest, :meth:`close` drops every
+        payload.
+        """
+        return BroadcastHandle(_next_broadcast_id(), value)
+
+    def release(self, handle: BroadcastHandle) -> None:
+        """Drop a broadcast payload from this executor's registry.
+
+        After release the handle must no longer be put into work units
+        (in-process references already handed out stay valid).  No-op
+        on shared-memory backends — the handle was only a reference.
+        Callers that loop many broadcasts over one long-lived executor
+        (e.g. repeated bootstraps) should release each handle when its
+        fan-out returns, so payloads do not accumulate until
+        :meth:`close`.
+        """
 
     def close(self) -> None:
         """Release pool resources.  Idempotent; ``map`` after ``close``
@@ -135,8 +267,6 @@ class SerialExecutor(Executor):
 class _PoolExecutor(Executor):
     """Shared lazy-pool plumbing for the two concurrent backends."""
 
-    _pool_factory: Callable[..., Any]
-
     def __init__(self, max_workers: Optional[int] = None) -> None:
         _check_workers(max_workers)
         self._max_workers = max_workers or _default_workers()
@@ -147,9 +277,12 @@ class _PoolExecutor(Executor):
         """Worker count the pool is (or will be) created with."""
         return self._max_workers
 
+    def _make_pool(self) -> Any:
+        raise NotImplementedError
+
     def _ensure_pool(self) -> Any:
         if self._pool is None:
-            self._pool = type(self)._pool_factory(max_workers=self._max_workers)
+            self._pool = self._make_pool()
         return self._pool
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
@@ -178,10 +311,12 @@ class ThreadExecutor(_PoolExecutor):
     name = EXECUTOR_THREADS
     is_parallel = True
     shares_memory = True
-    _pool_factory = _ThreadPool
+
+    def _make_pool(self) -> _ThreadPool:
+        return _ThreadPool(max_workers=self._max_workers)
 
 
-def _process_worker_init() -> None:
+def _process_worker_init(broadcasts: Optional[Dict[str, Any]] = None) -> None:
     """Initializer for process-pool workers.
 
     A pool worker is daemonic and cannot fork its own pool, so any
@@ -189,9 +324,15 @@ def _process_worker_init() -> None:
     apply inside the worker: nested :func:`resolve_executor` calls fall
     back to the configured (normally ``"serial"``) backend instead of
     trying to build a pool-inside-a-pool.
+
+    ``broadcasts`` carries the executor's broadcast payloads — they are
+    pickled once per worker here, at pool construction, which is what
+    lets task arguments reference them by id alone.
     """
     os.environ.pop(EXECUTOR_ENV, None)
     os.environ.pop(MAX_WORKERS_ENV, None)
+    if broadcasts:
+        _BROADCASTS.update(broadcasts)
 
 
 class ProcessExecutor(_PoolExecutor):
@@ -202,16 +343,74 @@ class ProcessExecutor(_PoolExecutor):
     happen in the worker's copy and are discarded — units communicate
     through return values only, which is why the engine requires
     ``parallel_safe`` declarations before routing tasks here.
+
+    :meth:`broadcast` payloads made before the (lazy) pool starts are
+    installed in each worker by the pool initializer, so handles inside
+    task arguments pickle as short ids.  A live broadcast made after
+    the pool exists never tears it down — that handle simply pickles by
+    value per task (the pre-broadcast cost).  :meth:`release` of an
+    initializer-shipped payload marks the pool *stale*: the next
+    :meth:`map` rebuilds it without the retired payload, which both
+    frees the workers' copies and lets the next broadcast ride the
+    fresh pool's initializer — so a loop of broadcast/fan-out/release
+    rounds (repeated bootstraps) ships each payload once per worker and
+    never accumulates old ones.
     """
 
     name = EXECUTOR_PROCESSES
     is_parallel = True
     shares_memory = False
 
-    @staticmethod
-    def _pool_factory(max_workers: Optional[int] = None) -> _ProcessPool:
-        return _ProcessPool(max_workers=max_workers,
-                            initializer=_process_worker_init)
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._broadcasts: Dict[str, Any] = {}
+        self._installed: frozenset = frozenset()
+        self._stale_pool = False
+
+    def broadcast(self, value: Any) -> BroadcastHandle:
+        handle = _ProcessBroadcastHandle(_next_broadcast_id(), value, self)
+        self._broadcasts[handle.bid] = value
+        # Driver-side registry entry: lets the <= 1-item in-process
+        # fast path of ``map`` (and any local unpickling) resolve too.
+        _BROADCASTS[handle.bid] = value
+        return handle
+
+    def release(self, handle: BroadcastHandle) -> None:
+        self._broadcasts.pop(handle.bid, None)
+        _BROADCASTS.pop(handle.bid, None)
+        if handle.bid in self._installed:
+            # Workers hold a now-dead copy; retire it (and re-enable
+            # initializer shipping) by rebuilding the pool lazily.
+            self._stale_pool = True
+
+    def ships_by_initializer(self, bid: str) -> bool:
+        """Whether ``bid`` reaches workers via the pool initializer —
+        true while the pool is yet to be built or is marked stale (the
+        broadcast will ride the next pool's initargs), or when the live
+        pool was built with this payload installed."""
+        return self._pool is None or self._stale_pool \
+            or bid in self._installed
+
+    def _make_pool(self) -> _ProcessPool:
+        self._installed = frozenset(self._broadcasts)
+        self._stale_pool = False
+        return _ProcessPool(max_workers=self._max_workers,
+                            initializer=_process_worker_init,
+                            initargs=(dict(self._broadcasts),))
+
+    def _ensure_pool(self) -> Any:
+        if self._pool is not None and self._stale_pool:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        return super()._ensure_pool()
+
+    def close(self) -> None:
+        super().close()
+        for bid in self._broadcasts:
+            _BROADCASTS.pop(bid, None)
+        self._broadcasts.clear()
+        self._installed = frozenset()
+        self._stale_pool = False
 
 
 #: Registry of selectable backends.

@@ -256,15 +256,24 @@ class JobClient:
             job_counters.merge(r.counters)
 
         # -------------------------------------------------------- shuffle
+        # Assembled partition-major: each reducer's input is one run of
+        # ``extend`` calls over the map outputs (same pair order as the
+        # map-major nested loop — map results are visited in task order
+        # within every partition — without re-touching all ``n_red``
+        # partition lists once per map task).
         n_red = conf.n_reducers
-        shuffle: List[List[KeyValue]] = [[] for _ in range(n_red)]
-        shuffle_bytes = [0.0] * n_red
-        shuffle_records = [0.0] * n_red
-        for r in map_results:
-            for p in range(n_red):
-                shuffle[p].extend(r.partitions[p])
-                shuffle_bytes[p] += r.partition_bytes[p]
-                shuffle_records[p] += r.partition_records[p]
+        shuffle: List[List[KeyValue]] = []
+        shuffle_bytes: List[float] = []
+        shuffle_records: List[float] = []
+        for p in range(n_red):
+            bucket: List[KeyValue] = []
+            for r in map_results:
+                bucket.extend(r.partitions[p])
+            shuffle.append(bucket)
+            shuffle_bytes.append(
+                sum(r.partition_bytes[p] for r in map_results))
+            shuffle_records.append(
+                sum(r.partition_records[p] for r in map_results))
 
         # --------------------------------------------------------- reduce
         reduce_args = [
@@ -422,6 +431,12 @@ def _execute_map_task(args: _MapTaskArgs) -> _MapTaskResult:
 
 
 # ------------------------------------------------------------ reduce tasks
+def _group_sort_key(group: Tuple[Hashable, List[Any]]) -> str:
+    """Sort key for reduce groups: the repr of the intermediate key
+    (module-level so reduce tasks stay picklable by reference)."""
+    return repr(group[0])
+
+
 def _execute_reduce_task(args: _ReduceTaskArgs
                          ) -> Tuple[List[KeyValue], float, Counters, CostLedger]:
     """Run one reduce task (module-level for the same reason as
@@ -441,18 +456,21 @@ def _execute_reduce_task(args: _ReduceTaskArgs
                       task_id=f"reduce-{args.partition}")
 
     # Group by key, then process groups in deterministic sorted order
-    # (Hadoop sorts intermediate keys before reducing).
+    # (Hadoop sorts intermediate keys before reducing).  The key order
+    # is materialized once per reduce task, up front, so the reduce
+    # loop is a plain walk over pre-sorted (key, values) groups.
     groups: Dict[Hashable, List[Any]] = {}
     for key, value in args.pairs:
         groups.setdefault(key, []).append(value)
     counters.increment(C.REDUCE_INPUT_GROUPS, len(groups))
     counters.increment(C.REDUCE_INPUT_RECORDS, len(args.pairs))
+    ordered_groups = sorted(groups.items(), key=_group_sort_key)
 
     reducer = conf.reducer
     output: List[KeyValue] = []
     reducer.setup(ctx)
-    for key in sorted(groups, key=repr):
-        for out in reducer.reduce(key, groups[key], ctx):
+    for key, values in ordered_groups:
+        for out in reducer.reduce(key, values, ctx):
             output.append(out)
     for out in reducer.cleanup(ctx):
         output.append(out)

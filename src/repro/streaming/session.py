@@ -47,7 +47,7 @@ from repro.core.earl import (
 from repro.core.estimators import StatisticLike, get_statistic
 from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
 from repro.core.ssabe import SSABEResult, estimate_parameters
-from repro.exec.executor import Executor, resolve_executor
+from repro.exec.executor import BroadcastHandle, Executor, resolve_executor
 from repro.util.rng import ensure_rng, spawn_child
 
 
@@ -97,20 +97,27 @@ class QueryHandle:
                 f"{self.statistic.name}, sigma={self.sigma}, {state})")
 
 
-def _offer_shared(args: Tuple[AccuracyEstimationStage, Any]
-                  ) -> AccuracyEstimate:
-    """Fan-out unit for shared-memory backends: mutate in place."""
-    stage, delta = args
-    return stage.offer(delta)
+def _offer_shared(args: Tuple[AccuracyEstimationStage, BroadcastHandle,
+                              int, int]) -> AccuracyEstimate:
+    """Fan-out unit for shared-memory backends: mutate in place.
+
+    The delta is a ``[lo, hi)`` slice of the session's broadcast
+    permuted-sample prefix — the one per-session copy every round
+    reads."""
+    stage, shared, lo, hi = args
+    return stage.offer(shared.value[lo:hi])
 
 
-def _offer_owned(args: Tuple[AccuracyEstimationStage, Any]
+def _offer_owned(args: Tuple[AccuracyEstimationStage, BroadcastHandle,
+                             int, int]
                  ) -> Tuple[AccuracyEstimationStage, AccuracyEstimate]:
     """Fan-out unit for process backends: the worker's mutated stage is
     shipped back and rebound by the caller (module-level so process
-    pools pickle it by reference)."""
-    stage, delta = args
-    estimate = stage.offer(delta)
+    pools pickle it by reference).  The sample itself never rides the
+    per-round task — workers hold it from the session's one broadcast
+    and slice the delta locally."""
+    stage, shared, lo, hi = args
+    estimate = stage.offer(shared.value[lo:hi])
     return stage, estimate
 
 
@@ -224,11 +231,11 @@ class SessionManager:
         rng = ensure_rng(cfg.seed)
         order = rng.permutation(N)  # the ONE shared sample
 
-        # ------------------------------------------------ shared pilot
-        pilot = data[order[:pilot_size_for(cfg, N)]]
-
         executor = resolve_executor(cfg)
+        shared = None
         try:
+            # ------------------------------------------ shared pilot
+            pilot = data[order[:pilot_size_for(cfg, N)]]
             # Two pre-spawned streams per query (SSABE, stage), so a
             # query's randomness is independent of submission of others
             # consuming theirs.
@@ -267,6 +274,23 @@ class SessionManager:
                     seed=stage_rng, executor=None)
                 active.append(query)
 
+            # Broadcast the shared sample ONCE for the whole session —
+            # every round's delta is a [lo, hi) slice of this handle,
+            # so shared-memory backends never copy it and a process
+            # pool receives it a single time (at worker spawn) instead
+            # of once per query per round.  Bounded by the most the
+            # expansion policy can consume (first target grown by
+            # expansion_factor for max_iterations - 1 rounds), so an
+            # early-stopping session over a huge dataset neither copies
+            # nor ships data it could never read.
+            if active:
+                bound = min(max(max(q.n for q in active), 2), N)
+                for _ in range(cfg.max_iterations - 1):
+                    if bound >= N:
+                        break
+                    bound = min(N, math.ceil(bound * cfg.expansion_factor))
+                shared = executor.broadcast(data[order[:bound]])
+
             consumed = 0
             for iteration in range(1, cfg.max_iterations + 1):
                 active = [q for q in active if not q.cancelled]
@@ -276,9 +300,9 @@ class SessionManager:
                           if consumed == 0 else
                           min(N, math.ceil(consumed
                                            * cfg.expansion_factor)))
-                delta = data[order[consumed:target]]
-                consumed = target
-                estimates = self._offer_round(executor, active, delta)
+                lo, consumed = consumed, target
+                estimates = self._offer_round(executor, active, shared,
+                                              lo, target)
                 still_active: List[QueryHandle] = []
                 for query, estimate in zip(active, estimates):
                     expand = (not estimate.meets(query.sigma)
@@ -314,16 +338,20 @@ class SessionManager:
         return {query.name: query.result for query in self._queries}
 
     # --------------------------------------------------------------- helpers
-    def _offer_round(self, executor: Executor,
-                     active: List[QueryHandle], delta) -> List[AccuracyEstimate]:
-        """Feed one shared delta to every active query's stage.
+    def _offer_round(self, executor: Executor, active: List[QueryHandle],
+                     shared: BroadcastHandle, lo: int,
+                     hi: int) -> List[AccuracyEstimate]:
+        """Feed one shared delta (``shared.value[lo:hi]``) to every
+        active query's stage.
 
         Fans out over the configured backend when it can pay off; the
         per-query RNG streams and ordered gather keep results
-        byte-identical across serial / threads / processes.
+        byte-identical across serial / threads / processes.  Tasks carry
+        only the broadcast handle plus slice bounds — the sample itself
+        was shipped once for the whole session.
         """
         if executor.is_parallel and len(active) > 1:
-            work = [(q.stage, delta) for q in active]
+            work = [(q.stage, shared, lo, hi) for q in active]
             if executor.shares_memory:
                 return executor.map(_offer_shared, work)
             pairs = executor.map(_offer_owned, work)
@@ -332,6 +360,7 @@ class SessionManager:
                 query.stage = stage  # rebind the worker's mutated copy
                 estimates.append(estimate)
             return estimates
+        delta = shared.value[lo:hi]
         return [q.stage.offer(delta) for q in active]
 
     def _snapshot(self, query: QueryHandle, accuracy: AccuracyEstimate,

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+import numpy as np
+
 
 class RunningStats:
     """Mean/variance accumulator supporting add, remove, and merge.
@@ -67,6 +69,49 @@ class RunningStats:
             self._m2 = 0.0
         self._count = count_new
         self._mean = mean_new
+
+    def add_values(self, values: "np.ndarray") -> None:
+        """Fold a whole batch in at once (Chan et al. merge of the
+        batch's moments).  Algebraically equal to adding the values one
+        by one; the reassociated arithmetic may differ from the scalar
+        loop in the last floating-point digits.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        m = values.size
+        if m == 0:
+            return
+        batch = RunningStats()
+        batch._count = int(m)
+        batch._mean = float(values.mean())
+        centred = values - batch._mean
+        batch._m2 = float(np.dot(centred, centred))
+        self.merge(batch)
+
+    def remove_values(self, values: "np.ndarray") -> None:
+        """Remove a whole batch of previously added values (inverse of
+        the Chan merge, the batch analogue of :meth:`remove`)."""
+        values = np.asarray(values, dtype=float).ravel()
+        m = values.size
+        if m == 0:
+            return
+        if m > self._count:
+            raise ValueError(
+                f"cannot remove {m} values from a RunningStats of "
+                f"{self._count}")
+        if m == self._count:
+            self._count, self._mean, self._m2 = 0, 0.0, 0.0
+            return
+        mean_b = float(values.mean())
+        centred = values - mean_b
+        m2_b = float(np.dot(centred, centred))
+        count_r = self._count - m
+        mean_r = (self._count * self._mean - m * mean_b) / count_r
+        delta = mean_b - mean_r
+        self._m2 -= m2_b + delta * delta * count_r * m / self._count
+        if self._m2 < 0.0:  # floating-point cancellation guard
+            self._m2 = 0.0
+        self._count = count_r
+        self._mean = mean_r
 
     def merge(self, other: "RunningStats") -> None:
         """Fold another accumulator into this one (Chan et al.)."""

@@ -1,0 +1,142 @@
+"""Batch-state equivalence: ``add_many``/``remove_many`` ≡ the scalar loop.
+
+The vectorized delta-maintenance kernel folds whole item batches into
+estimator states.  These property-style tests pin the contract that
+makes that safe: for every registered statistic, a batch operation
+leaves the state with the same item count and (up to floating-point
+reassociation) the same finalized value as the equivalent sequence of
+scalar ``add``/``remove`` calls — including the 2-D row-item case
+(``"correlation"``, whose items are (x, y) pairs).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    EstimatorState,
+    available_statistics,
+    get_statistic,
+)
+
+#: Statistics whose states need >= 2 items for a defined result.
+MIN_ITEMS = {"variance": 2, "std": 2, "correlation": 2}
+
+
+def _make_values(name: str, rng: np.random.Generator, size: int) -> np.ndarray:
+    """Random items for the statistic (rows for row-item statistics)."""
+    if get_statistic(name).row_items:
+        return rng.normal(size=(size, 2))
+    if name == "proportion":
+        return rng.integers(0, 2, size=size).astype(float)
+    return rng.lognormal(1.0, 0.7, size=size)
+
+
+def _filled(name: str, values: np.ndarray, *, batch: bool) -> EstimatorState:
+    state = get_statistic(name).make_state()
+    if batch:
+        state.add_many(values)
+    else:
+        for value in values:
+            state.add(value)
+    return state
+
+
+def _assert_same(name: str, a: EstimatorState, b: EstimatorState) -> None:
+    assert len(a) == len(b)
+    if len(a) >= MIN_ITEMS.get(name, 1):
+        assert a.result() == pytest.approx(b.result(), rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("name", available_statistics())
+@given(seed=st.integers(0, 2**16), size=st.integers(1, 60))
+@settings(max_examples=25, deadline=None)
+def test_add_many_matches_scalar_loop(name, seed, size):
+    values = _make_values(name, np.random.default_rng(seed), size)
+    _assert_same(name, _filled(name, values, batch=True),
+                 _filled(name, values, batch=False))
+
+
+@pytest.mark.parametrize("name", available_statistics())
+@given(seed=st.integers(0, 2**16), size=st.integers(2, 60),
+       frac=st.floats(0.1, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_remove_many_matches_scalar_loop(name, seed, size, frac):
+    rng = np.random.default_rng(seed)
+    values = _make_values(name, rng, size)
+    drop = max(1, min(size - MIN_ITEMS.get(name, 1), int(frac * size)))
+    victims = values[rng.choice(size, size=drop, replace=False)]
+
+    batch = _filled(name, values, batch=True)
+    batch.remove_many(victims)
+    scalar = _filled(name, values, batch=False)
+    for victim in victims:
+        scalar.remove(victim)
+    _assert_same(name, batch, scalar)
+
+
+@pytest.mark.parametrize("name", available_statistics())
+def test_interleaved_chunks_match_scalar_loop(name):
+    """Chunked adds with a removal batch in between — the shape of a
+    delta-maintenance iteration."""
+    rng = np.random.default_rng(7)
+    first = _make_values(name, rng, 40)
+    second = _make_values(name, rng, 25)
+    victims = first[rng.choice(40, size=10, replace=False)]
+
+    batch = get_statistic(name).make_state()
+    batch.add_many(first)
+    batch.remove_many(victims)
+    batch.add_many(second)
+
+    scalar = get_statistic(name).make_state()
+    for value in first:
+        scalar.add(value)
+    for victim in victims:
+        scalar.remove(victim)
+    for value in second:
+        scalar.add(value)
+    _assert_same(name, batch, scalar)
+
+
+@pytest.mark.parametrize("name", available_statistics())
+def test_empty_batches_are_noops(name):
+    values = _make_values(name, np.random.default_rng(3), 8)
+    state = _filled(name, values, batch=True)
+    before = (len(state), state.result())
+    empty = values[:0]
+    state.add_many(empty)
+    state.remove_many(empty)
+    assert (len(state), state.result()) == before
+
+
+def test_quantile_remove_many_missing_value_raises():
+    state = get_statistic("median").make_state()
+    state.add_many(np.array([1.0, 2.0, 2.0, 3.0]))
+    with pytest.raises(KeyError):
+        state.remove_many(np.array([2.0, 2.0, 2.0]))  # only two copies
+
+
+def test_moment_remove_many_underflow_raises():
+    state = get_statistic("mean").make_state()
+    state.add_many(np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        state.remove_many(np.array([1.0, 2.0, 3.0]))
+
+
+def test_correlation_add_many_requires_pairs():
+    state = get_statistic("correlation").make_state()
+    with pytest.raises(ValueError):
+        state.add_many(np.array([1.0, 2.0, 3.0]))
+
+
+def test_default_fallback_used_by_custom_states():
+    """Arbitrary (functional) states get the scalar-loop default."""
+    stat = get_statistic(lambda a: float(np.ptp(a)))
+    state = stat.make_state()
+    state.add_many(np.array([1.0, 5.0, 3.0]))
+    assert len(state) == 3
+    assert state.result() == pytest.approx(4.0)
+    state.remove_many(np.array([5.0]))
+    assert state.result() == pytest.approx(2.0)

@@ -186,6 +186,84 @@ class TestStatisticalValidity:
         assert mean_share == pytest.approx(500, abs=10)
 
 
+class TestVectorizedKernelEquivalence:
+    """The vectorized kernel must be a pure speed-up: same random
+    stream, same drawn items, same counters as the scalar reference."""
+
+    @pytest.mark.parametrize("mode", [MAINTENANCE_NAIVE,
+                                      MAINTENANCE_OPTIMIZED,
+                                      MAINTENANCE_NONE])
+    @pytest.mark.parametrize("statistic", ["mean", "median"])
+    def test_scalar_and_vectorized_draw_identical_items(
+            self, population, mode, statistic):
+        """Byte-identical stream: resample contents and counters match
+        exactly; estimates agree up to floating-point reassociation of
+        the state arithmetic."""
+        sets = {}
+        for vectorized in (False, True):
+            rs = ResampleSet(statistic, 12, maintenance=mode, seed=33,
+                             vectorized=vectorized)
+            rs.initialize(population[:600])
+            rs.expand(population[600:1400])
+            rs.expand(population[1400:2600])
+            sets[vectorized] = rs
+        scalar, vector = sets[False], sets[True]
+        assert scalar.counters == vector.counters
+        for r_scalar, r_vector in zip(scalar._resamples, vector._resamples):
+            assert len(r_scalar.segments) == len(r_vector.segments)
+            for seg_scalar, seg_vector in zip(r_scalar.segments,
+                                              r_vector.segments):
+                np.testing.assert_array_equal(
+                    np.asarray(seg_scalar, dtype=float),
+                    np.asarray(seg_vector, dtype=float))
+        np.testing.assert_allclose(scalar.estimates(), vector.estimates(),
+                                   rtol=1e-9)
+
+    def test_row_item_statistic_vectorized(self):
+        """2-D row items (correlation pairs) go through the same batch
+        kernel: identical drawn pairs, equivalent estimates."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=3000)
+        pairs = np.column_stack([x, 0.6 * x + rng.normal(size=3000)])
+        sets = {}
+        for vectorized in (False, True):
+            rs = ResampleSet("correlation", 10, maintenance="optimized",
+                             seed=21, vectorized=vectorized)
+            rs.initialize(pairs[:500])
+            rs.expand(pairs[500:1200])
+            rs.expand(pairs[1200:2600])
+            sets[vectorized] = rs
+        assert sets[False].counters == sets[True].counters
+        np.testing.assert_allclose(sets[False].estimates(),
+                                   sets[True].estimates(), rtol=1e-9)
+
+    def test_fig10_scenario_counters_pinned(self):
+        """The seeded Fig. 10 benchmark scenario must keep reporting
+        exactly these counters — they were captured from the scalar
+        item-at-a-time implementation, and the vectorized kernel's
+        stream-preserving design reproduces them bit for bit.  A change
+        here means the maintenance accounting (and therefore the
+        Fig. 6/Fig. 10 work comparisons) silently shifted."""
+        from repro.workloads import numeric_dataset
+
+        expected = {
+            MAINTENANCE_NONE: (7_200_000, 0, 0, 120),
+            MAINTENANCE_NAIVE: (1_928_176, 964_088, 0, 0),
+            MAINTENANCE_OPTIMIZED: (1_928_284, 2_683, 961_459, 0),
+        }
+        data = numeric_dataset(64_000, "lognormal", seed=1050)
+        for mode, want in expected.items():
+            rs = ResampleSet("mean", 30, maintenance=mode, seed=1051,
+                             io_scale=1000.0)
+            rs.initialize(data[:32000])
+            for lo, hi in [(32000, 40000), (40000, 48000),
+                           (48000, 56000), (56000, 64000)]:
+                rs.expand(data[lo:hi])
+            got = (rs.counters.state_ops, rs.counters.disk_accesses,
+                   rs.counters.sketch_draws, rs.counters.full_rebuilds)
+            assert got == want, f"{mode}: {got} != pinned {want}"
+
+
 class TestWorkAccounting:
     def test_maintenance_does_less_work_than_rebuild(self, population):
         n0, n1 = 2000, 4000

@@ -1,0 +1,80 @@
+"""CI gate: fail when kernel expand throughput regresses vs the baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py FRESH.json BASELINE.json [--tolerance 0.2]
+
+Compares a fresh ``benchmarks/bench_kernel.py`` report against the
+committed baseline (``benchmarks/BENCH_kernel.json``).  Raw items/sec
+is machine-dependent — CI runners are not the laptop that produced the
+baseline — so the gated quantity is the vectorized/scalar *speedup*
+ratio, which largely divides the machine out.  The gate fails when,
+for any (n, maintainer) pair present in both reports with
+``n >= --min-n`` (default 100 000), the fresh expand speedup falls more
+than ``tolerance`` (default 20%) below the baseline's.  Smaller sizes
+are reported but not gated: the optimized maintainer's ratio there is
+dominated by sketch-reload RNG cost, which does *not* scale uniformly
+across machines, so small-n ratios carry no stable regression signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_rows(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    return {(row["n"], row["mode"]): row for row in payload["results"]}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="just-measured report")
+    parser.add_argument("baseline", type=Path, help="committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup drop (default 0.2)")
+    parser.add_argument("--min-n", type=int, default=100_000,
+                        help="gate only sizes >= this n (smaller sizes "
+                             "are informational; default 100000)")
+    args = parser.parse_args(argv)
+
+    fresh = load_rows(args.fresh)
+    baseline = load_rows(args.baseline)
+    shared = sorted(set(fresh) & set(baseline))
+    gated = [key for key in shared if key[0] >= args.min_n]
+    if not gated:
+        print(f"error: no shared (n, mode) pairs with n >= {args.min_n}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in shared:
+        n, mode = key
+        got = fresh[key]["expand"]["speedup"]
+        want = baseline[key]["expand"]["speedup"]
+        floor = (1.0 - args.tolerance) * want
+        if key not in gated:
+            status = "info (below --min-n, not gated)"
+        elif got >= floor:
+            status = "ok"
+        else:
+            status = "REGRESSED"
+            failures.append(key)
+        print(f"n={n:>9,}  {mode:<9}  expand speedup {got:6.1f}x "
+              f"(baseline {want:.1f}x, floor {floor:.1f}x)  {status}")
+
+    if failures:
+        print(f"\nFAIL: expand throughput regressed >"
+              f"{args.tolerance:.0%} vs baseline for {failures}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no expand-speedup regression beyond "
+          f"{args.tolerance:.0%} on {len(gated)} gated measurement(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
