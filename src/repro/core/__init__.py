@@ -18,6 +18,7 @@ from repro.core.bootstrap import (
     bootstrap,
     bootstrap_cv_curve,
     bootstrap_cv_vs_n,
+    bootstrap_file,
     exact_bootstrap_count,
     theoretical_num_bootstraps,
 )
@@ -100,6 +101,7 @@ __all__ = [
     "estimate_record_count",
     # bootstrap / jackknife
     "bootstrap", "BootstrapResult", "bootstrap_cv_curve", "bootstrap_cv_vs_n",
+    "bootstrap_file",
     "exact_bootstrap_count", "theoretical_num_bootstraps",
     "jackknife", "JackknifeResult",
     "JackknifeEstimationStage", "JACKKNIFE_SAFE_STATISTICS",

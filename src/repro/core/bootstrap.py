@@ -194,6 +194,37 @@ def bootstrap(sample: Sequence[float], statistic: StatisticLike = "mean", *,
                            point_estimate=stat(data), n=n, B=B)
 
 
+def bootstrap_file(fs, path: str, statistic: StatisticLike = "mean", *,
+                   B: int = 30, seed: SeedLike = None,
+                   executor: Union[None, str, Executor] = None,
+                   chunk_b: int = DEFAULT_CHUNK_B,
+                   ledger=None,
+                   split_logical_bytes: Optional[int] = None,
+                   cached: bool = True) -> BootstrapResult:
+    """Monte-Carlo bootstrap of ``statistic`` over a simulated-HDFS file.
+
+    The columnar ingest entry point: the file's numeric column is
+    materialized through the filesystem's split cache
+    (:func:`repro.hdfs.read_numeric_column`), so an iterative driver
+    that bootstraps the same file repeatedly — the M3R regime of
+    caching deserialized inputs across the jobs of one session — pays
+    the newline scan and float parse once and replays the cached column
+    afterwards.  The *simulated* cost charged to ``ledger`` remains a
+    full scan per call either way, and ``cached=False`` pins the
+    scalar ingest reference.
+
+    Resampling semantics are exactly :func:`bootstrap`'s, including the
+    broadcast-once executor data plane for the sample itself.
+    """
+    from repro.hdfs.split_cache import read_numeric_column
+
+    sample = read_numeric_column(fs, path, ledger=ledger,
+                                 split_logical_bytes=split_logical_bytes,
+                                 cached=cached)
+    return bootstrap(sample, statistic, B=B, seed=seed,
+                     executor=executor, chunk_b=chunk_b)
+
+
 def bootstrap_cv_curve(sample: Sequence[float],
                        statistic: StatisticLike = "mean", *,
                        B_values: Optional[Sequence[int]] = None,

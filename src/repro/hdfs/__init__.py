@@ -19,10 +19,22 @@ from repro.hdfs.filesystem import HDFS
 from repro.hdfs.namenode import FileMeta, NameNode
 from repro.hdfs.record_reader import LineRecordReader
 from repro.hdfs.rebalancer import imbalance, rebalance, replica_counts
+from repro.hdfs.split_cache import (
+    CacheStats,
+    SplitIndex,
+    SplitIndexCache,
+    build_split_index,
+    read_numeric_column,
+)
 from repro.hdfs.splits import InputSplit, compute_splits
 
 __all__ = [
     "HDFS",
+    "CacheStats",
+    "SplitIndex",
+    "SplitIndexCache",
+    "build_split_index",
+    "read_numeric_column",
     "Block",
     "DataNode",
     "NameNode",

@@ -20,6 +20,7 @@ from repro.hdfs.errors import (
     ReplicationError,
 )
 from repro.hdfs.namenode import FileMeta, NameNode
+from repro.hdfs.split_cache import SplitIndexCache
 from repro.hdfs.splits import InputSplit, compute_splits
 from repro.util.rng import SeedLike, ensure_rng
 from repro.util.validation import check_positive_int
@@ -55,6 +56,33 @@ class HDFS:
         self.datanodes: Dict[str, DataNode] = {
             f"datanode-{i}": DataNode(f"datanode-{i}") for i in range(n_datanodes)
         }
+        #: Columnar ingest cache (newline indexes + decoded line columns)
+        #: shared by every reader/sampler over this filesystem; persists
+        #: across jobs and expansion iterations, invalidated on writes.
+        self.split_cache = SplitIndexCache()
+        #: Bumped on every namespace or availability change.  Consumers
+        #: that ship snapshots of this filesystem elsewhere (the job
+        #: engine's broadcast-once data plane) compare it to decide
+        #: whether a shipped copy is still current.
+        self.mutation_count = 0
+
+    # ----------------------------------------------------------------- pickle
+    def __getstate__(self) -> Dict:
+        """Ship the filesystem *without* its ingest cache.
+
+        The cache is a physical (wall-clock) accelerator holding data
+        derivable from the blocks; excluding it keeps broadcast/IPC
+        payloads lean, and each process-pool worker rebuilds its own
+        copy once per worker on first touch.
+        """
+        state = self.__dict__.copy()
+        state["split_cache"] = None
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        if self.__dict__.get("split_cache") is None:
+            self.split_cache = SplitIndexCache()
 
     # ------------------------------------------------------------------ nodes
     def healthy_datanodes(self) -> List[DataNode]:
@@ -63,9 +91,11 @@ class HDFS:
     def fail_datanode(self, node_id: str) -> None:
         """Mark one DataNode failed (its replicas become unreadable)."""
         self.datanodes[node_id].fail()
+        self.mutation_count += 1
 
     def recover_datanode(self, node_id: str) -> None:
         self.datanodes[node_id].recover()
+        self.mutation_count += 1
 
     # ------------------------------------------------------------------ write
     def write_bytes(self, path: str, data: bytes, *,
@@ -75,8 +105,12 @@ class HDFS:
         """Store ``data`` at ``path``, chunked into replicated blocks."""
         if self.namenode.exists(path) and overwrite:
             self.delete(path)
+        # Validation first: a refused write (path exists, no overwrite)
+        # must leave the cache and the mutation counter untouched.
         meta = self.namenode.create_file(path, logical_scale=logical_scale,
                                          overwrite=overwrite)
+        self.split_cache.invalidate(meta.path)
+        self.mutation_count += 1
         for chunk_start in range(0, len(data), self.block_size):
             chunk = data[chunk_start:chunk_start + self.block_size]
             block = self.namenode.allocate_block(meta, len(chunk))
@@ -163,6 +197,8 @@ class HDFS:
 
     def delete(self, path: str) -> None:
         meta = self.namenode.delete(path)
+        self.split_cache.invalidate(meta.path)
+        self.mutation_count += 1
         for block in meta.blocks:
             for node_id in block.replicas:
                 node = self.datanodes.get(node_id)

@@ -10,6 +10,18 @@ paper's sampling algorithms rely on (§3.3, Algorithm 2):
 * **Backtracking** — given an arbitrary byte position (pre-map sampling
   draws positions uniformly at random), back up to the beginning of the
   enclosing line before reading it.
+
+Two physical implementations share those semantics.  The scalar path
+scans for newlines on every call — the reference behaviour.  With
+``cached=True`` (the default) the reader serves both the full scan and
+the random probe from the filesystem's columnar
+:class:`~repro.hdfs.split_cache.SplitIndexCache`: the split's bytes are
+newline-indexed **once** and subsequent calls are array lookups.  The
+simulated :class:`~repro.cluster.costmodel.CostLedger` charges are
+byte-identical either way (the cache optimizes the simulator's wall
+clock, never the simulated cluster), and the cached path silently falls
+back to the scalar one whenever the split's region is not fully
+readable, so failure behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -18,26 +30,42 @@ from typing import Iterator, Optional, Tuple
 
 from repro.cluster.costmodel import CostLedger
 from repro.hdfs.filesystem import HDFS
+from repro.hdfs.split_cache import (
+    _find_backward_line_start,
+    _find_forward_newline,
+)
 from repro.hdfs.splits import InputSplit
-
-_NEWLINE = ord("\n")
-#: Window size used when scanning backwards for a line start.
-_BACKTRACK_CHUNK = 4096
 
 
 class LineRecordReader:
-    """Reads newline-delimited records from one input split."""
+    """Reads newline-delimited records from one input split.
+
+    ``cached=False`` pins the scalar newline-scanning reference
+    implementation (the equivalence tests run both and compare).
+    """
 
     def __init__(self, fs: HDFS, split: InputSplit, *,
-                 ledger: Optional[CostLedger] = None) -> None:
+                 ledger: Optional[CostLedger] = None,
+                 cached: bool = True) -> None:
         self._fs = fs
         self._split = split
         self._ledger = ledger
+        self._cached = cached
         self._file_size = fs.file_size(split.path)
 
     @property
     def split(self) -> InputSplit:
         return self._split
+
+    def _acquire_index(self):
+        """The split's columnar index, or ``None`` when the cache is
+        off, absent, or the region is not fully readable."""
+        if not self._cached:
+            return None
+        cache = getattr(self._fs, "split_cache", None)
+        if cache is None:
+            return None
+        return cache.acquire(self._fs, self._split)
 
     # ------------------------------------------------------------- full scan
     def read_records(self) -> Iterator[Tuple[int, str]]:
@@ -49,7 +77,20 @@ class LineRecordReader:
         """
         split = self._split
         if split.length == 0 or split.start >= self._file_size:
-            return
+            return iter(())
+        index = self._acquire_index()
+        if index is not None:
+            # Same simulated price as the scalar path's single
+            # read_range over [split.start, data_end).
+            if self._ledger is not None:
+                self._ledger.charge_seeks(1)
+                self._ledger.charge_disk_read(index.scan_scaled_bytes)
+            return iter(index.owned_records())
+        return self._read_records_scalar()
+
+    def _read_records_scalar(self) -> Iterator[Tuple[int, str]]:
+        """Reference implementation: scan the region for newlines."""
+        split = self._split
         # Hadoop reads the next line while the current position is <= the
         # split end (inclusive), so a line starting exactly at the
         # boundary belongs to this split and the next split skips it.
@@ -77,17 +118,14 @@ class LineRecordReader:
             pos = nl + 1
 
     def _find_line_end(self, position: int) -> int:
-        """First byte offset after the line containing ``position - 1``."""
-        pos = position
-        while pos < self._file_size:
-            chunk_end = min(pos + _BACKTRACK_CHUNK, self._file_size)
-            chunk = self._fs.read_range(self._split.path, pos, chunk_end,
-                                        ledger=None)
-            nl = chunk.find(b"\n")
-            if nl >= 0:
-                return pos + nl + 1
-            pos = chunk_end
-        return self._file_size
+        """First byte offset after the line containing ``position - 1``.
+
+        Shared with the index builder (one implementation of the
+        chunked boundary scan — see :mod:`repro.hdfs.split_cache`), so
+        the cached and scalar paths can never drift apart here.
+        """
+        return _find_forward_newline(self._fs, self._split.path, position,
+                                     self._file_size)
 
     # ------------------------------------------------------------ random probe
     def line_at(self, position: int) -> Tuple[int, str]:
@@ -100,6 +138,22 @@ class LineRecordReader:
         if not 0 <= position < self._file_size:
             raise ValueError(f"position {position} outside file of size "
                              f"{self._file_size}")
+        index = None
+        if self._split.start <= position < self._split.end:
+            index = self._acquire_index()
+        if index is not None and position < index.data_end:
+            entry = index.entry_of(position)
+            line = index.lines[entry]
+            if line is not None:
+                index.charge_probe(self._ledger, entry)
+                return int(index.starts[entry]), line
+            # Partial entry 0: the line begins before the region and its
+            # text was never decoded — read it the scalar way (rare, and
+            # always an ownership miss for the pre-map sampler).
+        return self._line_at_scalar(position)
+
+    def _line_at_scalar(self, position: int) -> Tuple[int, str]:
+        """Reference implementation: backtrack, then read the line."""
         start = self._find_line_start(position)
         end = self._find_line_end(start)
         raw = self._fs.read_range(self._split.path, start, end,
@@ -108,14 +162,8 @@ class LineRecordReader:
         return start, line
 
     def _find_line_start(self, position: int) -> int:
-        """Scan backwards from ``position`` to the start of its line."""
-        pos = position
-        while pos > 0:
-            chunk_start = max(0, pos - _BACKTRACK_CHUNK)
-            chunk = self._fs.read_range(self._split.path, chunk_start, pos,
-                                        ledger=None)
-            nl = chunk.rfind(b"\n")
-            if nl >= 0:
-                return chunk_start + nl + 1
-            pos = chunk_start
-        return 0
+        """Scan backwards from ``position`` to the start of its line
+        (the shared chunked boundary scan of
+        :mod:`repro.hdfs.split_cache`)."""
+        return _find_backward_line_start(self._fs, self._split.path,
+                                         position)

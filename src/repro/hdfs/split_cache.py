@@ -1,0 +1,470 @@
+"""Columnar newline-index cache for input splits (the ingest data plane).
+
+EARL's response-time advantage comes from touching only the sample, yet
+the scalar ingest path pays Python-level, record-at-a-time costs: the
+record reader scans for newlines on every read and pre-map sampling
+backtracks byte-by-byte per probe.  Following M3R (cache deserialized
+inputs across the jobs of an iterative driver) and Shark (columnar
+in-memory layout makes re-scans cheap), this module indexes a split's
+bytes **once** — ``np.frombuffer``/``np.flatnonzero`` over the raw
+buffer — into columnar arrays:
+
+* ``starts``      — line-start offsets (absolute file coordinates),
+* ``lines``       — the decoded text column,
+* ``seek_counts`` / ``scaled_bytes`` — per-line *simulated* probe
+  charges, precomputed so cached probes charge the
+  :class:`~repro.cluster.costmodel.CostLedger` bit-for-bit what the
+  scalar path charges.
+
+The cache changes **where the wall-clock goes, never what is simulated**:
+ledger charges, sampled record sets and estimates are byte-identical
+with the cache on or off (the ``cached=False`` toggle on the record
+reader and samplers preserves the scalar reference, mirroring PR 3's
+``vectorized=`` toggle).  A :class:`SplitIndexCache` hangs off every
+:class:`~repro.hdfs.filesystem.HDFS` instance, is invalidated when a
+path is rewritten or deleted, survives across the expansion iterations
+of the iterative drivers (zero re-parse of already-cached splits), and
+is dropped from pickles so a process-pool worker builds its own copy
+once per worker — not once per task — via the broadcast-once fs.
+
+Availability contract: an index is only served while every block of its
+region is still readable; after a DataNode failure :meth:`acquire`
+returns ``None`` and callers fall back to the scalar path, so failure
+behaviour (including mid-read ``BlockUnavailableError``) is exactly the
+scalar path's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.costmodel import CostLedger
+from repro.hdfs.errors import BlockUnavailableError
+from repro.hdfs.splits import InputSplit
+
+#: Window size used when scanning for line boundaries at build time
+#: (same constant as the scalar reader's backtracking).
+_SCAN_CHUNK = 4096
+_NEWLINE = 10  # ord("\n")
+
+
+@dataclass
+class CacheStats:
+    """Physical-plane counters of one :class:`SplitIndexCache`.
+
+    These count *wall-clock* work (index builds, cache hits), not
+    simulated time — the integration tests use them to assert that
+    expansion iteration >= 2 performs zero re-parse of already-cached
+    splits.
+    """
+
+    materializations: int = 0
+    hits: int = 0
+    fallbacks: int = 0
+    invalidations: int = 0
+    block_materializations: int = 0
+    block_hits: int = 0
+
+
+@dataclass
+class SplitIndex:
+    """Columnar view of one split's region ``[split.start, data_end)``.
+
+    ``data_end`` is the scalar reader's over-read bound: one byte past
+    the newline that completes the line containing the split end (or
+    EOF).  Entry 0 starts at ``split.start``; when the split begins
+    mid-line its true line start is ``prefix_start`` (< ``split.start``)
+    and entry 0's text is ``None`` — such probes are ownership misses,
+    so the partial text is never needed (and, split boundaries being
+    byte offsets, might not even be valid UTF-8 to decode).
+    """
+
+    path: str
+    split_start: int
+    split_end: int
+    end_limit: int
+    data_end: int
+    file_size: int
+    logical_scale: float
+    prefix_start: int
+    #: Absolute line-start offset per entry (entry 0 == ``split_start``).
+    starts: np.ndarray
+    #: One past each entry's terminating newline (``data_end`` for an
+    #: unterminated tail).
+    ends: np.ndarray
+    #: Decoded text per entry (``None`` for a partial entry 0).
+    lines: List[Optional[str]]
+    #: Simulated random-probe seek count per entry:
+    #: ``1 + max(0, blocks_spanned - 1)`` over ``[charge_start, end)``.
+    seek_counts: np.ndarray
+    #: Simulated probe read volume per entry:
+    #: ``(end - charge_start) * logical_scale``.
+    scaled_bytes: np.ndarray
+    #: Entries a pre-map probe may accept: line start owned by the
+    #: split and text non-empty.
+    acceptable: np.ndarray
+    #: Index of the first entry ``read_records`` yields (0 when the
+    #: split starts at byte 0, else 1 — Hadoop's skip-first-line rule).
+    first_owned: int
+    #: Lazily built ``(offset, line)`` pairs for cached full scans.
+    _owned_pairs: Optional[List[Tuple[int, str]]] = field(
+        default=None, repr=False)
+
+    # ------------------------------------------------------------- full scan
+    @property
+    def scan_scaled_bytes(self) -> float:
+        """Simulated volume of one full scan of the region — what the
+        scalar ``read_records`` charges for its single ``read_range``."""
+        return (self.data_end - self.split_start) * self.logical_scale
+
+    def owned_records(self) -> List[Tuple[int, str]]:
+        """The ``(byte_offset, line)`` records ``read_records`` yields.
+
+        Built once, then served as-is: repeated scans of a cached split
+        (every EARL expansion iteration re-reads its splits) cost a list
+        iteration instead of a newline scan plus per-line decode.
+        """
+        if self._owned_pairs is None:
+            starts = self.starts
+            keep = []
+            for i in range(self.first_owned, len(starts)):
+                start = int(starts[i])
+                if start > self.end_limit:
+                    break
+                keep.append((start, self.lines[i]))
+            self._owned_pairs = keep
+        return self._owned_pairs
+
+    # ---------------------------------------------------------- random probe
+    def entry_of(self, position: int) -> int:
+        """Entry index of the line containing ``position`` (which must
+        lie inside ``[split_start, data_end)``)."""
+        return int(np.searchsorted(self.starts, position, side="right")) - 1
+
+    def entries_of(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`entry_of` for a batch of probe offsets."""
+        return np.searchsorted(self.starts, positions, side="right") - 1
+
+    def charge_probe(self, ledger: Optional[CostLedger], entry: int) -> None:
+        """Charge one random probe of ``entry`` exactly as the scalar
+        ``line_at`` does: seeks first, then the scaled line volume."""
+        if ledger is not None:
+            ledger.charge_seeks(int(self.seek_counts[entry]))
+            ledger.charge_disk_read(float(self.scaled_bytes[entry]))
+
+
+def _find_forward_newline(fs, path: str, position: int, size: int) -> int:
+    """First byte offset after the line containing ``position - 1``
+    (the scalar reader's ``_find_line_end``, uncharged)."""
+    pos = position
+    while pos < size:
+        chunk_end = min(pos + _SCAN_CHUNK, size)
+        chunk = fs.read_range(path, pos, chunk_end, ledger=None)
+        nl = chunk.find(b"\n")
+        if nl >= 0:
+            return pos + nl + 1
+        pos = chunk_end
+    return size
+
+
+def _find_backward_line_start(fs, path: str, position: int) -> int:
+    """Start of the line containing ``position`` (the scalar reader's
+    ``_find_line_start``, uncharged)."""
+    pos = position
+    while pos > 0:
+        chunk_start = max(0, pos - _SCAN_CHUNK)
+        chunk = fs.read_range(path, chunk_start, pos, ledger=None)
+        nl = chunk.rfind(b"\n")
+        if nl >= 0:
+            return chunk_start + nl + 1
+        pos = chunk_start
+    return 0
+
+
+def build_split_index(fs, split: InputSplit) -> SplitIndex:
+    """Scan a split's region once and return its columnar index.
+
+    All reads here are physical only (``ledger=None``): the simulated
+    charges stay attached to the *operations* (scans, probes) so cached
+    and scalar runs price identically.  Raises
+    :class:`~repro.hdfs.errors.BlockUnavailableError` exactly where a
+    scalar full read of the region would.
+    """
+    meta = fs.namenode.get(split.path)
+    file_size = meta.size
+    end_limit = min(split.end, file_size)
+    data_end = _find_forward_newline(fs, split.path, end_limit, file_size)
+    raw = fs.read_range(split.path, split.start, data_end, ledger=None)
+    arr = np.frombuffer(raw, dtype=np.uint8)
+    nl_rel = np.flatnonzero(arr == _NEWLINE)
+
+    # Line starts: the region head plus every newline successor that is
+    # still inside the region.
+    succ = nl_rel + 1
+    succ = succ[succ < len(raw)]
+    starts = np.concatenate(([0], succ)).astype(np.int64) + split.start
+
+    # Entry i is terminated by newline i (when it exists); the last
+    # entry may be an unterminated tail ending at data_end == EOF.
+    n = len(starts)
+    ends = np.empty(n, dtype=np.int64)
+    terminated = min(n, len(nl_rel))
+    ends[:terminated] = nl_rel[:terminated] + 1 + split.start
+    ends[terminated:] = data_end
+
+    # Where does the line containing the region head actually begin?
+    if split.start == 0:
+        prefix_start = 0
+    else:
+        head = fs.read_range(split.path, split.start - 1, split.start,
+                             ledger=None)
+        prefix_start = split.start if head == b"\n" \
+            else _find_backward_line_start(fs, split.path, split.start - 1)
+
+    # Decode the text column.  Entry 0 is decoded only when the region
+    # head is a true line start; a mid-line head may cut a multi-byte
+    # character, and the scalar path never decodes that prefix either.
+    lines: List[Optional[str]] = []
+    if n:
+        first_nl = int(nl_rel[0]) if len(nl_rel) else len(raw)
+        if prefix_start == split.start:
+            lines.append(raw[:first_nl].decode("utf-8"))
+        else:
+            lines.append(None)
+        if n > 1:
+            body = raw[first_nl + 1:].decode("utf-8")
+            pieces = body.split("\n")
+            # A region ending in "\n" yields a phantom empty final piece
+            # whose start would be data_end — not an entry; slicing to
+            # the n - 1 real entries drops it either way.
+            lines.extend(pieces[:n - 1])
+
+    # Simulated probe charges per entry, matching the scalar line_at's
+    # read_range(start, end, sequential=False): the charged range starts
+    # at the *line* start (prefix_start for a partial entry 0).
+    charge_starts = starts.copy()
+    if n and prefix_start != split.start:
+        charge_starts[0] = prefix_start
+    block_offsets = np.array([b.offset for b in meta.blocks], dtype=np.int64)
+    lo = np.searchsorted(block_offsets, charge_starts, side="right") - 1
+    hi = np.searchsorted(block_offsets, ends - 1, side="right") - 1
+    seek_counts = 1 + np.maximum(0, hi - lo)
+    scaled_bytes = (ends - charge_starts) * meta.logical_scale
+
+    acceptable = (charge_starts >= split.start) \
+        & np.array([bool(t) for t in lines], dtype=bool)
+
+    return SplitIndex(
+        path=split.path, split_start=split.start, split_end=split.end,
+        end_limit=end_limit, data_end=data_end, file_size=file_size,
+        logical_scale=meta.logical_scale, prefix_start=prefix_start,
+        starts=starts, ends=ends, lines=lines, seek_counts=seek_counts,
+        scaled_bytes=scaled_bytes, acceptable=acceptable,
+        first_owned=0 if split.start == 0 else 1)
+
+
+class SplitIndexCache:
+    """Per-filesystem cache of :class:`SplitIndex` objects.
+
+    Keyed by ``(path, split.start, split.length)``; entries live until
+    the path is rewritten or deleted.  The cache is deliberately *not*
+    pickled with its filesystem: a process-pool worker that receives the
+    fs through the executor's broadcast plane builds its own indexes
+    once per worker and reuses them across every task and wave it runs.
+    """
+
+    def __init__(self) -> None:
+        self._indexes: Dict[Tuple[str, int, int], SplitIndex] = {}
+        self._block_lines: Dict[Tuple[str, int], List[str]] = {}
+        #: Default-parser numeric columns per path (read-only arrays),
+        #: so repeated whole-file ingests also skip the float parse.
+        self._columns: Dict[str, np.ndarray] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------ split view
+    def lookup(self, split: InputSplit) -> Optional[SplitIndex]:
+        """The cached index for ``split``, if any (no build, no checks)."""
+        return self._indexes.get((split.path, split.start, split.length))
+
+    def acquire(self, fs, split: InputSplit) -> Optional[SplitIndex]:
+        """Index for ``split``, building it on first touch.
+
+        Returns ``None`` when the region cannot be served safely — some
+        block of ``[prefix_start, data_end)`` is unreadable — in which
+        case the caller must take the scalar path, whose behaviour under
+        failures (partial probe success, mid-read errors) is the
+        reference.
+        """
+        key = (split.path, split.start, split.length)
+        index = self._indexes.get(key)
+        if index is not None:
+            if self._region_available(fs, index):
+                self.stats.hits += 1
+                return index
+            self.stats.fallbacks += 1
+            return None
+        try:
+            index = build_split_index(fs, split)
+        except BlockUnavailableError:
+            self.stats.fallbacks += 1
+            return None
+        self._indexes[key] = index
+        self.stats.materializations += 1
+        return index
+
+    @staticmethod
+    def _region_available(fs, index: SplitIndex) -> bool:
+        """Whether every block the *scalar* path could touch is readable.
+
+        The scalar reference scans line boundaries in ``_SCAN_CHUNK``
+        windows, so its reads can overrun the region by up to one chunk
+        on either side (a forward scan past ``data_end``, a backward
+        scan below ``prefix_start``).  The availability window covers
+        that overrun too: the cache is served only when the scalar path
+        could not possibly have raised, and falls back — to the scalar
+        path itself, hence byte-identically — otherwise.
+        """
+        meta = fs.namenode.get(index.path)
+        if meta.size != index.file_size:
+            return False  # path rewritten underneath the cache key
+        lo = max(0, index.prefix_start - _SCAN_CHUNK - 1)
+        hi = min(index.file_size, index.data_end + _SCAN_CHUNK)
+        if lo >= hi:
+            return True
+        blocks = fs.namenode.blocks_for_range(meta, lo, hi)
+        return all(fs.block_available(b) for b in blocks)
+
+    # ------------------------------------------------------------ block view
+    def block_lines(self, fs, path: str, block) -> Optional[List[str]]:
+        """Decoded whole lines of one block, with the block sampler's
+        edge rule (partial first/last lines dropped, empties dropped).
+
+        Returns ``None`` when the block is unreadable — callers fall
+        back to the scalar read, which raises where the reference does.
+        """
+        key = (path, block.block_id)
+        cached = self._block_lines.get(key)
+        if cached is not None:
+            if fs.block_available(block):
+                self.stats.block_hits += 1
+                return cached
+            self.stats.fallbacks += 1
+            return None
+        meta = fs.namenode.get(path)
+        try:
+            data = fs.read_range(path, block.offset, block.end, ledger=None)
+        except BlockUnavailableError:
+            self.stats.fallbacks += 1
+            return None
+        lines = trim_block_lines(data, block.offset, block.end, meta.size)
+        self._block_lines[key] = lines
+        self.stats.block_materializations += 1
+        return lines
+
+    # ----------------------------------------------------------- column view
+    def column_lookup(self, path: str) -> Optional[np.ndarray]:
+        """The cached default-parser numeric column of ``path``, if any."""
+        return self._columns.get(path)
+
+    def store_column(self, path: str, column: np.ndarray) -> None:
+        """Cache a whole-file numeric column (kept read-only: it is
+        handed out by reference on every later ingest)."""
+        column.setflags(write=False)
+        self._columns[path] = column
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate(self, path: str) -> None:
+        """Drop every cached view of ``path`` (called on write/delete)."""
+        stale = [k for k in self._indexes if k[0] == path]
+        stale_blocks = [k for k in self._block_lines if k[0] == path]
+        for k in stale:
+            del self._indexes[k]
+        for k in stale_blocks:
+            del self._block_lines[k]
+        had_column = self._columns.pop(path, None) is not None
+        if stale or stale_blocks or had_column:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self._indexes.clear()
+        self._block_lines.clear()
+        self._columns.clear()
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+
+def trim_block_lines(data: bytes, offset: int, end: int,
+                     file_size: int) -> List[str]:
+    """Decode one block's bytes into its whole lines.
+
+    The block sampler's edge rule, shared by the cached and the scalar
+    path so the two can never drift apart: partial lines at block
+    boundaries are dropped (a block sampler does not coordinate with
+    its neighbours), as are empty lines.  Strict UTF-8, like the scalar
+    whole-block read: a boundary that cuts a multi-byte character
+    raises on both paths.
+    """
+    lines = data.decode("utf-8").split("\n")
+    if offset != 0:
+        lines = lines[1:]
+    if end != file_size:
+        lines = lines[:-1]
+    return [line for line in lines if line]
+
+
+def read_numeric_column(fs, path: str, *,
+                        ledger: Optional[CostLedger] = None,
+                        split_logical_bytes: Optional[int] = None,
+                        parser: Optional[Callable[[str], float]] = None,
+                        cached: bool = True) -> np.ndarray:
+    """Materialize a newline-delimited file as one numeric column.
+
+    The columnar ingest entry point for the in-memory engines
+    (:func:`repro.core.bootstrap.bootstrap_file`,
+    :meth:`repro.streaming.SessionManager.from_hdfs`): every split is
+    read through the cached record reader, and for the default parser
+    the finished float column itself is cached per path — a *second*
+    ingest of the same file (another bootstrap, another session)
+    neither decodes nor re-parses anything, it replays the cached
+    column (M3R-style reuse).  The returned array is read-only when it
+    comes from the cache.  Simulated cost is a full scan on *every*
+    call either way, charged to ``ledger``.
+
+    ``parser`` converts one line to a float (default: ``float`` itself,
+    vectorized through numpy; custom parsers bypass the column cache).
+    """
+    from repro.hdfs.record_reader import LineRecordReader
+
+    cache = getattr(fs, "split_cache", None) if cached else None
+    splits = fs.get_splits(path, split_logical_bytes)
+    hit = cache.column_lookup(path) \
+        if cache is not None and parser is None else None
+    if hit is not None:
+        # Replay the scan's simulated charges (and its failure
+        # behaviour — an unreadable region raises here exactly as the
+        # uncached walk would) without rebuilding the column.
+        for split in splits:
+            reader = LineRecordReader(fs, split, ledger=ledger, cached=True)
+            for _ in reader.read_records():
+                pass
+        return hit
+
+    columns: List[np.ndarray] = []
+    for split in splits:
+        reader = LineRecordReader(fs, split, ledger=ledger, cached=cached)
+        lines = [line for _, line in reader.read_records()]
+        if not lines:
+            continue
+        if parser is None:
+            columns.append(np.asarray(lines, dtype=float))
+        else:
+            columns.append(np.array([parser(line) for line in lines],
+                                    dtype=float))
+    column = np.concatenate(columns) if columns else np.empty(0, dtype=float)
+    if cache is not None and parser is None:
+        cache.store_column(path, column)
+    return column

@@ -38,7 +38,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.costmodel import CostLedger
 from repro.cluster.scheduler import schedule_tasks
-from repro.exec.executor import Executor
+from repro.exec.executor import BroadcastHandle, Executor, broadcast_value
 from repro.hdfs.errors import BlockUnavailableError
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.record_reader import LineRecordReader
@@ -88,15 +88,27 @@ class RecordSource(Protocol):
 
 
 class FullScanSource:
-    """Default record source: read every line of the split."""
+    """Default record source: read every line of the split.
+
+    ``cached=True`` (the default) scans through the filesystem's
+    columnar split cache: a split's bytes are newline-indexed and
+    decoded once, and every later scan of the same split — another job
+    of an iterative driver, another wave on the same pool worker — is a
+    list replay.  Simulated charges and records are byte-identical to
+    the scalar scan (``cached=False``).
+    """
 
     scales_with_file = True
     #: Pure function of (fs, split): safe on every backend.
     parallel_safe = True
 
+    def __init__(self, cached: bool = True) -> None:
+        self.cached = cached
+
     def read(self, fs: HDFS, split: InputSplit, ledger: CostLedger,
              rng: np.random.Generator) -> Iterator[KeyValue]:
-        reader = LineRecordReader(fs, split, ledger=ledger)
+        reader = LineRecordReader(fs, split, ledger=ledger,
+                                  cached=self.cached)
         return iter(reader.read_records())
 
 
@@ -139,14 +151,15 @@ class _MapTaskArgs:
     """Everything one map task needs, bundled so the task is a pure
     picklable function of its arguments (a process-pool requirement).
 
-    Cost note: on the ``processes`` backend every task pickles its
-    ``fs`` (the whole simulated HDFS) and ``conf``, so IPC grows with
-    stored bytes times split count.  Stand-in files keep stored bytes
-    laptop-sized, which keeps this affordable; for map waves over large
-    actual data prefer ``threads`` (shared memory) until a
-    shared-fs/worker-initializer scheme lands (see DESIGN.md §3)."""
+    ``fs`` may be the filesystem itself or a
+    :class:`~repro.exec.BroadcastHandle` wrapping it: when a map wave
+    fans out over a process pool, :class:`JobClient` broadcasts the fs
+    once for the wave, so each worker receives it a single time (at
+    pool construction) instead of unpickling the whole simulated HDFS
+    per task — and the worker's copy keeps its own split cache warm
+    across every task and wave it runs."""
 
-    fs: HDFS
+    fs: Any  # HDFS | BroadcastHandle[HDFS]
     ledger: CostLedger
     conf: JobConf
     source: RecordSource
@@ -190,6 +203,37 @@ class JobClient:
                  executor: Optional[Executor] = None) -> None:
         self.cluster = cluster
         self.executor = executor
+        #: Cached fs broadcast for the non-shared-memory backends,
+        #: keyed by fs identity + mutation count — reused across waves
+        #: and runs so a process pool ships (and forks around) the
+        #: filesystem once, not once per wave.
+        self._fs_broadcast: Optional[BroadcastHandle] = None
+        self._fs_broadcast_key: Optional[tuple] = None
+
+    def _broadcast_fs(self, fs: HDFS) -> BroadcastHandle:
+        """The executor-resident copy of ``fs`` for parallel map waves.
+
+        Broadcast once and reused while the filesystem is unchanged;
+        any namespace/availability mutation (``fs.mutation_count``)
+        retires the stale copy and ships a fresh one, so workers never
+        read outdated state.  The handle lives until the executor is
+        closed (one payload per client — nothing accumulates), which is
+        what lets pool workers keep their split caches warm across
+        waves and across the runs of an iterative driver.
+        """
+        version = getattr(fs, "mutation_count", None)
+        # id(fs) is stable while the cached entry lives: the broadcast
+        # handle itself keeps the old fs referenced, so its id cannot
+        # be recycled before the entry is replaced.
+        key = (id(fs), version)
+        if self._fs_broadcast is None \
+                or self._fs_broadcast_key != key \
+                or version is None:
+            if self._fs_broadcast is not None:
+                self.executor.release(self._fs_broadcast)
+            self._fs_broadcast = self.executor.broadcast(fs)
+            self._fs_broadcast_key = key
+        return self._fs_broadcast
 
     # ------------------------------------------------------------------ run
     def run(self, conf: JobConf, *,
@@ -237,13 +281,26 @@ class JobClient:
         # ----------------------------------------------------------- map
         skipped_logical = 0
         total_logical = sum(s.logical_length for s in splits) or 1
+        map_parallel = wave_parallelizable(conf, source, self.executor,
+                                           reduce_side=False)
+        # Broadcast-once data plane for the wave's one large shared
+        # input: on a process pool the whole simulated HDFS ships to
+        # each worker a single time (at pool construction) instead of
+        # being pickled into every map task, and the worker-resident
+        # copy keeps its split cache warm across tasks, waves and runs
+        # (the handle is cached on the client while the fs is
+        # unchanged).  Shared-memory backends resolve it to a zero-copy
+        # reference.
+        fs_arg: Any = fs
+        if map_parallel and not self.executor.shares_memory:
+            fs_arg = self._broadcast_fs(fs)
         map_args = [
-            _MapTaskArgs(fs=fs, ledger=self.cluster.new_ledger(), conf=conf,
-                         source=source, split=split, rng=task_rngs[i],
-                         record_scale=record_scale, warm_start=warm_start)
+            _MapTaskArgs(fs=fs_arg, ledger=self.cluster.new_ledger(),
+                         conf=conf, source=source, split=split,
+                         rng=task_rngs[i], record_scale=record_scale,
+                         warm_start=warm_start)
             for i, split in enumerate(splits)]
-        if wave_parallelizable(conf, source, self.executor,
-                               reduce_side=False):
+        if map_parallel:
             map_results = self.executor.map(_execute_map_task, map_args)
         else:
             map_results = [_execute_map_task(args) for args in map_args]
@@ -345,7 +402,7 @@ def _execute_map_task(args: _MapTaskArgs) -> _MapTaskResult:
     ``args`` and everything it produces leaves in the result — there is
     no hidden driver state, which is what makes the fan-out safe.
     """
-    fs = args.fs
+    fs = broadcast_value(args.fs)
     conf = args.conf
     split = args.split
     ledger = args.ledger

@@ -17,39 +17,55 @@ import numpy as np
 
 from repro.cluster.costmodel import CostLedger
 from repro.hdfs.filesystem import HDFS
+from repro.hdfs.split_cache import trim_block_lines
 from repro.util.rng import SeedLike, ensure_rng
 from repro.util.validation import check_positive_int
 
 
 def sample_blocks(fs: HDFS, path: str, n_lines: int, *,
                   seed: SeedLike = None,
-                  ledger: Optional[CostLedger] = None) -> List[str]:
+                  ledger: Optional[CostLedger] = None,
+                  cached: bool = True) -> List[str]:
     """Collect ≈ ``n_lines`` lines by reading whole random blocks.
 
-    Blocks are drawn without replacement in random order until the line
+    Blocks are drawn without replacement in random order — the block
+    order is one batch draw (a single permutation) — until the line
     quota is met; the final block is consumed entirely (block sampling
     cannot stop mid-block without paying the read anyway — that is its
     selling point and its curse).
+
+    ``cached=True`` serves each block's decoded line list from the
+    filesystem's :class:`~repro.hdfs.split_cache.SplitIndexCache`, so
+    repeated samples over the same file (e.g. the bias ablation's
+    trials) split and decode every block once.  Simulated charges and
+    returned lines are byte-identical to the scalar read
+    (``cached=False``), and unreadable blocks fall back to it.
     """
     check_positive_int("n_lines", n_lines)
     rng = ensure_rng(seed)
     meta = fs.namenode.get(path)
     if not meta.blocks:
         return []
+    cache = getattr(fs, "split_cache", None) if cached else None
     order = rng.permutation(len(meta.blocks))
     collected: List[str] = []
     for block_pos in order:
         block = meta.blocks[int(block_pos)]
-        data = fs.read_range(path, block.offset, block.end, ledger=ledger)
-        text = data.decode("utf-8")
-        # Partial lines at block boundaries are dropped: unlike a record
-        # reader, the block sampler does not coordinate with neighbours.
-        lines = text.split("\n")
-        if block.offset != 0:
-            lines = lines[1:]
-        if block.end != meta.size:
-            lines = lines[:-1]
-        collected.extend(line for line in lines if line)
+        lines = cache.block_lines(fs, path, block) \
+            if cache is not None else None
+        if lines is not None:
+            # Same simulated price as the scalar whole-block read.
+            if ledger is not None:
+                ledger.charge_seeks(1)
+                ledger.charge_disk_read(block.length * meta.logical_scale)
+            collected.extend(lines)
+        else:
+            data = fs.read_range(path, block.offset, block.end, ledger=ledger)
+            # One shared edge rule with the cached path (partial
+            # boundary lines dropped, empties dropped) — see
+            # :func:`repro.hdfs.split_cache.trim_block_lines`.
+            collected.extend(trim_block_lines(data, block.offset,
+                                              block.end, meta.size))
         if len(collected) >= n_lines:
             break
     return collected

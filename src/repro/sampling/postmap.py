@@ -38,9 +38,11 @@ class PostMapSampler:
     parallel_safe = False
 
     def __init__(self, fs: HDFS, path: str, *,
-                 split_logical_bytes: Optional[int] = None) -> None:
+                 split_logical_bytes: Optional[int] = None,
+                 cached: bool = True) -> None:
         self._fs = fs
         self._path = path
+        self._cached = cached
         self._splits: List[InputSplit] = fs.get_splits(path, split_logical_bytes)
         #: split index -> all (offset, line) records, loaded lazily once.
         self._cache: Dict[int, List[Tuple[int, str]]] = {}
@@ -96,7 +98,13 @@ class PostMapSampler:
                     rng: np.random.Generator) -> List[Tuple[int, str]]:
         if split.index in self._cache:
             return self._cache[split.index]
-        reader = LineRecordReader(self._fs, split, ledger=ledger)
+        # ``cached=True`` loads through the filesystem's columnar split
+        # cache (one newline scan + decode per split, shared with every
+        # other reader over the same fs); ``cached=False`` is the scalar
+        # newline-scanning reference.  Records, their order and the
+        # simulated charges are byte-identical either way.
+        reader = LineRecordReader(self._fs, split, ledger=ledger,
+                                  cached=self._cached)
         records = list(reader.read_records())
         # Parsing every stored record costs CPU proportional to the
         # *logical* record count, exactly like a full scan.
@@ -104,8 +112,10 @@ class PostMapSampler:
         ledger.charge_cpu_records(len(records) * meta.logical_scale)
         # Pre-shuffle once: prefixes of a random permutation are uniform
         # samples without replacement, and the order is frozen so sample
-        # expansion extends (never resamples) the released prefix.
+        # expansion extends (never resamples) the released prefix.  The
+        # permutation is a single batch draw; applying it via a list of
+        # native ints keeps the hot loop free of per-item conversions.
         order = rng.permutation(len(records))
-        shuffled = [records[int(i)] for i in order]
+        shuffled = [records[i] for i in order.tolist()]
         self._cache[split.index] = shuffled
         return shuffled

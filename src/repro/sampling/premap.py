@@ -8,6 +8,32 @@ not already included (a per-split set of line-start offsets — the paper's
 *sample*, not the file, which is what makes EARL's response times beat a
 full scan (Fig. 5, Fig. 9).
 
+Two physical implementations share Algorithm 2's semantics.  The scalar
+reference (``batched=False``) probes one offset at a time through the
+record reader's backtracking.  The batched default draws whole blocks of
+offsets per split from the same RNG stream, maps them to line ids
+through the split's columnar newline index
+(:mod:`repro.hdfs.split_cache`) with ``np.searchsorted``, and dedups
+against a boolean inclusion mask instead of per-offset set probes.
+
+RNG-order contract: NumPy's bounded-integer generation consumes the
+PCG64 stream identically for ``rng.integers(lo, hi, size=k)`` and ``k``
+scalar draws, and each batch is sized ``min(outstanding quota,
+misses till exhaustion)`` — so quota fill and the 200-consecutive-miss
+exhaustion can only land exactly on a batch boundary.  The batched
+sampler therefore consumes *exactly* the variates the scalar loop
+would: included-line sets, exhaustion behaviour, per-probe
+:class:`~repro.cluster.costmodel.CostLedger` charges and even the
+generator's end state are byte-identical for any seed (pinned by
+``tests/sampling/test_batched_equivalence.py``).  The equivalence
+assumes :meth:`PreMapSampler.read`'s iterator is drained, as the map
+engine always does: batched draws and their charges are committed a
+batch at a time, so a consumer that abandons the iterator mid-batch
+has already paid (and consumed RNG for) the rest of that batch, where
+the scalar loop would have stopped at the last consumed probe.  When a
+split's region is not fully readable the batched path falls back to
+the scalar loop, so failure behaviour is unchanged too.
+
 Trade-off faithfully reproduced from the paper: because whole lines are
 sampled, the number of ``(key, value)`` pairs obtained is only
 approximately proportional to the byte fraction sampled, so corrections
@@ -47,6 +73,8 @@ class PreMapSampler:
     per split and receives only the *newly* sampled lines (already-
     delivered lines live in the persistent mappers, so re-sending them
     would double-count).
+
+    ``batched=False`` pins the probe-at-a-time scalar reference.
     """
 
     #: A sampled stand-in record is a proxy for ``logical_scale``
@@ -57,14 +85,24 @@ class PreMapSampler:
     parallel_safe = False
 
     def __init__(self, fs: HDFS, path: str, *,
-                 split_logical_bytes: Optional[int] = None) -> None:
+                 split_logical_bytes: Optional[int] = None,
+                 batched: bool = True) -> None:
         self._fs = fs
         self._path = path
         self._splits: List[InputSplit] = fs.get_splits(path, split_logical_bytes)
+        self._batched = batched
         self._included: Dict[int, Set[int]] = {s.index: set() for s in self._splits}
+        #: Batched-mode accelerator: per-split boolean inclusion mask
+        #: over the columnar index's line entries (always consistent
+        #: with ``_included``; rebuilt after any scalar fallback).
+        self._masks: Dict[int, np.ndarray] = {}
         self._exhausted: Set[int] = set()
         self._targets: Dict[int, int] = {s.index: 0 for s in self._splits}
         self._total_target = 0
+        #: Incrementally maintained distinct-line count — the driver
+        #: polls this every iteration, so it must not be a full
+        #: recomputation over the per-split sets.
+        self._sampled = 0
 
     # ------------------------------------------------------------- control
     @property
@@ -73,8 +111,8 @@ class PreMapSampler:
 
     @property
     def sampled_count(self) -> int:
-        """Number of distinct lines included so far."""
-        return sum(len(v) for v in self._included.values())
+        """Number of distinct lines included so far (O(1))."""
+        return self._sampled
 
     def set_total_target(self, total: int) -> None:
         """Raise the cumulative sample-size target to ``total`` lines.
@@ -97,13 +135,17 @@ class PreMapSampler:
         quota = self._targets.get(split.index, 0) - len(self._included[split.index])
         if quota <= 0 or split.index in self._exhausted:
             return
-        for offset, line in self._probe_split(split, quota, ledger, rng):
+        probe = self._probe_split_batched if self._batched \
+            else self._probe_split
+        for offset, line in probe(split, quota, ledger, rng):
             yield offset, line
 
+    # ------------------------------------------------------- scalar reference
     def _probe_split(self, split: InputSplit, quota: int, ledger: CostLedger,
                      rng: np.random.Generator
                      ) -> Iterator[Tuple[int, str]]:
-        reader = LineRecordReader(self._fs, split, ledger=ledger)
+        reader = LineRecordReader(self._fs, split, ledger=ledger,
+                                  cached=False)
         included = self._included[split.index]
         misses = 0
         produced = 0
@@ -122,8 +164,79 @@ class PreMapSampler:
                 misses += 1
                 continue
             included.add(start)
+            self._sampled += 1
             misses = 0
             produced += 1
             yield start, line
+        if misses >= _MAX_CONSECUTIVE_MISSES:
+            self._exhausted.add(split.index)
+
+    # ------------------------------------------------------------ batched path
+    def _probe_split_batched(self, split: InputSplit, quota: int,
+                             ledger: CostLedger, rng: np.random.Generator
+                             ) -> Iterator[Tuple[int, str]]:
+        cache = getattr(self._fs, "split_cache", None)
+        index = cache.acquire(self._fs, split) if cache is not None else None
+        if index is None:
+            # Region not fully readable (or no cache): the scalar loop
+            # is the failure-semantics reference — and it keeps the
+            # per-split sets authoritative, so drop the derived mask.
+            self._masks.pop(split.index, None)
+            yield from self._probe_split(split, quota, ledger, rng)
+            return
+
+        included = self._included[split.index]
+        mask = self._masks.get(split.index)
+        if mask is None or len(mask) != len(index.starts):
+            mask = np.zeros(len(index.starts), dtype=bool)
+            if included:
+                offsets = np.fromiter(included, dtype=np.int64,
+                                      count=len(included))
+                mask[np.searchsorted(index.starts, offsets)] = True
+            self._masks[split.index] = mask
+
+        seek_counts = index.seek_counts
+        scaled_bytes = index.scaled_bytes
+        produced = 0
+        misses = 0
+        while produced < quota and misses < _MAX_CONSECUTIVE_MISSES:
+            # Sized so neither quota fill nor exhaustion can land
+            # mid-batch: every drawn variate is one the scalar loop
+            # would also have drawn (see the module docstring).
+            batch = min(quota - produced, _MAX_CONSECUTIVE_MISSES - misses)
+            positions = rng.integers(split.start, split.end, size=batch)
+            entries = index.entries_of(positions)
+            ok = index.acceptable[entries] & ~mask[entries]
+            if ok.any():
+                # Within-batch dedup: only an entry's first occurrence
+                # can be accepted; later duplicates are misses.
+                first = np.zeros(batch, dtype=bool)
+                first[np.unique(entries, return_index=True)[1]] = True
+                accept = ok & first
+            else:
+                accept = ok
+            # Per-probe simulated charges, in draw order — the same
+            # sequence of ledger additions the scalar path makes.
+            for seeks, nbytes in zip(seek_counts[entries].tolist(),
+                                     scaled_bytes[entries].tolist()):
+                ledger.charge_seeks(seeks)
+                ledger.charge_disk_read(nbytes)
+            acc_idx = np.flatnonzero(accept)
+            if acc_idx.size == 0:
+                misses += batch
+                continue
+            misses = batch - 1 - int(acc_idx[-1])
+            produced += int(acc_idx.size)
+            # Inclusion state is recorded alongside each yield (as the
+            # scalar loop does), so a consumer abandoning the generator
+            # mid-batch leaves mask and set consistent: undelivered
+            # lines remain samplable.  Within-batch dedup does not rely
+            # on these updates — ``accept`` already encodes it.
+            for entry in entries[acc_idx].tolist():
+                mask[entry] = True
+                start = int(index.starts[entry])
+                included.add(start)
+                self._sampled += 1
+                yield start, index.lines[entry]
         if misses >= _MAX_CONSECUTIVE_MISSES:
             self._exhausted.add(split.index)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, TypeVar
 
+import numpy as np
+
 from repro.cluster.costmodel import CostLedger
 from repro.util.rng import SeedLike, ensure_rng
 from repro.util.validation import check_fraction
@@ -59,11 +61,57 @@ class TwoFileSampler:
         idx = int(self._rng.integers(0, len(self._f2)))
         return self._f2[idx]
 
-    def sample(self, k: int, *, ledger: Optional[CostLedger] = None) -> List[T]:
-        """``k`` independent uniform draws (with replacement)."""
+    def sample(self, k: int, *, ledger: Optional[CostLedger] = None,
+               batched: bool = True) -> List[T]:
+        """``k`` independent uniform draws (with replacement).
+
+        Uses a two-pass draw order: first the ``k`` file choices (one
+        batch draw with bound ``N``), then the ``k`` within-file indices
+        (one batch draw with per-element bounds ``|F1|`` / ``|F2|``).
+        Each pass consumes the RNG stream exactly as the equivalent
+        scalar loop would, so ``batched=False`` (the same two passes,
+        loop-per-draw) returns byte-identical samples, counters and
+        ledger charges — the property test pins the pair together.
+
+        Note the two-pass order *replaces* this method's historical
+        implementation (``[self.draw() for _ in range(k)]``, which
+        interleaved the choice and index draws): for a fixed seed,
+        ``sample`` now returns a different — equally uniform — draw,
+        the same licence the chunked bootstrap's executor path takes.
+        Callers that need the interleaved stream use can still loop
+        :meth:`draw`, which is unchanged.
+        """
         if k < 0:
             raise ValueError("sample size cannot be negative")
-        return [self.draw(ledger=ledger) for _ in range(k)]
+        if k == 0:
+            return []
+        n1 = len(self._f1)
+        if batched:
+            choices = self._rng.integers(0, self._n, size=k)
+            in_memory = choices < n1
+            # Unselected branch bounds are never drawn from, but the
+            # bound array must stay positive for the generator.
+            bounds = np.where(in_memory, max(n1, 1),
+                              max(len(self._f2), 1))
+            indices = self._rng.integers(0, bounds).tolist()
+            in_memory = in_memory.tolist()
+        else:
+            choices = [int(self._rng.integers(0, self._n)) for _ in range(k)]
+            in_memory = [u < n1 for u in choices]
+            indices = [int(self._rng.integers(
+                0, n1 if mem else len(self._f2))) for mem in in_memory]
+        out: List[T] = []
+        for mem, idx in zip(in_memory, indices):
+            if mem:
+                self.memory_draws += 1
+                out.append(self._f1[idx])
+            else:
+                self.disk_draws += 1
+                if ledger is not None:
+                    ledger.charge_seeks(1)
+                    ledger.charge_disk_read(self._item_bytes)
+                out.append(self._f2[idx])
+        return out
 
     def expected_seeks(self, k: int) -> float:
         """Expected disk seeks for ``k`` draws: ``k × |F2|/N``."""

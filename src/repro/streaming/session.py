@@ -158,6 +158,34 @@ class SessionManager:
         self._queries: List[QueryHandle] = []
         self._started = False
 
+    @classmethod
+    def from_hdfs(cls, fs, path: str, *,
+                  config: Optional[EarlConfig] = None,
+                  ledger=None,
+                  split_logical_bytes: Optional[int] = None,
+                  parser=None,
+                  cached: bool = True) -> "SessionManager":
+        """Build a session over a newline-delimited simulated-HDFS file.
+
+        The file is ingested as one numeric column through the
+        filesystem's columnar split cache
+        (:func:`repro.hdfs.read_numeric_column`): the first session over
+        ``path`` newline-indexes and decodes each split once, and every
+        later session — a dashboard reopening the same dataset, the
+        next round of an iterative driver — replays the cached column
+        without re-parsing (the M3R-style reuse this module's shared
+        sample already applies *within* a session, extended across
+        sessions).  The simulated cost of the scan is charged to
+        ``ledger`` on every call regardless; ``cached=False`` pins the
+        scalar ingest path.
+        """
+        from repro.hdfs.split_cache import read_numeric_column
+
+        data = read_numeric_column(fs, path, ledger=ledger,
+                                   split_logical_bytes=split_logical_bytes,
+                                   parser=parser, cached=cached)
+        return cls(data, config=config)
+
     @property
     def config(self) -> EarlConfig:
         return self._config

@@ -152,3 +152,78 @@ class TestLineAt:
         ledger = CostLedger()
         LineRecordReader(fs, split, ledger=ledger).line_at(40)
         assert ledger.seconds("disk_seek") > 0
+
+
+def both_readers(fs, split):
+    """(records, ledger breakdown) for the scalar and the cached path."""
+    out = []
+    for cached in (False, True):
+        ledger = CostLedger()
+        reader = LineRecordReader(fs, split, ledger=ledger, cached=cached)
+        out.append((list(reader.read_records()), ledger.breakdown()))
+    return out
+
+
+class TestCachedEdgeCases:
+    """The satellite edge cases, each asserted identical between the
+    cached and the scalar (uncached) implementation."""
+
+    def test_no_trailing_newline(self):
+        fs = HDFS(n_datanodes=2, block_size=64, replication=1, seed=11)
+        fs.write_text("/f", "one\ntwo\nthree")
+        (split,) = fs.get_splits("/f", 10_000)
+        (scalar, l1), (cached, l2) = both_readers(fs, split)
+        assert scalar == cached == [(0, "one"), (4, "two"), (8, "three")]
+        assert l1 == l2
+
+    def test_line_starting_exactly_at_split_boundary(self):
+        # File "ab\ncd\n" cut at byte 3 (the start of "cd"): the first
+        # split over-reads "cd", the second skips it — on both paths.
+        fs = HDFS(n_datanodes=2, block_size=64, replication=1, seed=12)
+        fs.write_text("/f", "ab\ncd\n")
+        from repro.hdfs.splits import InputSplit
+        first = InputSplit(path="/f", index=0, start=0, length=3,
+                           logical_length=3)
+        second = InputSplit(path="/f", index=1, start=3, length=3,
+                            logical_length=3)
+        (s1, a1), (c1, b1) = both_readers(fs, first)
+        (s2, a2), (c2, b2) = both_readers(fs, second)
+        assert s1 == c1 == [(0, "ab"), (3, "cd")]
+        assert s2 == c2 == []
+        assert a1 == b1
+        assert a2 == b2
+        # probing the boundary line still resolves identically
+        for pos in (3, 4, 5):
+            assert LineRecordReader(fs, second, cached=True).line_at(pos) \
+                == LineRecordReader(fs, second, cached=False).line_at(pos) \
+                == (3, "cd")
+
+    def test_empty_split(self):
+        fs = HDFS(n_datanodes=2, block_size=64, replication=1, seed=13)
+        fs.write_text("/f", "a\nb\n")
+        from repro.hdfs.splits import InputSplit
+        empty = InputSplit(path="/f", index=0, start=2, length=0,
+                           logical_length=0)
+        (scalar, l1), (cached, l2) = both_readers(fs, empty)
+        assert scalar == cached == []
+        assert l1 == l2
+        assert sum(l1.values()) == 0.0  # nothing read, nothing charged
+
+    def test_split_past_eof(self):
+        fs = HDFS(n_datanodes=2, block_size=64, replication=1, seed=14)
+        fs.write_text("/f", "a\nb\n")
+        from repro.hdfs.splits import InputSplit
+        past = InputSplit(path="/f", index=3, start=100, length=50,
+                          logical_length=50)
+        (scalar, l1), (cached, l2) = both_readers(fs, past)
+        assert scalar == cached == []
+        assert l1 == l2
+        assert sum(l1.values()) == 0.0
+
+    def test_empty_lines_preserved(self):
+        fs = HDFS(n_datanodes=2, block_size=64, replication=1, seed=15)
+        fs.write_text("/f", "a\n\n\nb\n")
+        (split,) = fs.get_splits("/f", 10_000)
+        (scalar, l1), (cached, l2) = both_readers(fs, split)
+        assert scalar == cached == [(0, "a"), (2, ""), (3, ""), (4, "b")]
+        assert l1 == l2

@@ -1,20 +1,30 @@
-"""CI gate: fail when kernel expand throughput regresses vs the baseline.
+"""CI gate: fail when a benchmark's speedup ratio regresses vs baseline.
 
 Usage::
 
-    python tools/check_bench_regression.py FRESH.json BASELINE.json [--tolerance 0.2]
+    python tools/check_bench_regression.py FRESH.json BASELINE.json \
+        [--tolerance 0.2] [--min-n 100000] [--stages expand,...]
 
-Compares a fresh ``benchmarks/bench_kernel.py`` report against the
-committed baseline (``benchmarks/BENCH_kernel.json``).  Raw items/sec
-is machine-dependent — CI runners are not the laptop that produced the
-baseline — so the gated quantity is the vectorized/scalar *speedup*
-ratio, which largely divides the machine out.  The gate fails when,
-for any (n, maintainer) pair present in both reports with
-``n >= --min-n`` (default 100 000), the fresh expand speedup falls more
-than ``tolerance`` (default 20%) below the baseline's.  Smaller sizes
-are reported but not gated: the optimized maintainer's ratio there is
-dominated by sketch-reload RNG cost, which does *not* scale uniformly
-across machines, so small-n ratios carry no stable regression signal.
+Compares a fresh benchmark report against its committed baseline
+(``benchmarks/BENCH_kernel.json``, ``benchmarks/BENCH_ingest.json``).
+Raw items/sec is machine-dependent — CI runners are not the laptop that
+produced the baseline — so the gated quantity is the fast/reference
+*speedup* ratio, which largely divides the machine out.
+
+Both report schemas share one shape: ``payload["results"]`` is a list
+of rows keyed by ``(n, mode)``, where each stage of a row is a dict
+containing a ``"speedup"`` entry (``initialize``/``expand`` for the
+kernel benchmark, ``throughput`` for the ingest benchmark).  The gate
+fails when, for any ``(n, mode, stage)`` present in both reports with
+``n >= --min-n`` (default 100 000), the fresh speedup falls more than
+``tolerance`` (default 20%) below the baseline's.  Smaller sizes are
+reported but not gated: their ratios are dominated by fixed overheads
+(sketch-reload RNG, cold index builds) that do not scale uniformly
+across machines and carry no stable regression signal.
+
+``--stages`` restricts gating to a comma-separated list of stage names
+(default: every stage found); the kernel gate passes ``expand`` to keep
+its historical single-stage contract.
 """
 
 from __future__ import annotations
@@ -23,11 +33,18 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Dict, List, Tuple
 
 
-def load_rows(path: Path) -> dict:
+def load_rows(path: Path) -> Dict[Tuple[int, str], dict]:
     payload = json.loads(path.read_text())
     return {(row["n"], row["mode"]): row for row in payload["results"]}
+
+
+def stages_of(row: dict) -> List[str]:
+    """Stage names of a result row: its dict-valued speedup entries."""
+    return sorted(k for k, v in row.items()
+                  if isinstance(v, dict) and "speedup" in v)
 
 
 def main(argv=None) -> int:
@@ -39,40 +56,55 @@ def main(argv=None) -> int:
     parser.add_argument("--min-n", type=int, default=100_000,
                         help="gate only sizes >= this n (smaller sizes "
                              "are informational; default 100000)")
+    parser.add_argument("--stages", type=str, default=None,
+                        help="comma-separated stage names to gate "
+                             "(default: every stage present in both "
+                             "reports)")
     args = parser.parse_args(argv)
 
     fresh = load_rows(args.fresh)
     baseline = load_rows(args.baseline)
+    only = set(args.stages.split(",")) if args.stages else None
     shared = sorted(set(fresh) & set(baseline))
-    gated = [key for key in shared if key[0] >= args.min_n]
-    if not gated:
+    gated_keys = [key for key in shared if key[0] >= args.min_n]
+    if not gated_keys:
         print(f"error: no shared (n, mode) pairs with n >= {args.min_n}",
               file=sys.stderr)
         return 2
 
     failures = []
+    checked = 0
     for key in shared:
         n, mode = key
-        got = fresh[key]["expand"]["speedup"]
-        want = baseline[key]["expand"]["speedup"]
-        floor = (1.0 - args.tolerance) * want
-        if key not in gated:
-            status = "info (below --min-n, not gated)"
-        elif got >= floor:
-            status = "ok"
-        else:
-            status = "REGRESSED"
-            failures.append(key)
-        print(f"n={n:>9,}  {mode:<9}  expand speedup {got:6.1f}x "
-              f"(baseline {want:.1f}x, floor {floor:.1f}x)  {status}")
+        stages = [s for s in stages_of(fresh[key])
+                  if s in stages_of(baseline[key])
+                  and (only is None or s in only)]
+        for stage in stages:
+            got = fresh[key][stage]["speedup"]
+            want = baseline[key][stage]["speedup"]
+            floor = (1.0 - args.tolerance) * want
+            if key not in gated_keys:
+                status = "info (below --min-n, not gated)"
+            elif got >= floor:
+                status = "ok"
+                checked += 1
+            else:
+                status = "REGRESSED"
+                failures.append((n, mode, stage))
+                checked += 1
+            print(f"n={n:>9,}  {mode:<9}  {stage:<10} speedup {got:6.1f}x "
+                  f"(baseline {want:.1f}x, floor {floor:.1f}x)  {status}")
 
-    if failures:
-        print(f"\nFAIL: expand throughput regressed >"
-              f"{args.tolerance:.0%} vs baseline for {failures}",
+    if not checked:
+        print("error: no gated stages shared between the reports",
               file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nFAIL: speedup regressed >{args.tolerance:.0%} vs "
+              f"baseline for {failures}", file=sys.stderr)
         return 1
-    print(f"\nOK: no expand-speedup regression beyond "
-          f"{args.tolerance:.0%} on {len(gated)} gated measurement(s)")
+    print(f"\nOK: no speedup regression beyond {args.tolerance:.0%} "
+          f"on {checked} gated measurement(s)")
     return 0
 
 
