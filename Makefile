@@ -6,18 +6,20 @@
 #                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
-#   make bench-json  - kernel + ingest throughput benchmarks (smoke sizes)
-#                      -> benchmarks/results/BENCH_{kernel,ingest}.json,
+#   make bench-json  - kernel + ingest + query benchmarks (smoke sizes)
+#                      -> benchmarks/results/BENCH_{kernel,ingest,query}.json,
 #                      each gated against its committed baseline
-#                      benchmarks/BENCH_{kernel,ingest}.json (fails on a
-#                      >20% speedup regression)
+#                      benchmarks/BENCH_{kernel,ingest,query}.json (fails on
+#                      a >20% speedup regression)
 #   make docs-check  - every .md referenced from code/docs actually exists
 #   make examples    - run every example script end to end
+#   make clean       - purge bytecode caches and tool state
+#                      (__pycache__/, .pytest_cache/, .hypothesis/)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-smoke bench-json docs-check examples
+.PHONY: test test-all bench bench-smoke bench-json docs-check examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +52,11 @@ bench-json:
 		--out benchmarks/results/BENCH_ingest.json
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_ingest.json benchmarks/BENCH_ingest.json
+	$(PYTHON) benchmarks/bench_query.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_query.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_query.json benchmarks/BENCH_query.json \
+		--stages rows
 
 docs-check:
 	$(PYTHON) tools/check_docs.py
@@ -58,3 +65,8 @@ examples:
 	@set -e; for f in examples/*.py; do \
 		echo "== $$f"; $(PYTHON) $$f > /dev/null; \
 	done; echo "all examples ran"
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	@echo "bytecode and tool caches purged"

@@ -1,0 +1,240 @@
+"""Grouped-query sampling efficiency: stratified vs uniform rows processed.
+
+The grouped query engine (``repro.query``) samples **within** each
+group, so a rare key's estimate converges from that key's own rows; a
+uniform table sample hands a rare key only its population share of
+every round and the whole query waits on it.  This benchmark measures
+the cost of that difference directly — *rows processed until every
+group meets the per-group accuracy target* — over a Zipf-skewed key
+distribution (head key ~50 % of rows, rarest ~2 %):
+
+* ``stratified`` — ``Query(select=[agg("mean", "value")],
+  group_by="key")``: per-group sampling with per-group early stopping.
+* ``uniform`` — the same per-group stopping rule and bootstrap
+  machinery fed by uniform table sampling in doubling rounds: each
+  round's delta is a prefix slice of one global permutation, and each
+  group receives whatever rows happened to land in it.
+
+Both designs use the same pinned bootstrap protocol
+(``B=30, n=75`` per group — no SSABE noise in the comparison), the
+same per-group σ and the same seeds; rows processed is **simulated
+sampling work, not wall-clock**, so the reported speedup is fully
+machine-independent and deterministic for the committed seed.
+
+Outputs ``BENCH_query.json``; the committed baseline at
+``benchmarks/BENCH_query.json`` is what the CI regression gate
+(``tools/check_bench_regression.py --stages rows``) compares fresh
+runs against.  The ``balanced`` mode (equal key shares) is reported at
+a sub-gate size as an informational sanity row: what remains there is
+only the per-group *scheduling* advantage (a shared scan's doubling
+overshoots for every group at once), while the gated skewed row adds
+the rare-key starvation the stratified design exists to fix.
+
+Run standalone::
+
+    python benchmarks/bench_query.py --out benchmarks/results/BENCH_query.json
+
+or through pytest (``make bench`` / ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import EarlConfig  # noqa: E402 (path bootstrap above)
+from repro.core.accuracy import AccuracyEstimationStage  # noqa: E402
+from repro.query import Query, agg  # noqa: E402
+from repro.workloads import skewed_keyed_values  # noqa: E402
+
+#: The gated skewed workload and the informational balanced one.
+SKEWED_N = 120_000
+BALANCED_N = 20_000
+N_KEYS = 8
+SEED = 23
+SIGMA = 0.02
+#: Pinned bootstrap protocol shared by both designs (no SSABE noise).
+B_PINNED = 30
+N_PINNED = 75
+#: Value dispersion: lognormal sigma — mild enough that every group's
+#: bound is reachable well before exhaustion.
+VALUE_SIGMA = 0.6
+#: The acceptance gate: stratified must process >= this factor fewer
+#: rows than uniform on the skewed workload.
+MIN_SPEEDUP = 3.0
+
+
+def _workload(n: int, skew: float):
+    return skewed_keyed_values(n, N_KEYS, skew=skew,
+                               value_sigma=VALUE_SIGMA, seed=SEED)
+
+
+def stratified_rows(keys, values) -> int:
+    """Rows processed by the grouped query engine (per-group design)."""
+    query = Query([agg("mean", "value")], group_by="key").on(
+        {"key": keys, "value": values},
+        config=EarlConfig(sigma=SIGMA, seed=SEED + 1,
+                          B_override=B_PINNED, n_override=N_PINNED))
+    result = query.run()
+    assert result.achieved, \
+        "stratified design failed its per-group accuracy targets"
+    return result.rows_processed
+
+
+def uniform_rows(keys, values) -> int:
+    """Rows processed by uniform table sampling to the same targets.
+
+    One global permutation, doubling rounds; every unmet group's stage
+    is offered the delta rows that landed in it, and a group stops when
+    its bootstrap error meets σ (or the table is exhausted).  Returned
+    is the table prefix length consumed when the *last* group stopped —
+    uniform sampling cannot stop per group, the scan is shared.
+    """
+    N = len(keys)
+    rng = np.random.default_rng(SEED + 1)
+    order = rng.permutation(N)
+    group_names = sorted(set(keys))
+    stage_rngs = rng.integers(0, 2**63 - 1, size=len(group_names))
+    stages: Dict[object, AccuracyEstimationStage] = {
+        name: AccuracyEstimationStage("mean", B_PINNED,
+                                      seed=int(stage_rngs[i]))
+        for i, name in enumerate(group_names)}
+    active = set(group_names)
+    consumed = 0
+    target = min(N, N_PINNED)
+    while active:
+        delta = order[consumed:target]
+        consumed = target
+        delta_keys = keys[delta]
+        delta_values = values[delta]
+        for name in sorted(active):
+            landed = delta_values[delta_keys == name]
+            if landed.size == 0:
+                continue
+            estimate = stages[name].offer(landed)
+            if estimate.error <= SIGMA:
+                active.discard(name)
+        if consumed >= N:
+            break
+        target = min(N, math.ceil(consumed * 2.0))
+    return consumed
+
+
+def run_query_bench(sizes: Sequence[int]) -> List[Dict[str, object]]:
+    """Measure both designs; returns result rows keyed ``(n, mode)``."""
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        for mode, skew in (("skewed", 1.5), ("balanced", 0.0)):
+            size = n if mode == "skewed" else min(n, BALANCED_N)
+            keys, values = _workload(size, skew)
+            uni = uniform_rows(keys, values)
+            strat = stratified_rows(keys, values)
+            rows.append({
+                "n": size, "mode": mode,
+                "rows": {
+                    "uniform_rows": int(uni),
+                    "stratified_rows": int(strat),
+                    "speedup": round(uni / strat, 2),
+                },
+            })
+    return rows
+
+
+def check_speedups(rows: List[Dict[str, object]], *,
+                   min_speedup: float = MIN_SPEEDUP,
+                   at_n: int = SKEWED_N) -> None:
+    """The headline claim: the stratified design reaches every group's
+    accuracy target processing >= ``min_speedup``x fewer rows than
+    uniform table sampling on the skewed workload."""
+    gated = [row for row in rows
+             if row["n"] == at_n and row["mode"] == "skewed"]
+    assert gated, f"no skewed measurement at n={at_n}"
+    for row in gated:
+        speedup = row["rows"]["speedup"]
+        assert speedup >= min_speedup, (
+            f"stratified sampling only {speedup:.1f}x fewer rows than "
+            f"uniform at n={at_n} (need >= {min_speedup}x)")
+
+
+def write_json(rows: List[Dict[str, object]], out: Path) -> None:
+    payload = {
+        "benchmark": "query_rows_processed",
+        "seed": SEED,
+        "sigma": SIGMA,
+        "n_keys": N_KEYS,
+        "protocol": (f"pinned B={B_PINNED}, n={N_PINNED} per group for "
+                     "both designs; rows processed until every group "
+                     "meets its bound (simulated sampling work, "
+                     "machine-independent)"),
+        "units": "rows",
+        "results": rows,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+class TestQuerySamplingEfficiency:
+    """Pytest entry point (``make bench``): same sizes, same gate."""
+
+    def test_stratified_beats_uniform_on_skewed_keys(self, benchmark,
+                                                     series_report):
+        rows = benchmark.pedantic(
+            lambda: run_query_bench([SKEWED_N]), rounds=1, iterations=1)
+        series_report(
+            "query_rows_processed",
+            "Grouped query: rows processed to per-group accuracy targets",
+            ["n", "mode", "uniform", "stratified", "speedup"],
+            [(r["n"], r["mode"],
+              r["rows"]["uniform_rows"],
+              r["rows"]["stratified_rows"],
+              r["rows"]["speedup"]) for r in rows],
+            notes="same pinned (B, n), sigma and seeds on both designs; "
+                  "rows processed is simulated sampling work, so the "
+                  "speedup is machine-independent (see BENCH_query.json)")
+        write_json(rows, Path(__file__).parent / "results"
+                   / "BENCH_query.json")
+        check_speedups(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="*",
+                        help=f"explicit n values (default {SKEWED_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="alias for the default size (the benchmark "
+                             "is deterministic simulated work either way)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/BENCH_query.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="measure and report only; skip the "
+                             f">={MIN_SPEEDUP}x gate")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else (SKEWED_N,)
+    rows = run_query_bench(sizes)
+    write_json(rows, args.out)
+    for row in rows:
+        r = row["rows"]
+        print(f"n={row['n']:>9,}  {row['mode']:<9} "
+              f"uniform {r['uniform_rows']:>9,} rows  "
+              f"stratified {r['stratified_rows']:>9,} rows  "
+              f"{r['speedup']:>6.1f}x")
+    print(f"wrote {args.out}")
+    if not args.no_assert and any(
+            r["n"] == SKEWED_N and r["mode"] == "skewed" for r in rows):
+        check_speedups(rows)
+        print(f"speedup gate OK (>= {MIN_SPEEDUP}x at n={SKEWED_N:,})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,12 +27,17 @@ from repro.core import (
     EarlJob,
     EarlResult,
     EarlSession,
+    GroupedEarlSession,
+    GroupedResult,
+    GroupedSnapshot,
     ProgressSnapshot,
     bootstrap,
     jackknife,
+    run_grouped_stock_job,
     run_stock_job,
 )
 from repro.core.estimators import available_statistics, get_statistic
+from repro.query import Query, agg
 from repro.streaming import SessionManager, StreamConsumer
 
 __version__ = "1.0.0"
@@ -43,6 +48,11 @@ __all__ = [
     "EarlConfig",
     "EarlResult",
     "ProgressSnapshot",
+    "Query",
+    "agg",
+    "GroupedEarlSession",
+    "GroupedSnapshot",
+    "GroupedResult",
     "SessionManager",
     "StreamConsumer",
     "AccuracyEstimate",
@@ -50,6 +60,7 @@ __all__ = [
     "BootstrapResult",
     "jackknife",
     "run_stock_job",
+    "run_grouped_stock_job",
     "get_statistic",
     "available_statistics",
     "__version__",

@@ -59,7 +59,16 @@ from repro.core.earl import (
     EarlSession,
     StatisticReducer,
     estimate_record_count,
+    run_grouped_stock_job,
     run_stock_job,
+)
+from repro.core.grouped import (
+    ALLOCATION_SCHEDULE,
+    GroupEstimate,
+    GroupedEarlSession,
+    GroupedResult,
+    GroupedSnapshot,
+    Measure,
 )
 from repro.core.estimators import (
     EstimatorState,
@@ -98,7 +107,10 @@ __all__ = [
     "EarlSession", "EarlJob", "EarlConfig", "EarlResult", "IterationRecord",
     "ProgressSnapshot",
     "BootstrapReducer", "StatisticReducer", "run_stock_job",
-    "estimate_record_count",
+    "run_grouped_stock_job", "estimate_record_count",
+    # grouped sessions
+    "GroupedEarlSession", "Measure", "GroupEstimate", "GroupedSnapshot",
+    "GroupedResult", "ALLOCATION_SCHEDULE",
     # bootstrap / jackknife
     "bootstrap", "BootstrapResult", "bootstrap_cv_curve", "bootstrap_cv_vs_n",
     "bootstrap_file",

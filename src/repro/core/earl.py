@@ -51,6 +51,7 @@ from repro.core.jackknife_stage import JackknifeEstimationStage
 from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
 from repro.core.ssabe import SSABEResult, estimate_parameters
 from repro.exec.executor import Executor, as_executor, resolve_executor
+from repro.mapreduce.combiner import is_estimator_state
 from repro.mapreduce.job import ON_UNAVAILABLE_SKIP, JobConf, JobResult
 from repro.mapreduce.mapper import Mapper, ProjectionMapper
 from repro.mapreduce.pipeline import FeedbackChannel
@@ -340,11 +341,20 @@ class StatisticReducer(IncrementalReducer):
     def initialize(self, values: Sequence[Any]) -> Any:
         state = self._stat.make_state()
         for v in values:
-            state.add(v)
+            # A map-side GroupStateCombiner pre-aggregates each key's
+            # values into states; fold those in by merging.
+            if is_estimator_state(v):
+                if not hasattr(state, "merge"):
+                    raise TypeError(
+                        f"state of {self._stat.name!r} does not support "
+                        "merging")
+                state.merge(v)
+            else:
+                state.add(v)
         return state
 
     def update(self, state: Any, new_input: Any) -> Any:
-        if hasattr(new_input, "result") and hasattr(new_input, "add"):
+        if is_estimator_state(new_input):
             if hasattr(state, "merge"):
                 state.merge(new_input)
                 return state
@@ -897,3 +907,47 @@ def run_stock_job(cluster: Cluster, input_path: str,
     else:
         value = float(np.mean([vals[0] for vals in grouped.values()]))
     return float(value), result
+
+
+def run_grouped_stock_job(cluster: Cluster, input_path: str,
+                          statistic: StatisticLike = "mean", *,
+                          mapper: Optional[Mapper] = None,
+                          correction: CorrectionLike = "auto",
+                          combine: bool = True,
+                          n_reducers: int = 1,
+                          cpu_factor: float = 1.0,
+                          split_logical_bytes: Optional[int] = None,
+                          seed=None,
+                          executor=None
+                          ) -> Tuple[Dict[Hashable, float], JobResult]:
+    """Exact grouped aggregation: full scan, one value per group key.
+
+    The stock-Hadoop reference a grouped approximate query
+    (:class:`repro.query.Query`) is measured against.  The default
+    mapper parses ``key<TAB>value`` lines; ``combine=True`` (the
+    grouped pre-aggregation path) folds each key's map output into one
+    mergeable estimator state per spill via
+    :class:`~repro.mapreduce.GroupStateCombiner`, so the shuffle
+    carries states instead of records — output is numerically
+    equivalent with the combiner on or off (identical up to float
+    summation order; the tests pin this), only the shuffled volume
+    differs.  Returns ``({key: value}, JobResult)``.
+    """
+    from repro.mapreduce.combiner import GroupStateCombiner
+
+    stat = get_statistic(statistic)
+    conf = JobConf(
+        name=f"grouped-{stat.name}", input_path=input_path,
+        mapper=mapper or ProjectionMapper(),
+        reducer=StatisticReducer(stat, correction=correction),
+        combiner=GroupStateCombiner(stat) if combine else None,
+        n_reducers=n_reducers, cpu_factor=cpu_factor,
+        split_logical_bytes=split_logical_bytes, seed=seed)
+    ex, owned = as_executor(executor)
+    try:
+        result = JobClient(cluster, executor=ex).run(conf)
+    finally:
+        if owned:
+            ex.close()
+    values = {key: float(vals[0]) for key, vals in result.grouped().items()}
+    return values, result

@@ -1,0 +1,783 @@
+"""Grouped EARL sessions: per-group early answers with per-group bounds.
+
+Grouped aggregation is where uniform sampling breaks down: a key holding
+1 % of the table receives 1 % of every uniform sample, so its bootstrap
+error converges two orders of magnitude slower than the head key's and
+the *query* terminates only when its worst group does.
+:class:`GroupedEarlSession` runs the paper's loop **per group** over a
+stratified design instead (:class:`~repro.sampling.StratifiedSampler`):
+
+* every group gets its own SSABE pilot (a prefix of the group's own
+  permutation), its own ``(B, n)``, and its own delta-maintained
+  :class:`~repro.core.accuracy.AccuracyEstimationStage`;
+* a group stops sampling the moment *its* error bound is met (or its
+  rows are exhausted / its §3.1 exact fallback fires), while laggard
+  groups keep expanding — the per-group counterpart of the paper's
+  termination protocol;
+* the per-round stage offers of all still-active ``(group, aggregate)``
+  pairs are independent work units and fan out through the PR-1
+  executor seam with the PR-3 broadcast-once data plane (one
+  stratified-ordered column shipped per measure per session), so
+  serial / thread / process backends yield byte-identical snapshots.
+
+Determinism contract: each group draws an integer seed from the session
+RNG (exposed as :attr:`GroupedEarlSession.group_seeds`), and a
+**single-measure** session runs each group exactly as
+``EarlSession(group_rows, stat, config=replace(cfg, seed=seed))`` would
+— same permutation, same SSABE stream, same stage RNG, same expansion
+schedule — so the per-group estimate, CI and iteration trail are
+byte-identical to an independent solo session on that group's rows
+(``tests/query/test_equivalence.py`` pins this).  Multi-measure
+sessions share each group's sample and give every measure its own
+spawned streams, SessionManager-style.
+
+Budgeted allocation: by default (``allocation="schedule"``) every group
+follows its own expansion schedule.  With one of the
+:data:`~repro.sampling.stratified.ALLOCATIONS` policies the round's
+total budget (``round_budget`` or the sum of scheduled deltas) is
+instead split across the still-active groups — uniform ("senate"),
+proportional, or Neyman ``N_h * S_h`` using each group's pilot std — so
+finished groups automatically donate their budget to the laggards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.config import EarlConfig
+from repro.core.correction import CorrectionLike, get_correction
+from repro.core.earl import (
+    check_row_compatibility,
+    exact_fallback_result,
+    make_estimation_stage,
+    pilot_size_for,
+)
+from repro.core.estimators import StatisticLike, get_statistic
+from repro.core.result import EarlResult, IterationRecord
+from repro.core.ssabe import SSABEResult, estimate_parameters
+from repro.exec.executor import BroadcastHandle, Executor, resolve_executor
+from repro.sampling.stratified import ALLOCATIONS, StratifiedSampler
+from repro.util.rng import ensure_rng, spawn_child
+
+#: Default allocation mode: every group follows its own expansion
+#: schedule (the mode with the solo-session equivalence guarantee).
+ALLOCATION_SCHEDULE = "schedule"
+
+
+@dataclass(frozen=True, eq=False)
+class Measure:
+    """One aggregate to estimate per group.
+
+    ``values`` is the measure's column, aligned row-for-row with the
+    session's ``keys`` (1-D numeric, or 2-D rows for row-item statistics
+    such as ``"correlation"``).  ``sigma`` overrides the config's error
+    bound for this measure only; ``name`` keys the per-group results.
+    """
+
+    name: str
+    statistic: StatisticLike
+    values: Any
+    sigma: Optional[float] = None
+    correction: CorrectionLike = "auto"
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """Progressive answer for one ``(group, aggregate)`` pair."""
+
+    key: Hashable
+    aggregate: str
+    statistic: str
+    estimate: float           # corrected for the group's sample fraction
+    uncorrected_estimate: float
+    error: float
+    cv: float
+    ci_low: float
+    ci_high: float
+    sample_size: int          # group rows consumed so far
+    group_size: int           # the group's population N_g
+    sample_fraction: float
+    achieved: bool            # error <= the measure's sigma
+    done: bool                # this pair stopped (met / exhausted / exact)
+    used_fallback: bool = False
+    accuracy: Optional[AccuracyEstimate] = None
+    result: Optional[EarlResult] = None   # populated once done
+
+    @property
+    def ci(self) -> tuple:
+        return (self.ci_low, self.ci_high)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return (f"GroupEstimate({self.key!r}.{self.aggregate}="
+                f"{self.estimate:.6g}, error={self.error:.4f} [{state}], "
+                f"n={self.sample_size}/{self.group_size})")
+
+
+@dataclass
+class GroupedResult:
+    """Outcome of a grouped run: one :class:`EarlResult` per
+    ``(group, aggregate)`` pair, plus whole-query accounting."""
+
+    groups: Dict[Hashable, Dict[str, EarlResult]]
+    rounds: int
+    rows_processed: int
+    population_size: int
+
+    @property
+    def achieved(self) -> bool:
+        """Whether every group met every aggregate's error bound."""
+        return all(res.achieved
+                   for by_agg in self.groups.values()
+                   for res in by_agg.values())
+
+    def group(self, key: Hashable) -> Dict[str, EarlResult]:
+        return self.groups[key]
+
+    def estimates(self, aggregate: Optional[str] = None
+                  ) -> Dict[Hashable, float]:
+        """``{group: estimate}`` for one aggregate (the only one when
+        the query selected a single aggregate)."""
+        out: Dict[Hashable, float] = {}
+        for key, by_agg in self.groups.items():
+            if aggregate is None:
+                if len(by_agg) != 1:
+                    raise ValueError(
+                        "aggregate name required: query selected "
+                        f"{sorted(by_agg)}")
+                out[key] = next(iter(by_agg.values())).estimate
+            else:
+                out[key] = by_agg[aggregate].estimate
+        return out
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Flat result-set rows (one per group) for printing."""
+        rows = []
+        for key, by_agg in self.groups.items():
+            row: Dict[str, Any] = {"group": key}
+            for name, res in by_agg.items():
+                row[name] = res.estimate
+                row[f"{name}.error"] = res.error
+                row[f"{name}.n"] = res.n
+            rows.append(row)
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "met" if self.achieved else "NOT met"
+        return (f"GroupedResult({len(self.groups)} group(s), "
+                f"rounds={self.rounds}, rows={self.rows_processed}/"
+                f"{self.population_size}, bounds {flag})")
+
+
+@dataclass(frozen=True)
+class GroupedSnapshot:
+    """One round's progressively-refined grouped answer.
+
+    ``groups`` is the *cumulative* latest :class:`GroupEstimate` per
+    ``(group, aggregate)`` — finished pairs keep their terminal entry —
+    and ``updated`` names the pairs refreshed this round.  The last
+    snapshot has ``final=True`` and carries the :class:`GroupedResult`,
+    which makes the stream consumable by the existing
+    :class:`~repro.streaming.StreamConsumer` machinery unchanged.
+    """
+
+    round: int
+    groups: Dict[Hashable, Dict[str, GroupEstimate]]
+    updated: Tuple[Tuple[Hashable, str], ...]
+    rows_processed: int
+    population_size: int
+    active_groups: int
+    final: bool
+    result: Optional[GroupedResult] = None
+
+    @property
+    def worst(self) -> Optional[GroupEstimate]:
+        """The unfinished pair with the largest error (the laggard the
+        next round will keep sampling), if any."""
+        running = [e for by_agg in self.groups.values()
+                   for e in by_agg.values() if not e.done]
+        if not running:
+            return None
+        return max(running, key=lambda e: e.error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "final" if self.final else "partial"
+        return (f"GroupedSnapshot(round={self.round} [{flag}], "
+                f"{len(self.groups)} group(s), active={self.active_groups}, "
+                f"rows={self.rows_processed}/{self.population_size})")
+
+
+# ---------------------------------------------------------------------------
+# executor fan-out units (module level so process pools pickle them
+# by reference; mirrors repro.streaming.session, which sits above this
+# layer and therefore cannot be imported from here)
+# ---------------------------------------------------------------------------
+
+
+def _offer_shared(args: Tuple[AccuracyEstimationStage, BroadcastHandle,
+                              int, int]) -> AccuracyEstimate:
+    """Shared-memory fan-out unit: mutate the stage in place; the delta
+    is a ``[lo, hi)`` slice of the measure's broadcast column."""
+    stage, shared, lo, hi = args
+    return stage.offer(shared.value[lo:hi])
+
+
+def _offer_owned(args: Tuple[AccuracyEstimationStage, BroadcastHandle,
+                             int, int]
+                 ) -> Tuple[AccuracyEstimationStage, AccuracyEstimate]:
+    """Process-pool fan-out unit: ship the mutated stage back for the
+    driver to rebind; the column itself rode the session's one
+    broadcast, never the per-round task."""
+    stage, shared, lo, hi = args
+    estimate = stage.offer(shared.value[lo:hi])
+    return stage, estimate
+
+
+# ---------------------------------------------------------------------------
+# internal per-group / per-measure state
+# ---------------------------------------------------------------------------
+
+
+class _MeasureState:
+    """One (group, measure) estimation pipeline."""
+
+    __slots__ = ("measure", "index", "statistic", "sigma", "correction",
+                 "stage", "B", "n", "ssabe", "iterations", "estimate",
+                 "result", "used_fallback", "seg_start", "permuted")
+
+    def __init__(self, measure: Measure, index: int, statistic,
+                 sigma: float, correction) -> None:
+        self.measure = measure
+        self.index = index          # position in the session's measure list
+        self.statistic = statistic
+        self.sigma = sigma
+        self.correction = correction
+        self.stage: Optional[AccuracyEstimationStage] = None
+        self.B: Optional[int] = None
+        self.n: Optional[int] = None
+        self.ssabe: Optional[SSABEResult] = None
+        self.iterations: List[IterationRecord] = []
+        self.estimate: Optional[AccuracyEstimate] = None
+        self.result: Optional[EarlResult] = None
+        self.used_fallback = False
+        self.seg_start = 0    # offset of the group's segment in the
+        #                       measure's broadcast column
+        #: The group's permuted column, held from set-up until the
+        #: broadcast concatenation consumes it (then dropped).
+        self.permuted: Optional[np.ndarray] = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+class _GroupState:
+    """One group's sampling schedule plus its measure pipelines."""
+
+    __slots__ = ("key", "size", "seed", "rows", "measures", "consumed",
+                 "target", "iteration", "pilot_std")
+
+    def __init__(self, key: Hashable, size: int, seed: int,
+                 rows: np.ndarray) -> None:
+        self.key = key
+        self.size = size
+        self.seed = seed
+        self.rows = rows            # table-row indices, appearance order
+        self.measures: List[_MeasureState] = []
+        self.consumed = 0
+        self.target = 0
+        self.iteration = 0
+        self.pilot_std = 0.0
+
+    @property
+    def active_measures(self) -> List[_MeasureState]:
+        return [m for m in self.measures if not m.done]
+
+    @property
+    def active(self) -> bool:
+        return bool(self.active_measures)
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+
+
+class GroupedEarlSession:
+    """Approximate grouped aggregation with per-group error bounds.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.grouped import GroupedEarlSession, Measure
+    >>> from repro.core import EarlConfig
+    >>> rng = np.random.default_rng(0)
+    >>> keys = rng.choice(["a", "b"], size=50_000, p=[0.9, 0.1])
+    >>> vals = rng.lognormal(3.0, 1.0, 50_000)
+    >>> session = GroupedEarlSession(
+    ...     keys, [Measure("mean(value)", "mean", vals)],
+    ...     config=EarlConfig(sigma=0.05, seed=1))
+    >>> result = session.run()
+    >>> sorted(result.groups) == ["a", "b"] and result.achieved
+    True
+
+    A session streams **once** (iterate :meth:`stream`, or call
+    :meth:`run`, which drains it); closing the stream cancels the
+    still-active groups and tears the executor down.
+    """
+
+    def __init__(self, keys: Sequence[Hashable],
+                 measures: Sequence[Measure], *,
+                 config: Optional[EarlConfig] = None,
+                 allocation: str = ALLOCATION_SCHEDULE,
+                 round_budget: Optional[int] = None) -> None:
+        if len(keys) == 0:
+            raise ValueError("keys must be non-empty")
+        if not measures:
+            raise ValueError("at least one measure is required")
+        if allocation != ALLOCATION_SCHEDULE \
+                and allocation not in ALLOCATIONS:
+            raise ValueError(
+                f"unknown allocation {allocation!r}; known: "
+                f"{[ALLOCATION_SCHEDULE, *ALLOCATIONS]}")
+        if round_budget is not None and round_budget < 1:
+            raise ValueError("round_budget must be positive")
+        if round_budget is not None and allocation == ALLOCATION_SCHEDULE:
+            raise ValueError(
+                "round_budget needs a quota allocation policy; "
+                f"pick one of {list(ALLOCATIONS)}")
+        self._keys = keys if isinstance(keys, np.ndarray) \
+            else np.asarray(keys, dtype=object)
+        self._config = config or EarlConfig()
+        self._allocation = allocation
+        self._round_budget = round_budget
+        N = len(self._keys)
+        seen = set()
+        self._measures: List[Measure] = []
+        self._columns: List[np.ndarray] = []
+        for measure in measures:
+            if measure.name in seen:
+                raise ValueError(f"duplicate measure name {measure.name!r}")
+            seen.add(measure.name)
+            column = np.asarray(measure.values, dtype=float)
+            if column.ndim not in (1, 2) or len(column) != N:
+                raise ValueError(
+                    f"measure {measure.name!r} values must align with the "
+                    f"{N} keys (got shape {column.shape})")
+            check_row_compatibility(get_statistic(measure.statistic), column)
+            self._measures.append(measure)
+            self._columns.append(column)
+        self._started = False
+        self._group_seeds: Dict[Hashable, int] = {}
+
+    @property
+    def config(self) -> EarlConfig:
+        return self._config
+
+    @property
+    def group_seeds(self) -> Dict[Hashable, int]:
+        """Integer seed drawn per group (populated once streaming
+        starts).  A single-measure group is byte-identical to
+        ``EarlSession(group_rows, stat, config=replace(cfg,
+        seed=group_seeds[key]))``."""
+        return dict(self._group_seeds)
+
+    def run(self) -> GroupedResult:
+        """Drain :meth:`stream`; returns the final :class:`GroupedResult`."""
+        final: Optional[GroupedSnapshot] = None
+        for final in self.stream():
+            pass
+        assert final is not None and final.result is not None
+        return final.result
+
+    # ------------------------------------------------------------- streaming
+    def stream(self) -> Iterator[GroupedSnapshot]:
+        """Progressive engine: one :class:`GroupedSnapshot` per round.
+
+        Rounds advance every still-active group by one expansion; the
+        last snapshot has ``final=True`` and carries the
+        :class:`GroupedResult`.  Closing the generator cancels the run
+        (executor teardown; no further round is computed).
+        """
+        if self._started:
+            raise RuntimeError("a GroupedEarlSession streams only once")
+        self._started = True
+        cfg = self._config
+        rng = ensure_rng(cfg.seed)
+        sampler = StratifiedSampler(
+            self._keys,
+            allocation=(self._allocation
+                        if self._allocation != ALLOCATION_SCHEDULE
+                        else "proportional"))
+        groups = self._setup_groups(sampler, rng)
+
+        executor = resolve_executor(cfg)
+        shared: List[Optional[BroadcastHandle]] = []
+        try:
+            board = self._initial_board(groups)
+            if not any(g.active for g in groups):
+                yield self._snapshot(0, board, (), groups, final=True)
+                return
+
+            shared = self._broadcast_columns(executor, groups)
+            for round_no in range(1, self._max_rounds() + 1):
+                active = [g for g in groups if g.active]
+                if not active:
+                    return  # every group finalized on the previous round
+                quotas = self._round_quotas(sampler, active)
+                work: List[Tuple[_MeasureState, BroadcastHandle,
+                                 int, int]] = []
+                offered: List[Tuple[_GroupState, _MeasureState]] = []
+                for group in active:
+                    quota = quotas.get(group.key, 0)
+                    if quota <= 0:
+                        continue
+                    sampler.take(group.key, quota)
+                    lo, hi = group.consumed, group.consumed + quota
+                    group.consumed = hi
+                    group.iteration += 1
+                    for mstate in group.active_measures:
+                        work.append((mstate, shared[mstate.index],
+                                     mstate.seg_start + lo,
+                                     mstate.seg_start + hi))
+                        offered.append((group, mstate))
+                if not work:
+                    # A budgeted round allocated nothing (budget smaller
+                    # than the active group count after caps): finalize
+                    # what is left as best-effort rather than spin.
+                    self._finalize_stalled(groups, board)
+                    yield self._snapshot(round_no, board, (), groups,
+                                         final=True)
+                    return
+                estimates = self._offer_round(executor, work)
+
+                updated: List[Tuple[Hashable, str]] = []
+                for (group, mstate), estimate in zip(offered, estimates):
+                    mstate.estimate = estimate
+                    expand = (not estimate.meets(mstate.sigma)
+                              and group.consumed < group.size
+                              and group.iteration < cfg.max_iterations)
+                    mstate.iterations.append(IterationRecord(
+                        iteration=group.iteration,
+                        sample_size=group.consumed,
+                        accuracy=estimate, simulated_seconds=0.0,
+                        expanded=expand))
+                    if not expand:
+                        mstate.result = self._measure_result(group, mstate)
+                    entry = self._entry(group, mstate)
+                    board[group.key][mstate.measure.name] = entry
+                    updated.append((group.key, mstate.measure.name))
+                for group in active:
+                    if group.active and group.consumed >= group.target:
+                        group.target = min(
+                            group.size,
+                            math.ceil(group.consumed
+                                      * cfg.expansion_factor))
+                still_active = [g for g in groups if g.active]
+                yield self._snapshot(round_no, board, tuple(updated),
+                                     groups, final=not still_active)
+                if not still_active:
+                    return
+            # max-round safety net (only reachable with budgeted
+            # allocation trickling quotas): best-effort finalize.
+            self._finalize_stalled(groups, board)
+            yield self._snapshot(self._max_rounds() + 1, board, (),
+                                 groups, final=True)
+        finally:
+            executor.close()
+
+    # ---------------------------------------------------------------- set-up
+    def _setup_groups(self, sampler: StratifiedSampler,
+                      rng: np.random.Generator) -> List[_GroupState]:
+        """Seed, permute and pilot every group; resolve exact fallbacks.
+
+        Mirrors ``EarlSession.stream()`` per group and per measure: the
+        group RNG draws the permutation first, then (for a single
+        measure) SSABE and the stage continue the same stream.
+        """
+        cfg = self._config
+        keys = sampler.keys
+        seeds = rng.integers(0, 2**63 - 1, size=len(keys), dtype=np.int64)
+        groups: List[_GroupState] = []
+        for key, seed in zip(keys, seeds):
+            group = _GroupState(key, sampler.population(key), int(seed),
+                                sampler.rows(key))
+            self._group_seeds[key] = group.seed
+            group_rng = ensure_rng(group.seed)
+            sampler.attach_rng(key, group_rng)
+            order = sampler.order(key)
+            single = len(self._measures) == 1
+            streams = ([] if single
+                       else spawn_child(group_rng, 2 * len(self._measures)))
+            pilot_n = pilot_size_for(cfg, group.size)
+            for i, measure in enumerate(self._measures):
+                ssabe_rng = group_rng if single else streams[2 * i]
+                stage_rng = group_rng if single else streams[2 * i + 1]
+                mstate = _MeasureState(
+                    measure, i, get_statistic(measure.statistic),
+                    cfg.sigma if measure.sigma is None else measure.sigma,
+                    get_correction(measure.correction,
+                                   get_statistic(measure.statistic).name))
+                group_values = self._columns[i][group.rows]
+                pilot = group_values[order[:pilot_n]]
+                if i == 0:
+                    group.pilot_std = float(np.std(
+                        np.asarray(pilot, dtype=float).reshape(pilot_n, -1)
+                        [:, 0], ddof=1)) if pilot_n > 1 else 0.0
+                if cfg.B_override is not None and cfg.n_override is not None:
+                    B, n = cfg.B_override, cfg.n_override
+                elif pilot_n < 2 ** cfg.subsample_levels:
+                    # The group is too small for SSABE's nested pilot
+                    # halvings (a solo session would refuse such an
+                    # input outright); a group this tiny is cheaper to
+                    # answer exactly, so force the fallback below.
+                    B, n = 1, group.size
+                else:
+                    mstate.ssabe = estimate_parameters(
+                        pilot, group.size, mstate.statistic,
+                        sigma=mstate.sigma, tau=cfg.tau,
+                        levels=cfg.subsample_levels, B_min=cfg.B_min,
+                        stability_window=cfg.stability_window,
+                        maintenance=cfg.maintenance, seed=ssabe_rng)
+                    B = cfg.B_override or mstate.ssabe.B
+                    n = cfg.n_override or mstate.ssabe.n
+                mstate.B, mstate.n = B, n
+                if B * n >= group.size:
+                    mstate.used_fallback = True
+                    mstate.result = exact_fallback_result(
+                        mstate.statistic, group_values,
+                        sigma=mstate.sigma, ssabe=mstate.ssabe)
+                else:
+                    mstate.permuted = group_values[order]
+                    mstate.stage = make_estimation_stage(
+                        mstate.statistic, B, cfg, seed=stage_rng,
+                        executor=None)
+                group.measures.append(mstate)
+            if group.active:
+                group.target = min(
+                    max(max(m.n for m in group.active_measures), 2),
+                    group.size)
+            groups.append(group)
+        if self._allocation == "neyman":
+            for group in groups:
+                sampler.set_scale(group.key, group.pilot_std)
+        return groups
+
+    def _broadcast_columns(self, executor: Executor,
+                           groups: List[_GroupState]
+                           ) -> List[Optional[BroadcastHandle]]:
+        """Ship each measure's stratified-ordered column once.
+
+        Per group the segment holds the group's permuted rows up to the
+        most its expansion policy can ever consume (the SessionManager
+        bound, applied per group), so early-stopping sessions never copy
+        or ship rows no round could read.  Budgeted allocations can
+        out-run a group's own schedule, so they keep the whole group.
+        Every later delta is a ``[lo, hi)`` slice of a segment —
+        zero-copy on shared-memory backends, shipped once at pool
+        construction on process pools.
+        """
+        cfg = self._config
+        bounds: Dict[Hashable, int] = {}
+        for group in groups:
+            if not group.active:
+                continue
+            if self._allocation != ALLOCATION_SCHEDULE:
+                bounds[group.key] = group.size
+                continue
+            bound = group.target
+            for _ in range(cfg.max_iterations - 1):
+                if bound >= group.size:
+                    break
+                bound = min(group.size,
+                            math.ceil(bound * cfg.expansion_factor))
+            bounds[group.key] = bound
+        handles: List[Optional[BroadcastHandle]] = []
+        for i in range(len(self._measures)):
+            segments: List[np.ndarray] = []
+            offset = 0
+            for group in groups:
+                mstate = group.measures[i]
+                permuted, mstate.permuted = mstate.permuted, None
+                if mstate.done or group.key not in bounds:
+                    continue
+                assert permuted is not None
+                segment = permuted[:bounds[group.key]]
+                mstate.seg_start = offset
+                offset += len(segment)
+                segments.append(segment)
+            handles.append(executor.broadcast(np.concatenate(segments))
+                           if segments else None)
+        return handles
+
+    # ---------------------------------------------------------------- rounds
+    def _max_rounds(self) -> int:
+        """Round-count safety bound: schedule mode terminates within
+        ``max_iterations`` rounds; budgeted modes may trickle quotas,
+        so allow proportionally more before best-effort finalize."""
+        if self._allocation == ALLOCATION_SCHEDULE:
+            return self._config.max_iterations
+        return self._config.max_iterations * 8
+
+    def _round_quotas(self, sampler: StratifiedSampler,
+                      active: List[_GroupState]) -> Dict[Hashable, int]:
+        scheduled = {g.key: g.target - g.consumed for g in active}
+        if self._allocation == ALLOCATION_SCHEDULE:
+            return scheduled
+        total = self._round_budget or sum(scheduled.values())
+        if total <= 0:
+            return {}
+        return sampler.allocate(total, active=[g.key for g in active])
+
+    def _offer_round(self, executor: Executor,
+                     work: List[Tuple[_MeasureState, BroadcastHandle,
+                                      int, int]]) -> List[AccuracyEstimate]:
+        """Feed every active pair's delta through the backend; ordered
+        gather keeps results byte-identical across backends."""
+        if executor.is_parallel and len(work) > 1:
+            args = [(m.stage, shared, lo, hi) for m, shared, lo, hi in work]
+            if executor.shares_memory:
+                return executor.map(_offer_shared, args)
+            pairs = executor.map(_offer_owned, args)
+            estimates: List[AccuracyEstimate] = []
+            for (mstate, *_), (stage, estimate) in zip(work, pairs):
+                mstate.stage = stage  # rebind the worker's mutated copy
+                estimates.append(estimate)
+            return estimates
+        return [m.stage.offer(shared.value[lo:hi])
+                for m, shared, lo, hi in work]
+
+    # ------------------------------------------------------------ finalizing
+    def _measure_result(self, group: _GroupState,
+                        mstate: _MeasureState) -> EarlResult:
+        estimate = mstate.estimate
+        assert estimate is not None
+        p = group.consumed / group.size
+        return EarlResult(
+            estimate=mstate.correction(estimate.estimate, p),
+            uncorrected_estimate=estimate.estimate,
+            error=estimate.error,
+            achieved=estimate.meets(mstate.sigma),
+            sigma=mstate.sigma,
+            statistic=mstate.statistic.name,
+            n=group.consumed,
+            B=mstate.B or 0,
+            population_size=group.size,
+            sample_fraction=p,
+            used_fallback=False,
+            simulated_seconds=0.0,
+            iterations=list(mstate.iterations),
+            ssabe=mstate.ssabe,
+            accuracy=estimate)
+
+    def _finalize_stalled(self, groups: List[_GroupState],
+                          board: Dict[Hashable, Dict[str, GroupEstimate]]
+                          ) -> None:
+        """Best-effort results for measures a budgeted run starved."""
+        for group in groups:
+            for mstate in group.active_measures:
+                if mstate.estimate is not None:
+                    mstate.result = self._measure_result(group, mstate)
+                else:
+                    # Never offered a single delta (the budget starved
+                    # this group for every round): answering exactly is
+                    # the only honest terminal choice left.  The scan
+                    # is charged to rows_processed through the
+                    # used_fallback flag.
+                    mstate.used_fallback = True
+                    mstate.result = exact_fallback_result(
+                        mstate.statistic,
+                        self._columns[mstate.index][group.rows],
+                        sigma=mstate.sigma, ssabe=mstate.ssabe)
+                board[group.key][mstate.measure.name] = \
+                    self._entry(group, mstate)
+
+    # ------------------------------------------------------------- snapshots
+    def _entry(self, group: _GroupState,
+               mstate: _MeasureState) -> GroupEstimate:
+        if mstate.used_fallback:
+            res = mstate.result
+            assert res is not None
+            return GroupEstimate(
+                key=group.key, aggregate=mstate.measure.name,
+                statistic=mstate.statistic.name,
+                estimate=res.estimate,
+                uncorrected_estimate=res.uncorrected_estimate,
+                error=0.0, cv=0.0,
+                ci_low=res.estimate, ci_high=res.estimate,
+                sample_size=group.size, group_size=group.size,
+                sample_fraction=1.0, achieved=True, done=True,
+                used_fallback=True, accuracy=None, result=res)
+        estimate = mstate.estimate
+        assert estimate is not None
+        p = group.consumed / group.size
+        return GroupEstimate(
+            key=group.key, aggregate=mstate.measure.name,
+            statistic=mstate.statistic.name,
+            estimate=mstate.correction(estimate.estimate, p),
+            uncorrected_estimate=estimate.estimate,
+            error=estimate.error, cv=estimate.cv,
+            ci_low=estimate.ci_low, ci_high=estimate.ci_high,
+            sample_size=group.consumed, group_size=group.size,
+            sample_fraction=p,
+            achieved=estimate.meets(mstate.sigma),
+            done=mstate.done, used_fallback=False,
+            accuracy=estimate, result=mstate.result)
+
+    def _initial_board(self, groups: List[_GroupState]
+                       ) -> Dict[Hashable, Dict[str, GroupEstimate]]:
+        """Seed the cumulative per-pair board with the exact-fallback
+        entries resolved during set-up."""
+        board: Dict[Hashable, Dict[str, GroupEstimate]] = {}
+        for group in groups:
+            board[group.key] = {}
+            for mstate in group.measures:
+                if mstate.used_fallback:
+                    board[group.key][mstate.measure.name] = \
+                        self._entry(group, mstate)
+        return board
+
+    def _snapshot(self, round_no: int,
+                  board: Dict[Hashable, Dict[str, GroupEstimate]],
+                  updated: Tuple[Tuple[Hashable, str], ...],
+                  groups: List[_GroupState], *,
+                  final: bool) -> GroupedSnapshot:
+        # Distinct rows touched per group: a group where any measure
+        # answered exactly was scanned whole (its sampled rows are a
+        # subset of that scan); otherwise only the consumed prefix.
+        rows = sum(g.size
+                   if any(m.used_fallback for m in g.measures)
+                   else g.consumed
+                   for g in groups)
+        result = None
+        if final:
+            result = GroupedResult(
+                groups={g.key: {m.measure.name: m.result
+                                for m in g.measures if m.result is not None}
+                        for g in groups},
+                rounds=round_no,
+                rows_processed=rows,
+                population_size=len(self._keys))
+        return GroupedSnapshot(
+            round=round_no,
+            groups={key: dict(by_agg) for key, by_agg in board.items()},
+            updated=updated,
+            rows_processed=rows,
+            population_size=len(self._keys),
+            active_groups=sum(1 for g in groups if g.active),
+            final=final,
+            result=result)

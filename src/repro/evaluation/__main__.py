@@ -9,6 +9,8 @@ Usage::
     python -m repro.evaluation fault
     python -m repro.evaluation fig5 --stream
     python -m repro.evaluation fig6 --stream --sizes 50
+    python -m repro.evaluation query
+    python -m repro.evaluation query --keys 32 --sigma 0.03
 
 Prints the same series the corresponding pytest benchmark records under
 ``benchmarks/results/``.  ``--executor`` fans the sweep's points out
@@ -21,6 +23,12 @@ a row per expansion iteration as the simulated cluster produces it —
 the progressively-refined estimate, its CI, and the cost charged so
 far.  Supported for fig5 (mean), fig6 (median) and fig9 (mean,
 post-map sampler); the traced data size is the first ``--sizes`` entry.
+
+``query`` traces one grouped approximate query (``repro.query``) over a
+Zipf-skewed keyed table: a row per round showing groups finished,
+rows processed and the current laggard group — per-group early stopping
+made visible.  ``--keys`` sets the number of groups and ``--sigma`` the
+per-group error bound.
 """
 
 from __future__ import annotations
@@ -98,13 +106,45 @@ def _run_stream_mode(parser: argparse.ArgumentParser,
     return 0
 
 
+def _run_query_mode(args: argparse.Namespace) -> int:
+    """Trace one grouped approximate query, printing each round live."""
+    print(f"grouped query: mean per key over {args.keys} Zipf-skewed "
+          f"key(s), per-group sigma {args.sigma:g}; one row per round:")
+    header_printed = False
+    widths = {}
+
+    def live(row):
+        nonlocal header_printed
+        cells = {col: _fmt(val) for col, val in row.items()}
+        if not header_printed:
+            widths.update({col: max(len(col), 10) for col in cells})
+            print("  ".join(col.ljust(widths[col]) for col in cells))
+            header_printed = True
+        print("  ".join(cells[col].ljust(widths.get(col, 10))
+                        for col in cells))
+
+    kwargs = {"n_keys": args.keys, "sigma": args.sigma,
+              "executor": args.executor, "max_workers": args.workers}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    rows = runners.query_trace(on_snapshot=live, **kwargs)
+    final = rows[-1]
+    print(f"final: {final['groups_done']} group(s) done after "
+          f"{final['round']} round(s), "
+          f"{final['rows_processed']:,} rows processed "
+          f"({_fmt(final['sample_fraction'])} of the table); "
+          f"bounds achieved: {final.get('achieved')}")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
         description="Regenerate one figure of the EARL paper's evaluation "
                     "on the simulated cluster substrate.")
     parser.add_argument("figure",
-                        choices=["fig5", "fig6", "fig7", "fig9", "fault"],
+                        choices=["fig5", "fig6", "fig7", "fig9", "fault",
+                                 "query"],
                         help="which experiment to run")
     parser.add_argument("--sizes", type=float, nargs="+", default=None,
                         help="data sizes in (logical) GB, or failed-node "
@@ -122,8 +162,16 @@ def main(argv: List[str] | None = None) -> int:
                         help="progress mode: trace one streaming EarlJob "
                              "run of the figure's statistic, one row per "
                              "expansion iteration (fig5/fig6/fig9)")
+    parser.add_argument("--keys", type=int, default=8,
+                        help="number of groups for the 'query' trace "
+                             "(default 8)")
+    parser.add_argument("--sigma", type=float, default=0.05,
+                        help="per-group error bound for the 'query' "
+                             "trace (default 0.05)")
     args = parser.parse_args(argv)
 
+    if args.figure == "query":
+        return _run_query_mode(args)
     if args.stream:
         return _run_stream_mode(parser, args)
 

@@ -302,6 +302,63 @@ def stream_trace(gb: float = 10.0, *, statistic: str = "mean",
 
 
 # ---------------------------------------------------------------------------
+# grouped approximate queries (repro.query)
+# ---------------------------------------------------------------------------
+
+
+def query_trace(records: int = 200_000, *, n_keys: int = 8,
+                skew: float = 1.5, statistic: str = "mean",
+                sigma: float = 0.05, seed: int = 1700,
+                allocation: str = "schedule",
+                executor: Optional[str] = None,
+                max_workers: Optional[int] = None,
+                on_snapshot: Optional[Callable[[Dict[str, object]], None]]
+                = None) -> List[Dict[str, object]]:
+    """Progressive rows of one grouped approximate query.
+
+    Streams ``Query(select=[agg(statistic, "value")], group_by="key")``
+    over a Zipf-skewed keyed table
+    (:func:`repro.workloads.skewed_keyed_values`) and turns every
+    :class:`~repro.core.GroupedSnapshot` into a row: groups done so
+    far, rows processed, and the current laggard (the unfinished group
+    with the largest error — the group the next round keeps sampling).
+    The final row carries the per-group achievement summary.
+    """
+    from repro.query import Query, agg
+    from repro.workloads import skewed_keyed_values
+
+    keys, values = skewed_keyed_values(records, n_keys, skew=skew,
+                                       seed=seed)
+    query = Query([agg(statistic, "value")], group_by="key",
+                  allocation=allocation).on(
+        {"key": keys, "value": values},
+        config=EarlConfig(sigma=sigma, seed=seed + 1,
+                          executor=executor or "serial",
+                          max_workers=max_workers))
+    rows: List[Dict[str, object]] = []
+    for snap in query.stream():
+        done = sum(1 for by_agg in snap.groups.values()
+                   for e in by_agg.values() if e.done)
+        laggard = snap.worst
+        row: Dict[str, object] = {
+            "round": snap.round,
+            "groups_done": done,
+            "groups_active": snap.active_groups,
+            "rows_processed": snap.rows_processed,
+            "sample_fraction": snap.rows_processed / snap.population_size,
+            "laggard": "-" if laggard is None else str(laggard.key),
+            "laggard_error": 0.0 if laggard is None else laggard.error,
+            "final": snap.final,
+            "achieved": (snap.result.achieved
+                         if snap.result is not None else "-"),
+        }
+        if on_snapshot is not None:
+            on_snapshot(row)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # §3.4 — fault tolerance sweep
 # ---------------------------------------------------------------------------
 

@@ -20,10 +20,12 @@ from repro.hdfs.namenode import FileMeta, NameNode
 from repro.hdfs.record_reader import LineRecordReader
 from repro.hdfs.rebalancer import imbalance, rebalance, replica_counts
 from repro.hdfs.split_cache import (
+    BARE_LINE_KEY,
     CacheStats,
     SplitIndex,
     SplitIndexCache,
     build_split_index,
+    read_keyed_column,
     read_numeric_column,
 )
 from repro.hdfs.splits import InputSplit, compute_splits
@@ -35,6 +37,8 @@ __all__ = [
     "SplitIndexCache",
     "build_split_index",
     "read_numeric_column",
+    "read_keyed_column",
+    "BARE_LINE_KEY",
     "Block",
     "DataNode",
     "NameNode",

@@ -282,6 +282,10 @@ class SplitIndexCache:
         #: Default-parser numeric columns per path (read-only arrays),
         #: so repeated whole-file ingests also skip the float parse.
         self._columns: Dict[str, np.ndarray] = {}
+        #: Keyed ``(keys, values)`` column pairs per (path, delimiter)
+        #: — the grouped-query ingest counterpart of ``_columns``.
+        self._keyed: Dict[Tuple[str, str],
+                          Tuple[np.ndarray, np.ndarray]] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------ split view
@@ -375,23 +379,40 @@ class SplitIndexCache:
         column.setflags(write=False)
         self._columns[path] = column
 
+    def keyed_lookup(self, path: str, delimiter: str
+                     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The cached ``(keys, values)`` columns of ``path``, if any."""
+        return self._keyed.get((path, delimiter))
+
+    def store_keyed(self, path: str, delimiter: str, keys: np.ndarray,
+                    values: np.ndarray) -> None:
+        """Cache a whole-file keyed column pair (both read-only: they
+        are handed out by reference on every later ingest)."""
+        keys.setflags(write=False)
+        values.setflags(write=False)
+        self._keyed[(path, delimiter)] = (keys, values)
+
     # ---------------------------------------------------------- invalidation
     def invalidate(self, path: str) -> None:
         """Drop every cached view of ``path`` (called on write/delete)."""
         stale = [k for k in self._indexes if k[0] == path]
         stale_blocks = [k for k in self._block_lines if k[0] == path]
+        stale_keyed = [k for k in self._keyed if k[0] == path]
         for k in stale:
             del self._indexes[k]
         for k in stale_blocks:
             del self._block_lines[k]
+        for k in stale_keyed:
+            del self._keyed[k]
         had_column = self._columns.pop(path, None) is not None
-        if stale or stale_blocks or had_column:
+        if stale or stale_blocks or stale_keyed or had_column:
             self.stats.invalidations += 1
 
     def clear(self) -> None:
         self._indexes.clear()
         self._block_lines.clear()
         self._columns.clear()
+        self._keyed.clear()
 
     def __len__(self) -> int:
         return len(self._indexes)
@@ -468,3 +489,63 @@ def read_numeric_column(fs, path: str, *,
     if cache is not None and parser is None:
         cache.store_column(path, column)
     return column
+
+
+#: Key assigned to lines without a delimiter (bare numeric values) —
+#: the same constant key :class:`~repro.mapreduce.ProjectionMapper`
+#: routes such lines under, so the two ingest paths agree on grouping.
+BARE_LINE_KEY = "all"
+
+
+def read_keyed_column(fs, path: str, *,
+                      delimiter: str = "\t",
+                      ledger: Optional[CostLedger] = None,
+                      split_logical_bytes: Optional[int] = None,
+                      cached: bool = True
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize a ``key<TAB>value`` file as two aligned columns.
+
+    The keyed ingest entry point for the grouped query engine
+    (:meth:`repro.query.Query.from_hdfs`): every split is read through
+    the cached record reader, each line is split on ``delimiter`` into
+    ``(key, float(value))`` — a line with no delimiter parses as a bare
+    value under :data:`BARE_LINE_KEY`, matching
+    :class:`~repro.mapreduce.ProjectionMapper` — and the finished
+    column pair is cached per ``(path, delimiter)``, so a second query
+    over the same file replays the cached columns without decoding or
+    parsing anything.  Returned arrays are read-only when they come
+    from the cache.  Simulated cost is a full scan on *every* call
+    either way, charged to ``ledger``.
+    """
+    from repro.hdfs.record_reader import LineRecordReader
+
+    cache = getattr(fs, "split_cache", None) if cached else None
+    splits = fs.get_splits(path, split_logical_bytes)
+    hit = cache.keyed_lookup(path, delimiter) if cache is not None else None
+    if hit is not None:
+        # Replay the scan's simulated charges (and its failure
+        # behaviour) without rebuilding the columns.
+        for split in splits:
+            reader = LineRecordReader(fs, split, ledger=ledger, cached=True)
+            for _ in reader.read_records():
+                pass
+        return hit
+
+    keys: List[str] = []
+    values: List[str] = []
+    for split in splits:
+        reader = LineRecordReader(fs, split, ledger=ledger, cached=cached)
+        for _, line in reader.read_records():
+            key, sep, payload = line.partition(delimiter)
+            if sep:
+                keys.append(key)
+                values.append(payload)
+            else:
+                keys.append(BARE_LINE_KEY)
+                values.append(line)
+    key_column = np.asarray(keys, dtype=object)
+    value_column = (np.asarray(values, dtype=float) if values
+                    else np.empty(0, dtype=float))
+    if cache is not None:
+        cache.store_keyed(path, delimiter, key_column, value_column)
+    return key_column, value_column

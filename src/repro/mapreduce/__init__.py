@@ -7,7 +7,11 @@ the paper makes to Hadoop (§2.1): early reduce input, persistent mappers
 protocol (:class:`IncrementalReducer`).
 """
 
-from repro.mapreduce.combiner import run_combiner
+from repro.mapreduce.combiner import (
+    GroupStateCombiner,
+    is_estimator_state,
+    run_combiner,
+)
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.errors import (
     InvalidJobError,
@@ -62,6 +66,8 @@ __all__ = [
     "TaskContext",
     "estimate_pair_bytes",
     "run_combiner",
+    "GroupStateCombiner",
+    "is_estimator_state",
     "MapReduceError",
     "JobFailedError",
     "TaskFailedError",

@@ -3,11 +3,19 @@
 A combiner is a reducer run on each mapper's local output before the
 shuffle; it shrinks shuffle traffic for algebraic aggregates.  The engine
 applies it per partition buffer, mirroring Hadoop's spill-time combining.
+
+:class:`GroupStateCombiner` is the grouped pre-aggregation path: it folds
+each key's raw values into one mergeable estimator state
+(:class:`~repro.core.estimators.EstimatorState`) map-side, so a grouped
+aggregation ships one small state per ``(key, spill)`` through the
+shuffle instead of every record — the classic combiner win, expressed in
+EARL's incremental-reduce vocabulary (states are exactly what
+:class:`~repro.core.earl.StatisticReducer` merges reduce-side).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List
+from typing import Any, Dict, Hashable, Iterable, List
 
 from repro.mapreduce.reducer import Reducer
 from repro.mapreduce.types import KeyValue, TaskContext
@@ -38,3 +46,45 @@ def run_combiner(combiner: Reducer, pairs: List[KeyValue],
                     f"group {key!r} emitted {out_key!r}")
             combined.append((out_key, out_value))
     return combined
+
+
+def is_estimator_state(value: Any) -> bool:
+    """Whether ``value`` looks like a mergeable estimator state (the
+    duck type :class:`~repro.core.earl.StatisticReducer` already
+    recognizes: ``result()`` + ``add()``)."""
+    return hasattr(value, "result") and hasattr(value, "add")
+
+
+class GroupStateCombiner(Reducer):
+    """Fold each key's values into one mergeable estimator state.
+
+    Emitted states are merged again at every combining level (re-spills,
+    then the reducer), so the path is associative end to end; only
+    statistics whose state supports ``merge`` qualify — the constructor
+    rejects the rest up front rather than failing mid-shuffle.
+    """
+
+    #: Pure per-call state — combine waves may run concurrently.
+    parallel_safe = True
+
+    def __init__(self, statistic: Any) -> None:
+        # Lazy import: mapreduce sits below core in the layering; pull
+        # the statistic registry in at construction time only.
+        from repro.core.estimators import get_statistic
+        self._stat = get_statistic(statistic)
+        probe = self._stat.make_state()
+        if not hasattr(probe, "merge"):
+            raise ValueError(
+                f"statistic {self._stat.name!r} has no mergeable state; "
+                "map-side pre-aggregation needs merge() (holistic "
+                "statistics such as quantiles must ship raw values)")
+
+    def reduce(self, key: Hashable, values: Any,
+               ctx: TaskContext) -> Iterable[KeyValue]:
+        state = self._stat.make_state()
+        for value in values:
+            if is_estimator_state(value):
+                state.merge(value)
+            else:
+                state.add(float(value))
+        yield key, state

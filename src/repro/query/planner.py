@@ -1,0 +1,124 @@
+"""Planning: a bound :class:`~repro.query.Query` onto the grouped engine.
+
+The planner is deliberately small — the query model is declarative and
+the heavy lifting lives in the layers below — but it is where the
+SQL-ish surface meets the stack:
+
+1. **Materialize columns** from the bound source (any mapping of column
+   name → array-like; all referenced columns must exist and agree on
+   length).
+2. **Apply ``where``** as a vectorized row mask *before* any sampling —
+   filtered rows never enter a stratum, so per-group populations (and
+   the ``1/p`` corrections built on them) refer to the filtered table.
+3. **Form measures**: one :class:`~repro.core.Measure` per ``select``
+   aggregate (a column pair becomes stacked 2-D row items for row-wise
+   statistics such as ``"correlation"``).
+4. **Build the grouped session** over the ``group_by`` column (or a
+   single whole-table stratum when the query is ungrouped) with the
+   query's allocation policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.config import EarlConfig
+from repro.core.grouped import GroupedEarlSession, Measure
+from repro.query.model import WHERE_OPS, Query
+
+#: Stratum key used for ungrouped (whole-table) queries.
+ALL_ROWS_KEY = "all"
+
+
+def materialize_columns(query: Query) -> Dict[str, np.ndarray]:
+    """Pull every referenced column out of the bound source as an array.
+
+    The ``group_by`` column keeps its values verbatim (object dtype —
+    keys may be strings, ints, …); aggregate and ``where`` columns stay
+    in their natural numpy dtype for vectorized filtering.
+    """
+    source = query.source
+    assert source is not None
+    referenced = set()
+    for aggregate in query.select:
+        referenced.update(aggregate.columns)
+    if query.group_by is not None:
+        referenced.add(query.group_by)
+    if query.where is not None and not callable(query.where):
+        referenced.add(query.where[0])
+    columns: Dict[str, np.ndarray] = {}
+    length = None
+    for name in sorted(referenced):
+        if name not in source:
+            raise KeyError(
+                f"column {name!r} is not in the bound source "
+                f"(has: {sorted(source)})")
+        column = (np.asarray(source[name], dtype=object)
+                  if name == query.group_by
+                  else np.asarray(source[name]))
+        if column.ndim != 1:
+            raise ValueError(f"column {name!r} must be 1-D")
+        if length is None:
+            length = len(column)
+        elif len(column) != length:
+            raise ValueError(
+                f"column {name!r} has {len(column)} rows; expected "
+                f"{length}")
+        columns[name] = column
+    if length == 0:
+        raise ValueError("the bound source has no rows")
+    return columns
+
+
+def where_mask(query: Query,
+               columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Vectorized boolean row mask for the query's ``where`` clause."""
+    length = len(next(iter(columns.values())))
+    if query.where is None:
+        return np.ones(length, dtype=bool)
+    if callable(query.where):
+        mask = np.asarray(query.where(dict(columns)))
+    else:
+        column, op, literal = query.where
+        mask = np.asarray(WHERE_OPS[op](columns[column], literal))
+    if mask.dtype != bool or mask.shape != (length,):
+        raise ValueError(
+            "where must produce one boolean per row "
+            f"(got dtype {mask.dtype}, shape {mask.shape})")
+    return mask
+
+
+def plan_query(query: Query) -> GroupedEarlSession:
+    """Plan a bound query: columns → filter → measures → grouped session."""
+    columns = materialize_columns(query)
+    mask = where_mask(query, columns)
+    if not mask.any():
+        raise ValueError("where filtered out every row")
+    if not mask.all():
+        columns = {name: col[mask] for name, col in columns.items()}
+
+    if query.group_by is not None:
+        keys = columns[query.group_by]
+    else:
+        keys = np.full(len(next(iter(columns.values()))), ALL_ROWS_KEY,
+                       dtype=object)
+
+    measures = []
+    for aggregate in query.select:
+        if isinstance(aggregate.column, str):
+            values = columns[aggregate.column]
+        else:
+            x, y = aggregate.column
+            values = np.column_stack((columns[x], columns[y]))
+        measures.append(Measure(
+            name=aggregate.name, statistic=aggregate.statistic,
+            values=values, sigma=aggregate.sigma,
+            correction=aggregate.correction))
+
+    return GroupedEarlSession(
+        keys, measures,
+        config=query.config or EarlConfig(),
+        allocation=query.allocation,
+        round_budget=query.round_budget)

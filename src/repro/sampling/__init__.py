@@ -7,6 +7,9 @@
 * :func:`reservoir_sample` — exact-uniform one-pass baseline.
 * :func:`sample_blocks` — biased block-level baseline (§7).
 * :class:`TwoFileSampler` — Olken & Rotem's 2-file/ARHASH method (§7).
+* :class:`StratifiedSampler` — per-stratum uniform sampling over keyed
+  records with uniform / proportional / Neyman quota allocation (the
+  grouped-query design).
 """
 
 from repro.sampling.base import allocate_per_split, draw_sample
@@ -14,6 +17,14 @@ from repro.sampling.block_sampling import block_sampling_bias, sample_blocks
 from repro.sampling.postmap import PostMapSampler
 from repro.sampling.premap import PreMapSampler
 from repro.sampling.reservoir import reservoir_sample, reservoir_sample_indices
+from repro.sampling.stratified import (
+    ALLOCATION_NEYMAN,
+    ALLOCATION_PROPORTIONAL,
+    ALLOCATION_UNIFORM,
+    ALLOCATIONS,
+    StratifiedSampler,
+    allocate_with_caps,
+)
 from repro.sampling.twofile import TwoFileSampler
 
 __all__ = [
@@ -24,6 +35,12 @@ __all__ = [
     "sample_blocks",
     "block_sampling_bias",
     "TwoFileSampler",
+    "StratifiedSampler",
+    "ALLOCATIONS",
+    "ALLOCATION_UNIFORM",
+    "ALLOCATION_PROPORTIONAL",
+    "ALLOCATION_NEYMAN",
+    "allocate_with_caps",
     "draw_sample",
     "allocate_per_split",
 ]

@@ -1,0 +1,263 @@
+"""Stratified sampling over keyed records (the GROUP BY sampling design).
+
+Uniform sampling starves rare groups: a key holding 1 % of a table gets
+1 % of every sample, so its estimate converges ~100x slower than the
+head key's and the whole query is held hostage by its laggard.  A
+stratified design samples **within** each group instead — every group's
+sample is uniform-without-replacement over *that group's* rows, and the
+per-round budget is divided between groups by an allocation policy:
+
+* ``"uniform"`` — equal quota per stratum ("senate" allocation: every
+  group gets the same representation regardless of population);
+* ``"proportional"`` — quota ∝ stratum population ("house" allocation;
+  reproduces plain uniform table sampling in expectation);
+* ``"neyman"`` — quota ∝ N_h·S_h (population × dispersion): the
+  classical variance-minimizing allocation, using per-stratum scale
+  estimates from a pilot (falls back to proportional until scales are
+  known).
+
+The sampler is the keyed-record counterpart of the in-memory helpers in
+:mod:`repro.sampling.base`: it materializes one permutation per stratum
+(prefixes = uniform samples without replacement, exactly the design of
+:class:`~repro.core.EarlSession` within each group), tracks consumption,
+and allocates integer quotas by largest remainder with caps at each
+stratum's remaining rows — deterministic for a fixed seed, so the
+grouped drivers built on top are reproducible across executor backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.validation import check_positive_int
+
+#: Allocation policy names (see module docstring).
+ALLOCATION_UNIFORM = "uniform"
+ALLOCATION_PROPORTIONAL = "proportional"
+ALLOCATION_NEYMAN = "neyman"
+
+ALLOCATIONS = (ALLOCATION_UNIFORM, ALLOCATION_PROPORTIONAL,
+               ALLOCATION_NEYMAN)
+
+
+def allocate_with_caps(weights: Sequence[float], total: int,
+                       caps: Sequence[int]) -> List[int]:
+    """Allocate ``total`` integer units ∝ ``weights``, capped per slot.
+
+    Largest-remainder rounding (the same scheme as
+    :func:`repro.sampling.base.allocate_per_split`), then any excess over
+    a slot's cap is redistributed among the uncapped slots — repeated
+    until everything is placed or every slot is full.  Deterministic:
+    ties break on slot order.
+    """
+    if total < 0:
+        raise ValueError("total cannot be negative")
+    weights = np.asarray(weights, dtype=float)
+    caps_arr = np.asarray(caps, dtype=np.int64)
+    if weights.shape != caps_arr.shape:
+        raise ValueError("weights and caps must have matching lengths")
+    if np.any(weights < 0):
+        raise ValueError("weights cannot be negative")
+    counts = np.zeros(len(weights), dtype=np.int64)
+    remaining = min(int(total), int(caps_arr.sum()))
+    open_slots = caps_arr > 0
+    while remaining > 0 and open_slots.any():
+        w = np.where(open_slots, weights, 0.0)
+        if w.sum() <= 0.0:
+            # No informative weights among the open slots: spread evenly.
+            w = open_slots.astype(float)
+        shares = w / w.sum() * remaining
+        step = np.floor(shares).astype(np.int64)
+        leftover = remaining - int(step.sum())
+        if leftover > 0:
+            # Hand leftover units to the largest fractional parts among
+            # open slots (argsort is stable: ties go to earlier slots).
+            frac = np.where(open_slots, shares - step, -1.0)
+            for slot in np.argsort(-frac, kind="stable")[:leftover]:
+                step[slot] += 1
+        step = np.minimum(step, caps_arr - counts)
+        counts += step
+        remaining -= int(step.sum())
+        open_slots = counts < caps_arr
+        if int(step.sum()) == 0:
+            # Every open slot rounded to zero (total < open slot count
+            # after capping): give one unit at a time by weight order.
+            order = np.argsort(-np.where(open_slots, weights, -1.0),
+                               kind="stable")
+            for slot in order:
+                if remaining == 0:
+                    break
+                if open_slots[slot]:
+                    counts[slot] += 1
+                    remaining -= 1
+            open_slots = counts < caps_arr
+    return [int(c) for c in counts]
+
+
+class StratifiedSampler:
+    """Per-stratum uniform sampling with policy-driven quota allocation.
+
+    Parameters
+    ----------
+    keys:
+        One group key per table row; strata are formed in order of first
+        appearance (a stable order every consumer shares).
+    allocation:
+        Quota policy for :meth:`allocate` — one of :data:`ALLOCATIONS`.
+    seed:
+        Seeds the per-stratum permutations drawn lazily on first use.
+        A caller that owns per-stratum RNG streams (the grouped EARL
+        session does, to stay byte-identical with solo sessions) may
+        instead install them via :meth:`attach_rng` before any draw.
+
+    Example
+    -------
+    >>> sampler = StratifiedSampler(["a", "b", "a", "b", "b"], seed=0)
+    >>> sampler.populations == {"a": 2, "b": 3}
+    True
+    >>> quotas = sampler.allocate(3)          # proportional by default
+    >>> sum(quotas.values())
+    3
+    """
+
+    def __init__(self, keys: Sequence[Hashable], *,
+                 allocation: str = ALLOCATION_PROPORTIONAL,
+                 seed: SeedLike = None) -> None:
+        if allocation not in ALLOCATIONS:
+            raise ValueError(f"unknown allocation {allocation!r}; "
+                             f"known: {list(ALLOCATIONS)}")
+        if len(keys) == 0:
+            raise ValueError("keys must be non-empty")
+        self.allocation = allocation
+        self._rng = ensure_rng(seed)
+        self._keys: List[Hashable] = []
+        rows: Dict[Hashable, List[int]] = {}
+        for row, key in enumerate(keys):
+            bucket = rows.get(key)
+            if bucket is None:
+                rows[key] = bucket = []
+                self._keys.append(key)
+            bucket.append(row)
+        self._rows: Dict[Hashable, np.ndarray] = {
+            key: np.asarray(positions, dtype=np.int64)
+            for key, positions in rows.items()}
+        self._orders: Dict[Hashable, np.ndarray] = {}
+        self._consumed: Dict[Hashable, int] = {key: 0 for key in self._keys}
+        self._scales: Dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------- inventory
+    @property
+    def keys(self) -> List[Hashable]:
+        """Stratum keys in order of first appearance."""
+        return list(self._keys)
+
+    @property
+    def populations(self) -> Dict[Hashable, int]:
+        """Rows per stratum."""
+        return {key: len(self._rows[key]) for key in self._keys}
+
+    def population(self, key: Hashable) -> int:
+        return len(self._rows[key])
+
+    def consumed(self, key: Hashable) -> int:
+        return self._consumed[key]
+
+    def remaining(self, key: Hashable) -> int:
+        return len(self._rows[key]) - self._consumed[key]
+
+    @property
+    def sampled_count(self) -> int:
+        """Total rows consumed across every stratum."""
+        return sum(self._consumed.values())
+
+    def rows(self, key: Hashable) -> np.ndarray:
+        """Table-row indices of ``key``'s stratum, in appearance order."""
+        return self._rows[key]
+
+    # ------------------------------------------------------------ randomness
+    def attach_rng(self, key: Hashable, rng: np.random.Generator) -> None:
+        """Draw ``key``'s permutation *now* from a caller-owned stream.
+
+        Must happen before the stratum's first :meth:`peek`/:meth:`take`
+        (a lazily drawn permutation cannot be replaced — samples already
+        handed out would silently change design).
+        """
+        if key in self._orders:
+            raise RuntimeError(f"stratum {key!r} is already permuted")
+        self._orders[key] = rng.permutation(len(self._rows[key]))
+
+    def order(self, key: Hashable) -> np.ndarray:
+        """``key``'s within-stratum permutation (drawn on first use).
+
+        Prefixes of ``rows(key)[order(key)]`` are uniform samples without
+        replacement from the stratum.
+        """
+        order = self._orders.get(key)
+        if order is None:
+            order = self._rng.permutation(len(self._rows[key]))
+            self._orders[key] = order
+        return order
+
+    # ------------------------------------------------------------ allocation
+    def set_scale(self, key: Hashable, scale: float) -> None:
+        """Install a dispersion estimate (e.g. a pilot's std) for Neyman
+        allocation; non-finite or negative scales are rejected."""
+        if not np.isfinite(scale) or scale < 0:
+            raise ValueError(f"scale must be finite and >= 0, got {scale}")
+        self._scales[key] = float(scale)
+
+    def weights(self, active: Sequence[Hashable]) -> np.ndarray:
+        """Allocation weights for ``active`` strata under the policy."""
+        if self.allocation == ALLOCATION_UNIFORM:
+            return np.ones(len(active))
+        pops = np.array([self.population(k) for k in active], dtype=float)
+        if self.allocation == ALLOCATION_PROPORTIONAL:
+            return pops
+        # Neyman: N_h * S_h; fall back to proportional until every
+        # active stratum has a scale (a partial scale map would bias
+        # the split toward whichever groups happened to report first).
+        if not all(k in self._scales for k in active):
+            return pops
+        return pops * np.array([self._scales[k] for k in active])
+
+    def allocate(self, total: int,
+                 active: Optional[Sequence[Hashable]] = None
+                 ) -> Dict[Hashable, int]:
+        """Split a round budget of ``total`` rows across strata.
+
+        ``active`` restricts the split (default: every stratum); quotas
+        are capped at each stratum's remaining rows, with the excess
+        redistributed, so the returned quotas are always drawable.
+        """
+        check_positive_int("total", total)
+        strata = list(active) if active is not None else self.keys
+        caps = [self.remaining(k) for k in strata]
+        counts = allocate_with_caps(self.weights(strata), total, caps)
+        return dict(zip(strata, counts))
+
+    # ------------------------------------------------------------- drawing
+    def peek(self, key: Hashable, count: int) -> np.ndarray:
+        """First ``count`` sampled table rows of ``key`` — *without*
+        consuming them (the pilot is a prefix of the same sample the
+        expansion loop will walk, exactly like the solo drivers)."""
+        if count < 0 or count > self.population(key):
+            raise ValueError(
+                f"cannot peek {count} rows of stratum {key!r} "
+                f"holding {self.population(key)}")
+        return self._rows[key][self.order(key)[:count]]
+
+    def take(self, key: Hashable, count: int) -> np.ndarray:
+        """Consume and return the next ``count`` sampled table rows of
+        ``key`` (uniform without replacement within the stratum)."""
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        if count > self.remaining(key):
+            raise ValueError(
+                f"cannot draw {count} rows from stratum {key!r} with "
+                f"{self.remaining(key)} remaining")
+        lo = self._consumed[key]
+        self._consumed[key] = lo + count
+        return self._rows[key][self.order(key)[lo:lo + count]]

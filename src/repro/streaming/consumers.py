@@ -19,9 +19,11 @@ actually want on top of that iterator protocol:
   completion), and an imperative :meth:`~StreamConsumer.stop` that can
   be called from inside a callback.
 
-Both accept anything exposing ``stream() -> Iterator[ProgressSnapshot]``
-— the two EARL drivers today, and any future progressive engine that
-honors the same snapshot contract.
+Both accept anything exposing ``stream() -> Iterator[snapshot]`` whose
+snapshots carry ``final`` and ``result`` — the two EARL drivers, the
+grouped query engine (:class:`repro.query.Query` yielding
+:class:`~repro.core.GroupedSnapshot`), and any future progressive
+engine that honors the same contract.
 """
 
 from __future__ import annotations

@@ -14,17 +14,21 @@ from repro.workloads.synthetic import (
     clustered_lines,
     gaussian_mixture_points,
     keyed_lines,
+    keyed_value_lines,
     numeric_dataset,
     numeric_lines,
     parse_point,
     point_lines,
     population_summary,
+    skewed_keyed_values,
 )
 
 __all__ = [
     "numeric_dataset",
     "numeric_lines",
     "keyed_lines",
+    "keyed_value_lines",
+    "skewed_keyed_values",
     "clustered_lines",
     "categorical_dataset",
     "ar1_series",

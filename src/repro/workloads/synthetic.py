@@ -75,6 +75,64 @@ def keyed_lines(values: Sequence[float], n_keys: int, *,
             for k, v in zip(keys, values)]
 
 
+def skewed_keyed_values(n: int, n_keys: int, *, skew: float = 1.5,
+                        value_sigma: float = 1.0,
+                        seed: SeedLike = None
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+    """Zipf-skewed keyed records: the grouped-query stress workload.
+
+    Key ``k`` (0-based popularity rank) receives a share of the ``n``
+    rows proportional to ``1 / (k + 1)^skew`` — the head key dominates
+    and the tail keys are rare, which is exactly where uniform table
+    sampling starves per-group estimates.  Values are lognormal with a
+    per-key location so groups have genuinely different answers.
+
+    Returns ``(keys, values)``: an object array of ``"g000"``-style key
+    strings plus an aligned float column.  Every key appears at least
+    once.
+    """
+    check_positive_int("n", n)
+    check_positive_int("n_keys", n_keys)
+    if n < n_keys:
+        raise ValueError(f"need n >= n_keys, got n={n}, n_keys={n_keys}")
+    if skew < 0:
+        raise ValueError("skew cannot be negative")
+    rng = ensure_rng(seed)
+    shares = 1.0 / np.arange(1, n_keys + 1, dtype=float) ** skew
+    counts = np.maximum(
+        1, np.floor(shares / shares.sum() * n).astype(int))
+    # Settle rounding slack.  Shortfall goes to the head key; excess
+    # (many tail keys floored to 0 then bumped to 1) is trimmed from
+    # the largest strata, never below the one-row-per-key guarantee —
+    # n >= n_keys makes that always feasible.
+    slack = n - int(counts.sum())
+    if slack >= 0:
+        counts[0] += slack
+    else:
+        for idx in np.argsort(-counts, kind="stable"):
+            if slack == 0:
+                break
+            trim = min(-slack, int(counts[idx]) - 1)
+            counts[idx] -= trim
+            slack += trim
+    ranks = np.repeat(np.arange(n_keys), counts)
+    rng.shuffle(ranks)
+    keys = np.array([f"g{int(r):03d}" for r in ranks], dtype=object)
+    # Per-key location spreads the group means apart (~10% steps).
+    values = rng.lognormal(3.0 + 0.1 * ranks, value_sigma)
+    return keys, values
+
+
+def keyed_value_lines(keys: Sequence[object],
+                      values: Sequence[float]) -> List[str]:
+    """``key<TAB>value`` lines for explicit keyed columns (the inverse
+    of :func:`repro.hdfs.read_keyed_column`'s parse)."""
+    if len(keys) != len(values):
+        raise ValueError("keys and values must align")
+    return [f"{k}\t" + NUMERIC_FORMAT.format(float(v))
+            for k, v in zip(keys, values)]
+
+
 def clustered_lines(values: Sequence[float]) -> List[str]:
     """Values sorted ascending — the §7 layout that biases block sampling.
 

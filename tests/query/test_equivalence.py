@@ -1,0 +1,98 @@
+"""Grouped-vs-solo equivalence: each group of a single-aggregate
+grouped session is byte-identical to an independent EarlSession run on
+that group's rows alone with the group's seed — across backends."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig, EarlSession
+from repro.core.grouped import GroupedEarlSession, Measure
+
+BACKENDS = ["serial", "threads", "processes"]
+
+
+def keyed_data(seed=21, n=50_000):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(np.array(["x", "y", "z"], dtype=object),
+                      size=n, p=[0.6, 0.3, 0.1])
+    values = rng.lognormal(3.0, 1.2, n)
+    return keys, values
+
+
+def result_fields(res):
+    """Every field a consumer can act on, exact (no tolerance)."""
+    acc = res.accuracy
+    return (
+        res.estimate, res.uncorrected_estimate, res.error, res.achieved,
+        res.sigma, res.statistic, res.n, res.B, res.population_size,
+        res.sample_fraction, res.used_fallback, res.num_iterations,
+        None if acc is None else (acc.estimate, acc.point_estimate,
+                                  acc.error, acc.cv, acc.std, acc.bias,
+                                  acc.ci_low, acc.ci_high, acc.n, acc.B),
+        tuple((it.iteration, it.sample_size, it.expanded,
+               it.accuracy.estimate, it.accuracy.error)
+              for it in res.iterations),
+    )
+
+
+class TestGroupedSoloEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("statistic", ["mean", "p90"])
+    def test_byte_identical_per_group(self, backend, statistic):
+        keys, values = keyed_data()
+        cfg = EarlConfig(sigma=0.04, seed=99, executor=backend,
+                         max_workers=2)
+        session = GroupedEarlSession(
+            keys, [Measure("m", statistic, values)], config=cfg)
+        grouped = session.run()
+        seeds = session.group_seeds
+        for key in grouped.groups:
+            solo_cfg = replace(cfg, seed=seeds[key], executor="serial")
+            solo = EarlSession(values[keys == key], statistic,
+                               config=solo_cfg).run()
+            assert result_fields(grouped.groups[key]["m"]) \
+                == result_fields(solo), f"group {key!r} diverged"
+
+    def test_exact_fallback_groups_equivalent_too(self):
+        rng = np.random.default_rng(5)
+        keys = np.array(["big"] * 30_000 + ["tiny"] * 60, dtype=object)
+        values = np.concatenate([rng.lognormal(3.0, 1.0, 30_000),
+                                 rng.normal(10.0, 2.0, 60)])
+        cfg = EarlConfig(sigma=0.05, seed=17)
+        session = GroupedEarlSession(
+            keys, [Measure("m", "mean", values)], config=cfg)
+        grouped = session.run()
+        for key in ("big", "tiny"):
+            solo = EarlSession(
+                values[keys == key], "mean",
+                config=replace(cfg, seed=session.group_seeds[key])).run()
+            assert result_fields(grouped.groups[key]["m"]) \
+                == result_fields(solo)
+        assert grouped.groups["tiny"]["m"].used_fallback
+
+    def test_group_seeds_stable_for_fixed_config_seed(self):
+        keys, values = keyed_data()
+        cfg = EarlConfig(sigma=0.05, seed=4)
+        a = GroupedEarlSession(keys, [Measure("m", "mean", values)],
+                               config=cfg)
+        b = GroupedEarlSession(keys, [Measure("m", "mean", values)],
+                               config=cfg)
+        a.run()
+        b.run()
+        assert a.group_seeds == b.group_seeds
+
+    def test_overrides_shortcut_matches_solo(self):
+        keys, values = keyed_data(n=30_000)
+        cfg = EarlConfig(sigma=0.05, seed=31, B_override=20,
+                         n_override=400)
+        session = GroupedEarlSession(
+            keys, [Measure("m", "mean", values)], config=cfg)
+        grouped = session.run()
+        for key in grouped.groups:
+            solo = EarlSession(
+                values[keys == key], "mean",
+                config=replace(cfg, seed=session.group_seeds[key])).run()
+            assert result_fields(grouped.groups[key]["m"]) \
+                == result_fields(solo)

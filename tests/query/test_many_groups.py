@@ -1,0 +1,60 @@
+"""Many-group stability: a grouped session over >= 1k distinct keys.
+
+Marked ``slow``: the default tier-1 run skips it (``make test-all``
+includes it).  Guards against per-group state blow-ups — 1k groups mean
+1k pilots, 1k resample sets and a 1k-segment broadcast — and against
+quadratic behaviour in the round loop's bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.query import Query, agg
+
+pytestmark = pytest.mark.slow
+
+
+class TestManyGroups:
+    def test_thousand_group_session_completes_and_answers(self):
+        n_keys = 1_024
+        rows_per_key = 40
+        rng = np.random.default_rng(29)
+        keys = np.repeat(
+            np.array([f"k{i:04d}" for i in range(n_keys)], dtype=object),
+            rows_per_key)
+        rng.shuffle(keys)
+        values = rng.lognormal(3.0, 0.8, len(keys))
+        q = Query([agg("mean", "value")], group_by="key").on(
+            {"key": keys, "value": values},
+            config=EarlConfig(sigma=0.1, seed=7))
+        snaps = list(q.stream())
+        final = snaps[-1]
+        assert final.final and final.result is not None
+        result = final.result
+        assert len(result.groups) == n_keys
+        assert result.rows_processed <= len(keys)
+        # tiny groups resolve exactly (B*n >= N_g), so every bound holds
+        assert result.achieved
+        for by_agg in result.groups.values():
+            res = by_agg["mean(value)"]
+            assert res.population_size == rows_per_key
+            assert np.isfinite(res.estimate)
+
+    def test_mixed_sizes_with_dominant_head(self):
+        rng = np.random.default_rng(31)
+        head = np.array(["head"], dtype=object).repeat(120_000)
+        tail = np.repeat(
+            np.array([f"t{i:03d}" for i in range(1_000)], dtype=object), 30)
+        keys = np.concatenate([head, tail])
+        rng.shuffle(keys)
+        values = rng.lognormal(3.0, 1.0, len(keys))
+        q = Query([agg("mean", "value")], group_by="key").on(
+            {"key": keys, "value": values},
+            config=EarlConfig(sigma=0.05, seed=13))
+        result = q.run()
+        assert len(result.groups) == 1_001
+        head_res = result.groups["head"]["mean(value)"]
+        assert not head_res.used_fallback     # the big group sampled
+        assert head_res.sample_fraction < 1.0
+        assert result.achieved

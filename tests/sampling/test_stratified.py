@@ -1,0 +1,168 @@
+"""StratifiedSampler: strata, quota allocation policies, drawing."""
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    ALLOCATION_NEYMAN,
+    ALLOCATION_PROPORTIONAL,
+    ALLOCATION_UNIFORM,
+    StratifiedSampler,
+    allocate_with_caps,
+)
+
+
+class TestAllocateWithCaps:
+    def test_sums_to_total_and_respects_caps(self):
+        counts = allocate_with_caps([3.0, 1.0, 1.0], 10, [100, 100, 100])
+        assert sum(counts) == 10
+        assert counts == [6, 2, 2]
+
+    def test_caps_redistribute_excess(self):
+        counts = allocate_with_caps([10.0, 1.0, 1.0], 12, [2, 100, 100])
+        assert counts[0] == 2          # capped
+        assert sum(counts) == 12       # excess went to the open slots
+
+    def test_total_beyond_capacity_fills_everything(self):
+        counts = allocate_with_caps([1.0, 1.0], 99, [3, 4])
+        assert counts == [3, 4]
+
+    def test_zero_weights_spread_evenly(self):
+        counts = allocate_with_caps([0.0, 0.0, 0.0], 6, [10, 10, 10])
+        assert sum(counts) == 6
+        assert max(counts) - min(counts) <= 1
+
+    def test_small_total_goes_to_heaviest(self):
+        counts = allocate_with_caps([1.0, 5.0, 2.0], 1, [10, 10, 10])
+        assert counts == [0, 1, 0]
+
+    def test_deterministic(self):
+        a = allocate_with_caps([2.0, 3.0, 5.0], 7, [4, 4, 4])
+        b = allocate_with_caps([2.0, 3.0, 5.0], 7, [4, 4, 4])
+        assert a == b
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            allocate_with_caps([1.0], -1, [5])
+        with pytest.raises(ValueError):
+            allocate_with_caps([-1.0], 5, [5])
+
+
+class TestStrata:
+    def test_appearance_order_and_populations(self):
+        sampler = StratifiedSampler(["b", "a", "b", "c", "b"], seed=0)
+        assert sampler.keys == ["b", "a", "c"]
+        assert sampler.populations == {"b": 3, "a": 1, "c": 1}
+        assert list(sampler.rows("b")) == [0, 2, 4]
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler([])
+
+    def test_unknown_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            StratifiedSampler(["a"], allocation="nope")
+
+
+class TestDrawing:
+    def test_take_is_without_replacement_and_uniform_design(self):
+        keys = ["a"] * 10 + ["b"] * 5
+        sampler = StratifiedSampler(keys, seed=3)
+        first = sampler.take("a", 4)
+        second = sampler.take("a", 6)
+        drawn = np.concatenate([first, second])
+        assert sorted(drawn) == list(range(10))      # exactly stratum a
+        assert sampler.remaining("a") == 0
+        assert sampler.remaining("b") == 5
+        assert sampler.sampled_count == 10
+
+    def test_take_matches_attached_rng_permutation(self):
+        keys = ["a"] * 8
+        sampler = StratifiedSampler(keys)
+        rng = np.random.default_rng(17)
+        sampler.attach_rng("a", rng)
+        expected = np.random.default_rng(17).permutation(8)
+        assert list(sampler.take("a", 8)) == list(expected)
+
+    def test_attach_after_draw_rejected(self):
+        sampler = StratifiedSampler(["a", "a"], seed=1)
+        sampler.take("a", 1)
+        with pytest.raises(RuntimeError):
+            sampler.attach_rng("a", np.random.default_rng(0))
+
+    def test_peek_does_not_consume(self):
+        sampler = StratifiedSampler(["a"] * 6, seed=5)
+        pilot = sampler.peek("a", 3)
+        assert sampler.consumed("a") == 0
+        # the pilot is the prefix of the same sample take() walks
+        assert list(sampler.take("a", 3)) == list(pilot)
+
+    def test_overdraw_rejected(self):
+        sampler = StratifiedSampler(["a"] * 3, seed=2)
+        with pytest.raises(ValueError):
+            sampler.take("a", 4)
+        with pytest.raises(ValueError):
+            sampler.peek("a", 4)
+
+    def test_seeded_runs_identical(self):
+        keys = list("aabbccab")
+        a = StratifiedSampler(keys, seed=11)
+        b = StratifiedSampler(keys, seed=11)
+        for key in a.keys:
+            assert list(a.take(key, a.population(key))) \
+                == list(b.take(key, b.population(key)))
+
+
+class TestAllocationPolicies:
+    KEYS = ["big"] * 80 + ["mid"] * 15 + ["rare"] * 5
+
+    def test_uniform_is_senate(self):
+        sampler = StratifiedSampler(self.KEYS,
+                                    allocation=ALLOCATION_UNIFORM, seed=0)
+        quotas = sampler.allocate(9)
+        assert quotas == {"big": 3, "mid": 3, "rare": 3}
+
+    def test_proportional_follows_populations(self):
+        sampler = StratifiedSampler(
+            self.KEYS, allocation=ALLOCATION_PROPORTIONAL, seed=0)
+        quotas = sampler.allocate(20)
+        assert quotas == {"big": 16, "mid": 3, "rare": 1}
+
+    def test_neyman_weights_population_times_scale(self):
+        sampler = StratifiedSampler(self.KEYS,
+                                    allocation=ALLOCATION_NEYMAN, seed=0)
+        # Without scales: proportional fallback.
+        assert sampler.allocate(20) == {"big": 16, "mid": 3, "rare": 1}
+        sampler.set_scale("big", 1.0)
+        sampler.set_scale("mid", 1.0)
+        sampler.set_scale("rare", 40.0)   # wildly dispersed rare group
+        quotas = sampler.allocate(20)
+        # N_h * S_h: 80, 15, 200 -> the rare-but-noisy group dominates;
+        # its quota caps at the stratum's 5 rows and the rest spills
+        # back to the other strata by weight.
+        assert quotas["rare"] == 5
+        assert quotas["big"] > quotas["mid"]
+        assert sum(quotas.values()) == 20
+
+    def test_allocation_caps_at_remaining(self):
+        sampler = StratifiedSampler(
+            self.KEYS, allocation=ALLOCATION_PROPORTIONAL, seed=0)
+        sampler.take("rare", 5)           # exhaust the rare stratum
+        quotas = sampler.allocate(30)
+        assert quotas["rare"] == 0
+        assert sum(quotas.values()) == 30
+
+    def test_active_restriction(self):
+        sampler = StratifiedSampler(
+            self.KEYS, allocation=ALLOCATION_PROPORTIONAL, seed=0)
+        quotas = sampler.allocate(10, active=["mid", "rare"])
+        assert set(quotas) == {"mid", "rare"}
+        assert sum(quotas.values()) == 10
+
+    def test_bad_scale_rejected(self):
+        sampler = StratifiedSampler(self.KEYS,
+                                    allocation=ALLOCATION_NEYMAN, seed=0)
+        with pytest.raises(ValueError):
+            sampler.set_scale("big", float("nan"))
+        with pytest.raises(ValueError):
+            sampler.set_scale("big", -1.0)

@@ -125,3 +125,32 @@ class TestPopulationSummary:
         assert summary["sum"] == 10.0
         assert summary["std"] == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
         assert summary["cv"] == pytest.approx(summary["std"] / 2.5)
+
+
+class TestSkewedKeyedValues:
+    def test_shape_and_key_coverage(self):
+        from repro.workloads import skewed_keyed_values
+        keys, values = skewed_keyed_values(10_000, 8, seed=3)
+        assert len(keys) == len(values) == 10_000
+        counts = {k: int((keys == k).sum()) for k in set(keys)}
+        assert len(counts) == 8                 # every key appears
+        ordered = [counts[f"g{i:03d}"] for i in range(8)]
+        assert ordered == sorted(ordered, reverse=True)  # Zipf head-heavy
+        assert min(ordered) >= 1
+
+    @pytest.mark.parametrize("n,n_keys", [(50, 50), (100, 80), (20, 20),
+                                          (200, 150), (65, 64)])
+    def test_n_close_to_n_keys_rounding_slack(self, n, n_keys):
+        # regression: bumping floored-to-zero tail keys up to one row
+        # each can overshoot n; the trim must keep every key >= 1
+        from repro.workloads import skewed_keyed_values
+        keys, values = skewed_keyed_values(n, n_keys, seed=1)
+        assert len(keys) == len(values) == n
+        assert len(set(keys)) == n_keys
+
+    def test_validation(self):
+        from repro.workloads import skewed_keyed_values
+        with pytest.raises(ValueError):
+            skewed_keyed_values(5, 10)
+        with pytest.raises(ValueError):
+            skewed_keyed_values(10, 2, skew=-1.0)
