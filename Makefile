@@ -11,6 +11,10 @@
 #                      each gated against its committed baseline
 #                      benchmarks/BENCH_{kernel,ingest,query}.json (fails on
 #                      a >20% speedup regression)
+#   make bench-service - service concurrency smoke (shared-pilot session
+#                      fan-out) -> benchmarks/results/BENCH_service.json,
+#                      then the full 1,000-session load harness
+#                      (tests/service/test_load.py, slow tier)
 #   make docs-check  - every .md referenced from code/docs actually exists
 #   make examples    - run every example script end to end
 #   make clean       - purge bytecode caches and tool state
@@ -19,7 +23,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-smoke bench-json docs-check examples clean
+.PHONY: test test-all bench bench-smoke bench-json bench-service \
+	docs-check examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,6 +62,11 @@ bench-json:
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_query.json benchmarks/BENCH_query.json \
 		--stages rows
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py \
+		--out benchmarks/results/BENCH_service.json
+	$(PYTHON) -m pytest -q -m slow tests/service/test_load.py
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -1,0 +1,159 @@
+"""Service throughput smoke: N concurrent sessions over one shared pilot.
+
+Measures the approximate-query service end to end through the
+in-process client: submit ``--sessions`` statistic specs in one
+dispatch window (they share a single pilot and engine loop), drain
+every session concurrently with ack-as-you-go polling, and report
+
+* wall-clock elapsed and sessions/second,
+* poll round-trip latency percentiles (p50/p90/p99/max),
+* the high-water mark of any session's event buffer (must stay at
+  most ``capacity + 1`` — backpressure, not growth).
+
+Unlike the kernel/ingest/query benchmarks this one measures real
+wall-clock (asyncio scheduling + engine compute), so there is no
+committed-baseline regression gate; the JSON report is informational
+and uploaded by the CI load job next to the 1,000-session harness's
+latency report (``tests/service/test_load.py``).
+
+Run standalone::
+
+    python benchmarks/bench_service.py --sessions 200 \
+        --out benchmarks/results/BENCH_service.json
+
+or through pytest (``make bench`` collects it at the smoke size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import EarlConfig  # noqa: E402 (path bootstrap above)
+from repro.service import ApproxQueryService, LocalClient  # noqa: E402
+
+SMOKE_SESSIONS = 200
+EVENT_CAPACITY = 8
+STATISTICS = ["mean", "sum", "std", "min", "max", "count"]
+CFG = dict(sigma=0.05, B_override=10, n_override=100,
+           expansion_factor=2.0, max_iterations=4)
+SEED = 2024
+
+
+async def _drain(client: LocalClient, sid: str,
+                 latencies: List[float]) -> int:
+    events, committed = 0, 0
+    while True:
+        t0 = time.perf_counter()
+        page = await client.poll(sid, after=committed, wait=True,
+                                 timeout=10.0)
+        latencies.append(time.perf_counter() - t0)
+        if page.events:
+            events += len(page.events)
+            committed = page.events[-1].seq
+        elif page.terminal:
+            assert page.state == "done", f"{sid} ended {page.state}"
+            return events
+
+
+async def _run(n_sessions: int) -> Dict[str, object]:
+    service = ApproxQueryService(
+        config=EarlConfig(**CFG), seed=SEED, batch_window=5.0,
+        event_capacity=EVENT_CAPACITY, max_batch=n_sessions)
+    service.register_dataset(
+        "pop", np.random.default_rng(1).lognormal(1.0, 0.6, 50_000))
+    await service.start()
+    try:
+        client = LocalClient(service)
+        latencies: List[float] = []
+        t0 = time.perf_counter()
+        sids = [await client.submit(
+            {"kind": "statistic", "dataset": "pop",
+             "statistic": STATISTICS[i % len(STATISTICS)]})
+            for i in range(n_sessions)]
+        await service.flush()
+        counts = await asyncio.gather(*[_drain(client, sid, latencies)
+                                        for sid in sids])
+        elapsed = time.perf_counter() - t0
+        stats = await client.stats()
+    finally:
+        await service.stop()
+
+    lat = np.sort(np.asarray(latencies))
+
+    def pct(q: float) -> float:
+        return float(lat[min(len(lat) - 1, int(q / 100 * len(lat)))])
+
+    high_water = int(stats["max_retained_events"])
+    assert high_water <= EVENT_CAPACITY + 1, \
+        f"event buffers grew past the bound: {high_water}"
+    return {
+        "sessions": n_sessions,
+        "events_total": int(sum(counts)),
+        "polls": len(latencies),
+        "elapsed_seconds": round(elapsed, 3),
+        "sessions_per_second": round(n_sessions / elapsed, 1),
+        "max_retained_events": high_water,
+        "poll_latency_seconds": {
+            "p50": pct(50), "p90": pct(90), "p99": pct(99),
+            "max": float(lat[-1]),
+        },
+    }
+
+
+def run_service_bench(n_sessions: int) -> Dict[str, object]:
+    return asyncio.run(_run(n_sessions))
+
+
+def write_json(report: Dict[str, object], out: Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+
+class TestServiceThroughput:
+    """Pytest entry point (``make bench``): smoke size, bound checks."""
+
+    def test_concurrent_sessions_share_one_pilot(self):
+        report = run_service_bench(SMOKE_SESSIONS)
+        print("\nservice bench:", json.dumps(report, indent=2))
+        write_json(report, Path(__file__).parent / "results"
+                   / "BENCH_service.json")
+        assert report["sessions"] == SMOKE_SESSIONS
+        assert report["max_retained_events"] <= EVENT_CAPACITY + 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sessions", type=int, default=SMOKE_SESSIONS,
+                        help=f"concurrent sessions (default "
+                             f"{SMOKE_SESSIONS})")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/"
+                                     "BENCH_service.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_service_bench(args.sessions)
+    write_json(report, args.out)
+    lat = report["poll_latency_seconds"]
+    print(f"{report['sessions']} sessions in "
+          f"{report['elapsed_seconds']}s "
+          f"({report['sessions_per_second']}/s), "
+          f"{report['events_total']} events, poll p50 "
+          f"{lat['p50'] * 1e3:.2f}ms p99 {lat['p99'] * 1e3:.2f}ms, "
+          f"buffer high-water {report['max_retained_events']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

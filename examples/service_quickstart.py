@@ -1,0 +1,100 @@
+"""Service quickstart: submit, watch, detach/resume, cancel.
+
+The approximate-query service (``repro.service``) turns the EARL
+engines into long-lived, resumable sessions: submit a spec, get a
+session id, then poll a monotonically event-id'd stream of progressive
+snapshots.  This example runs the whole protocol in-process — the same
+handlers serve the TCP transport (``ServiceServer``/``ServiceClient``).
+
+It demonstrates the three client moves:
+
+1. **watch** — long-poll a session to completion, acking as you go;
+2. **detach/resume** — drop a page on the floor, re-poll from the last
+   acked event id, and verify the replay is byte-identical;
+3. **cancel** — stop a session mid-run; the stream seals with a
+   terminal ``cancelled`` state event and sampling stops.
+
+Run with:  python examples/service_quickstart.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.core import EarlConfig
+from repro.service import EVENT_SNAPSHOT, ApproxQueryService, LocalClient
+
+
+async def main() -> None:
+    rng = np.random.default_rng(7)
+    service = ApproxQueryService(
+        config=EarlConfig(sigma=0.03, B_override=15, n_override=200,
+                          max_iterations=8),
+        seed=42, batch_window=5.0)
+    service.register_dataset(
+        "latencies", rng.lognormal(mean=3.0, sigma=1.0, size=500_000))
+    await service.start()
+    client = LocalClient(service)
+
+    print("=== approximate-query service quickstart ===")
+
+    # 1. Submit two specs in one window: they share a pilot and one
+    #    engine loop (the M3R/Shark-style hot-state reuse).
+    mean_sid = await client.submit({"kind": "statistic",
+                                    "dataset": "latencies",
+                                    "statistic": "mean"})
+    p90_sid = await client.submit({"kind": "statistic",
+                                   "dataset": "latencies",
+                                   "statistic": "p90"})
+    await service.flush()
+    print(f"submitted sessions: {mean_sid} (mean), {p90_sid} (p90)")
+
+    # 2. Watch the mean session: long-poll, ack by passing the last
+    #    seen event id as `after`.
+    committed = 0
+    while True:
+        page = await client.poll(mean_sid, after=committed, wait=True,
+                                 timeout=5.0)
+        for event in page.events:
+            if event.type == EVENT_SNAPSHOT:
+                p = event.payload
+                print(f"  [{event.seq}] iter {p['iteration']}: "
+                      f"estimate {p['estimate']:,.3f}  "
+                      f"cv {p['cv']:.4f}  n={p['sample_size']:,}")
+            else:
+                print(f"  [{event.seq}] {event.type}: {event.payload}")
+        if page.events:
+            committed = page.events[-1].seq
+        elif page.terminal:
+            break
+    print(f"mean session finished: {page.state}")
+
+    # 3. Detach/resume on the p90 session: read a page, "crash" before
+    #    acking it, and replay from the committed floor.
+    first = await client.poll(p90_sid, after=0, wait=True, timeout=5.0)
+    replay = await client.poll(p90_sid, after=0, wait=True, timeout=5.0)
+    lost = [e.raw for e in first.events]
+    replayed = [e.raw for e in replay.events]
+    assert replayed[:len(lost)] == lost
+    print(f"resume replayed {len(lost)} events byte-identically")
+    final = await client.drain(p90_sid, after=replay.events[-1].seq)
+    print(f"p90 session finished with {len(final)} more events")
+
+    # 4. Cancel: a never-met bound would iterate forever; stop paying.
+    endless = await client.submit({"kind": "statistic",
+                                   "dataset": "latencies",
+                                   "statistic": "std",
+                                   "sigma": 0.0001})
+    await service.flush()
+    await client.poll(endless, after=0, wait=True, timeout=5.0)
+    response = await client.cancel(endless)
+    print(f"cancelled {endless}: state={response['state']}")
+
+    status = await client.stats()
+    print(f"service saw {status['sessions']} sessions; "
+          f"buffer high-water {status['max_retained_events']} events")
+    await service.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -121,6 +121,28 @@ class GroupEstimate:
     def ci(self) -> tuple:
         return (self.ci_low, self.ci_high)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view (the service wire form): plain scalars,
+        stable keys, nested ``accuracy``/``result`` objects excluded —
+        mirrors :meth:`repro.core.result.ProgressSnapshot.to_dict`."""
+        return {
+            "key": str(self.key),
+            "aggregate": str(self.aggregate),
+            "statistic": str(self.statistic),
+            "estimate": float(self.estimate),
+            "uncorrected_estimate": float(self.uncorrected_estimate),
+            "error": float(self.error),
+            "cv": float(self.cv),
+            "ci_low": float(self.ci_low),
+            "ci_high": float(self.ci_high),
+            "sample_size": int(self.sample_size),
+            "group_size": int(self.group_size),
+            "sample_fraction": float(self.sample_fraction),
+            "achieved": bool(self.achieved),
+            "done": bool(self.done),
+            "used_fallback": bool(self.used_fallback),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else "running"
         return (f"GroupEstimate({self.key!r}.{self.aggregate}="
@@ -213,6 +235,34 @@ class GroupedSnapshot:
         if not running:
             return None
         return max(running, key=lambda e: e.error)
+
+    def to_dict(self, *, updated_only: bool = False) -> Dict[str, Any]:
+        """JSON-serializable view of this round (the service wire form).
+
+        Group keys are stringified to stay JSON-object keys.  With
+        ``updated_only`` the ``groups`` payload carries just the pairs
+        refreshed this round — the bounded per-round delta a resumable
+        event stream wants, since the cumulative board is reconstructible
+        from the deltas (and the final snapshot ships the full board).
+        """
+        wanted = set(self.updated) if updated_only else None
+        groups: Dict[str, Dict[str, Any]] = {}
+        for key, by_agg in self.groups.items():
+            for name, entry in by_agg.items():
+                if wanted is not None and (key, name) not in wanted:
+                    continue
+                groups.setdefault(str(key), {})[str(name)] = entry.to_dict()
+        return {
+            "round": int(self.round),
+            "groups": groups,
+            "updated": [[str(key), str(name)] for key, name in self.updated],
+            "rows_processed": int(self.rows_processed),
+            "population_size": int(self.population_size),
+            "active_groups": int(self.active_groups),
+            "final": bool(self.final),
+            "achieved": (bool(self.result.achieved)
+                         if self.result is not None else None),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = "final" if self.final else "partial"
@@ -382,11 +432,30 @@ class GroupedEarlSession:
             self._measures.append(measure)
             self._columns.append(column)
         self._started = False
+        self._cancelled = False
         self._group_seeds: Dict[Hashable, int] = {}
 
     @property
     def config(self) -> EarlConfig:
         return self._config
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was requested."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Request cancellation of the run at the next round boundary.
+
+        Safe to call from any thread while another thread drives
+        :meth:`stream` (a plain flag, checked between rounds): the
+        stream ends without a final snapshot and its teardown closes
+        the executor.  Generators must only be ``close()``d from the
+        thread iterating them, so this flag is the cross-thread
+        cancellation path — the service layer's cancel/expire uses it,
+        then the driving thread itself closes the generator.
+        """
+        self._cancelled = True
 
     @property
     def group_seeds(self) -> Dict[Hashable, int]:
@@ -416,6 +485,8 @@ class GroupedEarlSession:
         if self._started:
             raise RuntimeError("a GroupedEarlSession streams only once")
         self._started = True
+        if self._cancelled:
+            return
         cfg = self._config
         rng = ensure_rng(cfg.seed)
         sampler = StratifiedSampler(
@@ -435,6 +506,8 @@ class GroupedEarlSession:
 
             shared = self._broadcast_columns(executor, groups)
             for round_no in range(1, self._max_rounds() + 1):
+                if self._cancelled:
+                    return
                 active = [g for g in groups if g.active]
                 if not active:
                     return  # every group finalized on the previous round

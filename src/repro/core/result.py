@@ -71,6 +71,34 @@ class ProgressSnapshot:
         """The bootstrap confidence interval ``(ci_low, ci_high)``."""
         return (self.ci_low, self.ci_high)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of this snapshot (the service wire form).
+
+        Plain Python scalars only — numpy floats/ints are cast — and a
+        stable key set, so that two byte-identical engine runs serialize
+        to byte-identical canonical JSON.  The nested ``accuracy`` /
+        ``result`` objects are intentionally excluded: a snapshot event
+        must stay bounded, and every field a progressive consumer acts
+        on is already flattened here.
+        """
+        return {
+            "iteration": int(self.iteration),
+            "estimate": float(self.estimate),
+            "uncorrected_estimate": float(self.uncorrected_estimate),
+            "error": float(self.error),
+            "cv": float(self.cv),
+            "ci_low": float(self.ci_low),
+            "ci_high": float(self.ci_high),
+            "sample_size": int(self.sample_size),
+            "population_size": int(self.population_size),
+            "sample_fraction": float(self.sample_fraction),
+            "achieved": bool(self.achieved),
+            "final": bool(self.final),
+            "statistic": str(self.statistic),
+            "cost_delta_seconds": float(self.cost_delta_seconds),
+            "cost_total_seconds": float(self.cost_total_seconds),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = "final" if self.final else "partial"
         return (f"ProgressSnapshot(iter={self.iteration} [{flag}], "

@@ -52,6 +52,7 @@ from repro.exec.executor import (
     broadcast_value,
     chunk_sizes,
     get_executor,
+    live_pool_executors,
     resolve_executor,
 )
 
@@ -67,6 +68,7 @@ __all__ = [
     "as_executor",
     "available_executors",
     "chunk_sizes",
+    "live_pool_executors",
     "EXECUTOR_SERIAL",
     "EXECUTOR_THREADS",
     "EXECUTOR_PROCESSES",

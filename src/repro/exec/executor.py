@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -264,6 +265,27 @@ class SerialExecutor(Executor):
         return [fn(item) for item in items]
 
 
+#: Every pool-backed executor that has actually materialized its (lazy)
+#: worker pool.  Weak references only: an executor dropped without
+#: ``close()`` disappears from here once collected, so the set tracks
+#: *reachable* pool owners — exactly the leak a long-lived holder of an
+#: abandoned stream generator causes.
+_LIVE_POOL_EXECUTORS: "weakref.WeakSet[_PoolExecutor]" = weakref.WeakSet()
+
+
+def live_pool_executors() -> List["Executor"]:
+    """Pool-backed executors whose worker pool is alive right now.
+
+    An executor registers when its lazy pool is first built and drops
+    out on :meth:`Executor.close` (or garbage collection).  This is the
+    leak detector the resource-release regression tests and the service
+    layer use: after every consumer of a ``stream()`` generator has
+    finished — normally, by ``close()``, or via cancellation — this
+    list must be empty.
+    """
+    return [ex for ex in list(_LIVE_POOL_EXECUTORS) if ex._pool is not None]
+
+
 class _PoolExecutor(Executor):
     """Shared lazy-pool plumbing for the two concurrent backends."""
 
@@ -283,6 +305,7 @@ class _PoolExecutor(Executor):
     def _ensure_pool(self) -> Any:
         if self._pool is None:
             self._pool = self._make_pool()
+            _LIVE_POOL_EXECUTORS.add(self)
         return self._pool
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
@@ -297,6 +320,7 @@ class _PoolExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        _LIVE_POOL_EXECUTORS.discard(self)
 
 
 class ThreadExecutor(_PoolExecutor):

@@ -183,6 +183,10 @@ class Query:
         self.config = config
         self.allocation = allocation
         self.round_budget = round_budget
+        #: The most recently planned session (set by :meth:`stream` /
+        #: :meth:`run`) — the handle a concurrent caller needs for
+        #: :meth:`~repro.core.GroupedEarlSession.cancel`.
+        self.last_session: Optional[Any] = None
 
     # ------------------------------------------------------------- binding
     def on(self, source: Mapping[str, Any], *,
@@ -237,14 +241,24 @@ class Query:
 
     def stream(self) -> Iterator[GroupedSnapshot]:
         """Stream per-round :class:`~repro.core.GroupedSnapshot`s with
-        per-group estimates, error bounds and early stopping."""
-        return self.plan().stream()
+        per-group estimates, error bounds and early stopping.
+
+        The planned session is exposed as :attr:`last_session`, so a
+        caller driving this stream from one thread can cancel it from
+        another (``query.last_session.cancel()``) — closing the
+        generator cross-thread is not legal, the flag is.
+        """
+        session = self.plan()
+        self.last_session = session
+        return session.stream()
 
     def run(self) -> GroupedResult:
         """Execute to completion; returns the
         :class:`~repro.core.GroupedResult` (one
         :class:`~repro.core.EarlResult` per group and aggregate)."""
-        return self.plan().run()
+        session = self.plan()
+        self.last_session = session
+        return session.run()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"select=[{', '.join(a.name for a in self.select)}]"]

@@ -1,0 +1,111 @@
+"""Approximate-query service: async, resumable sessions over EARL.
+
+The network-facing layer of the reproduction — the step from an
+importable engine to the long-lived multi-client serving loop the
+ROADMAP's north star (and Shark / M3R in PAPERS.md) describe.  Clients
+submit a query spec and get a session id; a monotonically event-id'd
+stream of progressive snapshots follows, which they poll or long-poll,
+resume after disconnects (byte-identical replay from the ack floor),
+and cancel to stop paying for sampling.
+
+    PENDING ──> RUNNING ──> DONE | FAILED | CANCELLED | EXPIRED
+
+Quick start (in-process)::
+
+    import asyncio, numpy as np
+    from repro.core import EarlConfig
+    from repro.service import ApproxQueryService, LocalClient
+
+    async def main():
+        service = ApproxQueryService(config=EarlConfig(sigma=0.05))
+        service.register_dataset(
+            "latencies", np.random.default_rng(0).lognormal(3, 1, 500_000))
+        await service.start()
+        client = LocalClient(service)
+        sid = await client.submit({"kind": "statistic",
+                                   "dataset": "latencies",
+                                   "statistic": "mean"})
+        for event in await client.drain(sid):
+            print(event.seq, event.type, event.payload)
+        await service.stop()
+
+    asyncio.run(main())
+
+Wrap the same service with :class:`ServiceServer` /
+:class:`ServiceClient` for the TCP transport.  See DESIGN.md §8 for
+the lifecycle state machine, the event-id resume protocol and the
+stateful-versus-stateless tradeoffs.
+"""
+
+from repro.service.client import LocalClient, PollResponse, ServiceClient
+from repro.service.events import EventLog, ResumeGapError
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BAD_SPEC,
+    ERR_INTERNAL,
+    ERR_RESUME_GAP,
+    ERR_UNKNOWN_OP,
+    ERR_UNKNOWN_SESSION,
+    EVENT_ERROR,
+    EVENT_FINAL,
+    EVENT_SNAPSHOT,
+    EVENT_STATE,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_EXPIRED,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    Event,
+    JobSpec,
+    QuerySpec,
+    ServiceError,
+    StatisticSpec,
+    canonical_json,
+    parse_spec,
+)
+from repro.service.server import ServiceServer
+from repro.service.service import ApproxQueryService
+from repro.service.store import (
+    InMemorySessionStore,
+    SessionRecord,
+    SessionStore,
+)
+
+__all__ = [
+    "ApproxQueryService",
+    "ServiceServer",
+    "ServiceClient",
+    "LocalClient",
+    "PollResponse",
+    "EventLog",
+    "ResumeGapError",
+    "Event",
+    "ServiceError",
+    "canonical_json",
+    "parse_spec",
+    "StatisticSpec",
+    "QuerySpec",
+    "JobSpec",
+    "SessionStore",
+    "InMemorySessionStore",
+    "SessionRecord",
+    "STATE_PENDING",
+    "STATE_RUNNING",
+    "STATE_DONE",
+    "STATE_CANCELLED",
+    "STATE_FAILED",
+    "STATE_EXPIRED",
+    "TERMINAL_STATES",
+    "EVENT_STATE",
+    "EVENT_SNAPSHOT",
+    "EVENT_FINAL",
+    "EVENT_ERROR",
+    "ERR_BAD_REQUEST",
+    "ERR_BAD_SPEC",
+    "ERR_INTERNAL",
+    "ERR_RESUME_GAP",
+    "ERR_UNKNOWN_OP",
+    "ERR_UNKNOWN_SESSION",
+]

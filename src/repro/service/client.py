@@ -1,0 +1,169 @@
+"""Clients for the approximate-query service.
+
+Two transports share one convenience surface (:class:`_BaseClient`):
+
+* :class:`ServiceClient` — the JSON-lines TCP client
+  (``await ServiceClient.connect(host, port)``);
+* :class:`LocalClient` — in-process calls straight into
+  :meth:`~repro.service.service.ApproxQueryService.handle`, the
+  transport the concurrency harness uses to drive thousands of
+  sessions without a socket per client.
+
+Both raise :class:`~repro.service.protocol.ServiceError` on error
+responses and decode event envelopes into
+:class:`~repro.service.protocol.Event` objects while preserving the
+raw canonical bytes (``event.raw``) for byte-level comparisons.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.service.protocol import (
+    TERMINAL_STATES,
+    Event,
+    ServiceError,
+    canonical_json,
+)
+from repro.service.server import _STREAM_LIMIT
+from repro.service.service import ApproxQueryService
+
+
+@dataclass(frozen=True)
+class PollResponse:
+    """One poll round-trip: decoded events plus session state."""
+
+    session: str
+    state: str
+    events: List[Event]
+    last_event_id: int
+    cost_seconds: float
+    error_detail: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class _BaseClient:
+    """Protocol conveniences over a ``_request`` transport."""
+
+    async def _request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    async def submit(self, spec: Mapping[str, Any]) -> str:
+        """Submit a spec document; returns the new session id."""
+        response = await self._request({"op": "submit", "spec": spec})
+        return response["session"]
+
+    async def poll(self, session: str, *, after: int = 0,
+                   wait: bool = False,
+                   timeout: Optional[float] = None) -> PollResponse:
+        """Fetch events after ``after`` (acking everything ``<= after``).
+
+        ``wait=True`` long-polls until an event, the session's seal, or
+        ``timeout`` seconds.
+        """
+        request: Dict[str, Any] = {"op": "poll", "session": session,
+                                   "after": after, "wait": wait}
+        if timeout is not None:
+            request["timeout"] = timeout
+        response = await self._request(request)
+        return PollResponse(
+            session=response["session"],
+            state=response["state"],
+            events=[Event.from_raw(raw) for raw in response["events"]],
+            last_event_id=response["last_event_id"],
+            cost_seconds=response["cost_seconds"],
+            error_detail=response.get("error_detail"))
+
+    async def drain(self, session: str, *, after: int = 0,
+                    poll_timeout: float = 1.0,
+                    on_event: Optional[Callable[[Event], None]] = None
+                    ) -> List[Event]:
+        """Follow a session until terminal and fully drained.
+
+        Returns every event after ``after`` in order; terminates
+        because terminal states seal the log (no event can arrive after
+        an empty read of a terminal session).
+        """
+        events: List[Event] = []
+        while True:
+            page = await self.poll(session, after=after, wait=True,
+                                   timeout=poll_timeout)
+            for event in page.events:
+                if on_event is not None:
+                    on_event(event)
+                events.append(event)
+            if page.events:
+                after = page.events[-1].seq
+                continue
+            if page.terminal:
+                return events
+
+    async def cancel(self, session: str) -> Dict[str, Any]:
+        return await self._request({"op": "cancel", "session": session})
+
+    async def status(self, session: str) -> Dict[str, Any]:
+        return await self._request({"op": "status", "session": session})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._request({"op": "stats"})
+
+    async def ping(self) -> bool:
+        return bool((await self._request({"op": "ping"})).get("pong"))
+
+
+class LocalClient(_BaseClient):
+    """In-process client: handler calls without a transport."""
+
+    def __init__(self, service: ApproxQueryService) -> None:
+        self._service = service
+
+    async def _request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        response = await self._service.handle(request)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "internal"),
+                               response.get("message", "request failed"))
+        return response
+
+
+class ServiceClient(_BaseClient):
+    """JSON-lines TCP client (one connection, sequential requests)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=_STREAM_LIMIT)
+        return cls(reader, writer)
+
+    async def _request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        async with self._lock:   # one in-flight request per connection
+            self._writer.write(canonical_json(request).encode("utf-8")
+                               + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServiceError("connection-closed",
+                               "server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "internal"),
+                               response.get("message", "request failed"))
+        return response
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

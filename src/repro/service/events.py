@@ -1,0 +1,195 @@
+"""Per-session bounded event logs with backpressure and resume.
+
+An :class:`EventLog` is the buffer between one producer (the runner
+thread driving an engine generator) and any number of detachable
+readers (poll / long-poll handlers).  Its contract carries the
+service's three hard guarantees:
+
+* **Monotonic, contiguous event ids** — ``seq`` starts at 1 and
+  increments by exactly 1; a client observing a gap knows it lost (or
+  duplicated) events, so the load harness can assert "zero lost or
+  duplicated" from ids alone.
+* **Bounded memory with backpressure** — at most ``capacity`` unacked
+  events are retained; :meth:`append` *waits* (an ``asyncio`` wait the
+  runner thread blocks on through ``run_coroutine_threadsafe``) until a
+  reader acks, so a session nobody drains stalls its producer instead
+  of growing without bound.  Terminal lifecycle events bypass the cap
+  (``force=True``) — they must land even on a full, abandoned log, and
+  add at most a constant per session.
+* **Resume from the ack floor** — :meth:`read` with ``after=k`` *acks*
+  ``k``: events ``<= k`` are pruned and every event ``> k`` is
+  retained.  Any later read from any ``after >= acked`` replays the
+  stored canonical bytes verbatim (byte-identical resume); a read below
+  the ack floor raises :class:`ResumeGapError`, because those bytes are
+  gone — the client promised it had durably consumed them.
+
+All state is touched only on the event loop (handlers are coroutines;
+the producer hops onto the loop via ``run_coroutine_threadsafe``), so
+no locks beyond the one :class:`asyncio.Condition` are needed, and a
+thousand long-pollers are a thousand waiters on conditions, not a
+thousand threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, List, Mapping, Optional
+
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_RESUME_GAP,
+    Event,
+    ServiceError,
+)
+
+
+class ResumeGapError(ServiceError):
+    """Resume requested below the ack floor: those events were pruned."""
+
+    def __init__(self, after: int, acked: int) -> None:
+        super().__init__(
+            ERR_RESUME_GAP,
+            f"cannot resume from event id {after}: events up to {acked} "
+            "were acked and pruned; resume from the last acked id")
+        self.after = after
+        self.acked = acked
+
+
+class EventLog:
+    """Bounded, monotonically event-id'd buffer for one session."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._events: Deque[Event] = deque()
+        self._cond = asyncio.Condition()
+        self._next_seq = 1
+        self._acked = 0
+        self._sealed = False
+        #: Total events ever appended (monitoring).
+        self.appended = 0
+        #: High-water mark of retained (unacked) events — the bounded-
+        #: memory assertion of the load harness reads this.
+        self.max_retained = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def last_seq(self) -> int:
+        """Highest event id ever assigned (0 before the first append)."""
+        return self._next_seq - 1
+
+    @property
+    def acked(self) -> int:
+        """The ack floor: highest event id a reader declared consumed."""
+        return self._acked
+
+    @property
+    def retained(self) -> int:
+        """Events currently buffered (appended, not yet acked)."""
+        return len(self._events)
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    # ------------------------------------------------------------- producer
+    async def append(self, event_type: str, payload: Mapping[str, Any], *,
+                     force: bool = False) -> Optional[int]:
+        """Append one event; returns its ``seq``, or ``None`` if sealed.
+
+        Blocks (cooperatively) while the buffer holds ``capacity``
+        unacked events, unless ``force`` — the escape hatch for terminal
+        lifecycle events, bounded to a constant per session.  Sealing
+        wakes every blocked producer with the ``None`` verdict, which is
+        the runner threads' signal to stop the engine.
+        """
+        async with self._cond:
+            while (not force and not self._sealed
+                   and len(self._events) >= self._capacity):
+                await self._cond.wait()
+            if self._sealed:
+                return None
+            seq = self._next_seq
+            self._next_seq += 1
+            self._events.append(Event.build(seq, event_type, payload))
+            self.appended += 1
+            if len(self._events) > self.max_retained:
+                self.max_retained = len(self._events)
+            self._cond.notify_all()
+            return seq
+
+    async def seal(self) -> None:
+        """No further appends; readers drain what is retained.
+
+        Idempotent.  Wakes blocked producers (append returns ``None``)
+        and blocked long-pollers (read returns what it has).
+        """
+        async with self._cond:
+            self._sealed = True
+            self._cond.notify_all()
+
+    # --------------------------------------------------------------- readers
+    async def read(self, after: int = 0, *, wait: bool = False,
+                   timeout: Optional[float] = None) -> List[Event]:
+        """Events with ``seq > after``; acks (and prunes) ``<= after``.
+
+        ``wait=True`` long-polls: when nothing is pending the call
+        parks on the log's condition until an append, the seal, or
+        ``timeout`` seconds pass (then ``[]``).  Reads below the ack
+        floor raise :class:`ResumeGapError`; reads ahead of the stream
+        (``after > last_seq``) are a protocol error.
+        """
+        async with self._cond:
+            if after < 0:
+                raise ServiceError(ERR_BAD_REQUEST,
+                                   "'after' must be a non-negative event id")
+            if after > self.last_seq:
+                raise ServiceError(
+                    ERR_BAD_REQUEST,
+                    f"'after'={after} is ahead of the stream "
+                    f"(last event id is {self.last_seq})")
+            if after > self._acked:
+                self._acked = after
+                while self._events and self._events[0].seq <= after:
+                    self._events.popleft()
+                self._cond.notify_all()   # wake a backpressured producer
+            elif after < self._acked:
+                raise ResumeGapError(after, self._acked)
+
+            def pending() -> List[Event]:
+                return [e for e in self._events if e.seq > after]
+
+            out = pending()
+            if out or not wait or self._sealed:
+                return out
+            if timeout is None:
+                while True:
+                    await self._cond.wait()
+                    out = pending()
+                    if out or self._sealed:
+                        return out
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + timeout
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    return []
+                try:
+                    await asyncio.wait_for(self._cond.wait(), remaining)
+                except asyncio.TimeoutError:
+                    return []
+                out = pending()
+                if out or self._sealed:
+                    return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "sealed" if self._sealed else "open"
+        return (f"EventLog({flag}, last={self.last_seq}, "
+                f"acked={self._acked}, retained={len(self._events)}"
+                f"/{self._capacity})")

@@ -1,0 +1,291 @@
+"""Wire protocol of the approximate-query service.
+
+Everything a request handler, the TCP server and the clients agree on
+lives here: the session lifecycle states, the event types, the
+canonical JSON encoding, the :class:`Event` envelope and the query
+*specs* a client submits.
+
+Canonical encoding
+------------------
+Events are encoded **once**, at append time, with
+:func:`canonical_json` (sorted keys, no whitespace) and stored as the
+resulting string.  Every read — live, long-polled, or a resume replay
+after a disconnect — returns those stored strings verbatim, and the
+responses embed them as JSON strings (a lossless round-trip), so the
+byte-identical determinism contract of the engines extends to the
+wire: same seed, same submissions → the same event bytes, no matter
+how often a client detached and resumed.  Event payloads carry no
+timestamps for the same reason.
+
+Session lifecycle
+-----------------
+::
+
+    PENDING ──> RUNNING ──> DONE
+       │           ├──────> FAILED
+       │           ├──────> CANCELLED
+       └───────────┴──────> EXPIRED      (TTL sweeper)
+
+Terminal states (:data:`TERMINAL_STATES`) seal the session's event log:
+the terminal ``state`` event is the last one, readers drain whatever
+they have not acked yet, and producers stop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.estimators import get_statistic
+from repro.query.model import WHERE_OPS, Aggregate, agg
+
+# --------------------------------------------------------------- lifecycle
+
+STATE_PENDING = "pending"      #: accepted, waiting for dispatch
+STATE_RUNNING = "running"      #: engine attached, events flowing
+STATE_DONE = "done"            #: engine completed with a final result
+STATE_CANCELLED = "cancelled"  #: client cancelled; sampling stopped
+STATE_FAILED = "failed"        #: engine raised; see the error event
+STATE_EXPIRED = "expired"      #: TTL sweeper reclaimed an idle session
+
+#: States from which a session never leaves (its event log is sealed).
+TERMINAL_STATES = frozenset(
+    {STATE_DONE, STATE_CANCELLED, STATE_FAILED, STATE_EXPIRED})
+
+# ------------------------------------------------------------- event types
+
+EVENT_STATE = "state"        #: lifecycle transition; payload {"state": ...}
+EVENT_SNAPSHOT = "snapshot"  #: a progressive (non-final) engine snapshot
+EVENT_FINAL = "final"        #: the engine's final snapshot
+EVENT_ERROR = "error"        #: engine failure; payload {"message": ...}
+
+# -------------------------------------------------------------- error codes
+
+ERR_BAD_REQUEST = "bad-request"
+ERR_UNKNOWN_OP = "unknown-op"
+ERR_BAD_SPEC = "bad-spec"
+ERR_UNKNOWN_SESSION = "unknown-session"
+ERR_RESUME_GAP = "resume-gap"
+ERR_INTERNAL = "internal"
+
+
+class ServiceError(Exception):
+    """A protocol-level failure with a machine-readable ``code``.
+
+    Handlers raise it; the dispatch layer turns it into an
+    ``{"ok": false, "error": code, "message": ...}`` response, and the
+    clients raise it again on the caller's side.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceError({self.code!r}, {str(self)!r})"
+
+
+def canonical_json(obj: Any) -> str:
+    """The one JSON encoding of the protocol: sorted keys, no whitespace.
+
+    Deterministic for any given value, so byte-level comparisons of
+    events (and whole responses) are meaningful.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# ------------------------------------------------------------------ events
+
+
+@dataclass(frozen=True)
+class Event:
+    """One monotonically-id'd entry of a session's event stream.
+
+    ``seq`` starts at 1 and increments by exactly 1 per session —
+    contiguity is the client's loss/duplication check.  ``raw`` is the
+    canonical encoding produced at append time; it is the value that
+    travels, and :meth:`from_raw` round-trips it bit-for-bit.
+    """
+
+    seq: int
+    type: str
+    payload: Mapping[str, Any]
+    raw: str = field(repr=False)
+
+    @classmethod
+    def build(cls, seq: int, event_type: str,
+              payload: Mapping[str, Any]) -> "Event":
+        raw = canonical_json(
+            {"payload": payload, "seq": seq, "type": event_type})
+        return cls(seq=seq, type=event_type, payload=payload, raw=raw)
+
+    @classmethod
+    def from_raw(cls, raw: str) -> "Event":
+        doc = json.loads(raw)
+        return cls(seq=int(doc["seq"]), type=str(doc["type"]),
+                   payload=doc["payload"], raw=raw)
+
+
+# ------------------------------------------------------------------- specs
+
+
+@dataclass(frozen=True)
+class StatisticSpec:
+    """A single-statistic query over a registered dataset.
+
+    All statistic specs submitted within one dispatch window over the
+    same dataset share a pilot and a growing sample — they become one
+    :class:`~repro.streaming.SessionManager` run.
+    """
+
+    dataset: str
+    statistic: str
+    sigma: Optional[float] = None
+    error_metric: Optional[str] = None
+    B: Optional[int] = None
+    n: Optional[int] = None
+
+    kind = "statistic"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A GROUP BY query over a registered columnar table
+    (planned onto a :class:`~repro.core.GroupedEarlSession`)."""
+
+    table: str
+    select: Tuple[Aggregate, ...]
+    group_by: Optional[str] = None
+    where: Optional[Tuple[str, str, Any]] = None
+    sigma: Optional[float] = None
+
+    kind = "query"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A cluster-backed EARL run (:class:`~repro.core.EarlJob`) over a
+    file in a registered simulated cluster's HDFS."""
+
+    cluster: str
+    path: str
+    statistic: str = "mean"
+    sigma: Optional[float] = None
+    on_unavailable: Optional[str] = None
+
+    kind = "job"
+
+
+SpecLike = Union[StatisticSpec, QuerySpec, JobSpec]
+
+
+def _require_str(raw: Mapping[str, Any], key: str) -> str:
+    value = raw.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServiceError(
+            ERR_BAD_SPEC, f"spec field {key!r} must be a non-empty string")
+    return value
+
+
+def _optional_sigma(raw: Mapping[str, Any]) -> Optional[float]:
+    sigma = raw.get("sigma")
+    if sigma is None:
+        return None
+    sigma = float(sigma)
+    if not 0.0 < sigma <= 1.0:
+        raise ServiceError(ERR_BAD_SPEC,
+                           f"sigma must be in (0, 1], got {sigma}")
+    return sigma
+
+
+def _validated_statistic(name: str) -> str:
+    try:
+        return get_statistic(name).name
+    except (KeyError, ValueError, TypeError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise ServiceError(ERR_BAD_SPEC, str(message)) from None
+
+
+def _parse_select(entries: Any) -> Tuple[Aggregate, ...]:
+    if not isinstance(entries, (list, tuple)) or not entries:
+        raise ServiceError(
+            ERR_BAD_SPEC, "query spec needs a non-empty 'select' list")
+    out: List[Aggregate] = []
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ServiceError(
+                ERR_BAD_SPEC, "each select entry must be an object with "
+                "'statistic' and 'column'")
+        column: Any = entry.get("column")
+        if isinstance(column, (list, tuple)):
+            column = tuple(column)
+        try:
+            out.append(agg(_require_str(entry, "statistic"), column,
+                           sigma=entry.get("sigma"),
+                           name=entry.get("name")))
+        except (KeyError, ValueError, TypeError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise ServiceError(ERR_BAD_SPEC, str(message)) from None
+    return tuple(out)
+
+
+def _parse_where(raw: Any) -> Optional[Tuple[str, str, Any]]:
+    if raw is None:
+        return None
+    if not isinstance(raw, (list, tuple)) or len(raw) != 3 \
+            or not isinstance(raw[0], str):
+        raise ServiceError(
+            ERR_BAD_SPEC, "'where' must be a [column, op, literal] triple")
+    if raw[1] not in WHERE_OPS:
+        raise ServiceError(
+            ERR_BAD_SPEC,
+            f"unknown where operator {raw[1]!r}; known: {sorted(WHERE_OPS)}")
+    return (raw[0], raw[1], raw[2])
+
+
+def parse_spec(raw: Any) -> SpecLike:
+    """Validate and normalize a submitted spec document.
+
+    ``raw`` is the ``"spec"`` object of a submit request; its
+    ``"kind"`` selects :class:`StatisticSpec` (``"statistic"``),
+    :class:`QuerySpec` (``"query"``) or :class:`JobSpec` (``"job"``).
+    Validation is eager — unknown statistics, malformed selects and bad
+    operators are rejected at submit time, before a session exists.
+    """
+    if not isinstance(raw, Mapping):
+        raise ServiceError(ERR_BAD_SPEC, "spec must be a JSON object")
+    kind = raw.get("kind")
+    if kind == StatisticSpec.kind:
+        B, n = raw.get("B"), raw.get("n")
+        return StatisticSpec(
+            dataset=_require_str(raw, "dataset"),
+            statistic=_validated_statistic(_require_str(raw, "statistic")),
+            sigma=_optional_sigma(raw),
+            error_metric=raw.get("error_metric"),
+            B=None if B is None else int(B),
+            n=None if n is None else int(n))
+    if kind == QuerySpec.kind:
+        group_by = raw.get("group_by")
+        if group_by is not None and not isinstance(group_by, str):
+            raise ServiceError(ERR_BAD_SPEC, "'group_by' must be a string")
+        return QuerySpec(
+            table=_require_str(raw, "table"),
+            select=_parse_select(raw.get("select")),
+            group_by=group_by,
+            where=_parse_where(raw.get("where")),
+            sigma=_optional_sigma(raw))
+    if kind == JobSpec.kind:
+        statistic = raw.get("statistic", "mean")
+        if not isinstance(statistic, str):
+            raise ServiceError(ERR_BAD_SPEC, "'statistic' must be a string")
+        return JobSpec(
+            cluster=_require_str(raw, "cluster"),
+            path=_require_str(raw, "path"),
+            statistic=_validated_statistic(statistic),
+            sigma=_optional_sigma(raw),
+            on_unavailable=raw.get("on_unavailable"))
+    raise ServiceError(
+        ERR_BAD_SPEC,
+        f"unknown spec kind {kind!r}; known: "
+        f"{[StatisticSpec.kind, QuerySpec.kind, JobSpec.kind]}")

@@ -1,0 +1,89 @@
+"""JSON-lines TCP front end over :class:`ApproxQueryService.handle`.
+
+One request object per line, one response object per line, in order.
+The framing is deliberately minimal: every response is the canonical
+JSON of the handler's dict, and events travel inside responses as the
+raw canonical strings stored at append time — a JSON string round-trip
+is lossless, so the byte-identical resume guarantee survives the wire.
+
+A connection serves its requests sequentially; a long-poll therefore
+occupies only its own connection (each client holds one), never the
+service: the handlers park on per-session conditions, not threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.service.protocol import ERR_BAD_REQUEST, canonical_json
+from repro.service.service import ApproxQueryService
+
+#: Stream buffer limit — grouped final snapshots can be large.
+_STREAM_LIMIT = 2 ** 20
+
+
+class ServiceServer:
+    """Serve an :class:`ApproxQueryService` on a TCP socket."""
+
+    def __init__(self, service: ApproxQueryService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port 0 resolves on start)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._port,
+            limit=_STREAM_LIMIT)
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break   # over-long garbage; drop the connection
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    response = {"ok": False, "error": ERR_BAD_REQUEST,
+                                "message": "request is not valid JSON"}
+                else:
+                    response = await self._service.handle(request)
+                writer.write(canonical_json(response).encode("utf-8")
+                             + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass   # client went away mid-exchange; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

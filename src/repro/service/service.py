@@ -1,0 +1,609 @@
+"""The approximate-query service: async sessions over the EARL engines.
+
+:class:`ApproxQueryService` is the network-facing front end over
+:class:`~repro.streaming.SessionManager`,
+:class:`~repro.query.Query` (grouped sessions) and
+:class:`~repro.core.EarlJob`.  A client submits a spec
+(:mod:`repro.service.protocol`) and gets a session id; it then polls —
+or long-polls — a monotonically event-id'd stream of snapshot events,
+can detach and resume from any event id at or above its ack floor, and
+can cancel to stop paying for sampling.
+
+Architecture
+------------
+* **Stateless handlers over a pluggable store.**  Every request handler
+  reads all session state from the
+  :class:`~repro.service.store.SessionStore`; the service object holds
+  only configuration and runtime plumbing.
+* **One shared pilot for concurrent statistic queries.**  Statistic
+  specs submitted within one dispatch window over the same dataset are
+  batched into a single :class:`~repro.streaming.SessionManager` run:
+  one pilot, one growing permutation-prefix sample, one runner thread —
+  a thousand concurrent sessions cost one engine loop, which is the
+  M3R/Shark-style hot-state reuse the ROADMAP's service north star asks
+  for.  GROUP BY and cluster-backed specs each get their own engine.
+* **Sync engines, async front end.**  The engines are synchronous
+  generators, driven by plain runner threads; each produced snapshot
+  hops onto the event loop via ``run_coroutine_threadsafe`` and blocks
+  on the bounded :class:`~repro.service.events.EventLog` append — the
+  log's capacity is therefore end-to-end backpressure on the engine
+  itself.  Handlers never block the loop; a thousand long-polls are a
+  thousand condition waiters.
+* **Explicit lifecycle with a TTL sweeper.**  PENDING → RUNNING →
+  DONE/CANCELLED/FAILED, plus EXPIRED for sessions idle past the TTL
+  (no client touch); terminal records linger for late resumes, then
+  are removed.  Cancellation raises the record's cross-thread flag and
+  the engine's own cancel hook, so sampling stops at the next round
+  boundary and the cost ledger holds only completed iterations —
+  the ``FeedbackChannel`` stop semantics of ``EarlJob.stream()``'s
+  teardown do the cluster-side work.
+
+See DESIGN.md §8 for the lifecycle state machine and the resume
+protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Awaitable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.config import EarlConfig
+from repro.core.earl import EarlJob
+from repro.query.model import Query
+from repro.service.events import EventLog
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BAD_SPEC,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_OP,
+    ERR_UNKNOWN_SESSION,
+    EVENT_ERROR,
+    EVENT_FINAL,
+    EVENT_SNAPSHOT,
+    EVENT_STATE,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_EXPIRED,
+    STATE_FAILED,
+    STATE_PENDING,
+    STATE_RUNNING,
+    JobSpec,
+    QuerySpec,
+    ServiceError,
+    StatisticSpec,
+    parse_spec,
+)
+from repro.service.store import InMemorySessionStore, SessionRecord, SessionStore
+from repro.streaming.session import SessionManager
+from repro.util.rng import ensure_rng
+
+
+class ApproxQueryService:
+    """Async approximate-query sessions over the EARL engines.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`~repro.core.EarlConfig` for every session; specs
+        override σ (and B/n for statistic specs) per query, and every
+        session gets its own seed drawn from ``seed`` at submit time —
+        so a fixed master seed and submission order reproduce every
+        event byte.
+    event_capacity:
+        Per-session bound on retained (unacked) events; a full log
+        backpressures the producing engine.
+    batch_window:
+        Seconds the dispatcher waits after a statistic submit for more
+        submits to share the same pilot.  ``max_batch`` caps one batch.
+    ttl_seconds / linger_seconds / sweep_interval:
+        Idle-session reclamation: a session with no client activity for
+        ``ttl_seconds`` is cancelled into EXPIRED; terminal sessions
+        are dropped from the store ``linger_seconds`` after their last
+        client touch.
+    clock:
+        Monotonic clock (injectable for TTL tests).
+    """
+
+    def __init__(self, *, config: Optional[EarlConfig] = None,
+                 store: Optional[SessionStore] = None,
+                 seed: int = 0,
+                 event_capacity: int = 64,
+                 batch_window: float = 0.02,
+                 max_batch: int = 1024,
+                 ttl_seconds: float = 300.0,
+                 linger_seconds: float = 300.0,
+                 sweep_interval: float = 1.0,
+                 default_poll_timeout: float = 10.0,
+                 clock=time.monotonic) -> None:
+        self._config = config or EarlConfig()
+        self._store = store or InMemorySessionStore()
+        self._seed_rng = ensure_rng(seed)
+        self._event_capacity = event_capacity
+        self._batch_window = batch_window
+        self._max_batch = max_batch
+        self._ttl_seconds = ttl_seconds
+        self._linger_seconds = linger_seconds
+        self._sweep_interval = sweep_interval
+        self._default_poll_timeout = default_poll_timeout
+        self._clock = clock
+        self._datasets: Dict[str, np.ndarray] = {}
+        self._tables: Dict[str, Mapping[str, Any]] = {}
+        self._clusters: Dict[str, Any] = {}
+        self._ids = itertools.count(1)
+        self._pending: List[SessionRecord] = []
+        self._threads: List[threading.Thread] = []
+        self._tasks: List[asyncio.Task] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending_wakeup: Optional[asyncio.Event] = None
+        self._started = False
+        self._stopped = False
+
+    # ----------------------------------------------------------- data plane
+    @property
+    def store(self) -> SessionStore:
+        return self._store
+
+    def register_dataset(self, name: str, values: Any) -> None:
+        """Register a 1-D/2-D numeric array statistic specs can target."""
+        data = np.asarray(values, dtype=float)
+        if data.ndim not in (1, 2) or len(data) == 0:
+            raise ValueError("dataset must be a non-empty 1-D or 2-D array")
+        self._datasets[name] = data
+
+    def register_table(self, name: str, columns: Mapping[str, Any]) -> None:
+        """Register a columnar table (column name → array) for query specs."""
+        if not columns:
+            raise ValueError("table must have at least one column")
+        self._tables[name] = dict(columns)
+
+    def register_cluster(self, name: str, cluster: Any) -> None:
+        """Register a simulated cluster job specs can target."""
+        self._clusters[name] = cluster
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Start the dispatcher and TTL sweeper on the running loop."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._pending_wakeup = asyncio.Event()
+        self._tasks.append(asyncio.create_task(self._dispatch_loop()))
+        self._tasks.append(asyncio.create_task(self._sweep_loop()))
+
+    async def stop(self) -> None:
+        """Cancel every live session and wind the runtime down.
+
+        Sealing the logs releases backpressured producers; runner
+        threads observe their cancel flags / sealed logs, close their
+        generators (executor teardown, feedback-channel stop) and exit;
+        they are joined off-loop.
+        """
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for rec in self._store.records():
+            if not rec.terminal:
+                rec.cancel_flag.set()
+                self._engine_cancel(rec)
+                await self._terminate(rec, STATE_CANCELLED)
+            else:
+                await rec.log.seal()
+        threads, self._threads = self._threads, []
+        if threads:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, lambda: [t.join(timeout=30.0) for t in threads])
+
+    # -------------------------------------------------------------- dispatch
+    async def handle(self, request: Any) -> Dict[str, Any]:
+        """Serve one protocol request; always returns a response dict.
+
+        The stateless entry point the TCP server and
+        :class:`~repro.service.client.LocalClient` share.
+        """
+        try:
+            if not isinstance(request, Mapping):
+                raise ServiceError(ERR_BAD_REQUEST,
+                                   "request must be a JSON object")
+            if not self._started or self._stopped:
+                raise ServiceError(ERR_BAD_REQUEST,
+                                   "service is not running")
+            op = request.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ServiceError(
+                    ERR_UNKNOWN_OP,
+                    f"unknown op {op!r}; known: {sorted(self._OPS)}")
+            response = await handler(self, request)
+            response["ok"] = True
+            return response
+        except ServiceError as exc:
+            return {"ok": False, "error": exc.code, "message": str(exc)}
+        except Exception as exc:  # a handler bug must not kill the server
+            return {"ok": False, "error": ERR_INTERNAL,
+                    "message": f"{type(exc).__name__}: {exc}"}
+
+    # -------------------------------------------------------------- handlers
+    async def _op_submit(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        spec = parse_spec(request.get("spec"))
+        now = self._clock()
+        if isinstance(spec, StatisticSpec):
+            if spec.dataset not in self._datasets:
+                raise ServiceError(
+                    ERR_BAD_SPEC, f"unknown dataset {spec.dataset!r}; "
+                    f"registered: {sorted(self._datasets)}")
+            rec = self._new_record(spec, now)
+            await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+            self._pending.append(rec)
+            assert self._pending_wakeup is not None
+            self._pending_wakeup.set()
+        elif isinstance(spec, QuerySpec):
+            rec = await self._submit_query(spec, now)
+        else:
+            rec = await self._submit_job(spec, now)
+        return {"session": rec.session_id, "state": rec.state}
+
+    async def _op_poll(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        rec = self._require_session(request)
+        rec.touch(self._clock())
+        after = request.get("after", 0)
+        if not isinstance(after, int) or isinstance(after, bool):
+            raise ServiceError(ERR_BAD_REQUEST,
+                               "'after' must be an integer event id")
+        wait = bool(request.get("wait", False))
+        timeout = request.get("timeout", self._default_poll_timeout)
+        events = await rec.log.read(
+            after, wait=wait,
+            timeout=None if timeout is None else float(timeout))
+        rec.touch(self._clock())   # a long poll counts as activity too
+        response: Dict[str, Any] = {
+            "session": rec.session_id,
+            "state": rec.state,            # read *after* the (long) poll
+            "events": [event.raw for event in events],
+            "last_event_id": rec.log.last_seq,
+            "cost_seconds": rec.cost_seconds,
+        }
+        if rec.error is not None:
+            response["error_detail"] = rec.error
+        return response
+
+    async def _op_cancel(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        rec = self._require_session(request)
+        rec.touch(self._clock())
+        if rec.terminal:
+            return {"session": rec.session_id, "state": rec.state,
+                    "already_terminal": True,
+                    "cost_seconds": rec.cost_seconds}
+        rec.cancel_flag.set()
+        self._engine_cancel(rec)
+        await self._terminate(rec, STATE_CANCELLED)
+        return {"session": rec.session_id, "state": rec.state,
+                "already_terminal": False, "cost_seconds": rec.cost_seconds}
+
+    async def _op_status(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        rec = self._require_session(request)
+        rec.touch(self._clock())
+        return {
+            "session": rec.session_id,
+            "state": rec.state,
+            "kind": rec.kind,
+            "last_event_id": rec.log.last_seq,
+            "acked": rec.log.acked,
+            "retained_events": rec.log.retained,
+            "cost_seconds": rec.cost_seconds,
+            "error_detail": rec.error,
+        }
+
+    async def _op_stats(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        records = self._store.records()
+        states: Dict[str, int] = {}
+        for rec in records:
+            states[rec.state] = states.get(rec.state, 0) + 1
+        return {
+            "sessions": len(records),
+            "states": states,
+            "pending_dispatch": len(self._pending),
+            "runner_threads": sum(1 for t in self._threads if t.is_alive()),
+            "max_retained_events": max(
+                (rec.log.max_retained for rec in records), default=0),
+            "datasets": sorted(self._datasets),
+            "tables": sorted(self._tables),
+            "clusters": sorted(self._clusters),
+        }
+
+    async def _op_ping(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    _OPS = {
+        "submit": _op_submit,
+        "poll": _op_poll,
+        "cancel": _op_cancel,
+        "status": _op_status,
+        "stats": _op_stats,
+        "ping": _op_ping,
+    }
+
+    # -------------------------------------------------------- session set-up
+    def _new_record(self, spec: Any, now: float) -> SessionRecord:
+        rec = SessionRecord(
+            session_id=f"s{next(self._ids):06d}",
+            kind=spec.kind, spec=spec,
+            seed=int(self._seed_rng.integers(0, 2**63 - 1)),
+            log=EventLog(capacity=self._event_capacity),
+            created_at=now, last_activity=now)
+        self._store.add(rec)
+        return rec
+
+    def _session_config(self, rec: SessionRecord) -> EarlConfig:
+        cfg = replace(self._config, seed=rec.seed)
+        sigma = getattr(rec.spec, "sigma", None)
+        if sigma is not None:
+            cfg = replace(cfg, sigma=sigma)
+        return cfg
+
+    async def _submit_query(self, spec: QuerySpec,
+                            now: float) -> SessionRecord:
+        if spec.table not in self._tables:
+            raise ServiceError(
+                ERR_BAD_SPEC, f"unknown table {spec.table!r}; "
+                f"registered: {sorted(self._tables)}")
+        rec = self._new_record(spec, now)
+        try:
+            query = Query(list(spec.select), group_by=spec.group_by,
+                          where=spec.where).on(
+                self._tables[spec.table], config=self._session_config(rec))
+            session = query.plan()   # eager validation (columns, where)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._store.remove(rec.session_id)
+            raise ServiceError(ERR_BAD_SPEC, str(exc)) from None
+        rec.engine_cancel = session.cancel
+        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+        await self._mark_running(rec)
+        self._spawn_runner(f"svc-query-{rec.session_id}",
+                           self._drive_stream, session.stream(), rec,
+                           grouped=True)
+        return rec
+
+    async def _submit_job(self, spec: JobSpec, now: float) -> SessionRecord:
+        if spec.cluster not in self._clusters:
+            raise ServiceError(
+                ERR_BAD_SPEC, f"unknown cluster {spec.cluster!r}; "
+                f"registered: {sorted(self._clusters)}")
+        if spec.on_unavailable not in (None, "skip", "fail"):
+            raise ServiceError(
+                ERR_BAD_SPEC,
+                f"on_unavailable must be 'skip' or 'fail', "
+                f"got {spec.on_unavailable!r}")
+        rec = self._new_record(spec, now)
+        kwargs: Dict[str, Any] = {}
+        if spec.on_unavailable is not None:
+            kwargs["on_unavailable"] = spec.on_unavailable
+        job = EarlJob(self._clusters[spec.cluster], spec.path,
+                      statistic=spec.statistic,
+                      config=self._session_config(rec), **kwargs)
+        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+        await self._mark_running(rec)
+        self._spawn_runner(f"svc-job-{rec.session_id}",
+                           self._drive_stream, job.stream(), rec,
+                           grouped=False)
+        return rec
+
+    # ---------------------------------------------------- statistic batching
+    async def flush(self) -> None:
+        """Dispatch pending statistic submissions right now.
+
+        Deterministic batching for tests and embedders: everything
+        submitted so far lands in this dispatch (one shared pilot per
+        dataset), regardless of ``batch_window``.
+        """
+        await self._dispatch_pending()
+
+    async def _dispatch_loop(self) -> None:
+        assert self._pending_wakeup is not None
+        while True:
+            await self._pending_wakeup.wait()
+            self._pending_wakeup.clear()
+            if self._batch_window > 0:
+                await asyncio.sleep(self._batch_window)
+            await self._dispatch_pending()
+
+    async def _dispatch_pending(self) -> None:
+        batch = self._pending[:self._max_batch]
+        self._pending = self._pending[self._max_batch:]
+        if self._pending and self._pending_wakeup is not None:
+            self._pending_wakeup.set()
+        batch = [rec for rec in batch
+                 if rec.state == STATE_PENDING
+                 and not rec.cancel_flag.is_set()]
+        by_dataset: Dict[str, List[SessionRecord]] = {}
+        for rec in batch:
+            by_dataset.setdefault(rec.spec.dataset, []).append(rec)
+        for dataset, members in by_dataset.items():
+            await self._launch_batch(dataset, members)
+
+    async def _launch_batch(self, dataset: str,
+                            members: List[SessionRecord]) -> None:
+        """One SessionManager for every statistic spec in the window:
+        the shared-pilot path (the batch seed is the first member's)."""
+        cfg = replace(self._config, seed=members[0].seed)
+        manager = SessionManager(self._datasets[dataset], config=cfg)
+        running: Dict[str, SessionRecord] = {}
+        for rec in members:
+            spec = rec.spec
+            try:
+                handle = manager.submit(
+                    spec.statistic, sigma=spec.sigma,
+                    error_metric=spec.error_metric,
+                    B_override=spec.B, n_override=spec.n,
+                    name=rec.session_id)
+            except (ValueError, TypeError) as exc:
+                await self._fail(rec, f"submit rejected: {exc}")
+                continue
+            rec.engine_cancel = handle.cancel
+            running[rec.session_id] = rec
+        if not running:
+            return
+        for rec in running.values():
+            await self._mark_running(rec)
+        self._spawn_runner(f"svc-batch-{dataset}",
+                           self._drive_manager, manager, running)
+
+    # -------------------------------------------------------- runner threads
+    def _spawn_runner(self, name: str, target, *args: Any, **kwargs) -> None:
+        self._threads = [t for t in self._threads if t.is_alive()]
+        thread = threading.Thread(target=target, args=args, kwargs=kwargs,
+                                  name=name, daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _drive_manager(self, manager: SessionManager,
+                       records: Dict[str, SessionRecord]) -> None:
+        """Drive one shared-pilot batch; runs in a dedicated thread."""
+        try:
+            gen = manager.stream()
+            try:
+                for handle, snap in gen:
+                    rec = records.get(handle.name)
+                    if rec is None:
+                        continue
+                    if rec.cancel_flag.is_set():
+                        handle.cancel()
+                        continue
+                    seq = self._append_from_thread(
+                        rec, EVENT_FINAL if snap.final else EVENT_SNAPSHOT,
+                        snap.to_dict())
+                    if seq is None:      # sealed (cancelled/expired)
+                        handle.cancel()
+                        continue
+                    rec.cost_seconds = snap.cost_total_seconds
+                    if snap.final:
+                        self._from_thread(self._terminate(rec, STATE_DONE))
+            finally:
+                gen.close()
+        except BaseException as exc:  # noqa: BLE001 - must not die silently
+            message = f"{type(exc).__name__}: {exc}"
+            for rec in records.values():
+                if not rec.terminal:
+                    self._from_thread(self._fail(rec, message))
+
+    def _drive_stream(self, gen: Any, rec: SessionRecord, *,
+                      grouped: bool) -> None:
+        """Drive one grouped/cluster engine; runs in a dedicated thread."""
+        try:
+            try:
+                for snap in gen:
+                    if rec.cancel_flag.is_set():
+                        break
+                    if grouped:
+                        payload = snap.to_dict(updated_only=not snap.final)
+                    else:
+                        payload = snap.to_dict()
+                        rec.cost_seconds = snap.cost_total_seconds
+                    seq = self._append_from_thread(
+                        rec, EVENT_FINAL if snap.final else EVENT_SNAPSHOT,
+                        payload)
+                    if seq is None:
+                        break
+                    if snap.final:
+                        self._from_thread(self._terminate(rec, STATE_DONE))
+            finally:
+                gen.close()   # only the driving thread may close it
+        except BaseException as exc:  # noqa: BLE001 - surface, don't hang
+            if not rec.terminal:
+                self._from_thread(
+                    self._fail(rec, f"{type(exc).__name__}: {exc}"))
+
+    def _append_from_thread(self, rec: SessionRecord, event_type: str,
+                            payload: Mapping[str, Any]) -> Optional[int]:
+        """Append from a runner thread; blocking on the future is what
+        propagates the event log's backpressure into the engine."""
+        assert self._loop is not None
+        try:
+            return asyncio.run_coroutine_threadsafe(
+                rec.log.append(event_type, payload), self._loop).result()
+        except (RuntimeError, asyncio.CancelledError):
+            return None   # loop gone: behave like a sealed log
+
+    def _from_thread(self, coro: Awaitable[Any]) -> None:
+        assert self._loop is not None
+        try:
+            asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+        except (RuntimeError, asyncio.CancelledError):
+            pass
+
+    # ------------------------------------------------------- state machine
+    async def _mark_running(self, rec: SessionRecord) -> None:
+        rec.state = STATE_RUNNING
+        await rec.log.append(EVENT_STATE, {"state": STATE_RUNNING})
+
+    async def _terminate(self, rec: SessionRecord, state: str,
+                         error: Optional[str] = None) -> None:
+        """Move to a terminal state: state event, then seal (first
+        terminal transition wins; later ones only re-seal)."""
+        if rec.terminal:
+            await rec.log.seal()
+            return
+        rec.state = state
+        if error is not None:
+            rec.error = error
+        payload: Dict[str, Any] = {"state": state}
+        if error is not None:
+            payload["error"] = error
+        await rec.log.append(EVENT_STATE, payload, force=True)
+        await rec.log.seal()
+
+    async def _fail(self, rec: SessionRecord, message: str) -> None:
+        await rec.log.append(EVENT_ERROR, {"message": message}, force=True)
+        await self._terminate(rec, STATE_FAILED, error=message)
+
+    def _engine_cancel(self, rec: SessionRecord) -> None:
+        if rec.engine_cancel is not None:
+            try:
+                rec.engine_cancel()
+            except Exception:   # cancel must never fail a handler
+                pass
+
+    def _require_session(self, request: Mapping[str, Any]) -> SessionRecord:
+        session_id = request.get("session")
+        if not isinstance(session_id, str):
+            raise ServiceError(ERR_BAD_REQUEST,
+                               "'session' must be a session id string")
+        rec = self._store.get(session_id)
+        if rec is None:
+            raise ServiceError(ERR_UNKNOWN_SESSION,
+                               f"unknown session {session_id!r}")
+        return rec
+
+    # ------------------------------------------------------------ TTL sweep
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._sweep_interval)
+            await self.sweep()
+
+    async def sweep(self) -> None:
+        """One TTL pass (public so tests can trigger it with a fake
+        clock): idle live sessions expire; old terminal records drop."""
+        now = self._clock()
+        for rec in self._store.records():
+            idle = now - rec.last_activity
+            if rec.terminal:
+                if idle >= self._linger_seconds:
+                    self._store.remove(rec.session_id)
+            elif idle >= self._ttl_seconds:
+                rec.cancel_flag.set()
+                self._engine_cancel(rec)
+                await self._terminate(
+                    rec, STATE_EXPIRED,
+                    error=f"idle for {idle:.1f}s (ttl "
+                          f"{self._ttl_seconds:.1f}s)")

@@ -1,0 +1,105 @@
+"""Session records and the pluggable session store.
+
+The request handlers are stateless: every fact about a session — its
+spec, lifecycle state, cost, event log — lives in a
+:class:`SessionRecord` held by a :class:`SessionStore`.  Any handler
+on any event loop tick can serve any request by looking the record up,
+which is the shape a horizontally-scaled deployment needs: to shard
+the service, implement :class:`SessionStore` over an external system
+and route sessions to the process that runs their engine.
+
+The in-memory store shipped here (:class:`InMemorySessionStore`) keeps
+everything in one dict.  An external implementation would persist the
+*control-plane* fields (id, kind, spec, state, timestamps, cost,
+error) plus the event log's retained tail; the runtime attachments —
+the live :class:`~repro.service.events.EventLog` condition, the
+``cancel_flag`` and ``engine_cancel`` callable — are only meaningful
+in the process hosting the engine and would be reconstructed there.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.events import EventLog
+from repro.service.protocol import STATE_PENDING, TERMINAL_STATES
+
+
+@dataclass
+class SessionRecord:
+    """Everything the service knows about one session."""
+
+    session_id: str
+    kind: str                     # "statistic" | "query" | "job"
+    spec: Any                     # the parsed spec dataclass
+    seed: int                     # engine seed drawn at submit time
+    log: EventLog
+    state: str = STATE_PENDING
+    created_at: float = 0.0
+    last_activity: float = 0.0    # last *client* touch (submit/poll/cancel)
+    #: Cross-thread cancellation: set by handlers, polled by the runner
+    #: thread between snapshots (generators may only be closed by the
+    #: thread driving them).
+    cancel_flag: threading.Event = field(default_factory=threading.Event)
+    #: Engine-side cancel hook (``QueryHandle.cancel``,
+    #: ``GroupedEarlSession.cancel``, ...) — stops *sampling* at the
+    #: next round boundary, so a cancel charges at most the iteration
+    #: already in flight.
+    engine_cancel: Optional[Callable[[], None]] = None
+    #: Simulated seconds charged so far (the last snapshot's
+    #: ``cost_total_seconds``); frozen by cancellation.
+    cost_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def touch(self, now: float) -> None:
+        self.last_activity = now
+
+
+class SessionStore:
+    """Storage interface the stateless handlers run against."""
+
+    def add(self, record: SessionRecord) -> None:
+        raise NotImplementedError
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        raise NotImplementedError
+
+    def remove(self, session_id: str) -> None:
+        raise NotImplementedError
+
+    def records(self) -> List[SessionRecord]:
+        """All records (stable submission order)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+class InMemorySessionStore(SessionStore):
+    """Dict-backed store: the single-process deployment."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SessionRecord] = {}
+
+    def add(self, record: SessionRecord) -> None:
+        if record.session_id in self._records:
+            raise ValueError(f"duplicate session id {record.session_id!r}")
+        self._records[record.session_id] = record
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        return self._records.get(session_id)
+
+    def remove(self, session_id: str) -> None:
+        self._records.pop(session_id, None)
+
+    def records(self) -> List[SessionRecord]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -157,6 +157,7 @@ class SessionManager:
         self._config = config or EarlConfig()
         self._queries: List[QueryHandle] = []
         self._started = False
+        self._cancelled = False
 
     @classmethod
     def from_hdfs(cls, fs, path: str, *,
@@ -194,6 +195,25 @@ class SessionManager:
     def queries(self) -> List[QueryHandle]:
         """The submitted query handles, in submission order."""
         return list(self._queries)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was requested."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Cancel the whole session: every query is withdrawn and the
+        round loop ends at the next round boundary.
+
+        Safe to call from any thread while another thread drives
+        :meth:`stream` (plain flags checked between rounds).  Only the
+        driving thread may ``close()`` the generator itself, so this is
+        the cross-thread teardown path; individual queries are still
+        cancelled one at a time via :meth:`QueryHandle.cancel`.
+        """
+        self._cancelled = True
+        for query in self._queries:
+            query.cancel()
 
     def submit(self, statistic: StatisticLike, *,
                sigma: Optional[float] = None,
@@ -253,6 +273,8 @@ class SessionManager:
         if self._started:
             raise RuntimeError("a SessionManager streams only once")
         self._started = True
+        if self._cancelled:
+            return
         cfg = self._config
         data = self._data
         N = len(data)

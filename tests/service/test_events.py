@@ -1,0 +1,189 @@
+"""EventLog: monotonic ids, ack/prune, backpressure, sealing, resume
+validation.  These are the invariants the service's loss/duplication
+and resume guarantees rest on."""
+
+import asyncio
+
+import pytest
+
+from repro.service import ERR_BAD_REQUEST, EventLog, ResumeGapError, ServiceError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAppendRead:
+    def test_seqs_start_at_one_and_are_contiguous(self):
+        async def go():
+            log = EventLog()
+            seqs = [await log.append("snapshot", {"i": i}) for i in range(5)]
+            events = await log.read()
+            return seqs, events
+
+        seqs, events = run(go())
+        assert seqs == [1, 2, 3, 4, 5]
+        assert [e.seq for e in events] == [1, 2, 3, 4, 5]
+        assert [e.payload["i"] for e in events] == [0, 1, 2, 3, 4]
+
+    def test_read_after_skips_acked_prefix(self):
+        async def go():
+            log = EventLog()
+            for i in range(4):
+                await log.append("snapshot", {"i": i})
+            head = await log.read(after=0)
+            tail = await log.read(after=2)
+            return head, tail, log.acked, log.retained
+
+        head, tail, acked, retained = run(go())
+        assert [e.seq for e in head] == [1, 2, 3, 4]
+        assert [e.seq for e in tail] == [3, 4]
+        assert acked == 2
+        assert retained == 2   # 1 and 2 pruned
+
+    def test_rereading_unacked_events_is_a_replay(self):
+        async def go():
+            log = EventLog()
+            for i in range(3):
+                await log.append("snapshot", {"i": i})
+            first = await log.read(after=0)
+            again = await log.read(after=0)
+            return first, again
+
+        first, again = run(go())
+        assert [e.raw for e in first] == [e.raw for e in again]
+
+    def test_resume_below_ack_floor_raises_gap(self):
+        async def go():
+            log = EventLog()
+            for i in range(4):
+                await log.append("snapshot", {"i": i})
+            await log.read(after=3)   # acks/prunes 1..3
+            with pytest.raises(ResumeGapError) as err:
+                await log.read(after=1)
+            return err.value
+
+        err = run(go())
+        assert err.after == 1
+        assert err.acked == 3
+
+    def test_read_past_end_is_rejected(self):
+        async def go():
+            log = EventLog()
+            await log.append("snapshot", {})
+            with pytest.raises(ServiceError) as ahead:
+                await log.read(after=7)
+            with pytest.raises(ServiceError) as negative:
+                await log.read(after=-1)
+            assert ahead.value.code == ERR_BAD_REQUEST
+            assert negative.value.code == ERR_BAD_REQUEST
+
+        run(go())
+
+
+class TestBackpressure:
+    def test_append_blocks_when_full_until_reader_acks(self):
+        async def go():
+            log = EventLog(capacity=2)
+            await log.append("snapshot", {"i": 0})
+            await log.append("snapshot", {"i": 1})
+            blocked = asyncio.ensure_future(log.append("snapshot", {"i": 2}))
+            await asyncio.sleep(0.02)
+            assert not blocked.done()    # producer is parked on capacity
+            events = await log.read(after=0)
+            await log.read(after=events[-1].seq)   # ack frees a slot
+            seq = await asyncio.wait_for(blocked, timeout=2)
+            return seq, log.max_retained
+
+        seq, max_retained = run(go())
+        assert seq == 3
+        assert max_retained <= 2
+
+    def test_force_append_bypasses_capacity(self):
+        async def go():
+            log = EventLog(capacity=1)
+            await log.append("snapshot", {"i": 0})
+            seq = await log.append("state", {"state": "failed"}, force=True)
+            return seq, log.retained
+
+        seq, retained = run(go())
+        assert seq == 2
+        assert retained == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestSealing:
+    def test_seal_stops_appends_and_wakes_waiters(self):
+        async def go():
+            log = EventLog(capacity=1)
+            await log.append("snapshot", {"i": 0})
+            blocked = asyncio.ensure_future(log.append("snapshot", {"i": 1}))
+            await asyncio.sleep(0.02)
+            await log.seal()
+            dropped = await asyncio.wait_for(blocked, timeout=2)
+            late = await log.append("snapshot", {"i": 2})
+            return dropped, late, log.sealed, log.last_seq
+
+        dropped, late, sealed, last_seq = run(go())
+        assert dropped is None and late is None
+        assert sealed
+        assert last_seq == 1   # nothing slipped in after the seal
+
+    def test_long_poll_returns_on_seal(self):
+        async def go():
+            log = EventLog()
+            waiter = asyncio.ensure_future(
+                log.read(after=0, wait=True, timeout=30))
+            await asyncio.sleep(0.02)
+            await log.seal()
+            return await asyncio.wait_for(waiter, timeout=2)
+
+        assert run(go()) == []
+
+
+class TestLongPoll:
+    def test_wait_returns_when_event_arrives(self):
+        async def go():
+            log = EventLog()
+            waiter = asyncio.ensure_future(
+                log.read(after=0, wait=True, timeout=30))
+            await asyncio.sleep(0.02)
+            await log.append("snapshot", {"i": 0})
+            return await asyncio.wait_for(waiter, timeout=2)
+
+        events = run(go())
+        assert [e.seq for e in events] == [1]
+
+    def test_wait_times_out_empty(self):
+        async def go():
+            log = EventLog()
+            return await log.read(after=0, wait=True, timeout=0.05)
+
+        assert run(go()) == []
+
+    def test_no_wait_returns_immediately_empty(self):
+        async def go():
+            log = EventLog()
+            return await log.read(after=0)
+
+        assert run(go()) == []
+
+
+class TestAccounting:
+    def test_counters_track_appends_and_high_water(self):
+        async def go():
+            log = EventLog(capacity=8)
+            for i in range(5):
+                await log.append("snapshot", {"i": i})
+            await log.read(after=5)
+            for i in range(2):
+                await log.append("snapshot", {"i": i})
+            return log.appended, log.max_retained, log.retained
+
+        appended, high_water, retained = run(go())
+        assert appended == 7
+        assert high_water == 5
+        assert retained == 2

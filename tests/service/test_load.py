@@ -1,0 +1,147 @@
+"""Concurrency load harness (slow tier): 1,000+ concurrent sessions
+over ONE shared pilot, each drained by its own client task.
+
+Asserts the service's hard guarantees at scale:
+
+* zero lost or duplicated events — every session's ids are the exact
+  contiguous sequence 1..k;
+* exactly one final snapshot and a clean DONE per session;
+* per-session buffers stay bounded (capacity + the forced terminal
+  event) even with clients acking at wildly different speeds;
+* detach/resume mid-stream replays byte-identical events;
+* the whole fleet shares a single engine run (one batch runner thread).
+
+Writes poll-latency percentiles as JSON to ``$SERVICE_LOAD_REPORT``
+(CI uploads it as an artifact) and prints them to the test log.
+
+Run with ``make bench-service`` or
+``pytest -m slow tests/service/test_load.py``.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.service import (
+    EVENT_FINAL,
+    STATE_DONE,
+    ApproxQueryService,
+    LocalClient,
+)
+
+pytestmark = pytest.mark.slow
+
+N_SESSIONS = 1_000
+EVENT_CAPACITY = 8
+STATISTICS = ["mean", "sum", "std", "min", "max", "count", "median", "p90"]
+CFG = dict(sigma=0.05, B_override=10, n_override=100,
+           expansion_factor=2.0, max_iterations=4)
+
+
+async def drain_session(client, sid, latencies, *, resume_once=False):
+    """Ack-as-you-go consumer; optionally crashes once and resumes."""
+    raws, committed, crashed = [], 0, not resume_once
+    while True:
+        t0 = time.perf_counter()
+        page = await client.poll(sid, after=committed, wait=True,
+                                 timeout=10.0)
+        latencies.append(time.perf_counter() - t0)
+        if not page.events:
+            if page.terminal:
+                return raws
+            continue
+        if not crashed:
+            crashed = True
+            # Detach before committing: the page is lost; the replay
+            # from the committed floor must reproduce it byte for byte.
+            lost = [e.raw for e in page.events]
+            replay = await client.poll(sid, after=committed, wait=True,
+                                       timeout=10.0)
+            replayed = [e.raw for e in replay.events]
+            assert replayed[:len(lost)] == lost
+            page = replay
+        raws.extend(e.raw for e in page.events)
+        committed = page.events[-1].seq
+
+
+def percentile_report(latencies, elapsed, n_sessions):
+    lat = np.sort(np.asarray(latencies))
+
+    def pct(q):
+        return float(lat[min(len(lat) - 1, int(q / 100 * len(lat)))])
+
+    return {
+        "sessions": n_sessions,
+        "polls": len(latencies),
+        "elapsed_seconds": round(elapsed, 3),
+        "poll_latency_seconds": {
+            "p50": pct(50), "p90": pct(90), "p99": pct(99),
+            "max": float(lat[-1]),
+        },
+    }
+
+
+class TestThousandConcurrentSessions:
+    def test_load_harness(self):
+        async def body():
+            service = ApproxQueryService(
+                config=EarlConfig(**CFG), seed=2024,
+                batch_window=5.0, event_capacity=EVENT_CAPACITY,
+                max_batch=N_SESSIONS, default_poll_timeout=10.0)
+            service.register_dataset(
+                "pop", np.random.default_rng(1).lognormal(1.0, 0.6, 50_000))
+            await service.start()
+            try:
+                client = LocalClient(service)
+                t0 = time.perf_counter()
+                sids = [await client.submit(
+                    {"kind": "statistic", "dataset": "pop",
+                     "statistic": STATISTICS[i % len(STATISTICS)]})
+                    for i in range(N_SESSIONS)]
+                await service.flush()   # ONE dispatch: one shared pilot
+
+                latencies = []
+                streams = await asyncio.gather(*[
+                    drain_session(client, sid, latencies,
+                                  resume_once=(i % 25 == 0))
+                    for i, sid in enumerate(sids)])
+                elapsed = time.perf_counter() - t0
+
+                batch_threads = [t.name for t in service._threads
+                                 if t.name.startswith("svc-batch-")]
+                stats = await client.stats()
+                return streams, batch_threads, stats, latencies, elapsed
+            finally:
+                await service.stop()
+
+        streams, batch_threads, stats, latencies, elapsed = \
+            asyncio.run(body())
+
+        # One engine run for the whole fleet: the shared-pilot batch.
+        assert batch_threads == ["svc-batch-pop"]
+
+        assert len(streams) == N_SESSIONS
+        for raws in streams:
+            events = [json.loads(raw) for raw in raws]
+            seqs = [e["seq"] for e in events]
+            # Zero lost, zero duplicated: ids are exactly 1..k.
+            assert seqs == list(range(1, len(seqs) + 1))
+            assert sum(e["type"] == EVENT_FINAL for e in events) == 1
+            assert events[-1]["payload"] == {"state": STATE_DONE}
+
+        # Bounded buffers: never more than capacity plus the forced
+        # terminal event, for any session, at any point.
+        assert stats["max_retained_events"] <= EVENT_CAPACITY + 1
+        assert stats["states"] == {STATE_DONE: N_SESSIONS}
+
+        report = percentile_report(latencies, elapsed, N_SESSIONS)
+        print("\nservice load report:", json.dumps(report, indent=2))
+        out = os.environ.get("SERVICE_LOAD_REPORT")
+        if out:
+            with open(out, "w") as fh:
+                json.dump(report, fh, indent=2)

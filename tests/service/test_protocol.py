@@ -1,0 +1,154 @@
+"""Wire protocol: canonical encoding, event envelopes, spec parsing."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    ERR_BAD_SPEC,
+    Event,
+    JobSpec,
+    QuerySpec,
+    ServiceError,
+    StatisticSpec,
+    canonical_json,
+    parse_spec,
+)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_no_whitespace(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_key_order_of_input_is_irrelevant(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json(
+            {"y": 2, "x": 1})
+
+
+class TestEvent:
+    def test_build_then_from_raw_roundtrips_bytes(self):
+        event = Event.build(7, "snapshot", {"estimate": 1.5, "final": False})
+        again = Event.from_raw(event.raw)
+        assert again.raw == event.raw
+        assert again.seq == 7
+        assert again.type == "snapshot"
+        assert again.payload == {"estimate": 1.5, "final": False}
+
+    def test_raw_is_canonical(self):
+        event = Event.build(1, "state", {"state": "running"})
+        assert event.raw == canonical_json(
+            {"payload": {"state": "running"}, "seq": 1, "type": "state"})
+        # Canonical bytes survive a JSON-string round trip (the wire).
+        assert json.loads(json.dumps(event.raw)) == event.raw
+
+
+class TestParseStatisticSpec:
+    def test_happy_path(self):
+        spec = parse_spec({"kind": "statistic", "dataset": "d",
+                           "statistic": "mean", "sigma": 0.05,
+                           "B": 50, "n": 200})
+        assert isinstance(spec, StatisticSpec)
+        assert spec.dataset == "d"
+        assert spec.statistic == "mean"
+        assert spec.sigma == 0.05
+        assert (spec.B, spec.n) == (50, 200)
+
+    def test_unknown_statistic_is_bad_spec(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "statistic", "dataset": "d",
+                        "statistic": "p50"})
+        assert err.value.code == ERR_BAD_SPEC
+        assert "p50" in str(err.value)
+
+    def test_missing_dataset_is_bad_spec(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "statistic", "statistic": "mean"})
+        assert err.value.code == ERR_BAD_SPEC
+
+    @pytest.mark.parametrize("sigma", [0.0, -0.1, 1.5])
+    def test_sigma_out_of_range(self, sigma):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "statistic", "dataset": "d",
+                        "statistic": "mean", "sigma": sigma})
+        assert err.value.code == ERR_BAD_SPEC
+
+
+class TestParseQuerySpec:
+    def test_happy_path(self):
+        spec = parse_spec({
+            "kind": "query", "table": "t", "group_by": "g",
+            "select": [{"statistic": "mean", "column": "v"},
+                       {"statistic": "sum", "column": "v", "name": "total"}],
+            "where": ["v", ">", 10]})
+        assert isinstance(spec, QuerySpec)
+        assert spec.table == "t"
+        assert spec.group_by == "g"
+        assert len(spec.select) == 2
+        assert spec.select[1].name == "total"
+        assert spec.where == ("v", ">", 10)
+
+    def test_empty_select_is_bad_spec(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "query", "table": "t", "select": []})
+        assert err.value.code == ERR_BAD_SPEC
+
+    def test_unknown_statistic_in_select(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "query", "table": "t",
+                        "select": [{"statistic": "bogus", "column": "v"}]})
+        assert err.value.code == ERR_BAD_SPEC
+
+    def test_bad_where_shape(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "query", "table": "t",
+                        "select": [{"statistic": "mean", "column": "v"}],
+                        "where": ["v", ">"]})
+        assert err.value.code == ERR_BAD_SPEC
+
+    def test_unknown_where_operator(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "query", "table": "t",
+                        "select": [{"statistic": "mean", "column": "v"}],
+                        "where": ["v", "~=", 3]})
+        assert err.value.code == ERR_BAD_SPEC
+        assert "~=" in str(err.value)
+
+    def test_group_by_must_be_string(self):
+        with pytest.raises(ServiceError):
+            parse_spec({"kind": "query", "table": "t", "group_by": 7,
+                        "select": [{"statistic": "mean", "column": "v"}]})
+
+
+class TestParseJobSpec:
+    def test_happy_path_with_defaults(self):
+        spec = parse_spec({"kind": "job", "cluster": "c",
+                           "path": "/data/x"})
+        assert isinstance(spec, JobSpec)
+        assert spec.statistic == "mean"
+        assert spec.on_unavailable is None
+
+    def test_explicit_fields(self):
+        spec = parse_spec({"kind": "job", "cluster": "c", "path": "/p",
+                           "statistic": "median", "sigma": 0.1,
+                           "on_unavailable": "skip"})
+        assert spec.statistic == "median"
+        assert spec.sigma == 0.1
+        assert spec.on_unavailable == "skip"
+
+    def test_missing_path_is_bad_spec(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "job", "cluster": "c"})
+        assert err.value.code == ERR_BAD_SPEC
+
+
+class TestParseSpecDispatch:
+    def test_unknown_kind(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "mystery"})
+        assert err.value.code == ERR_BAD_SPEC
+        assert "mystery" in str(err.value)
+
+    def test_non_object_spec(self):
+        with pytest.raises(ServiceError) as err:
+            parse_spec("statistic")
+        assert err.value.code == ERR_BAD_SPEC

@@ -1,0 +1,101 @@
+"""Resume equivalence: a client that detaches and replays from its last
+acked event id collects a byte-identical stream to one that never
+disconnected.  Hypothesis drives the crash schedule — which poll pages
+get "lost" before being committed — against a deterministic service run
+(fixed master seed), so every divergence is a protocol bug, not noise."""
+
+import asyncio
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EarlConfig
+from repro.service import ApproxQueryService, LocalClient
+
+CFG = dict(sigma=0.02, B_override=10, n_override=50,
+           expansion_factor=1.5, max_iterations=6)
+
+
+def make_service(event_capacity=4):
+    service = ApproxQueryService(
+        config=EarlConfig(**CFG), seed=99, batch_window=5.0,
+        event_capacity=event_capacity)
+    service.register_dataset(
+        "pop", np.random.default_rng(7).exponential(2.0, 8000))
+    return service
+
+
+async def reference_stream():
+    """The uninterrupted run: every event's canonical bytes, in order."""
+    service = make_service()
+    await service.start()
+    try:
+        client = LocalClient(service)
+        sid = await client.submit({"kind": "statistic", "dataset": "pop",
+                                   "statistic": "mean"})
+        await service.flush()
+        return [e.raw for e in await client.drain(sid)]
+    finally:
+        await service.stop()
+
+
+async def interrupted_stream(crash_plan):
+    """Re-run the identical session, crashing per ``crash_plan``.
+
+    Each entry decides the fate of one non-empty poll page: ``True``
+    means the client "crashes" before committing it — the page is
+    dropped and the next poll resumes from the last committed id, so
+    the service must replay those bytes verbatim.  The plan is a finite
+    prefix; afterwards every page commits (so the run terminates).
+    """
+    service = make_service()
+    await service.start()
+    try:
+        client = LocalClient(service)
+        sid = await client.submit({"kind": "statistic", "dataset": "pop",
+                                   "statistic": "mean"})
+        await service.flush()
+        committed_raws = []
+        committed = 0
+        fates = iter(crash_plan)
+        while True:
+            page = await client.poll(sid, after=committed, wait=True,
+                                     timeout=5.0)
+            if not page.events:
+                if page.terminal:
+                    return committed_raws
+                continue
+            if next(fates, False):
+                # Crash before committing: replay must reproduce the
+                # lost page bytes as a prefix (new events may follow).
+                replay = await client.poll(sid, after=committed, wait=True,
+                                           timeout=5.0)
+                replayed = [e.raw for e in replay.events]
+                lost = [e.raw for e in page.events]
+                assert replayed[:len(lost)] == lost
+                page = replay
+            committed_raws.extend(e.raw for e in page.events)
+            committed = page.events[-1].seq
+    finally:
+        await service.stop()
+
+
+class TestResumeEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(crash_plan=st.lists(st.booleans(), max_size=12))
+    def test_replay_from_last_acked_id_is_byte_identical(self, crash_plan):
+        async def body():
+            return await reference_stream(), \
+                await interrupted_stream(crash_plan)
+
+        reference, interrupted = asyncio.run(body())
+        assert interrupted == reference
+
+    def test_every_page_crashes_once_still_converges(self):
+        async def body():
+            return await reference_stream(), \
+                await interrupted_stream([True] * 64)
+
+        reference, interrupted = asyncio.run(body())
+        assert interrupted == reference

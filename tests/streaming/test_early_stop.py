@@ -2,11 +2,16 @@
 snapshots leaves no running work behind, and the cost ledger holds only
 the k completed iterations."""
 
+import gc
+import threading
+
 import numpy as np
 import pytest
 
 from repro import EarlConfig, EarlJob, EarlSession
 from repro.cluster import Cluster
+from repro.exec import live_pool_executors
+from repro.query import Query, agg
 from repro.streaming import StreamConsumer, stream
 from repro.workloads import load_stand_in
 
@@ -110,3 +115,83 @@ class TestStreamConsumer:
             StreamConsumer(max_snapshots=0)
         with pytest.raises(ValueError):
             list(stream(object(), max_snapshots=0))
+
+
+def grouped_query(executor, **overrides):
+    """A grouped query whose bound is never met: it streams rounds
+    until the consumer stops it (the pool-release scenarios)."""
+    rng = np.random.default_rng(21)
+    table = {"key": np.tile(["a", "b"], 3000),
+             "value": rng.exponential(5.0, 6000)}
+    cfg_kwargs = dict(sigma=0.0001, seed=31, B_override=10, n_override=60,
+                      expansion_factor=1.5, max_iterations=8,
+                      executor=executor, max_workers=2)
+    cfg_kwargs.update(overrides)
+    return Query([agg("mean", "value")], group_by="key").on(
+        table, config=EarlConfig(**cfg_kwargs))
+
+
+class TestPoolRelease:
+    """A consumer that walks away from ``Query.stream()`` must not leak
+    the executor's worker pool (regression: the suspended generator
+    used to keep a process pool alive until interpreter exit)."""
+
+    @pytest.fixture(autouse=True)
+    def baseline(self):
+        gc.collect()
+        before = set(id(ex) for ex in live_pool_executors())
+        yield
+        gc.collect()
+        leaked = [ex for ex in live_pool_executors()
+                  if id(ex) not in before]
+        assert leaked == []
+
+    def test_early_break_under_processes_backend_closes_pool(self):
+        gen = grouped_query("processes").stream()
+        first = next(gen)
+        assert not first.final
+        assert len(live_pool_executors()) >= 1   # pool is live mid-stream
+        gen.close()   # GeneratorExit runs the stream's teardown
+        assert live_pool_executors() == []
+
+    def test_abandoned_stream_is_released_by_gc(self):
+        gen = grouped_query("threads").stream()
+        next(gen)
+        assert len(live_pool_executors()) >= 1
+        del gen       # no explicit close: finalizer must tear down
+        gc.collect()
+        assert live_pool_executors() == []
+
+    def test_cross_thread_cancel_releases_pool(self):
+        # A generator may only be close()d by the thread driving it —
+        # other threads use cancel(), and the driving thread's own
+        # loop exit runs the teardown.
+        query = grouped_query("threads")
+        session = query.plan()
+        query.last_session = session
+        snapshots = []
+        started = threading.Event()
+
+        def drive():
+            for snap in session.stream():
+                snapshots.append(snap)
+                started.set()
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        assert started.wait(timeout=30)
+        query.last_session.cancel()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert snapshots                      # it did stream
+        assert not snapshots[-1].final        # ... and stopped early
+        assert live_pool_executors() == []
+
+    def test_query_stream_records_cancel_handle(self):
+        query = grouped_query("serial")
+        gen = query.stream()
+        next(gen)
+        assert query.last_session is not None
+        query.last_session.cancel()
+        assert list(gen) == []    # cooperative stop, no further rounds
+        assert query.last_session.cancelled
