@@ -6,11 +6,12 @@
 #                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
-#   make bench-json  - kernel + ingest + query benchmarks (smoke sizes)
-#                      -> benchmarks/results/BENCH_{kernel,ingest,query}.json,
-#                      each gated against its committed baseline
-#                      benchmarks/BENCH_{kernel,ingest,query}.json (fails on
-#                      a >20% speedup regression)
+#   make bench-json  - kernel + ingest + query + scheduler benchmarks
+#                      (smoke sizes) -> benchmarks/results/
+#                      BENCH_{kernel,ingest,query,scheduler}.json, each
+#                      gated against its committed baseline
+#                      benchmarks/BENCH_{kernel,ingest,query,scheduler}.json
+#                      (fails on a >20% speedup regression)
 #   make bench-service - service concurrency smoke (shared-pilot session
 #                      fan-out) -> benchmarks/results/BENCH_service.json,
 #                      then the full 1,000-session load harness
@@ -62,6 +63,11 @@ bench-json:
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_query.json benchmarks/BENCH_query.json \
 		--stages rows
+	$(PYTHON) benchmarks/bench_scheduler.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_scheduler.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_scheduler.json \
+		benchmarks/BENCH_scheduler.json --stages rows
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py \

@@ -1,0 +1,230 @@
+"""Cross-query scheduler efficiency: shared scans vs independent runs.
+
+k concurrent statistic queries over the same hot table each need a
+permuted-sample prefix of that table.  Run independently they draw k
+separate samples — the table is scanned and sampled k times.  Admitted
+to one :class:`repro.scheduler.QueryScheduler` they share a single
+scan-group engine (one permutation, one pilot, one growing sample), so
+the table's rows are drawn **once**, sized by the slowest query's need
+instead of the sum of everyone's:
+
+* ``shared`` (gated) — k statistic queries over one 120k-row table:
+  total rows drawn by k solo ``EarlSession`` runs vs one scheduled
+  run.  The speedup is roughly ``sum(need_i) / max(need_i)`` and must
+  stay >= 2x.
+* ``grouped`` (informational) — two grouped queries over one skewed
+  table: the scheduler's global per-round budget lets finished groups
+  donate rows to laggards *across* queries, so every per-group target
+  is met with fewer total rows than two independent runs.
+
+Rows processed is **simulated sampling work, not wall-clock**, so the
+reported speedup is machine-independent and deterministic for the
+committed seed.
+
+Outputs ``BENCH_scheduler.json``; the committed baseline at
+``benchmarks/BENCH_scheduler.json`` is what the CI regression gate
+(``tools/check_bench_regression.py --stages rows``) compares fresh
+runs against.
+
+Run standalone::
+
+    python benchmarks/bench_scheduler.py \
+        --out benchmarks/results/BENCH_scheduler.json
+
+or through pytest (``make bench`` / ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import EarlConfig, EarlSession  # noqa: E402
+from repro.query import Query, agg  # noqa: E402
+from repro.scheduler import QueryScheduler  # noqa: E402
+from repro.workloads import skewed_keyed_values  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+#: The gated shared-table workload and the informational grouped one.
+SHARED_N = 120_000
+GROUPED_N = 24_000
+SEED = 29
+SIGMA = 0.03
+#: The concurrent statistic queries dashboards actually issue together.
+STATISTICS = ("mean", "median", "p90", "std")
+#: The acceptance gate: the scheduled run must draw >= this factor
+#: fewer rows than the independent runs on the shared hot table.
+MIN_SPEEDUP = 2.0
+
+
+def _table(n: int) -> np.ndarray:
+    return np.random.default_rng(SEED).lognormal(1.0, 0.8, n)
+
+
+def shared_rows(n: int) -> Dict[str, object]:
+    """k solo sessions vs one scheduled scan group, same seeds."""
+    data = _table(n)
+    cfg = EarlConfig(sigma=SIGMA, seed=SEED + 1)
+
+    independent = 0
+    for stat in STATISTICS:
+        result = EarlSession(data, stat, config=cfg).run()
+        assert result.achieved, f"solo {stat} missed its bound"
+        independent += result.n
+
+    sched = QueryScheduler()
+    for stat in STATISTICS:
+        sched.submit_statistic(data, stat, config=cfg, table="hot")
+    results = sched.run()
+    assert all(r is not None and r.achieved for r in results.values()), \
+        "scheduled run missed a bound"
+    scheduled = sched.rows_processed
+    return {"independent_rows": int(independent),
+            "scheduled_rows": int(scheduled),
+            "speedup": round(independent / scheduled, 2)}
+
+
+def grouped_rows(n: int) -> Dict[str, object]:
+    """Two grouped queries, independent vs globally budgeted."""
+    keys, values = skewed_keyed_values(n, 6, skew=1.4, value_sigma=0.6,
+                                       seed=SEED)
+    table = {"key": keys, "value": values}
+    cfgs = [EarlConfig(sigma=0.04, seed=SEED + 2,
+                       B_override=30, n_override=75),
+            EarlConfig(sigma=0.06, seed=SEED + 3,
+                       B_override=30, n_override=75)]
+
+    def query(cfg):
+        return Query([agg("mean", "value")], group_by="key").on(
+            table, config=cfg)
+
+    independent = 0
+    for cfg in cfgs:
+        result = query(cfg).run()
+        assert result.achieved, "independent grouped run missed a bound"
+        independent += result.rows_processed
+
+    sched = QueryScheduler()
+    for i, cfg in enumerate(cfgs):
+        sched.submit_grouped(query(cfg).plan(), name=f"q{i}")
+    results = sched.run()
+    assert all(r is not None and r.achieved for r in results.values()), \
+        "scheduled grouped run missed a bound"
+    scheduled = sched.rows_processed
+    return {"independent_rows": int(independent),
+            "scheduled_rows": int(scheduled),
+            "speedup": round(independent / scheduled, 2)}
+
+
+def run_scheduler_bench(sizes: Sequence[int]) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        rows.append({"n": n, "mode": "shared", "rows": shared_rows(n)})
+    rows.append({"n": GROUPED_N, "mode": "grouped",
+                 "rows": grouped_rows(GROUPED_N)})
+    return rows
+
+
+def check_speedups(rows: List[Dict[str, object]], *,
+                   min_speedup: float = MIN_SPEEDUP,
+                   at_n: int = SHARED_N) -> None:
+    """The headline claim: the scheduled run reaches every query's
+    accuracy target drawing >= ``min_speedup``x fewer rows than the
+    same queries run independently over the shared hot table."""
+    gated = [row for row in rows
+             if row["n"] == at_n and row["mode"] == "shared"]
+    assert gated, f"no shared measurement at n={at_n}"
+    for row in gated:
+        speedup = row["rows"]["speedup"]
+        assert speedup >= min_speedup, (
+            f"scheduled run only {speedup:.1f}x fewer rows than "
+            f"independent at n={at_n} (need >= {min_speedup}x)")
+    # Grouped reallocation is informational, but must never cost rows.
+    for row in rows:
+        if row["mode"] == "grouped":
+            assert row["rows"]["speedup"] >= 1.0, \
+                "budgeted grouped run drew MORE rows than independent"
+
+
+def write_json(rows: List[Dict[str, object]], out: Path) -> None:
+    payload = {
+        "benchmark": "scheduler_rows_processed",
+        "seed": SEED,
+        "sigma": SIGMA,
+        "statistics": list(STATISTICS),
+        "protocol": ("rows drawn to every query's accuracy target: k "
+                     "independent engine runs vs one QueryScheduler "
+                     "run (shared scan group / global round budget); "
+                     "simulated sampling work, machine-independent"),
+        "units": "rows",
+        "results": rows,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+class TestSchedulerEfficiency:
+    """Pytest entry point (``make bench``): same sizes, same gate."""
+
+    def test_shared_scan_beats_independent_runs(self, benchmark,
+                                                series_report):
+        rows = benchmark.pedantic(
+            lambda: run_scheduler_bench([SHARED_N]), rounds=1,
+            iterations=1)
+        series_report(
+            "scheduler_rows_processed",
+            "Cross-query scheduler: rows drawn to accuracy targets",
+            ["n", "mode", "independent", "scheduled", "speedup"],
+            [(r["n"], r["mode"],
+              r["rows"]["independent_rows"],
+              r["rows"]["scheduled_rows"],
+              r["rows"]["speedup"]) for r in rows],
+            notes="same seeds and sigmas on both sides; rows processed "
+                  "is simulated sampling work, so the speedup is "
+                  "machine-independent (see BENCH_scheduler.json)")
+        write_json(rows, Path(__file__).parent / "results"
+                   / "BENCH_scheduler.json")
+        check_speedups(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="*",
+                        help=f"explicit n values (default {SHARED_N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="alias for the default size (the benchmark "
+                             "is deterministic simulated work either way)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/"
+                                     "BENCH_scheduler.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="measure and report only; skip the "
+                             f">={MIN_SPEEDUP}x gate")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else (SHARED_N,)
+    rows = run_scheduler_bench(sizes)
+    write_json(rows, args.out)
+    for row in rows:
+        r = row["rows"]
+        print(f"n={row['n']:>9,}  {row['mode']:<8} "
+              f"independent {r['independent_rows']:>9,} rows  "
+              f"scheduled {r['scheduled_rows']:>9,} rows  "
+              f"{r['speedup']:>6.1f}x")
+    print(f"wrote {args.out}")
+    if not args.no_assert and any(
+            r["n"] == SHARED_N and r["mode"] == "shared" for r in rows):
+        check_speedups(rows)
+        print(f"speedup gate OK (>= {MIN_SPEEDUP}x at n={SHARED_N:,})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,29 @@ class CostLedger:
             raise ValueError("seek count cannot be negative")
         self._charge("disk_seek", count * self.params.disk_seek_seconds)
 
+    def charge_probe_sequence(self, seek_counts, nbytes_seq) -> None:
+        """Charge a sequence of random probes: per probe, ``seek_counts[i]``
+        seeks then ``nbytes_seq[i]`` read bytes.
+
+        Exactly equivalent to calling :meth:`charge_seeks` /
+        :meth:`charge_disk_read` once per probe — the accumulation is
+        the same left-to-right float addition, so totals are
+        bit-identical — but without per-probe method dispatch (the
+        batched samplers charge tens of thousands of probes per round).
+        """
+        seek_cost = self.params.disk_seek_seconds
+        bandwidth = self.params.disk_bandwidth
+        seconds = self._seconds
+        seeks = seconds["disk_seek"]
+        reads = seconds["disk_read"]
+        for count, nbytes in zip(seek_counts, nbytes_seq):
+            if count < 0 or nbytes < 0:
+                raise ValueError("cannot charge negative time")
+            seeks += count * seek_cost
+            reads += nbytes / bandwidth
+        seconds["disk_seek"] = seeks
+        seconds["disk_read"] = reads
+
     def charge_network(self, nbytes: float) -> None:
         """Charge a transfer of ``nbytes`` between two nodes."""
         self._charge("network", nbytes / self.params.network_bandwidth)

@@ -339,7 +339,7 @@ class _GroupState:
     """One group's sampling schedule plus its measure pipelines."""
 
     __slots__ = ("key", "size", "seed", "rows", "measures", "consumed",
-                 "target", "iteration", "pilot_std")
+                 "target", "iteration", "pilot_std", "bound")
 
     def __init__(self, key: Hashable, size: int, seed: int,
                  rows: np.ndarray) -> None:
@@ -352,6 +352,7 @@ class _GroupState:
         self.target = 0
         self.iteration = 0
         self.pilot_std = 0.0
+        self.bound = 0      # broadcast-segment length (rows reachable)
 
     @property
     def active_measures(self) -> List[_MeasureState]:
@@ -434,6 +435,11 @@ class GroupedEarlSession:
         self._started = False
         self._cancelled = False
         self._group_seeds: Dict[Hashable, int] = {}
+        # Cross-query scheduler hooks: a one-round per-group quota
+        # override, and the group states exposed for live demands.
+        self._quota_override: Optional[Dict[Hashable, int]] = None
+        self._externally_budgeted = False
+        self._groups: List[_GroupState] = []
 
     @property
     def config(self) -> EarlConfig:
@@ -465,6 +471,77 @@ class GroupedEarlSession:
         seed=group_seeds[key]))``."""
         return dict(self._group_seeds)
 
+    # ------------------------------------------------- scheduler hooks
+    def set_round_budget(self, total: int) -> None:
+        """Re-target the per-round budget between rounds (budgeted
+        allocations only) — the coarse global-allocation hook."""
+        if self._allocation == ALLOCATION_SCHEDULE:
+            raise RuntimeError(
+                "round budget needs a quota allocation policy; "
+                f"pick one of {list(ALLOCATIONS)}")
+        if total < 1:
+            raise ValueError("round_budget must be positive")
+        self._round_budget = total
+
+    def set_round_quotas(self, quotas: Dict[Hashable, int]) -> None:
+        """One-round per-group quota override, consumed by the next
+        round — the cross-query scheduler's injection point.
+
+        The next round samples ``quotas[key]`` rows from each listed
+        group (capped at the group's broadcast segment; groups not
+        listed draw nothing) instead of the session's own allocation.
+        Injected quotas can trickle rows, so the round-count safety
+        bound rises the way budgeted allocation's does; per-group
+        iteration counts still cap at ``max_iterations``, so a
+        scheduler that slices a group too thin forfeits rounds the
+        schedule would have used.
+        """
+        self._quota_override = {key: int(quota)
+                                for key, quota in quotas.items()}
+        self._externally_budgeted = True
+
+    def live_demands(self) -> List[Dict[str, Any]]:
+        """Per-active-group demand records for an external budget
+        allocator (empty before streaming starts).
+
+        ``scale`` is the live Neyman weight ingredient: once a group
+        has bootstrap estimates, its worst measure's ``error·√n``
+        re-estimates ``S_h`` from the live resample sets (``error ∝
+        S/√n``); before the first round the pilot std stands in.
+        ``sigma``/``error`` describe the binding (worst error-to-bound
+        ratio) measure; ``scheduled`` is what the group's own schedule
+        would draw next, ``remaining`` the most any round can still
+        reach (broadcast segment minus consumed).
+        """
+        records: List[Dict[str, Any]] = []
+        for group in self._groups:
+            measures = group.active_measures
+            if not measures:
+                continue
+            binding = None
+            ratio = -math.inf
+            for mstate in measures:
+                estimate = mstate.estimate
+                error = (float(estimate.error) if estimate is not None
+                         else math.inf)
+                if error / max(mstate.sigma, 1e-12) > ratio:
+                    ratio = error / max(mstate.sigma, 1e-12)
+                    binding = (mstate, error)
+            mstate, error = binding
+            if math.isfinite(error) and group.consumed > 0:
+                scale = error * math.sqrt(group.consumed)
+            else:
+                scale = float(group.pilot_std)
+            bound = group.bound or group.size
+            records.append({
+                "key": group.key, "error": error, "sigma": mstate.sigma,
+                "consumed": group.consumed, "size": group.size,
+                "scheduled": max(group.target - group.consumed, 0),
+                "remaining": max(bound - group.consumed, 0),
+                "scale": scale, "shared": False,
+            })
+        return records
+
     def run(self) -> GroupedResult:
         """Drain :meth:`stream`; returns the final :class:`GroupedResult`."""
         final: Optional[GroupedSnapshot] = None
@@ -495,6 +572,7 @@ class GroupedEarlSession:
                         if self._allocation != ALLOCATION_SCHEDULE
                         else "proportional"))
         groups = self._setup_groups(sampler, rng)
+        self._groups = groups
 
         executor = resolve_executor(cfg)
         shared: List[Optional[BroadcastHandle]] = []
@@ -505,13 +583,27 @@ class GroupedEarlSession:
                 return
 
             shared = self._broadcast_columns(executor, groups)
-            for round_no in range(1, self._max_rounds() + 1):
+            round_no = 0
+            # _max_rounds() is re-read every round: an external quota
+            # injection mid-stream raises the bound to the budgeted
+            # allowance, and range() would have frozen the original.
+            while round_no < self._max_rounds():
+                round_no += 1
                 if self._cancelled:
                     return
                 active = [g for g in groups if g.active]
                 if not active:
                     return  # every group finalized on the previous round
-                quotas = self._round_quotas(sampler, active)
+                override, self._quota_override = self._quota_override, None
+                if override is not None:
+                    quotas = {}
+                    for group in active:
+                        quota = int(override.get(group.key, 0))
+                        cap = (group.bound or group.size) - group.consumed
+                        if quota > 0 and cap > 0:
+                            quotas[group.key] = min(quota, cap)
+                else:
+                    quotas = self._round_quotas(sampler, active)
                 work: List[Tuple[_MeasureState, BroadcastHandle,
                                  int, int]] = []
                 offered: List[Tuple[_GroupState, _MeasureState]] = []
@@ -529,6 +621,15 @@ class GroupedEarlSession:
                                      mstate.seg_start + hi))
                         offered.append((group, mstate))
                 if not work:
+                    if override is not None:
+                        # An externally-injected round starved this
+                        # session — the scheduler's choice, not a
+                        # terminal condition.  Hand control back with an
+                        # empty snapshot; fresh quotas may arrive before
+                        # the next round.
+                        yield self._snapshot(round_no, board, (), groups,
+                                             final=False)
+                        continue
                     # A budgeted round allocated nothing (budget smaller
                     # than the active group count after caps): finalize
                     # what is left as best-effort rather than spin.
@@ -679,6 +780,8 @@ class GroupedEarlSession:
                 bound = min(group.size,
                             math.ceil(bound * cfg.expansion_factor))
             bounds[group.key] = bound
+        for group in groups:
+            group.bound = bounds.get(group.key, 0)
         handles: List[Optional[BroadcastHandle]] = []
         for i in range(len(self._measures)):
             segments: List[np.ndarray] = []
@@ -700,9 +803,11 @@ class GroupedEarlSession:
     # ---------------------------------------------------------------- rounds
     def _max_rounds(self) -> int:
         """Round-count safety bound: schedule mode terminates within
-        ``max_iterations`` rounds; budgeted modes may trickle quotas,
-        so allow proportionally more before best-effort finalize."""
-        if self._allocation == ALLOCATION_SCHEDULE:
+        ``max_iterations`` rounds; budgeted modes — including external
+        quota injection — may trickle quotas, so allow proportionally
+        more before best-effort finalize."""
+        if self._allocation == ALLOCATION_SCHEDULE \
+                and not self._externally_budgeted:
             return self._config.max_iterations
         return self._config.max_iterations * 8
 

@@ -216,11 +216,10 @@ class PreMapSampler:
             else:
                 accept = ok
             # Per-probe simulated charges, in draw order — the same
-            # sequence of ledger additions the scalar path makes.
-            for seeks, nbytes in zip(seek_counts[entries].tolist(),
-                                     scaled_bytes[entries].tolist()):
-                ledger.charge_seeks(seeks)
-                ledger.charge_disk_read(nbytes)
+            # sequence of ledger additions (and float rounding) the
+            # scalar path makes.
+            ledger.charge_probe_sequence(seek_counts[entries].tolist(),
+                                         scaled_bytes[entries].tolist())
             acc_idx = np.flatnonzero(accept)
             if acc_idx.size == 0:
                 misses += batch
@@ -232,11 +231,14 @@ class PreMapSampler:
             # mid-batch leaves mask and set consistent: undelivered
             # lines remain samplable.  Within-batch dedup does not rely
             # on these updates — ``accept`` already encodes it.
-            for entry in entries[acc_idx].tolist():
+            acc_entries = entries[acc_idx]
+            acc_lines = index.lines.take(acc_entries)
+            for entry, start, line in zip(acc_entries.tolist(),
+                                          index.starts[acc_entries].tolist(),
+                                          acc_lines):
                 mask[entry] = True
-                start = int(index.starts[entry])
                 included.add(start)
                 self._sampled += 1
-                yield start, index.lines[entry]
+                yield start, line
         if misses >= _MAX_CONSECUTIVE_MISSES:
             self._exhausted.add(split.index)

@@ -44,7 +44,8 @@ ALLOCATIONS = (ALLOCATION_UNIFORM, ALLOCATION_PROPORTIONAL,
 
 
 def allocate_with_caps(weights: Sequence[float], total: int,
-                       caps: Sequence[int]) -> List[int]:
+                       caps: Sequence[int],
+                       floors: Optional[Sequence[int]] = None) -> List[int]:
     """Allocate ``total`` integer units ∝ ``weights``, capped per slot.
 
     Largest-remainder rounding (the same scheme as
@@ -52,6 +53,13 @@ def allocate_with_caps(weights: Sequence[float], total: int,
     a slot's cap is redistributed among the uncapped slots — repeated
     until everything is placed or every slot is full.  Deterministic:
     ties break on slot order.
+
+    ``floors`` optionally guarantees each slot a minimum (clipped to its
+    cap) before the weighted split of the rest — the liveness guarantee
+    the cross-query budget allocator needs, so a near-zero-weight slot
+    still progresses every round instead of starving.  When ``total``
+    cannot cover the floors, the floors themselves are allocated by
+    largest remainder and no weighted pass runs.
     """
     if total < 0:
         raise ValueError("total cannot be negative")
@@ -61,6 +69,20 @@ def allocate_with_caps(weights: Sequence[float], total: int,
         raise ValueError("weights and caps must have matching lengths")
     if np.any(weights < 0):
         raise ValueError("weights cannot be negative")
+    if floors is not None:
+        floors_arr = np.minimum(np.asarray(floors, dtype=np.int64),
+                                caps_arr)
+        if floors_arr.shape != caps_arr.shape:
+            raise ValueError("floors and caps must have matching lengths")
+        if np.any(floors_arr < 0):
+            raise ValueError("floors cannot be negative")
+        need = int(floors_arr.sum())
+        if need >= total:
+            return allocate_with_caps(floors_arr.astype(float), total,
+                                      floors_arr)
+        rest = allocate_with_caps(weights, total - need,
+                                  caps_arr - floors_arr)
+        return [int(f + r) for f, r in zip(floors_arr, rest)]
     counts = np.zeros(len(weights), dtype=np.int64)
     remaining = min(int(total), int(caps_arr.sum()))
     open_slots = caps_arr > 0

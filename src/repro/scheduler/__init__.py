@@ -1,0 +1,8 @@
+"""Cross-query scheduler: shared scans + global sample-budget
+allocation over the EARL engines (see DESIGN.md §9)."""
+
+from repro.scheduler.budget import allocate_budget, rows_to_bound
+from repro.scheduler.scheduler import QueryScheduler, ScheduledQuery
+
+__all__ = ["QueryScheduler", "ScheduledQuery", "allocate_budget",
+           "rows_to_bound"]

@@ -15,13 +15,16 @@ Architecture
   reads all session state from the
   :class:`~repro.service.store.SessionStore`; the service object holds
   only configuration and runtime plumbing.
-* **One shared pilot for concurrent statistic queries.**  Statistic
-  specs submitted within one dispatch window over the same dataset are
-  batched into a single :class:`~repro.streaming.SessionManager` run:
-  one pilot, one growing permutation-prefix sample, one runner thread —
-  a thousand concurrent sessions cost one engine loop, which is the
-  M3R/Shark-style hot-state reuse the ROADMAP's service north star asks
-  for.  GROUP BY and cluster-backed specs each get their own engine.
+* **One scheduler per dispatch window.**  Statistic *and* GROUP BY
+  specs submitted within one dispatch window are admitted to a single
+  :class:`~repro.scheduler.QueryScheduler` run: statistic specs over
+  the same dataset share one scan, one pilot and one growing
+  permutation-prefix sample (a thousand concurrent sessions cost one
+  engine loop — the M3R/Shark-style hot-state reuse the ROADMAP's
+  service north star asks for), and each expansion round the window's
+  global sample budget is split across every ``(query, group)`` arm by
+  expected error reduction.  One runner thread drives the window;
+  cluster-backed job specs keep their own engines.
 * **Sync engines, async front end.**  The engines are synchronous
   generators, driven by plain runner threads; each produced snapshot
   hops onto the event loop via ``run_coroutine_threadsafe`` and blocks
@@ -55,7 +58,9 @@ import numpy as np
 
 from repro.core.config import EarlConfig
 from repro.core.earl import EarlJob
+from repro.core.grouped import GroupedSnapshot
 from repro.query.model import Query
+from repro.scheduler import QueryScheduler
 from repro.service.events import EventLog
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
@@ -80,7 +85,6 @@ from repro.service.protocol import (
     parse_spec,
 )
 from repro.service.store import InMemorySessionStore, SessionRecord, SessionStore
-from repro.streaming.session import SessionManager
 from repro.util.rng import ensure_rng
 
 
@@ -244,15 +248,19 @@ class ApproxQueryService:
                     ERR_BAD_SPEC, f"unknown dataset {spec.dataset!r}; "
                     f"registered: {sorted(self._datasets)}")
             rec = self._new_record(spec, now)
-            await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
-            self._pending.append(rec)
-            assert self._pending_wakeup is not None
-            self._pending_wakeup.set()
+            await self._enqueue(rec)
         elif isinstance(spec, QuerySpec):
             rec = await self._submit_query(spec, now)
         else:
             rec = await self._submit_job(spec, now)
         return {"session": rec.session_id, "state": rec.state}
+
+    async def _enqueue(self, rec: SessionRecord) -> None:
+        """PENDING → the dispatch window's scheduler batch."""
+        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+        self._pending.append(rec)
+        assert self._pending_wakeup is not None
+        self._pending_wakeup.set()
 
     async def _op_poll(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         rec = self._require_session(request)
@@ -367,12 +375,12 @@ class ApproxQueryService:
         except (ValueError, TypeError, KeyError) as exc:
             self._store.remove(rec.session_id)
             raise ServiceError(ERR_BAD_SPEC, str(exc)) from None
+        # The planned engine rides the record into the dispatch
+        # window's scheduler; until then the session's own flag is the
+        # cancel hook (dispatch skips cancelled records regardless).
+        rec.engine = session
         rec.engine_cancel = session.cancel
-        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
-        await self._mark_running(rec)
-        self._spawn_runner(f"svc-query-{rec.session_id}",
-                           self._drive_stream, session.stream(), rec,
-                           grouped=True)
+        await self._enqueue(rec)
         return rec
 
     async def _submit_job(self, spec: JobSpec, now: float) -> SessionRecord:
@@ -399,13 +407,13 @@ class ApproxQueryService:
                            grouped=False)
         return rec
 
-    # ---------------------------------------------------- statistic batching
+    # ---------------------------------------------------- window dispatch
     async def flush(self) -> None:
-        """Dispatch pending statistic submissions right now.
+        """Dispatch pending submissions right now.
 
         Deterministic batching for tests and embedders: everything
-        submitted so far lands in this dispatch (one shared pilot per
-        dataset), regardless of ``batch_window``.
+        submitted so far lands in this dispatch (one scheduler, one
+        shared scan per dataset), regardless of ``batch_window``.
         """
         await self._dispatch_pending()
 
@@ -426,38 +434,54 @@ class ApproxQueryService:
         batch = [rec for rec in batch
                  if rec.state == STATE_PENDING
                  and not rec.cancel_flag.is_set()]
-        by_dataset: Dict[str, List[SessionRecord]] = {}
-        for rec in batch:
-            by_dataset.setdefault(rec.spec.dataset, []).append(rec)
-        for dataset, members in by_dataset.items():
-            await self._launch_batch(dataset, members)
+        if batch:
+            await self._launch_window(batch)
 
-    async def _launch_batch(self, dataset: str,
-                            members: List[SessionRecord]) -> None:
-        """One SessionManager for every statistic spec in the window:
-        the shared-pilot path (the batch seed is the first member's)."""
-        cfg = replace(self._config, seed=members[0].seed)
-        manager = SessionManager(self._datasets[dataset], config=cfg)
+    async def _launch_window(self, batch: List[SessionRecord]) -> None:
+        """One :class:`QueryScheduler` for everything in the window.
+
+        Statistic specs over the same dataset share one scan/pilot/
+        sample engine (the batch seed for a dataset is its first
+        member's, as before); GROUP BY specs bring the engine planned
+        at submit.  One runner thread drives the whole window, named
+        after the datasets it scans.
+        """
+        sched = QueryScheduler()
         running: Dict[str, SessionRecord] = {}
-        for rec in members:
+        tables: List[str] = []
+        batch_cfg: Dict[str, EarlConfig] = {}
+        for rec in batch:
             spec = rec.spec
-            try:
-                handle = manager.submit(
-                    spec.statistic, sigma=spec.sigma,
-                    error_metric=spec.error_metric,
-                    B_override=spec.B, n_override=spec.n,
-                    name=rec.session_id)
-            except (ValueError, TypeError) as exc:
-                await self._fail(rec, f"submit rejected: {exc}")
-                continue
+            if isinstance(spec, QuerySpec):
+                handle = sched.submit_grouped(rec.engine,
+                                              name=rec.session_id)
+                label = spec.table
+            else:
+                cfg = batch_cfg.get(spec.dataset)
+                if cfg is None:
+                    cfg = replace(self._config, seed=rec.seed)
+                    batch_cfg[spec.dataset] = cfg
+                try:
+                    handle = sched.submit_statistic(
+                        self._datasets[spec.dataset], spec.statistic,
+                        config=cfg, table=spec.dataset,
+                        sigma=spec.sigma, error_metric=spec.error_metric,
+                        B_override=spec.B, n_override=spec.n,
+                        name=rec.session_id)
+                except (ValueError, TypeError) as exc:
+                    await self._fail(rec, f"submit rejected: {exc}")
+                    continue
+                label = spec.dataset
+            if label not in tables:
+                tables.append(label)
             rec.engine_cancel = handle.cancel
             running[rec.session_id] = rec
         if not running:
             return
         for rec in running.values():
             await self._mark_running(rec)
-        self._spawn_runner(f"svc-batch-{dataset}",
-                           self._drive_manager, manager, running)
+        self._spawn_runner(f"svc-batch-{'+'.join(sorted(tables))}",
+                           self._drive_scheduler, sched, running)
 
     # -------------------------------------------------------- runner threads
     def _spawn_runner(self, name: str, target, *args: Any, **kwargs) -> None:
@@ -467,11 +491,14 @@ class ApproxQueryService:
         self._threads.append(thread)
         thread.start()
 
-    def _drive_manager(self, manager: SessionManager,
-                       records: Dict[str, SessionRecord]) -> None:
-        """Drive one shared-pilot batch; runs in a dedicated thread."""
+    def _drive_scheduler(self, sched: QueryScheduler,
+                         records: Dict[str, SessionRecord]) -> None:
+        """Drive one dispatch window's scheduler; runs in a dedicated
+        thread.  Closing the stream in ``finally`` tears down every
+        engine the scheduler built (executor pools included), so an
+        expired or cancelled window never leaks a pool."""
         try:
-            gen = manager.stream()
+            gen = sched.stream()
             try:
                 for handle, snap in gen:
                     rec = records.get(handle.name)
@@ -480,13 +507,18 @@ class ApproxQueryService:
                     if rec.cancel_flag.is_set():
                         handle.cancel()
                         continue
+                    if isinstance(snap, GroupedSnapshot):
+                        payload = snap.to_dict(updated_only=not snap.final)
+                    else:
+                        payload = snap.to_dict()
                     seq = self._append_from_thread(
                         rec, EVENT_FINAL if snap.final else EVENT_SNAPSHOT,
-                        snap.to_dict())
+                        payload)
                     if seq is None:      # sealed (cancelled/expired)
                         handle.cancel()
                         continue
-                    rec.cost_seconds = snap.cost_total_seconds
+                    if not isinstance(snap, GroupedSnapshot):
+                        rec.cost_seconds = snap.cost_total_seconds
                     if snap.final:
                         self._from_thread(self._terminate(rec, STATE_DONE))
             finally:

@@ -48,6 +48,10 @@ class SessionRecord:
     #: next round boundary, so a cancel charges at most the iteration
     #: already in flight.
     engine_cancel: Optional[Callable[[], None]] = None
+    #: Pre-planned engine (a GROUP BY spec's
+    #: :class:`~repro.core.grouped.GroupedEarlSession`, validated at
+    #: submit) waiting for the dispatch window's scheduler.
+    engine: Optional[Any] = None
     #: Simulated seconds charged so far (the last snapshot's
     #: ``cost_total_seconds``); frozen by cancellation.
     cost_seconds: float = 0.0

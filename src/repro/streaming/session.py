@@ -158,6 +158,17 @@ class SessionManager:
         self._queries: List[QueryHandle] = []
         self._started = False
         self._cancelled = False
+        # External-stepping state (populated by prepare()); stream()
+        # is a thin generator over prepare()/run_round()/finish(), and
+        # the cross-query scheduler drives the same API directly.
+        self._executor: Optional[Executor] = None
+        self._shared: Optional[BroadcastHandle] = None
+        self._active: List[QueryHandle] = []
+        self._N = len(self._data)
+        self._consumed = 0
+        self._bound = 0
+        self._round = 0
+        self._rounds_allowed = 0
 
     @classmethod
     def from_hdfs(cls, fs, path: str, *,
@@ -195,6 +206,11 @@ class SessionManager:
     def queries(self) -> List[QueryHandle]:
         """The submitted query handles, in submission order."""
         return list(self._queries)
+
+    @property
+    def consumed(self) -> int:
+        """Rows of the shared sample consumed so far."""
+        return self._consumed
 
     @property
     def cancelled(self) -> bool:
@@ -267,6 +283,31 @@ class SessionManager:
         Cancel individual queries via
         :meth:`QueryHandle.cancel`, or the whole session by closing
         this generator.
+
+        This is a thin generator over the external stepping API
+        (:meth:`prepare` / :meth:`run_round` / :meth:`finish`): driving
+        the unbudgeted steps directly — as the cross-query scheduler
+        does — produces byte-identical snapshots in the same order.
+        """
+        events = self.prepare()
+        try:
+            yield from events  # §3.1 exact fallbacks, resolved at pilot
+            while self.pending:
+                for event in self.run_round():
+                    yield event
+        finally:
+            self.finish()
+
+    # --------------------------------------------------- external stepping
+    def prepare(self) -> List[Tuple[QueryHandle, ProgressSnapshot]]:
+        """Pilot phase of the run: permutation, shared pilot, per-query
+        SSABE, §3.1 exact fallbacks, and the session's one broadcast.
+
+        Returns the ``(query, snapshot)`` events of queries resolved
+        exactly during the pilot.  After this, :meth:`run_round`
+        advances the remaining queries one expansion round at a time
+        (the cross-query scheduler's entry point); :meth:`stream` is
+        the equivalent single-consumer generator.
         """
         if not self._queries:
             raise RuntimeError("no queries submitted")
@@ -274,15 +315,14 @@ class SessionManager:
             raise RuntimeError("a SessionManager streams only once")
         self._started = True
         if self._cancelled:
-            return
+            return []
         cfg = self._config
         data = self._data
-        N = len(data)
+        N = self._N
         rng = ensure_rng(cfg.seed)
         order = rng.permutation(N)  # the ONE shared sample
-
-        executor = resolve_executor(cfg)
-        shared = None
+        self._executor = executor = resolve_executor(cfg)
+        events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
         try:
             # ------------------------------------------ shared pilot
             pilot = data[order[:pilot_size_for(cfg, N)]]
@@ -292,6 +332,13 @@ class SessionManager:
             children = spawn_child(rng, 2 * len(self._queries))
             active: List[QueryHandle] = []
             for i, query in enumerate(self._queries):
+                if query.cancelled:
+                    # A query withdrawn before streaming gets no pilot,
+                    # contributes nothing to the broadcast bound or any
+                    # round's target — and, because its RNG streams were
+                    # pre-spawned above, its withdrawal leaves every
+                    # other query's randomness untouched.
+                    continue
                 ssabe_rng, stage_rng = children[2 * i], children[2 * i + 1]
                 if (query.B_override is not None
                         and query.n_override is not None):
@@ -313,7 +360,7 @@ class SessionManager:
                     query.result = result
                     snapshot = _exact_snapshot(result)
                     query.snapshots.append(snapshot)
-                    yield query, snapshot
+                    events.append((query, snapshot))
                     continue
                 # Per-query delta-maintained resample set.  The stage
                 # gets no executor of its own: the manager already fans
@@ -339,45 +386,159 @@ class SessionManager:
                     if bound >= N:
                         break
                     bound = min(N, math.ceil(bound * cfg.expansion_factor))
-                shared = executor.broadcast(data[order[:bound]])
+                self._shared = executor.broadcast(data[order[:bound]])
+                self._bound = bound
+            self._active = active
+            self._consumed = 0
+            self._round = 0
+            self._rounds_allowed = cfg.max_iterations
+        except BaseException:
+            self.finish()
+            raise
+        return events
 
-            consumed = 0
-            for iteration in range(1, cfg.max_iterations + 1):
-                active = [q for q in active if not q.cancelled]
-                if not active:
-                    return
-                target = (min(max(max(q.n for q in active), 2), N)
-                          if consumed == 0 else
-                          min(N, math.ceil(consumed
-                                           * cfg.expansion_factor)))
-                lo, consumed = consumed, target
-                estimates = self._offer_round(executor, active, shared,
-                                              lo, target)
-                still_active: List[QueryHandle] = []
-                for query, estimate in zip(active, estimates):
-                    expand = (not estimate.meets(query.sigma)
-                              and consumed < N
-                              and iteration < cfg.max_iterations)
-                    query.iterations.append(IterationRecord(
-                        iteration=iteration, sample_size=consumed,
-                        accuracy=estimate, simulated_seconds=0.0,
-                        expanded=expand))
-                    if expand:
-                        snapshot = self._snapshot(query, estimate,
-                                                  consumed, N)
-                        still_active.append(query)
-                    else:
-                        query.result = self._query_result(
-                            query, estimate, consumed, N)
-                        snapshot = self._snapshot(query, estimate,
-                                                  consumed, N, final=True,
-                                                  result=query.result)
-                    query.snapshots.append(snapshot)
-                    yield query, snapshot
-                active = still_active
-                if not active:
-                    return
-        finally:
+    @property
+    def pending(self) -> bool:
+        """Whether another :meth:`run_round` could make progress."""
+        return (self._started
+                and any(not q.cancelled for q in self._active)
+                and self._round < self._rounds_allowed)
+
+    def _next_target(self) -> int:
+        active = [q for q in self._active if not q.cancelled]
+        if not active:
+            return self._consumed
+        if self._consumed == 0:
+            return min(max(max(q.n for q in active), 2), self._N)
+        return min(self._N,
+                   math.ceil(self._consumed * self._config.expansion_factor))
+
+    def round_demand(self) -> int:
+        """Rows the next unbudgeted round would add to the shared
+        sample (0 when nothing is pending or the broadcast bound is
+        reached) — what the scheduler treats as this engine's ask."""
+        if not self.pending:
+            return 0
+        return max(0, min(self._next_target(), self._bound) - self._consumed)
+
+    def live_demands(self) -> List[Dict[str, Any]]:
+        """Per-active-query demand records for an external budget
+        allocator.
+
+        ``scale`` re-estimates the query's ``S`` from the live
+        bootstrap error (``error ∝ S/√n`` ⇒ ``S ≈ error·√n``); before
+        the first round it is unknown (``nan``) and the pilot-sized
+        first draw is mandatory anyway.  All queries of a manager share
+        one sample, so every record carries the same engine-level
+        ``scheduled``/``remaining`` ask (``shared=True``).
+        """
+        demand = self.round_demand()
+        remaining = max(0, self._bound - self._consumed)
+        records: List[Dict[str, Any]] = []
+        for query in self._active:
+            if query.cancelled:
+                continue
+            accuracy = (query.iterations[-1].accuracy
+                        if query.iterations else None)
+            error = (float(accuracy.error) if accuracy is not None
+                     else float("nan"))
+            scale = (error * math.sqrt(self._consumed)
+                     if accuracy is not None and self._consumed > 0
+                     else float("nan"))
+            records.append({
+                "key": query.name, "error": error, "sigma": query.sigma,
+                "consumed": self._consumed, "size": self._N,
+                "scheduled": demand, "remaining": remaining,
+                "scale": scale, "shared": True,
+            })
+        return records
+
+    def run_round(self, budget: Optional[int] = None
+                  ) -> List[Tuple[QueryHandle, ProgressSnapshot]]:
+        """Advance the shared sample by one expansion round; returns
+        the round's ``(query, snapshot)`` events.
+
+        Unbudgeted rounds follow the session's own expansion schedule
+        (the :meth:`stream` path, byte-identical).  ``budget`` caps the
+        round's *new* rows — the scheduler's global-allocation hook —
+        except on the first round, whose SSABE-sized draw is mandatory.
+        Budgeted stepping can trickle rows, so it raises the allowed
+        round count the way grouped budgeted allocation does; a round
+        starved to zero new rows is a no-op (no iteration consumed).
+        """
+        if not self._started:
+            raise RuntimeError("prepare() has not run")
+        cfg = self._config
+        if budget is not None:
+            self._rounds_allowed = max(self._rounds_allowed,
+                                       cfg.max_iterations * 8)
+        self._active = active = [q for q in self._active if not q.cancelled]
+        if not active or self._round >= self._rounds_allowed:
+            return []
+        target = self._next_target()
+        if budget is not None and self._consumed > 0:
+            target = min(target, self._consumed + max(int(budget), 0))
+        target = min(target, self._bound)
+        if target <= self._consumed:
+            return []
+        self._round += 1
+        lo, self._consumed = self._consumed, target
+        estimates = self._offer_round(self._executor, active, self._shared,
+                                      lo, target)
+        consumed, N = self._consumed, self._N
+        events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
+        still_active: List[QueryHandle] = []
+        for query, estimate in zip(active, estimates):
+            expand = (not estimate.meets(query.sigma)
+                      and consumed < N
+                      and self._round < self._rounds_allowed)
+            query.iterations.append(IterationRecord(
+                iteration=self._round, sample_size=consumed,
+                accuracy=estimate, simulated_seconds=0.0,
+                expanded=expand))
+            if expand:
+                snapshot = self._snapshot(query, estimate, consumed, N)
+                still_active.append(query)
+            else:
+                query.result = self._query_result(
+                    query, estimate, consumed, N)
+                snapshot = self._snapshot(query, estimate, consumed, N,
+                                          final=True, result=query.result)
+            query.snapshots.append(snapshot)
+            events.append((query, snapshot))
+        self._active = still_active
+        return events
+
+    def finalize(self) -> List[Tuple[QueryHandle, ProgressSnapshot]]:
+        """Force-terminate every still-active query with its latest
+        estimate (best-effort, for a budget-starved scheduled run —
+        mirrors the grouped engine's stalled finalize).  Queries that
+        never saw a round are withdrawn instead: inventing a result
+        with no estimate would not be honest."""
+        events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
+        for query in self._active:
+            if query.cancelled:
+                continue
+            if not query.iterations:
+                query.cancel()
+                continue
+            estimate = query.iterations[-1].accuracy
+            query.result = self._query_result(query, estimate,
+                                              self._consumed, self._N)
+            snapshot = self._snapshot(query, estimate, self._consumed,
+                                      self._N, final=True,
+                                      result=query.result)
+            query.snapshots.append(snapshot)
+            events.append((query, snapshot))
+        self._active = []
+        return events
+
+    def finish(self) -> None:
+        """Tear the executor down (idempotent; :meth:`stream` calls it
+        on exit, the scheduler calls it when the engine drains)."""
+        executor, self._executor = self._executor, None
+        self._shared = None
+        if executor is not None:
             executor.close()
 
     def run(self) -> Dict[str, Optional[EarlResult]]:

@@ -292,6 +292,56 @@ class TestTtlSweeper:
         assert events[-1].payload["state"] == STATE_EXPIRED
         assert gone.code == ERR_UNKNOWN_SESSION
 
+    def test_expired_mid_round_releases_executor_pool(self):
+        """EXPIRED with an engine round in flight: the sweeper seals
+        the logs and cancels the engines; the window's runner thread
+        must unwind and close its worker pools (regression: a sealed
+        log blocking the runner used to strand the scheduler's
+        executors until interpreter exit)."""
+        import gc
+
+        from repro.exec import live_pool_executors
+
+        clock = {"now": 0.0}
+
+        async def body(service, client):
+            gc.collect()
+            before = set(id(ex) for ex in live_pool_executors())
+            sids = [await client.submit({"kind": "statistic",
+                                         "dataset": "pop",
+                                         "statistic": stat})
+                    for stat in ("mean", "median")]
+            await service.flush()
+            for sid in sids:     # each session mid-run, pool live
+                after, saw_snapshot = 0, False
+                while not saw_snapshot:
+                    page = await client.poll(sid, after=after, wait=True,
+                                             timeout=5)
+                    if page.events:
+                        after = page.events[-1].seq
+                        saw_snapshot = any(e.type == EVENT_SNAPSHOT
+                                           for e in page.events)
+            clock["now"] += 100.0            # ttl=10 exceeded
+            await service.sweep()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 30.0
+            while any(t.is_alive() for t in service._threads
+                      if t.name.startswith("svc-batch-")):
+                assert loop.time() < deadline, "runner thread stuck"
+                await asyncio.sleep(0.02)
+            gc.collect()
+            leaked = [ex for ex in live_pool_executors()
+                      if id(ex) not in before]
+            return leaked, [await client.status(sid) for sid in sids]
+
+        leaked, statuses = run(with_service(
+            body,
+            EarlConfig(executor="threads", max_workers=2, **ENDLESS_CFG),
+            event_capacity=2, ttl_seconds=10.0, linger_seconds=3600.0,
+            sweep_interval=3600.0, clock=lambda: clock["now"]))
+        assert leaked == []
+        assert all(s["state"] == STATE_EXPIRED for s in statuses)
+
     def test_polling_keeps_a_session_alive(self):
         clock = {"now": 0.0}
 

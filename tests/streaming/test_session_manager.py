@@ -97,6 +97,45 @@ class TestLifecycle:
         assert q_median.result is not None
         assert len(q_median.snapshots) == 6
 
+    def test_cancel_before_start_excluded_from_shared_sample(
+            self, population):
+        """A query withdrawn before streaming gets no pilot and must
+        not count toward the broadcast bound or any round's target: the
+        siblings' snapshots and the rows consumed are byte-identical to
+        a manager that never saw it (regression: a cancelled query with
+        a huge SSABE ask used to inflate every shared draw)."""
+        cfg = EarlConfig(sigma=0.04, seed=33)
+
+        def run(include_withdrawn):
+            manager = SessionManager(population, config=cfg)
+            manager.submit("mean")
+            manager.submit("median")
+            doomed = None
+            if include_withdrawn:
+                # Never-met σ and a deliberately huge pilot ask: if its
+                # withdrawal leaked into the shared schedule, the first
+                # round would draw 50k rows instead of the siblings'.
+                doomed = manager.submit("p99", sigma=0.0001,
+                                        B_override=100,
+                                        n_override=50_000)
+                doomed.cancel()
+            results = manager.run()
+            return manager, doomed, results
+
+        manager_3q, doomed, results_3q = run(include_withdrawn=True)
+        manager_2q, _, results_2q = run(include_withdrawn=False)
+
+        # The withdrawn query never piloted: no SSABE, no snapshots.
+        assert doomed.ssabe is None and doomed.B is None
+        assert doomed.snapshots == [] and doomed.result is None
+        assert results_3q.pop("p99") is None
+        # Siblings byte-identical, and the shared sample drew the same
+        # rows — the withdrawn ask bought nothing.
+        assert results_3q == results_2q
+        for q3, q2 in zip(manager_3q.queries, manager_2q.queries):
+            assert q3.snapshots == q2.snapshots
+        assert manager_3q.consumed == manager_2q.consumed
+
     def test_closing_stream_cancels_session(self, population):
         cfg = EarlConfig(sigma=0.001, seed=11, B_override=20,
                          n_override=200, max_iterations=6)
