@@ -6,12 +6,14 @@
 #                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
-#   make bench-json  - kernel + ingest + query + scheduler benchmarks
-#                      (smoke sizes) -> benchmarks/results/
-#                      BENCH_{kernel,ingest,query,scheduler}.json, each
-#                      gated against its committed baseline
-#                      benchmarks/BENCH_{kernel,ingest,query,scheduler}.json
+#   make bench-json  - kernel + ingest + query + scheduler + faults
+#                      benchmarks (smoke sizes) -> benchmarks/results/
+#                      BENCH_{kernel,ingest,query,scheduler,faults}.json,
+#                      each gated against its committed baseline
+#                      benchmarks/BENCH_*.json
 #                      (fails on a >20% speedup regression)
+#   make test-chaos  - the randomized chaos-harness sweeps (marker
+#                      `chaos`, deselected from tier-1; see tests/chaos/)
 #   make bench-service - service concurrency smoke (shared-pilot session
 #                      fan-out) -> benchmarks/results/BENCH_service.json,
 #                      then the full 1,000-session load harness
@@ -24,14 +26,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all bench bench-smoke bench-json bench-service \
-	docs-check examples clean
+.PHONY: test test-all test-chaos bench bench-smoke bench-json \
+	bench-service docs-check examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-all:
 	$(PYTHON) -m pytest -x -q -m "slow or not slow"
+
+test-chaos:
+	$(PYTHON) -m pytest -x -q -m chaos tests/chaos
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files are passed explicitly (explicit args are always collected).
@@ -68,6 +73,11 @@ bench-json:
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_scheduler.json \
 		benchmarks/BENCH_scheduler.json --stages rows
+	$(PYTHON) benchmarks/bench_faults.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_faults.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_faults.json benchmarks/BENCH_faults.json \
+		--stages recovery
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py \

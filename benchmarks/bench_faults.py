@@ -1,0 +1,212 @@
+"""Fault-recovery overhead: flaky tasks under a FaultPolicy vs a clean run.
+
+§3.4's "degrade, don't die" only pays off if surviving faults is cheap:
+a job that loses 10% of its task attempts to injected failures must
+recover (same output, bit for bit) for at most **2x** the clean run's
+simulated ledger cost — retries, backoff waits and wasted attempts all
+included.  The chaos harness's deterministic
+:class:`repro.chaos.FlakyMapper` injects the failures, so the measured
+costs are pure functions of the seeds and reproduce exactly.
+
+* ``retries`` (gated) — 10% of map tasks fail their first attempt;
+  ``FaultPolicy(max_task_retries=3)`` retries them in place.  The
+  ``speedup`` is ``clean_seconds / faulted_seconds`` (<= 1.0; higher is
+  cheaper recovery) and must stay >= ``1 / MAX_OVERHEAD``.
+* ``storm`` (informational) — 30% of tasks fail their first two
+  attempts: the heavy-weather curve, reported but not gated.
+
+Costs are **simulated ledger seconds, not wall-clock**, so the ratios
+are machine-independent and deterministic for the committed seeds.
+
+Outputs ``BENCH_faults.json``; the committed baseline at
+``benchmarks/BENCH_faults.json`` is what the CI regression gate
+(``tools/check_bench_regression.py --stages recovery``) compares fresh
+runs against.
+
+Run standalone::
+
+    python benchmarks/bench_faults.py \
+        --out benchmarks/results/BENCH_faults.json
+
+or through pytest (``make bench`` / ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos import FlakyMapper  # noqa: E402
+from repro.cluster import Cluster  # noqa: E402
+from repro.mapreduce import (  # noqa: E402
+    FaultPolicy,
+    JobClient,
+    JobConf,
+    MeanReducer,
+    ProjectionMapper,
+)
+from repro.mapreduce import counters as C  # noqa: E402
+
+import numpy as np  # noqa: E402
+
+#: The gated workload size (records in the input file).
+N = 120_000
+SEED = 31
+#: The acceptance gate: recovering from 10% injected task failures may
+#: cost at most this factor over the clean run's ledger seconds.
+MAX_OVERHEAD = 2.0
+#: Injection profiles: (mode, failure rate, attempts each victim loses,
+#: retry budget the policy grants).
+PROFILES = (
+    ("retries", 0.10, 1, 3),
+    ("storm", 0.30, 2, 4),
+)
+
+
+def _loaded_cluster(n: int) -> Cluster:
+    cluster = Cluster(n_nodes=5, block_size=32 * 1024, replication=2,
+                      seed=SEED)
+    values = np.random.default_rng(SEED + 1).normal(50.0, 5.0, n)
+    cluster.hdfs.write_lines("/in", [f"{v:.6f}" for v in values])
+    return cluster
+
+
+def _run(cluster: Cluster, mapper, policy: Optional[FaultPolicy]):
+    conf = JobConf(name="mean", input_path="/in", mapper=mapper,
+                   reducer=MeanReducer(), seed=SEED + 2,
+                   fault_policy=policy)
+    return JobClient(cluster).run(conf)
+
+
+def recovery_cost(n: int, *, rate: float, extra_attempts: int,
+                  retries: int) -> Dict[str, object]:
+    """Clean ledger cost vs the same job with injected flaky tasks."""
+    cluster = _loaded_cluster(n)
+    clean = _run(cluster, ProjectionMapper(),
+                 FaultPolicy(max_task_retries=retries))
+    flaky = FlakyMapper(ProjectionMapper(), rate=rate,
+                        extra_attempts=extra_attempts, seed=SEED + 3)
+    faulted = _run(cluster, flaky,
+                   FaultPolicy(max_task_retries=retries))
+    assert faulted.output == clean.output, \
+        "recovered job diverged from the clean output"
+    assert faulted.counters[C.TASK_RETRIES] > 0, \
+        "no injected fault actually fired; raise the rate"
+    overhead = faulted.simulated_seconds / clean.simulated_seconds
+    return {
+        "clean_seconds": round(clean.simulated_seconds, 4),
+        "faulted_seconds": round(faulted.simulated_seconds, 4),
+        "task_retries": int(faulted.counters[C.TASK_RETRIES]),
+        "overhead": round(overhead, 4),
+        "speedup": round(1.0 / overhead, 4),
+    }
+
+
+def run_fault_bench(sizes: Sequence[int]) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        for mode, rate, extra, retries in PROFILES:
+            rows.append({"n": n, "mode": mode,
+                         "recovery": recovery_cost(
+                             n, rate=rate, extra_attempts=extra,
+                             retries=retries)})
+    return rows
+
+
+def check_overhead(rows: List[Dict[str, object]], *,
+                   max_overhead: float = MAX_OVERHEAD,
+                   at_n: int = N) -> None:
+    """The headline claim: 10% injected task failures recover exactly
+    for at most ``max_overhead``x the clean ledger cost."""
+    gated = [row for row in rows
+             if row["n"] == at_n and row["mode"] == "retries"]
+    assert gated, f"no 'retries' measurement at n={at_n}"
+    for row in gated:
+        overhead = row["recovery"]["overhead"]
+        assert overhead <= max_overhead, (
+            f"recovery cost {overhead:.2f}x the clean run at n={at_n} "
+            f"(gate: <= {max_overhead}x)")
+
+
+def write_json(rows: List[Dict[str, object]], out: Path) -> None:
+    payload = {
+        "benchmark": "fault_recovery_overhead",
+        "seed": SEED,
+        "max_overhead": MAX_OVERHEAD,
+        "protocol": ("same MapReduce mean job, clean vs chaos-injected "
+                     "flaky tasks recovered by FaultPolicy retries; "
+                     "simulated ledger seconds, machine-independent; "
+                     "speedup = clean/faulted (higher = cheaper "
+                     "recovery)"),
+        "units": "simulated seconds",
+        "results": rows,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+class TestFaultRecoveryOverhead:
+    """Pytest entry point (``make bench``): same sizes, same gate."""
+
+    def test_injected_failures_recover_within_budget(self, benchmark,
+                                                     series_report):
+        rows = benchmark.pedantic(lambda: run_fault_bench([N]),
+                                  rounds=1, iterations=1)
+        series_report(
+            "fault_recovery_overhead",
+            "Recovery overhead: flaky tasks under FaultPolicy retries",
+            ["n", "mode", "clean_s", "faulted_s", "retries", "overhead"],
+            [(r["n"], r["mode"],
+              r["recovery"]["clean_seconds"],
+              r["recovery"]["faulted_seconds"],
+              r["recovery"]["task_retries"],
+              r["recovery"]["overhead"]) for r in rows],
+            notes="outputs are bit-identical to the clean run; costs "
+                  "are deterministic ledger seconds (see "
+                  "BENCH_faults.json)")
+        write_json(rows, Path(__file__).parent / "results"
+                   / "BENCH_faults.json")
+        check_overhead(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="*",
+                        help=f"explicit n values (default {N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="alias for the default size (the benchmark "
+                             "is deterministic simulated work either way)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/"
+                                     "BENCH_faults.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="measure and report only; skip the "
+                             f"<= {MAX_OVERHEAD}x overhead gate")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else (N,)
+    rows = run_fault_bench(sizes)
+    write_json(rows, args.out)
+    for row in rows:
+        r = row["recovery"]
+        print(f"n={row['n']:>9,}  {row['mode']:<8} "
+              f"clean {r['clean_seconds']:>10.2f}s  "
+              f"faulted {r['faulted_seconds']:>10.2f}s  "
+              f"retries {r['task_retries']:>3}  "
+              f"overhead {r['overhead']:>5.2f}x")
+    print(f"wrote {args.out}")
+    if not args.no_assert and any(
+            r["n"] == N and r["mode"] == "retries" for r in rows):
+        check_overhead(rows)
+        print(f"overhead gate OK (<= {MAX_OVERHEAD}x at n={N:,})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

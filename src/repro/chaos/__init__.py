@@ -1,0 +1,48 @@
+"""Chaos harness: seeded fault schedules replayed against the engines.
+
+Paper §3.4 argues EARL should *degrade, not die*: when nodes fail
+mid-computation, continue on the surviving sample with honestly wider
+bounds instead of restarting.  This package turns that claim into a
+testable harness:
+
+* :class:`ChaosSchedule` — a deterministic, seed-generated list of
+  fault events (sample loss, node kills, stragglers, recovery), each
+  pinned to a snapshot boundary and carrying its own rng stream;
+* :class:`ChaosDriver` — replays a schedule against any engine stream
+  (:class:`~repro.core.EarlSession`,
+  :class:`~repro.streaming.SessionManager`,
+  :class:`~repro.core.grouped.GroupedEarlSession`,
+  :class:`~repro.core.EarlJob`) and reports what fired;
+* :class:`FlakyMapper` — a deterministic flaky-task decorator for
+  exercising the MapReduce :class:`~repro.mapreduce.FaultPolicy`.
+
+Everything is a pure function of seeds: the same schedule against the
+same seeded engine reproduces the same degraded answer byte for byte,
+and an empty schedule leaves the run byte-identical to one that never
+imported this package.  The invariants the chaos suite asserts — no
+hangs, no leaked pools, no lost events, valid bounds on surviving
+data — live in ``tests/chaos/``.
+"""
+
+from repro.chaos.driver import ChaosDriver, ChaosReport
+from repro.chaos.flaky import FlakyMapper
+from repro.chaos.schedule import (
+    KIND_KILL_NODES,
+    KIND_LOSS,
+    KIND_RECOVER,
+    KIND_SLOW_NODE,
+    ChaosEvent,
+    ChaosSchedule,
+)
+
+__all__ = [
+    "ChaosDriver",
+    "ChaosReport",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "FlakyMapper",
+    "KIND_LOSS",
+    "KIND_KILL_NODES",
+    "KIND_SLOW_NODE",
+    "KIND_RECOVER",
+]

@@ -1,0 +1,93 @@
+"""Deterministic flaky-task injection for the MapReduce layer.
+
+:class:`FlakyMapper` wraps any :class:`~repro.mapreduce.Mapper` and
+makes chosen task attempts die with
+:class:`~repro.mapreduce.TaskFailedError` before the inner mapper sees
+a record.  Whether task ``i`` is flaky — and for how many attempts —
+is a pure function of ``(seed, i)``, so schedulers, executors and the
+retry order cannot perturb the injection: the same job config fails
+the same tasks on serial, thread and process backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.mapreduce.errors import TaskFailedError
+from repro.mapreduce.mapper import Mapper
+from repro.mapreduce.types import KeyValue, TaskContext
+
+
+class FlakyMapper(Mapper):
+    """Fail selected map-task attempts, then behave like ``inner``.
+
+    ``fail_attempts`` pins exact budgets (task index → number of
+    attempts that die); ``rate`` flips a per-task coin seeded by
+    ``(seed, index)`` and charges ``extra_attempts`` failures to the
+    losers.  An attempt dies while ``ctx.attempt < budget(index)`` —
+    with a :class:`~repro.mapreduce.FaultPolicy` granting at least
+    ``budget`` retries the job completes exactly; with fewer, the task
+    fails permanently and the fault policy's salvage/blacklist
+    machinery takes over.
+    """
+
+    def __init__(self, inner: Mapper, *,
+                 rate: float = 0.0,
+                 extra_attempts: int = 1,
+                 fail_attempts: Optional[Mapping[int, int]] = None,
+                 seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if extra_attempts < 1:
+            raise ValueError("extra_attempts must be >= 1")
+        self.inner = inner
+        self.rate = float(rate)
+        self.extra_attempts = int(extra_attempts)
+        self.fail_attempts = dict(fail_attempts or {})
+        self.seed = int(seed)
+        # Flakiness is a property of the task, not the worker: only
+        # inherit parallel safety from the wrapped mapper.
+        self.parallel_safe = bool(getattr(inner, "parallel_safe", False))
+        self._budgets: Dict[int, int] = {}
+
+    # ----------------------------------------------------- injection
+    @staticmethod
+    def _task_index(ctx: TaskContext) -> int:
+        # Task ids look like "map-<split index>".
+        task_id = ctx.task_id or "map-0"
+        try:
+            return int(task_id.rsplit("-", 1)[1])
+        except (IndexError, ValueError):
+            return 0
+
+    def budget(self, index: int) -> int:
+        """Failing attempts charged to task ``index`` (deterministic)."""
+        if index not in self._budgets:
+            if index in self.fail_attempts:
+                budget = max(0, int(self.fail_attempts[index]))
+            elif self.rate and float(np.random.default_rng(
+                    [self.seed, index]).random()) < self.rate:
+                budget = self.extra_attempts
+            else:
+                budget = 0
+            self._budgets[index] = budget
+        return self._budgets[index]
+
+    # ------------------------------------------------ mapper surface
+    def setup(self, ctx: TaskContext) -> None:
+        index = self._task_index(ctx)
+        if ctx.attempt < self.budget(index):
+            raise TaskFailedError(
+                f"chaos: injected failure on task {ctx.task_id!r} "
+                f"attempt {ctx.attempt} "
+                f"(budget {self.budget(index)})")
+        self.inner.setup(ctx)
+
+    def map(self, key: Hashable, value: Any,
+            ctx: TaskContext) -> Iterable[KeyValue]:
+        return self.inner.map(key, value, ctx)
+
+    def cleanup(self, ctx: TaskContext) -> Iterable[KeyValue]:
+        return self.inner.cleanup(ctx)

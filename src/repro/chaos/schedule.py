@@ -1,0 +1,150 @@
+"""Seeded chaos schedules.
+
+A schedule is plain data: a tuple of :class:`ChaosEvent`, each pinned
+to a 0-based snapshot index (``at``) and carrying its own ``seed`` so
+the event's row-level damage pattern is independent of everything else.
+:meth:`ChaosSchedule.generate` derives a schedule deterministically
+from one master seed; :meth:`to_dict` / :meth:`from_dict` round-trip it
+through JSON, so a failing chaotic run can be attached to a bug report
+and replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.util.rng import SeedLike, ensure_rng
+
+#: Drop a random fraction of the sample rows (engine ``report_loss``).
+KIND_LOSS = "loss"
+#: Fail a random fraction of the cluster's healthy nodes.
+KIND_KILL_NODES = "kill-nodes"
+#: Slow one random healthy node by ``factor`` (the straggler case).
+KIND_SLOW_NODE = "slow-node"
+#: Recover every dead node (and clear slow factors).
+KIND_RECOVER = "recover"
+
+_KINDS = frozenset({KIND_LOSS, KIND_KILL_NODES, KIND_SLOW_NODE,
+                    KIND_RECOVER})
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault, pinned to the snapshot boundary it fires after.
+
+    ``at`` counts the snapshots the driver has yielded (0-based): the
+    event fires after snapshot ``at`` and lands at the engine's next
+    round boundary.  ``seed`` pins the event's own randomness (which
+    rows die, which nodes fail) independently of the engine seed.
+    """
+
+    at: int
+    kind: str
+    fraction: float = 0.0
+    factor: float = 1.0                       # slow-node multiplier
+    keys: Optional[Tuple[Any, ...]] = None    # strata filter for losses
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("event index 'at' cannot be negative")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r}; "
+                             f"known: {sorted(_KINDS)}")
+        if self.kind == KIND_LOSS and not 0.0 < self.fraction <= 1.0:
+            raise ValueError("loss fraction must be in (0, 1]")
+        if self.kind == KIND_KILL_NODES and not 0.0 < self.fraction <= 1.0:
+            raise ValueError("kill fraction must be in (0, 1]")
+        if self.kind == KIND_SLOW_NODE and self.factor < 1.0:
+            raise ValueError("slow-node factor must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["keys"] = None if self.keys is None else list(self.keys)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ChaosEvent":
+        keys = doc.get("keys")
+        return cls(at=int(doc["at"]), kind=str(doc["kind"]),
+                   fraction=float(doc.get("fraction", 0.0)),
+                   factor=float(doc.get("factor", 1.0)),
+                   keys=None if keys is None else tuple(keys),
+                   seed=int(doc.get("seed", 0)))
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An immutable, replayable sequence of chaos events."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+
+    @classmethod
+    def none(cls) -> "ChaosSchedule":
+        """The empty schedule: drives a run without touching it."""
+        return cls()
+
+    @classmethod
+    def generate(cls, seed: SeedLike, *, rounds: int,
+                 loss_rate: float = 0.3,
+                 kill_rate: float = 0.0,
+                 slow_rate: float = 0.0,
+                 max_fraction: float = 0.5,
+                 max_slow_factor: float = 8.0,
+                 keys: Optional[Tuple[Any, ...]] = None) -> "ChaosSchedule":
+        """Derive a schedule from one master seed.
+
+        Each of ``rounds`` snapshot boundaries independently draws
+        whether a loss / node-kill / straggler event fires there
+        (``*_rate`` probabilities) and how hard it hits (uniform up to
+        ``max_fraction`` / ``max_slow_factor``).  Same arguments, same
+        seed → the identical schedule, every time.
+        """
+        if rounds < 0:
+            raise ValueError("rounds cannot be negative")
+        for name, rate in (("loss_rate", loss_rate),
+                           ("kill_rate", kill_rate),
+                           ("slow_rate", slow_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not 0.0 < max_fraction <= 1.0:
+            raise ValueError("max_fraction must be in (0, 1]")
+        rng = ensure_rng(seed)
+        events: List[ChaosEvent] = []
+        for at in range(rounds):
+            if rng.random() < loss_rate:
+                events.append(ChaosEvent(
+                    at=at, kind=KIND_LOSS,
+                    fraction=float(rng.uniform(0.05, max_fraction)),
+                    keys=keys,
+                    seed=int(rng.integers(0, 2**63 - 1))))
+            if kill_rate and rng.random() < kill_rate:
+                events.append(ChaosEvent(
+                    at=at, kind=KIND_KILL_NODES,
+                    fraction=float(rng.uniform(0.05, max_fraction)),
+                    seed=int(rng.integers(0, 2**63 - 1))))
+            if slow_rate and rng.random() < slow_rate:
+                events.append(ChaosEvent(
+                    at=at, kind=KIND_SLOW_NODE,
+                    factor=float(rng.uniform(1.5, max_slow_factor)),
+                    seed=int(rng.integers(0, 2**63 - 1))))
+        return cls(tuple(events))
+
+    def events_at(self, index: int) -> Tuple[ChaosEvent, ...]:
+        """Every event pinned to snapshot boundary ``index``."""
+        return tuple(e for e in self.events if e.at == index)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "ChaosSchedule":
+        return cls(tuple(ChaosEvent.from_dict(e)
+                         for e in doc.get("events", ())))

@@ -60,6 +60,9 @@ class Cluster:
         self._node_to_datanode: Dict[str, str] = {
             f"node-{i}": f"datanode-{i}" for i in range(n_nodes)
         }
+        #: Duration multipliers of degraded-but-alive machines (chaos
+        #: injection); empty means every node runs at full speed.
+        self.slow_factors: Dict[str, float] = {}
 
     # ----------------------------------------------------------------- slots
     @property
@@ -86,6 +89,23 @@ class Cluster:
         node = self._find(node_id)
         node.recover()
         self.hdfs.recover_datanode(self._node_to_datanode[node_id])
+        self.slow_factors.pop(node_id, None)
+
+    def set_slow_node(self, node_id: str, factor: float) -> None:
+        """Degrade a machine: its tasks take ``factor`` × as long.
+
+        Models a failing-but-alive node (the straggler case speculative
+        execution exists for); ``factor`` must be >= 1."""
+        self._find(node_id)  # validate
+        if factor < 1.0:
+            raise ValueError("slow factor must be >= 1")
+        if factor == 1.0:
+            self.slow_factors.pop(node_id, None)
+        else:
+            self.slow_factors[node_id] = factor
+
+    def clear_slow_nodes(self) -> None:
+        self.slow_factors.clear()
 
     def _find(self, node_id: str) -> ClusterNode:
         for node in self.nodes:

@@ -139,6 +139,13 @@ class CostLedger:
     def charge_task_startup(self, tasks: int = 1) -> None:
         self._charge("startup", tasks * self.params.task_startup_seconds)
 
+    def charge_backoff(self, seconds: float) -> None:
+        """Charge a simulated idle wait (task-retry backoff).
+
+        Booked under ``startup`` — like a task launch, it is scheduling
+        overhead during which the slot does no useful work."""
+        self._charge("startup", seconds)
+
     def charge_job_setup(self) -> None:
         self._charge("startup", self.params.job_setup_seconds)
 

@@ -12,6 +12,7 @@ from repro.core.delta import (
     MAINTENANCE_OPTIMIZED,
 )
 from repro.exec.executor import EXECUTOR_SERIAL, available_executors
+from repro.mapreduce.faults import FaultPolicy
 from repro.util.rng import SeedLike
 from repro.util.validation import check_fraction, check_positive, check_positive_int
 
@@ -108,6 +109,11 @@ class EarlConfig:
     n_override: Optional[int] = None
     executor: str = EXECUTOR_SERIAL
     max_workers: Optional[int] = None
+    #: Recovery behaviour for the MapReduce jobs an EARL driver runs
+    #: (retries/blacklisting/speculation/salvage — see
+    #: :class:`repro.mapreduce.faults.FaultPolicy`).  ``None`` keeps the
+    #: engine byte-identical to the fault-oblivious path.
+    fault_policy: Optional[FaultPolicy] = None
 
     def __post_init__(self) -> None:
         check_fraction("sigma", self.sigma, inclusive_high=True)

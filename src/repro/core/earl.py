@@ -151,10 +151,32 @@ class EarlSession:
         check_row_compatibility(self._stat, self._data)
         self._config = config or EarlConfig()
         self._correction = get_correction(correction, self._stat.name)
+        #: §3.4 loss events queued by :meth:`report_loss`, applied by an
+        #: active stream at its next iteration boundary.
+        self._pending_loss: List[Tuple[float, Any]] = []
+        self.degraded = False
+        self.lost_fraction = 0.0
 
     @property
     def config(self) -> EarlConfig:
         return self._config
+
+    def report_loss(self, fraction: float, *, seed: Any = None) -> None:
+        """Report that a uniform random ``fraction`` of the population
+        was lost to failures (§3.4: lost splits / dead nodes).
+
+        An active :meth:`stream` applies the loss at its next iteration
+        boundary: lost rows are dropped from both the unseen pool and
+        the already-consumed sample, the bootstrap stage is re-estimated
+        from the survivors (widening the confidence interval), and the
+        expansion loop keeps running over the surviving data.  Results
+        and snapshots carry ``degraded=True`` and the cumulative
+        ``lost_fraction``.  ``seed`` pins which rows die (default: a
+        deterministic child stream of the session's generator).
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("loss fraction must be in (0, 1)")
+        self._pending_loss.append((float(fraction), seed))
 
     def run(self) -> EarlResult:
         """Execute the full loop: SSABE pilot, sampling, bootstrap error
@@ -211,6 +233,10 @@ class EarlSession:
 
         # ------------------------------------------------- expansion loop
         executor = resolve_executor(cfg)
+        original_N = N
+        loss_rng: Optional[np.random.Generator] = None
+        self.degraded = False
+        self.lost_fraction = 0.0
         try:
             aes = make_estimation_stage(self._stat, B, cfg, seed=rng,
                                         executor=executor)
@@ -219,9 +245,22 @@ class EarlSession:
             target = min(max(n, 2), N)
             estimate: Optional[AccuracyEstimate] = None
             for iteration in range(1, cfg.max_iterations + 1):
-                delta = data[order[consumed:target]]
-                consumed = target
-                estimate = aes.offer(delta)
+                if self._pending_loss:
+                    # §3.4 recovery: drop the lost rows, re-estimate the
+                    # bootstrap from the surviving sample, continue.
+                    if loss_rng is None:
+                        loss_rng = spawn_child(rng, 1)[0]
+                    order, consumed, aes, estimate = self._apply_losses(
+                        order, consumed, B, executor, loss_rng)
+                    N = len(order)
+                    self.lost_fraction = 1.0 - N / original_N
+                    self.degraded = True
+                    target = min(max(target, consumed), N)
+                if target > consumed:
+                    delta = data[order[consumed:target]]
+                    consumed = target
+                    estimate = aes.offer(delta)
+                assert estimate is not None
                 expand = (not estimate.meets(cfg.sigma)
                           and consumed < N
                           and iteration < cfg.max_iterations)
@@ -255,8 +294,38 @@ class EarlSession:
             iterations=iterations,
             ssabe=ssabe,
             accuracy=estimate,
+            degraded=self.degraded,
+            lost_fraction=self.lost_fraction,
         )
         yield _final_snapshot(result, len(iterations), 0.0)
+
+    def _apply_losses(self, order: np.ndarray, consumed: int, B: int,
+                      executor: Executor,
+                      loss_rng: np.random.Generator):
+        """Apply queued :meth:`report_loss` events: mask the lost rows
+        out of the permutation (population and consumed prefix alike)
+        and rebuild the estimation stage from the surviving sample.
+
+        At least one row always survives — a total loss has no data left
+        to estimate on, so the engine degrades to the smallest
+        population it can still bound."""
+        data = self._data
+        cfg = self._config
+        keep = np.ones(len(order), dtype=bool)
+        for fraction, seed in self._pending_loss:
+            event_rng = ensure_rng(seed) if seed is not None else loss_rng
+            keep &= event_rng.random(len(order)) >= fraction
+        self._pending_loss.clear()
+        if not keep.any():
+            keep[0] = True
+        new_consumed = int(np.count_nonzero(keep[:consumed]))
+        order = order[keep]
+        aes = make_estimation_stage(self._stat, B, cfg, seed=loss_rng,
+                                    executor=executor)
+        estimate = None
+        if new_consumed:
+            estimate = aes.offer(data[order[:new_consumed]])
+        return order, new_consumed, aes, estimate
 
     def _snapshot(self, iteration: int, accuracy: AccuracyEstimate,
                   consumed: int, N: int) -> ProgressSnapshot:
@@ -279,7 +348,9 @@ class EarlSession:
             cost_delta_seconds=0.0,
             cost_total_seconds=0.0,
             accuracy=accuracy,
-            result=None)
+            result=None,
+            degraded=self.degraded,
+            lost_fraction=self.lost_fraction)
 
 def _final_snapshot(result: EarlResult, iteration: int,
                     delta_seconds: float) -> ProgressSnapshot:
@@ -304,7 +375,9 @@ def _final_snapshot(result: EarlResult, iteration: int,
         cost_delta_seconds=delta_seconds,
         cost_total_seconds=result.simulated_seconds,
         accuracy=accuracy,
-        result=result)
+        result=result,
+        degraded=result.degraded,
+        lost_fraction=result.lost_fraction)
 
 
 def _exact_snapshot(result: EarlResult) -> ProgressSnapshot:
@@ -656,7 +729,8 @@ class EarlJob:
             n_reducers=self._n_reducers, cpu_factor=self._cpu_factor,
             split_logical_bytes=self._split_logical_bytes,
             on_unavailable=self._on_unavailable,
-            params={"iteration": 0}, seed=job_rng)
+            params={"iteration": 0}, seed=job_rng,
+            fault_policy=cfg.fault_policy)
 
         iterations: List[IterationRecord] = []
         target = min(max(n, 2), N)
@@ -730,7 +804,8 @@ class EarlJob:
             reducer=IdentityReducer(), n_reducers=1, local_mode=True,
             cpu_factor=self._cpu_factor,
             split_logical_bytes=self._split_logical_bytes,
-            on_unavailable=self._on_unavailable, seed=rng)
+            on_unavailable=self._on_unavailable, seed=rng,
+            fault_policy=self._config.fault_policy)
         result = client.run(conf, record_source=sampler,
                             splits=sampler.splits)
         values = np.array([float(v) for _, v in result.output])
@@ -747,7 +822,8 @@ class EarlJob:
             mapper=self._mapper, reducer=reducer,
             n_reducers=self._n_reducers, cpu_factor=self._cpu_factor,
             split_logical_bytes=self._split_logical_bytes,
-            on_unavailable=self._on_unavailable, seed=rng)
+            on_unavailable=self._on_unavailable, seed=rng,
+            fault_policy=self._config.fault_policy)
         result = client.run(conf)
         state.simulated_seconds += result.simulated_seconds
         grouped = result.grouped()

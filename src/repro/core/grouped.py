@@ -116,6 +116,10 @@ class GroupEstimate:
     used_fallback: bool = False
     accuracy: Optional[AccuracyEstimate] = None
     result: Optional[EarlResult] = None   # populated once done
+    #: §3.4 degraded-mode accounting: the group lost sample rows to a
+    #: failure and its bootstrap was re-estimated from the survivors.
+    degraded: bool = False
+    lost_fraction: float = 0.0
 
     @property
     def ci(self) -> tuple:
@@ -141,6 +145,8 @@ class GroupEstimate:
             "achieved": bool(self.achieved),
             "done": bool(self.done),
             "used_fallback": bool(self.used_fallback),
+            "degraded": bool(self.degraded),
+            "lost_fraction": float(self.lost_fraction),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -159,6 +165,9 @@ class GroupedResult:
     rounds: int
     rows_processed: int
     population_size: int
+    #: §3.4 degraded-mode accounting (sample rows lost to failures).
+    degraded: bool = False
+    lost_fraction: float = 0.0
 
     @property
     def achieved(self) -> bool:
@@ -225,6 +234,10 @@ class GroupedSnapshot:
     active_groups: int
     final: bool
     result: Optional[GroupedResult] = None
+    #: §3.4 degraded-mode accounting: whether any group lost sample
+    #: rows, and the fraction of the materialized sample lost overall.
+    degraded: bool = False
+    lost_fraction: float = 0.0
 
     @property
     def worst(self) -> Optional[GroupEstimate]:
@@ -262,6 +275,8 @@ class GroupedSnapshot:
             "final": bool(self.final),
             "achieved": (bool(self.result.achieved)
                          if self.result is not None else None),
+            "degraded": bool(self.degraded),
+            "lost_fraction": float(self.lost_fraction),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -297,6 +312,23 @@ def _offer_owned(args: Tuple[AccuracyEstimationStage, BroadcastHandle,
     return stage, estimate
 
 
+class _LocalColumn:
+    """Stand-in for a :class:`BroadcastHandle` over a degraded group's
+    surviving rows.
+
+    After a §3.4 sample loss the group's working column is a compacted
+    per-group local array, not a slice of the session broadcast; this
+    wrapper exposes the same ``.value`` the fan-out units read, so the
+    degraded path reuses them unchanged (on process pools it ships by
+    value per round — the pre-broadcast cost, paid only after a fault).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = value
+
+
 # ---------------------------------------------------------------------------
 # internal per-group / per-measure state
 # ---------------------------------------------------------------------------
@@ -307,7 +339,8 @@ class _MeasureState:
 
     __slots__ = ("measure", "index", "statistic", "sigma", "correction",
                  "stage", "B", "n", "ssabe", "iterations", "estimate",
-                 "result", "used_fallback", "seg_start", "permuted")
+                 "result", "used_fallback", "seg_start", "permuted",
+                 "dead")
 
     def __init__(self, measure: Measure, index: int, statistic,
                  sigma: float, correction) -> None:
@@ -329,17 +362,21 @@ class _MeasureState:
         #: The group's permuted column, held from set-up until the
         #: broadcast concatenation consumes it (then dropped).
         self.permuted: Optional[np.ndarray] = None
+        #: §3.4: the stratum died (every sample row lost) before this
+        #: measure ever produced an estimate — withdrawn, no result.
+        self.dead = False
 
     @property
     def done(self) -> bool:
-        return self.result is not None
+        return self.result is not None or self.dead
 
 
 class _GroupState:
     """One group's sampling schedule plus its measure pipelines."""
 
     __slots__ = ("key", "size", "seed", "rows", "measures", "consumed",
-                 "target", "iteration", "pilot_std", "bound")
+                 "target", "iteration", "pilot_std", "bound", "lost",
+                 "degraded", "local")
 
     def __init__(self, key: Hashable, size: int, seed: int,
                  rows: np.ndarray) -> None:
@@ -353,6 +390,18 @@ class _GroupState:
         self.iteration = 0
         self.pilot_std = 0.0
         self.bound = 0      # broadcast-segment length (rows reachable)
+        # §3.4 degraded-mode state: sample rows lost to failures, and
+        # the per-measure compacted survivor columns replacing the
+        # broadcast segments once a loss hits this group.
+        self.lost = 0
+        self.degraded = False
+        self.local: Optional[List[Optional[_LocalColumn]]] = None
+
+    @property
+    def lost_fraction(self) -> float:
+        """Fraction of the group's materialized sample lost so far."""
+        total = self.lost + self.bound
+        return self.lost / total if total else 0.0
 
     @property
     def active_measures(self) -> List[_MeasureState]:
@@ -440,6 +489,12 @@ class GroupedEarlSession:
         self._quota_override: Optional[Dict[Hashable, int]] = None
         self._externally_budgeted = False
         self._groups: List[_GroupState] = []
+        # §3.4 degraded-mode state: pending loss reports (applied at
+        # the next round boundary) and a lazily-spawned loss stream.
+        self._pending_loss: List[Tuple[float, Optional[set],
+                                       Optional[Any]]] = []
+        self._rng: Optional[np.random.Generator] = None
+        self._loss_rng: Optional[np.random.Generator] = None
 
     @property
     def config(self) -> EarlConfig:
@@ -462,6 +517,35 @@ class GroupedEarlSession:
         then the driving thread itself closes the generator.
         """
         self._cancelled = True
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any group lost sample rows to a reported failure."""
+        return any(g.degraded for g in self._groups)
+
+    def report_loss(self, fraction: float, *,
+                    keys: Optional[Sequence[Hashable]] = None,
+                    seed: Optional[Any] = None) -> None:
+        """Report that roughly ``fraction`` of the sampled rows were
+        lost to a failure (§3.4 degrade-don't-die).
+
+        Applied at the next round boundary: each affected group's
+        in-memory sample rows independently survive with probability
+        ``1 - fraction``, its bootstrap stages are rebuilt from the
+        survivors (bounds widen accordingly), and the stratified quota
+        planning continues around what remains.  ``keys`` restricts the
+        loss to specific strata (default: every group — a whole-node
+        loss); ``fraction == 1.0`` kills the listed strata outright —
+        a dead stratum finalizes with its best-so-far estimate, or is
+        withdrawn from the results if it never produced one.  Finished
+        groups keep their results.  Safe to call from any thread while
+        another drives :meth:`stream`; ``seed`` pins the loss pattern.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"loss fraction must be in (0, 1], got {fraction}")
+        key_set = None if keys is None else set(keys)
+        self._pending_loss.append((float(fraction), key_set, seed))
 
     @property
     def group_seeds(self) -> Dict[Hashable, int]:
@@ -566,6 +650,7 @@ class GroupedEarlSession:
             return
         cfg = self._config
         rng = ensure_rng(cfg.seed)
+        self._rng = rng  # held for lazily-derived loss randomness
         sampler = StratifiedSampler(
             self._keys,
             allocation=(self._allocation
@@ -591,8 +676,19 @@ class GroupedEarlSession:
                 round_no += 1
                 if self._cancelled:
                     return
+                updated: List[Tuple[Hashable, str]] = []
+                if self._pending_loss:
+                    updated.extend(self._apply_losses(groups, shared, board))
                 active = [g for g in groups if g.active]
                 if not active:
+                    if updated:
+                        # A reported loss just finalized the last
+                        # group(s); the stream still owes its final
+                        # snapshot.
+                        yield self._snapshot(round_no, board,
+                                             tuple(updated), groups,
+                                             final=True)
+                        return
                     return  # every group finalized on the previous round
                 override, self._quota_override = self._quota_override, None
                 if override is not None:
@@ -609,6 +705,16 @@ class GroupedEarlSession:
                 offered: List[Tuple[_GroupState, _MeasureState]] = []
                 for group in active:
                     quota = quotas.get(group.key, 0)
+                    if group.degraded:
+                        cap = (group.bound or group.size) - group.consumed
+                        quota = min(quota, cap)
+                        if quota <= 0 and cap <= 0:
+                            # Every surviving row is consumed: no round
+                            # can improve this group, so finalize with
+                            # best-so-far bounds (degrade, don't die).
+                            updated.extend(
+                                self._finalize_degraded(group, board))
+                            continue
                     if quota <= 0:
                         continue
                     sampler.take(group.key, quota)
@@ -616,9 +722,13 @@ class GroupedEarlSession:
                     group.consumed = hi
                     group.iteration += 1
                     for mstate in group.active_measures:
-                        work.append((mstate, shared[mstate.index],
-                                     mstate.seg_start + lo,
-                                     mstate.seg_start + hi))
+                        if group.local is not None:
+                            handle: Any = group.local[mstate.index]
+                            base = 0
+                        else:
+                            handle = shared[mstate.index]
+                            base = mstate.seg_start
+                        work.append((mstate, handle, base + lo, base + hi))
                         offered.append((group, mstate))
                 if not work:
                     if override is not None:
@@ -627,23 +737,26 @@ class GroupedEarlSession:
                         # terminal condition.  Hand control back with an
                         # empty snapshot; fresh quotas may arrive before
                         # the next round.
-                        yield self._snapshot(round_no, board, (), groups,
+                        yield self._snapshot(round_no, board,
+                                             tuple(updated), groups,
                                              final=False)
                         continue
                     # A budgeted round allocated nothing (budget smaller
                     # than the active group count after caps): finalize
                     # what is left as best-effort rather than spin.
                     self._finalize_stalled(groups, board)
-                    yield self._snapshot(round_no, board, (), groups,
-                                         final=True)
+                    yield self._snapshot(round_no, board, tuple(updated),
+                                         groups, final=True)
                     return
                 estimates = self._offer_round(executor, work)
 
-                updated: List[Tuple[Hashable, str]] = []
                 for (group, mstate), estimate in zip(offered, estimates):
                     mstate.estimate = estimate
+                    # A degraded group can only reach its surviving rows.
+                    reachable = ((group.bound or group.size)
+                                 if group.degraded else group.size)
                     expand = (not estimate.meets(mstate.sigma)
-                              and group.consumed < group.size
+                              and group.consumed < reachable
                               and group.iteration < cfg.max_iterations)
                     mstate.iterations.append(IterationRecord(
                         iteration=group.iteration,
@@ -800,6 +913,103 @@ class GroupedEarlSession:
                            if segments else None)
         return handles
 
+    # ------------------------------------------------------------- §3.4 loss
+    def _apply_losses(self, groups: List[_GroupState],
+                      shared: List[Optional[BroadcastHandle]],
+                      board: Dict[Hashable, Dict[str, GroupEstimate]]
+                      ) -> List[Tuple[Hashable, str]]:
+        """Apply the pending loss reports: drop lost rows per group,
+        rebuild the survivors' bootstrap stages, finalize dead strata.
+
+        Each affected active group keeps every materialized sample row
+        independently with probability ``1 - fraction``; its working
+        columns become compacted per-group locals, its stages are
+        rebuilt (seeded from a lazily-spawned loss stream, so clean
+        runs draw nothing extra) and the surviving consumed prefix is
+        re-offered so the next round extends a consistent resample
+        state.  A stratum losing every row finalizes best-so-far.
+        Returns the ``(key, measure)`` pairs whose board entry changed.
+        """
+        events, self._pending_loss = self._pending_loss, []
+        if self._loss_rng is None:
+            assert self._rng is not None
+            self._loss_rng = spawn_child(self._rng, 1)[0]
+        cfg = self._config
+        updated: List[Tuple[Hashable, str]] = []
+        for group in groups:
+            if not group.active or group.bound <= 0:
+                continue
+            seg_len = group.bound
+            keep = np.ones(seg_len, dtype=bool)
+            hit = False
+            for fraction, key_set, seed in events:
+                if key_set is not None and group.key not in key_set:
+                    continue
+                hit = True
+                if fraction >= 1.0:
+                    keep[:] = False
+                    continue
+                event_rng = (ensure_rng(seed) if seed is not None
+                             else self._loss_rng)
+                keep &= event_rng.random(seg_len) >= fraction
+            if not hit or keep.all():
+                continue  # the failure missed this group entirely
+            group.degraded = True
+            survivors_n = int(np.count_nonzero(keep))
+            group.lost += seg_len - survivors_n
+            if survivors_n == 0:
+                # Dead stratum: finalize before touching consumed, so
+                # best-so-far results stand on the pre-loss sample.
+                group.bound = 0
+                updated.extend(self._finalize_degraded(group, board))
+                continue
+            new_consumed = int(np.count_nonzero(keep[:group.consumed]))
+            if group.local is None:
+                group.local = [None] * len(group.measures)
+            streams = spawn_child(self._loss_rng, len(group.measures))
+            for mstate in group.active_measures:
+                local = group.local[mstate.index]
+                if local is not None:
+                    column = local.value
+                else:
+                    handle = shared[mstate.index]
+                    assert handle is not None
+                    column = handle.value[
+                        mstate.seg_start:mstate.seg_start + seg_len]
+                surviving = column[keep]
+                group.local[mstate.index] = _LocalColumn(surviving)
+                mstate.stage = make_estimation_stage(
+                    mstate.statistic, mstate.B, cfg,
+                    seed=streams[mstate.index], executor=None)
+                if new_consumed:
+                    mstate.estimate = mstate.stage.offer(
+                        surviving[:new_consumed])
+            group.consumed = new_consumed
+            group.bound = survivors_n
+            if new_consumed:
+                for mstate in group.active_measures:
+                    board[group.key][mstate.measure.name] = \
+                        self._entry(group, mstate)
+                    updated.append((group.key, mstate.measure.name))
+        return updated
+
+    def _finalize_degraded(self, group: _GroupState,
+                           board: Dict[Hashable, Dict[str, GroupEstimate]]
+                           ) -> List[Tuple[Hashable, str]]:
+        """Best-so-far finalize for a degraded group that can no longer
+        improve; measures that never produced an estimate are withdrawn
+        (inventing a result with no estimate would not be honest)."""
+        updated: List[Tuple[Hashable, str]] = []
+        for mstate in group.active_measures:
+            if mstate.estimate is not None:
+                mstate.result = self._measure_result(group, mstate)
+                board[group.key][mstate.measure.name] = \
+                    self._entry(group, mstate)
+                updated.append((group.key, mstate.measure.name))
+            else:
+                mstate.dead = True
+        return updated
+
     # ---------------------------------------------------------------- rounds
     def _max_rounds(self) -> int:
         """Round-count safety bound: schedule mode terminates within
@@ -860,7 +1070,9 @@ class GroupedEarlSession:
             simulated_seconds=0.0,
             iterations=list(mstate.iterations),
             ssabe=mstate.ssabe,
-            accuracy=estimate)
+            accuracy=estimate,
+            degraded=group.degraded,
+            lost_fraction=group.lost_fraction)
 
     def _finalize_stalled(self, groups: List[_GroupState],
                           board: Dict[Hashable, Dict[str, GroupEstimate]]
@@ -870,6 +1082,12 @@ class GroupedEarlSession:
             for mstate in group.active_measures:
                 if mstate.estimate is not None:
                     mstate.result = self._measure_result(group, mstate)
+                elif group.degraded:
+                    # The stratum's rows were lost before any estimate:
+                    # scanning them exactly would read dead data, so the
+                    # measure is withdrawn instead.
+                    mstate.dead = True
+                    continue
                 else:
                     # Never offered a single delta (the budget starved
                     # this group for every round): answering exactly is
@@ -899,7 +1117,9 @@ class GroupedEarlSession:
                 ci_low=res.estimate, ci_high=res.estimate,
                 sample_size=group.size, group_size=group.size,
                 sample_fraction=1.0, achieved=True, done=True,
-                used_fallback=True, accuracy=None, result=res)
+                used_fallback=True, accuracy=None, result=res,
+                degraded=group.degraded,
+                lost_fraction=group.lost_fraction)
         estimate = mstate.estimate
         assert estimate is not None
         p = group.consumed / group.size
@@ -914,7 +1134,9 @@ class GroupedEarlSession:
             sample_fraction=p,
             achieved=estimate.meets(mstate.sigma),
             done=mstate.done, used_fallback=False,
-            accuracy=estimate, result=mstate.result)
+            accuracy=estimate, result=mstate.result,
+            degraded=group.degraded,
+            lost_fraction=group.lost_fraction)
 
     def _initial_board(self, groups: List[_GroupState]
                        ) -> Dict[Hashable, Dict[str, GroupEstimate]]:
@@ -941,6 +1163,10 @@ class GroupedEarlSession:
                    if any(m.used_fallback for m in g.measures)
                    else g.consumed
                    for g in groups)
+        degraded = any(g.degraded for g in groups)
+        lost = sum(g.lost for g in groups)
+        materialized = lost + sum(g.bound for g in groups)
+        lost_fraction = lost / materialized if materialized else 0.0
         result = None
         if final:
             result = GroupedResult(
@@ -949,7 +1175,9 @@ class GroupedEarlSession:
                         for g in groups},
                 rounds=round_no,
                 rows_processed=rows,
-                population_size=len(self._keys))
+                population_size=len(self._keys),
+                degraded=degraded,
+                lost_fraction=lost_fraction)
         return GroupedSnapshot(
             round=round_no,
             groups={key: dict(by_agg) for key, by_agg in board.items()},
@@ -958,4 +1186,6 @@ class GroupedEarlSession:
             population_size=len(self._keys),
             active_groups=sum(1 for g in groups if g.active),
             final=final,
-            result=result)
+            result=result,
+            degraded=degraded,
+            lost_fraction=lost_fraction)

@@ -65,6 +65,10 @@ class ProgressSnapshot:
     cost_total_seconds: float
     accuracy: Optional[AccuracyEstimate] = None
     result: Optional["EarlResult"] = None  # populated when final
+    #: §3.4 degraded-mode accounting: set once sample rows were lost to
+    #: failures and the engine re-planned around the survivors.
+    degraded: bool = False
+    lost_fraction: float = 0.0
 
     @property
     def ci(self) -> tuple:
@@ -97,6 +101,8 @@ class ProgressSnapshot:
             "statistic": str(self.statistic),
             "cost_delta_seconds": float(self.cost_delta_seconds),
             "cost_total_seconds": float(self.cost_total_seconds),
+            "degraded": bool(self.degraded),
+            "lost_fraction": float(self.lost_fraction),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -140,6 +146,10 @@ class EarlResult:
     key_estimates: Optional[Dict[Any, float]] = None
     #: Dependence length used by the block-bootstrap driver (App. A).
     block_length: Optional[int] = None
+    #: §3.4 degraded-mode accounting: sample rows lost to failures were
+    #: dropped and the bootstrap re-estimated from the survivors.
+    degraded: bool = False
+    lost_fraction: float = 0.0
 
     @property
     def num_iterations(self) -> int:

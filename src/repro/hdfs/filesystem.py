@@ -65,6 +65,10 @@ class HDFS:
         #: engine's broadcast-once data plane) compare it to decide
         #: whether a shipped copy is still current.
         self.mutation_count = 0
+        #: Reads served by a non-primary replica because an earlier
+        #: replica was unavailable (best-effort local accounting; the
+        #: simulated charge is identical either way).
+        self.failover_reads = 0
 
     # ----------------------------------------------------------------- pickle
     def __getstate__(self) -> Dict:
@@ -144,9 +148,11 @@ class HDFS:
 
     # ------------------------------------------------------------------- read
     def _read_block(self, block: Block) -> bytes:
-        for node_id in block.replicas:
+        for i, node_id in enumerate(block.replicas):
             node = self.datanodes.get(node_id)
             if node is not None and node.has_block(block.block_id):
+                if i:
+                    self.failover_reads += 1
                 return node.read(block.block_id)
         raise BlockUnavailableError(
             f"block {block.block_id} of {block.path}: all replicas unavailable")

@@ -117,6 +117,63 @@ class LineRecordReader:
             yield split.start + pos, data[pos:nl].decode("utf-8")
             pos = nl + 1
 
+    # -------------------------------------------------------------- salvage
+    def available_prefix_end(self) -> int:
+        """Largest offset ``p >= split.start`` such that every block of
+        ``[split.start, p)`` is still readable on some replica (capped at
+        the file size).  The degraded-read primitive: when a split loses
+        its tail mid-scan, the prefix before the first lost block can
+        still be served."""
+        split = self._split
+        meta = self._fs.namenode.get(split.path)
+        end = meta.size
+        if split.start >= end:
+            return split.start
+        prefix = split.start
+        for block in self._fs.namenode.blocks_for_range(meta, split.start,
+                                                        end):
+            if not self._fs.block_available(block):
+                break
+            prefix = min(block.end, end)
+        return prefix
+
+    def read_records_salvage(self) -> Iterator[Tuple[int, str]]:
+        """Best-effort :meth:`read_records`: yield the split's records
+        whose bytes survive, stopping at the first lost block.
+
+        Follows the same boundary conventions as the full scan, with one
+        degradation: a line cut by the loss wall (its newline lies in a
+        lost block) is dropped, since its tail is unrecoverable.  Charged
+        like a sequential scan of the bytes actually read.
+        """
+        split = self._split
+        if split.length == 0 or split.start >= self._file_size:
+            return
+        prefix_end = self.available_prefix_end()
+        if prefix_end <= split.start:
+            return
+        end_limit = min(split.end, self._file_size)
+        data = self._fs.read_range(split.path, split.start, prefix_end,
+                                   ledger=self._ledger)
+        pos = 0
+        if split.start != 0:
+            nl = data.find(b"\n")
+            if nl < 0:
+                return
+            pos = nl + 1
+        at_eof = prefix_end >= self._file_size
+        while split.start + pos <= end_limit and split.start + pos < prefix_end:
+            nl = data.find(b"\n", pos)
+            if nl < 0:
+                # Unterminated tail: real end-of-file keeps it, a loss
+                # wall drops it (the rest of the line is gone).
+                line = data[pos:]
+                if line and at_eof:
+                    yield split.start + pos, line.decode("utf-8")
+                return
+            yield split.start + pos, data[pos:nl].decode("utf-8")
+            pos = nl + 1
+
     def _find_line_end(self, position: int) -> int:
         """First byte offset after the line containing ``position - 1``.
 

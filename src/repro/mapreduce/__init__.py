@@ -19,6 +19,7 @@ from repro.mapreduce.errors import (
     MapReduceError,
     TaskFailedError,
 )
+from repro.mapreduce.faults import FaultPolicy
 from repro.mapreduce.job import (
     ON_UNAVAILABLE_FAIL,
     ON_UNAVAILABLE_SKIP,
@@ -64,6 +65,7 @@ __all__ = [
     "Counters",
     "KeyValue",
     "TaskContext",
+    "FaultPolicy",
     "estimate_pair_bytes",
     "run_combiner",
     "GroupStateCombiner",

@@ -20,6 +20,11 @@ REDUCE_OUTPUT_RECORDS = "REDUCE_OUTPUT_RECORDS"
 SKIPPED_SPLITS = "SKIPPED_SPLITS"
 FAILED_TASKS = "FAILED_TASKS"
 SPILLED_BYTES = "SPILLED_BYTES"
+#: Fault-tolerance side channel (all zero unless a FaultPolicy fires).
+TASK_RETRIES = "TASK_RETRIES"
+SPECULATIVE_TASKS = "SPECULATIVE_TASKS"
+BLACKLISTED_NODES = "BLACKLISTED_NODES"
+SALVAGED_SPLITS = "SALVAGED_SPLITS"
 
 
 class Counters:

@@ -1,0 +1,106 @@
+"""Fault-tolerance policy for the simulated MapReduce engine.
+
+EARL's §3.4 argues that early results should *survive* failures: with
+~3 %/yr disk failure rates a long job is more likely than not to see a
+node die, and restarting from scratch forfeits exactly the latency
+advantage sampling bought.  This module captures the table-stakes Hadoop
+behaviours the paper assumes underneath its sampling layer:
+
+* **per-task retry** with capped exponential backoff — the backoff wait
+  is charged to the simulated :class:`~repro.cluster.costmodel.CostLedger`
+  (the cluster really does sit idle for it), never to wall-clock;
+* **node blacklisting** — machines that keep producing failed attempts
+  stop receiving tasks, shrinking the slot pool for later waves;
+* **speculative execution** — straggler attempts get a charged duplicate
+  attempt, and the task finishes at the earlier of the two;
+* **partial-split salvage** — a map task that loses a block mid-read
+  keeps the records it already produced instead of discarding the whole
+  split (the degraded-results analogue of replica failover).
+
+Everything is off by default: ``FaultPolicy()`` (and ``None``) leaves the
+engine byte-identical to the fault-oblivious behaviour — same charges,
+same RNG draws, same outputs.  The knobs only change execution once a
+fault actually fires, and every recovery decision is deterministic (the
+backoff schedule is a pure function of the attempt number; retries replay
+the task's private RNG stream from a saved state), so a faulted run is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Recovery knobs of one job (or one EARL driver's jobs).
+
+    Attributes
+    ----------
+    max_task_retries:
+        Extra attempts granted to a failed task (0 disables retries —
+        the first :class:`~repro.mapreduce.errors.TaskFailedError`
+        propagates exactly as today).
+    retry_backoff_seconds, backoff_factor, max_backoff_seconds:
+        Deterministic capped exponential backoff: attempt ``k`` (0-based
+        failure count) waits ``min(max_backoff_seconds,
+        retry_backoff_seconds * backoff_factor**k)`` simulated seconds,
+        charged to the task ledger's ``startup`` category.
+    blacklist_after:
+        Blacklist a node once it has produced this many failed attempts
+        (0 disables).  Blacklisted nodes stop contributing slots to
+        later waves of the same :class:`~repro.mapreduce.runtime.JobClient`.
+    speculative:
+        Launch a charged duplicate attempt for straggler tasks; the task
+        finishes at ``min(original, startup + median duration)``.
+    speculative_slowdown:
+        A task is a straggler when its duration exceeds this multiple of
+        the wave's median duration.
+    salvage_partial_splits:
+        When a map task loses a block mid-read under the ``skip``
+        unavailability policy, keep the records it already emitted and
+        account only the unread tail as lost, instead of skipping the
+        whole split.
+    """
+
+    max_task_retries: int = 0
+    retry_backoff_seconds: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff_seconds: float = 30.0
+    blacklist_after: int = 0
+    speculative: bool = False
+    speculative_slowdown: float = 2.0
+    salvage_partial_splits: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries cannot be negative")
+        if self.retry_backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff seconds cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.blacklist_after < 0:
+            raise ValueError("blacklist_after cannot be negative")
+        if self.speculative_slowdown <= 1.0:
+            raise ValueError("speculative_slowdown must be > 1")
+
+    # ------------------------------------------------------------------ state
+    @property
+    def enabled(self) -> bool:
+        """Whether any recovery behaviour is switched on."""
+        return (self.max_task_retries > 0
+                or self.blacklist_after > 0
+                or self.speculative
+                or self.salvage_partial_splits)
+
+    def backoff(self, failures: int) -> float:
+        """Simulated seconds to wait before the attempt following the
+        ``failures``-th failure (0-based)."""
+        return min(self.max_backoff_seconds,
+                   self.retry_backoff_seconds * self.backoff_factor ** failures)
+
+    @classmethod
+    def resilient(cls) -> "FaultPolicy":
+        """A sensible everything-on preset (Hadoop-ish defaults)."""
+        return cls(max_task_retries=3, blacklist_after=3, speculative=True,
+                   salvage_partial_splits=True)

@@ -9,6 +9,7 @@ from typing import Any, Dict, List, Optional
 from repro.cluster.costmodel import CostLedger
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.errors import InvalidJobError
+from repro.mapreduce.faults import FaultPolicy
 from repro.mapreduce.mapper import Mapper
 from repro.mapreduce.reducer import Reducer
 from repro.mapreduce.types import KeyValue
@@ -48,6 +49,10 @@ class JobConf:
     output_path: Optional[str] = None
     params: Dict[str, Any] = field(default_factory=dict)
     seed: SeedLike = None
+    #: Recovery behaviour (retries/blacklisting/speculation/salvage).
+    #: ``None`` — and the all-off ``FaultPolicy()`` — keep the engine
+    #: byte-identical to the fault-oblivious execution path.
+    fault_policy: Optional[FaultPolicy] = None
 
     def __post_init__(self) -> None:
         if self.n_reducers < 1:

@@ -46,7 +46,8 @@ from repro.hdfs.splits import InputSplit
 from repro.mapreduce import counters as C
 from repro.mapreduce.combiner import run_combiner
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.errors import JobFailedError
+from repro.mapreduce.errors import JobFailedError, TaskFailedError
+from repro.mapreduce.faults import FaultPolicy
 from repro.mapreduce.job import (
     ON_UNAVAILABLE_FAIL,
     ON_UNAVAILABLE_SKIP,
@@ -144,6 +145,21 @@ class _MapTaskResult:
     counters: Counters
     ledger: CostLedger
     skipped: bool = False
+    #: Failed attempts absorbed by the retry loop (0 without faults).
+    failed_attempts: int = 0
+    #: Logical bytes of the split's unread tail when the task salvaged a
+    #: partial read after mid-task block loss.
+    lost_logical: float = 0.0
+    salvaged: bool = False
+
+
+@dataclass
+class _ReduceTaskResult:
+    output: List[KeyValue]
+    duration: float
+    counters: Counters
+    ledger: CostLedger
+    failed_attempts: int = 0
 
 
 @dataclass
@@ -167,6 +183,12 @@ class _MapTaskArgs:
     rng: np.random.Generator
     record_scale: float
     warm_start: bool
+    #: Active fault policy (None when disabled — the byte-identical path).
+    policy: Optional[FaultPolicy] = None
+    #: Duration multiplier of the node this task was placed on.
+    slow_factor: float = 1.0
+    #: 0-based attempt number, bumped by the retry wrapper.
+    attempt: int = 0
 
 
 @dataclass
@@ -182,6 +204,9 @@ class _ReduceTaskArgs:
     rng: np.random.Generator
     record_scale: float
     warm_start: bool
+    policy: Optional[FaultPolicy] = None
+    slow_factor: float = 1.0
+    attempt: int = 0
 
 
 class JobClient:
@@ -203,6 +228,11 @@ class JobClient:
                  executor: Optional[Executor] = None) -> None:
         self.cluster = cluster
         self.executor = executor
+        #: Nodes removed from scheduling after repeated task failures
+        #: (populated only when a job's FaultPolicy enables blacklisting;
+        #: persists across the runs of an iterative driver).
+        self.blacklisted_nodes: set = set()
+        self._node_failures: Dict[str, int] = {}
         #: Cached fs broadcast for the non-shared-memory backends,
         #: keyed by fs identity + mutation count — reused across waves
         #: and runs so a process pool ships (and forks around) the
@@ -234,6 +264,44 @@ class JobClient:
             self._fs_broadcast = self.executor.broadcast(fs)
             self._fs_broadcast_key = key
         return self._fs_broadcast
+
+    # ------------------------------------------------------------- placement
+    def _placement_nodes(self) -> List[str]:
+        """Node ids eligible for task placement: healthy and not
+        blacklisted (falling back to all healthy nodes if the blacklist
+        would otherwise empty the cluster)."""
+        nodes = [n.node_id for n in self.cluster.healthy_nodes
+                 if n.node_id not in self.blacklisted_nodes]
+        if not nodes:
+            nodes = [n.node_id for n in self.cluster.healthy_nodes]
+        return nodes
+
+    def _slots_excluding(self, blacklist: set, *, reduce_side: bool) -> int:
+        """Slot count over healthy, non-blacklisted nodes (all healthy
+        nodes if the blacklist would leave no slots)."""
+        nodes = [n for n in self.cluster.healthy_nodes
+                 if n.node_id not in blacklist]
+        if not nodes:
+            nodes = self.cluster.healthy_nodes
+        if reduce_side:
+            return sum(n.reduce_slots for n in nodes)
+        return sum(n.map_slots for n in nodes)
+
+    def _update_blacklist(self, nodes: List[Optional[str]], results,
+                          policy: FaultPolicy,
+                          job_counters: Counters) -> None:
+        """Attribute a wave's failed attempts to the nodes the tasks ran
+        on and blacklist repeat offenders."""
+        for node_id, result in zip(nodes, results):
+            if node_id is None or not result.failed_attempts:
+                continue
+            count = self._node_failures.get(node_id, 0) \
+                + result.failed_attempts
+            self._node_failures[node_id] = count
+            if count >= policy.blacklist_after \
+                    and node_id not in self.blacklisted_nodes:
+                self.blacklisted_nodes.add(node_id)
+                job_counters.increment(C.BLACKLISTED_NODES)
 
     # ------------------------------------------------------------------ run
     def run(self, conf: JobConf, *,
@@ -279,10 +347,27 @@ class JobClient:
         record_scale = meta_scale if source.scales_with_file else 1.0
 
         # ----------------------------------------------------------- map
-        skipped_logical = 0
+        skipped_logical = 0.0
         total_logical = sum(s.logical_length for s in splits) or 1
         map_parallel = wave_parallelizable(conf, source, self.executor,
                                            reduce_side=False)
+        # Fault mode: an enabled FaultPolicy and/or chaos-injected slow
+        # nodes switch the waves to the attempt wrapper and give every
+        # task a deterministic round-robin node placement.  With neither
+        # active the wrapper is bypassed entirely — the byte-identical
+        # legacy path.
+        policy = conf.fault_policy
+        if policy is not None and not policy.enabled:
+            policy = None
+        slow_factors: Dict[str, float] = \
+            getattr(self.cluster, "slow_factors", {})
+        fault_mode = policy is not None or bool(slow_factors)
+        place_tasks = fault_mode and not conf.local_mode
+        map_blacklist = set(self.blacklisted_nodes)
+        map_eligible = self._placement_nodes() if place_tasks else []
+        map_nodes: List[Optional[str]] = [
+            map_eligible[i % len(map_eligible)] if map_eligible else None
+            for i in range(len(splits))]
         # Broadcast-once data plane for the wave's one large shared
         # input: on a process pool the whole simulated HDFS ships to
         # each worker a single time (at pool construction) instead of
@@ -298,19 +383,28 @@ class JobClient:
             _MapTaskArgs(fs=fs_arg, ledger=self.cluster.new_ledger(),
                          conf=conf, source=source, split=split,
                          rng=task_rngs[i], record_scale=record_scale,
-                         warm_start=warm_start)
+                         warm_start=warm_start, policy=policy,
+                         slow_factor=slow_factors.get(map_nodes[i], 1.0)
+                         if map_nodes[i] is not None else 1.0)
             for i, split in enumerate(splits)]
+        map_task_fn = _run_map_task_attempts if fault_mode \
+            else _execute_map_task
         if map_parallel:
-            map_results = self.executor.map(_execute_map_task, map_args)
+            map_results = self.executor.map(map_task_fn, map_args)
         else:
-            map_results = [_execute_map_task(args) for args in map_args]
+            map_results = [map_task_fn(args) for args in map_args]
         for split, result in zip(splits, map_results):
             if result.skipped:
                 skipped_logical += split.logical_length
+            elif result.lost_logical:
+                skipped_logical += result.lost_logical
 
         job_counters = Counters()
         for r in map_results:
             job_counters.merge(r.counters)
+        if policy is not None and policy.blacklist_after > 0:
+            self._update_blacklist(map_nodes, map_results, policy,
+                                   job_counters)
 
         # -------------------------------------------------------- shuffle
         # Assembled partition-major: each reducer's input is one run of
@@ -333,6 +427,11 @@ class JobClient:
                 sum(r.partition_records[p] for r in map_results))
 
         # --------------------------------------------------------- reduce
+        red_eligible = self._placement_nodes() if place_tasks else []
+        red_nodes: List[Optional[str]] = [
+            red_eligible[(n_tasks + p) % len(red_eligible)]
+            if red_eligible else None
+            for p in range(n_red)]
         reduce_args = [
             _ReduceTaskArgs(ledger=self.cluster.new_ledger(), conf=conf,
                             partition=p, pairs=shuffle[p],
@@ -340,26 +439,52 @@ class JobClient:
                             in_records=shuffle_records[p],
                             rng=task_rngs[n_tasks + p],
                             record_scale=record_scale,
-                            warm_start=warm_start)
+                            warm_start=warm_start, policy=policy,
+                            slow_factor=slow_factors.get(red_nodes[p], 1.0)
+                            if red_nodes[p] is not None else 1.0)
             for p in range(n_red)]
+        reduce_task_fn = _run_reduce_task_attempts if fault_mode \
+            else _execute_reduce_task
         if wave_parallelizable(conf, source, self.executor,
                                reduce_side=True):
-            reduce_results = self.executor.map(_execute_reduce_task,
+            reduce_results = self.executor.map(reduce_task_fn,
                                                reduce_args)
         else:
-            reduce_results = [_execute_reduce_task(args)
+            reduce_results = [reduce_task_fn(args)
                               for args in reduce_args]
         for out in reduce_results:
-            job_counters.merge(out[2])
+            job_counters.merge(out.counters)
+        if policy is not None and policy.blacklist_after > 0:
+            self._update_blacklist(red_nodes, reduce_results, policy,
+                                   job_counters)
 
         # ------------------------------------------------------- makespan
         map_durations = [r.duration for r in map_results]
-        red_durations = [r[1] for r in reduce_results]
+        red_durations = [r.duration for r in reduce_results]
+        spec_ledger: Optional[CostLedger] = None
+        if policy is not None and policy.speculative and not conf.local_mode:
+            spec_ledger = self.cluster.new_ledger()
+            map_durations, n_spec_map = _speculate(map_durations, policy,
+                                                   spec_ledger)
+            red_durations, n_spec_red = _speculate(red_durations, policy,
+                                                   spec_ledger)
+            if n_spec_map or n_spec_red:
+                job_counters.increment(C.SPECULATIVE_TASKS,
+                                       n_spec_map + n_spec_red)
         if conf.local_mode:
             simulated = driver.total_seconds + sum(map_durations) + sum(red_durations)
         else:
-            map_slots = max(1, self.cluster.total_map_slots)
-            red_slots = max(1, self.cluster.total_reduce_slots)
+            if fault_mode:
+                # Blacklisted machines stop contributing slots: the map
+                # wave ran against the blacklist as of submission, the
+                # reduce wave also excludes nodes blacklisted during it.
+                map_slots = max(1, self._slots_excluding(
+                    map_blacklist, reduce_side=False))
+                red_slots = max(1, self._slots_excluding(
+                    self.blacklisted_nodes, reduce_side=True))
+            else:
+                map_slots = max(1, self.cluster.total_map_slots)
+                red_slots = max(1, self.cluster.total_reduce_slots)
             map_span = schedule_tasks(map_durations, map_slots).makespan
             red_span = schedule_tasks(red_durations, red_slots).makespan
             simulated = driver.total_seconds + map_span + red_span
@@ -369,12 +494,18 @@ class JobClient:
             for cat, secs in r.ledger.breakdown().items():
                 breakdown[cat] = breakdown.get(cat, 0.0) + secs
         for out in reduce_results:
-            for cat, secs in out[3].breakdown().items():
+            for cat, secs in out.ledger.breakdown().items():
+                breakdown[cat] = breakdown.get(cat, 0.0) + secs
+        if spec_ledger is not None:
+            # Speculative copies burn cluster resources (accounted in
+            # the breakdown) but run on spare slots, so they shorten the
+            # makespan rather than extending the driver's critical path.
+            for cat, secs in spec_ledger.breakdown().items():
                 breakdown[cat] = breakdown.get(cat, 0.0) + secs
 
         output: List[KeyValue] = []
         for out in reduce_results:
-            output.extend(out[0])
+            output.extend(out.output)
 
         if conf.output_path is not None:
             lines = [f"{key}\t{value}" for key, value in output]
@@ -430,37 +561,91 @@ def _execute_map_task(args: _MapTaskArgs) -> _MapTaskResult:
     ctx = TaskContext(ledger=ledger, counters=counters, rng=args.rng,
                       record_scale=record_scale,
                       cpu_factor=conf.cpu_factor, config=dict(conf.params),
-                      task_id=f"map-{split.index}")
+                      task_id=f"map-{split.index}", attempt=args.attempt)
     partitioner = HashPartitioner(n_red)
     mapper = conf.mapper
     buffered: List[KeyValue] = []
 
+    # Salvage bookkeeping is only tracked when the policy could use it,
+    # keeping the default hot loop untouched.
+    track_salvage = (args.policy is not None
+                     and args.policy.salvage_partial_splits
+                     and conf.on_unavailable == ON_UNAVAILABLE_SKIP)
+    last_offset: Optional[int] = None
+    salvaged = False
+    lost_logical = 0.0
     try:
         mapper.setup(ctx)
-        for key, value in args.source.read(fs, split, ledger, args.rng):
-            counters.increment(C.MAP_INPUT_RECORDS)
-            ledger.charge_cpu_records(record_scale, conf.cpu_factor)
-            for pair in mapper.map(key, value, ctx):
-                buffered.append(pair)
+        if track_salvage:
+            for key, value in args.source.read(fs, split, ledger, args.rng):
+                if isinstance(key, (int, np.integer)):
+                    last_offset = int(key)
+                counters.increment(C.MAP_INPUT_RECORDS)
+                ledger.charge_cpu_records(record_scale, conf.cpu_factor)
+                for pair in mapper.map(key, value, ctx):
+                    buffered.append(pair)
+        else:
+            for key, value in args.source.read(fs, split, ledger, args.rng):
+                counters.increment(C.MAP_INPUT_RECORDS)
+                ledger.charge_cpu_records(record_scale, conf.cpu_factor)
+                for pair in mapper.map(key, value, ctx):
+                    buffered.append(pair)
         for pair in mapper.cleanup(ctx):
             buffered.append(pair)
     except BlockUnavailableError as exc:
         # The availability pre-check covers the split's own blocks,
         # but a record reader legitimately over-reads past the split
         # end (to finish its last line) and can hit a lost block
-        # mid-task.  Apply the same policy as for lost splits.
-        if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
-            raise JobFailedError(
-                f"map task {split.index} of {split.path} lost its "
-                f"input mid-read: {exc}") from exc
-        counters.increment(C.SKIPPED_SPLITS)
-        counters.increment(C.FAILED_TASKS)
-        return _MapTaskResult(partitions=[[] for _ in range(n_red)],
-                              partition_bytes=[0.0] * n_red,
-                              partition_records=[0.0] * n_red,
-                              duration=ledger.total_seconds,
-                              counters=counters, ledger=ledger,
-                              skipped=True)
+        # mid-task.  With retries left, hand the read back to the
+        # attempt wrapper (which refreshes the split cache and retries
+        # against surviving replicas); otherwise apply the job's
+        # unavailability policy — optionally salvaging the records the
+        # task already produced.
+        if args.policy is not None \
+                and args.attempt < args.policy.max_task_retries:
+            raise
+        if not track_salvage:
+            if conf.on_unavailable == ON_UNAVAILABLE_FAIL:
+                raise JobFailedError(
+                    f"map task {split.index} of {split.path} lost its "
+                    f"input mid-read: {exc}") from exc
+            counters.increment(C.SKIPPED_SPLITS)
+            counters.increment(C.FAILED_TASKS)
+            return _MapTaskResult(partitions=[[] for _ in range(n_red)],
+                                  partition_bytes=[0.0] * n_red,
+                                  partition_records=[0.0] * n_red,
+                                  duration=ledger.total_seconds,
+                                  counters=counters, ledger=ledger,
+                                  skipped=True)
+        # Degrade, don't die: keep the prefix read before the loss and
+        # account the unread tail of the split as lost input.
+        salvaged = True
+        if last_offset is None and counters.get(C.MAP_INPUT_RECORDS) == 0 \
+                and isinstance(args.source, FullScanSource):
+            # The scalar scan reads its whole range up front, so a lost
+            # tail block voided the entire read.  Re-scan just the
+            # surviving prefix — served by intact replicas — and push
+            # it through the mapper.
+            reader = LineRecordReader(fs, split, ledger=ledger,
+                                      cached=False)
+            try:
+                for key, value in reader.read_records_salvage():
+                    last_offset = int(key)
+                    counters.increment(C.MAP_INPUT_RECORDS)
+                    ledger.charge_cpu_records(record_scale,
+                                              conf.cpu_factor)
+                    for pair in mapper.map(key, value, ctx):
+                        buffered.append(pair)
+            except BlockUnavailableError:
+                pass  # availability changed underfoot; keep what we have
+        consumed = 0.0
+        if last_offset is not None and split.length > 0:
+            consumed = min(1.0, max(
+                0.0, (last_offset - split.start) / split.length))
+        lost_logical = (1.0 - consumed) * split.logical_length
+        counters.increment(C.SALVAGED_SPLITS)
+        for pair in mapper.cleanup(ctx):
+            buffered.append(pair)
     counters.increment(C.MAP_OUTPUT_RECORDS, len(buffered))
 
     if conf.combiner is not None and buffered:
@@ -484,7 +669,96 @@ def _execute_map_task(args: _MapTaskArgs) -> _MapTaskResult:
                           partition_bytes=partition_bytes,
                           partition_records=partition_records,
                           duration=ledger.total_seconds,
-                          counters=counters, ledger=ledger)
+                          counters=counters, ledger=ledger,
+                          lost_logical=lost_logical, salvaged=salvaged)
+
+
+def _run_map_task_attempts(args: _MapTaskArgs) -> _MapTaskResult:
+    """Fault-mode wrapper of :func:`_execute_map_task`: deterministic
+    retry with capped backoff, replica-refreshing read retries, and
+    slow-node duration scaling.
+
+    Only installed when a :class:`FaultPolicy` is enabled or a chaos
+    schedule slowed a node; with zero faults firing, the attempt-0 pass
+    through :func:`_execute_map_task` is byte-identical to the direct
+    call.
+    """
+    policy = args.policy
+    retries = policy.max_task_retries if policy is not None else 0
+    if retries == 0:
+        result = _execute_map_task(args)
+    else:
+        base_state = args.rng.bit_generator.state
+        wasted = args.ledger.spawn()
+        failures = 0
+        while True:
+            try:
+                result = _execute_map_task(args)
+                break
+            except (TaskFailedError, BlockUnavailableError) as exc:
+                failures += 1
+                wasted.merge(args.ledger)
+                if failures > retries:
+                    raise JobFailedError(
+                        f"map task {args.split.index} of "
+                        f"{args.split.path} failed after {failures} "
+                        f"attempts: {exc}") from exc
+                # Deterministic recovery: charge the capped backoff
+                # wait, replay the task's private RNG stream from its
+                # saved state, and charge the fresh attempt to a clean
+                # ledger (the wasted one is folded in at completion).
+                wasted.charge_backoff(policy.backoff(failures - 1))
+                args.rng.bit_generator.state = base_state
+                args.ledger = args.ledger.spawn()
+                args.attempt = failures
+                if isinstance(exc, BlockUnavailableError):
+                    # Stale cached indexes may reference lost replicas;
+                    # rebuild them from current availability so the
+                    # retry reads from surviving copies.
+                    cache = getattr(broadcast_value(args.fs),
+                                    "split_cache", None)
+                    if cache is not None:
+                        cache.invalidate(args.split.path)
+        if failures:
+            result.ledger.merge(wasted)
+            result.duration = result.ledger.total_seconds
+            result.counters.increment(C.TASK_RETRIES, failures)
+            result.counters.increment(C.FAILED_TASKS, failures)
+            result.failed_attempts = failures
+    if args.slow_factor > 1.0:
+        result.ledger.charge_cpu_seconds(
+            result.ledger.total_seconds * (args.slow_factor - 1.0))
+        result.duration = result.ledger.total_seconds
+    return result
+
+
+def _speculate(durations: List[float], policy: FaultPolicy,
+               ledger: CostLedger) -> Tuple[List[float], int]:
+    """Speculative execution over one wave's task durations.
+
+    Stragglers (duration above ``speculative_slowdown`` × the wave
+    median) get a charged duplicate attempt costing one task start-up
+    plus the median duration; the task finishes at whichever attempt is
+    earlier.  Deterministic — a pure function of the duration list.
+    """
+    if len(durations) < 2:
+        return durations, 0
+    median = float(np.median(durations))
+    if median <= 0.0:
+        return durations, 0
+    threshold = policy.speculative_slowdown * median
+    copy_cost = ledger.params.task_startup_seconds + median
+    out: List[float] = []
+    launched = 0
+    for duration in durations:
+        if duration > threshold and copy_cost < duration:
+            ledger.charge_task_startup()
+            ledger.charge_cpu_seconds(median)
+            out.append(copy_cost)
+            launched += 1
+        else:
+            out.append(duration)
+    return out, launched
 
 
 # ------------------------------------------------------------ reduce tasks
@@ -494,8 +768,7 @@ def _group_sort_key(group: Tuple[Hashable, List[Any]]) -> str:
     return repr(group[0])
 
 
-def _execute_reduce_task(args: _ReduceTaskArgs
-                         ) -> Tuple[List[KeyValue], float, Counters, CostLedger]:
+def _execute_reduce_task(args: _ReduceTaskArgs) -> _ReduceTaskResult:
     """Run one reduce task (module-level for the same reason as
     :func:`_execute_map_task`)."""
     conf = args.conf
@@ -510,7 +783,8 @@ def _execute_reduce_task(args: _ReduceTaskArgs
                       record_scale=args.record_scale,
                       cpu_factor=conf.cpu_factor,
                       config=dict(conf.params),
-                      task_id=f"reduce-{args.partition}")
+                      task_id=f"reduce-{args.partition}",
+                      attempt=args.attempt)
 
     # Group by key, then process groups in deterministic sorted order
     # (Hadoop sorts intermediate keys before reducing).  The key order
@@ -532,4 +806,45 @@ def _execute_reduce_task(args: _ReduceTaskArgs
     for out in reducer.cleanup(ctx):
         output.append(out)
     counters.increment(C.REDUCE_OUTPUT_RECORDS, len(output))
-    return output, ledger.total_seconds, counters, ledger
+    return _ReduceTaskResult(output=output, duration=ledger.total_seconds,
+                             counters=counters, ledger=ledger)
+
+
+def _run_reduce_task_attempts(args: _ReduceTaskArgs) -> _ReduceTaskResult:
+    """Fault-mode wrapper of :func:`_execute_reduce_task` (see
+    :func:`_run_map_task_attempts`; reduce tasks have no block reads, so
+    only :class:`TaskFailedError` is retryable)."""
+    policy = args.policy
+    retries = policy.max_task_retries if policy is not None else 0
+    if retries == 0:
+        result = _execute_reduce_task(args)
+    else:
+        base_state = args.rng.bit_generator.state
+        wasted = args.ledger.spawn()
+        failures = 0
+        while True:
+            try:
+                result = _execute_reduce_task(args)
+                break
+            except TaskFailedError as exc:
+                failures += 1
+                wasted.merge(args.ledger)
+                if failures > retries:
+                    raise JobFailedError(
+                        f"reduce task {args.partition} failed after "
+                        f"{failures} attempts: {exc}") from exc
+                wasted.charge_backoff(policy.backoff(failures - 1))
+                args.rng.bit_generator.state = base_state
+                args.ledger = args.ledger.spawn()
+                args.attempt = failures
+        if failures:
+            result.ledger.merge(wasted)
+            result.duration = result.ledger.total_seconds
+            result.counters.increment(C.TASK_RETRIES, failures)
+            result.counters.increment(C.FAILED_TASKS, failures)
+            result.failed_attempts = failures
+    if args.slow_factor > 1.0:
+        result.ledger.charge_cpu_seconds(
+            result.ledger.total_seconds * (args.slow_factor - 1.0))
+        result.duration = result.ledger.total_seconds
+    return result

@@ -45,6 +45,9 @@ class TaskContext:
     config:
         Read-only job-level parameters (e.g. the sample percentage ``p``
         that ``correct()`` needs).
+    attempt:
+        0-based attempt number of this task execution; stays 0 unless a
+        :class:`~repro.mapreduce.faults.FaultPolicy` retries the task.
     """
 
     ledger: CostLedger
@@ -54,6 +57,7 @@ class TaskContext:
     cpu_factor: float = 1.0
     config: Dict[str, Any] = field(default_factory=dict)
     task_id: Optional[str] = None
+    attempt: int = 0
 
 
 def estimate_pair_bytes(key: Any, value: Any) -> int:

@@ -46,8 +46,10 @@ from repro.service.protocol import (
     ERR_RESUME_GAP,
     ERR_UNKNOWN_OP,
     ERR_UNKNOWN_SESSION,
+    EVENT_DEGRADED,
     EVENT_ERROR,
     EVENT_FINAL,
+    EVENT_RETRY,
     EVENT_SNAPSHOT,
     EVENT_STATE,
     STATE_CANCELLED,
@@ -102,6 +104,8 @@ __all__ = [
     "EVENT_SNAPSHOT",
     "EVENT_FINAL",
     "EVENT_ERROR",
+    "EVENT_DEGRADED",
+    "EVENT_RETRY",
     "ERR_BAD_REQUEST",
     "ERR_BAD_SPEC",
     "ERR_INTERNAL",

@@ -132,29 +132,137 @@ class LocalClient(_BaseClient):
 
 
 class ServiceClient(_BaseClient):
-    """JSON-lines TCP client (one connection, sequential requests)."""
+    """JSON-lines TCP client (one connection, sequential requests).
+
+    Fault tolerance is opt-in and bounded: ``connect_timeout`` caps
+    connection establishment, ``read_timeout`` caps each round-trip
+    (stretched by the long-poll budget for ``wait=True`` polls), and
+    ``max_reconnects`` allows that many reconnect-and-resend attempts
+    per request.  Only idempotent ops are ever resent — a ``submit``
+    whose response was lost is *not* retried, because the server may
+    have created the session (the retry would double-submit); it
+    surfaces as ``connection-closed``/``timeout`` for the caller to
+    reconcile via ``stats``.
+    """
+
+    #: Ops safe to resend after a reconnect.  ``cancel`` is idempotent
+    #: (``already_terminal`` marks a repeat); ``submit`` is not.
+    _IDEMPOTENT_OPS = frozenset({"poll", "status", "stats", "cancel",
+                                 "ping"})
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
-        self._reader = reader
-        self._writer = writer
+                 writer: asyncio.StreamWriter, *,
+                 host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 connect_timeout: Optional[float] = None,
+                 read_timeout: Optional[float] = None,
+                 max_reconnects: int = 0) -> None:
+        self._reader: Optional[asyncio.StreamReader] = reader
+        self._writer: Optional[asyncio.StreamWriter] = writer
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._max_reconnects = max(0, int(max_reconnects))
         self._lock = asyncio.Lock()
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(
-            host, port, limit=_STREAM_LIMIT)
-        return cls(reader, writer)
+    async def connect(cls, host: str, port: int, *,
+                      connect_timeout: Optional[float] = None,
+                      read_timeout: Optional[float] = None,
+                      max_reconnects: int = 0) -> "ServiceClient":
+        reader, writer = await cls._open(host, port, connect_timeout)
+        return cls(reader, writer, host=host, port=port,
+                   connect_timeout=connect_timeout,
+                   read_timeout=read_timeout,
+                   max_reconnects=max_reconnects)
+
+    @staticmethod
+    async def _open(host: str, port: int,
+                    connect_timeout: Optional[float]):
+        coro = asyncio.open_connection(host, port, limit=_STREAM_LIMIT)
+        if connect_timeout is None:
+            return await coro
+        try:
+            return await asyncio.wait_for(coro, connect_timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                "timeout", f"connect to {host}:{port} timed out after "
+                f"{connect_timeout}s") from None
+
+    def _read_deadline(self, request: Mapping[str, Any]) -> Optional[float]:
+        """Per-request read budget; a long poll legitimately parks for
+        its own timeout, so that is added on top.  A long poll with no
+        explicit timeout relies on a server default this client cannot
+        know, so no deadline is enforced for it."""
+        if self._read_timeout is None:
+            return None
+        if request.get("op") == "poll" and request.get("wait"):
+            wait_budget = request.get("timeout")
+            if wait_budget is None:
+                return None
+            return self._read_timeout + float(wait_budget)
+        return self._read_timeout
+
+    async def _exchange(self, request: Mapping[str, Any],
+                        deadline: Optional[float]) -> bytes:
+        assert self._reader is not None and self._writer is not None
+        payload = canonical_json(request).encode("utf-8") + b"\n"
+
+        async def roundtrip() -> bytes:
+            self._writer.write(payload)
+            await self._writer.drain()
+            return await self._reader.readline()
+
+        if deadline is None:
+            return await roundtrip()
+        return await asyncio.wait_for(roundtrip(), deadline)
+
+    async def _abandon_connection(self) -> None:
+        """Drop a connection whose framing can no longer be trusted
+        (a timed-out response may still arrive and desync the stream)."""
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is None:
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
 
     async def _request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        retriable = (op in self._IDEMPOTENT_OPS and self._host is not None)
+        attempts_left = self._max_reconnects if retriable else 0
+        deadline = self._read_deadline(request)
         async with self._lock:   # one in-flight request per connection
-            self._writer.write(canonical_json(request).encode("utf-8")
-                               + b"\n")
-            await self._writer.drain()
-            line = await self._reader.readline()
-        if not line:
-            raise ServiceError("connection-closed",
-                               "server closed the connection")
+            while True:
+                failure: ServiceError
+                try:
+                    if self._reader is None:
+                        assert self._host is not None \
+                            and self._port is not None
+                        self._reader, self._writer = await self._open(
+                            self._host, self._port, self._connect_timeout)
+                    line = await self._exchange(request, deadline)
+                    if line:
+                        break
+                    failure = ServiceError("connection-closed",
+                                           "server closed the connection")
+                except asyncio.TimeoutError:
+                    failure = ServiceError(
+                        "timeout", f"no response to {op!r} within "
+                        f"{deadline}s")
+                except ServiceError as exc:   # connect timeout
+                    failure = exc
+                except (ConnectionResetError, BrokenPipeError,
+                        OSError) as exc:
+                    failure = ServiceError("connection-closed",
+                                           f"connection failed: {exc}")
+                await self._abandon_connection()
+                if attempts_left <= 0:
+                    raise failure
+                attempts_left -= 1
         response = json.loads(line)
         if not response.get("ok"):
             raise ServiceError(response.get("error", "internal"),
@@ -162,6 +270,8 @@ class ServiceClient(_BaseClient):
         return response
 
     async def close(self) -> None:
+        if self._writer is None:
+            return
         self._writer.close()
         try:
             await self._writer.wait_closed()

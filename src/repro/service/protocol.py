@@ -59,6 +59,12 @@ EVENT_STATE = "state"        #: lifecycle transition; payload {"state": ...}
 EVENT_SNAPSHOT = "snapshot"  #: a progressive (non-final) engine snapshot
 EVENT_FINAL = "final"        #: the engine's final snapshot
 EVENT_ERROR = "error"        #: engine failure; payload {"message": ...}
+#: §3.4 degraded-mode transition: the engine lost sample rows and
+#: re-planned around the survivors; payload {"lost_fraction": ...}.
+EVENT_DEGRADED = "degraded"
+#: A transient engine failure is being retried;
+#: payload {"attempt": k, "max_attempts": n, "error": ...}.
+EVENT_RETRY = "retry"
 
 # -------------------------------------------------------------- error codes
 
@@ -145,6 +151,9 @@ class StatisticSpec:
     error_metric: Optional[str] = None
     B: Optional[int] = None
     n: Optional[int] = None
+    #: Wall-clock budget: past it the service finalizes the session
+    #: with the best bounds seen so far instead of sampling on.
+    deadline_seconds: Optional[float] = None
 
     kind = "statistic"
 
@@ -159,6 +168,7 @@ class QuerySpec:
     group_by: Optional[str] = None
     where: Optional[Tuple[str, str, Any]] = None
     sigma: Optional[float] = None
+    deadline_seconds: Optional[float] = None
 
     kind = "query"
 
@@ -173,6 +183,7 @@ class JobSpec:
     statistic: str = "mean"
     sigma: Optional[float] = None
     on_unavailable: Optional[str] = None
+    deadline_seconds: Optional[float] = None
 
     kind = "job"
 
@@ -197,6 +208,23 @@ def _optional_sigma(raw: Mapping[str, Any]) -> Optional[float]:
         raise ServiceError(ERR_BAD_SPEC,
                            f"sigma must be in (0, 1], got {sigma}")
     return sigma
+
+
+def _optional_deadline(raw: Mapping[str, Any]) -> Optional[float]:
+    deadline = raw.get("deadline_seconds")
+    if deadline is None:
+        return None
+    try:
+        deadline = float(deadline)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            ERR_BAD_SPEC, "deadline_seconds must be a number") from None
+    if not deadline > 0.0 or deadline != deadline or deadline == float("inf"):
+        raise ServiceError(
+            ERR_BAD_SPEC,
+            f"deadline_seconds must be a positive finite number, "
+            f"got {deadline}")
+    return deadline
 
 
 def _validated_statistic(name: str) -> str:
@@ -264,7 +292,8 @@ def parse_spec(raw: Any) -> SpecLike:
             sigma=_optional_sigma(raw),
             error_metric=raw.get("error_metric"),
             B=None if B is None else int(B),
-            n=None if n is None else int(n))
+            n=None if n is None else int(n),
+            deadline_seconds=_optional_deadline(raw))
     if kind == QuerySpec.kind:
         group_by = raw.get("group_by")
         if group_by is not None and not isinstance(group_by, str):
@@ -274,7 +303,8 @@ def parse_spec(raw: Any) -> SpecLike:
             select=_parse_select(raw.get("select")),
             group_by=group_by,
             where=_parse_where(raw.get("where")),
-            sigma=_optional_sigma(raw))
+            sigma=_optional_sigma(raw),
+            deadline_seconds=_optional_deadline(raw))
     if kind == JobSpec.kind:
         statistic = raw.get("statistic", "mean")
         if not isinstance(statistic, str):
@@ -284,7 +314,8 @@ def parse_spec(raw: Any) -> SpecLike:
             path=_require_str(raw, "path"),
             statistic=_validated_statistic(statistic),
             sigma=_optional_sigma(raw),
-            on_unavailable=raw.get("on_unavailable"))
+            on_unavailable=raw.get("on_unavailable"),
+            deadline_seconds=_optional_deadline(raw))
     raise ServiceError(
         ERR_BAD_SPEC,
         f"unknown spec kind {kind!r}; known: "

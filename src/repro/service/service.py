@@ -68,8 +68,10 @@ from repro.service.protocol import (
     ERR_INTERNAL,
     ERR_UNKNOWN_OP,
     ERR_UNKNOWN_SESSION,
+    EVENT_DEGRADED,
     EVENT_ERROR,
     EVENT_FINAL,
+    EVENT_RETRY,
     EVENT_SNAPSHOT,
     EVENT_STATE,
     STATE_CANCELLED,
@@ -110,8 +112,15 @@ class ApproxQueryService:
         ``ttl_seconds`` is cancelled into EXPIRED; terminal sessions
         are dropped from the store ``linger_seconds`` after their last
         client touch.
+    engine_retries / retry_backoff:
+        Fault tolerance for cluster-backed job sessions: a stream that
+        raises is retried up to ``engine_retries`` times (fresh engine,
+        same seed) with capped exponential backoff starting at
+        ``retry_backoff`` seconds, emitting a ``retry`` event per
+        attempt, before the session fails.  The default of zero
+        retries preserves fail-fast semantics.
     clock:
-        Monotonic clock (injectable for TTL tests).
+        Monotonic clock (injectable for TTL and deadline tests).
     """
 
     def __init__(self, *, config: Optional[EarlConfig] = None,
@@ -124,6 +133,8 @@ class ApproxQueryService:
                  linger_seconds: float = 300.0,
                  sweep_interval: float = 1.0,
                  default_poll_timeout: float = 10.0,
+                 engine_retries: int = 0,
+                 retry_backoff: float = 0.05,
                  clock=time.monotonic) -> None:
         self._config = config or EarlConfig()
         self._store = store or InMemorySessionStore()
@@ -135,6 +146,8 @@ class ApproxQueryService:
         self._linger_seconds = linger_seconds
         self._sweep_interval = sweep_interval
         self._default_poll_timeout = default_poll_timeout
+        self._engine_retries = max(0, int(engine_retries))
+        self._retry_backoff = max(0.0, float(retry_backoff))
         self._clock = clock
         self._datasets: Dict[str, np.ndarray] = {}
         self._tables: Dict[str, Mapping[str, Any]] = {}
@@ -397,14 +410,20 @@ class ApproxQueryService:
         kwargs: Dict[str, Any] = {}
         if spec.on_unavailable is not None:
             kwargs["on_unavailable"] = spec.on_unavailable
-        job = EarlJob(self._clusters[spec.cluster], spec.path,
-                      statistic=spec.statistic,
-                      config=self._session_config(rec), **kwargs)
+        cluster = self._clusters[spec.cluster]
+        config = self._session_config(rec)
+
+        def make_stream() -> Any:
+            # A fresh engine per attempt: retries after a transient
+            # cluster failure replay with the same seed and config.
+            return EarlJob(cluster, spec.path, statistic=spec.statistic,
+                           config=config, **kwargs).stream()
+
         await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
         await self._mark_running(rec)
         self._spawn_runner(f"svc-job-{rec.session_id}",
-                           self._drive_stream, job.stream(), rec,
-                           grouped=False)
+                           self._drive_stream, make_stream(), rec,
+                           grouped=False, restart=make_stream)
         return rec
 
     # ---------------------------------------------------- window dispatch
@@ -507,20 +526,12 @@ class ApproxQueryService:
                     if rec.cancel_flag.is_set():
                         handle.cancel()
                         continue
-                    if isinstance(snap, GroupedSnapshot):
-                        payload = snap.to_dict(updated_only=not snap.final)
-                    else:
-                        payload = snap.to_dict()
-                    seq = self._append_from_thread(
-                        rec, EVENT_FINAL if snap.final else EVENT_SNAPSHOT,
-                        payload)
-                    if seq is None:      # sealed (cancelled/expired)
+                    outcome = self._publish_snapshot(
+                        rec, snap, grouped=isinstance(snap, GroupedSnapshot))
+                    if outcome is None:  # sealed (cancelled/expired)
                         handle.cancel()
-                        continue
-                    if not isinstance(snap, GroupedSnapshot):
-                        rec.cost_seconds = snap.cost_total_seconds
-                    if snap.final:
-                        self._from_thread(self._terminate(rec, STATE_DONE))
+                    elif outcome and not snap.final:
+                        handle.cancel()  # deadline finalized mid-run
             finally:
                 gen.close()
         except BaseException as exc:  # noqa: BLE001 - must not die silently
@@ -530,31 +541,98 @@ class ApproxQueryService:
                     self._from_thread(self._fail(rec, message))
 
     def _drive_stream(self, gen: Any, rec: SessionRecord, *,
-                      grouped: bool) -> None:
-        """Drive one grouped/cluster engine; runs in a dedicated thread."""
-        try:
+                      grouped: bool, restart=None) -> None:
+        """Drive one grouped/cluster engine; runs in a dedicated thread.
+
+        ``restart`` (a zero-arg factory returning a fresh stream) opts
+        the session into transient-failure retries: up to
+        ``engine_retries`` attempts with capped exponential backoff, a
+        ``retry`` event per attempt, then a terminal failure.
+        """
+        attempts = 0
+        while True:
             try:
-                for snap in gen:
-                    if rec.cancel_flag.is_set():
-                        break
-                    if grouped:
-                        payload = snap.to_dict(updated_only=not snap.final)
-                    else:
-                        payload = snap.to_dict()
-                        rec.cost_seconds = snap.cost_total_seconds
-                    seq = self._append_from_thread(
-                        rec, EVENT_FINAL if snap.final else EVENT_SNAPSHOT,
-                        payload)
-                    if seq is None:
-                        break
-                    if snap.final:
-                        self._from_thread(self._terminate(rec, STATE_DONE))
-            finally:
-                gen.close()   # only the driving thread may close it
-        except BaseException as exc:  # noqa: BLE001 - surface, don't hang
-            if not rec.terminal:
-                self._from_thread(
-                    self._fail(rec, f"{type(exc).__name__}: {exc}"))
+                try:
+                    for snap in gen:
+                        if rec.cancel_flag.is_set():
+                            break
+                        outcome = self._publish_snapshot(rec, snap,
+                                                         grouped=grouped)
+                        if outcome is None:
+                            break
+                        if outcome and not snap.final:
+                            break   # deadline finalized; stop sampling
+                finally:
+                    gen.close()   # only the driving thread may close it
+                return
+            except BaseException as exc:  # noqa: BLE001 - surface, don't hang
+                message = f"{type(exc).__name__}: {exc}"
+                if (restart is None or rec.terminal
+                        or rec.cancel_flag.is_set()
+                        or attempts >= self._engine_retries):
+                    if not rec.terminal:
+                        self._from_thread(self._fail(rec, message))
+                    return
+                attempts += 1
+                rec.retries = attempts
+                seq = self._append_from_thread(rec, EVENT_RETRY, {
+                    "attempt": attempts,
+                    "max_attempts": self._engine_retries,
+                    "error": message})
+                if seq is None:
+                    return   # sealed while we were failing
+                time.sleep(min(self._retry_backoff * (2 ** (attempts - 1)),
+                               2.0))
+                try:
+                    gen = restart()
+                except BaseException as exc2:  # noqa: BLE001
+                    if not rec.terminal:
+                        self._from_thread(self._fail(
+                            rec, f"{type(exc2).__name__}: {exc2}"))
+                    return
+
+    def _publish_snapshot(self, rec: SessionRecord, snap: Any, *,
+                          grouped: bool) -> Optional[bool]:
+        """Append one engine snapshot with fault-tolerance bookkeeping.
+
+        Emits the one-shot ``degraded`` event when the engine first
+        reports sample loss, and finalizes with the best-so-far answer
+        when the session's deadline has passed.  Returns ``None`` when
+        the log is sealed, ``True`` when the event terminated the
+        session (engine-final or deadline), ``False`` otherwise.
+        """
+        expired = (rec.deadline_at is not None
+                   and self._clock() >= rec.deadline_at)
+        final = bool(snap.final or expired)
+        if grouped:
+            payload = snap.to_dict(updated_only=not final)
+        else:
+            payload = snap.to_dict()
+        if expired and not snap.final:
+            payload = dict(payload)
+            payload["final"] = True
+            payload["deadline_exceeded"] = True
+        # Book the snapshot before the (backpressure-blocking) append: a
+        # client that consumed event k must observe a ledger at least at
+        # k's running total, even if it cancels while the producer is
+        # still parked in the next append.
+        rec.last_snapshot = payload
+        if not grouped:
+            rec.cost_seconds = snap.cost_total_seconds
+        if payload.get("degraded") and not rec.degraded_flagged:
+            rec.degraded_flagged = True
+            if self._append_from_thread(
+                    rec, EVENT_DEGRADED,
+                    {"lost_fraction":
+                     float(payload.get("lost_fraction", 0.0))}) is None:
+                return None
+        seq = self._append_from_thread(
+            rec, EVENT_FINAL if final else EVENT_SNAPSHOT, payload)
+        if seq is None:
+            return None
+        if final:
+            self._from_thread(self._terminate(rec, STATE_DONE))
+        return final
 
     def _append_from_thread(self, rec: SessionRecord, event_type: str,
                             payload: Mapping[str, Any]) -> Optional[int]:
@@ -577,6 +655,9 @@ class ApproxQueryService:
     # ------------------------------------------------------- state machine
     async def _mark_running(self, rec: SessionRecord) -> None:
         rec.state = STATE_RUNNING
+        deadline = getattr(rec.spec, "deadline_seconds", None)
+        if deadline is not None:
+            rec.deadline_at = self._clock() + deadline
         await rec.log.append(EVENT_STATE, {"state": STATE_RUNNING})
 
     async def _terminate(self, rec: SessionRecord, state: str,
@@ -625,13 +706,21 @@ class ApproxQueryService:
 
     async def sweep(self) -> None:
         """One TTL pass (public so tests can trigger it with a fake
-        clock): idle live sessions expire; old terminal records drop."""
+        clock): sessions past their deadline finalize with the best
+        answer so far; idle live sessions expire; old terminal records
+        drop."""
         now = self._clock()
         for rec in self._store.records():
             idle = now - rec.last_activity
             if rec.terminal:
                 if idle >= self._linger_seconds:
                     self._store.remove(rec.session_id)
+            elif rec.deadline_at is not None and now >= rec.deadline_at:
+                # The runner also checks per snapshot; the sweeper
+                # catches engines stalled between rounds.
+                rec.cancel_flag.set()
+                self._engine_cancel(rec)
+                await self._finalize_deadline(rec)
             elif idle >= self._ttl_seconds:
                 rec.cancel_flag.set()
                 self._engine_cancel(rec)
@@ -639,3 +728,19 @@ class ApproxQueryService:
                     rec, STATE_EXPIRED,
                     error=f"idle for {idle:.1f}s (ttl "
                           f"{self._ttl_seconds:.1f}s)")
+
+    async def _finalize_deadline(self, rec: SessionRecord) -> None:
+        """Deadline breach: seal with the best-so-far answer (§3.4
+        degrade-don't-die — a late answer with valid bounds beats no
+        answer), or fail honestly if no snapshot ever arrived."""
+        if rec.terminal:
+            return
+        if rec.last_snapshot is not None:
+            payload = dict(rec.last_snapshot)
+            payload["final"] = True
+            payload["deadline_exceeded"] = True
+            await rec.log.append(EVENT_FINAL, payload, force=True)
+            await self._terminate(rec, STATE_DONE)
+        else:
+            await self._fail(
+                rec, "deadline exceeded before the first snapshot")

@@ -56,6 +56,17 @@ class SessionRecord:
     #: ``cost_total_seconds``); frozen by cancellation.
     cost_seconds: float = 0.0
     error: Optional[str] = None
+    #: Absolute clock value the spec's ``deadline_seconds`` expires at
+    #: (set when the session starts running); past it the service
+    #: finalizes with the best bounds seen so far.
+    deadline_at: Optional[float] = None
+    #: Payload of the most recent snapshot event — the "best so far"
+    #: answer a deadline breach finalizes with.
+    last_snapshot: Optional[Dict[str, Any]] = None
+    #: Whether the one-shot ``degraded`` event was already emitted.
+    degraded_flagged: bool = False
+    #: Transient engine failures retried so far (job sessions).
+    retries: int = 0
 
     @property
     def terminal(self) -> bool:

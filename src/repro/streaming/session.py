@@ -169,6 +169,14 @@ class SessionManager:
         self._bound = 0
         self._round = 0
         self._rounds_allowed = 0
+        # §3.4 degraded-mode state: pending loss reports, applied at the
+        # next round boundary, and the resulting accounting.
+        self._pending_loss: List[Tuple[float, Optional[Any]]] = []
+        self._rng: Optional[np.random.Generator] = None
+        self._loss_rng: Optional[np.random.Generator] = None
+        self._original_bound = 0
+        self.degraded = False
+        self.lost_fraction = 0.0
 
     @classmethod
     def from_hdfs(cls, fs, path: str, *,
@@ -230,6 +238,26 @@ class SessionManager:
         self._cancelled = True
         for query in self._queries:
             query.cancel()
+
+    def report_loss(self, fraction: float, *, seed: Optional[Any] = None
+                    ) -> None:
+        """Report that roughly ``fraction`` of the shared sample's rows
+        were lost to a failure (a node died holding part of the sample).
+
+        Applied at the next round boundary (§3.4 degrade-don't-die):
+        each in-memory sample row independently survives with
+        probability ``1 - fraction``, every live query's resample set is
+        rebuilt from the survivors (bounds widen accordingly), and the
+        expansion loop keeps running over what remains.  Queries that
+        already terminated keep their results — those stood on data that
+        was alive when computed.  Safe to call from any thread while
+        another drives :meth:`stream`.  ``seed`` pins the loss pattern;
+        by default it derives deterministically from the session seed.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(
+                f"loss fraction must be in (0, 1), got {fraction}")
+        self._pending_loss.append((float(fraction), seed))
 
     def submit(self, statistic: StatisticLike, *,
                sigma: Optional[float] = None,
@@ -320,6 +348,7 @@ class SessionManager:
         data = self._data
         N = self._N
         rng = ensure_rng(cfg.seed)
+        self._rng = rng  # held for lazily-derived loss randomness
         order = rng.permutation(N)  # the ONE shared sample
         self._executor = executor = resolve_executor(cfg)
         events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
@@ -388,6 +417,7 @@ class SessionManager:
                     bound = min(N, math.ceil(bound * cfg.expansion_factor))
                 self._shared = executor.broadcast(data[order[:bound]])
                 self._bound = bound
+                self._original_bound = bound
             self._active = active
             self._consumed = 0
             self._round = 0
@@ -475,11 +505,18 @@ class SessionManager:
         self._active = active = [q for q in self._active if not q.cancelled]
         if not active or self._round >= self._rounds_allowed:
             return []
+        if self._pending_loss:
+            self._apply_losses(active)
         target = self._next_target()
         if budget is not None and self._consumed > 0:
             target = min(target, self._consumed + max(int(budget), 0))
         target = min(target, self._bound)
         if target <= self._consumed:
+            if self.degraded and self._consumed >= self._bound:
+                # The loss left no unconsumed survivors: no round can
+                # make progress, so finalize with best-so-far bounds
+                # instead of spinning (degrade, don't die).
+                return self.finalize()
             return []
         self._round += 1
         lo, self._consumed = self._consumed, target
@@ -489,8 +526,12 @@ class SessionManager:
         events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
         still_active: List[QueryHandle] = []
         for query, estimate in zip(active, estimates):
+            # A degraded session can only reach its surviving rows; a
+            # clean one stops at the population (the broadcast bound is
+            # never binding there — it equals the schedule's max reach).
+            reachable = min(N, self._bound) if self.degraded else N
             expand = (not estimate.meets(query.sigma)
-                      and consumed < N
+                      and consumed < reachable
                       and self._round < self._rounds_allowed)
             query.iterations.append(IterationRecord(
                 iteration=self._round, sample_size=consumed,
@@ -549,6 +590,51 @@ class SessionManager:
         return {query.name: query.result for query in self._queries}
 
     # --------------------------------------------------------------- helpers
+    def _apply_losses(self, active: List[QueryHandle]) -> None:
+        """Drop the reported losses from the shared sample and rebuild
+        the live queries' resample sets from the survivors (§3.4).
+
+        Each pending event keeps every in-memory sample row
+        independently with probability ``1 - fraction``; the surviving
+        rows are re-broadcast, every active query gets a fresh
+        delta-maintained stage (seeded from a lazily-spawned loss
+        stream, so clean runs draw nothing extra), and the surviving
+        consumed prefix is re-offered so the next round extends a
+        consistent resample state.  At least one row always survives.
+        """
+        events, self._pending_loss = self._pending_loss, []
+        if self._shared is None or self._bound == 0:
+            return
+        if self._loss_rng is None:
+            assert self._rng is not None
+            self._loss_rng = spawn_child(self._rng, 1)[0]
+        keep = np.ones(self._bound, dtype=bool)
+        for fraction, seed in events:
+            event_rng = (ensure_rng(seed) if seed is not None
+                         else self._loss_rng)
+            keep &= event_rng.random(self._bound) >= fraction
+        if keep.all():
+            return  # the failure missed every sample row: not degraded
+        if not keep.any():
+            keep[0] = True  # never lose the whole sample
+        assert self._executor is not None
+        survivors = self._shared.value[keep]
+        old, self._shared = self._shared, self._executor.broadcast(survivors)
+        self._executor.release(old)
+        self._consumed = int(np.count_nonzero(keep[:self._consumed]))
+        self._bound = len(survivors)
+        self.degraded = True
+        self.lost_fraction = 1.0 - self._bound / self._original_bound
+        cfg = self._config
+        streams = spawn_child(self._loss_rng, len(active))
+        for query, stage_rng in zip(active, streams):
+            query.stage = make_estimation_stage(
+                query.statistic, query.B,
+                replace(cfg, error_metric=query.error_metric),
+                seed=stage_rng, executor=None)
+            if self._consumed:
+                query.stage.offer(self._shared.value[:self._consumed])
+
     def _offer_round(self, executor: Executor, active: List[QueryHandle],
                      shared: BroadcastHandle, lo: int,
                      hi: int) -> List[AccuracyEstimate]:
@@ -588,7 +674,8 @@ class SessionManager:
             achieved=accuracy.meets(query.sigma), final=final,
             statistic=query.statistic.name,
             cost_delta_seconds=0.0, cost_total_seconds=0.0,
-            accuracy=accuracy, result=result)
+            accuracy=accuracy, result=result,
+            degraded=self.degraded, lost_fraction=self.lost_fraction)
 
     def _query_result(self, query: QueryHandle,
                       accuracy: AccuracyEstimate, consumed: int,
@@ -605,4 +692,5 @@ class SessionManager:
             population_size=N, sample_fraction=p,
             used_fallback=False, simulated_seconds=0.0,
             iterations=list(query.iterations),
-            ssabe=query.ssabe, accuracy=accuracy)
+            ssabe=query.ssabe, accuracy=accuracy,
+            degraded=self.degraded, lost_fraction=self.lost_fraction)

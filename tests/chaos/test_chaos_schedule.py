@@ -1,0 +1,178 @@
+"""Chaos building blocks: seeded schedules, the deterministic
+:class:`FlakyMapper` decorator, and :class:`FailureInjector`
+reproducibility — the same seed must replay the same faults."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    KIND_KILL_NODES,
+    KIND_LOSS,
+    KIND_SLOW_NODE,
+    ChaosEvent,
+    ChaosSchedule,
+    FlakyMapper,
+)
+from repro.cluster import Cluster, FailureInjector
+from repro.mapreduce import (
+    FaultPolicy,
+    JobClient,
+    JobConf,
+    Mapper,
+    MeanReducer,
+    ProjectionMapper,
+    TaskFailedError,
+)
+from repro.mapreduce import counters as C
+
+GEN = dict(rounds=12, loss_rate=0.4, kill_rate=0.3, slow_rate=0.2)
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        assert (ChaosSchedule.generate(11, **GEN)
+                == ChaosSchedule.generate(11, **GEN))
+
+    def test_different_seeds_differ(self):
+        assert (ChaosSchedule.generate(1, **GEN)
+                != ChaosSchedule.generate(2, **GEN))
+
+    def test_round_trips_through_json(self):
+        sched = ChaosSchedule.generate(5, keys=("a", "b"), **GEN)
+        doc = json.loads(json.dumps(sched.to_dict()))
+        assert ChaosSchedule.from_dict(doc) == sched
+
+    def test_none_is_empty_and_falsy(self):
+        assert not ChaosSchedule.none()
+        assert len(ChaosSchedule.none()) == 0
+        assert ChaosSchedule.none().events_at(0) == ()
+
+    def test_events_pinned_to_their_rounds(self):
+        sched = ChaosSchedule.generate(3, rounds=6, loss_rate=1.0)
+        assert len(sched) == 6
+        for at in range(6):
+            events = sched.events_at(at)
+            assert len(events) == 1 and events[0].at == at
+        assert sched.events_at(6) == ()
+
+    @pytest.mark.parametrize("bad", [
+        dict(rounds=-1),
+        dict(rounds=3, loss_rate=1.5),
+        dict(rounds=3, kill_rate=-0.1),
+        dict(rounds=3, max_fraction=0.0),
+    ])
+    def test_generate_rejects_bad_arguments(self, bad):
+        with pytest.raises(ValueError):
+            ChaosSchedule.generate(0, **{"rounds": 3, **bad})
+
+    @pytest.mark.parametrize("bad", [
+        dict(at=-1, kind=KIND_LOSS, fraction=0.5),
+        dict(at=0, kind="meteor-strike"),
+        dict(at=0, kind=KIND_LOSS, fraction=0.0),
+        dict(at=0, kind=KIND_KILL_NODES, fraction=1.5),
+        dict(at=0, kind=KIND_SLOW_NODE, factor=0.5),
+    ])
+    def test_event_validation(self, bad):
+        with pytest.raises(ValueError):
+            ChaosEvent(**bad)
+
+
+@pytest.fixture
+def loaded_cluster():
+    cluster = Cluster(n_nodes=5, block_size=2048, replication=2, seed=3)
+    values = np.random.default_rng(4).normal(50.0, 5.0, 3000)
+    cluster.hdfs.write_lines("/in", [f"{v:.6f}" for v in values])
+    return cluster
+
+
+def mean_conf(mapper, policy=None):
+    return JobConf(name="mean", input_path="/in", mapper=mapper,
+                   reducer=MeanReducer(), seed=1, fault_policy=policy)
+
+
+class TestFlakyMapper:
+    def test_budgets_are_a_pure_function_of_seed(self):
+        a = FlakyMapper(ProjectionMapper(), rate=0.3, seed=7)
+        b = FlakyMapper(ProjectionMapper(), rate=0.3, seed=7)
+        budgets = [a.budget(i) for i in range(64)]
+        assert budgets == [b.budget(i) for i in range(64)]
+        assert any(budgets)          # some tasks are flaky...
+        assert not all(budgets)      # ...and some are not
+        other = FlakyMapper(ProjectionMapper(), rate=0.3, seed=8)
+        assert budgets != [other.budget(i) for i in range(64)]
+
+    def test_explicit_budgets_override_the_coin(self):
+        flaky = FlakyMapper(ProjectionMapper(), rate=1.0,
+                            extra_attempts=5, fail_attempts={3: 0},
+                            seed=0)
+        assert flaky.budget(3) == 0
+        assert flaky.budget(4) == 5
+
+    def test_parallel_safety_inherited_from_inner(self):
+        assert FlakyMapper(ProjectionMapper()).parallel_safe is True
+        assert FlakyMapper(Mapper()).parallel_safe is False
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FlakyMapper(ProjectionMapper(), rate=1.2)
+        with pytest.raises(ValueError):
+            FlakyMapper(ProjectionMapper(), extra_attempts=0)
+
+    def test_zero_rate_is_transparent(self, loaded_cluster):
+        clean = JobClient(loaded_cluster).run(
+            mean_conf(ProjectionMapper()))
+        wrapped = JobClient(loaded_cluster).run(
+            mean_conf(FlakyMapper(ProjectionMapper(), rate=0.0)))
+        assert wrapped.output == clean.output
+        assert wrapped.simulated_seconds == clean.simulated_seconds
+
+    def test_flaky_job_recovers_under_a_fault_policy(self, loaded_cluster):
+        clean = JobClient(loaded_cluster).run(
+            mean_conf(ProjectionMapper()))
+        flaky = FlakyMapper(ProjectionMapper(), rate=0.5, seed=11)
+        result = JobClient(loaded_cluster).run(
+            mean_conf(flaky, FaultPolicy(max_task_retries=2)))
+        assert result.output == clean.output
+        assert result.counters[C.TASK_RETRIES] > 0
+
+    def test_without_a_policy_injected_faults_propagate(
+            self, loaded_cluster):
+        flaky = FlakyMapper(ProjectionMapper(), fail_attempts={0: 1})
+        with pytest.raises(TaskFailedError, match="chaos"):
+            JobClient(loaded_cluster).run(mean_conf(flaky))
+
+    def test_faulted_job_is_deterministic(self, loaded_cluster):
+        def run():
+            flaky = FlakyMapper(ProjectionMapper(), rate=0.5, seed=11)
+            r = JobClient(loaded_cluster).run(
+                mean_conf(flaky, FaultPolicy(max_task_retries=2)))
+            return r.output, r.simulated_seconds, r.counters.as_dict()
+
+        assert run() == run()
+
+
+class TestFailureInjectorDeterminism:
+    @staticmethod
+    def twin():
+        return Cluster(n_nodes=10, seed=5)
+
+    def test_same_seed_fails_the_same_nodes(self):
+        a, b = self.twin(), self.twin()
+        failed_a = FailureInjector(a, seed=13).fail_random_nodes(3)
+        failed_b = FailureInjector(b, seed=13).fail_random_nodes(3)
+        assert failed_a == failed_b
+        assert ([n.node_id for n in a.healthy_nodes]
+                == [n.node_id for n in b.healthy_nodes])
+
+    def test_fraction_failures_are_deterministic(self):
+        a, b = self.twin(), self.twin()
+        assert (FailureInjector(a, seed=2).fail_random_fraction(0.4)
+                == FailureInjector(b, seed=2).fail_random_fraction(0.4))
+
+    def test_different_seeds_pick_different_victims(self):
+        picks = {tuple(FailureInjector(self.twin(),
+                                       seed=s).fail_random_nodes(3))
+                 for s in range(8)}
+        assert len(picks) > 1

@@ -1,0 +1,204 @@
+"""ServiceClient socket fault tolerance: connect/read timeouts and the
+bounded reconnect-and-resend loop (idempotent ops only — a ``submit``
+whose response was lost is never resent)."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.service import (
+    ApproxQueryService,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import canonical_json
+
+
+class FlakyFrontend:
+    """TCP front end over ``service.handle`` that can drop connections.
+
+    ``drop_first`` connections are closed as soon as a request line
+    arrives (the response is lost — the worst case for a client,
+    because the server may have acted on the request); ``silent_first``
+    connections read requests and never answer (read-timeout case).
+    Connections after the faulty ones serve normally.
+    """
+
+    def __init__(self, service, *, drop_first=0, silent_first=0):
+        self._service = service
+        self.drop_first = drop_first
+        self.silent_first = silent_first
+        self.connections = 0
+        self.requests_seen = []
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.address = (host, port)
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        self.connections += 1
+        conn = self.connections
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                request = json.loads(line)
+                self.requests_seen.append((conn, request.get("op")))
+                if conn <= self.drop_first:
+                    return   # drop mid-request: response lost
+                if conn <= self.drop_first + self.silent_first:
+                    await asyncio.sleep(3600)   # read-timeout case
+                response = await self._service.handle(request)
+                writer.write(canonical_json(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+async def make_service():
+    service = ApproxQueryService(config=EarlConfig(sigma=0.1), seed=0)
+    service.register_dataset(
+        "d", np.random.default_rng(0).lognormal(3.0, 1.0, 50_000))
+    await service.start()
+    return service
+
+
+def run(coro, timeout=30.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestReadTimeout:
+    def test_silent_server_times_out_instead_of_hanging(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service, silent_first=1) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, read_timeout=0.2)
+                    with pytest.raises(ServiceError) as err:
+                        await client.ping()
+                    await client.close()
+                    return err.value.code, fe.connections
+            finally:
+                await service.stop()
+
+        code, connections = run(scenario())
+        assert code == "timeout"
+        assert connections == 1   # no reconnect budget, no retry
+
+    def test_reconnect_budget_is_bounded(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service, silent_first=10) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, read_timeout=0.2, max_reconnects=2)
+                    with pytest.raises(ServiceError) as err:
+                        await client.ping()
+                    await client.close()
+                    return err.value.code, fe.connections
+            finally:
+                await service.stop()
+
+        code, connections = run(scenario())
+        assert code == "timeout"
+        assert connections == 3   # the original attempt + 2 reconnects
+
+    def test_long_poll_budget_added_to_read_timeout(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, read_timeout=0.5)
+                    sid = await client.submit(
+                        {"kind": "statistic", "dataset": "d",
+                         "statistic": "mean"})
+                    events = await client.drain(sid, poll_timeout=1.0)
+                    await client.close()
+                    return events
+            finally:
+                await service.stop()
+
+        events = run(scenario())
+        # Long polls park for their own wait budget without tripping
+        # the per-roundtrip read timeout; the session still completes.
+        assert any(e.type == "final" for e in events)
+
+
+class TestReconnect:
+    def test_idempotent_op_resent_after_connection_drop(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service, drop_first=1) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, max_reconnects=2)
+                    pong = await client.ping()
+                    await client.close()
+                    return pong, fe.requests_seen
+            finally:
+                await service.stop()
+
+        pong, seen = run(scenario())
+        assert pong is True
+        # The ping was resent on a fresh connection after the drop.
+        assert seen == [(1, "ping"), (2, "ping")]
+
+    def test_submit_is_never_resent(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service, drop_first=1) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, max_reconnects=3)
+                    with pytest.raises(ServiceError) as err:
+                        await client.submit(
+                            {"kind": "statistic", "dataset": "d",
+                             "statistic": "mean"})
+                    await client.close()
+                    return err.value.code, fe.requests_seen
+            finally:
+                await service.stop()
+
+        code, seen = run(scenario())
+        # The lost response surfaces; the spec was sent exactly once
+        # (a resend could double-submit a session the server created).
+        assert code == "connection-closed"
+        assert seen == [(1, "submit")]
+
+    def test_reconnected_client_keeps_working(self):
+        async def scenario():
+            service = await make_service()
+            try:
+                async with FlakyFrontend(service, drop_first=1) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, max_reconnects=1)
+                    assert await client.ping()   # reconnects
+                    sid = await client.submit(
+                        {"kind": "statistic", "dataset": "d",
+                         "statistic": "mean"})
+                    events = await client.drain(sid, poll_timeout=1.0)
+                    await client.close()
+                    return events
+            finally:
+                await service.stop()
+
+        events = run(scenario())
+        assert any(e.type == "final" for e in events)

@@ -1,0 +1,274 @@
+"""Service-stratum fault tolerance: per-query deadlines finalize with
+the best-so-far bounds, transient engine failures retry with backoff
+(``retry`` events), and the one-shot ``degraded`` event marks sessions
+that lost sample rows mid-run — degrade, don't die (§3.4)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, FailureInjector
+from repro.core import EarlConfig
+from repro.service import (
+    ERR_BAD_SPEC,
+    EVENT_DEGRADED,
+    EVENT_ERROR,
+    EVENT_FINAL,
+    EVENT_RETRY,
+    EVENT_SNAPSHOT,
+    STATE_DONE,
+    STATE_FAILED,
+    ApproxQueryService,
+    LocalClient,
+    ServiceError,
+    parse_spec,
+)
+from repro.workloads import load_stand_in
+
+#: Never-met bound: the job keeps iterating until stopped.
+LOOP_CFG = dict(sigma=0.001, B_override=20, n_override=200,
+                expansion_factor=1.6, max_iterations=10)
+#: Achievable bound (used by the retry tests).
+DONE_CFG = dict(sigma=0.1, B_override=20, n_override=400,
+                max_iterations=8)
+#: Partial data loss, not a total outage (mirrors test_faults.py).
+LOST_NODES = ["node-0", "node-1", "node-2"]
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock (thread-safe: attribute read)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        self.value += seconds
+
+
+def make_cluster(seed=9):
+    cluster = Cluster(n_nodes=5, block_size=16 * 1024, replication=2,
+                      seed=seed)
+    ds = load_stand_in(cluster, "/data/deadline", logical_gb=5.0,
+                       records=12_000, seed=seed + 1)
+    return cluster, ds
+
+
+def run(coro, timeout=60.0):
+    # A fault-tolerance bug that hangs a session must fail, not hang.
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class TestDeadlineSpec:
+    def test_deadline_round_trips_on_every_kind(self):
+        spec = parse_spec({"kind": "statistic", "dataset": "d",
+                           "statistic": "mean", "deadline_seconds": 2.5})
+        assert spec.deadline_seconds == 2.5
+        spec = parse_spec({"kind": "job", "cluster": "c", "path": "/p",
+                           "deadline_seconds": 1})
+        assert spec.deadline_seconds == 1.0
+        spec = parse_spec({
+            "kind": "query", "table": "t", "deadline_seconds": 0.75,
+            "select": [{"statistic": "mean", "column": "v"}]})
+        assert spec.deadline_seconds == 0.75
+
+    def test_omitted_deadline_is_none(self):
+        spec = parse_spec({"kind": "statistic", "dataset": "d",
+                           "statistic": "mean"})
+        assert spec.deadline_seconds is None
+
+    @pytest.mark.parametrize("bad", [0, -1.0, "soon", float("inf"),
+                                     float("nan")])
+    def test_invalid_deadline_rejected(self, bad):
+        with pytest.raises(ServiceError) as err:
+            parse_spec({"kind": "statistic", "dataset": "d",
+                        "statistic": "mean", "deadline_seconds": bad})
+        assert err.value.code == ERR_BAD_SPEC
+
+
+class TestDeadlineFinalization:
+    async def _deadline_run(self):
+        cluster, ds = make_cluster()
+        clock = FakeClock()
+        service = ApproxQueryService(config=EarlConfig(**LOOP_CFG),
+                                     seed=42, event_capacity=2,
+                                     sweep_interval=3600.0, clock=clock)
+        service.register_cluster("sim", cluster)
+        await service.start()
+        try:
+            client = LocalClient(service)
+            sid = await client.submit({"kind": "job", "cluster": "sim",
+                                       "path": ds.path,
+                                       "deadline_seconds": 50.0})
+            events, after, advanced = [], 0, False
+            while True:
+                page = await client.poll(sid, after=after, wait=True,
+                                         timeout=5.0)
+                events.extend(page.events)
+                if page.events:
+                    after = page.events[-1].seq
+                    if not advanced and any(e.type == EVENT_SNAPSHOT
+                                            for e in events):
+                        clock.advance(100.0)   # blow through the deadline
+                        advanced = True
+                    continue
+                if page.terminal:
+                    return events, await client.status(sid)
+        finally:
+            await service.stop()
+
+    def test_breach_finalizes_with_best_so_far_bounds(self):
+        events, status = run(self._deadline_run())
+        assert status["state"] == STATE_DONE
+        assert not any(e.type == EVENT_ERROR for e in events)
+        finals = [e for e in events if e.type == EVENT_FINAL]
+        assert len(finals) == 1
+        payload = finals[0].payload
+        # Best-so-far: a real (partial) answer with valid bounds,
+        # explicitly marked as deadline-clipped.
+        assert payload["deadline_exceeded"] is True
+        assert payload["final"] is True
+        assert payload["ci_low"] <= payload["estimate"] <= payload["ci_high"]
+        # The never-met bound would have run all 10 iterations.
+        assert payload["iteration"] < LOOP_CFG["max_iterations"]
+
+    def test_breach_before_first_snapshot_fails_honestly(self):
+        async def scenario():
+            clock = FakeClock()
+            service = ApproxQueryService(seed=0, sweep_interval=3600.0,
+                                         clock=clock)
+            await service.start()
+            try:
+                spec = parse_spec({"kind": "statistic", "dataset": "d",
+                                   "statistic": "mean",
+                                   "deadline_seconds": 5.0})
+                rec = service._new_record(spec, clock())
+                await service._mark_running(rec)
+                clock.advance(10.0)
+                await service.sweep()
+                return rec
+            finally:
+                await service.stop()
+
+        rec = run(scenario())
+        assert rec.state == STATE_FAILED
+        assert "deadline" in rec.error
+
+
+class TestEngineRetries:
+    async def _broken_run(self, *, retries, recover_on_retry=False):
+        cluster, ds = make_cluster()
+        FailureInjector(cluster, seed=1).fail_nodes(LOST_NODES)
+        service = ApproxQueryService(config=EarlConfig(**DONE_CFG),
+                                     seed=42, engine_retries=retries,
+                                     retry_backoff=0.01)
+        service.register_cluster("sim", cluster)
+        await service.start()
+        try:
+            client = LocalClient(service)
+            sid = await client.submit({"kind": "job", "cluster": "sim",
+                                       "path": ds.path,
+                                       "on_unavailable": "fail"})
+            events, after, recovered = [], 0, False
+            while True:
+                page = await client.poll(sid, after=after, wait=True,
+                                         timeout=5.0)
+                events.extend(page.events)
+                if page.events:
+                    after = page.events[-1].seq
+                    if (recover_on_retry and not recovered
+                            and any(e.type == EVENT_RETRY
+                                    for e in events)):
+                        for node in LOST_NODES:
+                            cluster.recover_node(node)
+                        recovered = True
+                    continue
+                if page.terminal:
+                    return events, await client.status(sid)
+        finally:
+            await service.stop()
+
+    def test_persistent_failure_exhausts_retries_then_fails(self):
+        events, status = run(self._broken_run(retries=2))
+        assert status["state"] == STATE_FAILED
+        retry_events = [e for e in events if e.type == EVENT_RETRY]
+        assert [e.payload["attempt"] for e in retry_events] == [1, 2]
+        assert all(e.payload["max_attempts"] == 2 for e in retry_events)
+        assert all("lost its input" in e.payload["error"]
+                   for e in retry_events)
+        errors = [e for e in events if e.type == EVENT_ERROR]
+        assert len(errors) == 1
+        # The terminal error comes after every retry attempt.
+        assert errors[0].seq > retry_events[-1].seq
+
+    def test_transient_failure_recovers_and_completes(self):
+        events, status = run(
+            self._broken_run(retries=8, recover_on_retry=True))
+        assert status["state"] == STATE_DONE
+        assert any(e.type == EVENT_RETRY for e in events)
+        assert not any(e.type == EVENT_ERROR for e in events)
+        finals = [e for e in events if e.type == EVENT_FINAL]
+        assert len(finals) == 1 and finals[0].payload["estimate"] > 0
+
+    def test_zero_retries_preserves_fail_fast(self):
+        events, status = run(self._broken_run(retries=0))
+        assert status["state"] == STATE_FAILED
+        assert not any(e.type == EVENT_RETRY for e in events)
+
+
+class TestDegradedEvent:
+    async def _lossy_query(self):
+        rng = np.random.default_rng(3)
+        table = {"k": rng.choice(["a", "b"], size=200_000),
+                 "v": rng.lognormal(3.0, 1.0, 200_000)}
+        # Small initial sample + slow growth: ~15 expansion rounds for
+        # any session seed, so the loss reported after round 1 lands at
+        # a round boundary well before the run finishes.
+        service = ApproxQueryService(
+            config=EarlConfig(sigma=0.01, n_override=500, B_override=30,
+                              expansion_factor=1.3, max_iterations=30),
+            seed=42, event_capacity=2)
+        service.register_table("t", table)
+        await service.start()
+        try:
+            client = LocalClient(service)
+            sid = await client.submit({
+                "kind": "query", "table": "t", "group_by": "k",
+                "select": [{"statistic": "mean", "column": "v"}]})
+            events, after, lost = [], 0, False
+            while True:
+                page = await client.poll(sid, after=after, wait=True,
+                                         timeout=5.0)
+                events.extend(page.events)
+                if page.events:
+                    after = page.events[-1].seq
+                    if not lost and any(e.type == EVENT_SNAPSHOT
+                                        for e in events):
+                        # The planned engine rides the record; losing
+                        # rows mid-run is reported straight to it.
+                        service.store.get(sid).engine.report_loss(0.4)
+                        lost = True
+                    continue
+                if page.terminal:
+                    return events, await client.status(sid)
+        finally:
+            await service.stop()
+
+    def test_loss_emits_one_degraded_event_and_completes(self):
+        events, status = run(self._lossy_query())
+        assert status["state"] == STATE_DONE
+        degraded = [e for e in events if e.type == EVENT_DEGRADED]
+        assert len(degraded) == 1
+        assert 0.0 < degraded[0].payload["lost_fraction"] < 1.0
+        finals = [e for e in events if e.type == EVENT_FINAL]
+        assert len(finals) == 1
+        assert finals[0].payload["degraded"] is True
+        # The degraded marker precedes the first degraded payload.
+        first_degraded_payload = next(
+            e for e in events
+            if e.type in (EVENT_SNAPSHOT, EVENT_FINAL)
+            and e.payload.get("degraded"))
+        assert degraded[0].seq < first_degraded_payload.seq
