@@ -6,28 +6,34 @@
 #                      stability tests
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
-#   make bench-json  - kernel + ingest + query + scheduler + faults
-#                      benchmarks (smoke sizes) -> benchmarks/results/
-#                      BENCH_{kernel,ingest,query,scheduler,faults}.json,
-#                      each gated against its committed baseline
+#   make bench-json  - kernel + ingest + query + scheduler + faults +
+#                      durability benchmarks (smoke sizes) ->
+#                      benchmarks/results/BENCH_{kernel,ingest,query,
+#                      scheduler,faults,durability}.json, each gated
+#                      against its committed baseline
 #                      benchmarks/BENCH_*.json
 #                      (fails on a >20% speedup regression)
 #   make test-chaos  - the randomized chaos-harness sweeps (marker
 #                      `chaos`, deselected from tier-1; see tests/chaos/)
+#   make test-durability - the crash-recovery suite: store contract,
+#                      engine checkpoints, restart byte-identity (incl.
+#                      the SIGKILL subprocess drill) and the
+#                      kill-and-restart chaos sweep
 #   make bench-service - service concurrency smoke (shared-pilot session
 #                      fan-out) -> benchmarks/results/BENCH_service.json,
 #                      then the full 1,000-session load harness
 #                      (tests/service/test_load.py, slow tier)
 #   make docs-check  - every .md referenced from code/docs actually exists
 #   make examples    - run every example script end to end
-#   make clean       - purge bytecode caches and tool state
-#                      (__pycache__/, .pytest_cache/, .hypothesis/)
+#   make clean       - purge bytecode caches, tool state and stray
+#                      durable-store directories (__pycache__/,
+#                      .pytest_cache/, .hypothesis/, var/)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all test-chaos bench bench-smoke bench-json \
-	bench-service docs-check examples clean
+.PHONY: test test-all test-chaos test-durability bench bench-smoke \
+	bench-json bench-service docs-check examples clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +43,17 @@ test-all:
 
 test-chaos:
 	$(PYTHON) -m pytest -x -q -m chaos tests/chaos
+
+# The whole durability surface in one go: the SessionStore contract,
+# the engine checkpoint/replay contract, crash-recovery byte-identity
+# (including the real-SIGKILL subprocess drill) and the randomized
+# kill-and-restart chaos sweep.
+test-durability:
+	$(PYTHON) -m pytest -x -q -m "chaos or not chaos" \
+		tests/service/test_store_contract.py \
+		tests/core/test_checkpoint.py \
+		tests/service/test_restart.py \
+		tests/chaos/test_kill_restart.py
 
 # bench_*.py does not match pytest's default test-file pattern, so the
 # files are passed explicitly (explicit args are always collected).
@@ -78,6 +95,11 @@ bench-json:
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_faults.json benchmarks/BENCH_faults.json \
 		--stages recovery
+	$(PYTHON) benchmarks/bench_durability.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_durability.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_durability.json \
+		benchmarks/BENCH_durability.json --stages durability
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py \
@@ -95,4 +117,6 @@ examples:
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
 	rm -rf .pytest_cache .hypothesis .benchmarks
-	@echo "bytecode and tool caches purged"
+	rm -rf var
+	find . -name "sessions.wal*" -not -path "./.git/*" -delete
+	@echo "bytecode, tool caches and durable-store state purged"

@@ -14,7 +14,12 @@ testable harness:
   :class:`~repro.core.grouped.GroupedEarlSession`,
   :class:`~repro.core.EarlJob`) and reports what fired;
 * :class:`FlakyMapper` — a deterministic flaky-task decorator for
-  exercising the MapReduce :class:`~repro.mapreduce.FaultPolicy`.
+  exercising the MapReduce :class:`~repro.mapreduce.FaultPolicy`;
+* :func:`run_with_restarts` — kill-and-restart drills against the
+  durable service: crash ``ApproxQueryService`` at scheduled snapshot
+  boundaries, recover from the same
+  :class:`~repro.service.DurableSessionStore`, and assert the resumed
+  streams are byte-identical to an uninterrupted run.
 
 Everything is a pure function of seeds: the same schedule against the
 same seeded engine reproduces the same degraded answer byte for byte,
@@ -26,8 +31,10 @@ data — live in ``tests/chaos/``.
 
 from repro.chaos.driver import ChaosDriver, ChaosReport
 from repro.chaos.flaky import FlakyMapper
+from repro.chaos.restart import RestartReport, run_with_restarts
 from repro.chaos.schedule import (
     KIND_KILL_NODES,
+    KIND_KILL_RESTART,
     KIND_LOSS,
     KIND_RECOVER,
     KIND_SLOW_NODE,
@@ -41,8 +48,11 @@ __all__ = [
     "ChaosEvent",
     "ChaosSchedule",
     "FlakyMapper",
+    "RestartReport",
+    "run_with_restarts",
     "KIND_LOSS",
     "KIND_KILL_NODES",
     "KIND_SLOW_NODE",
     "KIND_RECOVER",
+    "KIND_KILL_RESTART",
 ]

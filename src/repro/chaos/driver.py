@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.chaos.schedule import (
     KIND_KILL_NODES,
+    KIND_KILL_RESTART,
     KIND_LOSS,
     KIND_RECOVER,
     KIND_SLOW_NODE,
@@ -108,6 +109,11 @@ class ChaosDriver:
                 if not node.alive:
                     self.cluster.recover_node(node.node_id)
             self.cluster.clear_slow_nodes()
+        elif event.kind == KIND_KILL_RESTART:
+            raise ValueError(
+                "kill-restart events target the service process, not an "
+                "engine stream; drive them with "
+                "repro.chaos.restart.run_with_restarts")
 
     def _require_cluster(self, event: ChaosEvent) -> None:
         if self.cluster is None:

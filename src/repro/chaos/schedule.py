@@ -24,9 +24,14 @@ KIND_KILL_NODES = "kill-nodes"
 KIND_SLOW_NODE = "slow-node"
 #: Recover every dead node (and clear slow factors).
 KIND_RECOVER = "recover"
+#: Kill the *service process* and restart it against the same durable
+#: store (crash-recovery drill).  Only the restart harness
+#: (:func:`repro.chaos.restart.run_with_restarts`) interprets this
+#: kind; the in-process :class:`ChaosDriver` rejects it.
+KIND_KILL_RESTART = "kill-restart"
 
 _KINDS = frozenset({KIND_LOSS, KIND_KILL_NODES, KIND_SLOW_NODE,
-                    KIND_RECOVER})
+                    KIND_RECOVER, KIND_KILL_RESTART})
 
 
 @dataclass(frozen=True)
@@ -90,22 +95,24 @@ class ChaosSchedule:
                  loss_rate: float = 0.3,
                  kill_rate: float = 0.0,
                  slow_rate: float = 0.0,
+                 kill_restart_rate: float = 0.0,
                  max_fraction: float = 0.5,
                  max_slow_factor: float = 8.0,
                  keys: Optional[Tuple[Any, ...]] = None) -> "ChaosSchedule":
         """Derive a schedule from one master seed.
 
         Each of ``rounds`` snapshot boundaries independently draws
-        whether a loss / node-kill / straggler event fires there
-        (``*_rate`` probabilities) and how hard it hits (uniform up to
-        ``max_fraction`` / ``max_slow_factor``).  Same arguments, same
-        seed → the identical schedule, every time.
+        whether a loss / node-kill / straggler / service-kill event
+        fires there (``*_rate`` probabilities) and how hard it hits
+        (uniform up to ``max_fraction`` / ``max_slow_factor``).  Same
+        arguments, same seed → the identical schedule, every time.
         """
         if rounds < 0:
             raise ValueError("rounds cannot be negative")
         for name, rate in (("loss_rate", loss_rate),
                            ("kill_rate", kill_rate),
-                           ("slow_rate", slow_rate)):
+                           ("slow_rate", slow_rate),
+                           ("kill_restart_rate", kill_restart_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
         if not 0.0 < max_fraction <= 1.0:
@@ -128,6 +135,10 @@ class ChaosSchedule:
                 events.append(ChaosEvent(
                     at=at, kind=KIND_SLOW_NODE,
                     factor=float(rng.uniform(1.5, max_slow_factor)),
+                    seed=int(rng.integers(0, 2**63 - 1))))
+            if kill_restart_rate and rng.random() < kill_restart_rate:
+                events.append(ChaosEvent(
+                    at=at, kind=KIND_KILL_RESTART,
                     seed=int(rng.integers(0, 2**63 - 1))))
         return cls(tuple(events))
 

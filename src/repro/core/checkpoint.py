@@ -1,0 +1,91 @@
+"""Round-boundary checkpoints built on deterministic replay.
+
+The engines never serialize bootstrap state: every one of them is a
+pure function of (data, spec, seed) plus the round boundaries at which
+losses were reported, so a checkpoint is just that provenance —
+``{"rounds_completed": k, "loss_events": [...]}`` — and recovery is
+re-running a *fresh, identically-constructed* engine, re-firing each
+recorded loss at the same boundary, and discarding the first ``k``
+snapshots.  The byte-identical-reruns invariant guarantees the
+remaining stream matches an uninterrupted run exactly.
+
+:func:`replay_stream` is the shared recovery driver;
+``EarlSession.restore`` / ``SessionManager.restore`` /
+``GroupedEarlSession.restore`` delegate to it.  A checkpoint whose
+loss events all carry integer (or ``None``) seeds is JSON-safe, so it
+can ride a WAL entry; a generator-valued seed checkpoints but will not
+serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Sequence
+
+
+class CheckpointReplayError(RuntimeError):
+    """Replay diverged: the fresh engine's stream ended before reaching
+    the checkpointed round.  The construction differs from the original
+    run (changed data, config or seed) and the checkpoint is unusable —
+    callers should finalize best-so-far instead of guessing."""
+
+
+def loss_event(emitted: int, fraction: float, seed: Any,
+               keys: Any = None) -> Dict[str, Any]:
+    """The recorded form of one applied loss: the snapshot boundary it
+    landed at plus the exact ``report_loss`` arguments."""
+    doc: Dict[str, Any] = {"at": int(emitted), "fraction": float(fraction),
+                           "seed": seed}
+    if keys is not None:
+        doc["keys"] = sorted(keys, key=repr)
+    return doc
+
+
+def checkpoint_doc(emitted: int,
+                   losses: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    return {"rounds_completed": int(emitted),
+            "loss_events": [dict(event) for event in losses]}
+
+
+def replay_stream(engine: Any,
+                  checkpoint: Mapping[str, Any]) -> Iterator[Any]:
+    """Resume ``engine`` from ``checkpoint``: yield only the snapshots
+    past ``rounds_completed``, byte-identical to an uninterrupted run.
+
+    ``engine`` must be fresh (never streamed) and constructed exactly
+    like the checkpointed one.  Each recorded loss is re-fired via
+    ``engine.report_loss`` once the local stream has emitted ``at``
+    snapshots — i.e. while the engine is parked at the same round
+    boundary the loss originally landed on — so the engine re-applies
+    it at the identical point.  Raises :class:`CheckpointReplayError`
+    if the stream dries up before the checkpointed round.
+    """
+    rounds = int(checkpoint.get("rounds_completed", 0))
+    if rounds < 0:
+        raise ValueError("rounds_completed cannot be negative")
+    pending = sorted((dict(e) for e in checkpoint.get("loss_events", ())),
+                     key=lambda e: int(e["at"]))
+
+    def fire_due(emitted: int) -> None:
+        while pending and int(pending[0]["at"]) <= emitted:
+            event = pending.pop(0)
+            kwargs: Dict[str, Any] = {"seed": event.get("seed")}
+            if event.get("keys") is not None:
+                kwargs["keys"] = event["keys"]
+            engine.report_loss(event["fraction"], **kwargs)
+
+    stream = engine.stream()
+    emitted = 0
+    while True:
+        fire_due(emitted)
+        try:
+            item = next(stream)
+        except StopIteration:
+            if emitted < rounds:
+                raise CheckpointReplayError(
+                    f"stream ended after {emitted} snapshots, before the "
+                    f"checkpointed round {rounds}; the engine was not "
+                    "reconstructed identically") from None
+            return
+        if emitted >= rounds:
+            yield item
+        emitted += 1

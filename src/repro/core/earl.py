@@ -31,6 +31,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -40,6 +41,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.checkpoint import checkpoint_doc, loss_event, replay_stream
 from repro.core.config import (
     SAMPLER_POSTMAP,
     SAMPLER_PREMAP,
@@ -154,6 +156,10 @@ class EarlSession:
         #: §3.4 loss events queued by :meth:`report_loss`, applied by an
         #: active stream at its next iteration boundary.
         self._pending_loss: List[Tuple[float, Any]] = []
+        # Checkpoint provenance: snapshots yielded so far and the loss
+        # events already applied, each pinned to its round boundary.
+        self._stream_emitted = 0
+        self._applied_losses: List[Dict[str, Any]] = []
         self.degraded = False
         self.lost_fraction = 0.0
 
@@ -203,6 +209,37 @@ class EarlSession:
         executor is torn down and no further iteration is computed, so
         only the completed iterations were ever charged.
         """
+        for snap in self._stream_core():
+            self._stream_emitted += 1
+            yield snap
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Round-boundary checkpoint: how many snapshots this session
+        has yielded and which losses were applied at which boundary.
+
+        Valid between snapshots (i.e. while the consumer holds the
+        generator at a yield).  Together with the construction arguments
+        (data, statistic, config incl. seed) it is everything
+        :meth:`restore` needs; no bootstrap state is serialized —
+        recovery is deterministic replay.
+        """
+        return checkpoint_doc(self._stream_emitted, self._applied_losses)
+
+    def restore(self, checkpoint: Mapping[str, Any]
+                ) -> Iterator[ProgressSnapshot]:
+        """Resume from a :meth:`checkpoint` taken on an identically-
+        constructed session: yields exactly the snapshots an
+        uninterrupted run would still produce, byte-identical.  Must be
+        called on a fresh session (never streamed); raises
+        :class:`~repro.core.checkpoint.CheckpointReplayError` when the
+        replay cannot reach the checkpointed round."""
+        if self._stream_emitted:
+            raise RuntimeError(
+                "restore() needs a fresh session; this one already "
+                f"yielded {self._stream_emitted} snapshots")
+        return replay_stream(self, checkpoint)
+
+    def _stream_core(self) -> Iterator[ProgressSnapshot]:
         cfg = self._config
         rng = ensure_rng(cfg.seed)
         data = self._data
@@ -313,6 +350,8 @@ class EarlSession:
         cfg = self._config
         keep = np.ones(len(order), dtype=bool)
         for fraction, seed in self._pending_loss:
+            self._applied_losses.append(
+                loss_event(self._stream_emitted, fraction, seed))
             event_rng = ensure_rng(seed) if seed is not None else loss_rng
             keep &= event_rng.random(len(order)) >= fraction
         self._pending_loss.clear()

@@ -50,6 +50,7 @@ from typing import (
     Hashable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -58,6 +59,7 @@ from typing import (
 import numpy as np
 
 from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.checkpoint import checkpoint_doc, loss_event, replay_stream
 from repro.core.config import EarlConfig
 from repro.core.correction import CorrectionLike, get_correction
 from repro.core.earl import (
@@ -493,6 +495,10 @@ class GroupedEarlSession:
         # the next round boundary) and a lazily-spawned loss stream.
         self._pending_loss: List[Tuple[float, Optional[set],
                                        Optional[Any]]] = []
+        # Checkpoint provenance: snapshots yielded so far and the loss
+        # events already applied, each pinned to its round boundary.
+        self._stream_emitted = 0
+        self._applied_losses: List[Dict[str, Any]] = []
         self._rng: Optional[np.random.Generator] = None
         self._loss_rng: Optional[np.random.Generator] = None
 
@@ -643,6 +649,33 @@ class GroupedEarlSession:
         :class:`GroupedResult`.  Closing the generator cancels the run
         (executor teardown; no further round is computed).
         """
+        for snap in self._stream_core():
+            self._stream_emitted += 1
+            yield snap
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Round-boundary checkpoint: snapshots yielded so far plus the
+        losses applied (with their strata filters), pinned to round
+        boundaries.  Valid between snapshots; with the construction
+        arguments (keys, columns, measures, config incl. seed) it is
+        everything :meth:`restore` needs — recovery is deterministic
+        replay, no per-group bootstrap state is serialized."""
+        return checkpoint_doc(self._stream_emitted, self._applied_losses)
+
+    def restore(self, checkpoint: Mapping[str, Any]
+                ) -> Iterator[GroupedSnapshot]:
+        """Resume from a :meth:`checkpoint` taken on an identically-
+        constructed session: yields exactly the remaining snapshots,
+        byte-identical to an uninterrupted run.  Must be called on a
+        fresh session; raises
+        :class:`~repro.core.checkpoint.CheckpointReplayError` when the
+        replay cannot reach the checkpointed round."""
+        if self._started or self._stream_emitted:
+            raise RuntimeError("restore() needs a fresh session; this "
+                               "one already streamed")
+        return replay_stream(self, checkpoint)
+
+    def _stream_core(self) -> Iterator[GroupedSnapshot]:
         if self._started:
             raise RuntimeError("a GroupedEarlSession streams only once")
         self._started = True
@@ -931,6 +964,10 @@ class GroupedEarlSession:
         Returns the ``(key, measure)`` pairs whose board entry changed.
         """
         events, self._pending_loss = self._pending_loss, []
+        for fraction, key_set, seed in events:
+            self._applied_losses.append(
+                loss_event(self._stream_emitted, fraction, seed,
+                           keys=key_set))
         if self._loss_rng is None:
             assert self._rng is not None
             self._loss_rng = spawn_child(self._rng, 1)[0]

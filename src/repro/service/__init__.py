@@ -38,6 +38,7 @@ stateful-versus-stateless tradeoffs.
 """
 
 from repro.service.client import LocalClient, PollResponse, ServiceClient
+from repro.service.durable import DurableSessionStore
 from repro.service.events import EventLog, ResumeGapError
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
@@ -66,6 +67,7 @@ from repro.service.protocol import (
     StatisticSpec,
     canonical_json,
     parse_spec,
+    spec_to_dict,
 )
 from repro.service.server import ServiceServer
 from repro.service.service import ApproxQueryService
@@ -87,11 +89,13 @@ __all__ = [
     "ServiceError",
     "canonical_json",
     "parse_spec",
+    "spec_to_dict",
     "StatisticSpec",
     "QuerySpec",
     "JobSpec",
     "SessionStore",
     "InMemorySessionStore",
+    "DurableSessionStore",
     "SessionRecord",
     "STATE_PENDING",
     "STATE_RUNNING",

@@ -22,7 +22,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.service.events import ResumeGapError
 from repro.service.protocol import (
+    ERR_RESUME_GAP,
     TERMINAL_STATES,
     Event,
     ServiceError,
@@ -30,6 +32,24 @@ from repro.service.protocol import (
 )
 from repro.service.server import _STREAM_LIMIT
 from repro.service.service import ApproxQueryService
+
+
+def _raise_error_response(response: Mapping[str, Any]) -> None:
+    """Re-raise a ``{"ok": false}`` response as a typed exception.
+
+    A resume-gap becomes :class:`ResumeGapError` carrying the server's
+    current ack floor (from the structured ``details``), so a client
+    that reconnects after its events were pruned can re-poll from
+    ``exc.acked`` programmatically instead of parsing a message.
+    """
+    code = response.get("error", "internal")
+    details = response.get("details")
+    if code == ERR_RESUME_GAP and isinstance(details, Mapping):
+        raise ResumeGapError(int(details.get("after", 0)),
+                             int(details.get("acked", 0)))
+    raise ServiceError(code, response.get("message", "request failed"),
+                       details=dict(details) if isinstance(details, Mapping)
+                       else None)
 
 
 @dataclass(frozen=True)
@@ -126,8 +146,7 @@ class LocalClient(_BaseClient):
     async def _request(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         response = await self._service.handle(request)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "internal"),
-                               response.get("message", "request failed"))
+            _raise_error_response(response)
         return response
 
 
@@ -265,8 +284,7 @@ class ServiceClient(_BaseClient):
                 attempts_left -= 1
         response = json.loads(line)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "internal"),
-                               response.get("message", "request failed"))
+            _raise_error_response(response)
         return response
 
     async def close(self) -> None:

@@ -1,0 +1,434 @@
+"""Durable session store: an append-only JSON write-ahead log.
+
+:class:`DurableSessionStore` implements the :class:`SessionStore`
+contract over a single journal file (``sessions.wal`` inside the store
+directory).  Every control-plane mutation — a session admitted, an
+event appended, an ack floor advanced, a lifecycle transition, a
+dispatch window launched, a record swept — is one JSON line, written
+(and, for the mutations that matter, ``fsync``'d) *before* the change
+becomes observable to clients:
+
+* :meth:`add` journals the session record before returning, so a
+  client that saw a submit acknowledged will find the session after a
+  crash (write-ahead admission).
+* Event appends are journaled through
+  :meth:`~repro.service.events.EventLog.set_journal`, which fires
+  under the log's condition lock *before* the event enters the buffer
+  — an event a reader could ever have observed is durable.
+* Acks are journaled without fsync: losing a tail of acks merely
+  rewinds the persisted floor, and resuming from a lower floor is
+  always safe (events are re-deliverable; only resuming *below* the
+  floor is an error).
+
+Recovery never deserializes engine state.  What the journal captures
+is provenance — specs, seeds, window composition, retained event
+tails, per-session stream positions — and the service rebuilds
+everything else by deterministic replay (see ``DESIGN.md`` §11).  The
+store additionally derives, while applying the journal, the facts
+recovery branches on: how many snapshots each session already
+published (``stream_pos``), and whether its dispatch window was
+*disturbed* (a member cancelled or expired mid-run, a deadline
+truncation, a retried job) — disturbed windows cannot be replayed
+byte-identically and are honestly degrade-finalized instead.
+
+Compaction rewrites the journal as a snapshot of live state via the
+write-to-temp + ``os.replace`` + directory-fsync dance, so a crash at
+any instant leaves either the old or the new journal intact.  A
+truncated final line (crash mid-write) is tolerated on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.service.events import EventLog
+from repro.service.protocol import (
+    EVENT_DEGRADED,
+    EVENT_FINAL,
+    EVENT_RETRY,
+    EVENT_SNAPSHOT,
+    STATE_CANCELLED,
+    STATE_EXPIRED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    Event,
+    canonical_json,
+    parse_spec,
+    spec_to_dict,
+)
+from repro.service.store import SessionRecord, SessionStore
+
+#: Journal file name inside the store directory.
+WAL_NAME = "sessions.wal"
+
+#: Control-plane fields :meth:`DurableSessionStore.update` persists.
+_MUTABLE_FIELDS = ("state", "cost_seconds", "error", "retries",
+                   "degraded_flagged", "fingerprint")
+
+
+def _ordinal(ident: str, prefix: str) -> int:
+    """The numeric suffix of ``s000042``-style ids (0 if foreign)."""
+    if ident.startswith(prefix) and ident[len(prefix):].isdigit():
+        return int(ident[len(prefix):])
+    return 0
+
+
+class DurableSessionStore(SessionStore):
+    """WAL-backed store that survives process death.
+
+    Parameters
+    ----------
+    path:
+        Store directory (created if missing); the journal lives at
+        ``<path>/sessions.wal``.
+    fsync:
+        When true (the default), admission, event, lifecycle and
+        window entries are fsync'd before the mutation is observable.
+        Tests and benchmarks that only need restart (not power-loss)
+        durability can disable it.
+    """
+
+    durable = True
+
+    def __init__(self, path: str, *, fsync: bool = True) -> None:
+        self._dir = os.fspath(path)
+        os.makedirs(self._dir, exist_ok=True)
+        self._wal_path = os.path.join(self._dir, WAL_NAME)
+        self._fsync = bool(fsync)
+        self._lock = threading.Lock()
+        #: Live in-process records (same role as InMemorySessionStore).
+        self._records: Dict[str, SessionRecord] = {}
+        #: Persisted per-session state docs, in admission order.
+        self._states: Dict[str, Dict[str, Any]] = {}
+        #: Tombstones of removed sessions (recovery still needs to know
+        #: whether a swept window member had disturbed its window).
+        self._gone: Dict[str, Dict[str, Any]] = {}
+        #: Dispatch window composition docs, in launch order.
+        self._windows: Dict[str, Dict[str, Any]] = {}
+        self._loaded_entries = self._load()
+        self._file = open(self._wal_path, "a", encoding="utf-8")
+        if self._loaded_entries:
+            self.compact()
+
+    # ---------------------------------------------------------------- journal
+    def _load(self) -> int:
+        if not os.path.exists(self._wal_path):
+            return 0
+        count = 0
+        with open(self._wal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    break   # torn final write: everything before it holds
+                self._apply(entry)
+                count += 1
+        return count
+
+    def _append(self, entry: Dict[str, Any], *, sync: bool) -> None:
+        """Journal one entry and apply it to the in-memory state.
+
+        Called with the store lock held by every mutator; the write
+        lands (and is optionally fsync'd) before ``_apply`` makes the
+        mutation visible to :meth:`persisted` readers — the same
+        write-ahead order the on-disk file guarantees across a crash.
+        """
+        self._file.write(canonical_json(entry) + "\n")
+        self._file.flush()
+        if sync and self._fsync:
+            os.fsync(self._file.fileno())
+        self._apply(entry)
+
+    def _apply(self, entry: Dict[str, Any]) -> None:
+        """One journal entry -> in-memory state.  Shared between load
+        and live writes, so replayed state is live state by construction."""
+        op = entry.get("op")
+        if op == "add":
+            doc = dict(entry["session"])
+            self._states[doc["session_id"]] = {
+                "record": doc, "events": [], "next_seq": 1, "acked": 0,
+                "appended": 0, "stream_pos": 0, "disturbed": False,
+            }
+            self._gone.pop(doc["session_id"], None)
+        elif op == "event":
+            st = self._states.get(entry["session"])
+            if st is None:
+                return
+            doc = entry["event"]
+            st["events"].append(doc)
+            st["next_seq"] = int(doc["seq"]) + 1
+            st["appended"] += 1
+            if doc["type"] in (EVENT_SNAPSHOT, EVENT_FINAL):
+                st["stream_pos"] += 1
+                st["record"]["last_snapshot"] = doc["payload"]
+                if doc["payload"].get("deadline_exceeded"):
+                    st["disturbed"] = True
+            elif doc["type"] == EVENT_RETRY:
+                st["disturbed"] = True
+            elif doc["type"] == EVENT_DEGRADED:
+                # Restored sessions must not re-emit the one-shot
+                # degraded event their clients already saw.
+                st["record"]["degraded_flagged"] = True
+        elif op == "ack":
+            st = self._states.get(entry["session"])
+            if st is None:
+                return
+            after = int(entry["after"])
+            if after > st["acked"]:
+                st["acked"] = after
+                st["events"] = [e for e in st["events"]
+                                if int(e["seq"]) > after]
+        elif op == "update":
+            st = self._states.get(entry["session"])
+            if st is None:
+                return
+            fields = entry["fields"]
+            prior = st["record"].get("state")
+            if (fields.get("state") in (STATE_CANCELLED, STATE_EXPIRED)
+                    and prior == STATE_RUNNING):
+                st["disturbed"] = True
+            st["record"].update(fields)
+        elif op == "remove":
+            st = self._states.pop(entry["session"], None)
+            if st is not None:
+                self._gone[entry["session"]] = {
+                    "state": st["record"].get("state"),
+                    "disturbed": st["disturbed"],
+                }
+        elif op == "window":
+            self._windows[entry["id"]] = dict(entry["doc"])
+        elif op == "session":       # compaction snapshot of one session
+            doc = dict(entry["state"])
+            self._states[doc["record"]["session_id"]] = doc
+        elif op == "gone":          # compaction snapshot of a tombstone
+            self._gone[entry["session"]] = dict(entry["tombstone"])
+        # Unknown ops are skipped: an older build can open a newer WAL
+        # read-only-ish without crashing on entries it cannot interpret.
+
+    def compact(self) -> None:
+        """Rewrite the journal as a snapshot of current state.
+
+        Atomic: written to a temp file, fsync'd, then ``os.replace``'d
+        over the live journal (plus a directory fsync), so a crash
+        leaves either journal intact, never a mix.
+        """
+        with self._lock:
+            tmp = self._wal_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for wid, doc in self._windows.items():
+                    fh.write(canonical_json(
+                        {"op": "window", "id": wid, "doc": doc}) + "\n")
+                for st in self._states.values():
+                    fh.write(canonical_json(
+                        {"op": "session", "state": st}) + "\n")
+                for sid, tomb in self._gone.items():
+                    fh.write(canonical_json(
+                        {"op": "gone", "session": sid,
+                         "tombstone": tomb}) + "\n")
+                fh.flush()
+                if self._fsync:
+                    os.fsync(fh.fileno())
+            if not self._file.closed:
+                self._file.close()
+            os.replace(tmp, self._wal_path)
+            if self._fsync:
+                dir_fd = os.open(self._dir, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            self._file = open(self._wal_path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                if self._fsync:
+                    os.fsync(self._file.fileno())
+                self._file.close()
+
+    # --------------------------------------------------- SessionStore contract
+    def add(self, record: SessionRecord) -> None:
+        with self._lock:
+            if record.session_id in self._records:
+                raise ValueError(
+                    f"duplicate session id {record.session_id!r}")
+            doc = {
+                "session_id": record.session_id,
+                "kind": record.kind,
+                "spec": spec_to_dict(record.spec),
+                "seed": int(record.seed),
+                "state": record.state,
+                "created_at": record.created_at,
+                "capacity": record.log.capacity,
+                "fingerprint": record.fingerprint,
+                "cost_seconds": record.cost_seconds,
+                "error": record.error,
+                "retries": record.retries,
+                "degraded_flagged": record.degraded_flagged,
+                "last_snapshot": record.last_snapshot,
+            }
+            self._append({"op": "add", "session": doc}, sync=True)
+            self._records[record.session_id] = record
+        self._attach_journal(record)
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        return self._records.get(session_id)
+
+    def remove(self, session_id: str) -> None:
+        with self._lock:
+            if (session_id not in self._records
+                    and session_id not in self._states):
+                return
+            self._append({"op": "remove", "session": session_id},
+                         sync=False)
+            self._records.pop(session_id, None)
+
+    def records(self) -> List[SessionRecord]:
+        return list(self._records.values())
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def update(self, record: SessionRecord) -> None:
+        with self._lock:
+            if record.session_id not in self._states:
+                return
+            fields = {name: getattr(record, name)
+                      for name in _MUTABLE_FIELDS}
+            self._append({"op": "update", "session": record.session_id,
+                          "fields": fields}, sync=True)
+
+    def record_window(self, window_id: str, doc: Dict[str, Any]) -> None:
+        with self._lock:
+            self._append({"op": "window", "id": window_id, "doc": doc},
+                         sync=True)
+
+    # ------------------------------------------------------------- durability
+    def _attach_journal(self, record: SessionRecord) -> None:
+        sid = record.session_id
+
+        def on_append(event: Event) -> None:
+            with self._lock:
+                self._append(
+                    {"op": "event", "session": sid,
+                     "event": {"seq": event.seq, "type": event.type,
+                               "payload": event.payload}},
+                    sync=True)
+
+        def on_ack(after: int) -> None:
+            with self._lock:
+                self._append({"op": "ack", "session": sid,
+                              "after": int(after)}, sync=False)
+
+        record.log.set_journal(on_append, on_ack)
+
+    def persisted(self, session_id: str) -> Optional[Dict[str, Any]]:
+        """The persisted state doc for one session (a deep-ish copy):
+        ``{"record", "events", "next_seq", "acked", "appended",
+        "stream_pos", "disturbed"}``."""
+        st = self._states.get(session_id)
+        if st is None:
+            return None
+        out = dict(st)
+        out["record"] = dict(st["record"])
+        out["events"] = [dict(e) for e in st["events"]]
+        return out
+
+    def persisted_ids(self) -> List[str]:
+        """Persisted session ids in admission order."""
+        return list(self._states.keys())
+
+    def tombstone(self, session_id: str) -> Optional[Dict[str, Any]]:
+        tomb = self._gone.get(session_id)
+        return dict(tomb) if tomb is not None else None
+
+    def windows(self) -> Dict[str, Dict[str, Any]]:
+        """Dispatch window docs by window id, in launch order."""
+        return {wid: dict(doc) for wid, doc in self._windows.items()}
+
+    @property
+    def last_session_ord(self) -> int:
+        """Highest numeric session ordinal ever admitted — a restarted
+        service re-seeds its id counter past this so ids never collide
+        with persisted (or tombstoned) sessions."""
+        ids = list(self._states) + list(self._gone)
+        return max((_ordinal(sid, "s") for sid in ids), default=0)
+
+    @property
+    def last_window_ord(self) -> int:
+        return max((_ordinal(wid, "w") for wid in self._windows),
+                   default=0)
+
+    def materialize(self, session_id: str, *,
+                    now: float = 0.0) -> SessionRecord:
+        """Rebuild a live :class:`SessionRecord` from persisted state.
+
+        The event log is restored with its retained tail, id counters
+        and seal flag (terminal states sealed their logs), and the
+        journal hooks are re-attached so the resumed session keeps
+        journaling.  Runtime attachments (engine, cancel hooks,
+        deadline) start empty — the service re-wires them during
+        recovery.  The record is registered as live.
+        """
+        with self._lock:
+            st = self._states.get(session_id)
+            if st is None:
+                raise KeyError(f"no persisted session {session_id!r}")
+            if session_id in self._records:
+                return self._records[session_id]
+            doc = st["record"]
+            events = [Event.build(int(e["seq"]), str(e["type"]),
+                                  e["payload"]) for e in st["events"]]
+            log = EventLog.restore(
+                int(doc.get("capacity", 64)), events,
+                next_seq=st["next_seq"], acked=st["acked"],
+                sealed=doc["state"] in TERMINAL_STATES,
+                appended=st["appended"])
+            record = SessionRecord(
+                session_id=session_id,
+                kind=doc["kind"],
+                spec=parse_spec(doc["spec"]),
+                seed=int(doc["seed"]),
+                log=log,
+                state=doc["state"],
+                created_at=doc.get("created_at", 0.0),
+                last_activity=now,
+                cost_seconds=doc.get("cost_seconds", 0.0),
+                error=doc.get("error"),
+                last_snapshot=doc.get("last_snapshot"),
+                degraded_flagged=bool(doc.get("degraded_flagged", False)),
+                retries=int(doc.get("retries", 0)),
+                fingerprint=doc.get("fingerprint"),
+            )
+            self._records[session_id] = record
+        self._attach_journal(record)
+        return record
+
+    def stream_pos(self, session_id: str) -> int:
+        """Snapshots (progressive + final) this session ever published
+        — the replay skip count for recovery."""
+        st = self._states.get(session_id)
+        return int(st["stream_pos"]) if st is not None else 0
+
+    def disturbed(self, session_id: str) -> bool:
+        """Whether this session's run was perturbed in a way replay
+        cannot reproduce (mid-run cancel/expiry, deadline truncation,
+        engine retry).  Checks tombstones too — a swept member still
+        poisons its window."""
+        st = self._states.get(session_id)
+        if st is not None:
+            return bool(st["disturbed"])
+        tomb = self._gone.get(session_id)
+        return bool(tomb and tomb.get("disturbed"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DurableSessionStore({self._dir!r}, "
+                f"live={len(self._records)}, "
+                f"persisted={len(self._states)})")

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Any, Deque, List, Mapping, Optional
+from typing import Any, Callable, Deque, Iterable, List, Mapping, Optional
 
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
@@ -45,13 +45,20 @@ from repro.service.protocol import (
 
 
 class ResumeGapError(ServiceError):
-    """Resume requested below the ack floor: those events were pruned."""
+    """Resume requested below the ack floor: those events were pruned.
+
+    Carries the offending ``after`` and the current ``acked`` floor both
+    as attributes and as structured ``details``, so the error survives a
+    wire round-trip intact and a client can re-poll from ``acked``
+    without parsing the message.
+    """
 
     def __init__(self, after: int, acked: int) -> None:
         super().__init__(
             ERR_RESUME_GAP,
             f"cannot resume from event id {after}: events up to {acked} "
-            "were acked and pruned; resume from the last acked id")
+            "were acked and pruned; resume from the last acked id",
+            details={"after": int(after), "acked": int(acked)})
         self.after = after
         self.acked = acked
 
@@ -68,11 +75,43 @@ class EventLog:
         self._next_seq = 1
         self._acked = 0
         self._sealed = False
+        # Durability hooks (see set_journal): called synchronously under
+        # the condition lock, so the write-ahead order matches the
+        # in-memory order exactly.
+        self._journal_append: Optional[Callable[[Event], None]] = None
+        self._journal_ack: Optional[Callable[[int], None]] = None
         #: Total events ever appended (monitoring).
         self.appended = 0
         #: High-water mark of retained (unacked) events — the bounded-
         #: memory assertion of the load harness reads this.
         self.max_retained = 0
+
+    @classmethod
+    def restore(cls, capacity: int, events: Iterable[Event], *,
+                next_seq: int, acked: int, sealed: bool,
+                appended: int = 0) -> "EventLog":
+        """Reconstruct a log from a durable store's persisted state:
+        the retained (unacked) tail, the id counters and the seal flag.
+        Appends continue from ``next_seq``, so a resumed session's ids
+        stay contiguous with what clients already consumed."""
+        log = cls(capacity)
+        log._events.extend(events)
+        log._next_seq = int(next_seq)
+        log._acked = int(acked)
+        log._sealed = bool(sealed)
+        log.appended = int(appended)
+        log.max_retained = len(log._events)
+        return log
+
+    def set_journal(self, on_append: Callable[[Event], None],
+                    on_ack: Callable[[int], None]) -> None:
+        """Attach durability callbacks: ``on_append(event)`` fires for
+        every accepted append *before* the event becomes readable,
+        ``on_ack(acked)`` when a read advances the ack floor.  Both run
+        under the log's condition lock on the event loop, so a durable
+        store sees appends and acks in exactly the observable order."""
+        self._journal_append = on_append
+        self._journal_ack = on_ack
 
     # ------------------------------------------------------------ properties
     @property
@@ -117,7 +156,10 @@ class EventLog:
                 return None
             seq = self._next_seq
             self._next_seq += 1
-            self._events.append(Event.build(seq, event_type, payload))
+            event = Event.build(seq, event_type, payload)
+            if self._journal_append is not None:
+                self._journal_append(event)   # durable before observable
+            self._events.append(event)
             self.appended += 1
             if len(self._events) > self.max_retained:
                 self.max_retained = len(self._events)
@@ -158,6 +200,8 @@ class EventLog:
                 self._acked = after
                 while self._events and self._events[0].seq <= after:
                     self._events.popleft()
+                if self._journal_ack is not None:
+                    self._journal_ack(after)
                 self._cond.notify_all()   # wake a backpressured producer
             elif after < self._acked:
                 raise ResumeGapError(after, self._acked)

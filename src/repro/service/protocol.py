@@ -81,12 +81,17 @@ class ServiceError(Exception):
 
     Handlers raise it; the dispatch layer turns it into an
     ``{"ok": false, "error": code, "message": ...}`` response, and the
-    clients raise it again on the caller's side.
+    clients raise it again on the caller's side.  ``details`` is an
+    optional JSON-safe dict of structured context (e.g. the current ack
+    floor of a resume gap) that travels in the error response, so
+    clients can recover programmatically instead of parsing messages.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(self, code: str, message: str, *,
+                 details: Optional[Dict[str, Any]] = None) -> None:
         super().__init__(message)
         self.code = code
+        self.details = details
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ServiceError({self.code!r}, {str(self)!r})"
@@ -320,3 +325,37 @@ def parse_spec(raw: Any) -> SpecLike:
         ERR_BAD_SPEC,
         f"unknown spec kind {kind!r}; known: "
         f"{[StatisticSpec.kind, QuerySpec.kind, JobSpec.kind]}")
+
+
+def spec_to_dict(spec: SpecLike) -> Dict[str, Any]:
+    """The inverse of :func:`parse_spec`: a JSON-safe submit document.
+
+    ``parse_spec(spec_to_dict(s)) == s`` for every valid spec — the
+    round-trip the durable session store relies on to persist specs and
+    replay them after a restart.
+    """
+    if isinstance(spec, StatisticSpec):
+        return {"kind": spec.kind, "dataset": spec.dataset,
+                "statistic": spec.statistic, "sigma": spec.sigma,
+                "error_metric": spec.error_metric, "B": spec.B,
+                "n": spec.n, "deadline_seconds": spec.deadline_seconds}
+    if isinstance(spec, QuerySpec):
+        select = []
+        for entry in spec.select:
+            column: Any = entry.column
+            if isinstance(column, tuple):
+                column = list(column)
+            select.append({"statistic": entry.statistic, "column": column,
+                           "sigma": entry.sigma, "name": entry.name})
+        return {"kind": spec.kind, "table": spec.table, "select": select,
+                "group_by": spec.group_by,
+                "where": None if spec.where is None else list(spec.where),
+                "sigma": spec.sigma,
+                "deadline_seconds": spec.deadline_seconds}
+    if isinstance(spec, JobSpec):
+        return {"kind": spec.kind, "cluster": spec.cluster,
+                "path": spec.path, "statistic": spec.statistic,
+                "sigma": spec.sigma,
+                "on_unavailable": spec.on_unavailable,
+                "deadline_seconds": spec.deadline_seconds}
+    raise TypeError(f"not a spec: {spec!r}")

@@ -48,6 +48,7 @@ protocol.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import threading
 import time
@@ -85,6 +86,7 @@ from repro.service.protocol import (
     ServiceError,
     StatisticSpec,
     parse_spec,
+    spec_to_dict,
 )
 from repro.service.store import InMemorySessionStore, SessionRecord, SessionStore
 from repro.util.rng import ensure_rng
@@ -137,7 +139,9 @@ class ApproxQueryService:
                  retry_backoff: float = 0.05,
                  clock=time.monotonic) -> None:
         self._config = config or EarlConfig()
-        self._store = store or InMemorySessionStore()
+        # Not `store or ...`: stores define __len__, so an *empty*
+        # store is falsy and would silently be swapped for a fresh one.
+        self._store = store if store is not None else InMemorySessionStore()
         self._seed_rng = ensure_rng(seed)
         self._event_capacity = event_capacity
         self._batch_window = batch_window
@@ -153,6 +157,7 @@ class ApproxQueryService:
         self._tables: Dict[str, Mapping[str, Any]] = {}
         self._clusters: Dict[str, Any] = {}
         self._ids = itertools.count(1)
+        self._window_ids = itertools.count(1)
         self._pending: List[SessionRecord] = []
         self._threads: List[threading.Thread] = []
         self._tasks: List[asyncio.Task] = []
@@ -160,6 +165,7 @@ class ApproxQueryService:
         self._pending_wakeup: Optional[asyncio.Event] = None
         self._started = False
         self._stopped = False
+        self._crashed = False
 
     # ----------------------------------------------------------- data plane
     @property
@@ -185,12 +191,21 @@ class ApproxQueryService:
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
-        """Start the dispatcher and TTL sweeper on the running loop."""
+        """Start the dispatcher and TTL sweeper on the running loop.
+
+        When the store is durable and holds persisted sessions from a
+        previous process, recovery runs first: terminal sessions serve
+        their persisted tails, pending sessions are re-admitted, and
+        running sessions resume by deterministic replay (or finalize
+        honestly when replay is impossible) — see :meth:`_recover`.
+        """
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
         self._loop = asyncio.get_running_loop()
         self._pending_wakeup = asyncio.Event()
+        if self._store.durable:
+            await self._recover()
         self._tasks.append(asyncio.create_task(self._dispatch_loop()))
         self._tasks.append(asyncio.create_task(self._sweep_loop()))
 
@@ -221,6 +236,34 @@ class ApproxQueryService:
             loop = asyncio.get_running_loop()
             await loop.run_in_executor(
                 None, lambda: [t.join(timeout=30.0) for t in threads])
+        self._store.close()
+
+    async def crash(self) -> None:
+        """Simulate abrupt process death (the in-process SIGKILL).
+
+        Unlike :meth:`stop`, nothing is cancelled, finalized or
+        persisted: loop tasks are torn down, the event logs are sealed
+        *in memory only* (releasing backpressured producers so runner
+        threads exit), and the store is closed exactly as a killed
+        process would have left it.  A new service opened on the same
+        store sees precisely the crash-consistent WAL state.
+        """
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        self._crashed = True
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        for rec in self._store.records():
+            await rec.log.seal()
+        threads, self._threads = self._threads, []
+        if threads:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, lambda: [t.join(timeout=30.0) for t in threads])
+        self._store.close()
 
     # -------------------------------------------------------------- dispatch
     async def handle(self, request: Any) -> Dict[str, Any]:
@@ -246,7 +289,10 @@ class ApproxQueryService:
             response["ok"] = True
             return response
         except ServiceError as exc:
-            return {"ok": False, "error": exc.code, "message": str(exc)}
+            response = {"ok": False, "error": exc.code, "message": str(exc)}
+            if exc.details:
+                response["details"] = exc.details
+            return response
         except Exception as exc:  # a handler bug must not kill the server
             return {"ok": False, "error": ERR_INTERNAL,
                     "message": f"{type(exc).__name__}: {exc}"}
@@ -362,16 +408,67 @@ class ApproxQueryService:
             kind=spec.kind, spec=spec,
             seed=int(self._seed_rng.integers(0, 2**63 - 1)),
             log=EventLog(capacity=self._event_capacity),
-            created_at=now, last_activity=now)
+            created_at=now, last_activity=now,
+            fingerprint=(self._fingerprint(spec)
+                         if self._store.durable else None))
         self._store.add(rec)
         return rec
 
     def _session_config(self, rec: SessionRecord) -> EarlConfig:
-        cfg = replace(self._config, seed=rec.seed)
-        sigma = getattr(rec.spec, "sigma", None)
+        return self._spec_config(rec.spec, rec.seed)
+
+    def _spec_config(self, spec: Any, seed: int) -> EarlConfig:
+        cfg = replace(self._config, seed=seed)
+        sigma = getattr(spec, "sigma", None)
         if sigma is not None:
             cfg = replace(cfg, sigma=sigma)
         return cfg
+
+    # -------------------------------------------------- source fingerprints
+    def _fingerprint(self, spec: Any) -> Optional[str]:
+        """Content digest of the spec's source, taken at submit time by
+        durable deployments.  Recovery replays a session only when the
+        fingerprint still matches — replay against changed data would
+        silently produce different bytes while claiming byte-identity.
+        For job specs the digest covers the HDFS file *and* the set of
+        live nodes, because §3.4 replans depend on both."""
+        digest = hashlib.sha256()
+        try:
+            if isinstance(spec, StatisticSpec):
+                self._digest_array(digest, self._datasets[spec.dataset])
+            elif isinstance(spec, QuerySpec):
+                for name in sorted(self._tables[spec.table]):
+                    digest.update(name.encode())
+                    self._digest_array(digest,
+                                       self._tables[spec.table][name])
+            else:
+                cluster = self._clusters[spec.cluster]
+                try:
+                    lines = cluster.hdfs.read_lines(spec.path)
+                except Exception:
+                    lines = None
+                if lines is None:
+                    digest.update(b"<missing>")
+                else:
+                    for line in lines:
+                        digest.update(str(line).encode())
+                        digest.update(b"\n")
+                alive = sorted(node.node_id for node in cluster.nodes
+                               if node.alive)
+                digest.update(repr(alive).encode())
+        except Exception:
+            return None
+        return digest.hexdigest()
+
+    @staticmethod
+    def _digest_array(digest: Any, values: Any) -> None:
+        arr = np.asarray(values)
+        if arr.dtype.hasobject:
+            digest.update(repr(arr.tolist()).encode())
+        else:
+            digest.update(str(arr.dtype).encode())
+            digest.update(repr(arr.shape).encode())
+            digest.update(arr.tobytes())
 
     async def _submit_query(self, spec: QuerySpec,
                             now: float) -> SessionRecord:
@@ -407,6 +504,19 @@ class ApproxQueryService:
                 f"on_unavailable must be 'skip' or 'fail', "
                 f"got {spec.on_unavailable!r}")
         rec = self._new_record(spec, now)
+        make_stream = self._job_stream_factory(rec)
+        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+        await self._mark_running(rec)
+        self._spawn_runner(f"svc-job-{rec.session_id}",
+                           self._drive_stream, make_stream(), rec,
+                           grouped=False, restart=make_stream)
+        return rec
+
+    def _job_stream_factory(self, rec: SessionRecord) -> Any:
+        """A zero-arg factory of fresh job streams: retries after a
+        transient cluster failure — and recovery replays after a crash
+        — reconstruct the engine with the same seed and config."""
+        spec = rec.spec
         kwargs: Dict[str, Any] = {}
         if spec.on_unavailable is not None:
             kwargs["on_unavailable"] = spec.on_unavailable
@@ -414,17 +524,10 @@ class ApproxQueryService:
         config = self._session_config(rec)
 
         def make_stream() -> Any:
-            # A fresh engine per attempt: retries after a transient
-            # cluster failure replay with the same seed and config.
             return EarlJob(cluster, spec.path, statistic=spec.statistic,
                            config=config, **kwargs).stream()
 
-        await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
-        await self._mark_running(rec)
-        self._spawn_runner(f"svc-job-{rec.session_id}",
-                           self._drive_stream, make_stream(), rec,
-                           grouped=False, restart=make_stream)
-        return rec
+        return make_stream
 
     # ---------------------------------------------------- window dispatch
     async def flush(self) -> None:
@@ -469,6 +572,7 @@ class ApproxQueryService:
         running: Dict[str, SessionRecord] = {}
         tables: List[str] = []
         batch_cfg: Dict[str, EarlConfig] = {}
+        batch_seeds: Dict[str, int] = {}
         for rec in batch:
             spec = rec.spec
             if isinstance(spec, QuerySpec):
@@ -480,6 +584,7 @@ class ApproxQueryService:
                 if cfg is None:
                     cfg = replace(self._config, seed=rec.seed)
                     batch_cfg[spec.dataset] = cfg
+                    batch_seeds[spec.dataset] = rec.seed
                 try:
                     handle = sched.submit_statistic(
                         self._datasets[spec.dataset], spec.statistic,
@@ -497,6 +602,19 @@ class ApproxQueryService:
             running[rec.session_id] = rec
         if not running:
             return
+        if self._store.durable:
+            # Window composition durable *before* any member is
+            # observably running: recovery rebuilds the exact shared
+            # scan (member order, per-dataset batch seeds) and replays.
+            self._store.record_window(
+                f"w{next(self._window_ids):06d}",
+                {"members": [{"session": rec.session_id,
+                              "kind": rec.kind,
+                              "spec": spec_to_dict(rec.spec),
+                              "seed": int(rec.seed),
+                              "fingerprint": rec.fingerprint}
+                             for rec in running.values()],
+                 "seeds": batch_seeds})
         for rec in running.values():
             await self._mark_running(rec)
         self._spawn_runner(f"svc-batch-{'+'.join(sorted(tables))}",
@@ -511,11 +629,26 @@ class ApproxQueryService:
         thread.start()
 
     def _drive_scheduler(self, sched: QueryScheduler,
-                         records: Dict[str, SessionRecord]) -> None:
+                         records: Dict[str, SessionRecord], *,
+                         skip: Optional[Dict[str, int]] = None,
+                         replay: bool = False) -> None:
         """Drive one dispatch window's scheduler; runs in a dedicated
         thread.  Closing the stream in ``finally`` tears down every
         engine the scheduler built (executor pools included), so an
-        expired or cancelled window never leaks a pool."""
+        expired or cancelled window never leaks a pool.
+
+        In recovery (``replay=True``) ``skip`` holds, per session, the
+        number of snapshots already published before the crash: the
+        rebuilt window re-derives them deterministically and this loop
+        discards them, so clients see the stream continue byte-for-byte
+        where it stopped.  Sessions the window no longer tracks
+        (terminal or swept members, resubmitted only to reproduce the
+        shared scan) miss the ``records`` lookup and are discarded
+        *without* cancelling — a cancel would perturb the shared
+        rounds.  If replay dries up before a session reaches its
+        recovery point, the run diverged (source changed undetected)
+        and the session is finalized honestly instead.
+        """
         try:
             gen = sched.stream()
             try:
@@ -526,6 +659,9 @@ class ApproxQueryService:
                     if rec.cancel_flag.is_set():
                         handle.cancel()
                         continue
+                    if skip is not None and skip.get(handle.name, 0) > 0:
+                        skip[handle.name] -= 1
+                        continue
                     outcome = self._publish_snapshot(
                         rec, snap, grouped=isinstance(snap, GroupedSnapshot))
                     if outcome is None:  # sealed (cancelled/expired)
@@ -534,6 +670,12 @@ class ApproxQueryService:
                         handle.cancel()  # deadline finalized mid-run
             finally:
                 gen.close()
+            if replay:
+                for rec in records.values():
+                    if not rec.terminal and not rec.cancel_flag.is_set():
+                        self._from_thread(self._finalize_recovery(
+                            rec, "replay ended before the session's "
+                                 "recovery point"))
         except BaseException as exc:  # noqa: BLE001 - must not die silently
             message = f"{type(exc).__name__}: {exc}"
             for rec in records.values():
@@ -541,13 +683,21 @@ class ApproxQueryService:
                     self._from_thread(self._fail(rec, message))
 
     def _drive_stream(self, gen: Any, rec: SessionRecord, *,
-                      grouped: bool, restart=None) -> None:
+                      grouped: bool, restart=None, skip: int = 0,
+                      replay: bool = False) -> None:
         """Drive one grouped/cluster engine; runs in a dedicated thread.
 
         ``restart`` (a zero-arg factory returning a fresh stream) opts
         the session into transient-failure retries: up to
         ``engine_retries`` attempts with capped exponential backoff, a
         ``retry`` event per attempt, then a terminal failure.
+
+        In recovery (``replay=True``) the first ``skip`` snapshots are
+        the ones already published before the crash — re-derived
+        deterministically and discarded, so the resumed stream is
+        byte-identical past the crash point.  A replay that ends while
+        the session is still live diverged from the original run and
+        finalizes honestly.
         """
         attempts = 0
         while True:
@@ -556,6 +706,9 @@ class ApproxQueryService:
                     for snap in gen:
                         if rec.cancel_flag.is_set():
                             break
+                        if skip > 0:
+                            skip -= 1
+                            continue
                         outcome = self._publish_snapshot(rec, snap,
                                                          grouped=grouped)
                         if outcome is None:
@@ -564,6 +717,11 @@ class ApproxQueryService:
                             break   # deadline finalized; stop sampling
                 finally:
                     gen.close()   # only the driving thread may close it
+                if (replay and not rec.terminal
+                        and not rec.cancel_flag.is_set()):
+                    self._from_thread(self._finalize_recovery(
+                        rec, "replay ended before the session's "
+                             "recovery point"))
                 return
             except BaseException as exc:  # noqa: BLE001 - surface, don't hang
                 message = f"{type(exc).__name__}: {exc}"
@@ -639,6 +797,8 @@ class ApproxQueryService:
         """Append from a runner thread; blocking on the future is what
         propagates the event log's backpressure into the engine."""
         assert self._loop is not None
+        if self._crashed:
+            return None   # the "process" is dead: nothing may land
         try:
             return asyncio.run_coroutine_threadsafe(
                 rec.log.append(event_type, payload), self._loop).result()
@@ -647,6 +807,9 @@ class ApproxQueryService:
 
     def _from_thread(self, coro: Awaitable[Any]) -> None:
         assert self._loop is not None
+        if self._crashed:
+            coro.close()   # the "process" is dead: drop the transition
+            return
         try:
             asyncio.run_coroutine_threadsafe(coro, self._loop).result()
         except (RuntimeError, asyncio.CancelledError):
@@ -658,6 +821,7 @@ class ApproxQueryService:
         deadline = getattr(rec.spec, "deadline_seconds", None)
         if deadline is not None:
             rec.deadline_at = self._clock() + deadline
+        self._store.update(rec)
         await rec.log.append(EVENT_STATE, {"state": STATE_RUNNING})
 
     async def _terminate(self, rec: SessionRecord, state: str,
@@ -670,6 +834,7 @@ class ApproxQueryService:
         rec.state = state
         if error is not None:
             rec.error = error
+        self._store.update(rec)
         payload: Dict[str, Any] = {"state": state}
         if error is not None:
             payload["error"] = error
@@ -744,3 +909,243 @@ class ApproxQueryService:
         else:
             await self._fail(
                 rec, "deadline exceeded before the first snapshot")
+
+    # ------------------------------------------------------------- recovery
+    async def _recover(self) -> None:
+        """Rebuild every persisted session after a restart.
+
+        Terminal sessions only need their event tails served — they
+        are materialized and left alone.  Pending sessions re-enter
+        the dispatch queue (their engines re-planned from spec+seed).
+        Running sessions resume by deterministic replay: their dispatch
+        window is rebuilt from the journaled composition, the engines
+        re-derive every pre-crash snapshot, and the runner discards the
+        first ``stream_pos`` of them so the client-visible stream
+        continues byte-for-byte.  Sessions replay cannot reproduce —
+        source fingerprints changed, a window member was cancelled or
+        truncated mid-run, a job retried — finalize honestly with the
+        best persisted answer marked ``degraded`` (never silently
+        vanish).  Deadlines re-arm from restart time; nothing is
+        double-charged because the cost ledger rides the snapshots.
+        """
+        store = self._store
+        ids = store.persisted_ids()
+        self._ids = itertools.count(store.last_session_ord + 1)
+        self._window_ids = itertools.count(store.last_window_ord + 1)
+        if not ids:
+            return
+        now = self._clock()
+        live: Dict[str, SessionRecord] = {
+            sid: store.materialize(sid, now=now) for sid in ids}
+        for rec in live.values():
+            # Finish interrupted terminations: the final snapshot
+            # landed but the crash beat the state transition.
+            if (not rec.terminal and rec.last_snapshot is not None
+                    and rec.last_snapshot.get("final")):
+                await self._terminate(rec, STATE_DONE)
+        windows = store.windows()
+        member_of: Dict[str, str] = {}
+        for wid, doc in windows.items():
+            for member in doc.get("members", ()):
+                member_of[member["session"]] = wid
+        handled: set = set()
+        for sid in ids:
+            rec = live[sid]
+            if sid in handled or rec.terminal:
+                continue
+            if rec.state == STATE_PENDING:
+                await self._readmit(rec)
+            elif isinstance(rec.spec, JobSpec):
+                await self._recover_job(rec)
+            elif sid in member_of:
+                await self._recover_window(
+                    windows[member_of[sid]], live, handled)
+            else:
+                # Running with no journaled window: the crash beat the
+                # window entry; no snapshot was ever published.
+                await self._finalize_recovery(
+                    rec, "no dispatch window was recorded before the "
+                         "crash")
+
+    async def _readmit(self, rec: SessionRecord) -> None:
+        """A pending session lost nothing: re-validate its source,
+        re-plan its engine and put it back in the dispatch queue."""
+        spec = rec.spec
+        try:
+            if isinstance(spec, StatisticSpec):
+                if spec.dataset not in self._datasets:
+                    raise ValueError(
+                        f"dataset {spec.dataset!r} is not registered")
+            elif isinstance(spec, QuerySpec):
+                if spec.table not in self._tables:
+                    raise ValueError(
+                        f"table {spec.table!r} is not registered")
+                query = Query(list(spec.select), group_by=spec.group_by,
+                              where=spec.where).on(
+                    self._tables[spec.table],
+                    config=self._session_config(rec))
+                rec.engine = query.plan()
+                rec.engine_cancel = rec.engine.cancel
+            elif spec.cluster not in self._clusters:
+                raise ValueError(
+                    f"cluster {spec.cluster!r} is not registered")
+        except (ValueError, TypeError, KeyError) as exc:
+            await self._fail(rec, f"recovery re-admission failed: {exc}")
+            return
+        # A pending session never sampled, so a changed source is fine
+        # — it simply runs against the data as it now stands.  Refresh
+        # the fingerprint so a *later* crash replays against the right
+        # baseline.
+        fingerprint = self._fingerprint(spec)
+        if fingerprint != rec.fingerprint:
+            rec.fingerprint = fingerprint
+            self._store.update(rec)
+        if rec.log.last_seq == 0:
+            await rec.log.append(EVENT_STATE, {"state": STATE_PENDING})
+        if isinstance(spec, JobSpec):
+            make_stream = self._job_stream_factory(rec)
+            await self._mark_running(rec)
+            self._spawn_runner(f"svc-job-{rec.session_id}",
+                               self._drive_stream, make_stream(), rec,
+                               grouped=False, restart=make_stream)
+        else:
+            self._pending.append(rec)
+            assert self._pending_wakeup is not None
+            self._pending_wakeup.set()
+
+    async def _recover_job(self, rec: SessionRecord) -> None:
+        """Resume one running cluster job by replay, or finalize."""
+        spec = rec.spec
+        reason: Optional[str] = None
+        if spec.cluster not in self._clusters:
+            reason = f"cluster {spec.cluster!r} is no longer registered"
+        elif rec.retries or self._store.disturbed(rec.session_id):
+            reason = ("the original run was perturbed (retried or "
+                      "truncated) and cannot be replayed")
+        elif self._fingerprint(spec) != rec.fingerprint:
+            reason = "the source file or cluster changed since submit"
+        if reason is not None:
+            await self._finalize_recovery(rec, reason)
+            return
+        deadline = getattr(spec, "deadline_seconds", None)
+        if deadline is not None:
+            rec.deadline_at = self._clock() + deadline
+        make_stream = self._job_stream_factory(rec)
+        self._spawn_runner(
+            f"svc-job-{rec.session_id}", self._drive_stream,
+            make_stream(), rec, grouped=False, restart=None,
+            skip=self._store.stream_pos(rec.session_id), replay=True)
+
+    async def _recover_window(self, doc: Mapping[str, Any],
+                              live: Dict[str, SessionRecord],
+                              handled: set) -> None:
+        """Resume one dispatch window by rebuilding the exact shared
+        scheduler run it was launched with.
+
+        *Every* original member is resubmitted in order — including
+        terminal and swept ones, whose replayed snapshots are discarded
+        — because the shared scan, the per-dataset batch seed and the
+        global budget split all depend on the full composition.  Any
+        member that perturbed the run mid-flight (cancel, expiry,
+        deadline truncation, retry) or whose source changed makes the
+        whole window non-replayable: its live members finalize honestly
+        instead.
+        """
+        members = list(doc.get("members", ()))
+        for member in members:
+            handled.add(member["session"])
+        resumable = [live[m["session"]] for m in members
+                     if m["session"] in live
+                     and not live[m["session"]].terminal]
+        if not resumable:
+            return
+        reason: Optional[str] = None
+        for member in members:
+            sid = member["session"]
+            spec = parse_spec(member["spec"])
+            if self._store.disturbed(sid):
+                reason = (f"window member {sid} was cancelled, expired, "
+                          "truncated or retried mid-run")
+            elif isinstance(spec, QuerySpec):
+                if spec.table not in self._tables:
+                    reason = (f"table {spec.table!r} is no longer "
+                              "registered")
+                elif self._fingerprint(spec) != member.get("fingerprint"):
+                    reason = (f"table {spec.table!r} changed since the "
+                              "original run")
+            elif spec.dataset not in self._datasets:
+                reason = (f"dataset {spec.dataset!r} is no longer "
+                          "registered")
+            elif self._fingerprint(spec) != member.get("fingerprint"):
+                reason = (f"dataset {spec.dataset!r} changed since the "
+                          "original run")
+            if reason is not None:
+                break
+        if reason is not None:
+            for rec in resumable:
+                await self._finalize_recovery(rec, reason)
+            return
+        sched = QueryScheduler()
+        running: Dict[str, SessionRecord] = {}
+        skip: Dict[str, int] = {}
+        seeds = doc.get("seeds", {})
+        now = self._clock()
+        try:
+            for member in members:
+                sid = member["session"]
+                spec = parse_spec(member["spec"])
+                seed = int(member["seed"])
+                if isinstance(spec, QuerySpec):
+                    engine = Query(list(spec.select),
+                                   group_by=spec.group_by,
+                                   where=spec.where).on(
+                        self._tables[spec.table],
+                        config=self._spec_config(spec, seed)).plan()
+                    handle = sched.submit_grouped(engine, name=sid)
+                else:
+                    engine = None
+                    cfg = replace(self._config,
+                                  seed=int(seeds[spec.dataset]))
+                    handle = sched.submit_statistic(
+                        self._datasets[spec.dataset], spec.statistic,
+                        config=cfg, table=spec.dataset,
+                        sigma=spec.sigma, error_metric=spec.error_metric,
+                        B_override=spec.B, n_override=spec.n, name=sid)
+                rec = live.get(sid)
+                if rec is not None and not rec.terminal:
+                    if engine is not None:
+                        rec.engine = engine
+                    rec.engine_cancel = handle.cancel
+                    running[sid] = rec
+                    skip[sid] = self._store.stream_pos(sid)
+        except (ValueError, TypeError, KeyError) as exc:
+            for rec in resumable:
+                await self._finalize_recovery(
+                    rec, f"window rebuild failed: {exc}")
+            return
+        if not running:
+            return
+        for rec in running.values():
+            deadline = getattr(rec.spec, "deadline_seconds", None)
+            if deadline is not None:
+                rec.deadline_at = now + deadline
+        self._spawn_runner("svc-recover", self._drive_scheduler,
+                           sched, running, skip=skip, replay=True)
+
+    async def _finalize_recovery(self, rec: SessionRecord,
+                                 reason: str) -> None:
+        """Replay is impossible: finalize with the best persisted
+        answer, honestly marked degraded — a session never silently
+        vanishes across a restart."""
+        if rec.terminal:
+            return
+        if rec.last_snapshot is not None:
+            payload = dict(rec.last_snapshot)
+            payload["final"] = True
+            payload["degraded"] = True
+            payload["recovery"] = reason
+            await rec.log.append(EVENT_FINAL, payload, force=True)
+            await self._terminate(rec, STATE_DONE)
+        else:
+            await self._fail(
+                rec, f"session is not recoverable: {reason}")

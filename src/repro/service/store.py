@@ -8,13 +8,17 @@ which is the shape a horizontally-scaled deployment needs: to shard
 the service, implement :class:`SessionStore` over an external system
 and route sessions to the process that runs their engine.
 
-The in-memory store shipped here (:class:`InMemorySessionStore`) keeps
-everything in one dict.  An external implementation would persist the
-*control-plane* fields (id, kind, spec, state, timestamps, cost,
-error) plus the event log's retained tail; the runtime attachments —
-the live :class:`~repro.service.events.EventLog` condition, the
-``cancel_flag`` and ``engine_cancel`` callable — are only meaningful
-in the process hosting the engine and would be reconstructed there.
+Two implementations ship.  :class:`InMemorySessionStore` keeps
+everything in one dict and evaporates with the process.
+:class:`~repro.service.durable.DurableSessionStore` persists the
+*control-plane* fields (id, kind, spec, seed, state, timestamps, cost,
+error) plus each event log's retained tail and ack floor to an
+append-only journal, so a restarted service can re-admit pending work,
+replay running work deterministically, and serve terminal tails — see
+``DESIGN.md`` §11.  The runtime attachments — the live
+:class:`~repro.service.events.EventLog` condition, the ``cancel_flag``
+and ``engine_cancel`` callable — are only meaningful in the process
+hosting the engine and are reconstructed on load, never persisted.
 """
 
 from __future__ import annotations
@@ -67,6 +71,11 @@ class SessionRecord:
     degraded_flagged: bool = False
     #: Transient engine failures retried so far (job sessions).
     retries: int = 0
+    #: Content fingerprint of the session's source data, computed at
+    #: submit time by durable deployments.  Recovery refuses to replay
+    #: a session whose source no longer matches (replay would silently
+    #: produce different bytes) and degrade-finalizes it instead.
+    fingerprint: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -78,6 +87,11 @@ class SessionRecord:
 
 class SessionStore:
     """Storage interface the stateless handlers run against."""
+
+    #: Whether the store outlives the process.  The service consults
+    #: this to decide if it should journal dispatch windows, fingerprint
+    #: sources at submit, and attempt recovery at startup.
+    durable = False
 
     def add(self, record: SessionRecord) -> None:
         raise NotImplementedError
@@ -94,6 +108,21 @@ class SessionStore:
 
     def __len__(self) -> int:
         return len(self.records())
+
+    # ------------------------------------------------- durability hooks
+    # No-ops for volatile stores, so the service can call them
+    # unconditionally on its hot paths.
+
+    def update(self, record: SessionRecord) -> None:
+        """Persist a mutated record's control-plane fields."""
+
+    def record_window(self, window_id: str, doc: Dict[str, Any]) -> None:
+        """Persist one dispatch window's composition (member order and
+        batch seeds), which recovery needs to rebuild the exact shared
+        scan the scheduler originally ran."""
+
+    def close(self) -> None:
+        """Release any on-disk resources.  Idempotent."""
 
 
 class InMemorySessionStore(SessionStore):

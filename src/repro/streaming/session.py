@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.accuracy import AccuracyEstimate, AccuracyEstimationStage
+from repro.core.checkpoint import checkpoint_doc, loss_event, replay_stream
 from repro.core.config import EarlConfig
 from repro.core.correction import CorrectionLike, get_correction
 from repro.core.earl import (
@@ -172,6 +173,10 @@ class SessionManager:
         # §3.4 degraded-mode state: pending loss reports, applied at the
         # next round boundary, and the resulting accounting.
         self._pending_loss: List[Tuple[float, Optional[Any]]] = []
+        # Checkpoint provenance: events produced so far (prepare and
+        # every round) and the losses applied, pinned to boundaries.
+        self._events_emitted = 0
+        self._applied_losses: List[Dict[str, Any]] = []
         self._rng: Optional[np.random.Generator] = None
         self._loss_rng: Optional[np.random.Generator] = None
         self._original_bound = 0
@@ -425,6 +430,7 @@ class SessionManager:
         except BaseException:
             self.finish()
             raise
+        self._events_emitted += len(events)
         return events
 
     @property
@@ -548,6 +554,7 @@ class SessionManager:
             query.snapshots.append(snapshot)
             events.append((query, snapshot))
         self._active = still_active
+        self._events_emitted += len(events)
         return events
 
     def finalize(self) -> List[Tuple[QueryHandle, ProgressSnapshot]]:
@@ -572,6 +579,7 @@ class SessionManager:
             query.snapshots.append(snapshot)
             events.append((query, snapshot))
         self._active = []
+        self._events_emitted += len(events)
         return events
 
     def finish(self) -> None:
@@ -589,6 +597,31 @@ class SessionManager:
             pass
         return {query.name: query.result for query in self._queries}
 
+    # ------------------------------------------------------------ checkpoint
+    def checkpoint(self) -> Dict[str, Any]:
+        """Round-boundary checkpoint: the count of ``(query, snapshot)``
+        events produced so far (pilot resolutions plus every round) and
+        the losses applied, pinned to their boundaries.  Valid between
+        rounds; with the construction arguments (data, config incl.
+        seed, submissions in order) it is everything :meth:`restore`
+        needs — recovery is deterministic replay, no bootstrap state is
+        serialized."""
+        return checkpoint_doc(self._events_emitted, self._applied_losses)
+
+    def restore(self, checkpoint: Mapping[str, Any]
+                ) -> Iterator[Tuple[QueryHandle, ProgressSnapshot]]:
+        """Resume from a :meth:`checkpoint` taken on an identically-
+        constructed manager (same data, config and submissions in the
+        same order): yields exactly the remaining ``(query, snapshot)``
+        events, byte-identical to an uninterrupted run.  Must be called
+        on a fresh manager; raises
+        :class:`~repro.core.checkpoint.CheckpointReplayError` when the
+        replay cannot reach the checkpointed round."""
+        if self._started:
+            raise RuntimeError("restore() needs a fresh manager; this "
+                               "one already streamed")
+        return replay_stream(self, checkpoint)
+
     # --------------------------------------------------------------- helpers
     def _apply_losses(self, active: List[QueryHandle]) -> None:
         """Drop the reported losses from the shared sample and rebuild
@@ -603,6 +636,9 @@ class SessionManager:
         consistent resample state.  At least one row always survives.
         """
         events, self._pending_loss = self._pending_loss, []
+        for fraction, seed in events:
+            self._applied_losses.append(
+                loss_event(self._events_emitted, fraction, seed))
         if self._shared is None or self._bound == 0:
             return
         if self._loss_rng is None:

@@ -1,0 +1,55 @@
+"""Deterministic service server run as a subprocess by the SIGKILL
+restart test (``test_restart.py``).
+
+Usage: ``python _restart_server.py <store_dir> <port> <portfile>``
+
+Builds the exact same service every invocation (same config, seed and
+registrations), serves it over TCP on ``port`` (0 picks a free one),
+writes ``host port`` to ``portfile`` once bound, and runs until
+killed.  Restarting it against the same store directory exercises the
+real crash-recovery path: the parent SIGKILLs this process mid-query.
+"""
+
+import asyncio
+import os
+import sys
+
+import numpy as np
+
+from repro.core import EarlConfig
+from repro.service import (
+    ApproxQueryService,
+    DurableSessionStore,
+    ServiceServer,
+)
+
+#: Forces a genuinely multi-round stream (a bare tiny sigma would hit
+#: the exact-computation fallback and finish in one snapshot).
+CFG = dict(sigma=0.01, B_override=15, n_override=100,
+           expansion_factor=1.6, max_iterations=12)
+
+
+def build(store):
+    service = ApproxQueryService(
+        config=EarlConfig(**CFG), seed=1234, batch_window=0.05,
+        event_capacity=4, store=store)
+    service.register_dataset(
+        "pop", np.random.default_rng(0).lognormal(1.0, 0.5, 20_000))
+    return service
+
+
+async def main(store_dir, port, portfile):
+    service = build(DurableSessionStore(store_dir, fsync=False))
+    server = ServiceServer(service, port=port)
+    await service.start()
+    await server.start()
+    host, bound = server.address
+    tmp = portfile + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(f"{host} {bound}\n")
+    os.replace(tmp, portfile)   # atomic: the parent never reads a torn file
+    await asyncio.Event().wait()
+
+
+if __name__ == "__main__":
+    asyncio.run(main(sys.argv[1], int(sys.argv[2]), sys.argv[3]))

@@ -1,0 +1,430 @@
+"""Crash recovery: the durable service restarts without losing a byte.
+
+The tentpole guarantee under test: kill the service mid-query, restart
+it on the same store directory, and a client resuming from its last
+event id sees the exact byte stream an uninterrupted run would have
+produced — across statistic batches, shared-window grouped queries,
+pending sessions and already-terminal tails.  When replay is
+impossible (the source data changed under the store), the session
+finalizes honestly as ``degraded`` instead of silently vanishing.
+
+Two layers: in-process tests use :meth:`ApproxQueryService.crash` (the
+simulated SIGKILL — nothing is flushed or finalized beyond what the
+WAL already holds); one test SIGKILLs a real server subprocess and
+resumes over TCP through the reconnecting :class:`ServiceClient`.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.service import (
+    EVENT_FINAL,
+    EVENT_STATE,
+    STATE_DONE,
+    STATE_PENDING,
+    ApproxQueryService,
+    DurableSessionStore,
+    LocalClient,
+    ResumeGapError,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+)
+
+#: Forces genuinely multi-round streams (a bare tiny sigma would take
+#: the exact-computation fallback and finish in a single snapshot).
+CFG = dict(sigma=0.01, B_override=15, n_override=100,
+           expansion_factor=1.6, max_iterations=12)
+
+SPECS = [
+    {"kind": "statistic", "dataset": "pop", "statistic": "mean"},
+    {"kind": "statistic", "dataset": "pop", "statistic": "std"},
+    {"kind": "query", "table": "orders", "group_by": "region",
+     "select": [{"statistic": "mean", "column": "amount"}]},
+]
+
+
+def population(seed=0, size=20_000):
+    return np.random.default_rng(seed).lognormal(1.0, 0.5, size)
+
+
+def orders_table():
+    rng = np.random.default_rng(3)
+    return {"region": np.repeat(["east", "west"], 3000),
+            "amount": rng.exponential(40.0, 6000)}
+
+
+def build_service(store, *, event_capacity=4, pop=None):
+    """The deterministic service both generations (and the reference
+    run) are built from.  The tiny event capacity keeps engines at
+    most a few events ahead of the client, so a crash after partial
+    consumption reliably lands mid-query."""
+    service = ApproxQueryService(
+        config=EarlConfig(**CFG), seed=1234, batch_window=5.0,
+        event_capacity=event_capacity, store=store)
+    service.register_dataset("pop", population() if pop is None else pop)
+    service.register_table("orders", orders_table())
+    return service
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def drain_all(client, sids, cursors, collected):
+    """Round-robin drain every session to its sealed end.
+
+    Sessions sharing one dispatch window share one runner thread, and
+    the tiny event capacity means a full log blocks it — so draining
+    one session at a time can deadlock.  Interleaving the polls keeps
+    every log moving, like one client following all its sessions.
+    """
+    done = set()
+    while len(done) < len(sids):
+        for sid in sids:
+            if sid in done:
+                continue
+            page = await client.poll(sid, after=cursors[sid],
+                                     wait=True, timeout=1.0)
+            for event in page.events:
+                collected[sid].append(event.raw)
+                cursors[sid] = event.seq
+            if not page.events and page.terminal:
+                done.add(sid)
+
+
+async def reference_streams(tmp_path, specs):
+    """Per-session raw bytes of one uninterrupted run."""
+    store = DurableSessionStore(str(tmp_path / "ref"), fsync=False)
+    service = build_service(store)
+    await service.start()
+    try:
+        client = LocalClient(service)
+        sids = [await client.submit(spec) for spec in specs]
+        await service.flush()
+        cursors = {sid: 0 for sid in sids}
+        collected = {sid: [] for sid in sids}
+        await drain_all(client, sids, cursors, collected)
+        return collected
+    finally:
+        await service.stop()
+
+
+async def consume_until(client, cursors, collected, *, minimum):
+    """Poll every session (acking as it goes, like a real client)
+    until each has yielded at least ``minimum`` events.  Every session
+    is polled each sweep — see :func:`drain_all` for why."""
+    while any(len(collected[sid]) < minimum for sid in cursors):
+        for sid in cursors:
+            page = await client.poll(sid, after=cursors[sid],
+                                     wait=True, timeout=0.2)
+            for event in page.events:
+                collected[sid].append(event.raw)
+                cursors[sid] = event.seq
+
+
+class TestCrashRecovery:
+    def test_streams_byte_identical_across_crash(self, tmp_path):
+        async def scenario():
+            reference = await reference_streams(tmp_path, SPECS)
+
+            service = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await service.start()
+            client = LocalClient(service)
+            sids = [await client.submit(spec) for spec in SPECS]
+            await service.flush()
+            cursors = {sid: 0 for sid in sids}
+            collected = {sid: [] for sid in sids}
+            await consume_until(client, cursors, collected, minimum=5)
+            await service.crash()
+
+            restarted = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await restarted.start()
+            client = LocalClient(restarted)
+            try:
+                await drain_all(client, sids, cursors, collected)
+                # Fresh ids never collide with recovered sessions.
+                new_sid = await client.submit(SPECS[0])
+            finally:
+                await restarted.stop()
+            return reference, sids, collected, new_sid
+
+        reference, sids, collected, new_sid = run(scenario())
+        assert set(sids) == set(reference)
+        for sid in sids:
+            assert collected[sid] == reference[sid]
+        assert new_sid == "s000004"
+
+    def test_pending_session_readmits_and_completes(self, tmp_path):
+        async def scenario():
+            reference = await reference_streams(tmp_path, SPECS[:1])
+
+            service = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await service.start()
+            client = LocalClient(service)
+            sid = await client.submit(SPECS[0])
+            # No flush: the crash lands while the session is PENDING.
+            assert (await client.status(sid))["state"] == STATE_PENDING
+            await service.crash()
+
+            restarted = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await restarted.start()
+            client = LocalClient(restarted)
+            try:
+                assert (await client.status(sid))["state"] == STATE_PENDING
+                await restarted.flush()
+                events = await client.drain(sid)
+            finally:
+                await restarted.stop()
+            return reference[sid], sid, events
+
+        reference, sid, events = run(scenario())
+        assert [e.raw for e in events] == reference
+        pendings = [e for e in events if e.type == EVENT_STATE
+                    and e.payload == {"state": STATE_PENDING}]
+        assert len(pendings) == 1   # re-admission does not re-announce
+
+    def test_terminal_tail_served_after_restart(self, tmp_path):
+        async def scenario():
+            store = DurableSessionStore(str(tmp_path / "live"),
+                                        fsync=False)
+            service = build_service(store, event_capacity=64)
+            await service.start()
+            client = LocalClient(service)
+            sid = await client.submit(SPECS[0])
+            await service.flush()
+            # Let the session run to completion, acking only the first
+            # two events — everything after stays retained as the tail.
+            while (await client.status(sid))["state"] != STATE_DONE:
+                await asyncio.sleep(0.05)
+            page = await client.poll(sid, after=2)
+            tail = [e.raw for e in page.events]
+            assert tail
+            await service.crash()
+
+            restarted = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False),
+                event_capacity=64)
+            await restarted.start()
+            client = LocalClient(restarted)
+            try:
+                status = await client.status(sid)
+                with pytest.raises(ResumeGapError) as gap:
+                    await client.poll(sid, after=1)
+                events = await client.drain(sid, after=2)
+            finally:
+                await restarted.stop()
+            return tail, status, events, gap.value
+
+        tail, status, events, gap = run(scenario())
+        assert status["state"] == STATE_DONE
+        assert [e.raw for e in events] == tail
+        # The persisted ack floor still guards resume: polling below it
+        # after a full restart raises the typed gap error.
+        assert gap.after == 1
+        assert gap.acked == 2
+
+    def test_changed_source_degrades_honestly(self, tmp_path):
+        async def scenario():
+            service = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await service.start()
+            client = LocalClient(service)
+            sid = await client.submit(SPECS[0])
+            await service.flush()
+            cursors, collected = {sid: 0}, {sid: []}
+            await consume_until(client, cursors, collected, minimum=4)
+            await service.crash()
+
+            # The dataset is different after the restart: replay would
+            # silently produce different bytes, so it must not happen.
+            restarted = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False),
+                pop=population(seed=1))
+            await restarted.start()
+            client = LocalClient(restarted)
+            try:
+                events = await client.drain(sid, after=cursors[sid])
+                status = await client.status(sid)
+            finally:
+                await restarted.stop()
+            return events, status
+
+        events, status = run(scenario())
+        # Never vanishes: the session finalizes with the best persisted
+        # answer, honestly marked degraded, with the reason attached.
+        assert status["state"] == STATE_DONE
+        final = [e for e in events if e.type == EVENT_FINAL]
+        assert len(final) == 1
+        payload = final[0].payload
+        assert payload["final"] is True
+        assert payload["degraded"] is True
+        assert "changed since the original run" in payload["recovery"]
+        assert events[-1].payload == {"state": STATE_DONE}
+
+
+class TestSigkillSubprocess:
+    """The real thing: SIGKILL a server process mid-query, restart it
+    on the same store, resume over TCP with one reconnecting client."""
+
+    HELPER = os.path.join(os.path.dirname(__file__), "_restart_server.py")
+
+    def _spawn(self, store_dir, port, portfile):
+        if os.path.exists(portfile):
+            os.remove(portfile)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(self.HELPER), os.pardir,
+                           os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return subprocess.Popen(
+            [sys.executable, self.HELPER, store_dir, str(port), portfile],
+            env=env)
+
+    async def _wait_for_port(self, portfile, proc, timeout=30.0):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not os.path.exists(portfile):
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited early (rc={proc.returncode})")
+            if loop.time() > deadline:
+                raise RuntimeError("server never published its port")
+            await asyncio.sleep(0.05)
+        with open(portfile, encoding="utf-8") as fh:
+            host, port = fh.read().split()
+        return host, int(port)
+
+    def test_sigkill_restart_resumes_byte_identical(self, tmp_path):
+        spec = {"kind": "statistic", "dataset": "pop",
+                "statistic": "mean"}
+        portfile = str(tmp_path / "port")
+
+        async def run_server(store_dir, body, *, port=0):
+            proc = self._spawn(store_dir, port, portfile)
+            try:
+                host, bound = await self._wait_for_port(portfile, proc)
+                return await body(proc, host, bound)
+            finally:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+                    proc.wait(timeout=10)
+
+        async def reference(proc, host, port):
+            client = await ServiceClient.connect(host, port)
+            sid = await client.submit(spec)
+            events = [e.raw for e in await client.drain(sid)]
+            await client.close()
+            return events
+
+        async def scenario():
+            ref = await run_server(str(tmp_path / "ref"), reference)
+            store_dir = str(tmp_path / "live")
+
+            async def interrupted(proc, host, port):
+                client = await ServiceClient.connect(
+                    host, port, connect_timeout=5.0, max_reconnects=8)
+                sid = await client.submit(spec)
+                got, cursor = [], 0
+                while len(got) < 3:
+                    page = await client.poll(sid, after=cursor,
+                                             wait=True, timeout=5.0)
+                    for event in page.events:
+                        got.append(event.raw)
+                        cursor = event.seq
+                proc.kill()                      # the actual SIGKILL
+                proc.wait(timeout=10)
+
+                # Same store, same port: the client's own bounded
+                # reconnect carries the poll across the restart.
+                async def resume(proc2, host2, port2):
+                    tail = await client.drain(sid, after=cursor)
+                    got.extend(e.raw for e in tail)
+                    await client.close()
+                    return got
+
+                return await run_server(store_dir, resume, port=port)
+
+            got = await run_server(store_dir, interrupted)
+            return ref, got
+
+        ref, got = run(scenario(), timeout=180.0)
+        assert len(got) >= 4
+        assert got == ref
+
+    def test_submit_is_not_silently_retried(self, tmp_path):
+        """Guard the reconnect contract the resume above relies on:
+        only idempotent ops are resent, so a dead server surfaces as an
+        error for ``submit`` rather than a double-submission."""
+        async def scenario():
+            store_dir = str(tmp_path / "live")
+            portfile = str(tmp_path / "port")
+            proc = self._spawn(store_dir, 0, portfile)
+            try:
+                host, port = await self._wait_for_port(portfile, proc)
+                client = await ServiceClient.connect(
+                    host, port, connect_timeout=2.0, read_timeout=5.0,
+                    max_reconnects=2)
+                proc.kill()
+                proc.wait(timeout=10)
+                with pytest.raises(ServiceError) as err:
+                    await client.submit({"kind": "statistic",
+                                         "dataset": "pop",
+                                         "statistic": "mean"})
+                await client.close()
+                return err.value
+            finally:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+        err = run(scenario())
+        assert err.code in ("connection-closed", "timeout")
+
+
+class TestResumeGapOverTheWire:
+    def test_typed_resume_gap_survives_tcp(self, tmp_path):
+        """Satellite regression: a reconnect-after-prune poll raises
+        :class:`ResumeGapError` with the server's current ack floor as
+        structured details, identically over both transports."""
+        async def scenario():
+            store = DurableSessionStore(str(tmp_path / "live"),
+                                        fsync=False)
+            service = build_service(store, event_capacity=64)
+            server = ServiceServer(service)
+            await service.start()
+            await server.start()
+            try:
+                host, port = server.address
+                tcp = await ServiceClient.connect(host, port)
+                local = LocalClient(service)
+                sid = await tcp.submit(SPECS[0])
+                await service.flush()
+                events = await tcp.drain(sid)   # acks everything
+                floor = events[-1].seq
+                with pytest.raises(ResumeGapError) as over_tcp:
+                    await tcp.poll(sid, after=0)
+                with pytest.raises(ResumeGapError) as in_proc:
+                    await local.poll(sid, after=0)
+                await tcp.close()
+                return floor, over_tcp.value, in_proc.value
+            finally:
+                await server.stop()
+                await service.stop()
+
+        floor, over_tcp, in_proc = run(scenario())
+        for exc in (over_tcp, in_proc):
+            assert exc.after == 0
+            assert exc.acked == floor
+            assert exc.details == {"after": 0, "acked": floor}
+        assert over_tcp.code == in_proc.code

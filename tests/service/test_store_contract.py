@@ -1,0 +1,323 @@
+"""Shared contract tests for every :class:`SessionStore` implementation.
+
+One parametrized suite runs the full storage contract — admission,
+lookup, removal, stable ordering, duplicate rejection, the durability
+hook no-ops — against both shipped stores, so a future backend only
+has to join the fixture list to inherit the service's expectations.
+Durable-only behaviour (journal reload, write-ahead ordering, ack
+pruning, compaction, torn-line tolerance, tombstones) gets its own
+class below.
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.service.durable import WAL_NAME, DurableSessionStore
+from repro.service.events import EventLog
+from repro.service.protocol import (
+    EVENT_FINAL,
+    EVENT_SNAPSHOT,
+    EVENT_STATE,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_RUNNING,
+    parse_spec,
+)
+from repro.service.store import (
+    InMemorySessionStore,
+    SessionRecord,
+    SessionStore,
+)
+
+
+def make_record(sid, *, capacity=8, state=None):
+    record = SessionRecord(
+        session_id=sid,
+        kind="statistic",
+        spec=parse_spec({"kind": "statistic", "dataset": "d",
+                         "statistic": "mean"}),
+        seed=7,
+        log=EventLog(capacity),
+        created_at=1.5,
+    )
+    if state is not None:
+        record.state = state
+    return record
+
+
+@pytest.fixture(params=["inmem", "durable"])
+def store(request, tmp_path):
+    if request.param == "inmem":
+        yield InMemorySessionStore()
+    else:
+        durable = DurableSessionStore(str(tmp_path / "state"), fsync=False)
+        yield durable
+        durable.close()
+
+
+class TestSessionStoreContract:
+    def test_add_get_len(self, store):
+        assert len(store) == 0
+        record = make_record("s000001")
+        store.add(record)
+        assert store.get("s000001") is record
+        assert len(store) == 1
+
+    def test_get_missing_is_none(self, store):
+        assert store.get("nope") is None
+
+    def test_duplicate_add_rejected(self, store):
+        store.add(make_record("s000001"))
+        with pytest.raises(ValueError):
+            store.add(make_record("s000001"))
+
+    def test_remove_and_missing_remove(self, store):
+        store.add(make_record("s000001"))
+        store.remove("s000001")
+        assert store.get("s000001") is None
+        assert len(store) == 0
+        store.remove("s000001")            # idempotent
+        store.remove("never-existed")      # no-op
+
+    def test_records_keep_submission_order(self, store):
+        sids = [f"s{i:06d}" for i in range(1, 6)]
+        for sid in sids:
+            store.add(make_record(sid))
+        assert [r.session_id for r in store.records()] == sids
+
+    def test_records_is_a_snapshot(self, store):
+        """The TTL sweeper iterates ``records()`` while removing — the
+        listing must be a copy, not a live view."""
+        for i in range(1, 4):
+            store.add(make_record(f"s{i:06d}"))
+        for record in store.records():
+            store.remove(record.session_id)
+        assert len(store) == 0
+
+    def test_terminal_record_stays_until_removed(self, store):
+        record = make_record("s000001", state=STATE_DONE)
+        store.add(record)
+        assert store.get("s000001").terminal
+        assert len(store) == 1
+
+    def test_durability_hooks_are_callable(self, store):
+        """update / record_window / close are unconditional on the
+        service's hot paths, so every store must accept them."""
+        record = make_record("s000001")
+        store.add(record)
+        record.state = STATE_RUNNING
+        store.update(record)
+        store.record_window("w000001", {"members": [], "seeds": {}})
+        store.close()
+
+    def test_durable_flag(self, store):
+        assert isinstance(store.durable, bool)
+        assert store.durable == isinstance(store, DurableSessionStore)
+
+    def test_base_class_hooks_are_noops(self):
+        base = SessionStore()
+        base.update(make_record("s000001"))
+        base.record_window("w000001", {})
+        base.close()
+        assert base.durable is False
+
+
+class TestDurableStore:
+    def _store(self, tmp_path, **kw):
+        kw.setdefault("fsync", False)
+        return DurableSessionStore(str(tmp_path / "state"), **kw)
+
+    def _seed_events(self, record, n, *, final_at=None, read_after=0):
+        """Append ``n`` snapshot events (the ``final_at``-th as final)
+        and optionally ack through ``read_after``."""
+        async def go():
+            for i in range(1, n + 1):
+                etype = EVENT_FINAL if i == final_at else EVENT_SNAPSHOT
+                await record.log.append(etype, {"round": i})
+            if read_after:
+                await record.log.read(read_after)
+        asyncio.run(go())
+
+    def test_reload_restores_sessions_and_logs(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+        record.state = STATE_RUNNING
+        store.update(record)
+        self._seed_events(record, 3, read_after=2)
+        store.close()
+
+        reopened = self._store(tmp_path)
+        assert reopened.persisted_ids() == ["s000001"]
+        restored = reopened.materialize("s000001", now=9.0)
+        assert restored.state == STATE_RUNNING
+        assert restored.seed == 7
+        assert restored.spec == record.spec
+        assert restored.log.acked == 2
+        assert restored.log.last_seq == 3
+        assert restored.log.retained == 1          # only the unacked tail
+        assert not restored.log.sealed
+        assert restored.last_activity == 9.0
+        reopened.close()
+
+    def test_materialize_is_idempotent_and_registers_live(self, tmp_path):
+        store = self._store(tmp_path)
+        store.add(make_record("s000001"))
+        store.close()
+        reopened = self._store(tmp_path)
+        first = reopened.materialize("s000001")
+        assert reopened.get("s000001") is first
+        assert reopened.materialize("s000001") is first
+        with pytest.raises(KeyError):
+            reopened.materialize("s000099")
+        reopened.close()
+
+    def test_resumed_log_keeps_journaling(self, tmp_path):
+        store = self._store(tmp_path)
+        store.add(make_record("s000001"))
+        store.close()
+        mid = self._store(tmp_path)
+        record = mid.materialize("s000001")
+        self._seed_events(record, 2)
+        mid.close()
+        final = self._store(tmp_path)
+        assert final.stream_pos("s000001") == 2
+        final.close()
+
+    def test_terminal_state_seals_restored_log(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+        self._seed_events(record, 2, final_at=2)
+        record.state = STATE_DONE
+        store.update(record)
+        store.close()
+
+        reopened = self._store(tmp_path)
+        restored = reopened.materialize("s000001")
+        assert restored.log.sealed
+
+        async def go():
+            assert await restored.log.append(EVENT_STATE, {}) is None
+            return [e.seq for e in await restored.log.read(0)]
+        assert asyncio.run(go()) == [1, 2]          # tail still drains
+        reopened.close()
+
+    def test_stream_pos_counts_snapshots_only(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+
+        async def go():
+            await record.log.append(EVENT_STATE, {"state": "running"})
+            await record.log.append(EVENT_SNAPSHOT, {"round": 1})
+            await record.log.append(EVENT_FINAL, {"round": 2})
+        asyncio.run(go())
+        assert store.stream_pos("s000001") == 2
+        assert store.stream_pos("missing") == 0
+        persisted = store.persisted("s000001")
+        assert persisted["record"]["last_snapshot"] == {"round": 2}
+        store.close()
+
+    def test_ack_floor_survives_reload_and_prunes(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+        self._seed_events(record, 5, read_after=4)
+        assert store.persisted("s000001")["acked"] == 4
+        store.close()
+
+        reopened = self._store(tmp_path)
+        persisted = reopened.persisted("s000001")
+        assert persisted["acked"] == 4
+        assert [e["seq"] for e in persisted["events"]] == [5]
+        assert persisted["next_seq"] == 6
+        reopened.close()
+
+    def test_write_ahead_admission(self, tmp_path):
+        """A session is on disk the moment ``add`` returns — a reader
+        of the raw journal sees it with no close/flush ceremony."""
+        store = self._store(tmp_path)
+        store.add(make_record("s000001"))
+        wal = os.path.join(str(tmp_path / "state"), WAL_NAME)
+        with open(wal, encoding="utf-8") as fh:
+            entries = [json.loads(line) for line in fh if line.strip()]
+        assert entries[-1]["op"] == "add"
+        assert entries[-1]["session"]["session_id"] == "s000001"
+        store.close()
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        store = self._store(tmp_path)
+        store.add(make_record("s000001"))
+        store.add(make_record("s000002"))
+        store.close()
+        wal = os.path.join(str(tmp_path / "state"), WAL_NAME)
+        with open(wal, "a", encoding="utf-8") as fh:
+            fh.write('{"op": "add", "session": {"session_id": "s0')
+        reopened = self._store(tmp_path)
+        assert reopened.persisted_ids() == ["s000001", "s000002"]
+        # The compaction-on-load rewrote a clean journal.
+        with open(wal, encoding="utf-8") as fh:
+            for line in fh:
+                json.loads(line)
+        reopened.close()
+
+    def test_compaction_round_trips_state(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+        self._seed_events(record, 3, read_after=1)
+        store.record_window("w000001", {
+            "members": [{"session": "s000001", "kind": "statistic"}],
+            "seeds": {"d": 42}})
+        other = make_record("s000002")
+        store.add(other)
+        store.remove("s000002")
+        before = store.persisted("s000001")
+        store.compact()
+        assert store.persisted("s000001") == before
+        store.close()
+
+        reopened = self._store(tmp_path)
+        assert reopened.persisted("s000001") == before
+        assert reopened.windows()["w000001"]["seeds"] == {"d": 42}
+        assert reopened.tombstone("s000002") is not None
+        reopened.close()
+
+    def test_disturbed_via_cancel_and_tombstone(self, tmp_path):
+        store = self._store(tmp_path)
+        record = make_record("s000001")
+        store.add(record)
+        record.state = STATE_RUNNING
+        store.update(record)
+        assert not store.disturbed("s000001")
+        record.state = STATE_CANCELLED
+        store.update(record)
+        assert store.disturbed("s000001")
+        store.remove("s000001")
+        # The sweep keeps the disturbance in a tombstone: the member
+        # still poisons replay of its shared window.
+        assert store.disturbed("s000001")
+        assert store.tombstone("s000001")["disturbed"] is True
+        assert not store.disturbed("never-existed")
+        store.close()
+
+    def test_id_counters_survive_restart(self, tmp_path):
+        store = self._store(tmp_path)
+        store.add(make_record("s000003"))
+        store.add(make_record("s000007"))
+        store.remove("s000007")
+        store.record_window("w000002", {"members": [], "seeds": {}})
+        store.close()
+        reopened = self._store(tmp_path)
+        assert reopened.last_session_ord == 7    # tombstones count too
+        assert reopened.last_window_ord == 2
+        reopened.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = self._store(tmp_path)
+        store.close()
+        store.close()
