@@ -7,10 +7,10 @@
 #   make bench       - every figure benchmark (writes benchmarks/results/)
 #   make bench-smoke - quick benchmark subset (~30 s)
 #   make bench-json  - kernel + ingest + query + scheduler + faults +
-#                      durability benchmarks (smoke sizes) ->
+#                      durability + telemetry benchmarks (smoke sizes) ->
 #                      benchmarks/results/BENCH_{kernel,ingest,query,
-#                      scheduler,faults,durability}.json, each gated
-#                      against its committed baseline
+#                      scheduler,faults,durability,telemetry}.json, each
+#                      gated against its committed baseline
 #                      benchmarks/BENCH_*.json
 #                      (fails on a >20% speedup regression)
 #   make test-chaos  - the randomized chaos-harness sweeps (marker
@@ -100,6 +100,11 @@ bench-json:
 	$(PYTHON) tools/check_bench_regression.py \
 		benchmarks/results/BENCH_durability.json \
 		benchmarks/BENCH_durability.json --stages durability
+	$(PYTHON) benchmarks/bench_telemetry.py --smoke --no-assert \
+		--out benchmarks/results/BENCH_telemetry.json
+	$(PYTHON) tools/check_bench_regression.py \
+		benchmarks/results/BENCH_telemetry.json \
+		benchmarks/BENCH_telemetry.json --stages telemetry
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py \

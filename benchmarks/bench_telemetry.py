@@ -1,0 +1,218 @@
+"""Telemetry overhead on the hot resample loop: enabled vs disabled.
+
+The zero-perturbation contract (DESIGN.md §12) has a quantitative
+half: with telemetry *enabled*, the per-round span + counter work must
+cost <= 10 % of the engine's hot loop.  This benchmark drives the most
+telemetry-dense path — an :class:`repro.core.EarlSession` pinned to a
+fixed number of expansion rounds (an unreachable sigma with a hard
+iteration cap), so each timing sample performs an identical, seed-
+deterministic sequence of resample rounds — once with telemetry off
+and once with it on, and gates the ratio.
+
+Both sides use min-of-R timing (R runs, best wall time) to shed
+scheduler noise, and the benchmark re-asserts the byte-identity half
+of the contract on the way: the enabled run must produce exactly the
+same estimate, sample size and iteration count as the disabled run.
+
+* ``telemetry`` (gated) — ``speedup`` is enabled-throughput over
+  disabled-throughput (<= 1.0 by construction); the acceptance gate is
+  ``speedup >= 1/1.10``, i.e. enabled overhead <= 1.10x disabled.
+
+Outputs ``BENCH_telemetry.json``; the committed baseline at
+``benchmarks/BENCH_telemetry.json`` is what the CI regression gate
+(``tools/check_bench_regression.py --stages telemetry``) compares
+fresh runs against.
+
+Run standalone::
+
+    python benchmarks/bench_telemetry.py \
+        --out benchmarks/results/BENCH_telemetry.json
+
+or through pytest (``make bench`` / ``make bench-json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import EarlConfig, EarlSession  # noqa: E402
+from repro.obs import (  # noqa: E402
+    REGISTRY,
+    disable_telemetry,
+    enable_telemetry,
+    reset_telemetry,
+)
+
+import numpy as np  # noqa: E402
+
+N = 200_000
+SEED = 17
+#: Unreachable bound + hard cap: every run performs exactly
+#: ``ROUNDS`` expansion rounds, so enabled and disabled sides time an
+#: identical instruction stream (modulo the telemetry under test).
+ROUNDS = 15
+CFG = dict(sigma=0.001, n_override=500, B_override=30,
+           expansion_factor=1.3, max_iterations=ROUNDS)
+#: Sessions per timing sample — amortises per-call noise.
+SESSIONS_PER_SAMPLE = 4
+#: The acceptance gate: enabled wall time <= this factor of disabled.
+MAX_OVERHEAD = 1.10
+
+
+def _data(n: int) -> np.ndarray:
+    return np.random.default_rng(SEED).lognormal(1.0, 0.7, n)
+
+
+def _run_sessions(data: np.ndarray):
+    """One timing sample: a fixed batch of fixed-round sessions."""
+    results = []
+    for k in range(SESSIONS_PER_SAMPLE):
+        cfg = EarlConfig(seed=SEED + 1 + k, **CFG)
+        results.append(EarlSession(data, "mean", config=cfg).run())
+    return results
+
+
+def _best_of(data: np.ndarray, repeats: int):
+    """Min-of-R wall time for the sample, plus the last results."""
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = _run_sessions(data)
+        best = min(best, time.perf_counter() - t0)
+    return best, results
+
+
+def telemetry_overhead(n: int, repeats: int) -> Dict[str, object]:
+    data = _data(n)
+    try:
+        disable_telemetry()
+        reset_telemetry()
+        _run_sessions(data)                       # warm-up (both paths)
+        off_seconds, off_results = _best_of(data, repeats)
+
+        enable_telemetry()
+        reset_telemetry()
+        on_seconds, on_results = _best_of(data, repeats)
+        rounds_seen = REGISTRY.value("repro_engine_rounds_total",
+                                     {"engine": "earl_session"})
+    finally:
+        disable_telemetry()
+        reset_telemetry()
+
+    # Zero perturbation, re-asserted where the overhead is measured:
+    # telemetry may cost time, never bytes.
+    for off, on in zip(off_results, on_results):
+        assert off.estimate == on.estimate, "telemetry changed a result"
+        assert off.n == on.n
+        assert off.num_iterations == on.num_iterations == ROUNDS
+
+    return {
+        "disabled_seconds": round(off_seconds, 6),
+        "enabled_seconds": round(on_seconds, 6),
+        "rounds_per_side": ROUNDS * SESSIONS_PER_SAMPLE,
+        "instrumented_rounds_seen": int(rounds_seen),
+        "overhead": round(on_seconds / off_seconds, 4),
+        "speedup": round(off_seconds / on_seconds, 4),
+    }
+
+
+def run_telemetry_bench(sizes: Sequence[int],
+                        repeats: int) -> List[Dict[str, object]]:
+    return [{"n": n, "mode": "hot-loop",
+             "telemetry": telemetry_overhead(n, repeats)}
+            for n in sizes]
+
+
+def check_overhead(rows: List[Dict[str, object]], *,
+                   max_overhead: float = MAX_OVERHEAD) -> None:
+    """The gate: enabled telemetry costs <= ``max_overhead``x disabled
+    on the hot resample loop."""
+    for row in rows:
+        overhead = row["telemetry"]["overhead"]
+        assert overhead <= max_overhead, (
+            f"telemetry overhead {overhead:.3f}x exceeds the "
+            f"{max_overhead:.2f}x budget at n={row['n']}")
+
+
+def write_json(rows: List[Dict[str, object]], out: Path) -> None:
+    payload = {
+        "benchmark": "telemetry_overhead",
+        "seed": SEED,
+        "rounds": ROUNDS,
+        "sessions_per_sample": SESSIONS_PER_SAMPLE,
+        "protocol": ("min-of-R wall time for a fixed batch of fixed-"
+                     "round EarlSessions, telemetry disabled vs "
+                     "enabled; speedup = disabled/enabled wall time "
+                     "(<= 1.0 means enabled is slower); gate: "
+                     f"overhead <= {MAX_OVERHEAD}x"),
+        "units": "seconds",
+        "results": rows,
+    }
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+class TestTelemetryOverhead:
+    """Pytest entry point (``make bench``): same sizes, same gate."""
+
+    def test_enabled_overhead_within_budget(self, benchmark,
+                                            series_report):
+        rows = benchmark.pedantic(
+            lambda: run_telemetry_bench([N], repeats=5),
+            rounds=1, iterations=1)
+        series_report(
+            "telemetry_overhead",
+            "Telemetry overhead on the hot resample loop",
+            ["n", "mode", "disabled_s", "enabled_s", "overhead"],
+            [(r["n"], r["mode"],
+              r["telemetry"]["disabled_seconds"],
+              r["telemetry"]["enabled_seconds"],
+              r["telemetry"]["overhead"]) for r in rows],
+            notes="min-of-5 wall time over identical fixed-round "
+                  "sessions; results byte-identical on both sides "
+                  "(see BENCH_telemetry.json)")
+        write_json(rows, Path(__file__).parent / "results"
+                   / "BENCH_telemetry.json")
+        check_overhead(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="*",
+                        help=f"explicit n values (default {N})")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer timing repeats (3 instead of 5)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("benchmarks/results/"
+                                     "BENCH_telemetry.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="measure and report only; skip the "
+                             f"<={MAX_OVERHEAD}x overhead gate")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.sizes) if args.sizes else (N,)
+    rows = run_telemetry_bench(sizes, repeats=3 if args.smoke else 5)
+    write_json(rows, args.out)
+    for row in rows:
+        t = row["telemetry"]
+        print(f"n={row['n']:>9,}  {row['mode']:<9} "
+              f"disabled {t['disabled_seconds']:.4f}s  "
+              f"enabled {t['enabled_seconds']:.4f}s  "
+              f"overhead {t['overhead']:.3f}x")
+    if not args.no_assert:
+        check_overhead(rows)
+        print(f"OK: telemetry overhead within {MAX_OVERHEAD:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

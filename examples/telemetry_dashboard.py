@@ -1,0 +1,136 @@
+"""Telemetry dashboard: watch a live service through its own metrics.
+
+Enables the :mod:`repro.obs` subsystem (off by default — it costs
+nothing until you flip it), drives a mixed workload through the
+approximate-query service, then renders what an operator's dashboard
+would show:
+
+1. the **metrics snapshot** from the service's read-only ``metrics``
+   op — session/snapshot/terminal counters, engine rounds and rows,
+   simulated cost by category, plus the raw Prometheus text a scraper
+   would ingest;
+2. each query's **convergence table** — error vs. rows vs. wall time,
+   round by round, from the service's :class:`ConvergenceTrace`;
+3. one session's **Chrome trace export** (``trace`` op) — load the JSON
+   in ``chrome://tracing`` / https://ui.perfetto.dev to see the
+   submit → queue → run → round span tree.
+
+``--snapshot-out`` / ``--trace-out`` write the two JSON documents to
+disk (CI uploads them as artifacts).
+
+Run with:  python examples/telemetry_dashboard.py
+"""
+
+import argparse
+import asyncio
+import json
+
+import numpy as np
+
+from repro.core import EarlConfig
+from repro.obs import disable_telemetry, enable_telemetry, reset_telemetry
+from repro.service import ApproxQueryService, LocalClient
+
+SPECS = [
+    ("mean latency", {"kind": "statistic", "dataset": "latencies",
+                      "statistic": "mean"}),
+    ("p90 latency", {"kind": "statistic", "dataset": "latencies",
+                     "statistic": "p90"}),
+    ("mean amount by region",
+     {"kind": "query", "table": "orders", "group_by": "region",
+      "select": [{"statistic": "mean", "column": "amount"}]}),
+]
+
+
+async def run_workload():
+    rng = np.random.default_rng(7)
+    service = ApproxQueryService(
+        config=EarlConfig(sigma=0.02, B_override=15, n_override=200,
+                          expansion_factor=1.5, max_iterations=10),
+        seed=42, batch_window=5.0)
+    service.register_dataset(
+        "latencies", rng.lognormal(mean=3.0, sigma=1.0, size=300_000))
+    service.register_table(
+        "orders", {"region": np.repeat(["east", "west", "south"], 20_000),
+                   "amount": rng.exponential(40.0, 60_000)})
+    await service.start()
+    client = LocalClient(service)
+
+    titles = {}
+    for title, spec in SPECS:
+        titles[await client.submit(spec)] = title
+    await service.flush()
+    for sid in titles:
+        await client.drain(sid)
+
+    metrics = await client.metrics()
+    traces = {sid: await client.trace(sid) for sid in titles}
+    await service.stop()
+    return titles, metrics, traces
+
+
+def show_metrics(metrics):
+    print("=== metrics snapshot (the `metrics` op) ===")
+    for name, metric in sorted(metrics["snapshot"]["metrics"].items()):
+        for series in metric["series"]:
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(series["labels"].items()))
+            value = series.get("value", series.get("count"))
+            print(f"  {name:<38} {{{labels}}} = {value}")
+    lines = metrics["prometheus"].splitlines()
+    print(f"\n  ... and {len(lines)} lines of Prometheus text, e.g.:")
+    for line in lines[:4]:
+        print(f"    {line}")
+
+
+def show_convergence(titles, traces):
+    print("\n=== per-query convergence (error vs rows vs time) ===")
+    for sid, trace in traces.items():
+        print(f"\n  {titles[sid]}  ({sid}, trace {trace['trace_id']})")
+        print(f"  {'round':>5}  {'rows':>8}  {'error':>9}  {'wall ms':>8}")
+        for p in trace["convergence"]["points"]:
+            err = "n/a" if p["error"] is None else f"{p['error']:.4f}"
+            wall = p["wall_seconds"] or 0.0
+            print(f"  {p['round']:>5}  {p['rows']:>8,}  {err:>9}  "
+                  f"{wall * 1e3:>8.1f}")
+
+
+def show_trace(titles, traces):
+    sid, trace = next(iter(traces.items()))
+    events = trace["chrome"]["traceEvents"]
+    print(f"\n=== span tree for {titles[sid]!r} "
+          f"({len(events)} spans, Chrome trace format) ===")
+    for event in events[:8]:
+        print(f"  {event['name']:<24} {event['dur'] / 1e3:>9.2f} ms")
+
+
+async def main(args) -> None:
+    enable_telemetry()
+    reset_telemetry()
+    try:
+        titles, metrics, traces = await run_workload()
+        show_metrics(metrics)
+        show_convergence(titles, traces)
+        show_trace(titles, traces)
+        if args.snapshot_out:
+            with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+                json.dump(metrics["snapshot"], fh, indent=2)
+            print(f"\nwrote metrics snapshot to {args.snapshot_out}")
+        if args.trace_out:
+            sid = next(iter(traces))
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(traces[sid]["chrome"], fh, indent=2)
+            print(f"wrote Chrome trace for {sid} to {args.trace_out} "
+                  f"(open in chrome://tracing)")
+    finally:
+        disable_telemetry()
+        reset_telemetry()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--snapshot-out", help="write the metrics "
+                        "snapshot JSON here")
+    parser.add_argument("--trace-out", help="write one session's Chrome "
+                        "trace JSON here")
+    asyncio.run(main(parser.parse_args()))

@@ -18,8 +18,9 @@ a running mapper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping, Optional
 
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.util.validation import check_positive
 
 
@@ -77,6 +78,8 @@ class CostLedger:
 
     params: CostParameters = field(default_factory=CostParameters)
     _seconds: Dict[str, float] = field(default_factory=dict)
+    _published: Dict[str, float] = field(default_factory=dict, repr=False,
+                                         compare=False)
 
     def __post_init__(self) -> None:
         for cat in CATEGORIES:
@@ -182,7 +185,47 @@ class CostLedger:
     def reset(self) -> None:
         for cat in self._seconds:
             self._seconds[cat] = 0.0
+        self._published.clear()
+
+    # -- telemetry ---------------------------------------------------------
+    def publish(self, labels: Optional[Mapping[str, object]] = None) -> None:
+        """Publish this ledger's charges into the metrics registry.
+
+        Only the delta since the previous :meth:`publish` is pushed, so
+        the registry's ``repro_sim_cost_seconds_total`` series reconcile
+        exactly with ledger totals however often callers publish.  A
+        single attribute check when telemetry is disabled.
+        """
+        if not _METRICS.enabled:
+            return
+        for cat, secs in self._seconds.items():
+            delta = secs - self._published.get(cat, 0.0)
+            if delta > 0:
+                _publish_cost(cat, delta, labels)
+                self._published[cat] = secs
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(f"{k}={v:.3f}s" for k, v in self._seconds.items() if v)
         return f"CostLedger({parts or 'empty'})"
+
+
+def _publish_cost(category: str, seconds: float,
+                  labels: Optional[Mapping[str, object]] = None) -> None:
+    series = {"category": category}
+    if labels:
+        series.update({str(k): v for k, v in labels.items()})
+    _METRICS.counter(
+        "repro_sim_cost_seconds_total", labels=series,
+        help="simulated cluster seconds, by cost-model category").inc(seconds)
+
+
+def publish_cost_breakdown(breakdown: Mapping[str, float],
+                           labels: Optional[Mapping[str, object]] = None) \
+        -> None:
+    """Publish a merged per-category breakdown (e.g. a ``JobResult``'s)
+    into the registry.  No-op when telemetry is disabled."""
+    if not _METRICS.enabled:
+        return
+    for cat, secs in breakdown.items():
+        if secs > 0:
+            _publish_cost(cat, secs, labels)

@@ -36,12 +36,13 @@ See DESIGN.md "Vectorized kernel & data plane".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.costmodel import CostLedger
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.core.estimators import (
     EstimatorState,
     FunctionalState,
@@ -68,12 +69,32 @@ class MaintenanceCounters:
     disk_accesses: int = 0    # random accesses charged to disk
     sketch_draws: int = 0     # draws served from memory-resident sketches
     full_rebuilds: int = 0    # resamples rebuilt from scratch
+    _published: Dict[str, int] = field(default_factory=dict, repr=False,
+                                       compare=False)
 
     def merge(self, other: "MaintenanceCounters") -> None:
         self.state_ops += other.state_ops
         self.disk_accesses += other.disk_accesses
         self.sketch_draws += other.sketch_draws
         self.full_rebuilds += other.full_rebuilds
+
+    def publish(self) -> None:
+        """Mirror this bag into the metrics registry as
+        ``repro_maintenance_ops_total{op=...}``.  Delta-tracked, so
+        round-boundary republishing never double counts.  No-op when
+        telemetry is disabled."""
+        if not _METRICS.enabled:
+            return
+        for op in ("state_ops", "disk_accesses", "sketch_draws",
+                   "full_rebuilds"):
+            value = getattr(self, op)
+            delta = value - self._published.get(op, 0)
+            if delta > 0:
+                _METRICS.counter(
+                    "repro_maintenance_ops_total", labels={"op": op},
+                    help="delta-maintenance work, by operation kind",
+                ).inc(delta)
+                self._published[op] = value
 
 
 class _ItemBuffer:
@@ -660,6 +681,7 @@ class ResampleSet:
             self._maintainer.end_iteration()
             self.counters.merge(self._maintainer.counters)
             self._maintainer.counters = MaintenanceCounters()
+        self.counters.publish()
 
     def expand(self, delta: Sequence[Any]) -> None:
         """Grow the sample by ``delta`` and update every resample."""
@@ -686,6 +708,7 @@ class ResampleSet:
                 self._ledger.charge_seeks(self.B)
                 self._ledger.charge_disk_read(
                     self.B * n_new * ITEM_BYTES * self._io_scale)
+            self.counters.publish()
             return
 
         self._maintainer.on_delta(delta_items)
@@ -694,6 +717,7 @@ class ResampleSet:
         self._maintainer.end_iteration()
         self.counters.merge(self._maintainer.counters)
         self._maintainer.counters = MaintenanceCounters()
+        self.counters.publish()
 
     # ------------------------------------------------------------- results
     def estimates(self, executor: Optional[Executor] = None) -> np.ndarray:

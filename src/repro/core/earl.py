@@ -60,6 +60,8 @@ from repro.mapreduce.pipeline import FeedbackChannel
 from repro.mapreduce.reducer import IncrementalReducer, Reducer
 from repro.mapreduce.runtime import JobClient
 from repro.mapreduce.types import KeyValue, TaskContext
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.sampling.postmap import PostMapSampler
 from repro.sampling.premap import PreMapSampler
 from repro.util.rng import ensure_rng, spawn_child
@@ -183,6 +185,10 @@ class EarlSession:
         if not 0.0 < fraction < 1.0:
             raise ValueError("loss fraction must be in (0, 1)")
         self._pending_loss.append((float(fraction), seed))
+        if _METRICS.enabled:
+            _METRICS.counter("repro_loss_reports_total",
+                             labels={"engine": "earl_session"},
+                             help="§3.4 sample-loss reports").inc()
 
     def run(self) -> EarlResult:
         """Execute the full loop: SSABE pilot, sampling, bootstrap error
@@ -295,8 +301,21 @@ class EarlSession:
                     target = min(max(target, consumed), N)
                 if target > consumed:
                     delta = data[order[consumed:target]]
-                    consumed = target
-                    estimate = aes.offer(delta)
+                    with _TRACER.span("earl_session.round",
+                                      attrs={"iteration": iteration,
+                                             "rows": target - consumed}):
+                        consumed = target
+                        estimate = aes.offer(delta)
+                    if _METRICS.enabled:
+                        _METRICS.counter(
+                            "repro_engine_rounds_total",
+                            labels={"engine": "earl_session"},
+                            help="engine expansion rounds").inc()
+                        _METRICS.counter(
+                            "repro_engine_rows_total",
+                            labels={"engine": "earl_session"},
+                            help="sample rows consumed by rounds"
+                            ).inc(len(delta))
                 assert estimate is not None
                 expand = (not estimate.meets(cfg.sigma)
                           and consumed < N
@@ -779,9 +798,17 @@ class EarlJob:
             for iteration in range(1, cfg.max_iterations + 1):
                 sampler.set_total_target(target)
                 conf.params["iteration"] = iteration
-                last_result = client.run(
-                    conf, record_source=sampler, splits=sampler.splits,
-                    warm_start=self._pipelined and iteration > 1)
+                with _TRACER.span("earl_job.iteration",
+                                  attrs={"iteration": iteration,
+                                         "target": target}):
+                    last_result = client.run(
+                        conf, record_source=sampler,
+                        splits=sampler.splits,
+                        warm_start=self._pipelined and iteration > 1)
+                if _METRICS.enabled:
+                    _METRICS.counter("repro_engine_rounds_total",
+                                     labels={"engine": "earl_job"},
+                                     help="engine expansion rounds").inc()
                 state.simulated_seconds += last_result.simulated_seconds
                 state.input_fraction = min(state.input_fraction,
                                            last_result.input_fraction)

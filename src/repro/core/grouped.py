@@ -72,6 +72,8 @@ from repro.core.estimators import StatisticLike, get_statistic
 from repro.core.result import EarlResult, IterationRecord
 from repro.core.ssabe import SSABEResult, estimate_parameters
 from repro.exec.executor import BroadcastHandle, Executor, resolve_executor
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.sampling.stratified import ALLOCATIONS, StratifiedSampler
 from repro.util.rng import ensure_rng, spawn_child
 
@@ -552,6 +554,10 @@ class GroupedEarlSession:
                 f"loss fraction must be in (0, 1], got {fraction}")
         key_set = None if keys is None else set(keys)
         self._pending_loss.append((float(fraction), key_set, seed))
+        if _METRICS.enabled:
+            _METRICS.counter("repro_loss_reports_total",
+                             labels={"engine": "grouped"},
+                             help="§3.4 sample-loss reports").inc()
 
     @property
     def group_seeds(self) -> Dict[Hashable, int]:
@@ -781,7 +787,20 @@ class GroupedEarlSession:
                     yield self._snapshot(round_no, board, tuple(updated),
                                          groups, final=True)
                     return
-                estimates = self._offer_round(executor, work)
+                with _TRACER.span("grouped.round",
+                                  attrs={"round": round_no,
+                                         "groups": len(active),
+                                         "offers": len(work)}):
+                    estimates = self._offer_round(executor, work)
+                if _METRICS.enabled:
+                    _METRICS.counter("repro_engine_rounds_total",
+                                     labels={"engine": "grouped"},
+                                     help="engine expansion rounds").inc()
+                    _METRICS.counter("repro_engine_rows_total",
+                                     labels={"engine": "grouped"},
+                                     help="sample rows consumed by rounds"
+                                     ).inc(sum(hi - lo for _, _, lo, hi
+                                               in work))
 
                 for (group, mstate), estimate in zip(offered, estimates):
                     mstate.estimate = estimate

@@ -11,6 +11,8 @@ Usage::
     python -m repro.evaluation fig6 --stream --sizes 50
     python -m repro.evaluation query
     python -m repro.evaluation query --keys 32 --sigma 0.03
+    python -m repro.evaluation metrics
+    python -m repro.evaluation metrics --format prometheus
 
 Prints the same series the corresponding pytest benchmark records under
 ``benchmarks/results/``.  ``--executor`` fans the sweep's points out
@@ -29,6 +31,12 @@ Zipf-skewed keyed table: a row per round showing groups finished,
 rows processed and the current laggard group — per-group early stopping
 made visible.  ``--keys`` sets the number of groups and ``--sigma`` the
 per-group error bound.
+
+``metrics`` flips :mod:`repro.obs` on, runs one instrumented streaming
+job, and dumps the metrics registry — engine rounds, sample rows,
+simulated cost by category, map/reduce counters — as a table (default),
+JSON snapshot (``--format json``) or Prometheus text exposition
+(``--format prometheus``, what a scraper would ingest).
 """
 
 from __future__ import annotations
@@ -137,6 +145,53 @@ def _run_query_mode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_metrics_mode(args: argparse.Namespace) -> int:
+    """Run one instrumented streaming job and dump the registry."""
+    import json
+
+    from repro.obs import (
+        REGISTRY,
+        disable_telemetry,
+        enable_telemetry,
+        reset_telemetry,
+    )
+
+    gb = args.sizes[0] if args.sizes else 2.0
+    kwargs = {"executor": args.executor, "max_workers": args.workers}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    enable_telemetry()
+    reset_telemetry()
+    try:
+        rows = runners.stream_trace(gb, statistic="mean",
+                                    sampler="premap", **kwargs)
+        if args.format == "prometheus":
+            print(REGISTRY.render_prometheus(), end="")
+            return 0
+        if args.format == "json":
+            print(json.dumps(REGISTRY.snapshot(), indent=2))
+            return 0
+        final = rows[-1]
+        print(f"instrumented streaming mean over a {gb:g} GB stand-in: "
+              f"{len(rows)} iteration(s), "
+              f"estimate {_fmt(final['estimate'])} "
+              f"(error {_fmt(final['error'])})\n")
+        table = []
+        for name, metric in sorted(REGISTRY.snapshot()["metrics"].items()):
+            for series in metric["series"]:
+                labels = ",".join(
+                    f"{k}={v}"
+                    for k, v in sorted(series["labels"].items()))
+                value = series.get("value", series.get("count"))
+                table.append({"metric": name, "labels": labels or "-",
+                              "value": value})
+        _print_table(table)
+        return 0
+    finally:
+        disable_telemetry()
+        reset_telemetry()
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.evaluation",
@@ -144,7 +199,7 @@ def main(argv: List[str] | None = None) -> int:
                     "on the simulated cluster substrate.")
     parser.add_argument("figure",
                         choices=["fig5", "fig6", "fig7", "fig9", "fault",
-                                 "query"],
+                                 "query", "metrics"],
                         help="which experiment to run")
     parser.add_argument("--sizes", type=float, nargs="+", default=None,
                         help="data sizes in (logical) GB, or failed-node "
@@ -168,8 +223,15 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--sigma", type=float, default=0.05,
                         help="per-group error bound for the 'query' "
                              "trace (default 0.05)")
+    parser.add_argument("--format", choices=["table", "json",
+                                             "prometheus"],
+                        default="table",
+                        help="output format for the 'metrics' mode "
+                             "(default table)")
     args = parser.parse_args(argv)
 
+    if args.figure == "metrics":
+        return _run_metrics_mode(args)
     if args.figure == "query":
         return _run_query_mode(args)
     if args.stream:

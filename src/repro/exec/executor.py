@@ -70,7 +70,28 @@ from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.util.validation import check_positive_int
+
+
+def _wave_span(backend: str, n_tasks: int):
+    """Telemetry for one fan-out wave: counters + a span.
+
+    Waves are coarse (a whole map wave, a whole resample batch), so the
+    per-wave cost is negligible; when telemetry is disabled this is one
+    attribute check and a shared null span.
+    """
+    if _METRICS.enabled:
+        _METRICS.counter("repro_executor_waves_total",
+                         labels={"backend": backend},
+                         help="fan-out waves dispatched").inc()
+        _METRICS.counter("repro_executor_tasks_total",
+                         labels={"backend": backend},
+                         help="work units executed in waves").inc(n_tasks)
+    return _TRACER.span("executor.wave",
+                        attrs={"backend": backend, "tasks": n_tasks})
+
 
 #: Environment variable overriding the configured backend name.
 EXECUTOR_ENV = "REPRO_EXECUTOR"
@@ -262,7 +283,9 @@ class SerialExecutor(Executor):
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Plain ordered loop: ``[fn(item) for item in items]``."""
-        return [fn(item) for item in items]
+        items = list(items)
+        with _wave_span(self.name, len(items)):
+            return [fn(item) for item in items]
 
 
 #: Every pool-backed executor that has actually materialized its (lazy)
@@ -311,9 +334,10 @@ class _PoolExecutor(Executor):
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Fan items out over the pool; gather in submission order."""
         items = list(items)
-        if len(items) <= 1:  # nothing to overlap; skip pool dispatch
-            return [fn(item) for item in items]
-        return list(self._ensure_pool().map(fn, items))
+        with _wave_span(self.name, len(items)):
+            if len(items) <= 1:  # nothing to overlap; skip pool dispatch
+                return [fn(item) for item in items]
+            return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
         """Shut the pool down (waits for in-flight units)."""

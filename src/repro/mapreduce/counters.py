@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict
 
+from repro.obs.metrics import REGISTRY as _METRICS
+
 #: Canonical counter names used by the engine.
 MAP_INPUT_RECORDS = "MAP_INPUT_RECORDS"
 MAP_OUTPUT_RECORDS = "MAP_OUTPUT_RECORDS"
@@ -47,6 +49,20 @@ class Counters:
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self._values)
+
+    def publish(self) -> None:
+        """Mirror this bag into the process-wide metrics registry as
+        ``repro_mr_counter_total{name=...}``.  Call once per finished
+        job (counters are per-job bags, so each publish is a disjoint
+        contribution).  No-op when telemetry is disabled."""
+        if not _METRICS.enabled:
+            return
+        for name, value in self._values.items():
+            if value:
+                _METRICS.counter(
+                    "repro_mr_counter_total", labels={"name": name},
+                    help="Hadoop-style job counters, summed over jobs",
+                ).inc(value)
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)

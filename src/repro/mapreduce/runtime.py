@@ -56,6 +56,8 @@ from repro.mapreduce.job import (
 )
 from repro.mapreduce.partitioner import HashPartitioner
 from repro.mapreduce.types import KeyValue, TaskContext, estimate_pair_bytes
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.util.rng import ensure_rng, spawn_child
 
 
@@ -389,10 +391,13 @@ class JobClient:
             for i, split in enumerate(splits)]
         map_task_fn = _run_map_task_attempts if fault_mode \
             else _execute_map_task
-        if map_parallel:
-            map_results = self.executor.map(map_task_fn, map_args)
-        else:
-            map_results = [map_task_fn(args) for args in map_args]
+        with _TRACER.span("mapreduce.map_wave",
+                          attrs={"job_id": job_id,
+                                 "tasks": len(map_args)}):
+            if map_parallel:
+                map_results = self.executor.map(map_task_fn, map_args)
+            else:
+                map_results = [map_task_fn(args) for args in map_args]
         for split, result in zip(splits, map_results):
             if result.skipped:
                 skipped_logical += split.logical_length
@@ -445,13 +450,15 @@ class JobClient:
             for p in range(n_red)]
         reduce_task_fn = _run_reduce_task_attempts if fault_mode \
             else _execute_reduce_task
-        if wave_parallelizable(conf, source, self.executor,
-                               reduce_side=True):
-            reduce_results = self.executor.map(reduce_task_fn,
-                                               reduce_args)
-        else:
-            reduce_results = [reduce_task_fn(args)
-                              for args in reduce_args]
+        with _TRACER.span("mapreduce.reduce_wave",
+                          attrs={"job_id": job_id, "tasks": n_red}):
+            if wave_parallelizable(conf, source, self.executor,
+                                   reduce_side=True):
+                reduce_results = self.executor.map(reduce_task_fn,
+                                                   reduce_args)
+            else:
+                reduce_results = [reduce_task_fn(args)
+                                  for args in reduce_args]
         for out in reduce_results:
             job_counters.merge(out.counters)
         if policy is not None and policy.blacklist_after > 0:
@@ -510,6 +517,21 @@ class JobClient:
         if conf.output_path is not None:
             lines = [f"{key}\t{value}" for key, value in output]
             fs.write_lines(conf.output_path, lines, ledger=driver)
+
+        if _METRICS.enabled:
+            # One publish per finished job: the per-category simulated
+            # cost (the exact JobResult breakdown, so registry totals
+            # reconcile with CostLedger sums) plus the Hadoop counters.
+            from repro.cluster.costmodel import publish_cost_breakdown
+            publish_cost_breakdown(breakdown)
+            job_counters.publish()
+            _METRICS.counter("repro_mr_jobs_total",
+                             help="MapReduce jobs completed").inc()
+            _METRICS.counter("repro_mr_tasks_total",
+                             labels={"wave": "map"},
+                             help="tasks run, by wave").inc(len(splits))
+            _METRICS.counter("repro_mr_tasks_total",
+                             labels={"wave": "reduce"}).inc(n_red)
 
         return JobResult(
             job_id=job_id,

@@ -1,0 +1,81 @@
+"""repro.obs — zero-perturbation telemetry for the EARL reproduction.
+
+Three small pieces, one switch:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket histograms, Prometheus exposition).
+* :mod:`repro.obs.trace` — span tracing with ``trace_id`` propagation
+  from ``ApproxQueryService.submit`` down to map/reduce waves, exported
+  in Chrome ``chrome://tracing`` event format.
+* :mod:`repro.obs.convergence` — per-round error-vs-rows-vs-time
+  trajectories with loss/degraded/deadline events and budget decisions.
+
+Everything defaults to **disabled** and the disabled path is a single
+attribute check per call site: no clock reads, no RNG, no allocation —
+the byte-identity invariants (identical results, RNG streams and event
+bytes across backends and restarts) hold trivially.  Flip the whole
+subsystem with :func:`enable_telemetry` / :func:`disable_telemetry`;
+DESIGN.md §12 documents the naming scheme and overhead budget.
+"""
+from __future__ import annotations
+
+from repro.obs.convergence import (
+    Allocation,
+    ConvergenceTrace,
+    RoundPoint,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import NULL_SPAN, Span, SpanContext, TRACER, Tracer
+
+__all__ = [
+    "Allocation",
+    "ConvergenceTrace",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "REGISTRY",
+    "RoundPoint",
+    "Span",
+    "SpanContext",
+    "TRACER",
+    "TraceEvent",
+    "Tracer",
+    "disable_telemetry",
+    "enable_telemetry",
+    "reset_telemetry",
+    "telemetry_enabled",
+]
+
+
+def enable_telemetry() -> None:
+    """Turn on metrics and tracing process-wide."""
+    REGISTRY.enable()
+    TRACER.enable()
+
+
+def disable_telemetry() -> None:
+    """Back to the zero-perturbation default."""
+    REGISTRY.disable()
+    TRACER.disable()
+
+
+def telemetry_enabled() -> bool:
+    """True when either metrics or tracing is live."""
+    return REGISTRY.enabled or TRACER.enabled
+
+
+def reset_telemetry() -> None:
+    """Zero all metric series and drop recorded spans (keeps switches)."""
+    REGISTRY.reset()
+    TRACER.clear()

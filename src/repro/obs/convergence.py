@@ -1,0 +1,185 @@
+"""Structured convergence telemetry: error vs. rows vs. time, per round.
+
+EARL's product is a *trajectory* — the error bound tightening as the
+sample grows (PAPER.md §3).  A :class:`ConvergenceTrace` captures that
+trajectory for one query (or one dispatch window of queries): a point
+per engine round and key, discrete events (loss, degraded, deadline,
+retry, restart), and the scheduler's budget-allocation decisions from
+:func:`repro.scheduler.budget.allocate_budget`.
+
+Traces are plain data: thread-safe to append, JSON-serialisable via
+:meth:`ConvergenceTrace.to_dict`, renderable as a table via
+:meth:`ConvergenceTrace.rows`.  They are only ever *created* when
+telemetry is enabled (the service and scheduler gate construction), so
+the disabled path allocates nothing.
+"""
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["RoundPoint", "TraceEvent", "Allocation", "ConvergenceTrace"]
+
+
+@dataclass(frozen=True)
+class RoundPoint:
+    """One (key, round) sample on the convergence trajectory."""
+
+    key: str                      # query name / group key / "value"
+    round: int                    # engine round / snapshot ordinal
+    rows: int                     # cumulative rows consumed
+    error: Optional[float]        # current bootstrap error estimate
+    target: Optional[float] = None          # the sigma being chased
+    wall_seconds: Optional[float] = None    # real elapsed since trace start
+    sim_seconds: Optional[float] = None     # simulated cluster seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key, "round": self.round, "rows": self.rows,
+            "error": self.error, "target": self.target,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A discrete incident on the trajectory (loss, degraded, …)."""
+
+    kind: str                     # "loss" | "degraded" | "deadline" |
+                                  # "retry" | "restart" | ...
+    key: Optional[str] = None
+    round: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "key": self.key, "round": self.round,
+                "detail": dict(self.detail)}
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One global budget split across a dispatch window's live arms."""
+
+    round: int
+    grants: Dict[str, int]        # arm key -> rows granted this round
+    total: Optional[int] = None   # the round budget that was split
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"round": self.round, "grants": dict(self.grants),
+                "total": self.total}
+
+
+class ConvergenceTrace:
+    """Append-only per-query/per-window convergence record."""
+
+    def __init__(self, name: str = "",
+                 trace_id: Optional[str] = None) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self._lock = threading.Lock()
+        self._points: List[RoundPoint] = []
+        self._events: List[TraceEvent] = []
+        self._allocations: List[Allocation] = []
+
+    # --------------------------------------------------------- recording
+    def record_round(self, key: str, *, round: int, rows: int,
+                     error: Optional[float],
+                     target: Optional[float] = None,
+                     wall_seconds: Optional[float] = None,
+                     sim_seconds: Optional[float] = None) -> None:
+        point = RoundPoint(key=str(key), round=int(round), rows=int(rows),
+                           error=None if error is None else float(error),
+                           target=target, wall_seconds=wall_seconds,
+                           sim_seconds=sim_seconds)
+        with self._lock:
+            self._points.append(point)
+
+    def record_event(self, kind: str, *, key: Optional[str] = None,
+                     round: Optional[int] = None,
+                     **detail: Any) -> None:
+        event = TraceEvent(kind=kind, key=key, round=round, detail=detail)
+        with self._lock:
+            self._events.append(event)
+
+    def record_allocation(self, round: int, grants: Dict[str, int],
+                          total: Optional[int] = None) -> None:
+        alloc = Allocation(round=int(round),
+                           grants={str(k): int(v)
+                                   for k, v in grants.items()},
+                           total=total)
+        with self._lock:
+            self._allocations.append(alloc)
+
+    # ------------------------------------------------------------ access
+    @property
+    def points(self) -> List[RoundPoint]:
+        with self._lock:
+            return list(self._points)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def allocations(self) -> List[Allocation]:
+        with self._lock:
+            return list(self._allocations)
+
+    def keys(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.key)
+        return list(seen)
+
+    def last_point(self, key: str) -> Optional[RoundPoint]:
+        for p in reversed(self.points):
+            if p.key == key:
+                return p
+        return None
+
+    # ----------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "trace_id": self.trace_id,
+                "points": [p.to_dict() for p in self._points],
+                "events": [e.to_dict() for e in self._events],
+                "allocations": [a.to_dict() for a in self._allocations],
+            }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ConvergenceTrace":
+        trace = cls(name=doc.get("name", ""),
+                    trace_id=doc.get("trace_id"))
+        for p in doc.get("points", []):
+            trace.record_round(
+                p["key"], round=p["round"], rows=p["rows"],
+                error=p.get("error"), target=p.get("target"),
+                wall_seconds=p.get("wall_seconds"),
+                sim_seconds=p.get("sim_seconds"))
+        for e in doc.get("events", []):
+            trace.record_event(e["kind"], key=e.get("key"),
+                               round=e.get("round"),
+                               **e.get("detail", {}))
+        for a in doc.get("allocations", []):
+            trace.record_allocation(a["round"], a.get("grants", {}),
+                                    total=a.get("total"))
+        return trace
+
+    # ----------------------------------------------------------- tabular
+    def rows(self, key: Optional[str] = None) \
+            -> List[Tuple[str, int, int, Optional[float],
+                          Optional[float]]]:
+        """``(key, round, rows, error, wall_seconds)`` tuples for simple
+        terminal tables (examples/telemetry_dashboard.py)."""
+        return [(p.key, p.round, p.rows, p.error, p.wall_seconds)
+                for p in self.points
+                if key is None or p.key == key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)

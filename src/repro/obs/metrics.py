@@ -1,0 +1,352 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the sink every other stratum publishes into — the
+service's session lifecycle, the scheduler's budget grants, the engines'
+round counts, the mapreduce runtime's simulated-cost breakdowns and job
+counters.  It is deliberately tiny: three instrument kinds, one lock,
+JSON snapshots and Prometheus text exposition.
+
+Zero-perturbation contract (DESIGN.md §12)
+------------------------------------------
+* ``enabled`` defaults to **False** and every record call starts with a
+  single attribute check that bails out immediately, so the disabled
+  registry costs one branch per call site and cannot affect results,
+  RNG streams or event bytes.
+* No instrument ever touches an RNG, and no instrument reads a clock —
+  wall time belongs to :mod:`repro.obs.trace`, simulated time to
+  :class:`repro.cluster.costmodel.CostLedger`.
+* Instruments may be created (and cached at module import) while the
+  registry is disabled; flipping ``enabled`` later activates them all.
+
+Metric names follow Prometheus conventions: ``repro_<noun>_total`` for
+counters, ``repro_<noun>`` for gauges, ``repro_<noun>_<unit>`` for
+histograms, with lowercase label keys.
+"""
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets — spans the interesting range for both
+#: second-scale latencies and small dimensionless ratios.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0)
+
+
+def _label_items(labels: Optional[Mapping[str, object]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Common shape: a named, labelled series owned by one registry."""
+
+    kind = "untyped"
+    __slots__ = ("name", "labels", "_registry")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: LabelItems) -> None:
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+
+    def _reset(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _sample(self) -> Dict[str, object]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing float."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: LabelItems) -> None:
+        super().__init__(registry, name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        reg = self._registry
+        if not reg._enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with reg._lock:
+            self.value += amount
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> Dict[str, object]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depths, live sessions)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: LabelItems) -> None:
+        super().__init__(registry, name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        reg = self._registry
+        if not reg._enabled:
+            return
+        with reg._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        reg = self._registry
+        if not reg._enabled:
+            return
+        with reg._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _reset(self) -> None:
+        self.value = 0.0
+
+    def _sample(self) -> Dict[str, object]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram (upper-bound buckets, Prometheus style).
+
+    Buckets are fixed at creation: observation is a linear scan over a
+    short tuple — no allocation, no sorting, no clock.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "count", "sum")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: LabelItems,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(registry, name, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        reg = self._registry
+        if not reg._enabled:
+            return
+        with reg._lock:
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def _sample(self) -> Dict[str, object]:
+        cumulative: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            cumulative.append(running)
+        return {
+            "labels": dict(self.labels),
+            "buckets": [
+                {"le": bound, "count": cumulative[i]}
+                for i, bound in enumerate(self.buckets)
+            ] + [{"le": "+Inf", "count": cumulative[-1]}],
+            "count": self.count,
+            "sum": self.sum,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe instrument factory + snapshot/exposition surface.
+
+    One process-wide instance (:data:`REGISTRY`) serves the whole repro;
+    tests may build private registries.  ``enabled`` starts False.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, LabelItems], _Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------ switch
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def set_enabled(self, flag: bool) -> None:
+        self._enabled = bool(flag)
+
+    # ----------------------------------------------------------- factory
+    def _get(self, kind: str, name: str,
+             labels: Optional[Mapping[str, object]],
+             help: str, **kwargs) -> _Instrument:
+        items = _label_items(labels)
+        key = (name, items)
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is not None and existing_kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing_kind}, cannot re-register as {kind}")
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = _KINDS[kind](self, name, items, **kwargs)
+                self._instruments[key] = inst
+                self._kinds[name] = kind
+                if help:
+                    self._help[name] = help
+            elif help and name not in self._help:
+                self._help[name] = help
+            return inst
+
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, object]] = None,
+                help: str = "") -> Counter:
+        return self._get("counter", name, labels, help)  # type: ignore
+
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, object]] = None,
+              help: str = "") -> Gauge:
+        return self._get("gauge", name, labels, help)  # type: ignore
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, object]] = None,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        return self._get("histogram", name, labels, help,  # type: ignore
+                         buckets=buckets)
+
+    # ------------------------------------------------------------ access
+    def value(self, name: str,
+              labels: Optional[Mapping[str, object]] = None) -> float:
+        """Current value of a counter/gauge series (0.0 if absent)."""
+        inst = self._instruments.get((name, _label_items(labels)))
+        if inst is None or not hasattr(inst, "value"):
+            return 0.0
+        return inst.value  # type: ignore[attr-defined]
+
+    def series(self, name: str) -> List[_Instrument]:
+        """Every labelled series registered under ``name``."""
+        return [inst for (n, _), inst in sorted(self._instruments.items())
+                if n == name]
+
+    def reset(self) -> None:
+        """Zero every series (instruments stay registered)."""
+        with self._lock:
+            for inst in self._instruments.values():
+                inst._reset()
+
+    # --------------------------------------------------------- rendering
+    def snapshot(self) -> Dict[str, object]:
+        """Structured JSON-friendly dump of every series."""
+        with self._lock:
+            metrics: Dict[str, Dict[str, object]] = {}
+            for (name, _), inst in sorted(self._instruments.items()):
+                entry = metrics.setdefault(name, {
+                    "type": inst.kind,
+                    "help": self._help.get(name, ""),
+                    "series": [],
+                })
+                entry["series"].append(inst._sample())  # type: ignore
+            return {"enabled": self._enabled, "metrics": metrics}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            by_name: Dict[str, List[_Instrument]] = {}
+            for (name, _), inst in sorted(self._instruments.items()):
+                by_name.setdefault(name, []).append(inst)
+            for name, insts in by_name.items():
+                help_text = self._help.get(name, "")
+                if help_text:
+                    lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {insts[0].kind}")
+                for inst in insts:
+                    if isinstance(inst, Histogram):
+                        sample = inst._sample()
+                        for bucket in sample["buckets"]:  # type: ignore
+                            le = bucket["le"]
+                            le_txt = "+Inf" if le == "+Inf" else _fmt(le)
+                            lines.append(
+                                f"{name}_bucket"
+                                f"{_labels_txt(inst.labels, le=le_txt)} "
+                                f"{bucket['count']}")
+                        lines.append(
+                            f"{name}_sum{_labels_txt(inst.labels)} "
+                            f"{_fmt(inst.sum)}")
+                        lines.append(
+                            f"{name}_count{_labels_txt(inst.labels)} "
+                            f"{inst.count}")
+                    else:
+                        lines.append(
+                            f"{name}{_labels_txt(inst.labels)} "
+                            f"{_fmt(inst.value)}")  # type: ignore
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_txt(items: LabelItems, **extra: str) -> str:
+    pairs = list(items) + sorted(extra.items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+#: The process-wide registry every stratum publishes into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,324 @@
+"""Span-based tracing across service → scheduler → engine → mapreduce.
+
+A :class:`Tracer` records wall-clock spans with a ``trace_id`` /
+``span_id`` / ``parent_id`` triple so a whole session's life — submit,
+dispatch window, engine rounds, executor waves, map/reduce waves — can
+be exported as one connected tree in the Chrome ``chrome://tracing``
+event format (open via ``chrome://tracing`` or https://ui.perfetto.dev).
+
+Context propagation
+-------------------
+Within a thread the *ambient* parent rides a :class:`contextvars`
+variable: ``with TRACER.span("scheduler.round"):`` automatically parents
+any span opened deeper in the same thread (engine rounds, executor
+waves).  Across threads — the service's runner threads drive engines
+synchronously — the spawning code captures ``span.context`` and the
+worker calls :meth:`Tracer.activate` on entry.
+
+Zero-perturbation contract (DESIGN.md §12)
+------------------------------------------
+``enabled`` defaults to False; a disabled tracer returns one shared
+no-op span object from every call — no clock read, no allocation, no
+RNG, no lock.  Span ids come from :func:`itertools.count` (the
+``_earl_run_ids`` idiom), never from an RNG, so tracing can never
+perturb the repro's pinned random streams.
+"""
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "SpanContext", "Tracer", "TRACER", "NULL_SPAN"]
+
+
+class SpanContext(Tuple[str, str]):
+    """Immutable ``(trace_id, span_id)`` pair handed across threads."""
+
+    __slots__ = ()
+
+    def __new__(cls, trace_id: str, span_id: str) -> "SpanContext":
+        return tuple.__new__(cls, (trace_id, span_id))
+
+    @property
+    def trace_id(self) -> str:
+        return self[0]
+
+    @property
+    def span_id(self) -> str:
+        return self[1]
+
+
+_CURRENT: "contextvars.ContextVar[Optional[SpanContext]]" = \
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+
+
+class Span:
+    """One timed operation.  Use as a context manager (activates itself
+    as the ambient parent) or call :meth:`finish` explicitly for spans
+    that outlive a single scope (the service's per-session root)."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start",
+                 "end", "attrs", "thread_id", "_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 span_id: str, parent_id: Optional[str],
+                 attrs: Optional[Dict[str, Any]]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.thread_id = threading.get_ident()
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self._token: Optional[contextvars.Token] = None
+
+    # ----------------------------------------------------------- public
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = time.perf_counter()
+            self._tracer._record(self)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self.context)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self.finish()
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    context = None
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans in a bounded in-memory ring; disabled by default."""
+
+    def __init__(self, max_spans: int = 50_000) -> None:
+        self._enabled = False
+        self._lock = threading.Lock()
+        self._spans: "deque[Span]" = deque(maxlen=max_spans)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # ------------------------------------------------------------ switch
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def set_enabled(self, flag: bool) -> None:
+        self._enabled = bool(flag)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # --------------------------------------------------------------- ids
+    def new_trace_id(self) -> str:
+        """Deterministic process-local trace id (counter, never RNG)."""
+        return f"t{next(self._trace_ids):08d}"
+
+    # ------------------------------------------------------------- spans
+    def span(self, name: str, *, trace_id: Optional[str] = None,
+             parent: Optional[object] = None,
+             attrs: Optional[Dict[str, Any]] = None):
+        """Open a span.  Parent resolution: explicit ``parent`` (a
+        :class:`Span` or :class:`SpanContext`) > the ambient thread-local
+        context > none (new root, fresh trace unless ``trace_id`` is
+        pinned)."""
+        if not self._enabled:
+            return NULL_SPAN
+        parent_ctx: Optional[SpanContext]
+        if parent is None:
+            parent_ctx = _CURRENT.get()
+        elif isinstance(parent, Span):
+            parent_ctx = parent.context
+        else:
+            parent_ctx = parent  # SpanContext or None
+        if trace_id is None:
+            trace_id = parent_ctx.trace_id if parent_ctx is not None \
+                else self.new_trace_id()
+        parent_id = parent_ctx.span_id if parent_ctx is not None \
+            and parent_ctx.trace_id == trace_id else None
+        return Span(self, name, trace_id, f"s{next(self._span_ids):08d}",
+                    parent_id, attrs)
+
+    def current(self) -> Optional[SpanContext]:
+        if not self._enabled:
+            return None
+        return _CURRENT.get()
+
+    def activate(self, context: Optional[SpanContext]):
+        """Install ``context`` as the ambient parent for this thread;
+        returns a token for :meth:`deactivate`.  No-op when disabled."""
+        if not self._enabled:
+            return None
+        return _CURRENT.set(context)
+
+    def deactivate(self, token) -> None:
+        if token is not None:
+            _CURRENT.reset(token)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def adopt_orphans(self, trace_id: str, new_root: Span) -> int:
+        """Re-parent recorded spans of ``trace_id`` whose parent was
+        never recorded onto ``new_root``; returns how many moved.
+
+        A crash kills a session's root span before it can finish, so
+        the spans recorded *before* the crash dangle when the restarted
+        service opens a fresh root on the same trace id.  Adopting them
+        under the new root keeps the continued trace one connected
+        tree.  Only top-of-fragment spans move — a recorded span whose
+        parent is also recorded keeps its subtree intact."""
+        if not self._enabled:
+            return 0
+        with self._lock:
+            known = {s.span_id for s in self._spans}
+            moved = 0
+            for s in self._spans:
+                if s.trace_id != trace_id:
+                    continue
+                if s.parent_id is None or s.parent_id not in known:
+                    s.parent_id = new_root.span_id
+                    moved += 1
+            return moved
+
+    # ------------------------------------------------------------ export
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            items = list(self._spans)
+        if trace_id is None:
+            return items
+        return [s for s in items if s.trace_id == trace_id]
+
+    def export_chrome(self, trace_id: Optional[str] = None) \
+            -> Dict[str, Any]:
+        """Chrome trace-event JSON (``chrome://tracing`` "X" events)."""
+        items = self.spans(trace_id)
+        base = min((s.start for s in items), default=0.0)
+        events = []
+        for s in items:
+            end = s.end if s.end is not None else s.start
+            args = dict(s.attrs)
+            args["trace_id"] = s.trace_id
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            events.append({
+                "name": s.name,
+                "cat": s.trace_id,
+                "ph": "X",
+                "ts": (s.start - base) * 1e6,
+                "dur": (end - s.start) * 1e6,
+                "pid": 0,
+                "tid": s.thread_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    # ---------------------------------------------------------- analysis
+    def root(self, trace_id: str) -> Optional[Span]:
+        roots = [s for s in self.spans(trace_id) if s.parent_id is None]
+        if not roots:
+            return None
+        return min(roots, key=lambda s: s.start)
+
+    def is_connected(self, trace_id: str) -> bool:
+        """Every span's parent chain reaches a single root."""
+        items = self.spans(trace_id)
+        if not items:
+            return False
+        by_id = {s.span_id: s for s in items}
+        roots = [s for s in items if s.parent_id is None]
+        if len(roots) != 1:
+            return False
+        for s in items:
+            seen = set()
+            cur = s
+            while cur.parent_id is not None:
+                if cur.span_id in seen:
+                    return False
+                seen.add(cur.span_id)
+                nxt = by_id.get(cur.parent_id)
+                if nxt is None:
+                    return False
+                cur = nxt
+            if cur is not roots[0]:
+                return False
+        return True
+
+    def coverage(self, trace_id: str) -> float:
+        """Fraction of the root span's wall time covered by the union of
+        its descendant spans (the ≥95 % acceptance gauge)."""
+        items = self.spans(trace_id)
+        root = self.root(trace_id)
+        if root is None or root.end is None:
+            return 0.0
+        duration = root.end - root.start
+        if duration <= 0:
+            return 1.0
+        intervals = sorted(
+            (max(s.start, root.start),
+             min(s.end if s.end is not None else root.end, root.end))
+            for s in items if s is not root)
+        covered = 0.0
+        cursor = root.start
+        for lo, hi in intervals:
+            if hi <= cursor:
+                continue
+            covered += hi - max(lo, cursor)
+            cursor = max(cursor, hi)
+        return covered / duration
+
+
+#: The process-wide tracer (disabled by default).
+TRACER = Tracer()

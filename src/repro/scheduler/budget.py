@@ -27,6 +27,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.sampling.stratified import allocate_with_caps
 
 __all__ = ["rows_to_bound", "allocate_budget"]
@@ -88,4 +89,11 @@ def allocate_budget(demands: Sequence[Dict[str, Any]],
         else:
             weights.append(float(d["size"]))
     floors = [1 if cap > 0 else 0 for cap in caps]
-    return allocate_with_caps(weights, total, caps, floors=floors)
+    grants = allocate_with_caps(weights, total, caps, floors=floors)
+    if _METRICS.enabled:
+        _METRICS.counter("repro_budget_allocations_total",
+                         help="global budget splits computed").inc()
+        _METRICS.counter("repro_budget_rows_granted_total",
+                         help="sample rows granted across all arms"
+                         ).inc(sum(grants))
+    return grants

@@ -41,12 +41,16 @@ solo-session byte-identity the repo pins.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.core.config import EarlConfig
 from repro.core.earl import EarlSession
 from repro.core.estimators import StatisticLike, get_statistic
 from repro.core.grouped import GroupedEarlSession
+from repro.obs.convergence import ConvergenceTrace
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.scheduler.budget import allocate_budget
 from repro.streaming.session import SessionManager
 
@@ -340,6 +344,11 @@ class QueryScheduler:
         self._engines: List[Any] = []
         self._started = False
         self._cancelled = False
+        #: Populated at :meth:`stream` start when telemetry is enabled:
+        #: per-round convergence points, events and budget decisions.
+        self.telemetry: Optional[ConvergenceTrace] = None
+        self._round_no = 0
+        self._t0: Optional[float] = None
 
     # ------------------------------------------------------------ admission
     @property
@@ -426,13 +435,25 @@ class QueryScheduler:
         if not self._queries:
             raise RuntimeError("no queries submitted")
         self._started = True
+        if _METRICS.enabled or _TRACER.enabled:
+            self.telemetry = ConvergenceTrace(name="scheduler")
+            self._t0 = time.perf_counter()
+            _METRICS.counter("repro_scheduler_streams_total",
+                             help="scheduler dispatch windows driven").inc()
+            _METRICS.counter("repro_scheduler_queries_total",
+                             help="queries admitted to windows"
+                             ).inc(len(self._queries))
         engines = self._build_engines()
         self._engines = engines
         try:
-            for engine in engines:
-                if self._cancelled:
-                    return
-                yield from engine.prepare()
+            with _TRACER.span("scheduler.prepare",
+                              attrs={"engines": len(engines)}):
+                for engine in engines:
+                    if self._cancelled:
+                        return
+                    events = engine.prepare()
+                    self._observe(0, events)
+                    yield from events
             max_iters = [self._scan_data[key][1].max_iterations
                          for key in self._scan_data]
             max_iters += [session.config.max_iterations
@@ -444,22 +465,33 @@ class QueryScheduler:
                 if not live:
                     return
                 rounds += 1
+                self._round_no = rounds
                 if rounds > round_cap:
                     # Budget trickling exceeded the safety bound:
                     # best-effort finalize, mirroring the engines' own
                     # stalled-round behaviour.
                     for engine in live:
-                        yield from engine.finalize()
+                        events = engine.finalize()
+                        self._observe(rounds, events)
+                        yield from events
                     return
-                grants = self._allocate(live)
-                for engine in live:
-                    if self._cancelled:
-                        return
-                    if not engine.pending:
-                        continue
-                    grant = (grants.get(id(engine))
-                             if grants is not None else None)
-                    yield from engine.run_round(grant)
+                with _TRACER.span("scheduler.round",
+                                  attrs={"round": rounds,
+                                         "live": len(live)}):
+                    grants = self._allocate(live)
+                    for engine in live:
+                        if self._cancelled:
+                            return
+                        if not engine.pending:
+                            continue
+                        grant = (grants.get(id(engine))
+                                 if grants is not None else None)
+                        events = engine.run_round(grant)
+                        self._observe(rounds, events)
+                        yield from events
+                if _METRICS.enabled:
+                    _METRICS.counter("repro_scheduler_rounds_total",
+                                     help="global scheduling rounds").inc()
         finally:
             for engine in engines:
                 engine.finish()
@@ -477,6 +509,29 @@ class QueryScheduler:
         return sum(engine.rows_processed for engine in self._engines)
 
     # ------------------------------------------------------------- internals
+    def _observe(self, round_no: int,
+                 events: List[Tuple[ScheduledQuery, Any]]) -> None:
+        """Record one round's snapshots on the convergence trace."""
+        if self.telemetry is None or not events:
+            return
+        wall = (time.perf_counter() - self._t0
+                if self._t0 is not None else None)
+        for query, snap in events:
+            rows = int(getattr(snap, "sample_size", 0)
+                       or getattr(snap, "rows_processed", 0))
+            error = getattr(snap, "error", None)
+            if error is None:
+                worst = getattr(snap, "worst", None)
+                error = worst.error if worst is not None else None
+            self.telemetry.record_round(
+                query.name, round=round_no, rows=rows, error=error,
+                wall_seconds=wall,
+                sim_seconds=getattr(snap, "cost_total_seconds", None))
+            if getattr(snap, "degraded", False):
+                self.telemetry.record_event(
+                    "degraded", key=query.name, round=round_no,
+                    lost_fraction=getattr(snap, "lost_fraction", 0.0))
+
     def _build_engines(self) -> List[Any]:
         """Materialize engines in canonical order — scan key, then
         query name — so a fixed submission *set* produces the same
@@ -521,6 +576,12 @@ class QueryScheduler:
             return None
         grants = allocate_budget([record for _, record in arms],
                                  self._round_budget)
+        if self.telemetry is not None:
+            self.telemetry.record_allocation(
+                self._round_no,
+                {str(record["key"]): grant
+                 for (_, record), grant in zip(arms, grants)},
+                total=self._round_budget)
         out: Dict[int, Any] = {}
         for (engine, record), grant in zip(arms, grants):
             if record.get("shared"):

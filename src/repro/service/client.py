@@ -22,6 +22,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.service.events import ResumeGapError
 from repro.service.protocol import (
     ERR_RESUME_GAP,
@@ -136,6 +137,14 @@ class _BaseClient:
     async def ping(self) -> bool:
         return bool((await self._request({"op": "ping"})).get("pong"))
 
+    async def metrics(self, *, format: str = "both") -> Dict[str, Any]:
+        """Server telemetry: metrics snapshot and/or Prometheus text."""
+        return await self._request({"op": "metrics", "format": format})
+
+    async def trace(self, session: str) -> Dict[str, Any]:
+        """One session's Chrome trace export + convergence slice."""
+        return await self._request({"op": "trace", "session": session})
+
 
 class LocalClient(_BaseClient):
     """In-process client: handler calls without a transport."""
@@ -167,7 +176,7 @@ class ServiceClient(_BaseClient):
     #: Ops safe to resend after a reconnect.  ``cancel`` is idempotent
     #: (``already_terminal`` marks a repeat); ``submit`` is not.
     _IDEMPOTENT_OPS = frozenset({"poll", "status", "stats", "cancel",
-                                 "ping"})
+                                 "ping", "metrics", "trace"})
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, *,
@@ -175,7 +184,8 @@ class ServiceClient(_BaseClient):
                  port: Optional[int] = None,
                  connect_timeout: Optional[float] = None,
                  read_timeout: Optional[float] = None,
-                 max_reconnects: int = 0) -> None:
+                 max_reconnects: int = 0,
+                 reconnect_backoff: float = 0.0) -> None:
         self._reader: Optional[asyncio.StreamReader] = reader
         self._writer: Optional[asyncio.StreamWriter] = writer
         self._host = host
@@ -183,18 +193,34 @@ class ServiceClient(_BaseClient):
         self._connect_timeout = connect_timeout
         self._read_timeout = read_timeout
         self._max_reconnects = max(0, int(max_reconnects))
+        self._reconnect_backoff = max(0.0, float(reconnect_backoff))
         self._lock = asyncio.Lock()
+        #: Fault-tolerance accounting: silent reconnects would otherwise
+        #: be invisible to the caller (the request just succeeds late).
+        self._stats: Dict[str, Any] = {
+            "requests": 0, "reconnects": 0, "backoff_slept": 0.0,
+            "causes": {}}
 
     @classmethod
     async def connect(cls, host: str, port: int, *,
                       connect_timeout: Optional[float] = None,
                       read_timeout: Optional[float] = None,
-                      max_reconnects: int = 0) -> "ServiceClient":
+                      max_reconnects: int = 0,
+                      reconnect_backoff: float = 0.0) -> "ServiceClient":
         reader, writer = await cls._open(host, port, connect_timeout)
         return cls(reader, writer, host=host, port=port,
                    connect_timeout=connect_timeout,
                    read_timeout=read_timeout,
-                   max_reconnects=max_reconnects)
+                   max_reconnects=max_reconnects,
+                   reconnect_backoff=reconnect_backoff)
+
+    def client_stats(self) -> Dict[str, Any]:
+        """A copy of the client's fault-tolerance counters: requests
+        issued, silent reconnect attempts (total and by failure cause)
+        and backoff seconds slept."""
+        out = dict(self._stats)
+        out["causes"] = dict(self._stats["causes"])
+        return out
 
     @staticmethod
     async def _open(host: str, port: int,
@@ -255,6 +281,8 @@ class ServiceClient(_BaseClient):
         attempts_left = self._max_reconnects if retriable else 0
         deadline = self._read_deadline(request)
         async with self._lock:   # one in-flight request per connection
+            self._stats["requests"] += 1
+            attempt = 0
             while True:
                 failure: ServiceError
                 try:
@@ -282,6 +310,22 @@ class ServiceClient(_BaseClient):
                 if attempts_left <= 0:
                     raise failure
                 attempts_left -= 1
+                attempt += 1
+                cause = failure.code
+                self._stats["reconnects"] += 1
+                self._stats["causes"][cause] = \
+                    self._stats["causes"].get(cause, 0) + 1
+                if _METRICS.enabled:
+                    _METRICS.counter(
+                        "repro_client_reconnects_total",
+                        help="Silent client reconnect-and-resend attempts.",
+                        labels={"cause": cause}).inc()
+                if self._reconnect_backoff > 0.0:
+                    delay = min(
+                        self._reconnect_backoff * (2 ** (attempt - 1)),
+                        2.0)
+                    await asyncio.sleep(delay)
+                    self._stats["backoff_slept"] += delay
         response = json.loads(line)
         if not response.get("ok"):
             _raise_error_response(response)

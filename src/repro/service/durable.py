@@ -273,6 +273,7 @@ class DurableSessionStore(SessionStore):
                 "retries": record.retries,
                 "degraded_flagged": record.degraded_flagged,
                 "last_snapshot": record.last_snapshot,
+                "trace_id": record.trace_id,
             }
             self._append({"op": "add", "session": doc}, sync=True)
             self._records[record.session_id] = record
@@ -406,6 +407,7 @@ class DurableSessionStore(SessionStore):
                 degraded_flagged=bool(doc.get("degraded_flagged", False)),
                 retries=int(doc.get("retries", 0)),
                 fingerprint=doc.get("fingerprint"),
+                trace_id=doc.get("trace_id"),
             )
             self._records[session_id] = record
         self._attach_journal(record)

@@ -60,6 +60,9 @@ import numpy as np
 from repro.core.config import EarlConfig
 from repro.core.earl import EarlJob
 from repro.core.grouped import GroupedSnapshot
+from repro.obs.convergence import ConvergenceTrace
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import NULL_SPAN, TRACER as _TRACER
 from repro.query.model import Query
 from repro.scheduler import QueryScheduler
 from repro.service.events import EventLog
@@ -166,6 +169,13 @@ class ApproxQueryService:
         self._started = False
         self._stopped = False
         self._crashed = False
+        # Telemetry (repro.obs).  The convergence trace and the span
+        # bookkeeping only ever *fill* while the registry / tracer are
+        # enabled; disabled, every hot-path hook is one attribute check.
+        self.telemetry = ConvergenceTrace(name="service")
+        self._session_spans: Dict[str, Dict[str, Any]] = {}
+        self._snapshot_counts: Dict[str, int] = {}
+        self._wall0: Optional[float] = None
 
     # ----------------------------------------------------------- data plane
     @property
@@ -392,6 +402,48 @@ class ApproxQueryService:
     async def _op_ping(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         return {"pong": True}
 
+    async def _op_metrics(self, request: Mapping[str, Any]) \
+            -> Dict[str, Any]:
+        """Telemetry snapshot: the process-wide metrics registry as
+        JSON and/or Prometheus 0.0.4 text.  Read-only — does not touch
+        any session, so a scraping dashboard never resets TTLs."""
+        fmt = request.get("format", "both")
+        if fmt not in ("json", "prometheus", "both"):
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                "'format' must be 'json', 'prometheus' or 'both', "
+                f"got {fmt!r}")
+        response: Dict[str, Any] = {
+            "metrics_enabled": _METRICS.enabled,
+            "tracing_enabled": _TRACER.enabled,
+        }
+        if fmt in ("json", "both"):
+            response["snapshot"] = _METRICS.snapshot()
+        if fmt in ("prometheus", "both"):
+            response["prometheus"] = _METRICS.render_prometheus()
+        return response
+
+    async def _op_trace(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """One session's telemetry: its Chrome trace-event export and
+        its slice of the service convergence trace.  Read-only (no TTL
+        touch), so introspection never perturbs session lifecycle."""
+        rec = self._require_session(request)
+        trace_id = rec.trace_id
+        if trace_id is None:
+            trace_id = rec.trace_id = f"t{rec.seed:016x}"
+        conv = self.telemetry.to_dict()
+        return {
+            "session": rec.session_id,
+            "trace_id": trace_id,
+            "chrome": _TRACER.export_chrome(trace_id),
+            "convergence": {
+                "points": [p for p in conv["points"]
+                           if p["key"] == rec.session_id],
+                "events": [e for e in conv["events"]
+                           if e["key"] in (None, rec.session_id)],
+            },
+        }
+
     _OPS = {
         "submit": _op_submit,
         "poll": _op_poll,
@@ -399,20 +451,115 @@ class ApproxQueryService:
         "status": _op_status,
         "stats": _op_stats,
         "ping": _op_ping,
+        "metrics": _op_metrics,
+        "trace": _op_trace,
     }
 
     # -------------------------------------------------------- session set-up
     def _new_record(self, spec: Any, now: float) -> SessionRecord:
+        seed = int(self._seed_rng.integers(0, 2**63 - 1))
         rec = SessionRecord(
             session_id=f"s{next(self._ids):06d}",
             kind=spec.kind, spec=spec,
-            seed=int(self._seed_rng.integers(0, 2**63 - 1)),
+            seed=seed,
             log=EventLog(capacity=self._event_capacity),
             created_at=now, last_activity=now,
             fingerprint=(self._fingerprint(spec)
-                         if self._store.durable else None))
+                         if self._store.durable else None),
+            # Derived from the seed, not drawn: deterministic, free, and
+            # recomputable after a restart — the WAL carries it so a
+            # replay-resumed session continues the *same* trace.
+            trace_id=f"t{seed:016x}")
         self._store.add(rec)
+        if _METRICS.enabled:
+            _METRICS.counter(
+                "repro_service_sessions_total",
+                help="Sessions submitted, by spec kind.",
+                labels={"kind": rec.kind}).inc()
+        self._begin_session_trace(rec)
         return rec
+
+    # ------------------------------------------------------------ telemetry
+    def _begin_session_trace(self, rec: SessionRecord, *,
+                             restart: bool = False) -> None:
+        """Open the session's root span (plus its first child) on the
+        session's deterministic trace id.  A restart opens a *new* root
+        on the *same* trace id — the pre-crash root died unrecorded with
+        the old process, so the resumed trace still has a single root.
+        """
+        if not _TRACER.enabled:
+            return
+        if rec.trace_id is None:   # WAL written before tracing existed
+            rec.trace_id = f"t{rec.seed:016x}"
+        root = _TRACER.span(
+            "service.session", trace_id=rec.trace_id,
+            attrs={"session": rec.session_id, "kind": rec.kind,
+                   "restart": restart})
+        if restart:
+            # Spans recorded before the crash dangle (their parents
+            # died unfinished); hang them off the resumed root so the
+            # continued trace stays one connected tree.
+            _TRACER.adopt_orphans(rec.trace_id, root)
+        first = ("service.run" if rec.state == STATE_RUNNING
+                 else "service.queued")
+        child = _TRACER.span(first, trace_id=rec.trace_id, parent=root)
+        self._session_spans[rec.session_id] = {"root": root,
+                                               "child": child}
+
+    def _roll_session_span(self, rec: SessionRecord, name: str) -> None:
+        """Finish the session's current child span and open ``name`` —
+        together the children tile the root, which is what makes the
+        ≥95 % trace-coverage acceptance check structural."""
+        spans = self._session_spans.get(rec.session_id)
+        if spans is None:
+            return
+        spans["child"].finish()
+        spans["child"] = _TRACER.span(name, trace_id=rec.trace_id,
+                                      parent=spans["root"])
+
+    def _finish_session_trace(self, rec: SessionRecord) -> None:
+        spans = self._session_spans.pop(rec.session_id, None)
+        if spans is None:
+            return
+        spans["child"].finish()
+        spans["root"].set(state=rec.state).finish()
+
+    def _observe_snapshot(self, rec: SessionRecord,
+                          payload: Mapping[str, Any], *,
+                          grouped: bool, expired: bool) -> None:
+        """One published snapshot -> one convergence point.  Runner
+        thread; only called with the registry enabled."""
+        if self._wall0 is None:
+            self._wall0 = time.perf_counter()
+        wall = time.perf_counter() - self._wall0
+        sid = rec.session_id
+        n = self._snapshot_counts.get(sid, 0) + 1
+        self._snapshot_counts[sid] = n
+        if grouped:
+            rows = payload.get("rows_processed", 0)
+            errors = [entry.get("error")
+                      for by_agg in payload.get("groups", {}).values()
+                      for entry in by_agg.values()
+                      if entry.get("error") is not None]
+            error = max(errors) if errors else None
+        else:
+            rows = payload.get("sample_size", 0)
+            error = payload.get("error")
+        self.telemetry.record_round(
+            sid, round=n, rows=int(rows or 0), error=error,
+            target=getattr(rec.spec, "sigma", None),
+            wall_seconds=wall,
+            sim_seconds=float(payload.get("cost_total_seconds",
+                                          rec.cost_seconds)))
+        _METRICS.counter(
+            "repro_service_snapshots_total",
+            help="Engine snapshots published to session event logs.",
+            labels={"kind": rec.kind}).inc()
+        if expired:
+            self.telemetry.record_event("deadline", key=sid, round=n)
+            _METRICS.counter(
+                "repro_service_deadline_total",
+                help="Sessions finalized by a deadline breach.").inc()
 
     def _session_config(self, rec: SessionRecord) -> EarlConfig:
         return self._spec_config(rec.spec, rec.seed)
@@ -484,6 +631,7 @@ class ApproxQueryService:
             session = query.plan()   # eager validation (columns, where)
         except (ValueError, TypeError, KeyError) as exc:
             self._store.remove(rec.session_id)
+            self._session_spans.pop(rec.session_id, None)
             raise ServiceError(ERR_BAD_SPEC, str(exc)) from None
         # The planned engine rides the record into the dispatch
         # window's scheduler; until then the session's own flag is the
@@ -649,38 +797,55 @@ class ApproxQueryService:
         recovery point, the run diverged (source changed undetected)
         and the session is finalized honestly instead.
         """
+        if _TRACER.enabled:
+            # The window gets its own trace: scheduler rounds, engine
+            # rounds, executor waves and map/reduce waves all nest under
+            # it via the ambient context this thread now carries.
+            wspan = _TRACER.span(
+                "service.window",
+                attrs={"sessions": sorted(records), "replay": replay})
+        else:
+            wspan = NULL_SPAN
         try:
-            gen = sched.stream()
-            try:
-                for handle, snap in gen:
-                    rec = records.get(handle.name)
-                    if rec is None:
-                        continue
-                    if rec.cancel_flag.is_set():
-                        handle.cancel()
-                        continue
-                    if skip is not None and skip.get(handle.name, 0) > 0:
-                        skip[handle.name] -= 1
-                        continue
-                    outcome = self._publish_snapshot(
-                        rec, snap, grouped=isinstance(snap, GroupedSnapshot))
-                    if outcome is None:  # sealed (cancelled/expired)
-                        handle.cancel()
-                    elif outcome and not snap.final:
-                        handle.cancel()  # deadline finalized mid-run
-            finally:
-                gen.close()
-            if replay:
-                for rec in records.values():
-                    if not rec.terminal and not rec.cancel_flag.is_set():
-                        self._from_thread(self._finalize_recovery(
-                            rec, "replay ended before the session's "
-                                 "recovery point"))
+            with wspan:
+                self._drive_scheduler_core(sched, records, skip=skip,
+                                           replay=replay)
         except BaseException as exc:  # noqa: BLE001 - must not die silently
             message = f"{type(exc).__name__}: {exc}"
             for rec in records.values():
                 if not rec.terminal:
                     self._from_thread(self._fail(rec, message))
+
+    def _drive_scheduler_core(self, sched: QueryScheduler,
+                              records: Dict[str, SessionRecord], *,
+                              skip: Optional[Dict[str, int]],
+                              replay: bool) -> None:
+        gen = sched.stream()
+        try:
+            for handle, snap in gen:
+                rec = records.get(handle.name)
+                if rec is None:
+                    continue
+                if rec.cancel_flag.is_set():
+                    handle.cancel()
+                    continue
+                if skip is not None and skip.get(handle.name, 0) > 0:
+                    skip[handle.name] -= 1
+                    continue
+                outcome = self._publish_snapshot(
+                    rec, snap, grouped=isinstance(snap, GroupedSnapshot))
+                if outcome is None:  # sealed (cancelled/expired)
+                    handle.cancel()
+                elif outcome and not snap.final:
+                    handle.cancel()  # deadline finalized mid-run
+        finally:
+            gen.close()
+        if replay:
+            for rec in records.values():
+                if not rec.terminal and not rec.cancel_flag.is_set():
+                    self._from_thread(self._finalize_recovery(
+                        rec, "replay ended before the session's "
+                             "recovery point"))
 
     def _drive_stream(self, gen: Any, rec: SessionRecord, *,
                       grouped: bool, restart=None, skip: int = 0,
@@ -699,6 +864,13 @@ class ApproxQueryService:
         the session is still live diverged from the original run and
         finalizes honestly.
         """
+        spans = self._session_spans.get(rec.session_id)
+        if spans is not None and spans["child"] is not NULL_SPAN:
+            # This thread drives exactly one session, so the engine /
+            # mapreduce spans it opens nest under the session's own
+            # "service.run" span.  The thread exits right after the
+            # drive, so the activation needs no teardown.
+            _TRACER.activate(spans["child"].context)
         attempts = 0
         while True:
             try:
@@ -733,6 +905,13 @@ class ApproxQueryService:
                     return
                 attempts += 1
                 rec.retries = attempts
+                if _METRICS.enabled:
+                    self.telemetry.record_event(
+                        "retry", key=rec.session_id, attempt=attempts,
+                        error=message)
+                    _METRICS.counter(
+                        "repro_service_retries_total",
+                        help="Transient engine failures retried.").inc()
                 seq = self._append_from_thread(rec, EVENT_RETRY, {
                     "attempt": attempts,
                     "max_attempts": self._engine_retries,
@@ -777,8 +956,18 @@ class ApproxQueryService:
         rec.last_snapshot = payload
         if not grouped:
             rec.cost_seconds = snap.cost_total_seconds
+        if _METRICS.enabled:
+            self._observe_snapshot(rec, payload, grouped=grouped,
+                                   expired=expired and not snap.final)
         if payload.get("degraded") and not rec.degraded_flagged:
             rec.degraded_flagged = True
+            if _METRICS.enabled:
+                self.telemetry.record_event(
+                    "degraded", key=rec.session_id,
+                    lost_fraction=float(payload.get("lost_fraction", 0.0)))
+                _METRICS.counter(
+                    "repro_service_degraded_total",
+                    help="Sessions that first reported sample loss.").inc()
             if self._append_from_thread(
                     rec, EVENT_DEGRADED,
                     {"lost_fraction":
@@ -822,6 +1011,7 @@ class ApproxQueryService:
         if deadline is not None:
             rec.deadline_at = self._clock() + deadline
         self._store.update(rec)
+        self._roll_session_span(rec, "service.run")
         await rec.log.append(EVENT_STATE, {"state": STATE_RUNNING})
 
     async def _terminate(self, rec: SessionRecord, state: str,
@@ -835,6 +1025,14 @@ class ApproxQueryService:
         if error is not None:
             rec.error = error
         self._store.update(rec)
+        if _METRICS.enabled:
+            self.telemetry.record_event("terminal", key=rec.session_id,
+                                        state=state)
+            _METRICS.counter(
+                "repro_service_terminal_total",
+                help="Sessions reaching a terminal state.",
+                labels={"state": state}).inc()
+        self._finish_session_trace(rec)
         payload: Dict[str, Any] = {"state": state}
         if error is not None:
             payload["error"] = error
@@ -938,11 +1136,24 @@ class ApproxQueryService:
         live: Dict[str, SessionRecord] = {
             sid: store.materialize(sid, now=now) for sid in ids}
         for rec in live.values():
+            if rec.trace_id is None:   # WAL predates trace ids
+                rec.trace_id = f"t{rec.seed:016x}"
             # Finish interrupted terminations: the final snapshot
             # landed but the crash beat the state transition.
             if (not rec.terminal and rec.last_snapshot is not None
                     and rec.last_snapshot.get("final")):
                 await self._terminate(rec, STATE_DONE)
+        for rec in live.values():
+            if rec.terminal:
+                continue
+            self._begin_session_trace(rec, restart=True)
+            if _METRICS.enabled:
+                self.telemetry.record_event("restart", key=rec.session_id,
+                                            state=rec.state)
+                _METRICS.counter(
+                    "repro_service_restarts_total",
+                    help="Live sessions carried across a service "
+                         "restart.").inc()
         windows = store.windows()
         member_of: Dict[str, str] = {}
         for wid, doc in windows.items():

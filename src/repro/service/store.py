@@ -76,6 +76,11 @@ class SessionRecord:
     #: a session whose source no longer matches (replay would silently
     #: produce different bytes) and degrade-finalizes it instead.
     fingerprint: Optional[str] = None
+    #: Telemetry trace id (``t<seed:016x>``, derived from the session
+    #: seed so it is deterministic and survives restarts — a replayed
+    #: session continues the *same* trace).  Always set; only consumed
+    #: when :mod:`repro.obs` tracing is enabled.
+    trace_id: Optional[str] = None
 
     @property
     def terminal(self) -> bool:

@@ -49,6 +49,8 @@ from repro.core.estimators import StatisticLike, get_statistic
 from repro.core.result import EarlResult, IterationRecord, ProgressSnapshot
 from repro.core.ssabe import SSABEResult, estimate_parameters
 from repro.exec.executor import BroadcastHandle, Executor, resolve_executor
+from repro.obs.metrics import REGISTRY as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.util.rng import ensure_rng, spawn_child
 
 
@@ -263,6 +265,10 @@ class SessionManager:
             raise ValueError(
                 f"loss fraction must be in (0, 1), got {fraction}")
         self._pending_loss.append((float(fraction), seed))
+        if _METRICS.enabled:
+            _METRICS.counter("repro_loss_reports_total",
+                             labels={"engine": "session_manager"},
+                             help="§3.4 sample-loss reports").inc()
 
     def submit(self, statistic: StatisticLike, *,
                sigma: Optional[float] = None,
@@ -357,6 +363,8 @@ class SessionManager:
         order = rng.permutation(N)  # the ONE shared sample
         self._executor = executor = resolve_executor(cfg)
         events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
+        _span = _TRACER.span("session_manager.prepare",
+                             attrs={"queries": len(self._queries)})
         try:
             # ------------------------------------------ shared pilot
             pilot = data[order[:pilot_size_for(cfg, N)]]
@@ -430,6 +438,8 @@ class SessionManager:
         except BaseException:
             self.finish()
             raise
+        finally:
+            _span.finish()
         self._events_emitted += len(events)
         return events
 
@@ -526,8 +536,19 @@ class SessionManager:
             return []
         self._round += 1
         lo, self._consumed = self._consumed, target
-        estimates = self._offer_round(self._executor, active, self._shared,
-                                      lo, target)
+        with _TRACER.span("session_manager.round",
+                          attrs={"round": self._round,
+                                 "rows": target - lo}):
+            estimates = self._offer_round(self._executor, active,
+                                          self._shared, lo, target)
+        if _METRICS.enabled:
+            _METRICS.counter("repro_engine_rounds_total",
+                             labels={"engine": "session_manager"},
+                             help="engine expansion rounds").inc()
+            _METRICS.counter("repro_engine_rows_total",
+                             labels={"engine": "session_manager"},
+                             help="sample rows consumed by rounds"
+                             ).inc(target - lo)
         consumed, N = self._consumed, self._N
         events: List[Tuple[QueryHandle, ProgressSnapshot]] = []
         still_active: List[QueryHandle] = []

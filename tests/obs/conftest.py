@@ -1,0 +1,20 @@
+"""Shared fixtures for the telemetry suite.
+
+Telemetry is process-global (one ``REGISTRY``, one ``TRACER``), so every
+test here starts from the zero-perturbation default and leaves it there —
+a leaked ``enable_telemetry()`` would silently change what the
+byte-identity suites measure.
+"""
+
+import pytest
+
+from repro.obs import disable_telemetry, reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    disable_telemetry()
+    reset_telemetry()
+    yield
+    disable_telemetry()
+    reset_telemetry()

@@ -1,0 +1,101 @@
+"""Unit tests for convergence introspection (repro.obs.convergence)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.convergence import ConvergenceTrace
+
+
+@pytest.fixture
+def trace():
+    t = ConvergenceTrace(name="q1", trace_id="t0000000000000001")
+    t.record_round("value", round=1, rows=100, error=0.20, target=0.05,
+                   wall_seconds=0.01, sim_seconds=1.5)
+    t.record_round("value", round=2, rows=260, error=0.08, target=0.05,
+                   wall_seconds=0.02, sim_seconds=2.9)
+    t.record_round("value", round=3, rows=420, error=0.04, target=0.05,
+                   wall_seconds=0.04, sim_seconds=4.1)
+    t.record_event("loss", key="value", round=2, fraction=0.4)
+    t.record_allocation(2, {"value": 160, "other": 40}, total=200)
+    return t
+
+
+class TestRecording:
+    def test_points_in_order(self, trace):
+        assert [p.round for p in trace.points] == [1, 2, 3]
+        assert [p.rows for p in trace.points] == [100, 260, 420]
+
+    def test_error_trajectory_is_captured(self, trace):
+        errors = [p.error for p in trace.points]
+        assert errors == [0.20, 0.08, 0.04]
+        assert errors[-1] <= trace.points[-1].target
+
+    def test_none_error_allowed(self):
+        t = ConvergenceTrace()
+        t.record_round("k", round=1, rows=10, error=None)
+        assert t.points[0].error is None
+
+    def test_events_and_allocations(self, trace):
+        (ev,) = trace.events
+        assert ev.kind == "loss"
+        assert ev.key == "value"
+        assert ev.detail == {"fraction": 0.4}
+        (alloc,) = trace.allocations
+        assert alloc.grants == {"value": 160, "other": 40}
+        assert alloc.total == 200
+
+    def test_keys_and_last_point(self, trace):
+        trace.record_round("other", round=1, rows=50, error=0.3)
+        assert trace.keys() == ["value", "other"]
+        assert trace.last_point("value").round == 3
+        assert trace.last_point("other").rows == 50
+        assert trace.last_point("missing") is None
+
+    def test_len_counts_points(self, trace):
+        assert len(trace) == 3
+
+    def test_values_are_coerced(self):
+        t = ConvergenceTrace()
+        t.record_round(7, round="2", rows=10.0, error="0.5")
+        p = t.points[0]
+        assert p.key == "7" and p.round == 2
+        assert p.rows == 10 and p.error == 0.5
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_everything(self, trace):
+        doc = trace.to_dict()
+        # the dict must be plain JSON
+        restored = ConvergenceTrace.from_dict(json.loads(json.dumps(doc)))
+        assert restored.to_dict() == doc
+        assert restored.name == "q1"
+        assert restored.trace_id == "t0000000000000001"
+
+    def test_rows_tabular_view(self, trace):
+        rows = trace.rows("value")
+        assert rows[0] == ("value", 1, 100, 0.20, 0.01)
+        assert len(rows) == 3
+        assert trace.rows("absent") == []
+        assert len(trace.rows()) == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_are_all_kept(self):
+        t = ConvergenceTrace()
+
+        def worker(key):
+            for i in range(500):
+                t.record_round(key, round=i, rows=i, error=0.1)
+                t.record_event("tick", key=key, round=i)
+
+        threads = [threading.Thread(target=worker, args=(f"k{j}",))
+                   for j in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t) == 2000
+        assert len(t.events) == 2000
+        assert sorted(t.keys()) == ["k0", "k1", "k2", "k3"]

@@ -1,0 +1,143 @@
+"""Ledger ↔ registry reconciliation and the zero-perturbation property.
+
+Two contracts from DESIGN.md §12:
+
+* **Reconciliation** — with telemetry enabled, the registry's
+  ``repro_sim_cost_seconds_total{category=...}`` series equal the
+  :class:`~repro.mapreduce.runtime.JobResult` breakdown *exactly*, on
+  every executor backend (the delta-publish in
+  :meth:`CostLedger.publish` must neither drop nor double-count).
+* **Zero perturbation** — flipping telemetry on and off around identical
+  runs changes no result: same estimates, same breakdowns, same RNG
+  streams.
+"""
+
+import pytest
+
+from repro import EarlConfig, EarlSession, run_stock_job
+from repro.cluster import Cluster
+from repro.cluster.costmodel import CostLedger
+from repro.obs import REGISTRY, enable_telemetry, reset_telemetry
+from repro.workloads import load_numeric, numeric_dataset
+
+BACKENDS = ["serial", "threads", "processes"]
+
+COST_METRIC = "repro_sim_cost_seconds_total"
+COUNTER_METRIC = "repro_mr_counter_total"
+
+
+@pytest.fixture(autouse=True)
+def _no_env_override(monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+
+
+def _fresh_env():
+    cluster = Cluster(n_nodes=4, block_size=8 * 1024, replication=2,
+                      seed=30)
+    values = numeric_dataset(6_000, "lognormal", seed=31)
+    ds = load_numeric(cluster, "/data", values, logical_scale=100.0)
+    return cluster, ds
+
+
+def _registry_costs():
+    return {
+        dict(inst.labels)["category"]: inst.value
+        for inst in REGISTRY.series(COST_METRIC)
+        if inst.value
+    }
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_registry_matches_job_breakdown_exactly(self, backend):
+        enable_telemetry()
+        reset_telemetry()
+        cluster, ds = _fresh_env()
+        _, result = run_stock_job(cluster, ds.path, "mean", seed=40,
+                                  executor=backend)
+        published = _registry_costs()
+        expected = {cat: secs for cat, secs in result.breakdown.items()
+                    if secs > 0}
+        assert set(published) == set(expected)
+        for cat, secs in expected.items():
+            assert published[cat] == pytest.approx(secs, abs=1e-9), cat
+
+    def test_registry_sums_over_multiple_jobs(self):
+        enable_telemetry()
+        reset_telemetry()
+        cluster, ds = _fresh_env()
+        totals = {}
+        for seed in (41, 42):
+            _, result = run_stock_job(cluster, ds.path, "mean", seed=seed)
+            for cat, secs in result.breakdown.items():
+                totals[cat] = totals.get(cat, 0.0) + secs
+        published = _registry_costs()
+        for cat, secs in totals.items():
+            if secs > 0:
+                assert published[cat] == pytest.approx(secs, abs=1e-9)
+        assert REGISTRY.value("repro_mr_jobs_total") == 2.0
+
+    def test_mr_counters_mirror_job_counters(self):
+        enable_telemetry()
+        reset_telemetry()
+        cluster, ds = _fresh_env()
+        _, result = run_stock_job(cluster, ds.path, "mean", seed=43)
+        for name, value in result.counters.as_dict().items():
+            if value:
+                assert REGISTRY.value(
+                    COUNTER_METRIC, {"name": name}) == float(value)
+
+    def test_ledger_publish_is_delta_not_cumulative(self):
+        enable_telemetry()
+        reset_telemetry()
+        ledger = CostLedger()
+        ledger.charge_cpu_seconds(2.0)
+        ledger.publish()
+        ledger.publish()                  # repeat: no double count
+        ledger.charge_cpu_seconds(1.5)
+        ledger.publish()                  # only the new 1.5 lands
+        assert REGISTRY.value(COST_METRIC,
+                              {"category": "cpu"}) == pytest.approx(3.5)
+
+
+class TestZeroPerturbation:
+    """enabled-off runs are byte-identical to runs that never saw
+    telemetry, and enabling it changes no result."""
+
+    def _stock(self):
+        cluster, ds = _fresh_env()
+        return run_stock_job(cluster, ds.path, "mean", seed=50)
+
+    def _earl(self):
+        import numpy as np
+        population = np.random.default_rng(8).lognormal(3.0, 1.0, 50_000)
+        return EarlSession(population, "mean",
+                           config=EarlConfig(sigma=0.05, seed=9)).run()
+
+    def test_results_identical_disabled_enabled_disabled(self):
+        value_off, result_off = self._stock()
+        earl_off = self._earl()
+
+        enable_telemetry()
+        value_on, result_on = self._stock()
+        earl_on = self._earl()
+
+        from repro.obs import disable_telemetry
+        disable_telemetry()
+        value_off2, result_off2 = self._stock()
+        earl_off2 = self._earl()
+
+        assert value_off == value_on == value_off2
+        assert result_off.breakdown == result_on.breakdown \
+            == result_off2.breakdown
+        assert result_off.simulated_seconds == result_on.simulated_seconds
+        assert earl_off.estimate == earl_on.estimate == earl_off2.estimate
+        assert earl_off.n == earl_on.n == earl_off2.n
+        assert earl_off.num_iterations == earl_on.num_iterations \
+            == earl_off2.num_iterations
+
+    def test_disabled_run_publishes_nothing(self):
+        self._stock()
+        assert REGISTRY.value(COST_METRIC, {"category": "cpu"}) == 0.0
+        assert REGISTRY.value("repro_mr_jobs_total") == 0.0

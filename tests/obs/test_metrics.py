@@ -1,0 +1,182 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self, reg):
+        reg.counter("requests_total").inc()
+        reg.counter("requests_total").inc()
+        assert reg.value("requests_total") == 2.0
+
+    def test_inc_by_amount(self, reg):
+        reg.counter("bytes_total").inc(2048.5)
+        assert reg.value("bytes_total") == 2048.5
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("requests_total").inc(-1)
+
+    def test_labels_create_distinct_series(self, reg):
+        reg.counter("ops_total", labels={"op": "submit"}).inc()
+        reg.counter("ops_total", labels={"op": "poll"}).inc(3)
+        assert reg.value("ops_total", {"op": "submit"}) == 1.0
+        assert reg.value("ops_total", {"op": "poll"}) == 3.0
+        assert len(reg.series("ops_total")) == 2
+
+    def test_label_order_is_irrelevant(self, reg):
+        reg.counter("x_total", labels={"a": 1, "b": 2}).inc()
+        reg.counter("x_total", labels={"b": 2, "a": 1}).inc()
+        assert reg.value("x_total", {"a": 1, "b": 2}) == 2.0
+
+    def test_absent_series_reads_zero(self, reg):
+        assert reg.value("never_touched_total") == 0.0
+
+    def test_same_series_is_cached(self, reg):
+        a = reg.counter("c_total", labels={"k": "v"})
+        b = reg.counter("c_total", labels={"k": "v"})
+        assert a is b
+
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("thing")
+        with pytest.raises(ValueError):
+            reg.gauge("thing")
+        with pytest.raises(ValueError):
+            reg.histogram("thing")
+
+
+class TestGauges:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("inflight")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert reg.value("inflight") == 4.0
+
+    def test_gauge_can_go_negative(self, reg):
+        reg.gauge("drift").dec(3)
+        assert reg.value("drift") == -3.0
+
+
+class TestHistograms:
+    def test_observations_land_in_cumulative_buckets(self, reg):
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        sample = h._sample()
+        # cumulative counts per upper bound, +Inf last
+        assert [b["count"] for b in sample["buckets"]] == [1, 2, 3, 4]
+        assert sample["buckets"][-1]["le"] == "+Inf"
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(55.55)
+
+    def test_bounds_are_sorted_at_creation(self, reg):
+        h = reg.histogram("h2", buckets=(5.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 5.0)
+
+    def test_default_buckets_used_when_unspecified(self, reg):
+        h = reg.histogram("h")
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_empty_buckets_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h3", buckets=())
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        r = MetricsRegistry()   # disabled by default
+        assert not r.enabled
+        r.counter("c_total").inc()
+        r.gauge("g").set(7)
+        r.histogram("h").observe(1.0)
+        assert r.value("c_total") == 0.0
+        assert r.value("g") == 0.0
+        assert r.histogram("h").count == 0
+
+    def test_instruments_created_disabled_activate_later(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total")
+        c.inc(5)               # dropped: disabled
+        r.enable()
+        c.inc(5)               # recorded: same instrument object
+        assert r.value("c_total") == 5.0
+
+    def test_reset_zeroes_but_keeps_switch_and_registration(self, reg):
+        reg.counter("c_total").inc(9)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.enabled
+        assert reg.value("c_total") == 0.0
+        assert reg.histogram("h").count == 0
+        assert isinstance(reg.counter("c_total"), Counter)
+
+
+class TestExport:
+    def test_snapshot_shape(self, reg):
+        reg.counter("jobs_total", help="jobs run",
+                    labels={"kind": "stock"}).inc(2)
+        snap = reg.snapshot()
+        assert snap["enabled"] is True
+        metric = snap["metrics"]["jobs_total"]
+        assert metric["type"] == "counter"
+        assert metric["help"] == "jobs run"
+        assert metric["series"] == [
+            {"labels": {"kind": "stock"}, "value": 2.0}]
+
+    def test_prometheus_text(self, reg):
+        reg.counter("jobs_total", help="jobs run",
+                    labels={"kind": "stock"}).inc(2)
+        reg.gauge("inflight").set(1.5)
+        text = reg.render_prometheus()
+        assert "# TYPE jobs_total counter" in text
+        assert "# HELP jobs_total jobs run" in text
+        assert 'jobs_total{kind="stock"} 2' in text
+        assert "# TYPE inflight gauge" in text
+        assert "inflight 1.5" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_histogram_exposition(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = reg.render_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 2' in text
+        assert "lat_sum 2" in text
+        assert "lat_count 2" in text
+
+    def test_label_values_escaped(self, reg):
+        reg.counter("e_total", labels={"msg": 'a"b\\c\nd'}).inc()
+        text = reg.render_prometheus()
+        assert 'msg="a\\"b\\\\c\\nd"' in text
+
+    def test_empty_registry_renders_empty(self, reg):
+        assert reg.render_prometheus() == ""
+        assert reg.snapshot()["metrics"] == {}
+
+
+class TestConcurrency:
+    def test_parallel_increments_are_not_lost(self, reg):
+        c = reg.counter("hits_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("hits_total") == 8000.0

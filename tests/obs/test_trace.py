@@ -1,0 +1,245 @@
+"""Unit tests for span tracing (repro.obs.trace)."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Span, SpanContext, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        t = Tracer()
+        assert not t.enabled
+        s = t.span("anything")
+        assert s is NULL_SPAN
+        # the null span is inert under every operation
+        with s as inner:
+            assert inner is NULL_SPAN
+            inner.set(k=1)
+        s.finish()
+        assert t.spans() == []
+
+    def test_disabled_current_and_activate_are_noops(self):
+        t = Tracer()
+        assert t.current() is None
+        assert t.activate(SpanContext("t1", "s1")) is None
+        t.deactivate(None)
+
+    def test_disabled_adopt_orphans_is_noop(self, tracer):
+        with tracer.span("a", trace_id="tx"):
+            pass
+        root = tracer.span("root", trace_id="tx")
+        tracer.disable()
+        assert tracer.adopt_orphans("tx", root) == 0
+
+
+class TestSpans:
+    def test_root_span_gets_fresh_trace_id(self, tracer):
+        with tracer.span("root") as s:
+            assert s.trace_id.startswith("t")
+            assert s.parent_id is None
+
+    def test_pinned_trace_id(self, tracer):
+        with tracer.span("root", trace_id="t-pin") as s:
+            assert s.trace_id == "t-pin"
+
+    def test_ambient_parenting_within_thread(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_explicit_parent_overrides_ambient(self, tracer):
+        base = tracer.span("base")
+        base.finish()
+        with tracer.span("ambient"):
+            child = tracer.span("child", parent=base)
+            child.finish()
+        assert child.parent_id == base.span_id
+        assert child.trace_id == base.trace_id
+
+    def test_parent_accepts_span_context(self, tracer):
+        base = tracer.span("base")
+        child = tracer.span("child", parent=base.context)
+        assert child.parent_id == base.span_id
+
+    def test_finish_is_idempotent_and_records_once(self, tracer):
+        s = tracer.span("once")
+        s.finish()
+        end = s.end
+        s.finish()
+        assert s.end == end
+        assert len(tracer.spans()) == 1
+
+    def test_span_ids_are_sequential_not_random(self, tracer):
+        a = tracer.span("a")
+        b = tracer.span("b")
+        na = int(a.span_id.lstrip("s"))
+        nb = int(b.span_id.lstrip("s"))
+        assert nb == na + 1
+
+    def test_attrs_via_set_and_kwarg(self, tracer):
+        with tracer.span("s", attrs={"a": 1}) as s:
+            s.set(b=2)
+        assert s.attrs == {"a": 1, "b": 2}
+
+    def test_new_threads_start_without_ambient_parent(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("worker") as s:
+                seen["span"] = s
+
+        with tracer.span("outer") as outer:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # contextvars do not flow into a fresh Thread: the worker span
+        # is a new root, not a child of "outer".
+        assert seen["span"].parent_id is None
+        assert seen["span"].trace_id != outer.trace_id
+
+    def test_activate_propagates_context_across_threads(self, tracer):
+        seen = {}
+
+        def worker(ctx):
+            token = tracer.activate(ctx)
+            try:
+                with tracer.span("worker") as s:
+                    seen["span"] = s
+            finally:
+                tracer.deactivate(token)
+
+        with tracer.span("outer") as outer:
+            t = threading.Thread(target=worker, args=(outer.context,))
+            t.start()
+            t.join()
+        assert seen["span"].trace_id == outer.trace_id
+        assert seen["span"].parent_id == outer.span_id
+
+
+class TestAnalysis:
+    def _tree(self, tracer):
+        with tracer.span("root", trace_id="tt") as root:
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        return root
+
+    def test_is_connected_true_for_single_tree(self, tracer):
+        self._tree(tracer)
+        assert tracer.is_connected("tt")
+
+    def test_is_connected_false_for_two_roots(self, tracer):
+        self._tree(tracer)
+        tracer.span("stray", trace_id="tt").finish()
+        assert not tracer.is_connected("tt")
+
+    def test_is_connected_false_for_missing_parent(self, tracer):
+        root = tracer.span("root", trace_id="tt")
+        child = tracer.span("child", parent=root)
+        child.finish()          # recorded
+        # root never finishes -> never recorded: child's parent missing
+        assert not tracer.is_connected("tt")
+
+    def test_is_connected_false_for_empty_trace(self, tracer):
+        assert not tracer.is_connected("nope")
+
+    def test_root_returns_earliest_parentless_span(self, tracer):
+        root = self._tree(tracer)
+        assert tracer.root("tt") is root
+
+    def test_coverage_unions_overlapping_intervals(self, tracer):
+        root = tracer.span("root", trace_id="tt")
+        a = tracer.span("a", parent=root)
+        b = tracer.span("b", parent=root)
+        for s in (a, b, root):
+            s.finish()
+        # fabricate a known timeline: overlap must be counted once
+        root.start, root.end = 0.0, 10.0
+        a.start, a.end = 0.0, 4.0
+        b.start, b.end = 3.0, 6.0
+        assert tracer.coverage("tt") == pytest.approx(0.6)
+
+    def test_coverage_clips_children_to_root_window(self, tracer):
+        root = tracer.span("root", trace_id="tt")
+        a = tracer.span("a", parent=root)
+        a.finish()
+        root.finish()
+        root.start, root.end = 2.0, 12.0
+        a.start, a.end = 0.0, 20.0   # overhangs both edges
+        assert tracer.coverage("tt") == pytest.approx(1.0)
+
+    def test_coverage_zero_without_root(self, tracer):
+        assert tracer.coverage("tt") == 0.0
+
+    def test_adopt_orphans_reconnects_after_crash(self, tracer):
+        # pre-crash: root opened but killed before finish (never recorded)
+        dead_root = tracer.span("session", trace_id="tc")
+        with tracer.span("work", parent=dead_root):
+            pass
+        assert not tracer.is_connected("tc")
+        # restart: new root on the same trace adopts the dangling span
+        new_root = tracer.span("session-restart", trace_id="tc")
+        moved = tracer.adopt_orphans("tc", new_root)
+        new_root.finish()
+        assert moved == 1
+        assert tracer.is_connected("tc")
+
+    def test_adopt_orphans_keeps_intact_subtrees(self, tracer):
+        with tracer.span("a", trace_id="tc") as a:
+            with tracer.span("b"):
+                pass
+        new_root = tracer.span("root2", trace_id="tc")
+        moved = tracer.adopt_orphans("tc", new_root)
+        new_root.finish()
+        # only "a" (whose parent is None) moves; "b" stays under "a"
+        assert moved == 1
+        spans = {s.name: s for s in tracer.spans("tc")}
+        assert spans["b"].parent_id == a.span_id
+        assert tracer.is_connected("tc")
+
+
+class TestExport:
+    def test_chrome_export_shape(self, tracer):
+        with tracer.span("root", trace_id="tt", attrs={"q": "mean"}):
+            with tracer.span("child"):
+                pass
+        doc = tracer.export_chrome("tt")
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        by_name = {e["name"]: e for e in events}
+        root_ev, child_ev = by_name["root"], by_name["child"]
+        assert root_ev["ph"] == "X"
+        assert root_ev["args"]["q"] == "mean"
+        assert child_ev["args"]["parent_id"] == \
+            root_ev["args"]["span_id"]
+        assert all(e["ts"] >= 0 for e in events)
+
+    def test_export_filters_by_trace_id(self, tracer):
+        tracer.span("a", trace_id="t1").finish()
+        tracer.span("b", trace_id="t2").finish()
+        assert len(tracer.export_chrome("t1")["traceEvents"]) == 1
+        assert len(tracer.export_chrome()["traceEvents"]) == 2
+
+    def test_ring_buffer_bounds_memory(self):
+        t = Tracer(max_spans=10)
+        t.enable()
+        for i in range(25):
+            t.span(f"s{i}").finish()
+        assert len(t.spans()) == 10
+        assert t.spans()[0].name == "s15"
+
+    def test_clear_drops_spans(self, tracer):
+        tracer.span("a").finish()
+        tracer.clear()
+        assert tracer.spans() == []

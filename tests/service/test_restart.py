@@ -144,6 +144,8 @@ class TestCrashRecovery:
             cursors = {sid: 0 for sid in sids}
             collected = {sid: [] for sid in sids}
             await consume_until(client, cursors, collected, minimum=5)
+            traces_before = {sid: service.store.get(sid).trace_id
+                             for sid in sids}
             await service.crash()
 
             restarted = build_service(
@@ -151,18 +153,27 @@ class TestCrashRecovery:
             await restarted.start()
             client = LocalClient(restarted)
             try:
+                traces_after = {sid: restarted.store.get(sid).trace_id
+                                for sid in sids}
                 await drain_all(client, sids, cursors, collected)
                 # Fresh ids never collide with recovered sessions.
                 new_sid = await client.submit(SPECS[0])
             finally:
                 await restarted.stop()
-            return reference, sids, collected, new_sid
+            return (reference, sids, collected, new_sid,
+                    traces_before, traces_after)
 
-        reference, sids, collected, new_sid = run(scenario())
+        (reference, sids, collected, new_sid,
+         traces_before, traces_after) = run(scenario())
         assert set(sids) == set(reference)
         for sid in sids:
             assert collected[sid] == reference[sid]
         assert new_sid == "s000004"
+        # The WAL carries each session's telemetry trace id, so a
+        # replay-resumed session continues the *same* trace.
+        for sid in sids:
+            assert traces_before[sid] is not None
+            assert traces_after[sid] == traces_before[sid]
 
     def test_pending_session_readmits_and_completes(self, tmp_path):
         async def scenario():

@@ -1,0 +1,461 @@
+"""End-to-end telemetry across the service stratum.
+
+With telemetry enabled, a full service run must produce: a connected
+per-session span tree covering ≥95 % of the session's wall time, a
+convergence trajectory with one point per snapshot, discrete events for
+losses/restarts/terminals, registry counters that reconcile with the
+event streams, and the read-only ``metrics``/``trace`` ops over both
+transports.  The suite also drives the two fault paths the acceptance
+gate names: one injected sample loss and one crash/restart.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import EarlConfig
+from repro.obs import (
+    REGISTRY,
+    TRACER,
+    disable_telemetry,
+    enable_telemetry,
+    reset_telemetry,
+)
+from repro.service import (
+    EVENT_DEGRADED,
+    EVENT_FINAL,
+    EVENT_SNAPSHOT,
+    STATE_DONE,
+    ApproxQueryService,
+    DurableSessionStore,
+    LocalClient,
+    ServiceClient,
+    ServiceServer,
+)
+
+#: Multi-round streams (mirrors test_restart.py).
+CFG = dict(sigma=0.01, B_override=15, n_override=100,
+           expansion_factor=1.6, max_iterations=12)
+
+SPECS = [
+    {"kind": "statistic", "dataset": "pop", "statistic": "mean"},
+    {"kind": "statistic", "dataset": "pop", "statistic": "std"},
+    {"kind": "query", "table": "orders", "group_by": "region",
+     "select": [{"statistic": "mean", "column": "amount"}]},
+]
+
+
+@pytest.fixture(autouse=True)
+def telemetry():
+    enable_telemetry()
+    reset_telemetry()
+    yield
+    disable_telemetry()
+    reset_telemetry()
+
+
+def population(seed=0, size=20_000):
+    return np.random.default_rng(seed).lognormal(1.0, 0.5, size)
+
+
+def orders_table():
+    rng = np.random.default_rng(3)
+    return {"region": np.repeat(["east", "west"], 3000),
+            "amount": rng.exponential(40.0, 6000)}
+
+
+def build_service(store=None, *, event_capacity=4):
+    service = ApproxQueryService(
+        config=EarlConfig(**CFG), seed=1234, batch_window=5.0,
+        event_capacity=event_capacity, store=store)
+    service.register_dataset("pop", population())
+    service.register_table("orders", orders_table())
+    return service
+
+
+def run(coro, timeout=120.0):
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def drain_all(client, sids, cursors, collected):
+    done = set()
+    while len(done) < len(sids):
+        for sid in sids:
+            if sid in done:
+                continue
+            page = await client.poll(sid, after=cursors[sid],
+                                     wait=True, timeout=1.0)
+            for event in page.events:
+                collected[sid].append(event)
+                cursors[sid] = event.seq
+            if not page.events and page.terminal:
+                done.add(sid)
+
+
+class TestEndToEndTrace:
+    """A clean mixed workload: every session's trace is one connected
+    tree whose children cover ≥95 % of its wall time, and the
+    convergence trajectory has a point per snapshot."""
+
+    def _run_workload(self):
+        async def scenario():
+            service = build_service()
+            await service.start()
+            client = LocalClient(service)
+            sids = [await client.submit(spec) for spec in SPECS]
+            await service.flush()
+            cursors = {sid: 0 for sid in sids}
+            events = {sid: [] for sid in sids}
+            await drain_all(client, sids, cursors, events)
+            trace_ids = {sid: service.store.get(sid).trace_id
+                         for sid in sids}
+            await service.stop()
+            return service, sids, trace_ids, events
+
+        return run(scenario())
+
+    def test_traces_connected_with_high_coverage(self):
+        _, sids, trace_ids, _ = self._run_workload()
+        for sid in sids:
+            tid = trace_ids[sid]
+            assert tid is not None
+            assert TRACER.is_connected(tid), sid
+            assert TRACER.coverage(tid) >= 0.95, sid
+            names = {s.name for s in TRACER.spans(tid)}
+            assert "service.session" in names
+            assert "service.run" in names
+
+    def test_chrome_export_is_one_tree_per_session(self):
+        _, sids, trace_ids, _ = self._run_workload()
+        for sid in sids:
+            doc = TRACER.export_chrome(trace_ids[sid])
+            events = doc["traceEvents"]
+            assert events
+            roots = [e for e in events
+                     if "parent_id" not in e["args"]]
+            assert len(roots) == 1
+            assert roots[0]["name"] == "service.session"
+            assert roots[0]["args"]["session"] == sid
+
+    def test_convergence_points_match_snapshots(self):
+        service, sids, _, events = self._run_workload()
+        for sid in sids:
+            # one point per snapshot, including the final one
+            snapshots = [e for e in events[sid]
+                         if e.type in (EVENT_SNAPSHOT, EVENT_FINAL)]
+            points = [p for p in service.telemetry.points
+                      if p.key == sid]
+            assert len(points) == len(snapshots)
+            assert [p.round for p in points] == \
+                list(range(1, len(points) + 1))
+            rows = [p.rows for p in points]
+            assert rows == sorted(rows)
+            assert all(p.wall_seconds is not None for p in points)
+
+    def test_registry_counters_reconcile_with_streams(self):
+        service, sids, _, events = self._run_workload()
+        n_snapshots = sum(
+            1 for sid in sids for e in events[sid]
+            if e.type in (EVENT_SNAPSHOT, EVENT_FINAL))
+        assert REGISTRY.value("repro_service_sessions_total",
+                              {"kind": "statistic"}) == 2.0
+        assert REGISTRY.value("repro_service_sessions_total",
+                              {"kind": "query"}) == 1.0
+        snap_total = sum(
+            inst.value for inst in
+            REGISTRY.series("repro_service_snapshots_total"))
+        assert snap_total == float(n_snapshots)
+        assert REGISTRY.value("repro_service_terminal_total",
+                              {"state": STATE_DONE}) == 3.0
+        terminal = [e for e in service.telemetry.events
+                    if e.kind == "terminal"]
+        assert len(terminal) == 3
+
+
+class TestInjectedLoss:
+    """§3.4 degrade-don't-die, observed: an injected mid-run loss shows
+    up as a ``degraded`` convergence event and counter, and the trace
+    stays connected."""
+
+    def _lossy_query(self):
+        async def scenario():
+            rng = np.random.default_rng(7)
+            table = {"k": rng.choice(["a", "b"], size=200_000),
+                     "v": rng.lognormal(3.0, 1.0, 200_000)}
+            service = ApproxQueryService(
+                config=EarlConfig(sigma=0.01, n_override=500,
+                                  B_override=30, expansion_factor=1.3,
+                                  max_iterations=30),
+                seed=42, event_capacity=2)
+            service.register_table("t", table)
+            await service.start()
+            try:
+                client = LocalClient(service)
+                sid = await client.submit({
+                    "kind": "query", "table": "t", "group_by": "k",
+                    "select": [{"statistic": "mean", "column": "v"}]})
+                events, after, lost = [], 0, False
+                while True:
+                    page = await client.poll(sid, after=after, wait=True,
+                                             timeout=5.0)
+                    events.extend(page.events)
+                    if page.events:
+                        after = page.events[-1].seq
+                        if not lost and any(e.type == EVENT_SNAPSHOT
+                                            for e in events):
+                            service.store.get(sid).engine \
+                                .report_loss(0.4)
+                            lost = True
+                        continue
+                    if page.terminal:
+                        break
+                trace_id = service.store.get(sid).trace_id
+                return service, sid, trace_id, events
+            finally:
+                await service.stop()
+
+        return run(scenario())
+
+    def test_loss_recorded_as_degraded_telemetry(self):
+        service, sid, trace_id, events = self._lossy_query()
+        assert any(e.type == EVENT_DEGRADED for e in events)
+        degraded = [e for e in service.telemetry.events
+                    if e.kind == "degraded" and e.key == sid]
+        assert len(degraded) == 1
+        assert 0.0 < degraded[0].detail["lost_fraction"] < 1.0
+        assert REGISTRY.value("repro_service_degraded_total") == 1.0
+        assert TRACER.is_connected(trace_id)
+        assert TRACER.coverage(trace_id) >= 0.95
+
+
+class TestRestartContinuity:
+    """A replay-resumed session continues the *same* trace: the WAL
+    carries the trace id, the restarted service opens a new root on it
+    and adopts the pre-crash spans, and a ``restart`` event lands on the
+    convergence trace."""
+
+    def _crash_scenario(self, tmp_path):
+        async def scenario():
+            service = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await service.start()
+            client = LocalClient(service)
+            sid = await client.submit(SPECS[0])
+            await service.flush()
+            cursor, got = 0, []
+            while len(got) < 5:
+                page = await client.poll(sid, after=cursor,
+                                         wait=True, timeout=1.0)
+                for event in page.events:
+                    got.append(event)
+                    cursor = event.seq
+            before = service.store.get(sid).trace_id
+            await service.crash()
+
+            restarted = build_service(
+                DurableSessionStore(str(tmp_path / "live"), fsync=False))
+            await restarted.start()
+            client = LocalClient(restarted)
+            try:
+                after_id = restarted.store.get(sid).trace_id
+                tail = await client.drain(sid, after=cursor)
+                got.extend(tail)
+            finally:
+                await restarted.stop()
+            return restarted, sid, before, after_id, got
+
+        return run(scenario())
+
+    def test_trace_id_survives_wal_and_trace_reconnects(self, tmp_path):
+        restarted, sid, before, after_id, got = \
+            self._crash_scenario(tmp_path)
+        assert before is not None
+        assert after_id == before
+        # one connected tree despite the dead pre-crash root
+        assert TRACER.is_connected(before)
+        roots = [s for s in TRACER.spans(before)
+                 if s.parent_id is None]
+        assert len(roots) == 1
+        assert roots[0].attrs.get("restart") is True
+        restart_events = [e for e in restarted.telemetry.events
+                          if e.kind == "restart" and e.key == sid]
+        assert len(restart_events) == 1
+        assert REGISTRY.value("repro_service_restarts_total") >= 1.0
+        assert got[-1].payload == {"state": STATE_DONE}
+
+
+class TestTelemetryOps:
+    """The read-only ``metrics`` and ``trace`` ops, over both
+    transports."""
+
+    def test_ops_over_tcp(self, tmp_path):
+        async def scenario():
+            service = build_service()
+            server = ServiceServer(service)
+            await service.start()
+            await server.start()
+            try:
+                host, port = server.address
+                client = await ServiceClient.connect(host, port)
+                sid = await client.submit(SPECS[0])
+                await service.flush()
+                await client.drain(sid)
+
+                both = await client.metrics()
+                prom_only = await client.metrics(format="prometheus")
+                trace = await client.trace(sid)
+                await client.close()
+                return sid, both, prom_only, trace
+            finally:
+                await server.stop()
+                await service.stop()
+
+        sid, both, prom_only, trace = run(scenario())
+        assert both["metrics_enabled"] is True
+        assert both["tracing_enabled"] is True
+        snapshot = both["snapshot"]
+        assert snapshot["enabled"] is True
+        assert "repro_service_sessions_total" in snapshot["metrics"]
+        assert "repro_service_sessions_total" in both["prometheus"]
+        assert "snapshot" not in prom_only
+        assert "repro_service_sessions_total" in prom_only["prometheus"]
+
+        assert trace["session"] == sid
+        assert trace["trace_id"].startswith("t")
+        assert trace["chrome"]["traceEvents"]
+        assert trace["convergence"]["points"]
+        assert all(p["key"] == sid
+                   for p in trace["convergence"]["points"])
+
+    def test_metrics_op_reports_disabled_state(self):
+        async def scenario():
+            disable_telemetry()
+            service = build_service()
+            await service.start()
+            try:
+                client = LocalClient(service)
+                return await client.metrics(format="json")
+            finally:
+                await service.stop()
+
+        response = run(scenario())
+        assert response["metrics_enabled"] is False
+        assert response["tracing_enabled"] is False
+        assert response["snapshot"]["enabled"] is False
+
+    def test_metrics_op_rejects_unknown_format(self):
+        async def scenario():
+            service = build_service()
+            await service.start()
+            try:
+                client = LocalClient(service)
+                with pytest.raises(Exception) as err:
+                    await client.metrics(format="xml")
+                return err.value
+            finally:
+                await service.stop()
+
+        assert "format" in str(run(scenario()))
+
+
+class _DroppingFrontend:
+    """TCP front end over ``service.handle`` that drops the first N
+    connections as soon as a request arrives (the response is lost),
+    then serves normally — mirrors test_client_recovery.FlakyFrontend.
+    """
+
+    def __init__(self, service, *, drop_first):
+        self._service = service
+        self.drop_first = drop_first
+        self.connections = 0
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._serve, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.address = (host, port)
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _serve(self, reader, writer):
+        from repro.service.protocol import canonical_json
+        import json
+        self.connections += 1
+        conn = self.connections
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if conn <= self.drop_first:
+                    return   # drop mid-request: response lost
+                response = await self._service.handle(json.loads(line))
+                writer.write(canonical_json(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+
+class TestClientReconnectAccounting:
+    """Satellite: the TCP client's silent reconnects are visible —
+    counted in ``client_stats()`` by cause, with backoff sleep time,
+    and mirrored into the registry."""
+
+    def test_stats_count_reconnects_by_cause(self):
+        async def scenario():
+            service = build_service()
+            await service.start()
+            try:
+                async with _DroppingFrontend(service,
+                                             drop_first=2) as fe:
+                    client = await ServiceClient.connect(
+                        *fe.address, connect_timeout=5.0,
+                        max_reconnects=8, reconnect_backoff=0.01)
+                    assert await client.ping()
+                    stats = client.client_stats()
+                    await client.close()
+                    return stats, fe.connections
+            finally:
+                await service.stop()
+
+        stats, connections = run(scenario())
+        # conn 1 and 2 dropped the request; conn 3 answered it
+        assert connections == 3
+        assert stats["requests"] == 1
+        assert stats["reconnects"] == 2
+        assert stats["causes"] == {"connection-closed": 2}
+        # exponential backoff: 0.01 + 0.02
+        assert stats["backoff_slept"] == pytest.approx(0.03)
+        assert REGISTRY.value(
+            "repro_client_reconnects_total",
+            {"cause": "connection-closed"}) == 2.0
+
+    def test_stats_start_clean_and_count_requests(self):
+        async def scenario():
+            service = build_service()
+            server = ServiceServer(service)
+            await service.start()
+            await server.start()
+            try:
+                client = await ServiceClient.connect(*server.address)
+                assert await client.ping()
+                assert await client.ping()
+                stats = client.client_stats()
+                await client.close()
+                return stats
+            finally:
+                await server.stop()
+                await service.stop()
+
+        stats = run(scenario())
+        assert stats == {"requests": 2, "reconnects": 0,
+                         "backoff_slept": 0.0, "causes": {}}
